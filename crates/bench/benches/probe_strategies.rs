@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks: wall-clock cost of every probing strategy on
+//! every family, at p = 1/2, for growing universe sizes.
+//!
+//! These complement the probe-count reproduction (`reproduce` binary) by
+//! answering the systems question a library user cares about: how much CPU
+//! does locating a live quorum actually take?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probequorum::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_majority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe/maj");
+    for &n in &[101usize, 401, 1001] {
+        let maj = Majority::new(n).unwrap();
+        let model = FailureModel::iid(0.5);
+        group.bench_with_input(BenchmarkId::new("Probe_Maj", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&maj, &ProbeMaj::new(), &coloring, &mut rng).probes
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("R_Probe_Maj", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&maj, &RProbeMaj::new(), &coloring, &mut rng).probes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crumbling_walls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe/cw");
+    for &rows in &[10usize, 20, 40] {
+        let wall = CrumblingWalls::triang(rows).unwrap();
+        let n = wall.universe_size();
+        let model = FailureModel::iid(0.5);
+        group.bench_with_input(BenchmarkId::new("Probe_CW", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&wall, &ProbeCw::new(), &coloring, &mut rng).probes
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("R_Probe_CW", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&wall, &RProbeCw::new(), &coloring, &mut rng).probes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe/tree");
+    for &height in &[6usize, 8, 10] {
+        let tree = TreeQuorum::new(height).unwrap();
+        let n = tree.universe_size();
+        let model = FailureModel::iid(0.5);
+        group.bench_with_input(BenchmarkId::new("Probe_Tree", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&tree, &ProbeTree::new(), &coloring, &mut rng).probes
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("R_Probe_Tree", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&tree, &RProbeTree::new(), &coloring, &mut rng).probes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hqs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe/hqs");
+    for &height in &[4usize, 5, 6] {
+        let hqs = Hqs::new(height).unwrap();
+        let n = hqs.universe_size();
+        let model = FailureModel::iid(0.5);
+        group.bench_with_input(BenchmarkId::new("Probe_HQS", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&hqs, &ProbeHqs::new(), &coloring, &mut rng).probes
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("R_Probe_HQS", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&hqs, &RProbeHqs::new(), &coloring, &mut rng).probes
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("IR_Probe_HQS", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let coloring = model.sample(n, &mut rng);
+                run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng).probes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_majority, bench_crumbling_walls, bench_tree, bench_hqs
+}
+criterion_main!(benches);

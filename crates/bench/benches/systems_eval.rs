@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks: cost of evaluating the characteristic function
+//! (`contains_quorum`) and of computing availability for every construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probequorum::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn random_set(n: usize, seed: u64) -> ElementSet {
+    let model = FailureModel::iid(0.5);
+    let mut rng = StdRng::seed_from_u64(seed);
+    model.sample(n, &mut rng).green_set()
+}
+
+fn bench_contains_quorum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systems/contains_quorum");
+    let maj = Majority::new(1001).unwrap();
+    let set = random_set(1001, 1);
+    group.bench_function(BenchmarkId::new("Maj", 1001), |b| b.iter(|| maj.contains_quorum(&set)));
+
+    let wall = CrumblingWalls::triang(45).unwrap(); // 1035 elements
+    let set = random_set(wall.universe_size(), 2);
+    group.bench_function(BenchmarkId::new("Triang", wall.universe_size()), |b| {
+        b.iter(|| wall.contains_quorum(&set))
+    });
+
+    let tree = TreeQuorum::new(9).unwrap(); // 1023 elements
+    let set = random_set(tree.universe_size(), 3);
+    group.bench_function(BenchmarkId::new("Tree", tree.universe_size()), |b| {
+        b.iter(|| tree.contains_quorum(&set))
+    });
+
+    let hqs = Hqs::new(6).unwrap(); // 729 elements
+    let set = random_set(hqs.universe_size(), 4);
+    group.bench_function(BenchmarkId::new("HQS", hqs.universe_size()), |b| {
+        b.iter(|| hqs.contains_quorum(&set))
+    });
+
+    let grid = Grid::new(32, 32).unwrap();
+    let set = random_set(1024, 5);
+    group.bench_function(BenchmarkId::new("Grid", 1024), |b| b.iter(|| grid.contains_quorum(&set)));
+    group.finish();
+}
+
+fn bench_availability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systems/availability");
+    for &n in &[11usize, 15, 19] {
+        let maj = Majority::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("exact_enumeration", n), &n, |b, _| {
+            b.iter(|| exact_failure_probability(&maj, 0.3).unwrap())
+        });
+    }
+    let maj = Majority::new(501).unwrap();
+    group.bench_function("monte_carlo_n=501", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            probequorum::analysis::availability::monte_carlo_failure_probability(&maj, 0.3, 200, &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systems/enumerate_quorums");
+    let wheel = Wheel::new(1000).unwrap();
+    group.bench_function("Wheel(1000)", |b| b.iter(|| wheel.enumerate_quorums().unwrap().len()));
+    let wall = CrumblingWalls::new(vec![1, 4, 4, 4, 4]).unwrap();
+    group.bench_function("CW(1,4,4,4,4)", |b| b.iter(|| wall.enumerate_quorums().unwrap().len()));
+    let maj = Majority::new(17).unwrap();
+    group.bench_function("Maj(17)", |b| b.iter(|| maj.enumerate_quorums().unwrap().len()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_contains_quorum, bench_availability, bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- all
+//! cargo run --release -p bench --bin reproduce -- table1
+//! REPRO_TRIALS=20000 cargo run --release -p bench --bin reproduce -- hqs-randomized
+//! ```
+//!
+//! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
+//! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
+//! `availability`, `figures`, `all`.
+
+use bench::{
+    availability_table, crumbling_walls, figures, hqs_exponent, hqs_randomized, lemmas_table,
+    lower_bounds, maj3, randomized, table1, tree_exponent, ReproConfig,
+};
+
+fn main() {
+    let config = ReproConfig::from_env();
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let requested = if requested.is_empty() { vec!["all".to_string()] } else { requested };
+
+    for experiment in &requested {
+        match experiment.as_str() {
+            "table1" => {
+                println!("== Table 1: probe complexity of Maj, Triang, Tree and HQS ==\n");
+                println!("{}", table1(&config));
+            }
+            "maj3" => {
+                let (table, art) = maj3(&config);
+                println!("== Section 2.3 worked example: Maj3 ==\n");
+                println!("{table}");
+                println!("Optimal decision tree (Figure 4):\n\n{art}");
+            }
+            "crumbling-walls" => {
+                println!("== Theorem 3.3 / Corollary 3.4: Probe_CW needs at most 2k−1 expected probes ==\n");
+                println!("{}", crumbling_walls(&config));
+            }
+            "tree-exponent" => {
+                println!("== Proposition 3.6 / Corollary 3.7: Tree exponent log2(1+p) ==\n");
+                println!("{}", tree_exponent(&config));
+            }
+            "hqs-exponent" => {
+                println!("== Theorem 3.8: HQS probabilistic exponents ==\n");
+                println!("{}", hqs_exponent(&config));
+            }
+            "randomized" => {
+                println!("== Section 4 upper bounds: randomized algorithms ==\n");
+                println!("{}", randomized(&config));
+            }
+            "lower-bounds" => {
+                println!("== Section 4 lower bounds via Yao's principle ==\n");
+                println!("{}", lower_bounds(&config));
+            }
+            "hqs-randomized" => {
+                println!("== Proposition 4.9 vs Theorem 4.10: R_Probe_HQS vs IR_Probe_HQS ==\n");
+                println!("{}", hqs_randomized(&config));
+            }
+            "lemmas" => {
+                println!("== Section 2.4 technical lemmas ==\n");
+                println!("{}", lemmas_table(&config));
+            }
+            "availability" => {
+                println!("== Fact 2.3 and availability recursions ==\n");
+                println!("{}", availability_table(&config));
+            }
+            "figures" => {
+                println!("{}", figures());
+            }
+            "all" => {
+                println!("== Section 2.3 worked example: Maj3 ==\n");
+                let (table, art) = maj3(&config);
+                println!("{table}");
+                println!("Optimal decision tree (Figure 4):\n\n{art}");
+                println!("== Table 1: probe complexity of Maj, Triang, Tree and HQS ==\n");
+                println!("{}", table1(&config));
+                println!("== Theorem 3.3 / Corollary 3.4: crumbling walls ==\n");
+                println!("{}", crumbling_walls(&config));
+                println!("== Proposition 3.6 / Corollary 3.7: Tree exponent ==\n");
+                println!("{}", tree_exponent(&config));
+                println!("== Theorem 3.8: HQS exponents ==\n");
+                println!("{}", hqs_exponent(&config));
+                println!("== Section 4 randomized upper bounds ==\n");
+                println!("{}", randomized(&config));
+                println!("== Section 4 Yao lower bounds ==\n");
+                println!("{}", lower_bounds(&config));
+                println!("== R_Probe_HQS vs IR_Probe_HQS ==\n");
+                println!("{}", hqs_randomized(&config));
+                println!("== Section 2.4 technical lemmas ==\n");
+                println!("{}", lemmas_table(&config));
+                println!("== Availability (Fact 2.3) ==\n");
+                println!("{}", availability_table(&config));
+                println!("{}", figures());
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!(
+                    "available: table1 maj3 crumbling-walls tree-exponent hqs-exponent randomized \
+                     lower-bounds hqs-randomized lemmas availability figures all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

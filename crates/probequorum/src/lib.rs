@@ -1,0 +1,102 @@
+//! # probequorum
+//!
+//! Facade crate for the *Average Probe Complexity in Quorum Systems*
+//! reproduction (Hassin & Peleg, PODC 2001 / JCSS 2006).
+//!
+//! It re-exports the workspace crates under stable module names so that
+//! applications, the examples and the benchmark harness can depend on a single
+//! crate:
+//!
+//! * [`core`] — universes, element sets, colorings, witnesses, coteries and
+//!   the [`core::QuorumSystem`] trait (`quorum-core`);
+//! * [`systems`] — Majority, Wheel, Crumbling Walls / Triang, Tree, HQS and
+//!   Grid constructions (`quorum-systems`);
+//! * [`probe`] — probe oracles, the paper's probing algorithms, decision
+//!   trees, exact solvers and Yao lower bounds (`quorum-probe`);
+//! * [`analysis`] — availability, the technical lemmas, statistics, power-law
+//!   fitting and the paper's closed-form bounds (`quorum-analysis`);
+//! * [`sim`] — Monte-Carlo estimators, failure models, sweeps and report
+//!   tables (`quorum-sim`);
+//! * [`cluster`] — the discrete-event cluster simulator (`quorum-cluster`);
+//! * [`protocols`] — quorum-based mutual exclusion and the replicated
+//!   register (`quorum-protocols`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use probequorum::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Build the Triang system from the paper's Fig. 1 and estimate the
+//! // expected number of probes needed to find a live quorum at p = 1/2.
+//! let triang = CrumblingWalls::triang(6)?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let estimate = estimate_expected_probes(
+//!     &triang,
+//!     &ProbeCw::new(),
+//!     &FailureModel::iid(0.5),
+//!     2_000,
+//!     &mut rng,
+//! );
+//! // Theorem 3.3: at most 2k − 1 = 11 expected probes for the 6-row wall,
+//! // even though the wall has 21 elements.
+//! assert!(estimate.mean <= 11.0 + 4.0 * estimate.std_error);
+//! # Ok::<(), probequorum::core::QuorumError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use quorum_analysis as analysis;
+pub use quorum_cluster as cluster;
+pub use quorum_core as core;
+pub use quorum_probe as probe;
+pub use quorum_protocols as protocols;
+pub use quorum_sim as sim;
+pub use quorum_systems as systems;
+
+/// The most commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use quorum_analysis::{
+        availability::exact_failure_probability, bounds, fit_power_law, lemmas, PowerLawFit,
+        RunningStats,
+    };
+    pub use quorum_cluster::{Cluster, NetworkConfig, SimTime};
+    pub use quorum_core::{
+        Color, Coloring, Coterie, ElementId, ElementSet, QuorumError, QuorumSystem, Witness,
+        WitnessKind,
+    };
+    pub use quorum_probe::{
+        exact, run_strategy, strategies::*, yao, DecisionTree, InputDistribution, ProbeOracle,
+        ProbeRun, ProbeStrategy,
+    };
+    pub use quorum_protocols::{
+        MutexError, QuorumMutex, ReadResult, RegisterError, ReplicatedRegister,
+    };
+    pub use quorum_sim::{
+        estimate_expected_probes, estimate_worst_case, exhaustive_expected_probes, sweep,
+        worst_case_over_colorings, Estimate, FailureModel, Table,
+    };
+    pub use quorum_systems::{catalogue, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        let maj = Majority::new(3).unwrap();
+        assert_eq!(maj.universe_size(), 3);
+        let value = exact::optimal_expected(&maj, 0.5).unwrap();
+        assert!((value - 2.5).abs() < 1e-12);
+        assert!((bounds::maj_randomized_exact(3) - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn facade_modules_are_reachable() {
+        assert_eq!(crate::systems::Wheel::new(4).unwrap().universe_size(), 4);
+        assert_eq!(crate::core::ElementSet::full(6).len(), 6);
+        assert!(crate::cluster::NetworkConfig::wan().is_valid());
+    }
+}

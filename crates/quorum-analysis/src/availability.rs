@@ -1,0 +1,247 @@
+//! Availability of quorum systems under iid failures.
+//!
+//! The availability failure probability `F_p(S)` is the probability that no
+//! live (green) quorum exists when every element fails independently with
+//! probability `p` (Peleg & Wool, "The availability of quorum systems").  The
+//! paper uses two facts about it (Fact 2.3) and closed-form recursions for the
+//! Tree and HQS systems inside the probe-complexity proofs.
+
+use quorum_core::{Coloring, ElementSet, QuorumError, QuorumSystem};
+use rand::Rng;
+
+/// Computes `F_p(S)` exactly by enumerating all `2^n` colorings.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when `n > 24` and
+/// [`QuorumError::InvalidConstruction`] when `p` is not a probability.
+pub fn exact_failure_probability<S: QuorumSystem + ?Sized>(
+    system: &S,
+    p: f64,
+) -> Result<f64, QuorumError> {
+    let n = system.universe_size();
+    if n > 24 {
+        return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(QuorumError::InvalidConstruction { reason: format!("p must be a probability, got {p}") });
+    }
+    let q = 1.0 - p;
+    let mut failure = 0.0;
+    for mask in 0u64..(1u64 << n) {
+        let red = ElementSet::from_mask(n, mask);
+        let green = red.complement();
+        if !system.contains_quorum(&green) {
+            let r = red.len() as i32;
+            failure += p.powi(r) * q.powi(n as i32 - r);
+        }
+    }
+    Ok(failure)
+}
+
+/// Estimates `F_p(S)` by Monte-Carlo sampling.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::InvalidConstruction`] when `p` is not a probability
+/// or `trials == 0`.
+pub fn monte_carlo_failure_probability<S, R>(
+    system: &S,
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+) -> Result<f64, QuorumError>
+where
+    S: QuorumSystem + ?Sized,
+    R: Rng + ?Sized,
+{
+    if !(0.0..=1.0).contains(&p) {
+        return Err(QuorumError::InvalidConstruction { reason: format!("p must be a probability, got {p}") });
+    }
+    if trials == 0 {
+        return Err(QuorumError::InvalidConstruction { reason: "at least one trial is required".into() });
+    }
+    let n = system.universe_size();
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let coloring = Coloring::from_fn(n, |_| {
+            if rng.gen_bool(p) {
+                quorum_core::Color::Red
+            } else {
+                quorum_core::Color::Green
+            }
+        });
+        if !system.has_green_quorum(&coloring) {
+            failures += 1;
+        }
+    }
+    Ok(failures as f64 / trials as f64)
+}
+
+/// The availability-failure recursion for the Tree system: returns
+/// `F_p(Tree_h)` computed level by level.
+///
+/// A height-0 tree (a single leaf) fails with probability `p`; a height-`h`
+/// tree has a live quorum iff both subtrees do, or the root is live and at
+/// least one subtree does.
+pub fn tree_failure_probability(height: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let q = 1.0 - p;
+    let mut available = q; // height 0
+    for _ in 0..height {
+        let both = available * available;
+        let exactly_one = 2.0 * available * (1.0 - available);
+        available = both + q * exactly_one;
+    }
+    1.0 - available
+}
+
+/// The availability-failure recursion for HQS: returns `F_p(HQS_h)`.
+///
+/// A leaf is live with probability `q`; an internal 2-of-3 majority gate is
+/// live iff at least two of its children are.
+pub fn hqs_failure_probability(height: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut live = 1.0 - p;
+    for _ in 0..height {
+        live = live * live * live + 3.0 * live * live * (1.0 - live);
+    }
+    1.0 - live
+}
+
+/// Checks Fact 2.3 numerically for a concrete system: `F_p ≤ p` for `p ≤ 1/2`
+/// (nondominated coteries only) and `F_p + F_{1−p} = 1`.
+///
+/// Returns the pair `(F_p, F_{1−p})` so callers can inspect the values.
+///
+/// # Errors
+///
+/// Propagates the errors of [`exact_failure_probability`].
+pub fn check_fact_2_3<S: QuorumSystem + ?Sized>(system: &S, p: f64) -> Result<(f64, f64), QuorumError> {
+    let fp = exact_failure_probability(system, p)?;
+    let fq = exact_failure_probability(system, 1.0 - p)?;
+    Ok((fp, fq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_systems::{CrumblingWalls, Hqs, Majority, TreeQuorum, Wheel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn maj3_failure_probability_closed_form() {
+        // F_p(Maj3) = P[at least 2 red] = 3p²(1−p) + p³.
+        let maj = Majority::new(3).unwrap();
+        for p in [0.1, 0.25, 0.5, 0.7] {
+            let expected = 3.0 * p * p * (1.0 - p) + p * p * p;
+            let actual = exact_failure_probability(&maj, p).unwrap();
+            assert!((actual - expected).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn fact_2_3_for_nd_coteries() {
+        let systems: Vec<Box<dyn QuorumSystem>> = vec![
+            Box::new(Majority::new(5).unwrap()),
+            Box::new(Wheel::new(6).unwrap()),
+            Box::new(CrumblingWalls::triang(3).unwrap()),
+            Box::new(TreeQuorum::new(2).unwrap()),
+            Box::new(Hqs::new(2).unwrap()),
+        ];
+        for system in &systems {
+            for p in [0.1, 0.3, 0.5] {
+                let (fp, fq) = check_fact_2_3(system.as_ref(), p).unwrap();
+                assert!(fp <= p + 1e-12, "{}: F_{p} = {fp} exceeds p", system.name());
+                assert!((fp + fq - 1.0).abs() < 1e-9, "{}: self-duality violated", system.name());
+            }
+        }
+    }
+
+    #[test]
+    fn availability_is_monotone_in_p() {
+        let maj = Majority::new(7).unwrap();
+        let mut previous = 0.0;
+        for i in 1..10 {
+            let p = i as f64 / 10.0;
+            let f = exact_failure_probability(&maj, p).unwrap();
+            assert!(f >= previous - 1e-12);
+            previous = f;
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let maj = Majority::new(5).unwrap();
+        assert!((exact_failure_probability(&maj, 0.0).unwrap() - 0.0).abs() < 1e-12);
+        assert!((exact_failure_probability(&maj, 1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_recursion_matches_exhaustive_enumeration() {
+        let tree = TreeQuorum::new(2).unwrap();
+        for p in [0.2, 0.5, 0.8] {
+            let exact = exact_failure_probability(&tree, p).unwrap();
+            let recursion = tree_failure_probability(2, p);
+            assert!((exact - recursion).abs() < 1e-12, "p={p}: {exact} vs {recursion}");
+        }
+    }
+
+    #[test]
+    fn hqs_recursion_matches_exhaustive_enumeration() {
+        let hqs = Hqs::new(2).unwrap();
+        for p in [0.2, 0.5, 0.8] {
+            let exact = exact_failure_probability(&hqs, p).unwrap();
+            let recursion = hqs_failure_probability(2, p);
+            assert!((exact - recursion).abs() < 1e-12, "p={p}: {exact} vs {recursion}");
+        }
+    }
+
+    #[test]
+    fn paper_bound_on_tree_failure() {
+        // Used in Proposition 3.6: for p <= 1/2, F_p(h) <= (p + 1/2)^h.
+        for h in 1..12usize {
+            for p in [0.1, 0.3, 0.5] {
+                let f = tree_failure_probability(h, p);
+                assert!(f <= (p + 0.5).powi(h as i32) + 1e-12, "h={h} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_bound_on_hqs_failure() {
+        // Used in Theorem 3.8: for p < 1/2, F_p(h) <= p(3p − 2p²)^h... the
+        // bound from Wool's thesis is stated with the factor decaying in h;
+        // check the weaker but sufficient property that F_p(h) -> 0 for
+        // p < 1/2 and F_{1/2}(h) = 1/2 for all h.
+        for h in 1..12usize {
+            assert!((hqs_failure_probability(h, 0.5) - 0.5).abs() < 1e-12);
+        }
+        assert!(hqs_failure_probability(12, 0.3) < 1e-3);
+        assert!(hqs_failure_probability(12, 0.45) < hqs_failure_probability(3, 0.45));
+    }
+
+    #[test]
+    fn monte_carlo_is_close_to_exact() {
+        let maj = Majority::new(9).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let exact = exact_failure_probability(&maj, 0.4).unwrap();
+        let estimate = monte_carlo_failure_probability(&maj, 0.4, 20_000, &mut rng).unwrap();
+        assert!((exact - estimate).abs() < 0.02, "exact {exact} vs estimate {estimate}");
+    }
+
+    #[test]
+    fn input_validation() {
+        let maj = Majority::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(exact_failure_probability(&maj, 1.5).is_err());
+        assert!(monte_carlo_failure_probability(&maj, 0.5, 0, &mut rng).is_err());
+        assert!(monte_carlo_failure_probability(&maj, -0.1, 10, &mut rng).is_err());
+        let big = Majority::new(31).unwrap();
+        assert!(matches!(
+            exact_failure_probability(&big, 0.5),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Closed-form probe-complexity bounds quoted in the paper.
+//!
+//! Each function returns the numeric value of a bound from Table 1 or from the
+//! theorems of Sections 3 and 4, for concrete parameters.  The benchmark
+//! harness prints measured values next to these predictions, and
+//! `EXPERIMENTS.md` records the comparison.
+
+/// Proposition 3.2 (upper/lower, they coincide asymptotically): the
+/// probabilistic probe complexity of Majority over `n` elements at failure
+/// probability `p`.
+///
+/// At `p = 1/2` the value is `n − Θ(√n)` (the exact `Θ` constant is the
+/// grid-walk surplus, see [`crate::lemmas::grid_exit_time_asymptotic`]);
+/// otherwise it is `(n/2)/max(p,q) + o(1)`, i.e. the time to collect a
+/// majority of the more common color.
+pub fn maj_probabilistic(n: usize, p: f64) -> f64 {
+    assert!(n % 2 == 1, "majority is defined for odd n");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let target = (n + 1) as f64 / 2.0;
+    let q = 1.0 - p;
+    if (p - q).abs() < 1e-9 {
+        2.0 * target - 2.0 * (target / std::f64::consts::PI).sqrt()
+    } else {
+        target / p.max(q)
+    }
+}
+
+/// Theorem 3.3: `Probe_CW` needs at most `2k − 1` expected probes on a wall
+/// with `k` rows, for every `p`.
+pub fn cw_probabilistic_upper(rows: usize) -> f64 {
+    (2 * rows) as f64 - 1.0
+}
+
+/// Lemma 3.1 specialised to a `c`-uniform system at `p = 1/2`: no algorithm
+/// can beat `2c − Θ(√c)` expected probes.
+pub fn uniform_probabilistic_lower(c: usize) -> f64 {
+    2.0 * c as f64 - 2.0 * (c as f64 / std::f64::consts::PI).sqrt()
+}
+
+/// Corollary 3.7 / Proposition 3.6: the exponent of the Tree system's
+/// probabilistic probe complexity, `log_2(1 + p)` for `p ≤ 1/2` (and by the
+/// symmetry `F_p + F_{1−p} = 1`, `log_2(2 − p)` is never needed — the paper
+/// takes the worst case `p = 1/2`, giving `log_2 1.5 ≈ 0.585`).
+pub fn tree_probabilistic_exponent(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let p = p.min(1.0 - p);
+    (1.0 + p).log2()
+}
+
+/// Theorem 3.8: the exponent of HQS's probabilistic probe complexity at
+/// `p = 1/2`: `log_3 2.5 ≈ 0.834`.
+pub fn hqs_probabilistic_exponent_symmetric() -> f64 {
+    2.5f64.log(3.0)
+}
+
+/// Theorem 3.8: the exponent of HQS's probabilistic probe complexity for
+/// `p ≠ 1/2`: `log_3 2 ≈ 0.631`.
+pub fn hqs_probabilistic_exponent_biased() -> f64 {
+    2.0f64.log(3.0)
+}
+
+/// Theorem 4.2: the exact randomized probe complexity of Majority,
+/// `n − (n−1)/(n+3)`.
+pub fn maj_randomized_exact(n: usize) -> f64 {
+    assert!(n % 2 == 1, "majority is defined for odd n");
+    n as f64 - (n as f64 - 1.0) / (n as f64 + 3.0)
+}
+
+/// Theorem 4.4: the worst-case expected probes of `R_Probe_CW` on a wall with
+/// the given row widths: `max_j { n_j + Σ_{i>j} ((n_i+1)/2 + 1/n_i) }`.
+pub fn cw_randomized_upper(widths: &[usize]) -> f64 {
+    assert!(!widths.is_empty(), "a wall needs at least one row");
+    (0..widths.len())
+        .map(|j| {
+            widths[j] as f64
+                + widths[j + 1..]
+                    .iter()
+                    .map(|&ni| (ni as f64 + 1.0) / 2.0 + 1.0 / ni as f64)
+                    .sum::<f64>()
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Theorem 4.6: the Yao lower bound `(n + k)/2` for any `(1, n_2, …, n_k)`-CW.
+pub fn cw_randomized_lower(n: usize, rows: usize) -> f64 {
+    (n + rows) as f64 / 2.0
+}
+
+/// Corollary 4.5(1): `PC_R(R_Probe_CW, Triang) ≤ (n + k)/2 + log k`.
+pub fn triang_randomized_upper(n: usize, rows: usize) -> f64 {
+    (n + rows) as f64 / 2.0 + (rows as f64).ln()
+}
+
+/// Corollary 4.5(2): `PC_R(R_Probe_CW, Wheel) = n − 1`.
+pub fn wheel_randomized(n: usize) -> f64 {
+    n as f64 - 1.0
+}
+
+/// Theorem 4.7: `PC_R(R_Probe_Tree) ≤ 5n/6 + 1/6`.
+pub fn tree_randomized_upper(n: usize) -> f64 {
+    5.0 * n as f64 / 6.0 + 1.0 / 6.0
+}
+
+/// Theorem 4.8: `PC_R(Tree) ≥ 2(n+1)/3`.
+pub fn tree_randomized_lower(n: usize) -> f64 {
+    2.0 * (n as f64 + 1.0) / 3.0
+}
+
+/// Theorem 4.1: any randomized algorithm needs at least `m` probes, where `m`
+/// is the maximal quorum size.
+pub fn randomized_lower_max_quorum(max_quorum: usize) -> f64 {
+    max_quorum as f64
+}
+
+/// Proposition 4.9: the exponent of `R_Probe_HQS`, `log_3(8/3) ≈ 0.893`.
+pub fn hqs_randomized_exponent_plain() -> f64 {
+    (8.0f64 / 3.0).log(3.0)
+}
+
+/// Theorem 4.10: the exponent of `IR_Probe_HQS`, `log_9(189.5/27) ≈ 0.887`
+/// (the recursion descends two levels at a time, hence the base-9 logarithm).
+pub fn hqs_randomized_exponent_improved() -> f64 {
+    (189.5f64 / 27.0).log(9.0)
+}
+
+/// Corollary 4.13: the lower-bound exponent for any randomized HQS algorithm,
+/// `log_3 2.5 ≈ 0.834`.
+pub fn hqs_randomized_exponent_lower() -> f64 {
+    2.5f64.log(3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_exponents() {
+        // The headline exponents of Table 1.
+        assert!((tree_probabilistic_exponent(0.5) - 0.585).abs() < 0.001);
+        assert!((hqs_probabilistic_exponent_symmetric() - 0.834).abs() < 0.001);
+        assert!((hqs_probabilistic_exponent_biased() - 0.631).abs() < 0.001);
+        assert!((hqs_randomized_exponent_plain() - 0.893).abs() < 0.001);
+        assert!((hqs_randomized_exponent_improved() - 0.887).abs() < 0.001);
+        assert!((hqs_randomized_exponent_lower() - 0.834).abs() < 0.001);
+    }
+
+    #[test]
+    fn maj_randomized_values() {
+        assert!((maj_randomized_exact(3) - 8.0 / 3.0).abs() < 1e-12);
+        assert!((maj_randomized_exact(5) - 4.5).abs() < 1e-12);
+        // n − 1 < PC_R < n for all n.
+        for n in (3..100).step_by(2) {
+            let v = maj_randomized_exact(n);
+            assert!(v > n as f64 - 1.0 && v < n as f64);
+        }
+    }
+
+    #[test]
+    fn maj_probabilistic_shapes() {
+        // Symmetric case grows like n − Θ(√n): gap to n grows with n but the
+        // ratio to n tends to 1.
+        let v = maj_probabilistic(101, 0.5);
+        assert!(v < 101.0 && v > 85.0);
+        // Biased case: roughly (n/2)/q.
+        let v = maj_probabilistic(101, 0.2);
+        assert!((v - 51.0 / 0.8).abs() < 1e-9);
+        // p and q play symmetric roles.
+        assert!((maj_probabilistic(101, 0.2) - maj_probabilistic(101, 0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cw_bounds() {
+        assert_eq!(cw_probabilistic_upper(4), 7.0);
+        // Wheel as (1, n−1)-CW: R_Probe_CW upper bound must be close to n−1.
+        let widths = [1usize, 9];
+        let upper = cw_randomized_upper(&widths);
+        assert!((upper - wheel_randomized(10)).abs() <= 1.0 + 1e-9, "upper {upper}");
+        // Triang: the explicit maximum is below the closed-form corollary.
+        let widths: Vec<usize> = (1..=6).collect();
+        let n: usize = widths.iter().sum();
+        let exact = cw_randomized_upper(&widths);
+        let corollary = triang_randomized_upper(n, 6);
+        assert!(exact <= corollary + 1e-9, "exact {exact} vs corollary {corollary}");
+        // And above the Yao lower bound.
+        assert!(exact + 1e-9 >= cw_randomized_lower(n, 6));
+    }
+
+    #[test]
+    fn tree_bounds_order() {
+        for h in 1..10usize {
+            let n = (1usize << (h + 1)) - 1;
+            // The bounds coincide at h = 1 (both 8/3) and separate afterwards.
+            assert!(tree_randomized_lower(n) <= tree_randomized_upper(n) + 1e-12);
+            assert!(tree_randomized_upper(n) < n as f64);
+            assert!(randomized_lower_max_quorum((n + 1) / 2) <= tree_randomized_lower(n));
+        }
+    }
+
+    #[test]
+    fn uniform_lower_bound_is_below_double_quorum() {
+        for c in [4usize, 16, 100] {
+            let v = uniform_probabilistic_lower(c);
+            assert!(v < 2.0 * c as f64);
+            assert!(v > 2.0 * c as f64 - 2.0 * (c as f64).sqrt());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn maj_bounds_require_odd_n() {
+        let _ = maj_randomized_exact(4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Log–log power-law fitting.
+//!
+//! The paper's headline results are exponents: `PPC(Tree) = O(n^{0.585})`,
+//! `PPC(HQS) = Θ(n^{0.834})`, `PC_R(HQS) = O(n^{0.887})`, and so on.  To check
+//! them empirically we measure the expected probe count at several universe
+//! sizes and fit `cost ≈ a · n^b` by least squares in log–log space; the
+//! fitted `b` is compared against the paper's exponent.
+
+/// The result of fitting `y ≈ a · x^b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The multiplicative constant `a`.
+    pub coefficient: f64,
+    /// The exponent `b`.
+    pub exponent: f64,
+    /// The coefficient of determination (R²) of the fit in log–log space.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Evaluates the fitted curve at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y ≈ a · x^b` to the given points by ordinary least squares on
+/// `(ln x, ln y)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or any coordinate is not
+/// strictly positive.
+pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
+    assert!(points.len() >= 2, "need at least two points to fit a power law");
+    for &(x, y) in points {
+        assert!(x > 0.0 && y > 0.0, "power-law fitting requires positive coordinates, got ({x}, {y})");
+    }
+    let n = points.len() as f64;
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let syy: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    assert!(sxx > 0.0, "all x values are identical; cannot fit an exponent");
+    let exponent = sxy / sxx;
+    let intercept = mean_y - exponent * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    PowerLawFit { coefficient: intercept.exp(), exponent, r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_power_law_is_recovered() {
+        let points: Vec<(f64, f64)> = (1..=10).map(|i| {
+            let x = (i * 7) as f64;
+            (x, 3.5 * x.powf(0.83))
+        }).collect();
+        let fit = fit_power_law(&points);
+        assert!((fit.exponent - 0.83).abs() < 1e-9);
+        assert!((fit.coefficient - 3.5).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+        assert!((fit.predict(100.0) - 3.5 * 100f64.powf(0.83)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_power_law_is_approximately_recovered() {
+        // Deterministic "noise" of a few percent must not move the exponent
+        // much.
+        let points: Vec<(f64, f64)> = (1..=12).map(|i| {
+            let x = (10 * i) as f64;
+            let noise = 1.0 + 0.03 * ((i as f64) * 1.7).sin();
+            (x, 2.0 * x.powf(0.585) * noise)
+        }).collect();
+        let fit = fit_power_law(&points);
+        assert!((fit.exponent - 0.585).abs() < 0.03, "exponent {}", fit.exponent);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn linear_data_yields_exponent_one() {
+        let points: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 4.0 * i as f64)).collect();
+        let fit = fit_power_law(&points);
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn too_few_points_panics() {
+        let _ = fit_power_law(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn nonpositive_coordinates_panic() {
+        let _ = fit_power_law(&[(1.0, 1.0), (2.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn identical_x_values_panic() {
+        let _ = fit_power_law(&[(2.0, 1.0), (2.0, 3.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fit_recovers_exponent(a in 0.1f64..10.0, b in 0.1f64..2.0) {
+            let points: Vec<(f64, f64)> = (1..=10).map(|i| {
+                let x = (i * 13) as f64;
+                (x, a * x.powf(b))
+            }).collect();
+            let fit = fit_power_law(&points);
+            prop_assert!((fit.exponent - b).abs() < 1e-6);
+        }
+    }
+}

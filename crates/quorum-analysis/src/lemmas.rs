@@ -1,0 +1,310 @@
+//! The paper's technical lemmas (Section 2.4), as executable formulas.
+//!
+//! Each function states the lemma it implements; the unit and property tests
+//! cross-check the closed forms against direct combinatorial computation, so
+//! the formulas can be trusted when they are used to predict the behaviour of
+//! the probing algorithms.
+
+/// Fact 2.7: drawing without replacement from an urn with `r` red and `g`
+/// green elements, the expected number of draws until the first red element is
+/// `(r + g + 1) / (r + 1)`.
+///
+/// # Panics
+///
+/// Panics if `r == 0` (there is no red element to find).
+pub fn expected_draws_to_first_red(r: usize, g: usize) -> f64 {
+    assert!(r > 0, "the urn must contain at least one red element");
+    (r + g + 1) as f64 / (r + 1) as f64
+}
+
+/// Lemma 2.8: drawing without replacement from an urn with `r` red and `g`
+/// green elements (`n = r + g`), the expected number of draws until the `j`-th
+/// red element is `j (n + 1) / (r + 1)`.
+///
+/// # Panics
+///
+/// Panics if `j == 0` or `j > r`.
+pub fn expected_draws_to_jth_red(r: usize, g: usize, j: usize) -> f64 {
+    assert!(j >= 1 && j <= r, "need 1 <= j <= r, got j={j}, r={r}");
+    let n = r + g;
+    j as f64 * (n + 1) as f64 / (r + 1) as f64
+}
+
+/// Lemma 2.9: drawing without replacement from an urn with `r` red and `g`
+/// green elements, the expected number of draws until both colors have been
+/// seen is `1 + r/(g+1) + g/(r+1)`.
+///
+/// # Panics
+///
+/// Panics if either color class is empty.
+pub fn expected_draws_to_both_colors(r: usize, g: usize) -> f64 {
+    assert!(r > 0 && g > 0, "both colors must be present in the urn");
+    1.0 + r as f64 / (g + 1) as f64 + g as f64 / (r + 1) as f64
+}
+
+/// Lemma 2.4 (exact form): a walk on an `N × N` grid starts at the corner and
+/// moves right with probability `p` and up with probability `1 − p`; the
+/// function returns the exact expected number of steps until it first reaches
+/// the right or the top boundary (i.e. until it has taken `N` steps in one of
+/// the two directions).
+///
+/// Computed by dynamic programming in `O(N²)`.  The paper's asymptotic form is
+/// `2N − Θ(√N)` for `p = 1/2` and `N/q + o(1)` for `p < q`
+/// ([`grid_exit_time_asymptotic`]).
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability or `n == 0`.
+pub fn grid_exit_time_exact(n: usize, p: f64) -> f64 {
+    assert!(n > 0, "the grid must have at least one step");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    // expected[r][u]: expected remaining steps having already taken r right
+    // steps and u up steps.  Absorbing when r == n or u == n.
+    let q = 1.0 - p;
+    let mut expected = vec![vec![0.0f64; n + 1]; n + 1];
+    for r in (0..n).rev() {
+        for u in (0..n).rev() {
+            expected[r][u] = 1.0 + p * expected[r + 1][u] + q * expected[r][u + 1];
+        }
+    }
+    expected[0][0]
+}
+
+/// Lemma 2.4 (asymptotic form): `2N − Θ(√N)` for `p = q = 1/2`, `N/q + o(1)`
+/// for `p < q` (and symmetrically `N/p` for `p > q`).
+///
+/// In the symmetric case the `Θ(√N)` term is reported with the constant
+/// `2√(N/π)` — the expected surplus of the leading direction when the walk
+/// exits, the same quantity as in Banach's matchbox problem — which is the
+/// constant hiding inside the paper's `θ` notation.  The exact value for any
+/// finite `N` is available from [`grid_exit_time_exact`].
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability or `n == 0`.
+pub fn grid_exit_time_asymptotic(n: usize, p: f64) -> f64 {
+    assert!(n > 0, "the grid must have at least one step");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let q = 1.0 - p;
+    if (p - q).abs() < f64::EPSILON {
+        2.0 * n as f64 - 2.0 * (n as f64 / std::f64::consts::PI).sqrt()
+    } else {
+        n as f64 / p.max(q)
+    }
+}
+
+/// Lemma 2.5: for constants `a`, `c` and `0 < b < 1`, with `B = 1/(1−b)`,
+/// `∏_{i=1..h} (a + c·bⁱ) ≤ e^{Bc/a} · aʰ`.
+///
+/// Returns the pair `(product, bound)` so callers (and tests) can check the
+/// inequality and use either side.
+///
+/// # Panics
+///
+/// Panics unless `a > 0`, `c ≥ 0` and `0 < b < 1`.
+pub fn product_bound(a: f64, b: f64, c: f64, h: usize) -> (f64, f64) {
+    assert!(a > 0.0, "a must be positive");
+    assert!(c >= 0.0, "c must be nonnegative");
+    assert!(b > 0.0 && b < 1.0, "b must lie strictly between 0 and 1");
+    let product: f64 = (1..=h).map(|i| a + c * b.powi(i as i32)).product();
+    let big_b = 1.0 / (1.0 - b);
+    let bound = (big_b * c / a).exp() * a.powi(h as i32);
+    (product, bound)
+}
+
+/// Fact 2.6: solves the recursion `f(h) = bₕ + aₕ · f(h−1)` given `f(0)` and
+/// the per-step coefficients, returning `f(h)` for `h = coefficients.len()`.
+///
+/// The coefficient slice supplies `(a_i, b_i)` for `i = 1..=h` in order.
+pub fn solve_linear_recursion(f0: f64, coefficients: &[(f64, f64)]) -> f64 {
+    coefficients.iter().fold(f0, |f_prev, &(a, b)| b + a * f_prev)
+}
+
+/// Fact 2.6 (constant-coefficient form): `f(h) = f(0)·aʰ + b·Σ_{i<h} aⁱ`.
+pub fn solve_constant_recursion(f0: f64, a: f64, b: f64, h: usize) -> f64 {
+    let geometric: f64 = if (a - 1.0).abs() < 1e-15 {
+        h as f64
+    } else {
+        (a.powi(h as i32) - 1.0) / (a - 1.0)
+    };
+    f0 * a.powi(h as i32) + b * geometric
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force expectation of the draw index of the j-th red element by
+    /// enumerating all permutations being too expensive, we instead use the
+    /// linearity-free direct formula: iterate over all positions and compute
+    /// the probability that the j-th red appears at position t.
+    fn brute_jth_red(r: usize, g: usize, j: usize) -> f64 {
+        // P(T_j = t) = C(t-1, j-1) C(n-t, r-j) / C(n, r)
+        let n = r + g;
+        let choose = |n: usize, k: usize| -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            let mut acc = 1.0;
+            for i in 0..k {
+                acc *= (n - i) as f64 / (k - i) as f64;
+            }
+            acc
+        };
+        (j..=n)
+            .map(|t| t as f64 * choose(t - 1, j - 1) * choose(n - t, r - j) / choose(n, r))
+            .sum()
+    }
+
+    #[test]
+    fn fact_2_7_matches_brute_force() {
+        for (r, g) in [(1, 1), (2, 2), (3, 5), (5, 1), (1, 9)] {
+            let formula = expected_draws_to_first_red(r, g);
+            let brute = brute_jth_red(r, g, 1);
+            assert!((formula - brute).abs() < 1e-9, "r={r} g={g}: {formula} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn lemma_2_8_matches_brute_force() {
+        for (r, g, j) in [(3, 4, 2), (3, 4, 3), (5, 5, 4), (2, 8, 2), (4, 0, 2)] {
+            let formula = expected_draws_to_jth_red(r, g, j);
+            let brute = brute_jth_red(r, g, j);
+            assert!((formula - brute).abs() < 1e-9, "r={r} g={g} j={j}: {formula} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn lemma_2_8_specialises_to_fact_2_7() {
+        for (r, g) in [(1, 3), (4, 4), (7, 2)] {
+            assert!(
+                (expected_draws_to_jth_red(r, g, 1) - expected_draws_to_first_red(r, g)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_2_9_small_cases() {
+        // r = g = 1: always exactly 2 draws.
+        assert!((expected_draws_to_both_colors(1, 1) - 2.0).abs() < 1e-12);
+        // r = 1, g = 2: formula 1 + 1/3 + 2/2 = 7/3; brute force over the 3
+        // positions of the red element: positions 1,2,3 -> draws 2,3,... wait
+        // draws until both colors: red at position 1 -> 2 draws; red at 2 -> 2
+        // draws; red at 3 -> 3 draws; expectation (2+2+3)/3 = 7/3.
+        assert!((expected_draws_to_both_colors(1, 2) - 7.0 / 3.0).abs() < 1e-12);
+        // Symmetric in r and g.
+        assert!(
+            (expected_draws_to_both_colors(3, 7) - expected_draws_to_both_colors(7, 3)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn theorem_4_2_follows_from_lemma_2_8() {
+        // The Yao bound for Maj: j = r = k+1, g = k gives (k+1)(2k+2)/(k+2)
+        // = n − (n−1)/(n+3).
+        for k in 1..20usize {
+            let n = 2 * k + 1;
+            let via_lemma = expected_draws_to_jth_red(k + 1, k, k + 1);
+            let closed_form = n as f64 - (n as f64 - 1.0) / (n as f64 + 3.0);
+            assert!((via_lemma - closed_form).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_exit_time_exact_small_cases() {
+        // N = 1: one step always exits.
+        assert!((grid_exit_time_exact(1, 0.5) - 1.0).abs() < 1e-12);
+        // N = 2, p = 1/2: E = 1 + E[one more step unless...]; brute force:
+        // paths of length 2 always reach a boundary unless the two steps
+        // differ... compute: after 2 steps we have (2,0),(1,1),(0,2) with
+        // probs 1/4,1/2,1/4; (2,0) and (0,2) exited at step 2; from (1,1) one
+        // more step always exits -> E = 2 + 1/2 = 2.5.
+        assert!((grid_exit_time_exact(2, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_exit_time_biased_is_smaller() {
+        // With p far from 1/2 the walk exits faster than the symmetric case.
+        let symmetric = grid_exit_time_exact(50, 0.5);
+        let biased = grid_exit_time_exact(50, 0.1);
+        assert!(biased < symmetric);
+        // And close to the asymptotic N/max(p,q).
+        let asym = grid_exit_time_asymptotic(50, 0.1);
+        assert!((biased - asym).abs() / asym < 0.05, "{biased} vs {asym}");
+    }
+
+    #[test]
+    fn grid_exit_time_symmetric_matches_asymptotic_shape() {
+        // 2N − Θ(√N): the gap 2N − E(T) must scale like √N — quadrupling N
+        // should double the gap — and the asymptotic formula must be close to
+        // the exact value for moderately large N.
+        let gap = |n: usize| 2.0 * n as f64 - grid_exit_time_exact(n, 0.5);
+        let ratio = gap(400) / gap(100);
+        assert!((ratio - 2.0).abs() < 0.25, "gap should scale like sqrt(N), ratio {ratio}");
+        let exact = grid_exit_time_exact(400, 0.5);
+        let asym = grid_exit_time_asymptotic(400, 0.5);
+        assert!((exact - asym).abs() / exact < 0.05, "exact {exact} vs asymptotic {asym}");
+    }
+
+    #[test]
+    fn product_bound_holds() {
+        for (a, b, c, h) in [(2.0, 0.5, 1.0, 10), (1.5, 0.75, 2.0, 20), (2.0, 0.25, 0.5, 5)] {
+            let (product, bound) = product_bound(a, b, c, h);
+            assert!(product <= bound * (1.0 + 1e-12), "a={a} b={b} c={c} h={h}");
+        }
+    }
+
+    #[test]
+    fn recursion_solvers_agree() {
+        // Constant coefficients: both forms must match.
+        let coeffs: Vec<(f64, f64)> = std::iter::repeat((2.0, 2.0 / 3.0)).take(6).collect();
+        let iterative = solve_linear_recursion(1.0, &coeffs);
+        let closed = solve_constant_recursion(1.0, 2.0, 2.0 / 3.0, 6);
+        assert!((iterative - closed).abs() < 1e-9);
+        // Theorem 4.7's recursion: T_h = 2/3 + 2 T_{h-1}, T_0 = 1 solves to
+        // 5n/6 + 1/6 with n = 2^{h+1} − 1.
+        for h in 1..12usize {
+            let value = solve_constant_recursion(1.0, 2.0, 2.0 / 3.0, h);
+            let n = (1usize << (h + 1)) - 1;
+            let closed_form = 5.0 * n as f64 / 6.0 + 1.0 / 6.0;
+            assert!((value - closed_form).abs() < 1e-6, "h={h}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one red")]
+    fn first_red_needs_a_red_element() {
+        let _ = expected_draws_to_first_red(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= j <= r")]
+    fn jth_red_validates_j() {
+        let _ = expected_draws_to_jth_red(3, 3, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lemma_2_8_matches_brute_force(r in 1usize..8, g in 0usize..8, j_seed in 0usize..8) {
+            let j = j_seed % r + 1;
+            let formula = expected_draws_to_jth_red(r, g, j);
+            let brute = brute_jth_red(r, g, j);
+            prop_assert!((formula - brute).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_first_red_bounds(r in 1usize..20, g in 0usize..20) {
+            let e = expected_draws_to_first_red(r, g);
+            prop_assert!(e >= 1.0);
+            prop_assert!(e <= (g + 1) as f64);
+        }
+
+        #[test]
+        fn prop_grid_exit_time_bounds(n in 1usize..60, p in 0.01f64..0.99) {
+            let e = grid_exit_time_exact(n, p);
+            prop_assert!(e >= n as f64);
+            prop_assert!(e <= (2 * n) as f64);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Summary statistics for Monte-Carlo experiments.
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use quorum_analysis::RunningStats;
+///
+/// let mut stats = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     stats.push(x);
+/// }
+/// assert_eq!(stats.count(), 8);
+/// assert!((stats.mean() - 5.0).abs() < 1e-12);
+/// assert!((stats.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (dividing by `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (dividing by `n − 1`; 0 with fewer than two samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// A frozen summary of the accumulated statistics.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            std_error: self.std_error(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut stats = RunningStats::new();
+        stats.extend(iter);
+        stats
+    }
+}
+
+/// A frozen summary of a sample: produced by [`RunningStats::summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// A symmetric confidence half-width `z · SE` around the mean (use
+    /// `z = 1.96` for a 95% normal interval).
+    pub fn half_width(&self, z: f64) -> f64 {
+        z * self.std_error
+    }
+
+    /// Whether `value` lies within `z` standard errors of the mean.
+    pub fn is_consistent_with(&self, value: f64, z: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let stats = RunningStats::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.sample_variance(), 0.0);
+        assert_eq!(stats.std_error(), 0.0);
+    }
+
+    #[test]
+    fn known_dataset() {
+        let stats: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(stats.count(), 8);
+        assert!((stats.mean() - 5.0).abs() < 1e-12);
+        assert!((stats.population_variance() - 4.0).abs() < 1e-12);
+        assert!((stats.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(stats.min(), 2.0);
+        assert_eq!(stats.max(), 9.0);
+        let summary = stats.summary();
+        assert!(summary.is_consistent_with(5.0, 1.0));
+        assert!(!summary.is_consistent_with(100.0, 3.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let sequential: RunningStats = all.iter().copied().collect();
+        let mut left: RunningStats = all[..37].iter().copied().collect();
+        let right: RunningStats = all[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert!((left.mean() - sequential.mean()).abs() < 1e-9);
+        assert!((left.sample_variance() - sequential.sample_variance()).abs() < 1e-9);
+        assert_eq!(left.min(), sequential.min());
+        assert_eq!(left.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = stats;
+        stats.merge(&RunningStats::new());
+        assert_eq!(stats, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let stats: RunningStats = xs.iter().copied().collect();
+            prop_assert!(stats.mean() >= stats.min() - 1e-9);
+            prop_assert!(stats.mean() <= stats.max() + 1e-9);
+            prop_assert!(stats.sample_variance() >= 0.0);
+        }
+
+        #[test]
+        fn prop_mean_matches_naive(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let stats: RunningStats = xs.iter().copied().collect();
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((stats.mean() - naive).abs() < 1e-9);
+        }
+    }
+}

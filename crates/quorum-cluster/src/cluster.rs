@@ -1,0 +1,346 @@
+//! The simulated cluster and the probe-over-RPC client.
+
+use quorum_core::{Color, Coloring, ElementSet, QuorumSystem, Witness};
+use quorum_probe::{run_strategy, ProbeStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::node::Node;
+use crate::{NetworkConfig, NodeId, NodeState, SimTime};
+
+/// A deterministic simulation of a cluster of processors probed over RPC.
+///
+/// The cluster owns a virtual clock, one [`Node`] per quorum-system element, a
+/// [`NetworkConfig`] and a seeded RNG for latency jitter, so every run is
+/// reproducible from its seed.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    config: NetworkConfig,
+    clock: SimTime,
+    rpcs: u64,
+    rng: StdRng,
+}
+
+/// The outcome of locating a live quorum on the cluster with a probe strategy.
+#[derive(Debug, Clone)]
+pub struct QuorumAcquisition {
+    /// The witness produced by the strategy (green = a live quorum was found).
+    pub witness: Witness,
+    /// Number of elements probed.
+    pub probes: usize,
+    /// Number of RPCs issued (equal to `probes`: one RPC per probed element).
+    pub rpcs: u64,
+    /// Virtual time spent probing (round trips plus timeouts).
+    pub elapsed: SimTime,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` live nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network configuration is inconsistent (see
+    /// [`NetworkConfig::is_valid`]).
+    pub fn new(n: usize, config: NetworkConfig, seed: u64) -> Self {
+        assert!(config.is_valid(), "inconsistent network configuration");
+        Cluster {
+            nodes: (0..n).map(|_| Node::new()).collect(),
+            config,
+            clock: SimTime::ZERO,
+            rpcs: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of nodes (the universe size of the systems it can host).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Total RPCs issued so far.
+    pub fn total_rpcs(&self) -> u64 {
+        self.rpcs
+    }
+
+    /// The state of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn state(&self, node: NodeId) -> NodeState {
+        self.nodes[node].state
+    }
+
+    /// Crashes a node (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn crash(&mut self, node: NodeId) {
+        let entry = &mut self.nodes[node];
+        if entry.state.is_up() {
+            entry.state = NodeState::Crashed;
+            entry.crash_count += 1;
+        }
+    }
+
+    /// Restarts a crashed node (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn recover(&mut self, node: NodeId) {
+        self.nodes[node].state = NodeState::Up;
+    }
+
+    /// Crashes exactly the nodes in `red` and recovers every other node.
+    pub fn apply_coloring(&mut self, coloring: &Coloring) {
+        assert_eq!(coloring.universe_size(), self.len(), "coloring universe does not match cluster size");
+        for (node, color) in coloring.iter() {
+            match color {
+                Color::Red => self.crash(node),
+                Color::Green => self.recover(node),
+            }
+        }
+    }
+
+    /// Crashes each node independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn inject_iid_failures(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        for node in 0..self.len() {
+            if self.rng.gen_bool(p) {
+                self.crash(node);
+            }
+        }
+    }
+
+    /// The ground-truth liveness as a coloring (crashed = red).
+    pub fn liveness_coloring(&self) -> Coloring {
+        Coloring::from_fn(self.len(), |node| {
+            if self.nodes[node].state.is_up() {
+                Color::Green
+            } else {
+                Color::Red
+            }
+        })
+    }
+
+    /// The set of live nodes.
+    pub fn live_set(&self) -> ElementSet {
+        ElementSet::from_iter(
+            self.len(),
+            (0..self.len()).filter(|&node| self.nodes[node].state.is_up()),
+        )
+    }
+
+    /// Issues one probe RPC to `node`, advancing the virtual clock by the
+    /// round-trip time (live node) or the probe timeout (crashed node), and
+    /// returns the observed color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn probe_rpc(&mut self, node: NodeId) -> Color {
+        self.rpcs += 1;
+        self.nodes[node].probes_received += 1;
+        if self.nodes[node].state.is_up() {
+            let min = self.config.min_latency.as_micros();
+            let max = self.config.max_latency.as_micros();
+            let rtt = if max > min { self.rng.gen_range(min..=max) } else { min };
+            self.clock += SimTime::from_micros(rtt);
+            Color::Green
+        } else {
+            self.clock += self.config.probe_timeout;
+            Color::Red
+        }
+    }
+
+    /// Runs a probe strategy against the cluster to locate a live quorum of
+    /// `system` (or a certificate that none exists).
+    ///
+    /// The strategy is executed against the current liveness snapshot — the
+    /// paper's model, in which the colors do not change while a single client
+    /// is probing — and every element it probes is charged as one RPC with the
+    /// corresponding latency or timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system universe does not match the cluster size.
+    pub fn probe_for_quorum<S, T>(&mut self, system: &S, strategy: &T) -> QuorumAcquisition
+    where
+        S: QuorumSystem + ?Sized,
+        T: ProbeStrategy<S> + ?Sized,
+    {
+        assert_eq!(
+            system.universe_size(),
+            self.len(),
+            "system universe does not match cluster size"
+        );
+        let start = self.clock;
+        let coloring = self.liveness_coloring();
+        let mut strategy_rng = StdRng::seed_from_u64(self.rng.gen());
+        let run = run_strategy(system, strategy, &coloring, &mut strategy_rng);
+        // Charge the RPCs for every probe the strategy made, in order.
+        for &element in &run.sequence {
+            let observed = self.probe_rpc(element);
+            debug_assert_eq!(observed, coloring.color(element), "cluster state changed mid-probe");
+        }
+        QuorumAcquisition {
+            witness: run.witness,
+            probes: run.probes,
+            rpcs: run.probes as u64,
+            elapsed: self.clock.saturating_sub(start),
+        }
+    }
+
+    /// Number of probes received by a node so far (for load inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn probes_received(&self, node: NodeId) -> u64 {
+        self.nodes[node].probes_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_probe::strategies::{ProbeCw, ProbeMaj, SequentialScan};
+    use quorum_systems::{CrumblingWalls, Majority};
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, NetworkConfig::lan(), 42)
+    }
+
+    #[test]
+    fn new_cluster_is_all_live() {
+        let c = cluster(5);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert!(c.liveness_coloring().green_set().is_full());
+        assert_eq!(c.live_set().len(), 5);
+    }
+
+    #[test]
+    fn crash_and_recover() {
+        let mut c = cluster(4);
+        c.crash(2);
+        c.crash(2); // idempotent
+        assert_eq!(c.state(2), NodeState::Crashed);
+        assert_eq!(c.live_set().to_vec(), vec![0, 1, 3]);
+        c.recover(2);
+        assert_eq!(c.state(2), NodeState::Up);
+    }
+
+    #[test]
+    fn apply_coloring_sets_exact_state() {
+        let mut c = cluster(4);
+        let coloring = Coloring::from_red_set(&ElementSet::from_iter(4, [1, 3]));
+        c.apply_coloring(&coloring);
+        assert_eq!(c.liveness_coloring(), coloring);
+        // Re-applying the all-green coloring recovers everyone.
+        c.apply_coloring(&Coloring::all_green(4));
+        assert!(c.live_set().is_full());
+    }
+
+    #[test]
+    fn probe_rpc_costs_latency_or_timeout() {
+        let mut c = cluster(2);
+        c.crash(1);
+        let before = c.now();
+        assert_eq!(c.probe_rpc(0), Color::Green);
+        let after_live = c.now();
+        assert!(after_live > before);
+        assert!(after_live - before <= NetworkConfig::lan().max_latency);
+        assert_eq!(c.probe_rpc(1), Color::Red);
+        let after_dead = c.now();
+        assert_eq!(after_dead - after_live, NetworkConfig::lan().probe_timeout);
+        assert_eq!(c.total_rpcs(), 2);
+        assert_eq!(c.probes_received(0), 1);
+        assert_eq!(c.probes_received(1), 1);
+    }
+
+    #[test]
+    fn probe_for_quorum_on_healthy_cluster() {
+        let maj = Majority::new(7).unwrap();
+        let mut c = cluster(7);
+        let acq = c.probe_for_quorum(&maj, &ProbeMaj::new());
+        assert!(acq.witness.is_green());
+        assert_eq!(acq.probes, 4);
+        assert_eq!(acq.rpcs, 4);
+        assert!(acq.elapsed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn probe_for_quorum_with_failures_reports_outage() {
+        let maj = Majority::new(5).unwrap();
+        let mut c = cluster(5);
+        for node in 0..3 {
+            c.crash(node);
+        }
+        let acq = c.probe_for_quorum(&maj, &SequentialScan::new());
+        assert!(acq.witness.is_red());
+        // Three timeouts dominate the elapsed time.
+        assert!(acq.elapsed >= NetworkConfig::lan().probe_timeout);
+    }
+
+    #[test]
+    fn probing_is_cheap_when_few_probes_are_needed() {
+        // Crumbling wall on a mostly healthy cluster: the number of RPCs is
+        // far below the universe size (that is the whole point of the paper).
+        let wall = CrumblingWalls::triang(8).unwrap(); // 36 elements
+        let mut c = Cluster::new(wall.universe_size(), NetworkConfig::lan(), 3);
+        c.inject_iid_failures(0.3);
+        let acq = c.probe_for_quorum(&wall, &ProbeCw::new());
+        assert!(acq.probes <= wall.universe_size());
+        assert!(acq.rpcs == acq.probes as u64);
+        acq.witness.verify(&wall, &c.liveness_coloring()).unwrap();
+    }
+
+    #[test]
+    fn iid_failure_injection_is_seeded_and_in_range() {
+        let mut a = Cluster::new(50, NetworkConfig::lan(), 9);
+        let mut b = Cluster::new(50, NetworkConfig::lan(), 9);
+        a.inject_iid_failures(0.4);
+        b.inject_iid_failures(0.4);
+        assert_eq!(a.liveness_coloring(), b.liveness_coloring(), "same seed, same failures");
+        let crashed = 50 - a.live_set().len();
+        assert!(crashed > 5 && crashed < 40, "implausible crash count {crashed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match cluster size")]
+    fn system_size_mismatch_panics() {
+        let maj = Majority::new(5).unwrap();
+        let mut c = cluster(7);
+        let _ = c.probe_for_quorum(&maj, &ProbeMaj::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent network configuration")]
+    fn invalid_network_config_panics() {
+        let broken = NetworkConfig {
+            min_latency: SimTime::from_millis(5),
+            max_latency: SimTime::from_millis(1),
+            probe_timeout: SimTime::from_millis(10),
+        };
+        let _ = Cluster::new(3, broken, 1);
+    }
+}

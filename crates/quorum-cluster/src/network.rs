@@ -1,0 +1,79 @@
+//! Network model: latency and probe timeout.
+
+use crate::SimTime;
+
+/// Configuration of the simulated network.
+///
+/// Probe RPCs to live nodes take a round-trip time drawn uniformly from
+/// `[min_latency, max_latency]`; probes to crashed nodes cost `probe_timeout`
+/// (the client gives up after that long and colors the element red).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Smallest round-trip time to a live node.
+    pub min_latency: SimTime,
+    /// Largest round-trip time to a live node.
+    pub max_latency: SimTime,
+    /// How long the client waits before declaring a node crashed.
+    pub probe_timeout: SimTime,
+}
+
+impl NetworkConfig {
+    /// A LAN-like profile: 0.2–1 ms round trips, 10 ms timeout.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            min_latency: SimTime::from_micros(200),
+            max_latency: SimTime::from_millis(1),
+            probe_timeout: SimTime::from_millis(10),
+        }
+    }
+
+    /// A WAN-like profile: 20–80 ms round trips, 500 ms timeout.
+    pub fn wan() -> Self {
+        NetworkConfig {
+            min_latency: SimTime::from_millis(20),
+            max_latency: SimTime::from_millis(80),
+            probe_timeout: SimTime::from_millis(500),
+        }
+    }
+
+    /// Validates the configuration (latencies ordered, timeout no smaller than
+    /// the largest latency).
+    pub fn is_valid(&self) -> bool {
+        self.min_latency <= self.max_latency && self.probe_timeout >= self.max_latency
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_valid() {
+        assert!(NetworkConfig::lan().is_valid());
+        assert!(NetworkConfig::wan().is_valid());
+        assert!(NetworkConfig::default().is_valid());
+        assert_eq!(NetworkConfig::default(), NetworkConfig::lan());
+    }
+
+    #[test]
+    fn invalid_configurations_are_detected() {
+        let broken = NetworkConfig {
+            min_latency: SimTime::from_millis(5),
+            max_latency: SimTime::from_millis(1),
+            probe_timeout: SimTime::from_millis(10),
+        };
+        assert!(!broken.is_valid());
+        let short_timeout = NetworkConfig {
+            min_latency: SimTime::from_micros(100),
+            max_latency: SimTime::from_millis(2),
+            probe_timeout: SimTime::from_millis(1),
+        };
+        assert!(!short_timeout.is_valid());
+    }
+}

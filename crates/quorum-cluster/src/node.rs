@@ -1,0 +1,77 @@
+//! Simulated processors.
+
+use std::fmt;
+
+/// Identifier of a simulated processor; identical to the quorum-system element
+/// it hosts.
+pub type NodeId = usize;
+
+/// The liveness state of a simulated processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// The processor answers probes.
+    Up,
+    /// The processor has crashed: probes time out.
+    Crashed,
+}
+
+impl NodeState {
+    /// Whether the node answers probes.
+    pub fn is_up(self) -> bool {
+        matches!(self, NodeState::Up)
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeState::Up => write!(f, "up"),
+            NodeState::Crashed => write!(f, "crashed"),
+        }
+    }
+}
+
+/// A simulated processor: liveness plus bookkeeping counters.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Current liveness.
+    pub state: NodeState,
+    /// Number of probe requests delivered to this node (timeouts included).
+    pub probes_received: u64,
+    /// Number of times this node has crashed.
+    pub crash_count: u64,
+}
+
+impl Node {
+    /// A fresh, live node.
+    pub fn new() -> Self {
+        Node { state: NodeState::Up, probes_received: 0, crash_count: 0 }
+    }
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_starts_up() {
+        let node = Node::new();
+        assert!(node.state.is_up());
+        assert_eq!(node.probes_received, 0);
+        assert_eq!(node.crash_count, 0);
+        assert_eq!(Node::default().state, NodeState::Up);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(NodeState::Up.to_string(), "up");
+        assert_eq!(NodeState::Crashed.to_string(), "crashed");
+        assert!(!NodeState::Crashed.is_up());
+    }
+}

@@ -1,0 +1,291 @@
+//! Quorum systems as monotone boolean functions.
+//!
+//! Definition 1 of the paper: the characteristic function of a quorum system
+//! `S` is `f_S(x_1, …, x_n) = ⋁_{Q ∈ S} ⋀_{i ∈ Q} x_i`; its minterms are
+//! exactly the quorums.  A coterie is nondominated iff `f_S` is self-dual.
+
+use crate::{ElementSet, QuorumError, QuorumSystem};
+
+/// A view of a quorum system as its monotone characteristic boolean function.
+///
+/// The wrapper borrows the system and adds function-level operations:
+/// evaluation on assignments, minterm/maxterm enumeration, monotonicity and
+/// self-duality checks (the latter being the nondomination test).
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::{CharacteristicFunction, Coterie, ElementSet};
+///
+/// let maj3 = Coterie::new(3, vec![
+///     ElementSet::from_iter(3, [0, 1]),
+///     ElementSet::from_iter(3, [0, 2]),
+///     ElementSet::from_iter(3, [1, 2]),
+/// ]).unwrap();
+/// let f = CharacteristicFunction::new(&maj3);
+/// assert!(f.evaluate(&ElementSet::from_iter(3, [0, 1])));
+/// assert!(!f.evaluate(&ElementSet::from_iter(3, [2])));
+/// assert!(f.is_self_dual().unwrap());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CharacteristicFunction<'a, S: QuorumSystem + ?Sized> {
+    system: &'a S,
+}
+
+impl<'a, S: QuorumSystem + ?Sized> CharacteristicFunction<'a, S> {
+    /// Wraps a quorum system.
+    pub fn new(system: &'a S) -> Self {
+        CharacteristicFunction { system }
+    }
+
+    /// The number of boolean variables (the universe size).
+    pub fn arity(&self) -> usize {
+        self.system.universe_size()
+    }
+
+    /// Evaluates `f_S` on the assignment in which exactly the elements of
+    /// `true_set` are assigned 1.
+    pub fn evaluate(&self, true_set: &ElementSet) -> bool {
+        self.system.contains_quorum(true_set)
+    }
+
+    /// Evaluates the *dual* function `f*(x) = ¬f(¬x)` on the assignment.
+    pub fn evaluate_dual(&self, true_set: &ElementSet) -> bool {
+        !self.system.contains_quorum(&true_set.complement())
+    }
+
+    /// Enumerates the minterms of `f_S` (= the quorums of `S`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuorumError`] from the system's quorum enumeration.
+    pub fn minterms(&self) -> Result<Vec<ElementSet>, QuorumError> {
+        self.system.enumerate_quorums()
+    }
+
+    /// Enumerates the maxterms of `f_S`: the minimal sets whose removal makes
+    /// the function false, i.e. the minimal transversals of `S`.
+    ///
+    /// For a nondominated coterie the maxterms equal the minterms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::UniverseTooLarge`] if the universe exceeds 24
+    /// elements (the enumeration is exponential).
+    pub fn maxterms(&self) -> Result<Vec<ElementSet>, QuorumError> {
+        let n = self.arity();
+        if n > 24 {
+            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+        }
+        let mut out = Vec::new();
+        for mask in 0u64..(1u64 << n) {
+            let set = ElementSet::from_mask(n, mask);
+            // `set` is a maxterm iff f(U \ set) = 0 and removing any element of
+            // `set` (i.e. adding it back to the complement) makes f true.
+            if self.evaluate(&set.complement()) {
+                continue;
+            }
+            let minimal = set.iter().all(|e| self.evaluate(&set.without(e).complement()));
+            if minimal {
+                out.push(set);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Verifies that the function is monotone by exhaustive check
+    /// (adding elements never turns the value from 1 to 0).
+    ///
+    /// All functions arising from quorum systems are monotone by construction;
+    /// this check exists to validate hand-written [`QuorumSystem`]
+    /// implementations in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::UniverseTooLarge`] if the universe exceeds 20
+    /// elements.
+    pub fn is_monotone(&self) -> Result<bool, QuorumError> {
+        let n = self.arity();
+        if n > 20 {
+            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 20 });
+        }
+        for mask in 0u64..(1u64 << n) {
+            let set = ElementSet::from_mask(n, mask);
+            if !self.evaluate(&set) {
+                continue;
+            }
+            for e in 0..n {
+                if !set.contains(e) && !self.evaluate(&set.with(e)) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether `f_S` is self-dual, i.e. whether `S` is a nondominated coterie.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::UniverseTooLarge`] if the universe exceeds 24
+    /// elements.
+    pub fn is_self_dual(&self) -> Result<bool, QuorumError> {
+        let n = self.arity();
+        if n > 24 {
+            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+        }
+        for mask in 0u64..(1u64 << n) {
+            let set = ElementSet::from_mask(n, mask);
+            if self.evaluate(&set) != self.evaluate_dual(&set) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Counts the assignments on which the function evaluates to 1.
+    ///
+    /// Used by availability computations: `Pr[f = 1]` under iid failures is a
+    /// weighted version of this count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::UniverseTooLarge`] if the universe exceeds 24
+    /// elements.
+    pub fn count_satisfying(&self) -> Result<u64, QuorumError> {
+        let n = self.arity();
+        if n > 24 {
+            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+        }
+        let mut count = 0;
+        for mask in 0u64..(1u64 << n) {
+            if self.evaluate(&ElementSet::from_mask(n, mask)) {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coterie;
+
+    fn maj3() -> Coterie {
+        Coterie::new(
+            3,
+            vec![
+                ElementSet::from_iter(3, [0, 1]),
+                ElementSet::from_iter(3, [0, 2]),
+                ElementSet::from_iter(3, [1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluation_matches_quorum_containment() {
+        let system = maj3();
+        let f = CharacteristicFunction::new(&system);
+        assert_eq!(f.arity(), 3);
+        assert!(f.evaluate(&ElementSet::full(3)));
+        assert!(!f.evaluate(&ElementSet::empty(3)));
+        assert!(f.evaluate(&ElementSet::from_iter(3, [1, 2])));
+    }
+
+    #[test]
+    fn minterms_are_the_quorums() {
+        let system = maj3();
+        let f = CharacteristicFunction::new(&system);
+        let mut minterms = f.minterms().unwrap();
+        minterms.sort();
+        assert_eq!(minterms.len(), 3);
+        assert!(minterms.contains(&ElementSet::from_iter(3, [0, 1])));
+    }
+
+    #[test]
+    fn maxterms_equal_minterms_for_nd_coterie() {
+        let system = maj3();
+        let f = CharacteristicFunction::new(&system);
+        let mut minterms = f.minterms().unwrap();
+        let mut maxterms = f.maxterms().unwrap();
+        minterms.sort();
+        maxterms.sort();
+        assert_eq!(minterms, maxterms);
+    }
+
+    #[test]
+    fn maxterms_differ_for_dominated_coterie() {
+        // {{0,1},{0,2},{0,3}} is dominated by the star on 0; its minimal
+        // transversals include {0} alone.
+        let system = Coterie::new(
+            4,
+            vec![
+                ElementSet::from_iter(4, [0, 1]),
+                ElementSet::from_iter(4, [0, 2]),
+                ElementSet::from_iter(4, [0, 3]),
+            ],
+        )
+        .unwrap();
+        let f = CharacteristicFunction::new(&system);
+        let maxterms = f.maxterms().unwrap();
+        assert!(maxterms.contains(&ElementSet::from_iter(4, [0])));
+        assert!(!f.is_self_dual().unwrap());
+    }
+
+    #[test]
+    fn maj3_is_monotone_and_self_dual() {
+        let system = maj3();
+        let f = CharacteristicFunction::new(&system);
+        assert!(f.is_monotone().unwrap());
+        assert!(f.is_self_dual().unwrap());
+    }
+
+    #[test]
+    fn satisfying_count_for_maj3() {
+        // Sets of size >= 2 out of 3: C(3,2) + C(3,3) = 4.
+        let system = maj3();
+        let f = CharacteristicFunction::new(&system);
+        assert_eq!(f.count_satisfying().unwrap(), 4);
+    }
+
+    #[test]
+    fn dual_evaluation() {
+        let system = maj3();
+        let f = CharacteristicFunction::new(&system);
+        // Self-dual: dual and primal agree everywhere.
+        for mask in 0u64..8 {
+            let set = ElementSet::from_mask(3, mask);
+            assert_eq!(f.evaluate(&set), f.evaluate_dual(&set));
+        }
+    }
+
+    struct BigSystem;
+    impl QuorumSystem for BigSystem {
+        fn name(&self) -> String {
+            "Big".into()
+        }
+        fn universe_size(&self) -> usize {
+            30
+        }
+        fn contains_quorum(&self, set: &ElementSet) -> bool {
+            set.len() > 15
+        }
+        fn min_quorum_size(&self) -> usize {
+            16
+        }
+        fn max_quorum_size(&self) -> usize {
+            16
+        }
+    }
+
+    #[test]
+    fn exponential_checks_reject_large_universes() {
+        let f = CharacteristicFunction::new(&BigSystem);
+        assert!(matches!(f.maxterms(), Err(QuorumError::UniverseTooLarge { .. })));
+        assert!(matches!(f.is_monotone(), Err(QuorumError::UniverseTooLarge { .. })));
+        assert!(matches!(f.is_self_dual(), Err(QuorumError::UniverseTooLarge { .. })));
+        assert!(matches!(f.count_satisfying(), Err(QuorumError::UniverseTooLarge { .. })));
+    }
+}

@@ -1,0 +1,312 @@
+//! Colorings: alive/failed assignments to the elements of the universe.
+
+use std::fmt;
+
+use crate::{ElementId, ElementSet};
+
+/// The state of a single element (processor).
+///
+/// The paper colors a failed processor *red* and a live processor *green*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Color {
+    /// The processor is alive.
+    Green,
+    /// The processor has failed.
+    Red,
+}
+
+impl Color {
+    /// The opposite color (the paper's `¬Mode`).
+    #[must_use]
+    pub fn opposite(self) -> Color {
+        match self {
+            Color::Green => Color::Red,
+            Color::Red => Color::Green,
+        }
+    }
+
+    /// `true` when the color is [`Color::Green`].
+    pub fn is_green(self) -> bool {
+        matches!(self, Color::Green)
+    }
+
+    /// `true` when the color is [`Color::Red`].
+    pub fn is_red(self) -> bool {
+        matches!(self, Color::Red)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Color::Green => write!(f, "green"),
+            Color::Red => write!(f, "red"),
+        }
+    }
+}
+
+/// A complete assignment of colors to the universe: the *input* to a probing
+/// algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::{Color, Coloring};
+///
+/// let c = Coloring::from_colors(vec![Color::Green, Color::Red, Color::Green]);
+/// assert_eq!(c.universe_size(), 3);
+/// assert_eq!(c.color(1), Color::Red);
+/// assert_eq!(c.green_set().to_vec(), vec![0, 2]);
+/// assert_eq!(c.red_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Coloring {
+    colors: Vec<Color>,
+}
+
+impl Coloring {
+    /// Builds a coloring from an explicit vector of colors.
+    pub fn from_colors(colors: Vec<Color>) -> Self {
+        Coloring { colors }
+    }
+
+    /// Builds a coloring of `n` elements by calling `f(e)` for each element.
+    pub fn from_fn<F: FnMut(ElementId) -> Color>(n: usize, mut f: F) -> Self {
+        Coloring { colors: (0..n).map(|e| f(e)).collect() }
+    }
+
+    /// The all-green coloring (no failures).
+    pub fn all_green(n: usize) -> Self {
+        Coloring { colors: vec![Color::Green; n] }
+    }
+
+    /// The all-red coloring (every processor failed).
+    pub fn all_red(n: usize) -> Self {
+        Coloring { colors: vec![Color::Red; n] }
+    }
+
+    /// A coloring in which exactly the elements of `red` are red.
+    pub fn from_red_set(red: &ElementSet) -> Self {
+        let n = red.universe_size();
+        Coloring::from_fn(n, |e| if red.contains(e) { Color::Red } else { Color::Green })
+    }
+
+    /// A coloring in which exactly the elements of `green` are green.
+    pub fn from_green_set(green: &ElementSet) -> Self {
+        let n = green.universe_size();
+        Coloring::from_fn(n, |e| if green.contains(e) { Color::Green } else { Color::Red })
+    }
+
+    /// Number of elements in the universe.
+    pub fn universe_size(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// The color of element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn color(&self, e: ElementId) -> Color {
+        self.colors[e]
+    }
+
+    /// Whether element `e` is green.
+    pub fn is_green(&self, e: ElementId) -> bool {
+        self.color(e).is_green()
+    }
+
+    /// Whether element `e` is red.
+    pub fn is_red(&self, e: ElementId) -> bool {
+        self.color(e).is_red()
+    }
+
+    /// Overwrites the color of element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn set_color(&mut self, e: ElementId, color: Color) {
+        self.colors[e] = color;
+    }
+
+    /// The set of green elements.
+    pub fn green_set(&self) -> ElementSet {
+        let n = self.universe_size();
+        ElementSet::from_iter(n, (0..n).filter(|&e| self.is_green(e)))
+    }
+
+    /// The set of red elements.
+    pub fn red_set(&self) -> ElementSet {
+        let n = self.universe_size();
+        ElementSet::from_iter(n, (0..n).filter(|&e| self.is_red(e)))
+    }
+
+    /// The set of elements with the given color.
+    pub fn set_of(&self, color: Color) -> ElementSet {
+        match color {
+            Color::Green => self.green_set(),
+            Color::Red => self.red_set(),
+        }
+    }
+
+    /// Number of green elements.
+    pub fn green_count(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_green()).count()
+    }
+
+    /// Number of red elements.
+    pub fn red_count(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_red()).count()
+    }
+
+    /// Iterates over `(element, color)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, Color)> + '_ {
+        self.colors.iter().copied().enumerate()
+    }
+
+    /// The coloring with every color flipped.
+    #[must_use]
+    pub fn inverted(&self) -> Self {
+        Coloring { colors: self.colors.iter().map(|c| c.opposite()).collect() }
+    }
+
+    /// Enumerates all `2^n` colorings of a universe of `n` elements.
+    ///
+    /// Intended for exhaustive verification on small universes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24` (more than ~16 million colorings).
+    pub fn enumerate_all(n: usize) -> Vec<Coloring> {
+        assert!(n <= 24, "exhaustive coloring enumeration is limited to n <= 24");
+        let mut out = Vec::with_capacity(1usize << n);
+        for mask in 0u64..(1u64 << n) {
+            out.push(Coloring::from_fn(n, |e| {
+                if mask & (1u64 << e) != 0 {
+                    Color::Red
+                } else {
+                    Color::Green
+                }
+            }));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Coloring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.colors {
+            write!(f, "{}", if c.is_green() { 'G' } else { 'R' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn opposite_involution() {
+        assert_eq!(Color::Green.opposite(), Color::Red);
+        assert_eq!(Color::Red.opposite(), Color::Green);
+        assert_eq!(Color::Green.opposite().opposite(), Color::Green);
+    }
+
+    #[test]
+    fn color_predicates() {
+        assert!(Color::Green.is_green());
+        assert!(!Color::Green.is_red());
+        assert!(Color::Red.is_red());
+        assert_eq!(Color::Green.to_string(), "green");
+        assert_eq!(Color::Red.to_string(), "red");
+    }
+
+    #[test]
+    fn all_green_and_all_red() {
+        let g = Coloring::all_green(5);
+        assert_eq!(g.green_count(), 5);
+        assert_eq!(g.red_count(), 0);
+        assert!(g.green_set().is_full());
+        let r = Coloring::all_red(5);
+        assert_eq!(r.red_count(), 5);
+        assert!(r.red_set().is_full());
+    }
+
+    #[test]
+    fn from_red_and_green_sets() {
+        let red = ElementSet::from_iter(6, [1, 4]);
+        let c = Coloring::from_red_set(&red);
+        assert_eq!(c.red_set(), red);
+        assert_eq!(c.green_set(), red.complement());
+        let d = Coloring::from_green_set(&red);
+        assert_eq!(d.green_set(), red);
+    }
+
+    #[test]
+    fn set_color_and_inversion() {
+        let mut c = Coloring::all_green(4);
+        c.set_color(2, Color::Red);
+        assert!(c.is_red(2));
+        assert_eq!(c.set_of(Color::Red).to_vec(), vec![2]);
+        let inv = c.inverted();
+        assert!(inv.is_green(2));
+        assert_eq!(inv.green_count(), 1);
+        assert_eq!(inv.inverted(), c);
+    }
+
+    #[test]
+    fn display_renders_letters() {
+        let c = Coloring::from_colors(vec![Color::Green, Color::Red, Color::Green]);
+        assert_eq!(c.to_string(), "GRG");
+    }
+
+    #[test]
+    fn enumerate_all_has_expected_size_and_extremes() {
+        let all = Coloring::enumerate_all(4);
+        assert_eq!(all.len(), 16);
+        assert!(all.contains(&Coloring::all_green(4)));
+        assert!(all.contains(&Coloring::all_red(4)));
+        // Every coloring appears exactly once.
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|c| c.red_set().as_mask());
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= 24")]
+    fn enumerate_all_rejects_large_universes() {
+        let _ = Coloring::enumerate_all(25);
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let c = Coloring::from_colors(vec![Color::Red, Color::Green]);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(0, Color::Red), (1, Color::Green)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counts_partition_universe(n in 0usize..40, reds in proptest::collection::vec(any::<bool>(), 0..40)) {
+            let n = n.min(reds.len());
+            let c = Coloring::from_fn(n, |e| if reds[e] { Color::Red } else { Color::Green });
+            prop_assert_eq!(c.green_count() + c.red_count(), n);
+            prop_assert_eq!(c.green_set().len(), c.green_count());
+            prop_assert_eq!(c.red_set().len(), c.red_count());
+            prop_assert_eq!(c.green_set().intersection(&c.red_set()).len(), 0);
+        }
+
+        #[test]
+        fn prop_inversion_swaps_sets(reds in proptest::collection::vec(any::<bool>(), 1..30)) {
+            let n = reds.len();
+            let c = Coloring::from_fn(n, |e| if reds[e] { Color::Red } else { Color::Green });
+            let inv = c.inverted();
+            prop_assert_eq!(inv.green_set(), c.red_set());
+            prop_assert_eq!(inv.red_set(), c.green_set());
+        }
+    }
+}

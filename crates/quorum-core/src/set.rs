@@ -1,0 +1,536 @@
+//! A compact bitset over the elements of a quorum-system universe.
+
+use std::fmt;
+
+use crate::ElementId;
+
+const WORD_BITS: usize = 64;
+
+/// A set of universe elements, stored as a bitset.
+///
+/// Every [`ElementSet`] is tied to a universe size `n` fixed at construction
+/// time; elements are the integers `0..n`.  The type is the workhorse of the
+/// whole workspace: quorums, probed sets, witnesses and transversals are all
+/// `ElementSet`s.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::ElementSet;
+///
+/// let mut s = ElementSet::empty(8);
+/// s.insert(1);
+/// s.insert(5);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(5));
+/// assert!(!s.contains(0));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementSet {
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl ElementSet {
+    /// Creates an empty set over a universe of `universe` elements.
+    pub fn empty(universe: usize) -> Self {
+        let nwords = universe.div_ceil(WORD_BITS).max(1);
+        ElementSet { universe, words: vec![0; nwords] }
+    }
+
+    /// Creates the full set `{0, …, universe−1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for e in 0..universe {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is `>= universe`.
+    pub fn from_iter<I: IntoIterator<Item = ElementId>>(universe: usize, elements: I) -> Self {
+        let mut s = Self::empty(universe);
+        for e in elements {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Creates a singleton set `{e}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= universe`.
+    pub fn singleton(universe: usize, e: ElementId) -> Self {
+        let mut s = Self::empty(universe);
+        s.insert(e);
+        s
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the set contains every universe element.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    /// Whether `e` belongs to the set.
+    ///
+    /// Elements outside the universe are reported as absent.
+    pub fn contains(&self, e: ElementId) -> bool {
+        if e >= self.universe {
+            return false;
+        }
+        self.words[e / WORD_BITS] & (1u64 << (e % WORD_BITS)) != 0
+    }
+
+    /// Inserts `e`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= universe`.
+    pub fn insert(&mut self, e: ElementId) -> bool {
+        assert!(e < self.universe, "element {e} out of range for universe {}", self.universe);
+        let word = &mut self.words[e / WORD_BITS];
+        let mask = 1u64 << (e % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `e`; returns `true` if it was present.
+    pub fn remove(&mut self, e: ElementId) -> bool {
+        if e >= self.universe {
+            return false;
+        }
+        let word = &mut self.words[e / WORD_BITS];
+        let mask = 1u64 << (e % WORD_BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Returns a copy of the set with `e` inserted.
+    #[must_use]
+    pub fn with(&self, e: ElementId) -> Self {
+        let mut s = self.clone();
+        s.insert(e);
+        s
+    }
+
+    /// Returns a copy of the set with `e` removed.
+    #[must_use]
+    pub fn without(&self, e: ElementId) -> Self {
+        let mut s = self.clone();
+        s.remove(e);
+        s
+    }
+
+    /// Set union. Both operands must range over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        self.assert_same_universe(other);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
+        ElementSet { universe: self.universe, words }
+    }
+
+    /// Set intersection. Both operands must range over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.assert_same_universe(other);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        ElementSet { universe: self.universe, words }
+    }
+
+    /// Set difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn difference(&self, other: &Self) -> Self {
+        self.assert_same_universe(other);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect();
+        ElementSet { universe: self.universe, words }
+    }
+
+    /// Complement with respect to the universe.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        let mut s = Self::full(self.universe);
+        for (w, o) in s.words.iter_mut().zip(&self.words) {
+            *w &= !o;
+        }
+        s
+    }
+
+    /// Whether the two sets share at least one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset(&self, other: &Self) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether `self ⊂ other` strictly.
+    pub fn is_proper_subset(&self, other: &Self) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Iterates over the elements of the set in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, next: 0 }
+    }
+
+    /// Returns the smallest element, if any.
+    pub fn first(&self) -> Option<ElementId> {
+        self.iter().next()
+    }
+
+    /// Converts to a sorted `Vec` of elements.
+    pub fn to_vec(&self) -> Vec<ElementId> {
+        self.iter().collect()
+    }
+
+    /// Interprets the set as an integer bitmask (only valid for universes of
+    /// at most 64 elements), useful as a compact key for memoization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe exceeds 64 elements.
+    pub fn as_mask(&self) -> u64 {
+        assert!(self.universe <= 64, "as_mask requires a universe of at most 64 elements");
+        self.words[0]
+    }
+
+    /// Builds a set from an integer bitmask over a universe of at most 64
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe exceeds 64 elements or the mask mentions
+    /// elements outside it.
+    pub fn from_mask(universe: usize, mask: u64) -> Self {
+        assert!(universe <= 64, "from_mask requires a universe of at most 64 elements");
+        if universe < 64 {
+            assert!(mask < (1u64 << universe), "mask mentions elements outside the universe");
+        }
+        let mut s = Self::empty(universe);
+        s.words[0] = mask;
+        s
+    }
+
+    fn assert_same_universe(&self, other: &Self) {
+        assert_eq!(
+            self.universe, other.universe,
+            "operands range over different universes ({} vs {})",
+            self.universe, other.universe
+        );
+    }
+}
+
+impl fmt::Debug for ElementSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ElementSet(n={}, {{", self.universe)?;
+        let mut first = true;
+        for e in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+            first = false;
+        }
+        write!(f, "}})")
+    }
+}
+
+impl fmt::Display for ElementSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for e in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Extend<ElementId> for ElementSet {
+    fn extend<T: IntoIterator<Item = ElementId>>(&mut self, iter: T) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ElementSet {
+    type Item = ElementId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the elements of an [`ElementSet`] in increasing order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a ElementSet,
+    next: usize,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        while self.next < self.set.universe {
+            let e = self.next;
+            self.next += 1;
+            if self.set.contains(e) {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = ElementSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = ElementSet::full(10);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.complement(), e);
+        assert_eq!(e.complement(), f);
+    }
+
+    #[test]
+    fn zero_sized_universe() {
+        let e = ElementSet::empty(0);
+        assert!(e.is_empty());
+        assert!(e.is_full());
+        assert_eq!(e.complement(), e);
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ElementSet::empty(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(99));
+        assert!(s.contains(3));
+        assert!(s.contains(99));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = ElementSet::empty(5);
+        s.insert(5);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = ElementSet::full(5);
+        assert!(!s.contains(5));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ElementSet::from_iter(10, [0, 1, 2, 3]);
+        let b = ElementSet::from_iter(10, [2, 3, 4, 5]);
+        assert_eq!(a.union(&b), ElementSet::from_iter(10, [0, 1, 2, 3, 4, 5]));
+        assert_eq!(a.intersection(&b), ElementSet::from_iter(10, [2, 3]));
+        assert_eq!(a.difference(&b), ElementSet::from_iter(10, [0, 1]));
+        assert!(a.intersects(&b));
+        let c = ElementSet::from_iter(10, [7, 8]);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = ElementSet::from_iter(6, [1, 2]);
+        let b = ElementSet::from_iter(6, [1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(b.is_superset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn with_and_without_do_not_mutate() {
+        let a = ElementSet::from_iter(6, [1]);
+        let b = a.with(2);
+        assert!(!a.contains(2));
+        assert!(b.contains(2));
+        let c = b.without(1);
+        assert!(b.contains(1));
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = ElementSet::from_iter(70, [65, 3, 42, 0]);
+        assert_eq!(s.to_vec(), vec![0, 3, 42, 65]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(ElementSet::empty(70).first(), None);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let s = ElementSet::from_iter(10, [0, 3, 9]);
+        let m = s.as_mask();
+        assert_eq!(ElementSet::from_mask(10, m), s);
+        assert_eq!(m, 0b10_0000_1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn mask_requires_small_universe() {
+        let s = ElementSet::empty(65);
+        let _ = s.as_mask();
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn universe_mismatch_panics() {
+        let a = ElementSet::empty(5);
+        let b = ElementSet::empty(6);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = ElementSet::from_iter(5, [1, 3]);
+        assert_eq!(s.to_string(), "{1, 3}");
+        assert!(format!("{s:?}").contains("n=5"));
+    }
+
+    #[test]
+    fn extend_collects_elements() {
+        let mut s = ElementSet::empty(8);
+        s.extend([1, 2, 7]);
+        assert_eq!(s.len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(
+            n in 1usize..120,
+            xs in proptest::collection::vec(0usize..120, 0..40),
+            ys in proptest::collection::vec(0usize..120, 0..40),
+        ) {
+            let xs: Vec<_> = xs.into_iter().filter(|&e| e < n).collect();
+            let ys: Vec<_> = ys.into_iter().filter(|&e| e < n).collect();
+            let a = ElementSet::from_iter(n, xs.iter().copied());
+            let b = ElementSet::from_iter(n, ys.iter().copied());
+            let u = a.union(&b);
+            prop_assert!(a.is_subset(&u));
+            prop_assert!(b.is_subset(&u));
+            for e in u.iter() {
+                prop_assert!(a.contains(e) || b.contains(e));
+            }
+        }
+
+        #[test]
+        fn prop_complement_partitions(
+            n in 1usize..120,
+            xs in proptest::collection::vec(0usize..120, 0..40),
+        ) {
+            let xs: Vec<_> = xs.into_iter().filter(|&e| e < n).collect();
+            let a = ElementSet::from_iter(n, xs);
+            let c = a.complement();
+            prop_assert_eq!(a.len() + c.len(), n);
+            prop_assert!(!a.intersects(&c) || a.is_empty() || c.is_empty());
+            prop_assert_eq!(a.union(&c), ElementSet::full(n));
+        }
+
+        #[test]
+        fn prop_len_matches_iter_count(
+            n in 1usize..120,
+            xs in proptest::collection::vec(0usize..120, 0..60),
+        ) {
+            let xs: Vec<_> = xs.into_iter().filter(|&e| e < n).collect();
+            let a = ElementSet::from_iter(n, xs);
+            prop_assert_eq!(a.len(), a.iter().count());
+        }
+
+        #[test]
+        fn prop_difference_disjoint_from_subtrahend(
+            n in 1usize..100,
+            xs in proptest::collection::vec(0usize..100, 0..40),
+            ys in proptest::collection::vec(0usize..100, 0..40),
+        ) {
+            let xs: Vec<_> = xs.into_iter().filter(|&e| e < n).collect();
+            let ys: Vec<_> = ys.into_iter().filter(|&e| e < n).collect();
+            let a = ElementSet::from_iter(n, xs);
+            let b = ElementSet::from_iter(n, ys);
+            let d = a.difference(&b);
+            prop_assert!(!d.intersects(&b) || d.is_empty());
+            prop_assert!(d.is_subset(&a));
+        }
+    }
+}

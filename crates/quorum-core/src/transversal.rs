@@ -1,0 +1,164 @@
+//! Transversals of quorum systems.
+//!
+//! A set `R` is a *transversal* of a set system `S` if it intersects every
+//! quorum.  Lemma 2.1 of the paper: for a nondominated coterie, every
+//! transversal contains a quorum — which is why a fully red quorum certifies
+//! that no live quorum exists.
+
+use crate::{ElementSet, QuorumError, QuorumSystem};
+
+/// Whether `candidate` is a transversal of `system`, i.e. intersects every
+/// quorum.
+///
+/// Equivalent to: the complement of `candidate` contains no quorum.  This
+/// formulation only needs the characteristic function and therefore works for
+/// implicit systems of any size.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::{is_transversal, Coterie, ElementSet};
+///
+/// let maj3 = Coterie::new(3, vec![
+///     ElementSet::from_iter(3, [0, 1]),
+///     ElementSet::from_iter(3, [0, 2]),
+///     ElementSet::from_iter(3, [1, 2]),
+/// ]).unwrap();
+/// assert!(is_transversal(&maj3, &ElementSet::from_iter(3, [0, 1])));
+/// assert!(!is_transversal(&maj3, &ElementSet::from_iter(3, [0])));
+/// ```
+pub fn is_transversal<S: QuorumSystem + ?Sized>(system: &S, candidate: &ElementSet) -> bool {
+    !system.contains_quorum(&candidate.complement())
+}
+
+/// Enumerates the minimal transversals of the system.
+///
+/// For a nondominated coterie these are exactly the quorums; for a dominated
+/// coterie they form the quorums of a dominating system.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when the universe exceeds 24
+/// elements, since the enumeration is exponential.
+pub fn minimal_transversals<S: QuorumSystem + ?Sized>(
+    system: &S,
+) -> Result<Vec<ElementSet>, QuorumError> {
+    let n = system.universe_size();
+    if n > 24 {
+        return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+    }
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let set = ElementSet::from_mask(n, mask);
+        if !is_transversal(system, &set) {
+            continue;
+        }
+        let minimal = set.iter().all(|e| !is_transversal(system, &set.without(e)));
+        if minimal {
+            out.push(set);
+        }
+    }
+    Ok(out)
+}
+
+/// Checks Lemma 2.1 on an explicit system: every transversal of a nondominated
+/// coterie contains a quorum.
+///
+/// Returns `true` when the property holds for all subsets of the universe.
+/// Primarily used in tests and cross-validation of constructions.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when the universe exceeds 24
+/// elements.
+pub fn every_transversal_contains_quorum<S: QuorumSystem + ?Sized>(
+    system: &S,
+) -> Result<bool, QuorumError> {
+    let n = system.universe_size();
+    if n > 24 {
+        return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+    }
+    for mask in 0u64..(1u64 << n) {
+        let set = ElementSet::from_mask(n, mask);
+        if is_transversal(system, &set) && !system.contains_quorum(&set) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coterie;
+
+    fn maj3() -> Coterie {
+        Coterie::new(
+            3,
+            vec![
+                ElementSet::from_iter(3, [0, 1]),
+                ElementSet::from_iter(3, [0, 2]),
+                ElementSet::from_iter(3, [1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transversal_detection() {
+        let system = maj3();
+        assert!(is_transversal(&system, &ElementSet::from_iter(3, [0, 1])));
+        assert!(is_transversal(&system, &ElementSet::full(3)));
+        assert!(!is_transversal(&system, &ElementSet::from_iter(3, [2])));
+        assert!(!is_transversal(&system, &ElementSet::empty(3)));
+    }
+
+    #[test]
+    fn minimal_transversals_of_nd_coterie_are_quorums() {
+        let system = maj3();
+        let mut transversals = minimal_transversals(&system).unwrap();
+        let mut quorums = system.quorums().to_vec();
+        transversals.sort();
+        quorums.sort();
+        assert_eq!(transversals, quorums);
+    }
+
+    #[test]
+    fn lemma_2_1_holds_for_nd_coterie() {
+        assert!(every_transversal_contains_quorum(&maj3()).unwrap());
+    }
+
+    #[test]
+    fn lemma_2_1_fails_for_dominated_coterie() {
+        // Dominated coterie: pairs through element 0 over 4 elements.
+        // {0} is a transversal but contains no quorum.
+        let system = Coterie::new(
+            4,
+            vec![
+                ElementSet::from_iter(4, [0, 1]),
+                ElementSet::from_iter(4, [0, 2]),
+                ElementSet::from_iter(4, [0, 3]),
+            ],
+        )
+        .unwrap();
+        assert!(is_transversal(&system, &ElementSet::from_iter(4, [0])));
+        assert!(!every_transversal_contains_quorum(&system).unwrap());
+    }
+
+    #[test]
+    fn minimal_transversals_of_dominated_coterie() {
+        let system = Coterie::new(
+            4,
+            vec![
+                ElementSet::from_iter(4, [0, 1]),
+                ElementSet::from_iter(4, [0, 2]),
+                ElementSet::from_iter(4, [0, 3]),
+            ],
+        )
+        .unwrap();
+        let transversals = minimal_transversals(&system).unwrap();
+        assert!(transversals.contains(&ElementSet::from_iter(4, [0])));
+        assert!(transversals.contains(&ElementSet::from_iter(4, [1, 2, 3])));
+        assert_eq!(transversals.len(), 2);
+    }
+}

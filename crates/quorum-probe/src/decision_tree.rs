@@ -1,0 +1,381 @@
+//! Explicit probe-strategy decision trees.
+//!
+//! The paper phrases probe complexity in terms of binary rooted trees whose
+//! internal nodes are labelled with elements and whose edges are labelled with
+//! the probe outcomes (Fig. 4 shows the tree for `Maj_3`).  [`DecisionTree`]
+//! is that object: it supports worst-case depth, expected depth under iid
+//! failures, evaluation on a concrete coloring, validation against a system,
+//! and ASCII rendering.
+
+use std::fmt;
+
+use quorum_core::{Color, Coloring, ElementId, ElementSet, QuorumSystem, WitnessKind};
+
+/// A probe-strategy decision tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionTree {
+    /// The algorithm stops and reports the witness kind.
+    Leaf {
+        /// The verdict reported at this leaf.
+        kind: WitnessKind,
+    },
+    /// The algorithm probes `element` and branches on the observed color.
+    Probe {
+        /// The element probed at this node.
+        element: ElementId,
+        /// Continuation when the element is green.
+        on_green: Box<DecisionTree>,
+        /// Continuation when the element is red.
+        on_red: Box<DecisionTree>,
+    },
+}
+
+impl DecisionTree {
+    /// A leaf reporting a green (live) quorum.
+    pub fn green_leaf() -> Self {
+        DecisionTree::Leaf { kind: WitnessKind::GreenQuorum }
+    }
+
+    /// A leaf reporting a red (dead) quorum.
+    pub fn red_leaf() -> Self {
+        DecisionTree::Leaf { kind: WitnessKind::RedQuorum }
+    }
+
+    /// An internal probe node.
+    pub fn probe(element: ElementId, on_green: DecisionTree, on_red: DecisionTree) -> Self {
+        DecisionTree::Probe { element, on_green: Box::new(on_green), on_red: Box::new(on_red) }
+    }
+
+    /// The number of probes on the longest root-to-leaf path — the paper's
+    /// `Depth(T)`, i.e. the deterministic worst-case probe complexity of the
+    /// strategy this tree encodes.
+    pub fn depth(&self) -> usize {
+        match self {
+            DecisionTree::Leaf { .. } => 0,
+            DecisionTree::Probe { on_green, on_red, .. } => 1 + on_green.depth().max(on_red.depth()),
+        }
+    }
+
+    /// The expected number of probes when every element is independently red
+    /// with probability `p` — the quantity minimised by `PPC_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn expected_depth(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        match self {
+            DecisionTree::Leaf { .. } => 0.0,
+            DecisionTree::Probe { on_green, on_red, .. } => {
+                1.0 + (1.0 - p) * on_green.expected_depth(p) + p * on_red.expected_depth(p)
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            DecisionTree::Leaf { .. } => 1,
+            DecisionTree::Probe { on_green, on_red, .. } => on_green.leaf_count() + on_red.leaf_count(),
+        }
+    }
+
+    /// Number of probe (internal) nodes.
+    pub fn probe_node_count(&self) -> usize {
+        match self {
+            DecisionTree::Leaf { .. } => 0,
+            DecisionTree::Probe { on_green, on_red, .. } => {
+                1 + on_green.probe_node_count() + on_red.probe_node_count()
+            }
+        }
+    }
+
+    /// Runs the tree on a concrete coloring, returning the verdict, the number
+    /// of probes performed and the sets of elements observed green and red
+    /// along the path.
+    pub fn evaluate(&self, coloring: &Coloring) -> TreeRun {
+        let n = coloring.universe_size();
+        let mut node = self;
+        let mut probes = 0;
+        let mut green = ElementSet::empty(n);
+        let mut red = ElementSet::empty(n);
+        loop {
+            match node {
+                DecisionTree::Leaf { kind } => {
+                    return TreeRun { verdict: *kind, probes, green, red };
+                }
+                DecisionTree::Probe { element, on_green, on_red } => {
+                    probes += 1;
+                    match coloring.color(*element) {
+                        Color::Green => {
+                            green.insert(*element);
+                            node = on_green;
+                        }
+                        Color::Red => {
+                            red.insert(*element);
+                            node = on_red;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks that the tree is a *correct* probe strategy for `system`: on
+    /// every coloring the verdict matches the ground truth, and the elements
+    /// observed along the path certify it (greens contain a quorum for a green
+    /// verdict; reds contain a quorum or form a transversal for a red one).
+    ///
+    /// Exhaustive over all `2^n` colorings; intended for small systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe exceeds 20 elements.
+    pub fn validate<S: QuorumSystem + ?Sized>(&self, system: &S) -> Result<(), TreeValidationError> {
+        let n = system.universe_size();
+        assert!(n <= 20, "decision-tree validation is exhaustive and limited to n <= 20");
+        for coloring in Coloring::enumerate_all(n) {
+            let run = self.evaluate(&coloring);
+            let live = system.has_green_quorum(&coloring);
+            let verdict_live = run.verdict == WitnessKind::GreenQuorum;
+            if live != verdict_live {
+                return Err(TreeValidationError::WrongVerdict { coloring });
+            }
+            let certified = match run.verdict {
+                WitnessKind::GreenQuorum => system.contains_quorum(&run.green),
+                WitnessKind::RedQuorum => {
+                    system.contains_quorum(&run.red) || !system.contains_quorum(&run.red.complement())
+                }
+            };
+            if !certified {
+                return Err(TreeValidationError::Uncertified { coloring });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the tree as ASCII art (used to regenerate Fig. 4 of the paper).
+    ///
+    /// Elements are printed 1-based to match the paper's numbering; `+` marks
+    /// a green-quorum leaf and `-` a red-quorum leaf.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", "");
+        out
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, child_prefix: &str) {
+        match self {
+            DecisionTree::Leaf { kind } => {
+                let mark = match kind {
+                    WitnessKind::GreenQuorum => "+",
+                    WitnessKind::RedQuorum => "-",
+                };
+                out.push_str(&format!("{prefix}[{mark}]\n"));
+            }
+            DecisionTree::Probe { element, on_green, on_red } => {
+                out.push_str(&format!("{prefix}probe x{}\n", element + 1));
+                on_green.render_into(
+                    out,
+                    &format!("{child_prefix}├─green─ "),
+                    &format!("{child_prefix}│        "),
+                );
+                on_red.render_into(
+                    out,
+                    &format!("{child_prefix}└─red─── "),
+                    &format!("{child_prefix}         "),
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Display for DecisionTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_ascii())
+    }
+}
+
+/// The outcome of running a [`DecisionTree`] on a coloring.
+#[derive(Debug, Clone)]
+pub struct TreeRun {
+    /// The verdict at the reached leaf.
+    pub verdict: WitnessKind,
+    /// Number of probes along the path.
+    pub probes: usize,
+    /// Elements observed green along the path.
+    pub green: ElementSet,
+    /// Elements observed red along the path.
+    pub red: ElementSet,
+}
+
+/// Why a decision tree failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeValidationError {
+    /// The verdict contradicts the ground truth on this coloring.
+    WrongVerdict {
+        /// The offending coloring.
+        coloring: Coloring,
+    },
+    /// The verdict is right but the observed elements do not certify it.
+    Uncertified {
+        /// The offending coloring.
+        coloring: Coloring,
+    },
+}
+
+impl fmt::Display for TreeValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeValidationError::WrongVerdict { coloring } => {
+                write!(f, "wrong verdict on coloring {coloring}")
+            }
+            TreeValidationError::Uncertified { coloring } => {
+                write!(f, "uncertified verdict on coloring {coloring}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_core::Coterie;
+
+    fn maj3() -> Coterie {
+        Coterie::new(
+            3,
+            vec![
+                ElementSet::from_iter(3, [0, 1]),
+                ElementSet::from_iter(3, [0, 2]),
+                ElementSet::from_iter(3, [1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The decision tree of Fig. 4 of the paper: probe x1; then x2; agreeing
+    /// prefix stops after x2, otherwise x3 decides.
+    fn fig4_tree() -> DecisionTree {
+        DecisionTree::probe(
+            0,
+            DecisionTree::probe(
+                1,
+                DecisionTree::green_leaf(),
+                DecisionTree::probe(2, DecisionTree::green_leaf(), DecisionTree::red_leaf()),
+            ),
+            DecisionTree::probe(
+                1,
+                DecisionTree::probe(2, DecisionTree::green_leaf(), DecisionTree::red_leaf()),
+                DecisionTree::red_leaf(),
+            ),
+        )
+    }
+
+    #[test]
+    fn fig4_tree_depth_and_expected_depth() {
+        let tree = fig4_tree();
+        // The paper's worked example (Section 2.3): PC(Maj3) = 3 and the
+        // average path length of this tree at p = 1/2 is 2.5.
+        assert_eq!(tree.depth(), 3);
+        assert!((tree.expected_depth(0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(tree.leaf_count(), 6);
+        assert_eq!(tree.probe_node_count(), 5);
+    }
+
+    #[test]
+    fn fig4_tree_validates_against_maj3() {
+        assert!(fig4_tree().validate(&maj3()).is_ok());
+    }
+
+    #[test]
+    fn evaluation_follows_the_colors() {
+        let tree = fig4_tree();
+        let run = tree.evaluate(&Coloring::all_green(3));
+        assert_eq!(run.verdict, WitnessKind::GreenQuorum);
+        assert_eq!(run.probes, 2);
+        assert_eq!(run.green.to_vec(), vec![0, 1]);
+        let run = tree.evaluate(&Coloring::all_red(3));
+        assert_eq!(run.verdict, WitnessKind::RedQuorum);
+        assert_eq!(run.probes, 2);
+        assert_eq!(run.red.to_vec(), vec![0, 1]);
+        let mixed = Coloring::from_colors(vec![Color::Green, Color::Red, Color::Red]);
+        let run = tree.evaluate(&mixed);
+        assert_eq!(run.verdict, WitnessKind::RedQuorum);
+        assert_eq!(run.probes, 3);
+    }
+
+    #[test]
+    fn expected_depth_extremes() {
+        let tree = fig4_tree();
+        // p = 0: always all green, stops after 2 probes.
+        assert!((tree.expected_depth(0.0) - 2.0).abs() < 1e-12);
+        // p = 1: always all red, stops after 2 probes.
+        assert!((tree.expected_depth(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn expected_depth_rejects_bad_p() {
+        let _ = fig4_tree().expected_depth(1.5);
+    }
+
+    #[test]
+    fn wrong_verdict_is_detected() {
+        // A tree that probes element 0 and reports the *opposite* verdict: on
+        // the all-green coloring it answers "red", which is flatly wrong.
+        let tree = DecisionTree::probe(0, DecisionTree::red_leaf(), DecisionTree::green_leaf());
+        let err = tree.validate(&maj3()).unwrap_err();
+        assert!(matches!(err, TreeValidationError::WrongVerdict { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn insufficient_evidence_is_detected() {
+        // A tree that probes only element 0 and trusts it blindly: on the
+        // all-green coloring the verdict is right but a single green element
+        // certifies nothing for Maj3.
+        let tree = DecisionTree::probe(0, DecisionTree::green_leaf(), DecisionTree::red_leaf());
+        let err = tree.validate(&maj3()).unwrap_err();
+        assert!(matches!(err, TreeValidationError::Uncertified { .. }));
+    }
+
+    #[test]
+    fn uncertified_verdict_is_detected() {
+        // Probes elements 0 and 1; if they disagree it probes 2 and answers by
+        // element 2 alone — right verdict by ND-ness... except when 0 and 1
+        // agree it answers after two probes, which IS certified; craft the
+        // uncertified case instead: tree answers green after a single green
+        // probe on a universe where one green element certifies nothing, but
+        // gets the verdict right only on colorings where... Simplest: the
+        // "wheel-like" coterie {{0},{...}}: use the star coterie where {0}
+        // IS a quorum, then probing 0 green and answering green is certified;
+        // instead validate a tree for Maj3 that answers green after seeing
+        // 0 green and 1 red and 2 green — probes all three, greens {0,2}
+        // contain a quorum, fine.  To hit the Uncertified branch we need a
+        // right verdict with insufficient evidence: probe 0, then answer the
+        // *complementary* leaf of what the ND verdict needs is impossible for
+        // Maj3 with one probe.  Use a 1-element universe with the singleton
+        // coterie and a tree that probes nothing.
+        let singleton = Coterie::new(1, vec![ElementSet::from_iter(1, [0])]).unwrap();
+        let tree = DecisionTree::green_leaf();
+        let err = tree.validate(&singleton).unwrap_err();
+        // On the all-red coloring the verdict "green" is wrong, so WrongVerdict
+        // fires first; on the all-green coloring the verdict is right but with
+        // zero probes it is uncertified.  Enumeration order visits all-green
+        // (mask 0) first, so we must see Uncertified there.
+        assert!(matches!(err, TreeValidationError::Uncertified { .. }));
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_probes_and_leaves() {
+        let art = fig4_tree().render_ascii();
+        assert!(art.contains("probe x1"));
+        assert!(art.contains("probe x3"));
+        assert!(art.contains("[+]"));
+        assert!(art.contains("[-]"));
+        assert_eq!(art, fig4_tree().to_string());
+    }
+}

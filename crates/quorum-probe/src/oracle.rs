@@ -1,0 +1,211 @@
+//! The probe oracle: reveals element colors one probe at a time.
+
+use quorum_core::{Color, Coloring, ElementId, ElementSet};
+
+/// An adaptive probing session over a fixed (hidden) coloring.
+///
+/// The oracle reveals the color of an element on demand and keeps track of
+/// which elements have been probed, in which order, and what was observed.
+/// Re-probing an element is free (it does not increase the probe count),
+/// matching the paper's model in which an algorithm never needs to probe an
+/// element twice.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::{Color, Coloring};
+/// use quorum_probe::ProbeOracle;
+///
+/// let coloring = Coloring::from_colors(vec![Color::Green, Color::Red]);
+/// let mut oracle = ProbeOracle::new(&coloring);
+/// assert_eq!(oracle.probe(1), Color::Red);
+/// assert_eq!(oracle.probe(1), Color::Red); // cached, still 1 probe
+/// assert_eq!(oracle.probe_count(), 1);
+/// assert_eq!(oracle.red_probed().to_vec(), vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbeOracle<'a> {
+    coloring: &'a Coloring,
+    probed: ElementSet,
+    green: ElementSet,
+    red: ElementSet,
+    sequence: Vec<ElementId>,
+}
+
+impl<'a> ProbeOracle<'a> {
+    /// Starts a probing session against the given hidden coloring.
+    pub fn new(coloring: &'a Coloring) -> Self {
+        let n = coloring.universe_size();
+        ProbeOracle {
+            coloring,
+            probed: ElementSet::empty(n),
+            green: ElementSet::empty(n),
+            red: ElementSet::empty(n),
+            sequence: Vec::new(),
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn universe_size(&self) -> usize {
+        self.coloring.universe_size()
+    }
+
+    /// Probes element `e` and returns its color.
+    ///
+    /// The first probe of an element is recorded and counted; subsequent
+    /// probes of the same element return the cached color for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside the universe.
+    pub fn probe(&mut self, e: ElementId) -> Color {
+        let color = self.coloring.color(e);
+        if self.probed.insert(e) {
+            self.sequence.push(e);
+            match color {
+                Color::Green => {
+                    self.green.insert(e);
+                }
+                Color::Red => {
+                    self.red.insert(e);
+                }
+            }
+        }
+        color
+    }
+
+    /// Whether element `e` has already been probed.
+    pub fn is_probed(&self, e: ElementId) -> bool {
+        self.probed.contains(e)
+    }
+
+    /// The color of `e` if it has been probed, without issuing a new probe.
+    pub fn known_color(&self, e: ElementId) -> Option<Color> {
+        if self.green.contains(e) {
+            Some(Color::Green)
+        } else if self.red.contains(e) {
+            Some(Color::Red)
+        } else {
+            None
+        }
+    }
+
+    /// Number of (distinct) probes issued so far.
+    pub fn probe_count(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// The set of probed elements.
+    pub fn probed(&self) -> &ElementSet {
+        &self.probed
+    }
+
+    /// The probed elements observed green.
+    pub fn green_probed(&self) -> &ElementSet {
+        &self.green
+    }
+
+    /// The probed elements observed red.
+    pub fn red_probed(&self) -> &ElementSet {
+        &self.red
+    }
+
+    /// The probed elements observed with the given color.
+    pub fn probed_with(&self, color: Color) -> &ElementSet {
+        match color {
+            Color::Green => &self.green,
+            Color::Red => &self.red,
+        }
+    }
+
+    /// The probe sequence, in the order the probes were issued.
+    pub fn sequence(&self) -> &[ElementId] {
+        &self.sequence
+    }
+
+    /// The elements not probed yet, in index order.
+    pub fn unprobed(&self) -> Vec<ElementId> {
+        (0..self.universe_size()).filter(|&e| !self.probed.contains(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coloring() -> Coloring {
+        Coloring::from_colors(vec![
+            Color::Green,
+            Color::Red,
+            Color::Green,
+            Color::Red,
+            Color::Red,
+        ])
+    }
+
+    #[test]
+    fn probing_reveals_and_counts() {
+        let c = coloring();
+        let mut oracle = ProbeOracle::new(&c);
+        assert_eq!(oracle.universe_size(), 5);
+        assert_eq!(oracle.probe(0), Color::Green);
+        assert_eq!(oracle.probe(3), Color::Red);
+        assert_eq!(oracle.probe_count(), 2);
+        assert_eq!(oracle.sequence(), &[0, 3]);
+        assert!(oracle.is_probed(0));
+        assert!(!oracle.is_probed(2));
+    }
+
+    #[test]
+    fn reprobing_is_free() {
+        let c = coloring();
+        let mut oracle = ProbeOracle::new(&c);
+        for _ in 0..5 {
+            oracle.probe(4);
+        }
+        assert_eq!(oracle.probe_count(), 1);
+        assert_eq!(oracle.sequence(), &[4]);
+    }
+
+    #[test]
+    fn color_partition_tracking() {
+        let c = coloring();
+        let mut oracle = ProbeOracle::new(&c);
+        for e in 0..5 {
+            oracle.probe(e);
+        }
+        assert_eq!(oracle.green_probed().to_vec(), vec![0, 2]);
+        assert_eq!(oracle.red_probed().to_vec(), vec![1, 3, 4]);
+        assert_eq!(oracle.probed_with(Color::Green).len(), 2);
+        assert_eq!(oracle.probed_with(Color::Red).len(), 3);
+        assert_eq!(oracle.probed().len(), 5);
+        assert!(oracle.unprobed().is_empty());
+    }
+
+    #[test]
+    fn known_color_does_not_probe() {
+        let c = coloring();
+        let mut oracle = ProbeOracle::new(&c);
+        assert_eq!(oracle.known_color(0), None);
+        oracle.probe(0);
+        assert_eq!(oracle.known_color(0), Some(Color::Green));
+        assert_eq!(oracle.probe_count(), 1);
+    }
+
+    #[test]
+    fn unprobed_lists_remaining_elements() {
+        let c = coloring();
+        let mut oracle = ProbeOracle::new(&c);
+        oracle.probe(1);
+        oracle.probe(3);
+        assert_eq!(oracle.unprobed(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn probe_out_of_range_panics() {
+        let c = coloring();
+        let mut oracle = ProbeOracle::new(&c);
+        oracle.probe(5);
+    }
+}

@@ -1,0 +1,360 @@
+//! Probing strategies for the Hierarchical Quorum System (HQS).
+
+use quorum_core::{ElementSet, QuorumSystem, Witness, WitnessKind};
+use quorum_systems::Hqs;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::{ProbeOracle, ProbeStrategy};
+
+/// A node of the ternary computation tree, identified by the leftmost leaf it
+/// covers and its height.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Node {
+    start: usize,
+    height: usize,
+}
+
+impl Node {
+    fn child(self, index: usize) -> Node {
+        debug_assert!(self.height > 0 && index < 3);
+        let third = 3usize.pow(self.height as u32 - 1);
+        Node { start: self.start + index * third, height: self.height - 1 }
+    }
+}
+
+/// The value of a node together with a monochromatic set of leaves certifying
+/// it: green leaves forming a quorum of the sub-HQS when the value is `true`,
+/// red leaves forming a quorum when it is `false` (the 2-of-3 majority
+/// function is self-dual, so both certificates exist and compose by union).
+#[derive(Debug, Clone)]
+struct Eval {
+    value: bool,
+    cert: ElementSet,
+}
+
+fn probe_leaf(oracle: &mut ProbeOracle<'_>, n: usize, leaf: usize) -> Eval {
+    let green = oracle.probe(leaf).is_green();
+    Eval { value: green, cert: ElementSet::singleton(n, leaf) }
+}
+
+/// Evaluates a node by evaluating its children in the given order, stopping as
+/// soon as two children agree (their shared value is the 2-of-3 majority).
+fn evaluate_in_order<F>(
+    node: Node,
+    order: [usize; 3],
+    evaluate_child: &mut F,
+) -> Eval
+where
+    F: FnMut(Node) -> Eval,
+{
+    let a = evaluate_child(node.child(order[0]));
+    let b = evaluate_child(node.child(order[1]));
+    if a.value == b.value {
+        return Eval { value: a.value, cert: a.cert.union(&b.cert) };
+    }
+    let c = evaluate_child(node.child(order[2]));
+    let matching = if a.value == c.value { &a } else { &b };
+    Eval { value: c.value, cert: c.cert.union(&matching.cert) }
+}
+
+/// Algorithm `Probe_HQS` (Section 3.4): evaluate the first two children of
+/// every gate and the third only when they disagree, scanning left to right.
+///
+/// Theorem 3.8: `PPC_{1/2}(Probe_HQS) = n^{log_3 2.5} ≈ n^{0.834}` at
+/// `p = 1/2` and `O(n^{log_3 2})` otherwise; Theorem 3.9 shows the algorithm
+/// is optimal at `p = 1/2`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeHqs;
+
+impl ProbeHqs {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        ProbeHqs
+    }
+
+    fn evaluate(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, node: Node) -> Eval {
+        let n = system.universe_size();
+        if node.height == 0 {
+            return probe_leaf(oracle, n, node.start);
+        }
+        let mut eval_child = |child: Node| self.evaluate(system, oracle, child);
+        evaluate_in_order(node, [0, 1, 2], &mut eval_child)
+    }
+}
+
+impl ProbeStrategy<Hqs> for ProbeHqs {
+    fn name(&self) -> String {
+        "Probe_HQS".into()
+    }
+
+    fn find_witness(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, _rng: &mut dyn RngCore) -> Witness {
+        let root = Node { start: 0, height: system.height() };
+        let eval = self.evaluate(system, oracle, root);
+        let kind = if eval.value { WitnessKind::GreenQuorum } else { WitnessKind::RedQuorum };
+        Witness::new(kind, eval.cert)
+    }
+}
+
+/// Algorithm `R_Probe_HQS` (Boppana, analysed in Saks–Wigderson and quoted as
+/// Proposition 4.9): at every gate evaluate two children chosen uniformly at
+/// random and the third only when they disagree.
+///
+/// Its randomized worst-case probe complexity is `O(n^{log_3 8/3}) ≈ n^{0.893}`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RProbeHqs;
+
+impl RProbeHqs {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        RProbeHqs
+    }
+
+    fn evaluate(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+        let n = system.universe_size();
+        if node.height == 0 {
+            return probe_leaf(oracle, n, node.start);
+        }
+        let mut order = [0usize, 1, 2];
+        order.shuffle(rng);
+        let mut eval_child = |child: Node| self.evaluate(system, oracle, rng, child);
+        evaluate_in_order(node, order, &mut eval_child)
+    }
+}
+
+impl ProbeStrategy<Hqs> for RProbeHqs {
+    fn name(&self) -> String {
+        "R_Probe_HQS".into()
+    }
+
+    fn find_witness(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore) -> Witness {
+        let root = Node { start: 0, height: system.height() };
+        let eval = self.evaluate(system, oracle, rng, root);
+        let kind = if eval.value { WitnessKind::GreenQuorum } else { WitnessKind::RedQuorum };
+        Witness::new(kind, eval.cert)
+    }
+}
+
+/// Algorithm `IR_Probe_HQS` (Fig. 8, Theorem 4.10): the improved randomized
+/// strategy for HQS.
+///
+/// After fully evaluating one random child, the algorithm *peeks* at a single
+/// random grandchild of a second child.  If the peek agrees with the first
+/// child it keeps evaluating the second child; otherwise it suspects the
+/// second child has the minority value and jumps to the third child instead.
+/// This lowers the randomized worst-case probe complexity from `O(n^{0.893})`
+/// to `O(n^{0.887})`, against the `Ω(n^{0.834})` lower bound of Corollary 4.13.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IrProbeHqs;
+
+impl IrProbeHqs {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        IrProbeHqs
+    }
+
+    /// Entry point of the recursion: evaluate `node` with the improved rule.
+    fn evaluate(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+        let n = system.universe_size();
+        match node.height {
+            0 => probe_leaf(oracle, n, node.start),
+            1 => {
+                // No grandchildren to peek at: fall back to random-order
+                // evaluation of the three leaves.
+                let mut order = [0usize, 1, 2];
+                order.shuffle(rng);
+                let mut eval_child = |child: Node| self.evaluate(system, oracle, rng, child);
+                evaluate_in_order(node, order, &mut eval_child)
+            }
+            _ => self.evaluate_with_peek(system, oracle, rng, node),
+        }
+    }
+
+    /// Random-order evaluation of a child node (height ≥ 1) whose own children
+    /// are evaluated with the improved rule — the paper's notion of
+    /// "evaluating" `r_i`.
+    fn evaluate_child(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+        if node.height == 0 {
+            return probe_leaf(oracle, system.universe_size(), node.start);
+        }
+        let mut order = [0usize, 1, 2];
+        order.shuffle(rng);
+        let mut eval_grandchild = |child: Node| self.evaluate(system, oracle, rng, child);
+        evaluate_in_order(node, order, &mut eval_grandchild)
+    }
+
+    /// Completes the evaluation of `node` given that its child `known_index`
+    /// already evaluated to `known`.
+    fn continue_child(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+        node: Node,
+        known_index: usize,
+        known: &Eval,
+    ) -> Eval {
+        let mut rest: Vec<usize> = (0..3).filter(|&i| i != known_index).collect();
+        rest.shuffle(rng);
+        let second = self.evaluate(system, oracle, rng, node.child(rest[0]));
+        if second.value == known.value {
+            return Eval { value: known.value, cert: known.cert.union(&second.cert) };
+        }
+        let third = self.evaluate(system, oracle, rng, node.child(rest[1]));
+        let matching = if third.value == known.value { known } else { &second };
+        Eval { value: third.value, cert: third.cert.union(&matching.cert) }
+    }
+
+    fn evaluate_with_peek(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+        // Step 1–2: pick a random child r1 and evaluate it.
+        let mut children = [0usize, 1, 2];
+        children.shuffle(rng);
+        let (i1, i2, i3) = (children[0], children[1], children[2]);
+        let r1 = self.evaluate_child(system, oracle, rng, node.child(i1));
+
+        // Step 3–4: peek at a random grandchild of the second child r2.
+        let r2_node = node.child(i2);
+        let peek_index = rng.gen_range(0..3usize);
+        let peek = self.evaluate(system, oracle, rng, r2_node.child(peek_index));
+
+        if peek.value == r1.value {
+            // Step 5: keep evaluating r2.
+            let r2 = self.continue_child(system, oracle, rng, r2_node, peek_index, &peek);
+            if r2.value == r1.value {
+                Eval { value: r1.value, cert: r1.cert.union(&r2.cert) }
+            } else {
+                // r1 and r2 disagree: the root value equals the third child's.
+                let r3 = self.evaluate_child(system, oracle, rng, node.child(i3));
+                let matching = if r3.value == r1.value { &r1 } else { &r2 };
+                Eval { value: r3.value, cert: r3.cert.union(&matching.cert) }
+            }
+        } else {
+            // Step 6: suspect r2 holds the minority value; try r3 first.
+            let r3 = self.evaluate_child(system, oracle, rng, node.child(i3));
+            if r3.value == r1.value {
+                Eval { value: r1.value, cert: r1.cert.union(&r3.cert) }
+            } else {
+                // r1 and r3 disagree: the value of r2 decides either way.
+                let r2 = self.continue_child(system, oracle, rng, r2_node, peek_index, &peek);
+                let matching = if r2.value == r1.value { &r1 } else { &r3 };
+                Eval { value: r2.value, cert: r2.cert.union(&matching.cert) }
+            }
+        }
+    }
+}
+
+use rand::Rng;
+
+impl ProbeStrategy<Hqs> for IrProbeHqs {
+    fn name(&self) -> String {
+        "IR_Probe_HQS".into()
+    }
+
+    fn find_witness(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore) -> Witness {
+        let root = Node { start: 0, height: system.height() };
+        let eval = self.evaluate(system, oracle, rng, root);
+        let kind = if eval.value { WitnessKind::GreenQuorum } else { WitnessKind::RedQuorum };
+        Witness::new(kind, eval.cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_strategy;
+    use quorum_core::{Coloring, QuorumSystem};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probe_hqs_is_correct_on_every_coloring() {
+        let hqs = Hqs::new(2).unwrap(); // 9 leaves
+        let mut rng = StdRng::seed_from_u64(1);
+        for coloring in Coloring::enumerate_all(9) {
+            let run = run_strategy(&hqs, &ProbeHqs::new(), &coloring, &mut rng);
+            assert_eq!(run.witness.is_green(), hqs.has_green_quorum(&coloring));
+            assert_eq!(run.witness.elements().len(), hqs.quorum_size());
+        }
+    }
+
+    #[test]
+    fn r_probe_hqs_is_correct_on_every_coloring() {
+        let hqs = Hqs::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for coloring in Coloring::enumerate_all(9) {
+            let run = run_strategy(&hqs, &RProbeHqs::new(), &coloring, &mut rng);
+            assert_eq!(run.witness.is_green(), hqs.has_green_quorum(&coloring));
+        }
+    }
+
+    #[test]
+    fn ir_probe_hqs_is_correct_on_every_coloring() {
+        let hqs = Hqs::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for coloring in Coloring::enumerate_all(9) {
+            for _ in 0..3 {
+                let run = run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng);
+                assert_eq!(run.witness.is_green(), hqs.has_green_quorum(&coloring));
+                assert_eq!(run.witness.elements().len(), hqs.quorum_size());
+            }
+        }
+    }
+
+    #[test]
+    fn ir_probe_hqs_handles_height_three() {
+        let hqs = Hqs::new(3).unwrap(); // 27 leaves, exercises the peek path on
+                                        // nodes of height 3 and 2.
+        let mut rng = StdRng::seed_from_u64(4);
+        for seed in 0..30u64 {
+            let coloring = Coloring::from_fn(27, |e| {
+                if (e as u64).wrapping_mul(2654435761).wrapping_add(seed * 97) % 5 < 2 {
+                    quorum_core::Color::Red
+                } else {
+                    quorum_core::Color::Green
+                }
+            });
+            let run = run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng);
+            assert_eq!(run.witness.is_green(), hqs.has_green_quorum(&coloring));
+        }
+    }
+
+    #[test]
+    fn probe_hqs_all_green_probes_exactly_a_quorum() {
+        let hqs = Hqs::new(4).unwrap(); // 81 leaves
+        let coloring = Coloring::all_green(81);
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = run_strategy(&hqs, &ProbeHqs::new(), &coloring, &mut rng);
+        assert_eq!(run.probes, hqs.quorum_size(), "unanimous input needs exactly 2^h probes");
+    }
+
+    #[test]
+    fn strategies_never_probe_more_than_n() {
+        let hqs = Hqs::new(3).unwrap();
+        let n = hqs.universe_size();
+        let mut rng = StdRng::seed_from_u64(6);
+        for seed in 0..10u64 {
+            let coloring = Coloring::from_fn(n, |e| {
+                if (e as u64 ^ seed) % 2 == 0 {
+                    quorum_core::Color::Red
+                } else {
+                    quorum_core::Color::Green
+                }
+            });
+            for probes in [
+                run_strategy(&hqs, &ProbeHqs::new(), &coloring, &mut rng).probes,
+                run_strategy(&hqs, &RProbeHqs::new(), &coloring, &mut rng).probes,
+                run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng).probes,
+            ] {
+                assert!(probes <= n);
+                assert!(probes >= hqs.quorum_size());
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ProbeStrategy::<Hqs>::name(&ProbeHqs::new()), "Probe_HQS");
+        assert_eq!(ProbeStrategy::<Hqs>::name(&RProbeHqs::new()), "R_Probe_HQS");
+        assert_eq!(ProbeStrategy::<Hqs>::name(&IrProbeHqs::new()), "IR_Probe_HQS");
+    }
+}

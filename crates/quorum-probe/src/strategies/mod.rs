@@ -1,0 +1,27 @@
+//! Concrete probing strategies.
+//!
+//! Two groups, mirroring the paper:
+//!
+//! * **Probabilistic-model algorithms** (Section 3): [`ProbeMaj`],
+//!   [`ProbeCw`], [`ProbeTree`], [`ProbeHqs`] — deterministic (up to
+//!   tie-breaking) algorithms whose *expected* probe count under iid failures
+//!   is small.
+//! * **Randomized worst-case algorithms** (Section 4): [`RProbeMaj`],
+//!   [`RProbeCw`], [`RProbeTree`], [`RProbeHqs`], [`IrProbeHqs`] — algorithms
+//!   that randomize their probe order so that *no single coloring* forces many
+//!   probes in expectation.
+//!
+//! [`SequentialScan`] and [`RandomScan`] are generic baselines applicable to
+//! any quorum system.
+
+mod cw;
+mod generic;
+mod hqs;
+mod maj;
+mod tree;
+
+pub use cw::{ProbeCw, RProbeCw};
+pub use generic::{RandomScan, SequentialScan};
+pub use hqs::{IrProbeHqs, ProbeHqs, RProbeHqs};
+pub use maj::{ProbeMaj, RProbeMaj};
+pub use tree::{ProbeTree, RProbeTree};

@@ -1,0 +1,246 @@
+//! Probing strategies for the Tree quorum system.
+
+use quorum_core::{Color, ElementId, ElementSet, QuorumSystem, Witness, WitnessKind};
+use quorum_systems::TreeQuorum;
+use rand::Rng;
+use rand::RngCore;
+
+use crate::{ProbeOracle, ProbeStrategy};
+
+/// Algorithm `Probe_Tree` (Section 3.3): the probabilistic-model strategy for
+/// the Tree system.
+///
+/// To find a witness for a subtree the algorithm probes the subtree root, then
+/// recursively finds a witness for the right subtree; if its color matches the
+/// root the two combine into a witness, otherwise the left subtree is probed
+/// recursively and its witness combines either with the root or with the right
+/// witness (one of the two always matches).
+///
+/// Proposition 3.6 and Corollary 3.7: the expected number of probes under iid
+/// failures with probability `p` is `O(n^{log_2(1+p)}) = O(n^{0.585})`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeTree;
+
+impl ProbeTree {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        ProbeTree
+    }
+
+    fn witness_for_subtree(
+        &self,
+        system: &TreeQuorum,
+        oracle: &mut ProbeOracle<'_>,
+        v: ElementId,
+    ) -> (Color, ElementSet) {
+        let n = system.universe_size();
+        if system.is_leaf(v) {
+            let color = oracle.probe(v);
+            return (color, ElementSet::singleton(n, v));
+        }
+        let root_color = oracle.probe(v);
+        let right = system.right(v).expect("internal node has a right child");
+        let left = system.left(v).expect("internal node has a left child");
+
+        let (right_color, right_witness) = self.witness_for_subtree(system, oracle, right);
+        if right_color == root_color {
+            return (root_color, right_witness.with(v));
+        }
+        let (left_color, left_witness) = self.witness_for_subtree(system, oracle, left);
+        if left_color == root_color {
+            (root_color, left_witness.with(v))
+        } else {
+            // The left witness matches the right witness (both are the color
+            // opposite to the root), so together they cover both subtrees.
+            (left_color, left_witness.union(&right_witness))
+        }
+    }
+}
+
+impl ProbeStrategy<TreeQuorum> for ProbeTree {
+    fn name(&self) -> String {
+        "Probe_Tree".into()
+    }
+
+    fn find_witness(
+        &self,
+        system: &TreeQuorum,
+        oracle: &mut ProbeOracle<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Witness {
+        let (color, elements) = self.witness_for_subtree(system, oracle, system.root());
+        Witness::new(WitnessKind::for_color(color), elements)
+    }
+}
+
+/// Algorithm `R_Probe_Tree` (Section 4.3): the randomized worst-case strategy
+/// for the Tree system.
+///
+/// At every node the algorithm picks uniformly at random one of three plans:
+/// probe the node and its left subtree first (right only if needed), probe the
+/// node and its right subtree first (left only if needed), or probe the two
+/// subtrees first (the node only if they disagree).
+///
+/// Theorem 4.7: at most `5n/6 + 1/6` expected probes on every input; Theorem
+/// 4.8 gives the matching-order lower bound `2(n+1)/3` for any randomized
+/// algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RProbeTree;
+
+impl RProbeTree {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        RProbeTree
+    }
+
+    fn witness_for_subtree(
+        &self,
+        system: &TreeQuorum,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+        v: ElementId,
+    ) -> (Color, ElementSet) {
+        let n = system.universe_size();
+        if system.is_leaf(v) {
+            let color = oracle.probe(v);
+            return (color, ElementSet::singleton(n, v));
+        }
+        let left = system.left(v).expect("internal node has a left child");
+        let right = system.right(v).expect("internal node has a right child");
+
+        match rng.gen_range(0..3u8) {
+            0 => self.root_first(system, oracle, rng, v, left, right),
+            1 => self.root_first(system, oracle, rng, v, right, left),
+            _ => {
+                // Probe the two subtrees first, the root only on disagreement.
+                let (a_color, a_witness) = self.witness_for_subtree(system, oracle, rng, left);
+                let (b_color, b_witness) = self.witness_for_subtree(system, oracle, rng, right);
+                if a_color == b_color {
+                    return (a_color, a_witness.union(&b_witness));
+                }
+                let root_color = oracle.probe(v);
+                if root_color == a_color {
+                    (root_color, a_witness.with(v))
+                } else {
+                    (root_color, b_witness.with(v))
+                }
+            }
+        }
+    }
+
+    fn root_first(
+        &self,
+        system: &TreeQuorum,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+        v: ElementId,
+        first: ElementId,
+        second: ElementId,
+    ) -> (Color, ElementSet) {
+        let root_color = oracle.probe(v);
+        let (first_color, first_witness) = self.witness_for_subtree(system, oracle, rng, first);
+        if first_color == root_color {
+            return (root_color, first_witness.with(v));
+        }
+        let (second_color, second_witness) = self.witness_for_subtree(system, oracle, rng, second);
+        if second_color == root_color {
+            (root_color, second_witness.with(v))
+        } else {
+            (second_color, second_witness.union(&first_witness))
+        }
+    }
+}
+
+impl ProbeStrategy<TreeQuorum> for RProbeTree {
+    fn name(&self) -> String {
+        "R_Probe_Tree".into()
+    }
+
+    fn find_witness(
+        &self,
+        system: &TreeQuorum,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Witness {
+        let (color, elements) = self.witness_for_subtree(system, oracle, rng, system.root());
+        Witness::new(WitnessKind::for_color(color), elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_strategy;
+    use quorum_core::{Coloring, QuorumSystem};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probe_tree_is_correct_on_every_coloring() {
+        let tree = TreeQuorum::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for coloring in Coloring::enumerate_all(7) {
+            let run = run_strategy(&tree, &ProbeTree::new(), &coloring, &mut rng);
+            assert_eq!(run.witness.is_green(), tree.has_green_quorum(&coloring));
+        }
+    }
+
+    #[test]
+    fn r_probe_tree_is_correct_on_every_coloring() {
+        let tree = TreeQuorum::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for coloring in Coloring::enumerate_all(7) {
+            // Run a few times to exercise different random plans.
+            for _ in 0..4 {
+                let run = run_strategy(&tree, &RProbeTree::new(), &coloring, &mut rng);
+                assert_eq!(run.witness.is_green(), tree.has_green_quorum(&coloring));
+            }
+        }
+    }
+
+    #[test]
+    fn probe_tree_on_all_green_probes_a_single_path() {
+        let tree = TreeQuorum::new(5).unwrap(); // 63 elements
+        let coloring = Coloring::all_green(tree.universe_size());
+        let mut rng = StdRng::seed_from_u64(3);
+        let run = run_strategy(&tree, &ProbeTree::new(), &coloring, &mut rng);
+        assert_eq!(run.probes, tree.height() + 1, "all-green input needs one root-to-leaf path");
+        assert!(run.witness.is_green());
+    }
+
+    #[test]
+    fn probe_tree_witness_is_a_minimal_style_quorum() {
+        let tree = TreeQuorum::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for coloring in Coloring::enumerate_all(15).into_iter().step_by(97) {
+            let run = run_strategy(&tree, &ProbeTree::new(), &coloring, &mut rng);
+            let size = run.witness.elements().len();
+            assert!(size >= tree.min_quorum_size());
+            assert!(size <= tree.max_quorum_size());
+        }
+    }
+
+    #[test]
+    fn r_probe_tree_never_exceeds_n_probes() {
+        let tree = TreeQuorum::new(4).unwrap();
+        let n = tree.universe_size();
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..20u64 {
+            let coloring = Coloring::from_fn(n, |e| {
+                if (e as u64).wrapping_mul(seed + 1) % 3 == 0 {
+                    quorum_core::Color::Red
+                } else {
+                    quorum_core::Color::Green
+                }
+            });
+            let run = run_strategy(&tree, &RProbeTree::new(), &coloring, &mut rng);
+            assert!(run.probes <= n);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ProbeStrategy::<TreeQuorum>::name(&ProbeTree::new()), "Probe_Tree");
+        assert_eq!(ProbeStrategy::<TreeQuorum>::name(&RProbeTree::new()), "R_Probe_Tree");
+    }
+}

@@ -1,0 +1,40 @@
+//! # quorum-protocols
+//!
+//! The paper's motivating applications, built on the simulated cluster:
+//!
+//! * [`QuorumMutex`] — quorum-based mutual exclusion: a client may enter the
+//!   critical section only after locking every member of a live quorum, which
+//!   it locates with a probe strategy.  The intersection property guarantees
+//!   exclusion; the probe strategy keeps the number of RPCs needed to *find*
+//!   that quorum small.
+//! * [`ReplicatedRegister`] — a versioned read/write register replicated on
+//!   every element: writes install a new version on a live quorum, reads
+//!   return the highest version found on a live quorum, and quorum
+//!   intersection guarantees that reads see the latest completed write.
+//!
+//! Both protocols are generic over the quorum system and the probe strategy,
+//! so every construction and strategy of the workspace can be exercised end to
+//! end.
+//!
+//! ```
+//! use quorum_cluster::{Cluster, NetworkConfig};
+//! use quorum_core::QuorumSystem;
+//! use quorum_probe::strategies::ProbeCw;
+//! use quorum_protocols::ReplicatedRegister;
+//! use quorum_systems::CrumblingWalls;
+//!
+//! let wall = CrumblingWalls::triang(4).unwrap();
+//! let cluster = Cluster::new(wall.universe_size(), NetworkConfig::lan(), 1);
+//! let mut register = ReplicatedRegister::new(wall, cluster, ProbeCw::new());
+//! register.write(b"hello".to_vec()).unwrap();
+//! assert_eq!(register.read().unwrap().value, b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mutex;
+pub mod replicated;
+
+pub use mutex::{MutexError, QuorumMutex};
+pub use replicated::{ReadResult, RegisterError, ReplicatedRegister};

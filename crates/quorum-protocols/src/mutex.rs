@@ -1,0 +1,277 @@
+//! Quorum-based mutual exclusion.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use quorum_cluster::{Cluster, NodeId};
+use quorum_core::{ElementSet, QuorumSystem};
+use quorum_probe::ProbeStrategy;
+
+/// Identifier of a client of the mutual-exclusion service.
+pub type ClientId = u64;
+
+/// Why a lock acquisition failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MutexError {
+    /// No live quorum exists: the probe strategy returned a red witness.
+    NoLiveQuorum,
+    /// A member of the located quorum is already locked by another client.
+    Contended {
+        /// The node that could not be locked.
+        node: NodeId,
+        /// The client currently holding it.
+        holder: ClientId,
+    },
+    /// The client already holds the lock.
+    AlreadyHeld,
+    /// The client does not hold the lock (on release).
+    NotHeld,
+}
+
+impl fmt::Display for MutexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutexError::NoLiveQuorum => write!(f, "no live quorum exists"),
+            MutexError::Contended { node, holder } => {
+                write!(f, "node {node} is already locked by client {holder}")
+            }
+            MutexError::AlreadyHeld => write!(f, "client already holds the lock"),
+            MutexError::NotHeld => write!(f, "client does not hold the lock"),
+        }
+    }
+}
+
+impl Error for MutexError {}
+
+/// A quorum-based mutual-exclusion service over a simulated cluster.
+///
+/// To enter the critical section a client must (1) locate a live quorum by
+/// probing — this is where the paper's algorithms cut the number of RPCs — and
+/// (2) lock every member of that quorum.  Because any two quorums intersect,
+/// at most one client can hold a fully locked quorum at a time.
+///
+/// Lock requests are simulated as one RPC per quorum member on top of the
+/// probing cost.
+#[derive(Debug)]
+pub struct QuorumMutex<S, T> {
+    system: S,
+    cluster: Cluster,
+    strategy: T,
+    locks: HashMap<NodeId, ClientId>,
+    holders: HashMap<ClientId, ElementSet>,
+}
+
+impl<S, T> QuorumMutex<S, T>
+where
+    S: QuorumSystem,
+    T: ProbeStrategy<S>,
+{
+    /// Creates the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster size does not match the system universe.
+    pub fn new(system: S, cluster: Cluster, strategy: T) -> Self {
+        assert_eq!(
+            system.universe_size(),
+            cluster.len(),
+            "cluster size must match the quorum-system universe"
+        );
+        QuorumMutex { system, cluster, strategy, locks: HashMap::new(), holders: HashMap::new() }
+    }
+
+    /// Access to the underlying cluster (to crash/recover nodes in tests and
+    /// examples).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Access to the underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The quorum currently locked by `client`, if any.
+    pub fn held_quorum(&self, client: ClientId) -> Option<&ElementSet> {
+        self.holders.get(&client)
+    }
+
+    /// Whether some client currently holds the lock.
+    pub fn is_locked(&self) -> bool {
+        !self.holders.is_empty()
+    }
+
+    /// Attempts to acquire the lock for `client`.
+    ///
+    /// On success the client holds locks on every member of a live quorum and
+    /// may enter the critical section.  On contention every partial lock taken
+    /// during this attempt is rolled back, so the call either fully succeeds
+    /// or leaves no trace (no deadlock, at the price of possible livelock
+    /// under heavy contention — the classical trade-off for Maekawa-style
+    /// protocols without ordering).
+    ///
+    /// # Errors
+    ///
+    /// * [`MutexError::AlreadyHeld`] if the client already holds the lock.
+    /// * [`MutexError::NoLiveQuorum`] if the probe strategy certifies that no
+    ///   live quorum exists.
+    /// * [`MutexError::Contended`] if a quorum member is locked by another
+    ///   client.
+    pub fn try_acquire(&mut self, client: ClientId) -> Result<ElementSet, MutexError> {
+        if self.holders.contains_key(&client) {
+            return Err(MutexError::AlreadyHeld);
+        }
+        let acquisition = self.cluster.probe_for_quorum(&self.system, &self.strategy);
+        if !acquisition.witness.is_green() {
+            return Err(MutexError::NoLiveQuorum);
+        }
+        let quorum = acquisition.witness.elements().clone();
+        // Try to lock every member; roll back on contention.
+        let mut taken: Vec<NodeId> = Vec::new();
+        for node in quorum.iter() {
+            match self.locks.get(&node) {
+                Some(&holder) if holder != client => {
+                    for undo in taken {
+                        self.locks.remove(&undo);
+                    }
+                    return Err(MutexError::Contended { node, holder });
+                }
+                _ => {
+                    self.locks.insert(node, client);
+                    taken.push(node);
+                }
+            }
+        }
+        self.holders.insert(client, quorum.clone());
+        Ok(quorum)
+    }
+
+    /// Releases the lock held by `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MutexError::NotHeld`] if the client holds no lock.
+    pub fn release(&mut self, client: ClientId) -> Result<(), MutexError> {
+        let quorum = self.holders.remove(&client).ok_or(MutexError::NotHeld)?;
+        for node in quorum.iter() {
+            if self.locks.get(&node) == Some(&client) {
+                self.locks.remove(&node);
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant check used by tests: the quorums held by distinct clients
+    /// never intersect node-wise (which, by the intersection property, implies
+    /// at most one client can hold a *full* quorum).
+    pub fn exclusion_invariant_holds(&self) -> bool {
+        let holders: Vec<&ElementSet> = self.holders.values().collect();
+        for (i, a) in holders.iter().enumerate() {
+            for b in holders.iter().skip(i + 1) {
+                if a.intersects(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_cluster::NetworkConfig;
+    use quorum_probe::strategies::{ProbeMaj, SequentialScan};
+    use quorum_systems::{Majority, Wheel};
+
+    fn maj_mutex() -> QuorumMutex<Majority, ProbeMaj> {
+        let maj = Majority::new(5).unwrap();
+        let cluster = Cluster::new(5, NetworkConfig::lan(), 11);
+        QuorumMutex::new(maj, cluster, ProbeMaj::new())
+    }
+
+    #[test]
+    fn acquire_and_release() {
+        let mut mutex = maj_mutex();
+        let quorum = mutex.try_acquire(1).unwrap();
+        assert!(quorum.len() >= 3);
+        assert!(mutex.is_locked());
+        assert_eq!(mutex.held_quorum(1), Some(&quorum));
+        mutex.release(1).unwrap();
+        assert!(!mutex.is_locked());
+        assert_eq!(mutex.held_quorum(1), None);
+    }
+
+    #[test]
+    fn second_client_is_blocked_until_release() {
+        let mut mutex = maj_mutex();
+        mutex.try_acquire(1).unwrap();
+        let err = mutex.try_acquire(2).unwrap_err();
+        assert!(matches!(err, MutexError::Contended { holder: 1, .. }));
+        assert!(mutex.exclusion_invariant_holds());
+        mutex.release(1).unwrap();
+        mutex.try_acquire(2).unwrap();
+        assert!(mutex.exclusion_invariant_holds());
+    }
+
+    #[test]
+    fn double_acquire_and_foreign_release_are_rejected() {
+        let mut mutex = maj_mutex();
+        mutex.try_acquire(1).unwrap();
+        assert_eq!(mutex.try_acquire(1).unwrap_err(), MutexError::AlreadyHeld);
+        assert_eq!(mutex.release(2).unwrap_err(), MutexError::NotHeld);
+    }
+
+    #[test]
+    fn failed_attempt_leaves_no_partial_locks() {
+        let mut mutex = maj_mutex();
+        mutex.try_acquire(1).unwrap();
+        let _ = mutex.try_acquire(2);
+        // Client 2 must not have left stray locks behind: after client 1
+        // releases, client 2 can acquire the full quorum.
+        mutex.release(1).unwrap();
+        let quorum = mutex.try_acquire(2).unwrap();
+        assert!(quorum.len() >= 3);
+    }
+
+    #[test]
+    fn outage_is_reported() {
+        let mut mutex = maj_mutex();
+        for node in 0..3 {
+            mutex.cluster_mut().crash(node);
+        }
+        assert_eq!(mutex.try_acquire(1).unwrap_err(), MutexError::NoLiveQuorum);
+        // Recovering one node restores a majority.
+        mutex.cluster_mut().recover(0);
+        assert!(mutex.try_acquire(1).is_ok());
+    }
+
+    #[test]
+    fn wheel_mutex_survives_hub_failure() {
+        let wheel = Wheel::new(6).unwrap();
+        let cluster = Cluster::new(6, NetworkConfig::lan(), 5);
+        let mut mutex = QuorumMutex::new(wheel, cluster, SequentialScan::new());
+        mutex.cluster_mut().crash(0); // the hub
+        let quorum = mutex.try_acquire(7).unwrap();
+        // Without the hub the only live quorum is the full rim.
+        assert_eq!(quorum.to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(MutexError::NoLiveQuorum.to_string().contains("no live quorum"));
+        assert!(MutexError::Contended { node: 3, holder: 9 }.to_string().contains("3"));
+        assert!(MutexError::AlreadyHeld.to_string().contains("already"));
+        assert!(MutexError::NotHeld.to_string().contains("not hold"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn size_mismatch_panics() {
+        let maj = Majority::new(5).unwrap();
+        let cluster = Cluster::new(7, NetworkConfig::lan(), 1);
+        let _ = QuorumMutex::new(maj, cluster, ProbeMaj::new());
+    }
+}

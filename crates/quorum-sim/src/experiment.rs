@@ -1,0 +1,159 @@
+//! Parameter sweeps over universe sizes.
+
+use quorum_core::QuorumSystem;
+use quorum_probe::ProbeStrategy;
+use rand::Rng;
+
+use crate::{estimate_expected_probes, Estimate, FailureModel};
+
+/// One point of a sweep: a system together with the strategy's estimate on it.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The universe size of the system at this point.
+    pub universe_size: usize,
+    /// The estimate obtained at this point.
+    pub estimate: Estimate,
+}
+
+/// A full sweep result: the family/strategy labels plus one point per size.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Label of the system family (e.g. `"Tree"`).
+    pub family: String,
+    /// Label of the strategy (e.g. `"Probe_Tree"`).
+    pub strategy: String,
+    /// Label of the failure model (e.g. `"iid(p=0.5)"`).
+    pub model: String,
+    /// The measured points, in the order the systems were supplied.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepRow {
+    /// The `(n, mean probes)` pairs of the sweep, ready for power-law fitting.
+    pub fn as_fit_points(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.universe_size as f64, p.estimate.mean))
+            .collect()
+    }
+}
+
+/// Runs `strategy` on every system produced by `systems`, estimating the
+/// expected probe count under `model` with `trials` runs per system.
+///
+/// The `family` label is carried through to the output row for reporting.
+///
+/// # Panics
+///
+/// Panics if `systems` is empty or `trials == 0`.
+pub fn sweep<S, T, R>(
+    family: &str,
+    systems: &[S],
+    strategy: &T,
+    model: &FailureModel,
+    trials: usize,
+    rng: &mut R,
+) -> SweepRow
+where
+    S: QuorumSystem,
+    T: ProbeStrategy<S>,
+    R: Rng,
+{
+    assert!(!systems.is_empty(), "a sweep needs at least one system");
+    assert!(trials > 0, "a sweep needs at least one trial per system");
+    let points = systems
+        .iter()
+        .map(|system| SweepPoint {
+            universe_size: system.universe_size(),
+            estimate: estimate_expected_probes(system, strategy, model, trials, rng),
+        })
+        .collect();
+    SweepRow {
+        family: family.to_string(),
+        strategy: strategy.name(),
+        model: model.label(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_analysis::fit_power_law;
+    use quorum_probe::strategies::{ProbeHqs, ProbeTree};
+    use quorum_systems::{Hqs, TreeQuorum};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sweep_produces_one_point_per_system() {
+        let systems: Vec<TreeQuorum> = (1..=4).map(|h| TreeQuorum::new(h).unwrap()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let row = sweep(
+            "Tree",
+            &systems,
+            &ProbeTree::new(),
+            &FailureModel::iid(0.5),
+            500,
+            &mut rng,
+        );
+        assert_eq!(row.points.len(), 4);
+        assert_eq!(row.family, "Tree");
+        assert_eq!(row.strategy, "Probe_Tree");
+        assert!(row.model.contains("0.5"));
+        assert_eq!(row.points[0].universe_size, 3);
+        assert_eq!(row.points[3].universe_size, 31);
+        // Cost grows with the universe.
+        assert!(row.points[3].estimate.mean > row.points[0].estimate.mean);
+    }
+
+    #[test]
+    fn tree_sweep_exponent_is_sublinear() {
+        // Corollary 3.7: PPC(Tree) = O(n^0.585); the fitted exponent over a
+        // few sizes must be well below 1 and in the vicinity of 0.585.
+        let systems: Vec<TreeQuorum> = (2..=7).map(|h| TreeQuorum::new(h).unwrap()).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let row = sweep(
+            "Tree",
+            &systems,
+            &ProbeTree::new(),
+            &FailureModel::iid(0.5),
+            1_500,
+            &mut rng,
+        );
+        let fit = fit_power_law(&row.as_fit_points());
+        assert!(
+            fit.exponent > 0.4 && fit.exponent < 0.75,
+            "Tree exponent {} should be near 0.585",
+            fit.exponent
+        );
+    }
+
+    #[test]
+    fn hqs_sweep_exponent_is_near_0_834() {
+        let systems: Vec<Hqs> = (1..=5).map(|h| Hqs::new(h).unwrap()).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let row = sweep(
+            "HQS",
+            &systems,
+            &ProbeHqs::new(),
+            &FailureModel::iid(0.5),
+            1_500,
+            &mut rng,
+        );
+        let fit = fit_power_law(&row.as_fit_points());
+        assert!(
+            fit.exponent > 0.75 && fit.exponent < 0.92,
+            "HQS exponent {} should be near 0.834",
+            fit.exponent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one system")]
+    fn empty_sweep_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let systems: Vec<TreeQuorum> = vec![];
+        let _ = sweep("Tree", &systems, &ProbeTree::new(), &FailureModel::iid(0.5), 10, &mut rng);
+    }
+}

@@ -1,0 +1,183 @@
+//! Failure models: distributions over colorings used to drive experiments.
+
+use quorum_core::{Color, Coloring, ElementSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A generator of colorings (failure patterns) for a universe of `n` elements.
+///
+/// The variants mirror the input models used in the paper:
+///
+/// * [`FailureModel::Iid`] — every element fails independently with
+///   probability `p` (the probabilistic model of Section 3);
+/// * [`FailureModel::ExactRedCount`] — a uniformly random coloring with
+///   exactly `reds` failed elements (the hard distribution of Theorem 4.2);
+/// * [`FailureModel::Fixed`] — a single adversarial coloring, for worst-case
+///   probing experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureModel {
+    /// Independent failures with probability `p`.
+    Iid {
+        /// The per-element failure probability.
+        p: f64,
+    },
+    /// Uniformly random coloring with exactly the given number of red
+    /// elements.
+    ExactRedCount {
+        /// Number of failed elements.
+        reds: usize,
+    },
+    /// A fixed coloring returned on every sample.
+    Fixed {
+        /// The coloring to return.
+        coloring: Coloring,
+    },
+}
+
+impl FailureModel {
+    /// Independent failures with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn iid(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        FailureModel::Iid { p }
+    }
+
+    /// Exactly `reds` failed elements, uniformly placed.
+    pub fn exact_red_count(reds: usize) -> Self {
+        FailureModel::ExactRedCount { reds }
+    }
+
+    /// Always the given coloring.
+    pub fn fixed(coloring: Coloring) -> Self {
+        FailureModel::Fixed { coloring }
+    }
+
+    /// Samples a coloring for a universe of `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is [`FailureModel::ExactRedCount`] with more reds
+    /// than elements, or [`FailureModel::Fixed`] with a coloring of the wrong
+    /// universe size.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Coloring {
+        match self {
+            FailureModel::Iid { p } => Coloring::from_fn(n, |_| {
+                if rng.gen_bool(*p) {
+                    Color::Red
+                } else {
+                    Color::Green
+                }
+            }),
+            FailureModel::ExactRedCount { reds } => {
+                assert!(*reds <= n, "cannot place {reds} red elements in a universe of {n}");
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(rng);
+                let red_set = ElementSet::from_iter(n, order.into_iter().take(*reds));
+                Coloring::from_red_set(&red_set)
+            }
+            FailureModel::Fixed { coloring } => {
+                assert_eq!(
+                    coloring.universe_size(),
+                    n,
+                    "fixed coloring universe does not match the requested universe"
+                );
+                coloring.clone()
+            }
+        }
+    }
+
+    /// A short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            FailureModel::Iid { p } => format!("iid(p={p})"),
+            FailureModel::ExactRedCount { reds } => format!("exact-reds({reds})"),
+            FailureModel::Fixed { .. } => "fixed".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn iid_respects_probability_roughly() {
+        let model = FailureModel::iid(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut reds = 0usize;
+        let trials = 2_000;
+        for _ in 0..trials {
+            reds += model.sample(20, &mut rng).red_count();
+        }
+        let rate = reds as f64 / (trials * 20) as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical failure rate {rate}");
+    }
+
+    #[test]
+    fn iid_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(FailureModel::iid(0.0).sample(10, &mut rng).red_count(), 0);
+        assert_eq!(FailureModel::iid(1.0).sample(10, &mut rng).red_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn iid_validates_p() {
+        let _ = FailureModel::iid(1.5);
+    }
+
+    #[test]
+    fn exact_red_count_is_exact() {
+        let model = FailureModel::exact_red_count(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(model.sample(9, &mut rng).red_count(), 4);
+        }
+    }
+
+    #[test]
+    fn exact_red_count_varies_position() {
+        let model = FailureModel::exact_red_count(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(model.sample(6, &mut rng).red_set().to_vec());
+        }
+        assert_eq!(seen.len(), 6, "every position must eventually be the red one");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn exact_red_count_validates_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = FailureModel::exact_red_count(7).sample(5, &mut rng);
+    }
+
+    #[test]
+    fn fixed_returns_the_same_coloring() {
+        let coloring = Coloring::all_red(4);
+        let model = FailureModel::fixed(coloring.clone());
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(model.sample(4, &mut rng), coloring);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn fixed_validates_universe() {
+        let model = FailureModel::fixed(Coloring::all_red(4));
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = model.sample(5, &mut rng);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(FailureModel::iid(0.5).label().contains("0.5"));
+        assert!(FailureModel::exact_red_count(3).label().contains('3'));
+        assert_eq!(FailureModel::fixed(Coloring::all_green(2)).label(), "fixed");
+    }
+}

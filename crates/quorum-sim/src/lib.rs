@@ -1,0 +1,44 @@
+//! # quorum-sim
+//!
+//! Monte-Carlo experiment harness for probe complexity: failure models that
+//! generate colorings, estimators of the probabilistic probe complexity
+//! (`PPC_p`) and of the randomized worst-case probe complexity (`PC_R`) of a
+//! concrete strategy, parameter sweeps over universe sizes, and plain-text /
+//! CSV report tables.
+//!
+//! Everything is driven by caller-supplied seeded RNGs so experiments are
+//! reproducible.
+//!
+//! ```
+//! use quorum_sim::{estimate_expected_probes, FailureModel};
+//! use quorum_probe::strategies::ProbeCw;
+//! use quorum_systems::CrumblingWalls;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let wall = CrumblingWalls::triang(6).unwrap();
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let estimate = estimate_expected_probes(
+//!     &wall,
+//!     &ProbeCw::new(),
+//!     &FailureModel::iid(0.5),
+//!     2_000,
+//!     &mut rng,
+//! );
+//! // Theorem 3.3: at most 2k − 1 = 11 expected probes.
+//! assert!(estimate.mean < 11.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod failure;
+pub mod montecarlo;
+pub mod report;
+pub mod worstcase;
+
+pub use experiment::{sweep, SweepPoint, SweepRow};
+pub use failure::FailureModel;
+pub use montecarlo::{estimate_expected_probes, exhaustive_expected_probes, Estimate};
+pub use report::Table;
+pub use worstcase::{estimate_worst_case, worst_case_over_colorings};

@@ -1,0 +1,229 @@
+//! Monte-Carlo and exhaustive estimation of expected probe counts.
+
+use quorum_analysis::RunningStats;
+use quorum_core::{Coloring, QuorumSystem};
+use quorum_probe::{run_strategy, ProbeStrategy};
+use rand::Rng;
+
+use crate::FailureModel;
+
+/// An estimate of an expected probe count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Sample mean of the probe count.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Smallest observed probe count.
+    pub min: f64,
+    /// Largest observed probe count.
+    pub max: f64,
+    /// Number of runs behind the estimate.
+    pub samples: u64,
+}
+
+impl Estimate {
+    fn from_stats(stats: &RunningStats) -> Self {
+        let summary = stats.summary();
+        Estimate {
+            mean: summary.mean,
+            std_error: summary.std_error,
+            min: summary.min,
+            max: summary.max,
+            samples: summary.count,
+        }
+    }
+
+    /// Whether `value` lies within `z` standard errors of the estimated mean.
+    pub fn is_consistent_with(&self, value: f64, z: f64) -> bool {
+        (value - self.mean).abs() <= z * self.std_error.max(1e-12)
+    }
+}
+
+/// Estimates the expected probe count of `strategy` on `system` when inputs
+/// are drawn from `model`, using `trials` independent runs.
+///
+/// This is the estimator behind every "probabilistic model" number in the
+/// benchmark harness: with [`FailureModel::Iid`] it estimates
+/// `PPC_p(strategy, system)`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, or propagates the panic of
+/// [`run_strategy`] if the strategy returns an invalid witness.
+pub fn estimate_expected_probes<S, T, R>(
+    system: &S,
+    strategy: &T,
+    model: &FailureModel,
+    trials: usize,
+    rng: &mut R,
+) -> Estimate
+where
+    S: QuorumSystem + ?Sized,
+    T: ProbeStrategy<S> + ?Sized,
+    R: Rng,
+{
+    assert!(trials > 0, "at least one trial is required");
+    let n = system.universe_size();
+    let mut stats = RunningStats::new();
+    for _ in 0..trials {
+        let coloring = model.sample(n, rng);
+        let run = run_strategy(system, strategy, &coloring, rng);
+        stats.push(run.probes as f64);
+    }
+    Estimate::from_stats(&stats)
+}
+
+/// Computes the *exact* expected probe count of a deterministic strategy under
+/// iid failures with probability `p`, by enumerating all `2^n` colorings and
+/// weighting each by its probability.  For randomized strategies the
+/// per-coloring cost is itself averaged over `runs_per_coloring` independent
+/// runs, so the result is exact in the input randomness and Monte-Carlo in the
+/// strategy randomness.
+///
+/// # Panics
+///
+/// Panics if `n > 20`, `runs_per_coloring == 0` or `p` is not a probability.
+pub fn exhaustive_expected_probes<S, T, R>(
+    system: &S,
+    strategy: &T,
+    p: f64,
+    runs_per_coloring: usize,
+    rng: &mut R,
+) -> f64
+where
+    S: QuorumSystem + ?Sized,
+    T: ProbeStrategy<S> + ?Sized,
+    R: Rng,
+{
+    let n = system.universe_size();
+    assert!(n <= 20, "exhaustive estimation is limited to n <= 20");
+    assert!(runs_per_coloring > 0, "at least one run per coloring is required");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let q = 1.0 - p;
+    let mut total = 0.0;
+    for coloring in Coloring::enumerate_all(n) {
+        let weight = p.powi(coloring.red_count() as i32) * q.powi(coloring.green_count() as i32);
+        if weight == 0.0 {
+            continue;
+        }
+        let mut cost = 0.0;
+        for _ in 0..runs_per_coloring {
+            cost += run_strategy(system, strategy, &coloring, rng).probes as f64;
+        }
+        total += weight * cost / runs_per_coloring as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_probe::strategies::{ProbeCw, ProbeMaj, SequentialScan};
+    use quorum_systems::{CrumblingWalls, Majority, Wheel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_matches_exact_value_for_maj() {
+        // PPC_{1/2}(Maj3) = 2.5 and Probe_Maj is optimal for Maj.
+        let maj = Majority::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let estimate = estimate_expected_probes(
+            &maj,
+            &ProbeMaj::new(),
+            &FailureModel::iid(0.5),
+            20_000,
+            &mut rng,
+        );
+        assert!(estimate.is_consistent_with(2.5, 4.0), "estimate {estimate:?}");
+        assert_eq!(estimate.samples, 20_000);
+        assert!(estimate.min >= 2.0 && estimate.max <= 3.0);
+    }
+
+    #[test]
+    fn exhaustive_matches_exact_value_for_maj() {
+        let maj = Majority::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let exact_probe_maj = exhaustive_expected_probes(&maj, &ProbeMaj::new(), 0.5, 1, &mut rng);
+        let optimum = quorum_probe::exact::optimal_expected(&maj, 0.5).unwrap();
+        // Probe_Maj is optimal for Majority in the probabilistic model
+        // (Proposition 3.2), so the two must agree exactly.
+        assert!(
+            (exact_probe_maj - optimum).abs() < 1e-9,
+            "Probe_Maj {exact_probe_maj} vs optimum {optimum}"
+        );
+    }
+
+    #[test]
+    fn crumbling_walls_meets_theorem_3_3_bound() {
+        let wall = CrumblingWalls::new(vec![1, 5, 3, 7, 4]).unwrap();
+        let k = wall.row_count();
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in [0.2, 0.5, 0.8] {
+            let estimate = estimate_expected_probes(
+                &wall,
+                &ProbeCw::new(),
+                &FailureModel::iid(p),
+                4_000,
+                &mut rng,
+            );
+            let bound = (2 * k - 1) as f64;
+            assert!(
+                estimate.mean <= bound + 4.0 * estimate.std_error,
+                "p={p}: estimate {} exceeds 2k-1 = {bound}",
+                estimate.mean
+            );
+        }
+    }
+
+    #[test]
+    fn wheel_meets_corollary_3_4_bound() {
+        let wheel = Wheel::new(50).unwrap();
+        let wall = CrumblingWalls::wheel(50).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let estimate = estimate_expected_probes(
+            &wall,
+            &ProbeCw::new(),
+            &FailureModel::iid(0.5),
+            4_000,
+            &mut rng,
+        );
+        assert!(estimate.mean <= 3.0 + 4.0 * estimate.std_error, "estimate {}", estimate.mean);
+        // Sanity: the wheel and its CW representation agree on the universe.
+        assert_eq!(wheel.universe_size(), wall.universe_size());
+    }
+
+    #[test]
+    fn exact_red_count_model_reproduces_urn_expectation() {
+        // Probing Maj under the "exactly k+1 reds" model: expected probes of
+        // the sequential scan is the urn expectation of Lemma 2.8, which for
+        // n = 5 (k = 2) is (k+1)(n+1)/(k+2) = 4.5.
+        let maj = Majority::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let estimate = estimate_expected_probes(
+            &maj,
+            &SequentialScan::new(),
+            &FailureModel::exact_red_count(3),
+            30_000,
+            &mut rng,
+        );
+        assert!(estimate.is_consistent_with(4.5, 4.0), "estimate {estimate:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let maj = Majority::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = estimate_expected_probes(&maj, &ProbeMaj::new(), &FailureModel::iid(0.5), 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= 20")]
+    fn exhaustive_rejects_large_universes() {
+        let maj = Majority::new(23).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = exhaustive_expected_probes(&maj, &ProbeMaj::new(), 0.5, 1, &mut rng);
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text and CSV report tables.
+
+use std::fmt;
+
+/// A simple column-aligned table used by the reproduction binaries to print
+/// the paper's tables next to measured values.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_sim::Table;
+///
+/// let mut table = Table::new(vec!["system", "n", "measured", "paper"]);
+/// table.add_row(vec!["Maj".into(), "21".into(), "17.9".into(), "n - Θ(√n)".into()]);
+/// let text = table.render();
+/// assert!(text.contains("Maj"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are supplied.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of headers.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting; cells are expected to be simple).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a float with three decimals for table cells.
+pub fn fmt_f64(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut table = Table::new(["name", "value"]);
+        table.add_row(vec!["a".into(), "1".into()]);
+        table.add_row(vec!["long-name".into(), "2.5".into()]);
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // The "value" column starts at the same offset in every row.
+        let offset = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].len().min(offset), offset.min(lines[2].len()));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut table = Table::new(["a", "b", "c"]);
+        table.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        let csv = table.to_csv();
+        assert_eq!(csv, "a,b,c\n1,2,3\n");
+        assert_eq!(table.row_count(), 1);
+        assert_eq!(table.headers().len(), 3);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut table = Table::new(["x"]);
+        table.add_row(vec!["y".into()]);
+        assert_eq!(table.to_string(), table.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells but the table has")]
+    fn mismatched_row_panics() {
+        let mut table = Table::new(["a", "b"]);
+        table.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(2.5), "2.500");
+        assert_eq!(fmt_f64(17.8934), "17.893");
+    }
+}

@@ -1,0 +1,189 @@
+//! Estimating the randomized worst-case probe complexity of a strategy.
+//!
+//! `PC_R(strategy, S) = max_c E[probes on coloring c]`, where the expectation
+//! is over the strategy's randomness.  Two estimators are provided:
+//!
+//! * [`worst_case_over_colorings`] — evaluates the supplied colorings (e.g.
+//!   all `2^n` of them for a small system, or a handful of adversarial ones
+//!   for a large system) with many runs each and returns the maximum;
+//! * [`estimate_worst_case`] — convenience wrapper that enumerates all
+//!   colorings of a small system.
+
+use quorum_analysis::RunningStats;
+use quorum_core::{Coloring, QuorumSystem};
+use quorum_probe::{run_strategy, ProbeStrategy};
+use rand::Rng;
+
+/// The expected probe count of a strategy on one specific coloring, plus which
+/// coloring attained the maximum in a worst-case search.
+#[derive(Debug, Clone)]
+pub struct WorstCase {
+    /// The coloring with the largest estimated expected probe count.
+    pub coloring: Coloring,
+    /// The estimated expected probe count on that coloring.
+    pub expected_probes: f64,
+    /// Standard error of that estimate.
+    pub std_error: f64,
+}
+
+/// Estimates `max_c E[probes]` over the given colorings, running the strategy
+/// `runs_per_coloring` times on each.
+///
+/// # Panics
+///
+/// Panics if `colorings` is empty or `runs_per_coloring == 0`.
+pub fn worst_case_over_colorings<S, T, R>(
+    system: &S,
+    strategy: &T,
+    colorings: &[Coloring],
+    runs_per_coloring: usize,
+    rng: &mut R,
+) -> WorstCase
+where
+    S: QuorumSystem + ?Sized,
+    T: ProbeStrategy<S> + ?Sized,
+    R: Rng,
+{
+    assert!(!colorings.is_empty(), "at least one coloring is required");
+    assert!(runs_per_coloring > 0, "at least one run per coloring is required");
+    let mut worst: Option<WorstCase> = None;
+    for coloring in colorings {
+        let mut stats = RunningStats::new();
+        for _ in 0..runs_per_coloring {
+            let run = run_strategy(system, strategy, coloring, rng);
+            stats.push(run.probes as f64);
+        }
+        let summary = stats.summary();
+        if worst.as_ref().map_or(true, |w| summary.mean > w.expected_probes) {
+            worst = Some(WorstCase {
+                coloring: coloring.clone(),
+                expected_probes: summary.mean,
+                std_error: summary.std_error,
+            });
+        }
+    }
+    worst.expect("at least one coloring was evaluated")
+}
+
+/// Estimates the randomized worst-case probe complexity of a strategy on a
+/// *small* system by enumerating all `2^n` colorings.
+///
+/// # Panics
+///
+/// Panics if the universe has more than 16 elements (enumerate the adversarial
+/// colorings yourself and use [`worst_case_over_colorings`] for larger
+/// systems) or if `runs_per_coloring == 0`.
+pub fn estimate_worst_case<S, T, R>(
+    system: &S,
+    strategy: &T,
+    runs_per_coloring: usize,
+    rng: &mut R,
+) -> WorstCase
+where
+    S: QuorumSystem + ?Sized,
+    T: ProbeStrategy<S> + ?Sized,
+    R: Rng,
+{
+    let n = system.universe_size();
+    assert!(n <= 16, "exhaustive worst-case estimation is limited to n <= 16");
+    let colorings = Coloring::enumerate_all(n);
+    worst_case_over_colorings(system, strategy, &colorings, runs_per_coloring, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_analysis::bounds;
+    use quorum_probe::strategies::{RProbeCw, RProbeMaj, RProbeTree, SequentialScan};
+    use quorum_systems::{CrumblingWalls, Majority, TreeQuorum};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_scan_worst_case_is_n_for_evasive_systems() {
+        // Maj5 is evasive: the sequential scan has a coloring forcing all 5
+        // probes (e.g. alternating colors).
+        let maj = Majority::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let worst = estimate_worst_case(&maj, &SequentialScan::new(), 1, &mut rng);
+        assert_eq!(worst.expected_probes, 5.0);
+    }
+
+    #[test]
+    fn r_probe_maj_worst_case_matches_theorem_4_2() {
+        // PC_R(Maj) = n − (n−1)/(n+3); for n = 5 that is 4.5.
+        let maj = Majority::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let worst = estimate_worst_case(&maj, &RProbeMaj::new(), 400, &mut rng);
+        let predicted = bounds::maj_randomized_exact(5);
+        assert!(
+            (worst.expected_probes - predicted).abs() < 0.15,
+            "worst {} vs predicted {predicted}",
+            worst.expected_probes
+        );
+        // The worst coloring has a bare majority of one color.
+        let reds = worst.coloring.red_count();
+        assert!(reds == 2 || reds == 3, "unexpected worst coloring {:?}", worst.coloring);
+    }
+
+    #[test]
+    fn r_probe_cw_worst_case_below_theorem_4_4_bound() {
+        let wall = CrumblingWalls::new(vec![1, 3, 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let worst = estimate_worst_case(&wall, &RProbeCw::new(), 200, &mut rng);
+        let bound = bounds::cw_randomized_upper(wall.widths());
+        assert!(
+            worst.expected_probes <= bound + 0.3,
+            "worst {} exceeds Theorem 4.4 bound {bound}",
+            worst.expected_probes
+        );
+        // And at least the Yao lower bound (n+k)/2 = 5.5.
+        assert!(worst.expected_probes + 0.3 >= bounds::cw_randomized_lower(8, 3));
+    }
+
+    #[test]
+    fn r_probe_tree_worst_case_between_paper_bounds() {
+        let tree = TreeQuorum::new(2).unwrap(); // n = 7
+        let mut rng = StdRng::seed_from_u64(4);
+        let worst = estimate_worst_case(&tree, &RProbeTree::new(), 300, &mut rng);
+        let upper = bounds::tree_randomized_upper(7);
+        let lower = bounds::tree_randomized_lower(7);
+        assert!(
+            worst.expected_probes <= upper + 0.4,
+            "worst {} exceeds 5n/6 + 1/6 = {upper}",
+            worst.expected_probes
+        );
+        assert!(
+            worst.expected_probes + 0.4 >= lower,
+            "worst {} below 2(n+1)/3 = {lower}",
+            worst.expected_probes
+        );
+    }
+
+    #[test]
+    fn explicit_coloring_list_is_respected() {
+        let maj = Majority::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let colorings = vec![Coloring::all_green(5), Coloring::all_red(5)];
+        let worst = worst_case_over_colorings(&maj, &SequentialScan::new(), &colorings, 1, &mut rng);
+        // Both colorings cost exactly 3 probes; the first maximiser is kept.
+        assert_eq!(worst.expected_probes, 3.0);
+        assert_eq!(worst.coloring, Coloring::all_green(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coloring")]
+    fn empty_coloring_list_panics() {
+        let maj = Majority::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = worst_case_over_colorings(&maj, &SequentialScan::new(), &[], 1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= 16")]
+    fn exhaustive_worst_case_rejects_large_universes() {
+        let maj = Majority::new(17).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = estimate_worst_case(&maj, &SequentialScan::new(), 1, &mut rng);
+    }
+}

@@ -1,0 +1,173 @@
+//! A Maekawa-style grid quorum system (extra baseline, not from the paper's
+//! main analysis).
+
+use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+
+/// A grid quorum system over `rows × cols` elements: a quorum is the union of
+/// one full row and one full column.
+///
+/// The grid is a classical construction (Maekawa's √n protocol and its
+/// variants).  It is an intersecting antichain (a coterie) but is *dominated*
+/// for grids larger than 1×1, so the paper's ND-specific results (Lemma 2.1 in
+/// particular) do not apply to it; it is included as an additional baseline
+/// for the probe-complexity benchmarks, probed with the generic strategies.
+///
+/// Element `(r, c)` has index `r * cols + c`.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::{ElementSet, QuorumSystem};
+/// use quorum_systems::Grid;
+///
+/// let grid = Grid::new(3, 3).unwrap();
+/// // Row 1 = {3,4,5} plus column 0 = {0,3,6}.
+/// assert!(grid.contains_quorum(&ElementSet::from_iter(9, [3, 4, 5, 0, 6])));
+/// assert!(!grid.contains_quorum(&ElementSet::from_iter(9, [3, 4, 5])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// Creates a `rows × cols` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidConstruction`] if either dimension is 0,
+    /// or if both are 1.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, QuorumError> {
+        if rows == 0 || cols == 0 || rows * cols < 2 {
+            return Err(QuorumError::InvalidConstruction {
+                reason: format!("grid dimensions must be positive and non-trivial, got {rows}x{cols}"),
+            });
+        }
+        Ok(Grid { rows, cols })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn element(&self, row: usize, col: usize) -> ElementId {
+        assert!(row < self.rows && col < self.cols, "grid coordinates out of range");
+        row * self.cols + col
+    }
+
+    /// The elements of row `row`.
+    pub fn row_elements(&self, row: usize) -> Vec<ElementId> {
+        (0..self.cols).map(|c| self.element(row, c)).collect()
+    }
+
+    /// The elements of column `col`.
+    pub fn col_elements(&self, col: usize) -> Vec<ElementId> {
+        (0..self.rows).map(|r| self.element(r, col)).collect()
+    }
+}
+
+impl QuorumSystem for Grid {
+    fn name(&self) -> String {
+        format!("Grid({}x{})", self.rows, self.cols)
+    }
+
+    fn universe_size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn contains_quorum(&self, set: &ElementSet) -> bool {
+        let full_row = (0..self.rows).any(|r| (0..self.cols).all(|c| set.contains(self.element(r, c))));
+        if !full_row {
+            return false;
+        }
+        (0..self.cols).any(|c| (0..self.rows).all(|r| set.contains(self.element(r, c))))
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.rows + self.cols - 1
+    }
+
+    fn max_quorum_size(&self) -> usize {
+        self.rows + self.cols - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_core::CharacteristicFunction;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Grid::new(2, 3).is_ok());
+        assert!(Grid::new(1, 2).is_ok());
+        assert!(matches!(Grid::new(0, 3), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(Grid::new(1, 1), Err(QuorumError::InvalidConstruction { .. })));
+    }
+
+    #[test]
+    fn indexing() {
+        let g = Grid::new(2, 3).unwrap();
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.element(0, 0), 0);
+        assert_eq!(g.element(1, 2), 5);
+        assert_eq!(g.row_elements(1), vec![3, 4, 5]);
+        assert_eq!(g.col_elements(2), vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn element_out_of_range_panics() {
+        let g = Grid::new(2, 2).unwrap();
+        let _ = g.element(2, 0);
+    }
+
+    #[test]
+    fn quorum_requires_row_and_column() {
+        let g = Grid::new(3, 3).unwrap();
+        let row_and_col = ElementSet::from_iter(9, [0, 1, 2, 3, 6]); // row 0 + col 0
+        assert!(g.contains_quorum(&row_and_col));
+        assert!(!g.contains_quorum(&ElementSet::from_iter(9, [0, 1, 2]))); // row only
+        assert!(!g.contains_quorum(&ElementSet::from_iter(9, [0, 3, 6]))); // column only
+        assert!(g.contains_quorum(&ElementSet::full(9)));
+    }
+
+    #[test]
+    fn quorum_size() {
+        let g = Grid::new(4, 5).unwrap();
+        assert_eq!(g.min_quorum_size(), 8);
+        assert_eq!(g.max_quorum_size(), 8);
+    }
+
+    #[test]
+    fn grid_is_monotone_but_dominated() {
+        let g = Grid::new(2, 2).unwrap();
+        let f = CharacteristicFunction::new(&g);
+        assert!(f.is_monotone().unwrap());
+        // Dominated: e.g. the coloring splitting the grid into two diagonals
+        // gives neither side a full row+column.
+        assert!(!f.is_self_dual().unwrap());
+    }
+
+    #[test]
+    fn minterms_are_row_column_unions() {
+        let g = Grid::new(2, 2).unwrap();
+        let quorums = g.enumerate_quorums().unwrap();
+        // 2 rows × 2 cols = 4 minterms of size 3.
+        assert_eq!(quorums.len(), 4);
+        assert!(quorums.iter().all(|q| q.len() == 3));
+    }
+}

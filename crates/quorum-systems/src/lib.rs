@@ -1,0 +1,180 @@
+//! # quorum-systems
+//!
+//! Constructions of the nondominated coterie families analysed in Hassin &
+//! Peleg, "Average probe complexity in quorum systems":
+//!
+//! * [`Majority`] — all sets of ⌈(n+1)/2⌉ elements (Thomas' voting scheme).
+//! * [`Wheel`] — a hub element plus spokes `{hub, i}` and the rim.
+//! * [`CrumblingWalls`] — rows of varying widths; a quorum is one full row
+//!   plus one representative from every row below it (Peleg & Wool).  The
+//!   [`CrumblingWalls::triang`] constructor builds the Triang sub-family
+//!   (row `i` has width `i`) and [`CrumblingWalls::wheel`] the Wheel as a
+//!   2-row wall.
+//! * [`TreeQuorum`] — the Agrawal–El Abbadi tree protocol over a complete
+//!   binary tree: a quorum is the root plus a quorum of one subtree, or a
+//!   quorum of each subtree.
+//! * [`Hqs`] — Kumar's Hierarchical Quorum System: leaves of a complete
+//!   ternary tree whose internal nodes are 2-of-3 majority gates.
+//! * [`Grid`] — a Maekawa-style row+column grid system, included as an extra
+//!   (dominated) baseline for the benchmark sweeps.
+//!
+//! All constructions implement [`quorum_core::QuorumSystem`] through their
+//! monotone characteristic function, so evaluation stays polynomial even when
+//! the number of quorums is exponential.
+//!
+//! ```
+//! use quorum_core::{ElementSet, QuorumSystem};
+//! use quorum_systems::Majority;
+//!
+//! let maj = Majority::new(5).unwrap();
+//! assert_eq!(maj.min_quorum_size(), 3);
+//! assert!(maj.contains_quorum(&ElementSet::from_iter(5, [0, 2, 4])));
+//! assert!(!maj.contains_quorum(&ElementSet::from_iter(5, [0, 2])));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crumbling_walls;
+pub mod grid;
+pub mod hqs;
+pub mod majority;
+pub mod tree;
+pub mod wheel;
+
+pub use crumbling_walls::CrumblingWalls;
+pub use grid::Grid;
+pub use hqs::Hqs;
+pub use majority::Majority;
+pub use tree::TreeQuorum;
+pub use wheel::Wheel;
+
+use quorum_core::DynQuorumSystem;
+use std::sync::Arc;
+
+/// A catalogue entry: a named family plus a constructor from a size hint.
+///
+/// Used by the benchmark harness to sweep heterogeneous families with a single
+/// loop.  `build(size_hint)` returns a system whose universe is *approximately*
+/// `size_hint` elements (rounded to whatever the family supports: odd sizes for
+/// Majority, `2^{h+1}−1` for Tree, `3^h` for HQS, triangular numbers for
+/// Triang).
+#[derive(Clone)]
+pub struct FamilyEntry {
+    /// Family name (e.g. `"Maj"`, `"Tree"`).
+    pub family: &'static str,
+    /// Constructor from an approximate universe size.
+    pub build: fn(usize) -> DynQuorumSystem,
+}
+
+impl std::fmt::Debug for FamilyEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FamilyEntry").field("family", &self.family).finish()
+    }
+}
+
+/// The catalogue of families studied in the paper (plus the Grid baseline).
+///
+/// # Examples
+///
+/// ```
+/// use quorum_systems::catalogue;
+/// for entry in catalogue() {
+///     let system = (entry.build)(30);
+///     assert!(system.universe_size() >= 3);
+/// }
+/// ```
+pub fn catalogue() -> Vec<FamilyEntry> {
+    vec![
+        FamilyEntry { family: "Maj", build: build_majority },
+        FamilyEntry { family: "Wheel", build: build_wheel },
+        FamilyEntry { family: "Triang", build: build_triang },
+        FamilyEntry { family: "Tree", build: build_tree },
+        FamilyEntry { family: "HQS", build: build_hqs },
+        FamilyEntry { family: "Grid", build: build_grid },
+    ]
+}
+
+fn build_majority(size_hint: usize) -> DynQuorumSystem {
+    let n = if size_hint < 3 {
+        3
+    } else if size_hint % 2 == 0 {
+        size_hint + 1
+    } else {
+        size_hint
+    };
+    Arc::new(Majority::new(n).expect("odd n >= 3 is always valid"))
+}
+
+fn build_wheel(size_hint: usize) -> DynQuorumSystem {
+    Arc::new(Wheel::new(size_hint.max(3)).expect("n >= 3 is always valid"))
+}
+
+fn build_triang(size_hint: usize) -> DynQuorumSystem {
+    // Largest d with d(d+1)/2 <= max(size_hint, 3), at least 2 rows.
+    let mut d = 1;
+    while (d + 1) * (d + 2) / 2 <= size_hint.max(3) {
+        d += 1;
+    }
+    Arc::new(CrumblingWalls::triang(d.max(2)).expect("d >= 2 is always valid"))
+}
+
+fn build_tree(size_hint: usize) -> DynQuorumSystem {
+    // Largest height with 2^(h+1) - 1 <= max(size_hint, 3).
+    let mut h = 1;
+    while (1usize << (h + 2)) - 1 <= size_hint.max(3) {
+        h += 1;
+    }
+    Arc::new(TreeQuorum::new(h).expect("h >= 1 is always valid"))
+}
+
+fn build_hqs(size_hint: usize) -> DynQuorumSystem {
+    let mut h = 1;
+    while 3usize.pow(h as u32 + 1) <= size_hint.max(3) {
+        h += 1;
+    }
+    Arc::new(Hqs::new(h).expect("h >= 1 is always valid"))
+}
+
+fn build_grid(size_hint: usize) -> DynQuorumSystem {
+    let side = ((size_hint.max(4)) as f64).sqrt().floor() as usize;
+    let side = side.max(2);
+    Arc::new(Grid::new(side, side).expect("side >= 2 is always valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_core::QuorumSystem;
+
+    #[test]
+    fn catalogue_builds_systems_of_roughly_requested_size() {
+        for entry in catalogue() {
+            for hint in [10, 30, 100] {
+                let system = (entry.build)(hint);
+                assert!(system.universe_size() >= 3, "{} produced a tiny system", entry.family);
+                assert!(
+                    system.universe_size() <= 2 * hint + 3,
+                    "{} produced an oversized system for hint {hint}: {}",
+                    entry.family,
+                    system.universe_size()
+                );
+                assert!(!system.name().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn catalogue_has_all_paper_families() {
+        let names: Vec<_> = catalogue().iter().map(|e| e.family).collect();
+        for expected in ["Maj", "Wheel", "Triang", "Tree", "HQS"] {
+            assert!(names.contains(&expected));
+        }
+    }
+
+    #[test]
+    fn family_entry_debug_is_informative() {
+        let entry = &catalogue()[0];
+        assert!(format!("{entry:?}").contains("Maj"));
+    }
+}

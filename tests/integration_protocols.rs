@@ -1,0 +1,154 @@
+//! Integration tests for the motivating applications: mutual exclusion and the
+//! replicated register running over the simulated cluster, across several
+//! quorum-system families and probe strategies.
+
+use probequorum::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn shake_cluster<R: Rng>(cluster: &mut Cluster, p: f64, rng: &mut R) {
+    for node in 0..cluster.len() {
+        if rng.gen_bool(p) {
+            cluster.crash(node);
+        } else {
+            cluster.recover(node);
+        }
+    }
+}
+
+/// Mutual exclusion holds across random crash/recover churn and contention on
+/// a crumbling-walls system.
+#[test]
+fn mutual_exclusion_under_churn() {
+    let wall = CrumblingWalls::triang(8).unwrap();
+    let n = wall.universe_size();
+    let cluster = Cluster::new(n, NetworkConfig::lan(), 11);
+    let mut mutex = QuorumMutex::new(wall, cluster, ProbeCw::new());
+    let mut rng = StdRng::seed_from_u64(17);
+
+    let mut successes = 0usize;
+    let mut no_quorum = 0usize;
+    for round in 0..300u64 {
+        if round % 25 == 0 {
+            shake_cluster(mutex.cluster_mut(), 0.2, &mut rng);
+        }
+        let client = rng.gen_range(1..=3u64);
+        match mutex.try_acquire(client) {
+            Ok(_) => {
+                assert!(mutex.exclusion_invariant_holds());
+                successes += 1;
+                mutex.release(client).unwrap();
+            }
+            Err(MutexError::NoLiveQuorum) => no_quorum += 1,
+            Err(MutexError::Contended { .. }) | Err(MutexError::AlreadyHeld) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    // Fact 2.3: the probability that no live quorum exists is at most the
+    // per-element crash probability (0.2), so the vast majority of attempts
+    // must go through.
+    assert!(successes > 80, "the lock should usually be acquirable, got {successes}");
+    assert!(no_quorum < 220, "too many outages: {no_quorum}");
+    assert_eq!(successes + no_quorum, 300, "every attempt either succeeds or reports an outage");
+}
+
+/// Two clients can never hold intersecting quorums simultaneously, across
+/// every system family.
+#[test]
+fn exclusion_invariant_across_families() {
+    let mut rng = StdRng::seed_from_u64(5);
+    // Majority.
+    let maj = Majority::new(9).unwrap();
+    let cluster = Cluster::new(9, NetworkConfig::lan(), 1);
+    let mut mutex = QuorumMutex::new(maj, cluster, RProbeMaj::new());
+    let first = mutex.try_acquire(1).unwrap();
+    assert!(mutex.try_acquire(2).is_err(), "quorums over 9 elements always intersect");
+    assert!(mutex.exclusion_invariant_holds());
+    assert!(first.len() >= 5);
+    mutex.release(1).unwrap();
+
+    // Tree: after the first client releases, the second can proceed even with
+    // a few crashed nodes.
+    let tree = TreeQuorum::new(3).unwrap();
+    let cluster = Cluster::new(tree.universe_size(), NetworkConfig::lan(), 2);
+    let mut mutex = QuorumMutex::new(tree, cluster, ProbeTree::new());
+    mutex.cluster_mut().crash(0); // root down: leaf-based quorums remain
+    let q1 = mutex.try_acquire(10).unwrap();
+    assert!(!q1.contains(0));
+    mutex.release(10).unwrap();
+    let q2 = mutex.try_acquire(11).unwrap();
+    assert!(q2.intersects(&q1), "any two tree quorums intersect");
+    let _ = rng.gen::<u64>();
+}
+
+/// The replicated register never serves stale committed data, across churn, on
+/// both HQS and Majority systems.
+#[test]
+fn replicated_register_freshness_under_churn() {
+    let mut rng = StdRng::seed_from_u64(23);
+
+    // HQS-backed register.
+    let hqs = Hqs::new(3).unwrap(); // 27 replicas
+    let cluster = Cluster::new(hqs.universe_size(), NetworkConfig::wan(), 3);
+    let mut register = ReplicatedRegister::new(hqs, cluster, ProbeHqs::new());
+    let mut committed: Option<(u64, Vec<u8>)> = None;
+    for round in 0..200u64 {
+        if round % 20 == 0 {
+            shake_cluster(register.cluster_mut(), 0.25, &mut rng);
+        }
+        if rng.gen_bool(0.5) {
+            let value = round.to_le_bytes().to_vec();
+            if let Ok(version) = register.write(value.clone()) {
+                committed = Some((version, value));
+            }
+        } else if let Ok(result) = register.read() {
+            if let Some((version, ref value)) = committed {
+                assert!(
+                    result.version >= version,
+                    "round {round}: read version {} older than committed {version}",
+                    result.version
+                );
+                if result.version == version {
+                    assert_eq!(&result.value, value, "round {round}: stale value");
+                }
+            }
+        }
+    }
+
+    // Majority-backed register: identical guarantees.
+    let maj = Majority::new(11).unwrap();
+    let cluster = Cluster::new(11, NetworkConfig::lan(), 4);
+    let mut register = ReplicatedRegister::new(maj, cluster, ProbeMaj::new());
+    register.write(b"steady".to_vec()).unwrap();
+    for node in 0..5 {
+        register.cluster_mut().crash(node);
+    }
+    // A minority is down: both operations still complete and stay fresh.
+    assert_eq!(register.read().unwrap().value, b"steady");
+    register.write(b"newer".to_vec()).unwrap();
+    assert_eq!(register.read().unwrap().value, b"newer");
+}
+
+/// Probing cost dominates protocol cost sensibly: on a healthy cluster the
+/// number of RPCs per mutex acquisition on a wall is O(k), far below n.
+#[test]
+fn probing_keeps_protocol_rpc_cost_low() {
+    let wall = CrumblingWalls::triang(12).unwrap(); // 78 elements, 12 rows
+    let n = wall.universe_size();
+    let k = wall.row_count();
+    let cluster = Cluster::new(n, NetworkConfig::lan(), 8);
+    let mut mutex = QuorumMutex::new(wall, cluster, ProbeCw::new());
+
+    let acquisitions = 50u64;
+    for _ in 0..acquisitions {
+        let quorum = mutex.try_acquire(1).unwrap();
+        assert!(quorum.len() <= n);
+        mutex.release(1).unwrap();
+    }
+    let rpcs_per_acquisition = mutex.cluster().total_rpcs() as f64 / acquisitions as f64;
+    // On an all-green cluster Probe_CW probes exactly one element per row.
+    assert!(
+        rpcs_per_acquisition <= k as f64 + 1.0,
+        "expected about {k} probes per acquisition, measured {rpcs_per_acquisition}"
+    );
+}
