@@ -22,9 +22,13 @@ fn bench_exact_expected(c: &mut Criterion) {
         });
     }
     let hqs = Hqs::new(2).unwrap();
-    group.bench_function("HQS(h=2)", |b| b.iter(|| exact::optimal_expected(&hqs, 0.5).unwrap()));
+    group.bench_function("HQS(h=2)", |b| {
+        b.iter(|| exact::optimal_expected(&hqs, 0.5).unwrap())
+    });
     let tree = TreeQuorum::new(2).unwrap();
-    group.bench_function("Tree(h=2)", |b| b.iter(|| exact::optimal_expected(&tree, 0.5).unwrap()));
+    group.bench_function("Tree(h=2)", |b| {
+        b.iter(|| exact::optimal_expected(&tree, 0.5).unwrap())
+    });
     group.finish();
 }
 
@@ -37,7 +41,9 @@ fn bench_exact_worst_case(c: &mut Criterion) {
         });
     }
     let wall = CrumblingWalls::new(vec![1, 3, 4]).unwrap();
-    group.bench_function("CW(1,3,4)", |b| b.iter(|| exact::optimal_worst_case(&wall).unwrap()));
+    group.bench_function("CW(1,3,4)", |b| {
+        b.iter(|| exact::optimal_worst_case(&wall).unwrap())
+    });
     group.finish();
 }
 
@@ -52,7 +58,9 @@ fn bench_yao(c: &mut Criterion) {
     }
     let tree = TreeQuorum::new(2).unwrap();
     let d = InputDistribution::tree_hard(&tree);
-    group.bench_function("Tree(h=2)", |b| b.iter(|| yao::best_deterministic_cost(&tree, &d).unwrap()));
+    group.bench_function("Tree(h=2)", |b| {
+        b.iter(|| yao::best_deterministic_cost(&tree, &d).unwrap())
+    });
     group.finish();
 }
 

@@ -24,7 +24,9 @@ fn bench_contains_quorum(c: &mut Criterion) {
     let mut group = c.benchmark_group("systems/contains_quorum");
     let maj = Majority::new(1001).unwrap();
     let set = random_set(1001, 1);
-    group.bench_function(BenchmarkId::new("Maj", 1001), |b| b.iter(|| maj.contains_quorum(&set)));
+    group.bench_function(BenchmarkId::new("Maj", 1001), |b| {
+        b.iter(|| maj.contains_quorum(&set))
+    });
 
     let wall = CrumblingWalls::triang(45).unwrap(); // 1035 elements
     let set = random_set(wall.universe_size(), 2);
@@ -46,7 +48,9 @@ fn bench_contains_quorum(c: &mut Criterion) {
 
     let grid = Grid::new(32, 32).unwrap();
     let set = random_set(1024, 5);
-    group.bench_function(BenchmarkId::new("Grid", 1024), |b| b.iter(|| grid.contains_quorum(&set)));
+    group.bench_function(BenchmarkId::new("Grid", 1024), |b| {
+        b.iter(|| grid.contains_quorum(&set))
+    });
     group.finish();
 }
 
@@ -62,8 +66,10 @@ fn bench_availability(c: &mut Criterion) {
     group.bench_function("monte_carlo_n=501", |b| {
         let mut rng = StdRng::seed_from_u64(11);
         b.iter(|| {
-            probequorum::analysis::availability::monte_carlo_failure_probability(&maj, 0.3, 200, &mut rng)
-                .unwrap()
+            probequorum::analysis::availability::monte_carlo_failure_probability(
+                &maj, 0.3, 200, &mut rng,
+            )
+            .unwrap()
         })
     });
     group.finish();
@@ -72,11 +78,17 @@ fn bench_availability(c: &mut Criterion) {
 fn bench_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("systems/enumerate_quorums");
     let wheel = Wheel::new(1000).unwrap();
-    group.bench_function("Wheel(1000)", |b| b.iter(|| wheel.enumerate_quorums().unwrap().len()));
+    group.bench_function("Wheel(1000)", |b| {
+        b.iter(|| wheel.enumerate_quorums().unwrap().len())
+    });
     let wall = CrumblingWalls::new(vec![1, 4, 4, 4, 4]).unwrap();
-    group.bench_function("CW(1,4,4,4,4)", |b| b.iter(|| wall.enumerate_quorums().unwrap().len()));
+    group.bench_function("CW(1,4,4,4,4)", |b| {
+        b.iter(|| wall.enumerate_quorums().unwrap().len())
+    });
     let maj = Majority::new(17).unwrap();
-    group.bench_function("Maj(17)", |b| b.iter(|| maj.enumerate_quorums().unwrap().len()));
+    group.bench_function("Maj(17)", |b| {
+        b.iter(|| maj.enumerate_quorums().unwrap().len())
+    });
     group.finish();
 }
 

@@ -4,93 +4,140 @@
 //! cargo run --release -p bench --bin reproduce -- all
 //! cargo run --release -p bench --bin reproduce -- table1
 //! REPRO_TRIALS=20000 cargo run --release -p bench --bin reproduce -- hqs-randomized
+//! REPRO_THREADS=1 cargo run --release -p bench --bin reproduce -- table1   # force single-thread
 //! ```
 //!
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
 //! `availability`, `figures`, `all`.
+//!
+//! Every experiment reports its wall-clock time and the engine's worker
+//! thread count, so `BENCH_*.json` baselines can be compared run over run.
+
+use std::time::Instant;
 
 use bench::{
     availability_table, crumbling_walls, figures, hqs_exponent, hqs_randomized, lemmas_table,
     lower_bounds, maj3, randomized, table1, tree_exponent, ReproConfig,
 };
 
+/// Runs one experiment, printing its output and wall-clock time.
+fn timed(config: &ReproConfig, name: &str, run: impl FnOnce(&ReproConfig)) {
+    let started = Instant::now();
+    run(config);
+    // REPRO_TRIALS is the knob, not the per-cell count: tables scale it per
+    // cell (e.g. `min(3000)` for sweeps, `/5` for the HQS hard family).
+    println!(
+        "[{name}: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]\n",
+        started.elapsed(),
+        config.engine().thread_count(),
+        config.trials,
+        config.seed,
+    );
+}
+
 fn main() {
     let config = ReproConfig::from_env();
     let requested: Vec<String> = std::env::args().skip(1).collect();
-    let requested = if requested.is_empty() { vec!["all".to_string()] } else { requested };
+    let requested = if requested.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        requested
+    };
 
     for experiment in &requested {
         match experiment.as_str() {
-            "table1" => {
+            "table1" => timed(&config, "table1", |c| {
                 println!("== Table 1: probe complexity of Maj, Triang, Tree and HQS ==\n");
-                println!("{}", table1(&config));
-            }
-            "maj3" => {
-                let (table, art) = maj3(&config);
+                println!("{}", table1(c));
+            }),
+            "maj3" => timed(&config, "maj3", |c| {
+                let (table, art) = maj3(c);
                 println!("== Section 2.3 worked example: Maj3 ==\n");
                 println!("{table}");
                 println!("Optimal decision tree (Figure 4):\n\n{art}");
-            }
-            "crumbling-walls" => {
+            }),
+            "crumbling-walls" => timed(&config, "crumbling-walls", |c| {
                 println!("== Theorem 3.3 / Corollary 3.4: Probe_CW needs at most 2k−1 expected probes ==\n");
-                println!("{}", crumbling_walls(&config));
-            }
-            "tree-exponent" => {
+                println!("{}", crumbling_walls(c));
+            }),
+            "tree-exponent" => timed(&config, "tree-exponent", |c| {
                 println!("== Proposition 3.6 / Corollary 3.7: Tree exponent log2(1+p) ==\n");
-                println!("{}", tree_exponent(&config));
-            }
-            "hqs-exponent" => {
+                println!("{}", tree_exponent(c));
+            }),
+            "hqs-exponent" => timed(&config, "hqs-exponent", |c| {
                 println!("== Theorem 3.8: HQS probabilistic exponents ==\n");
-                println!("{}", hqs_exponent(&config));
-            }
-            "randomized" => {
+                println!("{}", hqs_exponent(c));
+            }),
+            "randomized" => timed(&config, "randomized", |c| {
                 println!("== Section 4 upper bounds: randomized algorithms ==\n");
-                println!("{}", randomized(&config));
-            }
-            "lower-bounds" => {
+                println!("{}", randomized(c));
+            }),
+            "lower-bounds" => timed(&config, "lower-bounds", |c| {
                 println!("== Section 4 lower bounds via Yao's principle ==\n");
-                println!("{}", lower_bounds(&config));
-            }
-            "hqs-randomized" => {
+                println!("{}", lower_bounds(c));
+            }),
+            "hqs-randomized" => timed(&config, "hqs-randomized", |c| {
                 println!("== Proposition 4.9 vs Theorem 4.10: R_Probe_HQS vs IR_Probe_HQS ==\n");
-                println!("{}", hqs_randomized(&config));
-            }
-            "lemmas" => {
+                println!("{}", hqs_randomized(c));
+            }),
+            "lemmas" => timed(&config, "lemmas", |c| {
                 println!("== Section 2.4 technical lemmas ==\n");
-                println!("{}", lemmas_table(&config));
-            }
-            "availability" => {
+                println!("{}", lemmas_table(c));
+            }),
+            "availability" => timed(&config, "availability", |c| {
                 println!("== Fact 2.3 and availability recursions ==\n");
-                println!("{}", availability_table(&config));
-            }
-            "figures" => {
+                println!("{}", availability_table(c));
+            }),
+            "figures" => timed(&config, "figures", |_| {
                 println!("{}", figures());
-            }
+            }),
             "all" => {
-                println!("== Section 2.3 worked example: Maj3 ==\n");
-                let (table, art) = maj3(&config);
-                println!("{table}");
-                println!("Optimal decision tree (Figure 4):\n\n{art}");
-                println!("== Table 1: probe complexity of Maj, Triang, Tree and HQS ==\n");
-                println!("{}", table1(&config));
-                println!("== Theorem 3.3 / Corollary 3.4: crumbling walls ==\n");
-                println!("{}", crumbling_walls(&config));
-                println!("== Proposition 3.6 / Corollary 3.7: Tree exponent ==\n");
-                println!("{}", tree_exponent(&config));
-                println!("== Theorem 3.8: HQS exponents ==\n");
-                println!("{}", hqs_exponent(&config));
-                println!("== Section 4 randomized upper bounds ==\n");
-                println!("{}", randomized(&config));
-                println!("== Section 4 Yao lower bounds ==\n");
-                println!("{}", lower_bounds(&config));
-                println!("== R_Probe_HQS vs IR_Probe_HQS ==\n");
-                println!("{}", hqs_randomized(&config));
-                println!("== Section 2.4 technical lemmas ==\n");
-                println!("{}", lemmas_table(&config));
-                println!("== Availability (Fact 2.3) ==\n");
-                println!("{}", availability_table(&config));
-                println!("{}", figures());
+                timed(&config, "maj3", |c| {
+                    println!("== Section 2.3 worked example: Maj3 ==\n");
+                    let (table, art) = maj3(c);
+                    println!("{table}");
+                    println!("Optimal decision tree (Figure 4):\n\n{art}");
+                });
+                timed(&config, "table1", |c| {
+                    println!("== Table 1: probe complexity of Maj, Triang, Tree and HQS ==\n");
+                    println!("{}", table1(c));
+                });
+                timed(&config, "crumbling-walls", |c| {
+                    println!("== Theorem 3.3 / Corollary 3.4: crumbling walls ==\n");
+                    println!("{}", crumbling_walls(c));
+                });
+                timed(&config, "tree-exponent", |c| {
+                    println!("== Proposition 3.6 / Corollary 3.7: Tree exponent ==\n");
+                    println!("{}", tree_exponent(c));
+                });
+                timed(&config, "hqs-exponent", |c| {
+                    println!("== Theorem 3.8: HQS exponents ==\n");
+                    println!("{}", hqs_exponent(c));
+                });
+                timed(&config, "randomized", |c| {
+                    println!("== Section 4 randomized upper bounds ==\n");
+                    println!("{}", randomized(c));
+                });
+                timed(&config, "lower-bounds", |c| {
+                    println!("== Section 4 Yao lower bounds ==\n");
+                    println!("{}", lower_bounds(c));
+                });
+                timed(&config, "hqs-randomized", |c| {
+                    println!("== R_Probe_HQS vs IR_Probe_HQS ==\n");
+                    println!("{}", hqs_randomized(c));
+                });
+                timed(&config, "lemmas", |c| {
+                    println!("== Section 2.4 technical lemmas ==\n");
+                    println!("{}", lemmas_table(c));
+                });
+                timed(&config, "availability", |c| {
+                    println!("== Availability (Fact 2.3) ==\n");
+                    println!("{}", availability_table(c));
+                });
+                timed(&config, "figures", |_| {
+                    println!("{}", figures());
+                });
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

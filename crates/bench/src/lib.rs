@@ -6,16 +6,29 @@
 //! pairs the paper's claim with the value measured by this workspace.
 //! `EXPERIMENTS.md` records a captured run.
 //!
+//! Every Monte-Carlo number is produced by the shared parallel evaluation
+//! engine (`quorum_sim::eval`): each table function assembles one
+//! [`EvalPlan`] of `(system, strategy, coloring-source)` cells and executes
+//! it with a single [`EvalEngine::run`] call. Results are bit-identical for
+//! any worker-thread count.
+//!
 //! The number of Monte-Carlo trials is controlled by the `REPRO_TRIALS`
 //! environment variable (default 5000); the RNG seed by `REPRO_SEED`
-//! (default 2001), so runs are reproducible.
+//! (default 2001); the worker-thread count by `REPRO_THREADS` (default: all
+//! cores). Runs are reproducible: the seed fully determines every number.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use probequorum::prelude::*;
+use probequorum::sim::eval::{
+    erase_system, fit_points, typed_strategy, CellReport, ColoringSource, DynSystem, EvalEngine,
+    EvalPlan,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of a reproduction run.
 #[derive(Debug, Clone, Copy)]
@@ -24,17 +37,23 @@ pub struct ReproConfig {
     pub trials: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the evaluation engine (0 = all cores).
+    pub threads: usize,
 }
 
 impl Default for ReproConfig {
     fn default() -> Self {
-        ReproConfig { trials: 5_000, seed: 2_001 }
+        ReproConfig {
+            trials: 5_000,
+            seed: 2_001,
+            threads: 0,
+        }
     }
 }
 
 impl ReproConfig {
-    /// Reads the configuration from the `REPRO_TRIALS` / `REPRO_SEED`
-    /// environment variables, falling back to the defaults.
+    /// Reads the configuration from the `REPRO_TRIALS` / `REPRO_SEED` /
+    /// `REPRO_THREADS` environment variables, falling back to the defaults.
     pub fn from_env() -> Self {
         let mut config = ReproConfig::default();
         if let Ok(value) = std::env::var("REPRO_TRIALS") {
@@ -47,11 +66,34 @@ impl ReproConfig {
                 config.seed = parsed;
             }
         }
+        if let Ok(value) = std::env::var("REPRO_THREADS") {
+            if let Ok(parsed) = value.parse() {
+                config.threads = parsed;
+            }
+        }
         config
     }
 
+    /// The evaluation engine this configuration selects.
+    pub fn engine(&self) -> EvalEngine {
+        EvalEngine::with_threads(self.threads)
+    }
+
+    /// A fresh RNG for code that still samples directly (hard colorings in
+    /// tests, exact solvers' tie-breaking).
     fn rng(&self) -> StdRng {
         StdRng::seed_from_u64(self.seed)
+    }
+
+    /// A base seed for one table, derived from the configured seed and the
+    /// table's name so tables stay independent.
+    fn section_seed(&self, section: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in section.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 }
 
@@ -59,68 +101,138 @@ fn fmt(value: f64) -> String {
     format!("{value:.3}")
 }
 
+/// Fits a power law through the `(universe size, mean probes)` points of a
+/// consecutive slice of engine cells (a sweep).
+fn fit_cells(cells: &[CellReport]) -> PowerLawFit {
+    fit_power_law(&fit_points(cells))
+}
+
+/// A [`ColoringSource`] drawing from the Triang/CW hard input family of
+/// Theorem 4.6 (exactly one green element per row, uniformly placed).
+pub fn cw_hard_source(wall: &Arc<CrumblingWalls>) -> ColoringSource {
+    let wall = Arc::clone(wall);
+    ColoringSource::generator("cw-hard(one green/row)", move |rng| {
+        cw_hard_coloring(&wall, rng)
+    })
+}
+
+/// A [`ColoringSource`] drawing from the HQS worst-case family `P` of
+/// Lemma 4.11, *paired* on `pair_seed`: cells built with the same seed see
+/// the identical coloring on every trial, so `R_Probe_HQS` and
+/// `IR_Probe_HQS` are compared on common random inputs.
+pub fn hqs_hard_source(height: usize, pair_seed: u64) -> ColoringSource {
+    ColoringSource::paired_generator("hqs-hard(Lemma 4.11)", pair_seed, move |rng| {
+        hqs_hard_coloring(height, rng)
+    })
+}
+
 /// Reproduces **Table 1**: the probe complexity of Maj, Triang, Tree and HQS
 /// in the probabilistic model (p = 1/2) and the randomized worst-case model.
 pub fn table1(config: &ReproConfig) -> Table {
-    let mut rng = config.rng();
     let trials = config.trials;
-    let mut table = Table::new([
-        "system",
-        "n",
-        "model",
-        "measured",
-        "paper claim",
-    ]);
+    let mut plan = EvalPlan::new(config.section_seed("table1")).trials(trials);
 
-    // ---- Majority ----------------------------------------------------------
-    let n = 101;
-    let maj = Majority::new(n).unwrap();
-    let est = estimate_expected_probes(&maj, &ProbeMaj::new(), &FailureModel::iid(0.5), trials, &mut rng);
-    table.add_row(vec![
-        "Maj".into(),
-        n.to_string(),
-        "probabilistic p=1/2".into(),
-        fmt(est.mean),
-        format!("n − Θ(√n) ≈ {}", fmt(bounds::maj_probabilistic(n, 0.5))),
-    ]);
-    let est = estimate_expected_probes(
+    // ---- Plan every cell up front; one engine pass executes them all. ----
+    let maj = erase_system(Majority::new(101).unwrap());
+    let maj_reds = maj.universe_size().div_ceil(2); // the hard input: (n+1)/2 reds
+    let probe_maj = typed_strategy::<Majority, _>(ProbeMaj::new());
+    let r_probe_maj = typed_strategy::<Majority, _>(RProbeMaj::new());
+    plan.probe(&maj, &probe_maj, ColoringSource::iid(0.5));
+    plan.probe(
         &maj,
-        &RProbeMaj::new(),
-        &FailureModel::exact_red_count((n + 1) / 2),
-        trials,
-        &mut rng,
+        &r_probe_maj,
+        ColoringSource::exact_red_count(maj_reds),
     );
+
+    let triang = Arc::new(CrumblingWalls::triang(13).unwrap());
+    let triang_sys: DynSystem = triang.clone();
+    let probe_cw = typed_strategy::<CrumblingWalls, _>(ProbeCw::new());
+    let r_probe_cw = typed_strategy::<CrumblingWalls, _>(RProbeCw::new());
+    plan.probe(&triang_sys, &probe_cw, ColoringSource::iid(0.5));
+    // All one-green-per-row colorings of Triang are equivalent up to symmetry,
+    // so averaging over the hard family estimates the worst-case expectation
+    // without the upward bias of maximising over many noisy estimates.
+    plan.probe_with_trials(
+        &triang_sys,
+        &r_probe_cw,
+        cw_hard_source(&triang),
+        trials.max(2_000),
+    );
+
+    let probe_tree = typed_strategy::<TreeQuorum, _>(ProbeTree::new());
+    let tree_sweep_start = plan.cell_count();
+    for height in 4..=9 {
+        let tree = erase_system(TreeQuorum::new(height).unwrap());
+        plan.probe_with_trials(
+            &tree,
+            &probe_tree,
+            ColoringSource::iid(0.5),
+            trials.min(3_000),
+        );
+    }
+    let tree_sweep_end = plan.cell_count();
+
+    let tree4 = TreeQuorum::new(4).unwrap();
+    let hard = InputDistribution::tree_hard(&tree4);
+    let colorings: Vec<Coloring> = hard.support().iter().map(|(c, _)| c.clone()).collect();
+    let sample: Vec<Coloring> = colorings.into_iter().step_by(409).take(10).collect();
+    let tree4_sys = erase_system(tree4);
+    let r_probe_tree = typed_strategy::<TreeQuorum, _>(RProbeTree::new());
+    let tree_worst_start = plan.cell_count();
+    plan.probe_each_coloring(&tree4_sys, &r_probe_tree, &sample, (trials / 2).max(1_000));
+    let tree_worst_end = plan.cell_count();
+
+    let probe_hqs = typed_strategy::<Hqs, _>(ProbeHqs::new());
+    let hqs_sweep_start = plan.cell_count();
+    for height in 2..=6 {
+        let hqs = erase_system(Hqs::new(height).unwrap());
+        plan.probe_with_trials(
+            &hqs,
+            &probe_hqs,
+            ColoringSource::iid(0.5),
+            trials.min(3_000),
+        );
+    }
+    let hqs_sweep_end = plan.cell_count();
+
+    let report = config.engine().run(&plan);
+    let cells = &report.cells;
+
+    // ---- Assemble the table from the report. ----
+    let mut table = Table::new(["system", "n", "model", "measured", "paper claim"]);
+    let maj_n = cells[0].universe_size.unwrap();
     table.add_row(vec![
         "Maj".into(),
-        n.to_string(),
+        maj_n.to_string(),
+        "probabilistic p=1/2".into(),
+        fmt(cells[0].estimate.mean),
+        format!("n − Θ(√n) ≈ {}", fmt(bounds::maj_probabilistic(maj_n, 0.5))),
+    ]);
+    table.add_row(vec![
+        "Maj".into(),
+        maj_n.to_string(),
         "randomized worst case".into(),
-        fmt(est.mean),
-        format!("n − (n−1)/(n+3) = {}", fmt(bounds::maj_randomized_exact(n))),
+        fmt(cells[1].estimate.mean),
+        format!(
+            "n − (n−1)/(n+3) = {}",
+            fmt(bounds::maj_randomized_exact(maj_n))
+        ),
     ]);
 
-    // ---- Triang -------------------------------------------------------------
-    let k = 13;
-    let triang = CrumblingWalls::triang(k).unwrap();
     let n = triang.universe_size();
-    let est = estimate_expected_probes(&triang, &ProbeCw::new(), &FailureModel::iid(0.5), trials, &mut rng);
+    let k = triang.row_count();
     table.add_row(vec![
         "Triang".into(),
         n.to_string(),
         "probabilistic p=1/2".into(),
-        fmt(est.mean),
+        fmt(cells[2].estimate.mean),
         format!("between 2k − Θ(√k) and 2k − 1 = {}", 2 * k - 1),
     ]);
-    // All one-green-per-row colorings of the Triang system are equivalent up
-    // to symmetry, so a single sampled hard coloring with many runs estimates
-    // the worst-case expectation without the upward bias of maximising over
-    // many noisy estimates.
-    let sample: Vec<Coloring> = vec![cw_hard_coloring(&triang, &mut rng)];
-    let worst = worst_case_over_colorings(&triang, &RProbeCw::new(), &sample, trials.max(2_000), &mut rng);
     table.add_row(vec![
         "Triang".into(),
         n.to_string(),
         "randomized worst case".into(),
-        fmt(worst.expected_probes),
+        fmt(cells[3].estimate.mean),
         format!(
             "(n+k)/2 = {} … (n+k)/2 + log k = {}",
             fmt(bounds::cw_randomized_lower(n, k)),
@@ -128,45 +240,54 @@ pub fn table1(config: &ReproConfig) -> Table {
         ),
     ]);
 
-    // ---- Tree ---------------------------------------------------------------
-    let trees: Vec<TreeQuorum> = (4..=9).map(|h| TreeQuorum::new(h).unwrap()).collect();
-    let row = sweep("Tree", &trees, &ProbeTree::new(), &FailureModel::iid(0.5), trials.min(3_000), &mut rng);
-    let fit = fit_power_law(&row.as_fit_points());
+    let tree_cells = &cells[tree_sweep_start..tree_sweep_end];
+    let fit = fit_cells(tree_cells);
     table.add_row(vec![
         "Tree".into(),
-        format!("{}–{}", row.points.first().unwrap().universe_size, row.points.last().unwrap().universe_size),
+        format!(
+            "{}–{}",
+            tree_cells.first().unwrap().universe_size.unwrap(),
+            tree_cells.last().unwrap().universe_size.unwrap()
+        ),
         "probabilistic p=1/2".into(),
         format!("exponent {}", fmt(fit.exponent)),
-        format!("O(n^{}) (log2 1.5)", fmt(bounds::tree_probabilistic_exponent(0.5))),
+        format!(
+            "O(n^{}) (log2 1.5)",
+            fmt(bounds::tree_probabilistic_exponent(0.5))
+        ),
     ]);
-    let tree = TreeQuorum::new(4).unwrap();
-    let n = tree.universe_size();
-    let hard = InputDistribution::tree_hard(&tree);
-    let colorings: Vec<Coloring> = hard.support().iter().map(|(c, _)| c.clone()).collect();
-    let sample: Vec<Coloring> = colorings.into_iter().step_by(409).take(10).collect();
-    let worst = worst_case_over_colorings(&tree, &RProbeTree::new(), &sample, (trials / 2).max(1_000), &mut rng);
+    let tree_worst = cells[tree_worst_start..tree_worst_end]
+        .iter()
+        .map(|c| c.estimate.mean)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let tree_worst_n = cells[tree_worst_start].universe_size.unwrap();
     table.add_row(vec![
         "Tree".into(),
-        n.to_string(),
+        tree_worst_n.to_string(),
         "randomized worst case".into(),
-        fmt(worst.expected_probes),
+        fmt(tree_worst),
         format!(
             "2n/3 ≈ {} … 5n/6 ≈ {}",
-            fmt(bounds::tree_randomized_lower(n)),
-            fmt(bounds::tree_randomized_upper(n))
+            fmt(bounds::tree_randomized_lower(tree_worst_n)),
+            fmt(bounds::tree_randomized_upper(tree_worst_n))
         ),
     ]);
 
-    // ---- HQS ----------------------------------------------------------------
-    let hqss: Vec<Hqs> = (2..=6).map(|h| Hqs::new(h).unwrap()).collect();
-    let row = sweep("HQS", &hqss, &ProbeHqs::new(), &FailureModel::iid(0.5), trials.min(3_000), &mut rng);
-    let fit = fit_power_law(&row.as_fit_points());
+    let hqs_cells = &cells[hqs_sweep_start..hqs_sweep_end];
+    let fit = fit_cells(hqs_cells);
     table.add_row(vec![
         "HQS".into(),
-        format!("{}–{}", row.points.first().unwrap().universe_size, row.points.last().unwrap().universe_size),
+        format!(
+            "{}–{}",
+            hqs_cells.first().unwrap().universe_size.unwrap(),
+            hqs_cells.last().unwrap().universe_size.unwrap()
+        ),
         "probabilistic p=1/2".into(),
         format!("exponent {}", fmt(fit.exponent)),
-        format!("Θ(n^{}) (log3 2.5)", fmt(bounds::hqs_probabilistic_exponent_symmetric())),
+        format!(
+            "Θ(n^{}) (log3 2.5)",
+            fmt(bounds::hqs_probabilistic_exponent_symmetric())
+        ),
     ]);
     let (plain_fit, improved_fit) = hqs_randomized_exponents(config);
     table.add_row(vec![
@@ -219,32 +340,55 @@ pub fn hqs_hard_coloring<R: Rng>(height: usize, rng: &mut R) -> Coloring {
     Coloring::from_colors(colors)
 }
 
+/// Builds the `R_Probe_HQS` vs `IR_Probe_HQS` plan on the hard input family
+/// of Lemma 4.11 (two cells per height) and returns the executed report
+/// cells, interleaved `[plain, improved]` per height.
+///
+/// These are the slowest cells in the harness and both `table1` and
+/// `hqs_randomized` need them, so the (deterministic) result is memoised per
+/// `(seed, trials, heights)`.
+fn run_hqs_randomized_cells(
+    config: &ReproConfig,
+    heights: std::ops::RangeInclusive<usize>,
+) -> Vec<CellReport> {
+    type CacheKey = (u64, usize, usize, usize);
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<HashMap<CacheKey, Vec<CellReport>>>> =
+        std::sync::OnceLock::new();
+
+    let trials = (config.trials / 5).max(200);
+    let base_seed = config.section_seed("hqs-randomized");
+    let key = (base_seed, trials, *heights.start(), *heights.end());
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(cells) = cache.lock().expect("cache lock").get(&key) {
+        return cells.clone();
+    }
+
+    let mut plan = EvalPlan::new(base_seed).trials(trials);
+    let r_probe = typed_strategy::<Hqs, _>(RProbeHqs::new());
+    let ir_probe = typed_strategy::<Hqs, _>(IrProbeHqs::new());
+    for height in heights {
+        let hqs = erase_system(Hqs::new(height).unwrap());
+        // Both strategies share the per-height pair seed, so every trial
+        // compares them on the identical hard coloring (variance reduction
+        // for the "IR saves" column).
+        let pair_seed = base_seed ^ (height as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        plan.probe(&hqs, &r_probe, hqs_hard_source(height, pair_seed));
+        plan.probe(&hqs, &ir_probe, hqs_hard_source(height, pair_seed));
+    }
+    let cells = config.engine().run(&plan).cells;
+    cache.lock().expect("cache lock").insert(key, cells.clone());
+    cells
+}
+
 /// Fits the growth exponents of `R_Probe_HQS` and `IR_Probe_HQS` on the hard
 /// input family of Lemma 4.11 (Proposition 4.9 vs Theorem 4.10).
 ///
 /// Returns `(plain_exponent, improved_exponent)`.
 pub fn hqs_randomized_exponents(config: &ReproConfig) -> (f64, f64) {
-    let mut rng = config.rng();
-    let trials = (config.trials / 5).max(200);
-    let mut plain_points = Vec::new();
-    let mut improved_points = Vec::new();
-    for height in 2..=7usize {
-        let hqs = Hqs::new(height).unwrap();
-        let n = hqs.universe_size();
-        let mut plain = RunningStats::new();
-        let mut improved = RunningStats::new();
-        for _ in 0..trials {
-            let coloring = hqs_hard_coloring(height, &mut rng);
-            plain.push(run_strategy(&hqs, &RProbeHqs::new(), &coloring, &mut rng).probes as f64);
-            improved.push(run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng).probes as f64);
-        }
-        plain_points.push((n as f64, plain.mean()));
-        improved_points.push((n as f64, improved.mean()));
-    }
-    (
-        fit_power_law(&plain_points).exponent,
-        fit_power_law(&improved_points).exponent,
-    )
+    let cells = run_hqs_randomized_cells(config, 2..=7);
+    let plain: Vec<CellReport> = cells.iter().step_by(2).cloned().collect();
+    let improved: Vec<CellReport> = cells.iter().skip(1).step_by(2).cloned().collect();
+    (fit_cells(&plain).exponent, fit_cells(&improved).exponent)
 }
 
 /// Reproduces the worked example of Section 2.3 and Fig. 4: the Maj3 decision
@@ -262,9 +406,15 @@ pub fn maj3(config: &ReproConfig) -> (Table, String) {
 
     let yao_bound =
         yao::best_deterministic_cost(&maj, &InputDistribution::majority_hard(&maj)).unwrap();
-    table.add_row(vec!["Yao bound (hard distribution)".into(), fmt(yao_bound), "8/3 ≈ 2.667".into()]);
+    table.add_row(vec![
+        "Yao bound (hard distribution)".into(),
+        fmt(yao_bound),
+        "8/3 ≈ 2.667".into(),
+    ]);
 
-    let worst = estimate_worst_case(&maj, &RProbeMaj::new(), config.trials.max(1_000), &mut rng);
+    let worst = config.engine().install(|| {
+        estimate_worst_case(&maj, &RProbeMaj::new(), config.trials.max(1_000), &mut rng)
+    });
     table.add_row(vec![
         "PC_R(R_Probe_Maj, Maj3) (measured)".into(),
         fmt(worst.expected_probes),
@@ -277,23 +427,39 @@ pub fn maj3(config: &ReproConfig) -> (Table, String) {
 /// Reproduces the crumbling-walls results: Theorem 3.3 (`≤ 2k − 1` for every p
 /// and shape) and Corollary 3.4 (Wheel ≤ 3).
 pub fn crumbling_walls(config: &ReproConfig) -> Table {
-    let mut rng = config.rng();
-    let mut table = Table::new(["wall", "n", "k", "p", "measured", "bound 2k−1"]);
-    let shapes: Vec<(&str, CrumblingWalls)> = vec![
-        ("Wheel(64)", CrumblingWalls::wheel(64).unwrap()),
-        ("Triang(10)", CrumblingWalls::triang(10).unwrap()),
-        ("CW(1,5,5,5,5)", CrumblingWalls::new(vec![1, 5, 5, 5, 5]).unwrap()),
-        ("CW(1,2,9,30)", CrumblingWalls::new(vec![1, 2, 9, 30]).unwrap()),
+    let shapes: Vec<(&str, Arc<CrumblingWalls>)> = vec![
+        ("Wheel(64)", Arc::new(CrumblingWalls::wheel(64).unwrap())),
+        ("Triang(10)", Arc::new(CrumblingWalls::triang(10).unwrap())),
+        (
+            "CW(1,5,5,5,5)",
+            Arc::new(CrumblingWalls::new(vec![1, 5, 5, 5, 5]).unwrap()),
+        ),
+        (
+            "CW(1,2,9,30)",
+            Arc::new(CrumblingWalls::new(vec![1, 2, 9, 30]).unwrap()),
+        ),
     ];
+    let probe_cw = typed_strategy::<CrumblingWalls, _>(ProbeCw::new());
+    let mut plan = EvalPlan::new(config.section_seed("crumbling-walls")).trials(config.trials);
+    for (_, wall) in &shapes {
+        let system: DynSystem = wall.clone();
+        for p in [0.1, 0.5, 0.9] {
+            plan.probe(&system, &probe_cw, ColoringSource::iid(p));
+        }
+    }
+    let report = config.engine().run(&plan);
+
+    let mut table = Table::new(["wall", "n", "k", "p", "measured", "bound 2k−1"]);
+    let mut cells = report.cells.iter();
     for (name, wall) in &shapes {
         for p in [0.1, 0.5, 0.9] {
-            let est = estimate_expected_probes(wall, &ProbeCw::new(), &FailureModel::iid(p), config.trials, &mut rng);
+            let cell = cells.next().expect("one cell per shape × p");
             table.add_row(vec![
                 (*name).into(),
                 wall.universe_size().to_string(),
                 wall.row_count().to_string(),
                 p.to_string(),
-                fmt(est.mean),
+                fmt(cell.estimate.mean),
                 (2 * wall.row_count() - 1).to_string(),
             ]);
         }
@@ -304,14 +470,25 @@ pub fn crumbling_walls(config: &ReproConfig) -> Table {
 /// Reproduces Proposition 3.6 / Corollary 3.7: the Tree exponent as a function
 /// of `p` compared to `log_2(1 + p)`.
 pub fn tree_exponent(config: &ReproConfig) -> Table {
-    let mut rng = config.rng();
     // Larger trees reduce the finite-size bias of the log–log fit (the paper's
     // exponents are asymptotic).
-    let trees: Vec<TreeQuorum> = (5..=10).map(|h| TreeQuorum::new(h).unwrap()).collect();
+    let probabilities = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let heights = 5..=10usize;
+    let probe_tree = typed_strategy::<TreeQuorum, _>(ProbeTree::new());
+    let mut plan =
+        EvalPlan::new(config.section_seed("tree-exponent")).trials(config.trials.min(3_000));
+    for p in probabilities {
+        for height in heights.clone() {
+            let tree = erase_system(TreeQuorum::new(height).unwrap());
+            plan.probe(&tree, &probe_tree, ColoringSource::iid(p));
+        }
+    }
+    let report = config.engine().run(&plan);
+
     let mut table = Table::new(["p", "fitted exponent", "paper exponent log2(1+p)"]);
-    for p in [0.1, 0.2, 0.3, 0.4, 0.5] {
-        let row = sweep("Tree", &trees, &ProbeTree::new(), &FailureModel::iid(p), config.trials.min(3_000), &mut rng);
-        let fit = fit_power_law(&row.as_fit_points());
+    let per_sweep = heights.clone().count();
+    for (i, p) in probabilities.into_iter().enumerate() {
+        let fit = fit_cells(&report.cells[i * per_sweep..(i + 1) * per_sweep]);
         table.add_row(vec![
             p.to_string(),
             fmt(fit.exponent),
@@ -326,15 +503,33 @@ pub fn tree_exponent(config: &ReproConfig) -> Table {
 /// T(h−1)` recursion check on small heights.
 pub fn hqs_exponent(config: &ReproConfig) -> Table {
     let mut rng = config.rng();
-    let hqss: Vec<Hqs> = (2..=7).map(|h| Hqs::new(h).unwrap()).collect();
+    let probabilities = [0.1, 0.3, 0.5];
+    let heights = 2..=7usize;
+    let probe_hqs = typed_strategy::<Hqs, _>(ProbeHqs::new());
+    let mut plan =
+        EvalPlan::new(config.section_seed("hqs-exponent")).trials(config.trials.min(3_000));
+    for p in probabilities {
+        for height in heights.clone() {
+            let hqs = erase_system(Hqs::new(height).unwrap());
+            plan.probe(&hqs, &probe_hqs, ColoringSource::iid(p));
+        }
+    }
+    let report = config.engine().run(&plan);
+
     let mut table = Table::new(["p", "fitted exponent", "paper exponent"]);
-    for p in [0.1, 0.3, 0.5] {
-        let row = sweep("HQS", &hqss, &ProbeHqs::new(), &FailureModel::iid(p), config.trials.min(3_000), &mut rng);
-        let fit = fit_power_law(&row.as_fit_points());
+    let per_sweep = heights.clone().count();
+    for (i, p) in probabilities.into_iter().enumerate() {
+        let fit = fit_cells(&report.cells[i * per_sweep..(i + 1) * per_sweep]);
         let paper = if (p - 0.5f64).abs() < 1e-9 {
-            format!("{} (log3 2.5)", fmt(bounds::hqs_probabilistic_exponent_symmetric()))
+            format!(
+                "{} (log3 2.5)",
+                fmt(bounds::hqs_probabilistic_exponent_symmetric())
+            )
         } else {
-            format!("≤ {} (log3 2, asymptotic)", fmt(bounds::hqs_probabilistic_exponent_biased()))
+            format!(
+                "≤ {} (log3 2, asymptotic)",
+                fmt(bounds::hqs_probabilistic_exponent_biased())
+            )
         };
         table.add_row(vec![p.to_string(), fmt(fit.exponent), paper]);
     }
@@ -343,7 +538,9 @@ pub fn hqs_exponent(config: &ReproConfig) -> Table {
     // larger heights are covered by the Monte-Carlo sweep above).
     for h in 1..=2usize {
         let hqs = Hqs::new(h).unwrap();
-        let exact_cost = exhaustive_expected_probes(&hqs, &ProbeHqs::new(), 0.5, 1, &mut rng);
+        let exact_cost = config
+            .engine()
+            .install(|| exhaustive_expected_probes(&hqs, &ProbeHqs::new(), 0.5, 1, &mut rng));
         table.add_row(vec![
             format!("T({h}) at p=1/2"),
             fmt(exact_cost),
@@ -356,9 +553,20 @@ pub fn hqs_exponent(config: &ReproConfig) -> Table {
 /// Reproduces the randomized upper bounds of Section 4: Theorem 4.2 (Maj),
 /// Theorem 4.4 / Corollary 4.5 (CW, Triang, Wheel) and Theorem 4.7 (Tree).
 pub fn randomized(config: &ReproConfig) -> Table {
+    // The worst-case searches go through the legacy estimators, so pin the
+    // whole table to the configured engine thread count.
+    config.engine().install(|| randomized_inner(config))
+}
+
+fn randomized_inner(config: &ReproConfig) -> Table {
     let mut rng = config.rng();
     let trials = config.trials;
-    let mut table = Table::new(["system", "algorithm", "measured worst case", "paper value / bound"]);
+    let mut table = Table::new([
+        "system",
+        "algorithm",
+        "measured worst case",
+        "paper value / bound",
+    ]);
 
     let maj = Majority::new(9).unwrap();
     let worst = estimate_worst_case(&maj, &RProbeMaj::new(), (trials / 10).max(100), &mut rng);
@@ -366,7 +574,10 @@ pub fn randomized(config: &ReproConfig) -> Table {
         "Maj(9)".into(),
         "R_Probe_Maj".into(),
         fmt(worst.expected_probes),
-        format!("= n − (n−1)/(n+3) = {}", fmt(bounds::maj_randomized_exact(9))),
+        format!(
+            "= n − (n−1)/(n+3) = {}",
+            fmt(bounds::maj_randomized_exact(9))
+        ),
     ]);
 
     let wheel = CrumblingWalls::wheel(12).unwrap();
@@ -395,7 +606,13 @@ pub fn randomized(config: &ReproConfig) -> Table {
     let tree = TreeQuorum::new(3).unwrap();
     let hard = InputDistribution::tree_hard(&tree);
     let colorings: Vec<Coloring> = hard.support().iter().map(|(c, _)| c.clone()).collect();
-    let worst = worst_case_over_colorings(&tree, &RProbeTree::new(), &colorings, (trials / 20).max(50), &mut rng);
+    let worst = worst_case_over_colorings(
+        &tree,
+        &RProbeTree::new(),
+        &colorings,
+        (trials / 20).max(50),
+        &mut rng,
+    );
     table.add_row(vec![
         "Tree(h=3, n=15)".into(),
         "R_Probe_Tree".into(),
@@ -410,11 +627,17 @@ pub fn randomized(config: &ReproConfig) -> Table {
 /// computing the exact optimal deterministic cost against the paper's hard
 /// distributions on small instances, next to the closed-form values.
 pub fn lower_bounds(_config: &ReproConfig) -> Table {
-    let mut table = Table::new(["system", "hard distribution", "exact Yao bound", "paper formula"]);
+    let mut table = Table::new([
+        "system",
+        "hard distribution",
+        "exact Yao bound",
+        "paper formula",
+    ]);
 
     for n in [3usize, 5, 7, 9] {
         let maj = Majority::new(n).unwrap();
-        let bound = yao::best_deterministic_cost(&maj, &InputDistribution::majority_hard(&maj)).unwrap();
+        let bound =
+            yao::best_deterministic_cost(&maj, &InputDistribution::majority_hard(&maj)).unwrap();
         table.add_row(vec![
             format!("Maj({n})"),
             "exactly (n+1)/2 red".into(),
@@ -427,7 +650,8 @@ pub fn lower_bounds(_config: &ReproConfig) -> Table {
         let wall = CrumblingWalls::new(widths.clone()).unwrap();
         let n = wall.universe_size();
         let k = wall.row_count();
-        let bound = yao::best_deterministic_cost(&wall, &InputDistribution::cw_hard(&wall)).unwrap();
+        let bound =
+            yao::best_deterministic_cost(&wall, &InputDistribution::cw_hard(&wall)).unwrap();
         table.add_row(vec![
             format!("CW{widths:?}"),
             "one green per row".into(),
@@ -439,7 +663,8 @@ pub fn lower_bounds(_config: &ReproConfig) -> Table {
     for h in [1usize, 2] {
         let tree = TreeQuorum::new(h).unwrap();
         let n = tree.universe_size();
-        let bound = yao::best_deterministic_cost(&tree, &InputDistribution::tree_hard(&tree)).unwrap();
+        let bound =
+            yao::best_deterministic_cost(&tree, &InputDistribution::tree_hard(&tree)).unwrap();
         table.add_row(vec![
             format!("Tree(h={h})"),
             "2 red per bottom subtree".into(),
@@ -456,39 +681,46 @@ pub fn lower_bounds(_config: &ReproConfig) -> Table {
 /// (Theorem 4.10, exponent `≈ 0.887`), on the worst-case input family of
 /// Lemma 4.11.
 pub fn hqs_randomized(config: &ReproConfig) -> Table {
-    let mut rng = config.rng();
-    let trials = (config.trials / 5).max(200);
-    let mut table = Table::new(["height", "n", "R_Probe_HQS mean", "IR_Probe_HQS mean", "IR saves"]);
-    let mut plain_points = Vec::new();
-    let mut improved_points = Vec::new();
-    for height in 2..=7usize {
-        let hqs = Hqs::new(height).unwrap();
-        let n = hqs.universe_size();
-        let mut plain = RunningStats::new();
-        let mut improved = RunningStats::new();
-        for _ in 0..trials {
-            let coloring = hqs_hard_coloring(height, &mut rng);
-            plain.push(run_strategy(&hqs, &RProbeHqs::new(), &coloring, &mut rng).probes as f64);
-            improved.push(run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng).probes as f64);
-        }
-        plain_points.push((n as f64, plain.mean()));
-        improved_points.push((n as f64, improved.mean()));
+    let cells = run_hqs_randomized_cells(config, 2..=7);
+    let mut table = Table::new([
+        "height",
+        "n",
+        "R_Probe_HQS mean",
+        "IR_Probe_HQS mean",
+        "IR saves",
+    ]);
+    for (height, pair) in (2..=7usize).zip(cells.chunks_exact(2)) {
+        let (plain, improved) = (&pair[0], &pair[1]);
         table.add_row(vec![
             height.to_string(),
-            n.to_string(),
-            fmt(plain.mean()),
-            fmt(improved.mean()),
-            format!("{:.1}%", 100.0 * (plain.mean() - improved.mean()) / plain.mean()),
+            plain.universe_size.unwrap().to_string(),
+            fmt(plain.estimate.mean),
+            fmt(improved.estimate.mean),
+            format!(
+                "{:.1}%",
+                100.0 * (plain.estimate.mean - improved.estimate.mean) / plain.estimate.mean
+            ),
         ]);
     }
-    let plain_fit = fit_power_law(&plain_points).exponent;
-    let improved_fit = fit_power_law(&improved_points).exponent;
+    // The exponent fits come from the same memoised cells.
+    let (plain_fit, improved_fit) = hqs_randomized_exponents(config);
     table.add_row(vec![
         "exponent".into(),
         "-".into(),
-        format!("{} (paper: {})", fmt(plain_fit), fmt(bounds::hqs_randomized_exponent_plain())),
-        format!("{} (paper: {})", fmt(improved_fit), fmt(bounds::hqs_randomized_exponent_improved())),
-        format!("lower bound {}", fmt(bounds::hqs_randomized_exponent_lower())),
+        format!(
+            "{} (paper: {})",
+            fmt(plain_fit),
+            fmt(bounds::hqs_randomized_exponent_plain())
+        ),
+        format!(
+            "{} (paper: {})",
+            fmt(improved_fit),
+            fmt(bounds::hqs_randomized_exponent_improved())
+        ),
+        format!(
+            "lower bound {}",
+            fmt(bounds::hqs_randomized_exponent_lower())
+        ),
     ]);
     table
 }
@@ -496,9 +728,51 @@ pub fn hqs_randomized(config: &ReproConfig) -> Table {
 /// Reproduces the technical lemmas of Section 2.4 (Lemmas 2.4, 2.8, 2.9)
 /// by printing the closed forms next to exact/simulated values.
 pub fn lemmas_table(config: &ReproConfig) -> Table {
-    let mut rng = config.rng();
-    let mut table = Table::new(["lemma", "parameters", "formula", "exact / simulated"]);
+    // The urn simulations are custom Monte-Carlo cells on the same engine.
+    let urn_jth = [(5usize, 5usize, 3usize), (10, 2, 10), (3, 9, 1)];
+    let urn_both = [(1usize, 9usize), (4, 4), (7, 2)];
+    let mut plan = EvalPlan::new(config.section_seed("lemmas")).trials(config.trials);
+    for (r, g, j) in urn_jth {
+        plan.custom(
+            format!("urn jth-red r={r} g={g} j={j}"),
+            config.trials,
+            move |_, rng| {
+                use rand::seq::SliceRandom;
+                let mut order: Vec<bool> = std::iter::repeat_n(true, r)
+                    .chain(std::iter::repeat_n(false, g))
+                    .collect();
+                order.shuffle(rng);
+                let mut reds = 0usize;
+                for (draw, is_red) in order.iter().enumerate() {
+                    if *is_red {
+                        reds += 1;
+                        if reds == j {
+                            return (draw + 1) as f64;
+                        }
+                    }
+                }
+                unreachable!("j <= r, so the j-th red is always drawn")
+            },
+        );
+    }
+    for (r, g) in urn_both {
+        plan.custom(
+            format!("urn both-colors r={r} g={g}"),
+            config.trials,
+            move |_, rng| {
+                use rand::seq::SliceRandom;
+                let mut order: Vec<bool> = std::iter::repeat_n(true, r)
+                    .chain(std::iter::repeat_n(false, g))
+                    .collect();
+                order.shuffle(rng);
+                let first = order[0];
+                (order.iter().position(|&c| c != first).unwrap() + 1) as f64
+            },
+        );
+    }
+    let report = config.engine().run(&plan);
 
+    let mut table = Table::new(["lemma", "parameters", "formula", "exact / simulated"]);
     for (n, p) in [(50usize, 0.5f64), (50, 0.3), (200, 0.5)] {
         table.add_row(vec![
             "2.4 grid walk".into(),
@@ -507,53 +781,22 @@ pub fn lemmas_table(config: &ReproConfig) -> Table {
             fmt(lemmas::grid_exit_time_exact(n, p)),
         ]);
     }
-
-    for (r, g, j) in [(5usize, 5usize, 3usize), (10, 2, 10), (3, 9, 1)] {
-        // Simulate the urn draw.
-        let mut stats = RunningStats::new();
-        for _ in 0..config.trials {
-            let mut order: Vec<bool> =
-                std::iter::repeat(true).take(r).chain(std::iter::repeat(false).take(g)).collect();
-            use rand::seq::SliceRandom;
-            order.shuffle(&mut rng);
-            let mut reds = 0;
-            for (draw, is_red) in order.iter().enumerate() {
-                if *is_red {
-                    reds += 1;
-                    if reds == j {
-                        stats.push((draw + 1) as f64);
-                        break;
-                    }
-                }
-            }
-        }
+    for ((r, g, j), cell) in urn_jth.into_iter().zip(&report.cells[0..3]) {
         table.add_row(vec![
             "2.8 urn (j-th red)".into(),
             format!("r={r}, g={g}, j={j}"),
             fmt(lemmas::expected_draws_to_jth_red(r, g, j)),
-            fmt(stats.mean()),
+            fmt(cell.estimate.mean),
         ]);
     }
-
-    for (r, g) in [(1usize, 9usize), (4, 4), (7, 2)] {
-        let mut stats = RunningStats::new();
-        for _ in 0..config.trials {
-            let mut order: Vec<bool> =
-                std::iter::repeat(true).take(r).chain(std::iter::repeat(false).take(g)).collect();
-            use rand::seq::SliceRandom;
-            order.shuffle(&mut rng);
-            let first = order[0];
-            let draws = order.iter().position(|&c| c != first).unwrap() + 1;
-            stats.push(draws as f64);
-        }
+    for ((r, g), cell) in urn_both.into_iter().zip(&report.cells[3..6]) {
         table.add_row(vec![
             "2.9 urn (both colors)".into(),
             format!("r={r}, g={g}"),
             fmt(lemmas::expected_draws_to_both_colors(r, g)),
-            fmt(stats.mean()),
+            fmt(cell.estimate.mean),
         ]);
     }
-
     table
 }
 
@@ -576,7 +819,11 @@ pub fn availability_table(_config: &ReproConfig) -> Table {
                 (*name).into(),
                 p.to_string(),
                 fmt(fp),
-                format!("F_p ≤ p: {}; F_p + F_1−p = {}", fp <= p + 1e-12, fmt(fp + fq)),
+                format!(
+                    "F_p ≤ p: {}; F_p + F_1−p = {}",
+                    fp <= p + 1e-12,
+                    fmt(fp + fq)
+                ),
             ]);
         }
     }
@@ -588,13 +835,19 @@ pub fn availability_table(_config: &ReproConfig) -> Table {
             "Tree recursion".into(),
             p.to_string(),
             fmt(probequorum::analysis::availability::tree_failure_probability(2, p)),
-            format!("enumeration {}", fmt(exact_failure_probability(&tree, p).unwrap())),
+            format!(
+                "enumeration {}",
+                fmt(exact_failure_probability(&tree, p).unwrap())
+            ),
         ]);
         table.add_row(vec![
             "HQS recursion".into(),
             p.to_string(),
             fmt(probequorum::analysis::availability::hqs_failure_probability(2, p)),
-            format!("enumeration {}", fmt(exact_failure_probability(&hqs, p).unwrap())),
+            format!(
+                "enumeration {}",
+                fmt(exact_failure_probability(&hqs, p).unwrap())
+            ),
         ]);
     }
     table
@@ -639,13 +892,21 @@ pub fn figures() -> String {
         }
     };
     out.push_str(&format!("            {}\n", label(0)));
-    out.push_str(&format!("        /        \\\n"));
+    out.push_str("        /        \\\n");
     out.push_str(&format!("     {}        {}\n", label(1), label(2)));
-    out.push_str(&format!("     /   \\      /   \\\n"));
-    out.push_str(&format!("  {} {} {} {}\n\n", label(3), label(4), label(5), label(6)));
+    out.push_str("     /   \\      /   \\\n");
+    out.push_str(&format!(
+        "  {} {} {} {}\n\n",
+        label(3),
+        label(4),
+        label(5),
+        label(6)
+    ));
 
     // Figure 3: HQS of height 2 with the quorum {1,2,5,6} (1-based) shaded.
-    out.push_str("Figure 3 — the HQS (height 2, 9 leaves); * marks the quorum {1,2,5,6} of the paper:\n\n");
+    out.push_str(
+        "Figure 3 — the HQS (height 2, 9 leaves); * marks the quorum {1,2,5,6} of the paper:\n\n",
+    );
     let hqs_quorum = [0usize, 1, 4, 5];
     let leaf = |e: usize| {
         if hqs_quorum.contains(&e) {
@@ -660,7 +921,15 @@ pub fn figures() -> String {
     out.push_str("      /  |  \\    /  |  \\    /  |  \\\n");
     out.push_str(&format!(
         "     {} {} {}  {} {} {}  {} {} {}\n\n",
-        leaf(0), leaf(1), leaf(2), leaf(3), leaf(4), leaf(5), leaf(6), leaf(7), leaf(8)
+        leaf(0),
+        leaf(1),
+        leaf(2),
+        leaf(3),
+        leaf(4),
+        leaf(5),
+        leaf(6),
+        leaf(7),
+        leaf(8)
     ));
 
     // Figure 4: an optimal decision tree for Maj3.
@@ -678,7 +947,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ReproConfig {
-        ReproConfig { trials: 200, seed: 7 }
+        ReproConfig {
+            trials: 200,
+            seed: 7,
+            threads: 0,
+        }
     }
 
     #[test]
@@ -727,14 +1000,19 @@ mod tests {
             // minority pair...): concretely the root-color count is between
             // 4 and 5 for height 2.
             let greens = coloring.green_count();
-            assert!(greens == 4 || greens == 5, "unexpected green count {greens}");
+            assert!(
+                greens == 4 || greens == 5,
+                "unexpected green count {greens}"
+            );
         }
     }
 
     #[test]
     fn figures_render_all_four() {
         let art = figures();
-        for marker in ["Figure 1", "Figure 2", "Figure 3", "Figure 4", "2-of-3", "probe x"] {
+        for marker in [
+            "Figure 1", "Figure 2", "Figure 3", "Figure 4", "2-of-3", "probe x",
+        ] {
             assert!(art.contains(marker), "missing {marker}");
         }
     }
@@ -751,5 +1029,15 @@ mod tests {
         let config = ReproConfig::default();
         assert_eq!(config.trials, 5_000);
         assert_eq!(config.seed, 2_001);
+        assert_eq!(config.threads, 0);
+    }
+
+    #[test]
+    fn tables_are_reproducible_for_a_fixed_seed() {
+        // The engine's determinism surfaces all the way up here: rendering a
+        // table twice with the same config yields identical text.
+        let first = crumbling_walls(&tiny()).render();
+        let second = crumbling_walls(&tiny()).render();
+        assert_eq!(first, second);
     }
 }

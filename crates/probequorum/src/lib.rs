@@ -15,8 +15,9 @@
 //!   trees, exact solvers and Yao lower bounds (`quorum-probe`);
 //! * [`analysis`] — availability, the technical lemmas, statistics, power-law
 //!   fitting and the paper's closed-form bounds (`quorum-analysis`);
-//! * [`sim`] — Monte-Carlo estimators, failure models, sweeps and report
-//!   tables (`quorum-sim`);
+//! * [`sim`] — the parallel registry-driven evaluation engine
+//!   ([`sim::eval`]), Monte-Carlo estimators, failure models, sweeps and
+//!   report tables (`quorum-sim`);
 //! * [`cluster`] — the discrete-event cluster simulator (`quorum-cluster`);
 //! * [`protocols`] — quorum-based mutual exclusion and the replicated
 //!   register (`quorum-protocols`).
@@ -72,6 +73,10 @@ pub mod prelude {
     };
     pub use quorum_protocols::{
         MutexError, QuorumMutex, ReadResult, RegisterError, ReplicatedRegister,
+    };
+    pub use quorum_sim::eval::{
+        erase_system, typed_strategy, universal_strategy, ColoringSource, DynProbeStrategy,
+        DynStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport, StrategyRegistry, SystemRegistry,
     };
     pub use quorum_sim::{
         estimate_expected_probes, estimate_worst_case, exhaustive_expected_probes, sweep,

@@ -21,10 +21,15 @@ pub fn exact_failure_probability<S: QuorumSystem + ?Sized>(
 ) -> Result<f64, QuorumError> {
     let n = system.universe_size();
     if n > 24 {
-        return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+        return Err(QuorumError::UniverseTooLarge {
+            actual: n,
+            limit: 24,
+        });
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(QuorumError::InvalidConstruction { reason: format!("p must be a probability, got {p}") });
+        return Err(QuorumError::InvalidConstruction {
+            reason: format!("p must be a probability, got {p}"),
+        });
     }
     let q = 1.0 - p;
     let mut failure = 0.0;
@@ -56,10 +61,14 @@ where
     R: Rng + ?Sized,
 {
     if !(0.0..=1.0).contains(&p) {
-        return Err(QuorumError::InvalidConstruction { reason: format!("p must be a probability, got {p}") });
+        return Err(QuorumError::InvalidConstruction {
+            reason: format!("p must be a probability, got {p}"),
+        });
     }
     if trials == 0 {
-        return Err(QuorumError::InvalidConstruction { reason: "at least one trial is required".into() });
+        return Err(QuorumError::InvalidConstruction {
+            reason: "at least one trial is required".into(),
+        });
     }
     let n = system.universe_size();
     let mut failures = 0usize;
@@ -117,7 +126,10 @@ pub fn hqs_failure_probability(height: usize, p: f64) -> f64 {
 /// # Errors
 ///
 /// Propagates the errors of [`exact_failure_probability`].
-pub fn check_fact_2_3<S: QuorumSystem + ?Sized>(system: &S, p: f64) -> Result<(f64, f64), QuorumError> {
+pub fn check_fact_2_3<S: QuorumSystem + ?Sized>(
+    system: &S,
+    p: f64,
+) -> Result<(f64, f64), QuorumError> {
     let fp = exact_failure_probability(system, p)?;
     let fq = exact_failure_probability(system, 1.0 - p)?;
     Ok((fp, fq))
@@ -154,7 +166,11 @@ mod tests {
             for p in [0.1, 0.3, 0.5] {
                 let (fp, fq) = check_fact_2_3(system.as_ref(), p).unwrap();
                 assert!(fp <= p + 1e-12, "{}: F_{p} = {fp} exceeds p", system.name());
-                assert!((fp + fq - 1.0).abs() < 1e-9, "{}: self-duality violated", system.name());
+                assert!(
+                    (fp + fq - 1.0).abs() < 1e-9,
+                    "{}: self-duality violated",
+                    system.name()
+                );
             }
         }
     }
@@ -184,7 +200,10 @@ mod tests {
         for p in [0.2, 0.5, 0.8] {
             let exact = exact_failure_probability(&tree, p).unwrap();
             let recursion = tree_failure_probability(2, p);
-            assert!((exact - recursion).abs() < 1e-12, "p={p}: {exact} vs {recursion}");
+            assert!(
+                (exact - recursion).abs() < 1e-12,
+                "p={p}: {exact} vs {recursion}"
+            );
         }
     }
 
@@ -194,7 +213,10 @@ mod tests {
         for p in [0.2, 0.5, 0.8] {
             let exact = exact_failure_probability(&hqs, p).unwrap();
             let recursion = hqs_failure_probability(2, p);
-            assert!((exact - recursion).abs() < 1e-12, "p={p}: {exact} vs {recursion}");
+            assert!(
+                (exact - recursion).abs() < 1e-12,
+                "p={p}: {exact} vs {recursion}"
+            );
         }
     }
 
@@ -228,7 +250,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let exact = exact_failure_probability(&maj, 0.4).unwrap();
         let estimate = monte_carlo_failure_probability(&maj, 0.4, 20_000, &mut rng).unwrap();
-        assert!((exact - estimate).abs() < 0.02, "exact {exact} vs estimate {estimate}");
+        assert!(
+            (exact - estimate).abs() < 0.02,
+            "exact {exact} vs estimate {estimate}"
+        );
     }
 
     #[test]

@@ -174,13 +174,19 @@ mod tests {
         // Wheel as (1, n−1)-CW: R_Probe_CW upper bound must be close to n−1.
         let widths = [1usize, 9];
         let upper = cw_randomized_upper(&widths);
-        assert!((upper - wheel_randomized(10)).abs() <= 1.0 + 1e-9, "upper {upper}");
+        assert!(
+            (upper - wheel_randomized(10)).abs() <= 1.0 + 1e-9,
+            "upper {upper}"
+        );
         // Triang: the explicit maximum is below the closed-form corollary.
         let widths: Vec<usize> = (1..=6).collect();
         let n: usize = widths.iter().sum();
         let exact = cw_randomized_upper(&widths);
         let corollary = triang_randomized_upper(n, 6);
-        assert!(exact <= corollary + 1e-9, "exact {exact} vs corollary {corollary}");
+        assert!(
+            exact <= corollary + 1e-9,
+            "exact {exact} vs corollary {corollary}"
+        );
         // And above the Yao lower bound.
         assert!(exact + 1e-9 >= cw_randomized_lower(n, 6));
     }
@@ -192,7 +198,7 @@ mod tests {
             // The bounds coincide at h = 1 (both 8/3) and separate afterwards.
             assert!(tree_randomized_lower(n) <= tree_randomized_upper(n) + 1e-12);
             assert!(tree_randomized_upper(n) < n as f64);
-            assert!(randomized_lower_max_quorum((n + 1) / 2) <= tree_randomized_lower(n));
+            assert!(randomized_lower_max_quorum(n.div_ceil(2)) <= tree_randomized_lower(n));
         }
     }
 

@@ -32,9 +32,15 @@ impl PowerLawFit {
 /// Panics if fewer than two points are supplied or any coordinate is not
 /// strictly positive.
 pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
-    assert!(points.len() >= 2, "need at least two points to fit a power law");
+    assert!(
+        points.len() >= 2,
+        "need at least two points to fit a power law"
+    );
     for &(x, y) in points {
-        assert!(x > 0.0 && y > 0.0, "power-law fitting requires positive coordinates, got ({x}, {y})");
+        assert!(
+            x > 0.0 && y > 0.0,
+            "power-law fitting requires positive coordinates, got ({x}, {y})"
+        );
     }
     let n = points.len() as f64;
     let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
@@ -43,11 +49,22 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
     let sxx: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
     let sxy: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
     let syy: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    assert!(sxx > 0.0, "all x values are identical; cannot fit an exponent");
+    assert!(
+        sxx > 0.0,
+        "all x values are identical; cannot fit an exponent"
+    );
     let exponent = sxy / sxx;
     let intercept = mean_y - exponent * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    PowerLawFit { coefficient: intercept.exp(), exponent, r_squared }
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    PowerLawFit {
+        coefficient: intercept.exp(),
+        exponent,
+        r_squared,
+    }
 }
 
 #[cfg(test)]
@@ -57,10 +74,12 @@ mod tests {
 
     #[test]
     fn exact_power_law_is_recovered() {
-        let points: Vec<(f64, f64)> = (1..=10).map(|i| {
-            let x = (i * 7) as f64;
-            (x, 3.5 * x.powf(0.83))
-        }).collect();
+        let points: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = (i * 7) as f64;
+                (x, 3.5 * x.powf(0.83))
+            })
+            .collect();
         let fit = fit_power_law(&points);
         assert!((fit.exponent - 0.83).abs() < 1e-9);
         assert!((fit.coefficient - 3.5).abs() < 1e-6);
@@ -72,13 +91,19 @@ mod tests {
     fn noisy_power_law_is_approximately_recovered() {
         // Deterministic "noise" of a few percent must not move the exponent
         // much.
-        let points: Vec<(f64, f64)> = (1..=12).map(|i| {
-            let x = (10 * i) as f64;
-            let noise = 1.0 + 0.03 * ((i as f64) * 1.7).sin();
-            (x, 2.0 * x.powf(0.585) * noise)
-        }).collect();
+        let points: Vec<(f64, f64)> = (1..=12)
+            .map(|i| {
+                let x = (10 * i) as f64;
+                let noise = 1.0 + 0.03 * ((i as f64) * 1.7).sin();
+                (x, 2.0 * x.powf(0.585) * noise)
+            })
+            .collect();
         let fit = fit_power_law(&points);
-        assert!((fit.exponent - 0.585).abs() < 0.03, "exponent {}", fit.exponent);
+        assert!(
+            (fit.exponent - 0.585).abs() < 0.03,
+            "exponent {}",
+            fit.exponent
+        );
         assert!(fit.r_squared > 0.99);
     }
 

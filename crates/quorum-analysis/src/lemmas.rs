@@ -117,7 +117,9 @@ pub fn product_bound(a: f64, b: f64, c: f64, h: usize) -> (f64, f64) {
 ///
 /// The coefficient slice supplies `(a_i, b_i)` for `i = 1..=h` in order.
 pub fn solve_linear_recursion(f0: f64, coefficients: &[(f64, f64)]) -> f64 {
-    coefficients.iter().fold(f0, |f_prev, &(a, b)| b + a * f_prev)
+    coefficients
+        .iter()
+        .fold(f0, |f_prev, &(a, b)| b + a * f_prev)
 }
 
 /// Fact 2.6 (constant-coefficient form): `f(h) = f(0)·aʰ + b·Σ_{i<h} aⁱ`.
@@ -162,7 +164,10 @@ mod tests {
         for (r, g) in [(1, 1), (2, 2), (3, 5), (5, 1), (1, 9)] {
             let formula = expected_draws_to_first_red(r, g);
             let brute = brute_jth_red(r, g, 1);
-            assert!((formula - brute).abs() < 1e-9, "r={r} g={g}: {formula} vs {brute}");
+            assert!(
+                (formula - brute).abs() < 1e-9,
+                "r={r} g={g}: {formula} vs {brute}"
+            );
         }
     }
 
@@ -171,7 +176,10 @@ mod tests {
         for (r, g, j) in [(3, 4, 2), (3, 4, 3), (5, 5, 4), (2, 8, 2), (4, 0, 2)] {
             let formula = expected_draws_to_jth_red(r, g, j);
             let brute = brute_jth_red(r, g, j);
-            assert!((formula - brute).abs() < 1e-9, "r={r} g={g} j={j}: {formula} vs {brute}");
+            assert!(
+                (formula - brute).abs() < 1e-9,
+                "r={r} g={g} j={j}: {formula} vs {brute}"
+            );
         }
     }
 
@@ -179,7 +187,8 @@ mod tests {
     fn lemma_2_8_specialises_to_fact_2_7() {
         for (r, g) in [(1, 3), (4, 4), (7, 2)] {
             assert!(
-                (expected_draws_to_jth_red(r, g, 1) - expected_draws_to_first_red(r, g)).abs() < 1e-12
+                (expected_draws_to_jth_red(r, g, 1) - expected_draws_to_first_red(r, g)).abs()
+                    < 1e-12
             );
         }
     }
@@ -195,7 +204,8 @@ mod tests {
         assert!((expected_draws_to_both_colors(1, 2) - 7.0 / 3.0).abs() < 1e-12);
         // Symmetric in r and g.
         assert!(
-            (expected_draws_to_both_colors(3, 7) - expected_draws_to_both_colors(7, 3)).abs() < 1e-12
+            (expected_draws_to_both_colors(3, 7) - expected_draws_to_both_colors(7, 3)).abs()
+                < 1e-12
         );
     }
 
@@ -241,15 +251,25 @@ mod tests {
         // the exact value for moderately large N.
         let gap = |n: usize| 2.0 * n as f64 - grid_exit_time_exact(n, 0.5);
         let ratio = gap(400) / gap(100);
-        assert!((ratio - 2.0).abs() < 0.25, "gap should scale like sqrt(N), ratio {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.25,
+            "gap should scale like sqrt(N), ratio {ratio}"
+        );
         let exact = grid_exit_time_exact(400, 0.5);
         let asym = grid_exit_time_asymptotic(400, 0.5);
-        assert!((exact - asym).abs() / exact < 0.05, "exact {exact} vs asymptotic {asym}");
+        assert!(
+            (exact - asym).abs() / exact < 0.05,
+            "exact {exact} vs asymptotic {asym}"
+        );
     }
 
     #[test]
     fn product_bound_holds() {
-        for (a, b, c, h) in [(2.0, 0.5, 1.0, 10), (1.5, 0.75, 2.0, 20), (2.0, 0.25, 0.5, 5)] {
+        for (a, b, c, h) in [
+            (2.0, 0.5, 1.0, 10),
+            (1.5, 0.75, 2.0, 20),
+            (2.0, 0.25, 0.5, 5),
+        ] {
             let (product, bound) = product_bound(a, b, c, h);
             assert!(product <= bound * (1.0 + 1e-12), "a={a} b={b} c={c} h={h}");
         }
@@ -258,7 +278,7 @@ mod tests {
     #[test]
     fn recursion_solvers_agree() {
         // Constant coefficients: both forms must match.
-        let coeffs: Vec<(f64, f64)> = std::iter::repeat((2.0, 2.0 / 3.0)).take(6).collect();
+        let coeffs: Vec<(f64, f64)> = std::iter::repeat_n((2.0, 2.0 / 3.0), 6).collect();
         let iterative = solve_linear_recursion(1.0, &coeffs);
         let closed = solve_constant_recursion(1.0, 2.0, 2.0 / 3.0, 6);
         assert!((iterative - closed).abs() < 1e-9);

@@ -106,7 +106,11 @@ impl Cluster {
 
     /// Crashes exactly the nodes in `red` and recovers every other node.
     pub fn apply_coloring(&mut self, coloring: &Coloring) {
-        assert_eq!(coloring.universe_size(), self.len(), "coloring universe does not match cluster size");
+        assert_eq!(
+            coloring.universe_size(),
+            self.len(),
+            "coloring universe does not match cluster size"
+        );
         for (node, color) in coloring.iter() {
             match color {
                 Color::Red => self.crash(node),
@@ -161,7 +165,11 @@ impl Cluster {
         if self.nodes[node].state.is_up() {
             let min = self.config.min_latency.as_micros();
             let max = self.config.max_latency.as_micros();
-            let rtt = if max > min { self.rng.gen_range(min..=max) } else { min };
+            let rtt = if max > min {
+                self.rng.gen_range(min..=max)
+            } else {
+                min
+            };
             self.clock += SimTime::from_micros(rtt);
             Color::Green
         } else {
@@ -198,7 +206,11 @@ impl Cluster {
         // Charge the RPCs for every probe the strategy made, in order.
         for &element in &run.sequence {
             let observed = self.probe_rpc(element);
-            debug_assert_eq!(observed, coloring.color(element), "cluster state changed mid-probe");
+            debug_assert_eq!(
+                observed,
+                coloring.color(element),
+                "cluster state changed mid-probe"
+            );
         }
         QuorumAcquisition {
             witness: run.witness,
@@ -320,9 +332,16 @@ mod tests {
         let mut b = Cluster::new(50, NetworkConfig::lan(), 9);
         a.inject_iid_failures(0.4);
         b.inject_iid_failures(0.4);
-        assert_eq!(a.liveness_coloring(), b.liveness_coloring(), "same seed, same failures");
+        assert_eq!(
+            a.liveness_coloring(),
+            b.liveness_coloring(),
+            "same seed, same failures"
+        );
         let crashed = 50 - a.live_set().len();
-        assert!(crashed > 5 && crashed < 40, "implausible crash count {crashed}");
+        assert!(
+            crashed > 5 && crashed < 40,
+            "implausible crash count {crashed}"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub struct Node {
 impl Node {
     /// A fresh, live node.
     pub fn new() -> Self {
-        Node { state: NodeState::Up, probes_received: 0, crash_count: 0 }
+        Node {
+            state: NodeState::Up,
+            probes_received: 0,
+            crash_count: 0,
+        }
     }
 }
 

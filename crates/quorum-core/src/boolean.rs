@@ -75,7 +75,10 @@ impl<'a, S: QuorumSystem + ?Sized> CharacteristicFunction<'a, S> {
     pub fn maxterms(&self) -> Result<Vec<ElementSet>, QuorumError> {
         let n = self.arity();
         if n > 24 {
-            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: n,
+                limit: 24,
+            });
         }
         let mut out = Vec::new();
         for mask in 0u64..(1u64 << n) {
@@ -85,7 +88,9 @@ impl<'a, S: QuorumSystem + ?Sized> CharacteristicFunction<'a, S> {
             if self.evaluate(&set.complement()) {
                 continue;
             }
-            let minimal = set.iter().all(|e| self.evaluate(&set.without(e).complement()));
+            let minimal = set
+                .iter()
+                .all(|e| self.evaluate(&set.without(e).complement()));
             if minimal {
                 out.push(set);
             }
@@ -107,7 +112,10 @@ impl<'a, S: QuorumSystem + ?Sized> CharacteristicFunction<'a, S> {
     pub fn is_monotone(&self) -> Result<bool, QuorumError> {
         let n = self.arity();
         if n > 20 {
-            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 20 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: n,
+                limit: 20,
+            });
         }
         for mask in 0u64..(1u64 << n) {
             let set = ElementSet::from_mask(n, mask);
@@ -132,7 +140,10 @@ impl<'a, S: QuorumSystem + ?Sized> CharacteristicFunction<'a, S> {
     pub fn is_self_dual(&self) -> Result<bool, QuorumError> {
         let n = self.arity();
         if n > 24 {
-            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: n,
+                limit: 24,
+            });
         }
         for mask in 0u64..(1u64 << n) {
             let set = ElementSet::from_mask(n, mask);
@@ -155,7 +166,10 @@ impl<'a, S: QuorumSystem + ?Sized> CharacteristicFunction<'a, S> {
     pub fn count_satisfying(&self) -> Result<u64, QuorumError> {
         let n = self.arity();
         if n > 24 {
-            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: n,
+                limit: 24,
+            });
         }
         let mut count = 0;
         for mask in 0u64..(1u64 << n) {
@@ -283,9 +297,21 @@ mod tests {
     #[test]
     fn exponential_checks_reject_large_universes() {
         let f = CharacteristicFunction::new(&BigSystem);
-        assert!(matches!(f.maxterms(), Err(QuorumError::UniverseTooLarge { .. })));
-        assert!(matches!(f.is_monotone(), Err(QuorumError::UniverseTooLarge { .. })));
-        assert!(matches!(f.is_self_dual(), Err(QuorumError::UniverseTooLarge { .. })));
-        assert!(matches!(f.count_satisfying(), Err(QuorumError::UniverseTooLarge { .. })));
+        assert!(matches!(
+            f.maxterms(),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
+        assert!(matches!(
+            f.is_monotone(),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
+        assert!(matches!(
+            f.is_self_dual(),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
+        assert!(matches!(
+            f.count_satisfying(),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
     }
 }

@@ -71,30 +71,48 @@ impl Coloring {
     }
 
     /// Builds a coloring of `n` elements by calling `f(e)` for each element.
-    pub fn from_fn<F: FnMut(ElementId) -> Color>(n: usize, mut f: F) -> Self {
-        Coloring { colors: (0..n).map(|e| f(e)).collect() }
+    pub fn from_fn<F: FnMut(ElementId) -> Color>(n: usize, f: F) -> Self {
+        Coloring {
+            colors: (0..n).map(f).collect(),
+        }
     }
 
     /// The all-green coloring (no failures).
     pub fn all_green(n: usize) -> Self {
-        Coloring { colors: vec![Color::Green; n] }
+        Coloring {
+            colors: vec![Color::Green; n],
+        }
     }
 
     /// The all-red coloring (every processor failed).
     pub fn all_red(n: usize) -> Self {
-        Coloring { colors: vec![Color::Red; n] }
+        Coloring {
+            colors: vec![Color::Red; n],
+        }
     }
 
     /// A coloring in which exactly the elements of `red` are red.
     pub fn from_red_set(red: &ElementSet) -> Self {
         let n = red.universe_size();
-        Coloring::from_fn(n, |e| if red.contains(e) { Color::Red } else { Color::Green })
+        Coloring::from_fn(n, |e| {
+            if red.contains(e) {
+                Color::Red
+            } else {
+                Color::Green
+            }
+        })
     }
 
     /// A coloring in which exactly the elements of `green` are green.
     pub fn from_green_set(green: &ElementSet) -> Self {
         let n = green.universe_size();
-        Coloring::from_fn(n, |e| if green.contains(e) { Color::Green } else { Color::Red })
+        Coloring::from_fn(n, |e| {
+            if green.contains(e) {
+                Color::Green
+            } else {
+                Color::Red
+            }
+        })
     }
 
     /// Number of elements in the universe.
@@ -168,7 +186,9 @@ impl Coloring {
     /// The coloring with every color flipped.
     #[must_use]
     pub fn inverted(&self) -> Self {
-        Coloring { colors: self.colors.iter().map(|c| c.opposite()).collect() }
+        Coloring {
+            colors: self.colors.iter().map(|c| c.opposite()).collect(),
+        }
     }
 
     /// Enumerates all `2^n` colorings of a universe of `n` elements.
@@ -179,7 +199,10 @@ impl Coloring {
     ///
     /// Panics if `n > 24` (more than ~16 million colorings).
     pub fn enumerate_all(n: usize) -> Vec<Coloring> {
-        assert!(n <= 24, "exhaustive coloring enumeration is limited to n <= 24");
+        assert!(
+            n <= 24,
+            "exhaustive coloring enumeration is limited to n <= 24"
+        );
         let mut out = Vec::with_capacity(1usize << n);
         for mask in 0u64..(1u64 << n) {
             out.push(Coloring::from_fn(n, |e| {

@@ -76,17 +76,30 @@ impl Coterie {
         for (i, a) in quorums.iter().enumerate() {
             for (j, b) in quorums.iter().enumerate().skip(i + 1) {
                 if !a.intersects(b) {
-                    return Err(QuorumError::NotIntersecting { first: i, second: j });
+                    return Err(QuorumError::NotIntersecting {
+                        first: i,
+                        second: j,
+                    });
                 }
                 if a.is_subset(b) {
-                    return Err(QuorumError::NotMinimal { subset: i, superset: j });
+                    return Err(QuorumError::NotMinimal {
+                        subset: i,
+                        superset: j,
+                    });
                 }
                 if b.is_subset(a) {
-                    return Err(QuorumError::NotMinimal { subset: j, superset: i });
+                    return Err(QuorumError::NotMinimal {
+                        subset: j,
+                        superset: i,
+                    });
                 }
             }
         }
-        Ok(Coterie { universe, quorums, name: name.into() })
+        Ok(Coterie {
+            universe,
+            quorums,
+            name: name.into(),
+        })
     }
 
     /// Builds a coterie without validation.
@@ -95,7 +108,11 @@ impl Coterie {
     /// construction; `debug_assert`s still fire in debug builds.
     pub fn new_unchecked(universe: usize, quorums: Vec<ElementSet>) -> Self {
         debug_assert!(Self::new(universe, quorums.clone()).is_ok());
-        Coterie { universe, quorums, name: "Coterie".into() }
+        Coterie {
+            universe,
+            quorums,
+            name: "Coterie".into(),
+        }
     }
 
     /// The quorums of the coterie.
@@ -138,7 +155,10 @@ impl Coterie {
     /// Panics if the universe has more than 24 elements (the check is
     /// exponential in `n`).
     pub fn is_nondominated(&self) -> bool {
-        assert!(self.universe <= 24, "nondomination check is limited to universes of <= 24 elements");
+        assert!(
+            self.universe <= 24,
+            "nondomination check is limited to universes of <= 24 elements"
+        );
         for mask in 0u64..(1u64 << self.universe) {
             let set = ElementSet::from_mask(self.universe, mask);
             let here = self.contains_quorum(&set);
@@ -160,7 +180,10 @@ impl Coterie {
     ///
     /// Panics if the universe has more than 24 elements.
     pub fn dominating_coterie(&self) -> Option<Coterie> {
-        assert!(self.universe <= 24, "domination search is limited to universes of <= 24 elements");
+        assert!(
+            self.universe <= 24,
+            "domination search is limited to universes of <= 24 elements"
+        );
         for mask in 0u64..(1u64 << self.universe) {
             let set = ElementSet::from_mask(self.universe, mask);
             if self.contains_quorum(&set) || self.contains_quorum(&set.complement()) {
@@ -216,7 +239,13 @@ impl Coterie {
 
 impl fmt::Display for Coterie {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} over {} elements with {} quorums:", self.name, self.universe, self.quorums.len())?;
+        writeln!(
+            f,
+            "{} over {} elements with {} quorums:",
+            self.name,
+            self.universe,
+            self.quorums.len()
+        )?;
         for q in &self.quorums {
             writeln!(f, "  {q}")?;
         }
@@ -295,17 +324,29 @@ mod tests {
     fn non_intersecting_rejected() {
         let err = Coterie::new(
             4,
-            vec![ElementSet::from_iter(4, [0, 1]), ElementSet::from_iter(4, [2, 3])],
+            vec![
+                ElementSet::from_iter(4, [0, 1]),
+                ElementSet::from_iter(4, [2, 3]),
+            ],
         )
         .unwrap_err();
-        assert_eq!(err, QuorumError::NotIntersecting { first: 0, second: 1 });
+        assert_eq!(
+            err,
+            QuorumError::NotIntersecting {
+                first: 0,
+                second: 1
+            }
+        );
     }
 
     #[test]
     fn non_minimal_rejected() {
         let err = Coterie::new(
             3,
-            vec![ElementSet::from_iter(3, [0, 1]), ElementSet::from_iter(3, [0, 1, 2])],
+            vec![
+                ElementSet::from_iter(3, [0, 1]),
+                ElementSet::from_iter(3, [0, 1, 2]),
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, QuorumError::NotMinimal { .. }));
@@ -336,7 +377,9 @@ mod tests {
         )
         .unwrap();
         assert!(!c.is_nondominated());
-        let dom = c.dominating_coterie().expect("a dominating coterie must exist");
+        let dom = c
+            .dominating_coterie()
+            .expect("a dominating coterie must exist");
         assert!(c.is_dominated_by(&dom));
     }
 

@@ -57,7 +57,10 @@ impl fmt::Display for QuorumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QuorumError::ElementOutOfRange { element, universe } => {
-                write!(f, "element {element} out of range for universe of size {universe}")
+                write!(
+                    f,
+                    "element {element} out of range for universe of size {universe}"
+                )
             }
             QuorumError::UniverseMismatch { left, right } => {
                 write!(f, "universe size mismatch: {left} vs {right}")
@@ -73,7 +76,10 @@ impl fmt::Display for QuorumError {
             }
             QuorumError::Empty => write!(f, "empty quorum or quorum collection"),
             QuorumError::UniverseTooLarge { actual, limit } => {
-                write!(f, "universe of size {actual} exceeds the limit {limit} for this operation")
+                write!(
+                    f,
+                    "universe of size {actual} exceeds the limit {limit} for this operation"
+                )
             }
         }
     }
@@ -88,13 +94,27 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<QuorumError> = vec![
-            QuorumError::ElementOutOfRange { element: 7, universe: 5 },
+            QuorumError::ElementOutOfRange {
+                element: 7,
+                universe: 5,
+            },
             QuorumError::UniverseMismatch { left: 3, right: 4 },
-            QuorumError::InvalidConstruction { reason: "row width".into() },
-            QuorumError::NotIntersecting { first: 0, second: 2 },
-            QuorumError::NotMinimal { subset: 1, superset: 0 },
+            QuorumError::InvalidConstruction {
+                reason: "row width".into(),
+            },
+            QuorumError::NotIntersecting {
+                first: 0,
+                second: 2,
+            },
+            QuorumError::NotMinimal {
+                subset: 1,
+                superset: 0,
+            },
             QuorumError::Empty,
-            QuorumError::UniverseTooLarge { actual: 100, limit: 24 },
+            QuorumError::UniverseTooLarge {
+                actual: 100,
+                limit: 24,
+            },
         ];
         for err in cases {
             let msg = err.to_string();

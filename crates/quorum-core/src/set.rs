@@ -36,14 +36,24 @@ impl ElementSet {
     /// Creates an empty set over a universe of `universe` elements.
     pub fn empty(universe: usize) -> Self {
         let nwords = universe.div_ceil(WORD_BITS).max(1);
-        ElementSet { universe, words: vec![0; nwords] }
+        ElementSet {
+            universe,
+            words: vec![0; nwords],
+        }
     }
 
-    /// Creates the full set `{0, …, universe−1}`.
+    /// Creates the full set `{0, …, universe−1}` in O(n/64) word fills.
     pub fn full(universe: usize) -> Self {
         let mut s = Self::empty(universe);
-        for e in 0..universe {
-            s.insert(e);
+        if universe == 0 {
+            return s;
+        }
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        let tail_bits = universe % WORD_BITS;
+        if tail_bits != 0 {
+            *s.words.last_mut().expect("non-empty universe has words") = (1u64 << tail_bits) - 1;
         }
         s
     }
@@ -88,8 +98,24 @@ impl ElementSet {
     }
 
     /// Whether the set contains every universe element.
+    ///
+    /// Compares words against the full-set pattern directly (no popcount
+    /// recount); this is on the hot path of probe-strategy inner loops.
     pub fn is_full(&self) -> bool {
-        self.len() == self.universe
+        if self.universe == 0 {
+            return true;
+        }
+        let tail_bits = self.universe % WORD_BITS;
+        let (last, body) = self
+            .words
+            .split_last()
+            .expect("non-empty universe has words");
+        let tail_mask = if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        body.iter().all(|&w| w == u64::MAX) && *last == tail_mask
     }
 
     /// Whether `e` belongs to the set.
@@ -108,7 +134,11 @@ impl ElementSet {
     ///
     /// Panics if `e >= universe`.
     pub fn insert(&mut self, e: ElementId) -> bool {
-        assert!(e < self.universe, "element {e} out of range for universe {}", self.universe);
+        assert!(
+            e < self.universe,
+            "element {e} out of range for universe {}",
+            self.universe
+        );
         let word = &mut self.words[e / WORD_BITS];
         let mask = 1u64 << (e % WORD_BITS);
         let fresh = *word & mask == 0;
@@ -152,8 +182,16 @@ impl ElementSet {
     #[must_use]
     pub fn union(&self, other: &Self) -> Self {
         self.assert_same_universe(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
-        ElementSet { universe: self.universe, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        ElementSet {
+            universe: self.universe,
+            words,
+        }
     }
 
     /// Set intersection. Both operands must range over the same universe.
@@ -164,8 +202,16 @@ impl ElementSet {
     #[must_use]
     pub fn intersection(&self, other: &Self) -> Self {
         self.assert_same_universe(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
-        ElementSet { universe: self.universe, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        ElementSet {
+            universe: self.universe,
+            words,
+        }
     }
 
     /// Set difference `self \ other`.
@@ -176,8 +222,16 @@ impl ElementSet {
     #[must_use]
     pub fn difference(&self, other: &Self) -> Self {
         self.assert_same_universe(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect();
-        ElementSet { universe: self.universe, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        ElementSet {
+            universe: self.universe,
+            words,
+        }
     }
 
     /// Complement with respect to the universe.
@@ -207,7 +261,10 @@ impl ElementSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &Self) -> bool {
         self.assert_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Whether `self ⊇ other`.
@@ -242,7 +299,10 @@ impl ElementSet {
     ///
     /// Panics if the universe exceeds 64 elements.
     pub fn as_mask(&self) -> u64 {
-        assert!(self.universe <= 64, "as_mask requires a universe of at most 64 elements");
+        assert!(
+            self.universe <= 64,
+            "as_mask requires a universe of at most 64 elements"
+        );
         self.words[0]
     }
 
@@ -254,9 +314,15 @@ impl ElementSet {
     /// Panics if the universe exceeds 64 elements or the mask mentions
     /// elements outside it.
     pub fn from_mask(universe: usize, mask: u64) -> Self {
-        assert!(universe <= 64, "from_mask requires a universe of at most 64 elements");
+        assert!(
+            universe <= 64,
+            "from_mask requires a universe of at most 64 elements"
+        );
         if universe < 64 {
-            assert!(mask < (1u64 << universe), "mask mentions elements outside the universe");
+            assert!(
+                mask < (1u64 << universe),
+                "mask mentions elements outside the universe"
+            );
         }
         let mut s = Self::empty(universe);
         s.words[0] = mask;
@@ -356,6 +422,22 @@ mod tests {
         assert_eq!(f.len(), 10);
         assert_eq!(f.complement(), e);
         assert_eq!(e.complement(), f);
+    }
+
+    #[test]
+    fn full_and_is_full_at_word_boundaries() {
+        for n in [1, 63, 64, 65, 127, 128, 129, 1000] {
+            let f = ElementSet::full(n);
+            assert_eq!(f.len(), n, "full({n}) has wrong cardinality");
+            assert!(f.is_full(), "full({n}) must report full");
+            assert!((0..n).all(|e| f.contains(e)), "full({n}) misses an element");
+            let mut almost = f.clone();
+            almost.remove(n - 1);
+            assert!(!almost.is_full(), "full({n}) minus one element is not full");
+            let mut back = almost;
+            back.insert(n - 1);
+            assert!(back.is_full());
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub trait QuorumSystem {
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         let n = self.universe_size();
         if n > 24 {
-            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: n,
+                limit: 24,
+            });
         }
         let mut quorums = Vec::new();
         for mask in 0u64..(1u64 << n) {
@@ -246,6 +249,12 @@ mod tests {
     #[test]
     fn default_enumeration_rejects_large_universe() {
         let err = Huge.enumerate_quorums().unwrap_err();
-        assert!(matches!(err, QuorumError::UniverseTooLarge { actual: 100, limit: 24 }));
+        assert!(matches!(
+            err,
+            QuorumError::UniverseTooLarge {
+                actual: 100,
+                limit: 24
+            }
+        ));
     }
 }

@@ -45,7 +45,10 @@ pub fn minimal_transversals<S: QuorumSystem + ?Sized>(
 ) -> Result<Vec<ElementSet>, QuorumError> {
     let n = system.universe_size();
     if n > 24 {
-        return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+        return Err(QuorumError::UniverseTooLarge {
+            actual: n,
+            limit: 24,
+        });
     }
     let mut out = Vec::new();
     for mask in 0u64..(1u64 << n) {
@@ -76,7 +79,10 @@ pub fn every_transversal_contains_quorum<S: QuorumSystem + ?Sized>(
 ) -> Result<bool, QuorumError> {
     let n = system.universe_size();
     if n > 24 {
-        return Err(QuorumError::UniverseTooLarge { actual: n, limit: 24 });
+        return Err(QuorumError::UniverseTooLarge {
+            actual: n,
+            limit: 24,
+        });
     }
     for mask in 0u64..(1u64 << n) {
         let set = ElementSet::from_mask(n, mask);

@@ -93,11 +93,17 @@ impl fmt::Display for WitnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WitnessError::WrongColor { element, expected } => {
-                write!(f, "element {element} is not {expected} under the true coloring")
+                write!(
+                    f,
+                    "element {element} is not {expected} under the true coloring"
+                )
             }
             WitnessError::NoQuorum => write!(f, "witness elements do not contain a quorum"),
             WitnessError::UniverseMismatch { witness, system } => {
-                write!(f, "witness universe {witness} does not match system universe {system}")
+                write!(
+                    f,
+                    "witness universe {witness} does not match system universe {system}"
+                )
             }
         }
     }
@@ -169,7 +175,10 @@ impl Witness {
         let expected = self.color();
         for e in self.elements.iter() {
             if coloring.color(e) != expected {
-                return Err(WitnessError::WrongColor { element: e, expected });
+                return Err(WitnessError::WrongColor {
+                    element: e,
+                    expected,
+                });
             }
         }
         match self.kind {
@@ -255,7 +264,10 @@ mod tests {
     fn kind_color_round_trip() {
         assert_eq!(WitnessKind::GreenQuorum.color(), Color::Green);
         assert_eq!(WitnessKind::RedQuorum.color(), Color::Red);
-        assert_eq!(WitnessKind::for_color(Color::Green), WitnessKind::GreenQuorum);
+        assert_eq!(
+            WitnessKind::for_color(Color::Green),
+            WitnessKind::GreenQuorum
+        );
         assert_eq!(WitnessKind::for_color(Color::Red), WitnessKind::RedQuorum);
     }
 
@@ -286,7 +298,13 @@ mod tests {
         let coloring = Coloring::from_colors(vec![Color::Green, Color::Red, Color::Green]);
         let w = Witness::green(ElementSet::from_iter(3, [0, 1]));
         let err = w.verify(&system, &coloring).unwrap_err();
-        assert_eq!(err, WitnessError::WrongColor { element: 1, expected: Color::Green });
+        assert_eq!(
+            err,
+            WitnessError::WrongColor {
+                element: 1,
+                expected: Color::Green
+            }
+        );
     }
 
     #[test]
@@ -294,7 +312,10 @@ mod tests {
         let system = maj3();
         let coloring = Coloring::all_green(3);
         let w = Witness::green(ElementSet::from_iter(3, [0]));
-        assert_eq!(w.verify(&system, &coloring).unwrap_err(), WitnessError::NoQuorum);
+        assert_eq!(
+            w.verify(&system, &coloring).unwrap_err(),
+            WitnessError::NoQuorum
+        );
     }
 
     #[test]
@@ -304,7 +325,10 @@ mod tests {
         let w = Witness::green(ElementSet::from_iter(4, [0, 1]));
         assert!(matches!(
             w.verify(&system, &coloring).unwrap_err(),
-            WitnessError::UniverseMismatch { witness: 4, system: 3 }
+            WitnessError::UniverseMismatch {
+                witness: 4,
+                system: 3
+            }
         ));
     }
 

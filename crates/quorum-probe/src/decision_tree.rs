@@ -33,17 +33,25 @@ pub enum DecisionTree {
 impl DecisionTree {
     /// A leaf reporting a green (live) quorum.
     pub fn green_leaf() -> Self {
-        DecisionTree::Leaf { kind: WitnessKind::GreenQuorum }
+        DecisionTree::Leaf {
+            kind: WitnessKind::GreenQuorum,
+        }
     }
 
     /// A leaf reporting a red (dead) quorum.
     pub fn red_leaf() -> Self {
-        DecisionTree::Leaf { kind: WitnessKind::RedQuorum }
+        DecisionTree::Leaf {
+            kind: WitnessKind::RedQuorum,
+        }
     }
 
     /// An internal probe node.
     pub fn probe(element: ElementId, on_green: DecisionTree, on_red: DecisionTree) -> Self {
-        DecisionTree::Probe { element, on_green: Box::new(on_green), on_red: Box::new(on_red) }
+        DecisionTree::Probe {
+            element,
+            on_green: Box::new(on_green),
+            on_red: Box::new(on_red),
+        }
     }
 
     /// The number of probes on the longest root-to-leaf path — the paper's
@@ -52,7 +60,9 @@ impl DecisionTree {
     pub fn depth(&self) -> usize {
         match self {
             DecisionTree::Leaf { .. } => 0,
-            DecisionTree::Probe { on_green, on_red, .. } => 1 + on_green.depth().max(on_red.depth()),
+            DecisionTree::Probe {
+                on_green, on_red, ..
+            } => 1 + on_green.depth().max(on_red.depth()),
         }
     }
 
@@ -66,9 +76,9 @@ impl DecisionTree {
         assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
         match self {
             DecisionTree::Leaf { .. } => 0.0,
-            DecisionTree::Probe { on_green, on_red, .. } => {
-                1.0 + (1.0 - p) * on_green.expected_depth(p) + p * on_red.expected_depth(p)
-            }
+            DecisionTree::Probe {
+                on_green, on_red, ..
+            } => 1.0 + (1.0 - p) * on_green.expected_depth(p) + p * on_red.expected_depth(p),
         }
     }
 
@@ -76,7 +86,9 @@ impl DecisionTree {
     pub fn leaf_count(&self) -> usize {
         match self {
             DecisionTree::Leaf { .. } => 1,
-            DecisionTree::Probe { on_green, on_red, .. } => on_green.leaf_count() + on_red.leaf_count(),
+            DecisionTree::Probe {
+                on_green, on_red, ..
+            } => on_green.leaf_count() + on_red.leaf_count(),
         }
     }
 
@@ -84,9 +96,9 @@ impl DecisionTree {
     pub fn probe_node_count(&self) -> usize {
         match self {
             DecisionTree::Leaf { .. } => 0,
-            DecisionTree::Probe { on_green, on_red, .. } => {
-                1 + on_green.probe_node_count() + on_red.probe_node_count()
-            }
+            DecisionTree::Probe {
+                on_green, on_red, ..
+            } => 1 + on_green.probe_node_count() + on_red.probe_node_count(),
         }
     }
 
@@ -102,9 +114,18 @@ impl DecisionTree {
         loop {
             match node {
                 DecisionTree::Leaf { kind } => {
-                    return TreeRun { verdict: *kind, probes, green, red };
+                    return TreeRun {
+                        verdict: *kind,
+                        probes,
+                        green,
+                        red,
+                    };
                 }
-                DecisionTree::Probe { element, on_green, on_red } => {
+                DecisionTree::Probe {
+                    element,
+                    on_green,
+                    on_red,
+                } => {
                     probes += 1;
                     match coloring.color(*element) {
                         Color::Green => {
@@ -131,9 +152,15 @@ impl DecisionTree {
     /// # Panics
     ///
     /// Panics if the universe exceeds 20 elements.
-    pub fn validate<S: QuorumSystem + ?Sized>(&self, system: &S) -> Result<(), TreeValidationError> {
+    pub fn validate<S: QuorumSystem + ?Sized>(
+        &self,
+        system: &S,
+    ) -> Result<(), TreeValidationError> {
         let n = system.universe_size();
-        assert!(n <= 20, "decision-tree validation is exhaustive and limited to n <= 20");
+        assert!(
+            n <= 20,
+            "decision-tree validation is exhaustive and limited to n <= 20"
+        );
         for coloring in Coloring::enumerate_all(n) {
             let run = self.evaluate(&coloring);
             let live = system.has_green_quorum(&coloring);
@@ -144,7 +171,8 @@ impl DecisionTree {
             let certified = match run.verdict {
                 WitnessKind::GreenQuorum => system.contains_quorum(&run.green),
                 WitnessKind::RedQuorum => {
-                    system.contains_quorum(&run.red) || !system.contains_quorum(&run.red.complement())
+                    system.contains_quorum(&run.red)
+                        || !system.contains_quorum(&run.red.complement())
                 }
             };
             if !certified {
@@ -173,7 +201,11 @@ impl DecisionTree {
                 };
                 out.push_str(&format!("{prefix}[{mark}]\n"));
             }
-            DecisionTree::Probe { element, on_green, on_red } => {
+            DecisionTree::Probe {
+                element,
+                on_green,
+                on_red,
+            } => {
                 out.push_str(&format!("{prefix}probe x{}\n", element + 1));
                 on_green.render_into(
                     out,

@@ -45,7 +45,8 @@ impl<'a, S: QuorumSystem + ?Sized> Solver<'a, S> {
     }
 
     fn contains_quorum(&self, mask: u64) -> bool {
-        self.system.contains_quorum(&ElementSet::from_mask(self.n, mask))
+        self.system
+            .contains_quorum(&ElementSet::from_mask(self.n, mask))
     }
 
     /// The value of the characteristic function is already determined: the
@@ -73,8 +74,20 @@ impl<'a, S: QuorumSystem + ?Sized> Solver<'a, S> {
             if unprobed & bit == 0 {
                 continue;
             }
-            let if_green = self.worst_case(State { green: state.green | bit, ..state }, memo);
-            let if_red = self.worst_case(State { red: state.red | bit, ..state }, memo);
+            let if_green = self.worst_case(
+                State {
+                    green: state.green | bit,
+                    ..state
+                },
+                memo,
+            );
+            let if_red = self.worst_case(
+                State {
+                    red: state.red | bit,
+                    ..state
+                },
+                memo,
+            );
             best = best.min(1 + if_green.max(if_red));
         }
         memo.insert(state, best);
@@ -96,8 +109,22 @@ impl<'a, S: QuorumSystem + ?Sized> Solver<'a, S> {
             if unprobed & bit == 0 {
                 continue;
             }
-            let if_green = self.expected(State { green: state.green | bit, ..state }, p, memo);
-            let if_red = self.expected(State { red: state.red | bit, ..state }, p, memo);
+            let if_green = self.expected(
+                State {
+                    green: state.green | bit,
+                    ..state
+                },
+                p,
+                memo,
+            );
+            let if_red = self.expected(
+                State {
+                    red: state.red | bit,
+                    ..state
+                },
+                p,
+                memo,
+            );
             best = best.min(1.0 + q * if_green + p * if_red);
         }
         memo.insert(state, best);
@@ -119,10 +146,22 @@ impl<'a, S: QuorumSystem + ?Sized> Solver<'a, S> {
             if unprobed & bit == 0 {
                 continue;
             }
-            let if_green = self.worst_case(State { green: state.green | bit, ..state }, memo);
-            let if_red = self.worst_case(State { red: state.red | bit, ..state }, memo);
+            let if_green = self.worst_case(
+                State {
+                    green: state.green | bit,
+                    ..state
+                },
+                memo,
+            );
+            let if_red = self.worst_case(
+                State {
+                    red: state.red | bit,
+                    ..state
+                },
+                memo,
+            );
             let value = 1 + if_green.max(if_red);
-            if best.map_or(true, |(bv, _)| value < bv) {
+            if best.is_none_or(|(bv, _)| value < bv) {
                 best = Some((value, e));
             }
         }
@@ -130,8 +169,20 @@ impl<'a, S: QuorumSystem + ?Sized> Solver<'a, S> {
         let bit = 1u64 << e;
         DecisionTree::probe(
             e,
-            self.worst_case_tree(State { green: state.green | bit, ..state }, memo),
-            self.worst_case_tree(State { red: state.red | bit, ..state }, memo),
+            self.worst_case_tree(
+                State {
+                    green: state.green | bit,
+                    ..state
+                },
+                memo,
+            ),
+            self.worst_case_tree(
+                State {
+                    red: state.red | bit,
+                    ..state
+                },
+                memo,
+            ),
         )
     }
 
@@ -151,10 +202,24 @@ impl<'a, S: QuorumSystem + ?Sized> Solver<'a, S> {
             if unprobed & bit == 0 {
                 continue;
             }
-            let if_green = self.expected(State { green: state.green | bit, ..state }, p, memo);
-            let if_red = self.expected(State { red: state.red | bit, ..state }, p, memo);
+            let if_green = self.expected(
+                State {
+                    green: state.green | bit,
+                    ..state
+                },
+                p,
+                memo,
+            );
+            let if_red = self.expected(
+                State {
+                    red: state.red | bit,
+                    ..state
+                },
+                p,
+                memo,
+            );
             let value = 1.0 + q * if_green + p * if_red;
-            if best.map_or(true, |(bv, _)| value < bv - 1e-15) {
+            if best.is_none_or(|(bv, _)| value < bv - 1e-15) {
                 best = Some((value, e));
             }
         }
@@ -162,8 +227,22 @@ impl<'a, S: QuorumSystem + ?Sized> Solver<'a, S> {
         let bit = 1u64 << e;
         DecisionTree::probe(
             e,
-            self.expected_tree(State { green: state.green | bit, ..state }, p, memo),
-            self.expected_tree(State { red: state.red | bit, ..state }, p, memo),
+            self.expected_tree(
+                State {
+                    green: state.green | bit,
+                    ..state
+                },
+                p,
+                memo,
+            ),
+            self.expected_tree(
+                State {
+                    red: state.red | bit,
+                    ..state
+                },
+                p,
+                memo,
+            ),
         )
     }
 }
@@ -197,7 +276,9 @@ pub fn optimal_worst_case<S: QuorumSystem + ?Sized>(system: &S) -> Result<usize,
 pub fn optimal_expected<S: QuorumSystem + ?Sized>(system: &S, p: f64) -> Result<f64, QuorumError> {
     check_limit(system, VALUE_LIMIT)?;
     if !(0.0..=1.0).contains(&p) {
-        return Err(QuorumError::InvalidConstruction { reason: format!("p must be a probability, got {p}") });
+        return Err(QuorumError::InvalidConstruction {
+            reason: format!("p must be a probability, got {p}"),
+        });
     }
     let solver = Solver::new(system);
     let mut memo = HashMap::new();
@@ -232,7 +313,9 @@ pub fn optimal_expected_tree<S: QuorumSystem + ?Sized>(
 ) -> Result<(f64, DecisionTree), QuorumError> {
     check_limit(system, TREE_LIMIT)?;
     if !(0.0..=1.0).contains(&p) {
-        return Err(QuorumError::InvalidConstruction { reason: format!("p must be a probability, got {p}") });
+        return Err(QuorumError::InvalidConstruction {
+            reason: format!("p must be a probability, got {p}"),
+        });
     }
     let solver = Solver::new(system);
     let mut memo = HashMap::new();
@@ -264,7 +347,10 @@ mod tests {
         let maj = Majority::new(3).unwrap();
         assert_eq!(optimal_worst_case(&maj).unwrap(), 3);
         let ppc = optimal_expected(&maj, 0.5).unwrap();
-        assert!((ppc - 2.5).abs() < 1e-12, "PPC(Maj3) should be 2.5, got {ppc}");
+        assert!(
+            (ppc - 2.5).abs() < 1e-12,
+            "PPC(Maj3) should be 2.5, got {ppc}"
+        );
     }
 
     #[test]
@@ -308,9 +394,18 @@ mod tests {
         // at least the quorum size 4, the trivial information bound.
         let hqs = Hqs::new(2).unwrap();
         let value = optimal_expected(&hqs, 0.5).unwrap();
-        assert!(value <= 6.25 + 1e-9, "optimum must not exceed Probe_HQS's 6.25, got {value}");
-        assert!(value >= 4.0, "optimum cannot be below the quorum size, got {value}");
-        assert!((value - 6.140625).abs() < 1e-9, "regression guard on the exact optimum, got {value}");
+        assert!(
+            value <= 6.25 + 1e-9,
+            "optimum must not exceed Probe_HQS's 6.25, got {value}"
+        );
+        assert!(
+            value >= 4.0,
+            "optimum cannot be below the quorum size, got {value}"
+        );
+        assert!(
+            (value - 6.140625).abs() < 1e-9,
+            "regression guard on the exact optimum, got {value}"
+        );
     }
 
     #[test]
@@ -349,10 +444,19 @@ mod tests {
     #[test]
     fn limits_are_enforced() {
         let maj = Majority::new(23).unwrap();
-        assert!(matches!(optimal_worst_case_tree(&maj), Err(QuorumError::UniverseTooLarge { .. })));
+        assert!(matches!(
+            optimal_worst_case_tree(&maj),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
         let maj = Majority::new(25).unwrap();
-        assert!(matches!(optimal_worst_case(&maj), Err(QuorumError::UniverseTooLarge { .. })));
-        assert!(matches!(optimal_expected(&maj, 0.5), Err(QuorumError::UniverseTooLarge { .. })));
+        assert!(matches!(
+            optimal_worst_case(&maj),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
+        assert!(matches!(
+            optimal_expected(&maj, 0.5),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -125,7 +125,9 @@ impl<'a> ProbeOracle<'a> {
 
     /// The elements not probed yet, in index order.
     pub fn unprobed(&self) -> Vec<ElementId> {
-        (0..self.universe_size()).filter(|&e| !self.probed.contains(e)).collect()
+        (0..self.universe_size())
+            .filter(|&e| !self.probed.contains(e))
+            .collect()
     }
 }
 

@@ -21,14 +21,38 @@ pub trait ProbeStrategy<S: QuorumSystem + ?Sized> {
     fn name(&self) -> String;
 
     /// Probes elements through `oracle` until a witness is found.
-    fn find_witness(&self, system: &S, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore) -> Witness;
+    fn find_witness(
+        &self,
+        system: &S,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Witness;
 }
 
 impl<S: QuorumSystem + ?Sized, T: ProbeStrategy<S> + ?Sized> ProbeStrategy<S> for &T {
     fn name(&self) -> String {
         (**self).name()
     }
-    fn find_witness(&self, system: &S, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore) -> Witness {
+    fn find_witness(
+        &self,
+        system: &S,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Witness {
+        (**self).find_witness(system, oracle, rng)
+    }
+}
+
+impl<S: QuorumSystem + ?Sized, T: ProbeStrategy<S> + ?Sized> ProbeStrategy<S> for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn find_witness(
+        &self,
+        system: &S,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Witness {
         (**self).find_witness(system, oracle, rng)
     }
 }
@@ -68,9 +92,12 @@ where
     );
     let mut oracle = ProbeOracle::new(coloring);
     let witness = strategy.find_witness(system, &mut oracle, rng);
-    witness
-        .verify(system, coloring)
-        .unwrap_or_else(|err| panic!("strategy {} returned an invalid witness: {err}", strategy.name()));
+    witness.verify(system, coloring).unwrap_or_else(|err| {
+        panic!(
+            "strategy {} returned an invalid witness: {err}",
+            strategy.name()
+        )
+    });
     assert!(
         witness.elements().is_subset(oracle.probed()),
         "strategy {} claimed unprobed elements in its witness",
@@ -127,7 +154,12 @@ mod tests {
         fn name(&self) -> String {
             "Bogus".into()
         }
-        fn find_witness(&self, system: &S, _oracle: &mut ProbeOracle<'_>, _rng: &mut dyn RngCore) -> Witness {
+        fn find_witness(
+            &self,
+            system: &S,
+            _oracle: &mut ProbeOracle<'_>,
+            _rng: &mut dyn RngCore,
+        ) -> Witness {
             // Claims a witness without probing anything.
             Witness::green(ElementSet::full(system.universe_size()))
         }
@@ -147,7 +179,12 @@ mod tests {
         fn name(&self) -> String {
             "WrongColor".into()
         }
-        fn find_witness(&self, system: &S, oracle: &mut ProbeOracle<'_>, _rng: &mut dyn RngCore) -> Witness {
+        fn find_witness(
+            &self,
+            system: &S,
+            oracle: &mut ProbeOracle<'_>,
+            _rng: &mut dyn RngCore,
+        ) -> Witness {
             for e in 0..system.universe_size() {
                 oracle.probe(e);
             }

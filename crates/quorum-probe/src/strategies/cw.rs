@@ -144,7 +144,11 @@ impl ProbeStrategy<CrumblingWalls> for RProbeCw {
             red_rep[row] = seen_red;
             let monochromatic = seen_green.is_none() || seen_red.is_none();
             if monochromatic {
-                let color = if seen_green.is_some() { Color::Green } else { Color::Red };
+                let color = if seen_green.is_some() {
+                    Color::Green
+                } else {
+                    Color::Red
+                };
                 // Witness: the full (monochromatic) row plus one same-colored
                 // representative from every row below.
                 let mut witness = ElementSet::from_iter(n, system.row_elements(row));
@@ -226,7 +230,10 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(4);
         let run = run_strategy(&wall, &ProbeCw::new(), &coloring, &mut rng);
-        assert_eq!(run.probes, n, "alternating rows are the deterministic worst case");
+        assert_eq!(
+            run.probes, n,
+            "alternating rows are the deterministic worst case"
+        );
     }
 
     #[test]
@@ -287,7 +294,13 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(ProbeStrategy::<CrumblingWalls>::name(&ProbeCw::new()), "Probe_CW");
-        assert_eq!(ProbeStrategy::<CrumblingWalls>::name(&RProbeCw::new()), "R_Probe_CW");
+        assert_eq!(
+            ProbeStrategy::<CrumblingWalls>::name(&ProbeCw::new()),
+            "Probe_CW"
+        );
+        assert_eq!(
+            ProbeStrategy::<CrumblingWalls>::name(&RProbeCw::new()),
+            "R_Probe_CW"
+        );
     }
 }

@@ -56,7 +56,12 @@ impl<S: QuorumSystem + ?Sized> ProbeStrategy<S> for SequentialScan {
         "SequentialScan".into()
     }
 
-    fn find_witness(&self, system: &S, oracle: &mut ProbeOracle<'_>, _rng: &mut dyn RngCore) -> Witness {
+    fn find_witness(
+        &self,
+        system: &S,
+        oracle: &mut ProbeOracle<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Witness {
         let n = system.universe_size();
         scan_until_witness(system, oracle, 0..n)
     }
@@ -83,7 +88,12 @@ impl<S: QuorumSystem + ?Sized> ProbeStrategy<S> for RandomScan {
         "RandomScan".into()
     }
 
-    fn find_witness(&self, system: &S, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore) -> Witness {
+    fn find_witness(
+        &self,
+        system: &S,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Witness {
         let mut order: Vec<usize> = (0..system.universe_size()).collect();
         order.shuffle(rng);
         scan_until_witness(system, oracle, order)
@@ -156,7 +166,13 @@ mod tests {
 
     #[test]
     fn strategies_report_names() {
-        assert_eq!(ProbeStrategy::<Majority>::name(&SequentialScan::new()), "SequentialScan");
-        assert_eq!(ProbeStrategy::<Majority>::name(&RandomScan::new()), "RandomScan");
+        assert_eq!(
+            ProbeStrategy::<Majority>::name(&SequentialScan::new()),
+            "SequentialScan"
+        );
+        assert_eq!(
+            ProbeStrategy::<Majority>::name(&RandomScan::new()),
+            "RandomScan"
+        );
     }
 }

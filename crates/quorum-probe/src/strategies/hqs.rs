@@ -19,7 +19,10 @@ impl Node {
     fn child(self, index: usize) -> Node {
         debug_assert!(self.height > 0 && index < 3);
         let third = 3usize.pow(self.height as u32 - 1);
-        Node { start: self.start + index * third, height: self.height - 1 }
+        Node {
+            start: self.start + index * third,
+            height: self.height - 1,
+        }
     }
 }
 
@@ -35,27 +38,32 @@ struct Eval {
 
 fn probe_leaf(oracle: &mut ProbeOracle<'_>, n: usize, leaf: usize) -> Eval {
     let green = oracle.probe(leaf).is_green();
-    Eval { value: green, cert: ElementSet::singleton(n, leaf) }
+    Eval {
+        value: green,
+        cert: ElementSet::singleton(n, leaf),
+    }
 }
 
 /// Evaluates a node by evaluating its children in the given order, stopping as
 /// soon as two children agree (their shared value is the 2-of-3 majority).
-fn evaluate_in_order<F>(
-    node: Node,
-    order: [usize; 3],
-    evaluate_child: &mut F,
-) -> Eval
+fn evaluate_in_order<F>(node: Node, order: [usize; 3], evaluate_child: &mut F) -> Eval
 where
     F: FnMut(Node) -> Eval,
 {
     let a = evaluate_child(node.child(order[0]));
     let b = evaluate_child(node.child(order[1]));
     if a.value == b.value {
-        return Eval { value: a.value, cert: a.cert.union(&b.cert) };
+        return Eval {
+            value: a.value,
+            cert: a.cert.union(&b.cert),
+        };
     }
     let c = evaluate_child(node.child(order[2]));
     let matching = if a.value == c.value { &a } else { &b };
-    Eval { value: c.value, cert: c.cert.union(&matching.cert) }
+    Eval {
+        value: c.value,
+        cert: c.cert.union(&matching.cert),
+    }
 }
 
 /// Algorithm `Probe_HQS` (Section 3.4): evaluate the first two children of
@@ -88,10 +96,22 @@ impl ProbeStrategy<Hqs> for ProbeHqs {
         "Probe_HQS".into()
     }
 
-    fn find_witness(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, _rng: &mut dyn RngCore) -> Witness {
-        let root = Node { start: 0, height: system.height() };
+    fn find_witness(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Witness {
+        let root = Node {
+            start: 0,
+            height: system.height(),
+        };
         let eval = self.evaluate(system, oracle, root);
-        let kind = if eval.value { WitnessKind::GreenQuorum } else { WitnessKind::RedQuorum };
+        let kind = if eval.value {
+            WitnessKind::GreenQuorum
+        } else {
+            WitnessKind::RedQuorum
+        };
         Witness::new(kind, eval.cert)
     }
 }
@@ -110,7 +130,13 @@ impl RProbeHqs {
         RProbeHqs
     }
 
-    fn evaluate(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+    fn evaluate(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+        node: Node,
+    ) -> Eval {
         let n = system.universe_size();
         if node.height == 0 {
             return probe_leaf(oracle, n, node.start);
@@ -127,10 +153,22 @@ impl ProbeStrategy<Hqs> for RProbeHqs {
         "R_Probe_HQS".into()
     }
 
-    fn find_witness(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore) -> Witness {
-        let root = Node { start: 0, height: system.height() };
+    fn find_witness(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Witness {
+        let root = Node {
+            start: 0,
+            height: system.height(),
+        };
         let eval = self.evaluate(system, oracle, rng, root);
-        let kind = if eval.value { WitnessKind::GreenQuorum } else { WitnessKind::RedQuorum };
+        let kind = if eval.value {
+            WitnessKind::GreenQuorum
+        } else {
+            WitnessKind::RedQuorum
+        };
         Witness::new(kind, eval.cert)
     }
 }
@@ -154,7 +192,13 @@ impl IrProbeHqs {
     }
 
     /// Entry point of the recursion: evaluate `node` with the improved rule.
-    fn evaluate(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+    fn evaluate(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+        node: Node,
+    ) -> Eval {
         let n = system.universe_size();
         match node.height {
             0 => probe_leaf(oracle, n, node.start),
@@ -173,7 +217,13 @@ impl IrProbeHqs {
     /// Random-order evaluation of a child node (height ≥ 1) whose own children
     /// are evaluated with the improved rule — the paper's notion of
     /// "evaluating" `r_i`.
-    fn evaluate_child(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+    fn evaluate_child(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+        node: Node,
+    ) -> Eval {
         if node.height == 0 {
             return probe_leaf(oracle, system.universe_size(), node.start);
         }
@@ -198,14 +248,30 @@ impl IrProbeHqs {
         rest.shuffle(rng);
         let second = self.evaluate(system, oracle, rng, node.child(rest[0]));
         if second.value == known.value {
-            return Eval { value: known.value, cert: known.cert.union(&second.cert) };
+            return Eval {
+                value: known.value,
+                cert: known.cert.union(&second.cert),
+            };
         }
         let third = self.evaluate(system, oracle, rng, node.child(rest[1]));
-        let matching = if third.value == known.value { known } else { &second };
-        Eval { value: third.value, cert: third.cert.union(&matching.cert) }
+        let matching = if third.value == known.value {
+            known
+        } else {
+            &second
+        };
+        Eval {
+            value: third.value,
+            cert: third.cert.union(&matching.cert),
+        }
     }
 
-    fn evaluate_with_peek(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore, node: Node) -> Eval {
+    fn evaluate_with_peek(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+        node: Node,
+    ) -> Eval {
         // Step 1–2: pick a random child r1 and evaluate it.
         let mut children = [0usize, 1, 2];
         children.shuffle(rng);
@@ -221,23 +287,35 @@ impl IrProbeHqs {
             // Step 5: keep evaluating r2.
             let r2 = self.continue_child(system, oracle, rng, r2_node, peek_index, &peek);
             if r2.value == r1.value {
-                Eval { value: r1.value, cert: r1.cert.union(&r2.cert) }
+                Eval {
+                    value: r1.value,
+                    cert: r1.cert.union(&r2.cert),
+                }
             } else {
                 // r1 and r2 disagree: the root value equals the third child's.
                 let r3 = self.evaluate_child(system, oracle, rng, node.child(i3));
                 let matching = if r3.value == r1.value { &r1 } else { &r2 };
-                Eval { value: r3.value, cert: r3.cert.union(&matching.cert) }
+                Eval {
+                    value: r3.value,
+                    cert: r3.cert.union(&matching.cert),
+                }
             }
         } else {
             // Step 6: suspect r2 holds the minority value; try r3 first.
             let r3 = self.evaluate_child(system, oracle, rng, node.child(i3));
             if r3.value == r1.value {
-                Eval { value: r1.value, cert: r1.cert.union(&r3.cert) }
+                Eval {
+                    value: r1.value,
+                    cert: r1.cert.union(&r3.cert),
+                }
             } else {
                 // r1 and r3 disagree: the value of r2 decides either way.
                 let r2 = self.continue_child(system, oracle, rng, r2_node, peek_index, &peek);
                 let matching = if r2.value == r1.value { &r1 } else { &r3 };
-                Eval { value: r2.value, cert: r2.cert.union(&matching.cert) }
+                Eval {
+                    value: r2.value,
+                    cert: r2.cert.union(&matching.cert),
+                }
             }
         }
     }
@@ -250,10 +328,22 @@ impl ProbeStrategy<Hqs> for IrProbeHqs {
         "IR_Probe_HQS".into()
     }
 
-    fn find_witness(&self, system: &Hqs, oracle: &mut ProbeOracle<'_>, rng: &mut dyn RngCore) -> Witness {
-        let root = Node { start: 0, height: system.height() };
+    fn find_witness(
+        &self,
+        system: &Hqs,
+        oracle: &mut ProbeOracle<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Witness {
+        let root = Node {
+            start: 0,
+            height: system.height(),
+        };
         let eval = self.evaluate(system, oracle, rng, root);
-        let kind = if eval.value { WitnessKind::GreenQuorum } else { WitnessKind::RedQuorum };
+        let kind = if eval.value {
+            WitnessKind::GreenQuorum
+        } else {
+            WitnessKind::RedQuorum
+        };
         Witness::new(kind, eval.cert)
     }
 }
@@ -324,7 +414,11 @@ mod tests {
         let coloring = Coloring::all_green(81);
         let mut rng = StdRng::seed_from_u64(5);
         let run = run_strategy(&hqs, &ProbeHqs::new(), &coloring, &mut rng);
-        assert_eq!(run.probes, hqs.quorum_size(), "unanimous input needs exactly 2^h probes");
+        assert_eq!(
+            run.probes,
+            hqs.quorum_size(),
+            "unanimous input needs exactly 2^h probes"
+        );
     }
 
     #[test]
@@ -355,6 +449,9 @@ mod tests {
     fn names() {
         assert_eq!(ProbeStrategy::<Hqs>::name(&ProbeHqs::new()), "Probe_HQS");
         assert_eq!(ProbeStrategy::<Hqs>::name(&RProbeHqs::new()), "R_Probe_HQS");
-        assert_eq!(ProbeStrategy::<Hqs>::name(&IrProbeHqs::new()), "IR_Probe_HQS");
+        assert_eq!(
+            ProbeStrategy::<Hqs>::name(&IrProbeHqs::new()),
+            "IR_Probe_HQS"
+        );
     }
 }

@@ -157,7 +157,13 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(ProbeStrategy::<Majority>::name(&ProbeMaj::new()), "Probe_Maj");
-        assert_eq!(ProbeStrategy::<Majority>::name(&RProbeMaj::new()), "R_Probe_Maj");
+        assert_eq!(
+            ProbeStrategy::<Majority>::name(&ProbeMaj::new()),
+            "Probe_Maj"
+        );
+        assert_eq!(
+            ProbeStrategy::<Majority>::name(&RProbeMaj::new()),
+            "R_Probe_Maj"
+        );
     }
 }

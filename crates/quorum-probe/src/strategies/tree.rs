@@ -204,7 +204,11 @@ mod tests {
         let coloring = Coloring::all_green(tree.universe_size());
         let mut rng = StdRng::seed_from_u64(3);
         let run = run_strategy(&tree, &ProbeTree::new(), &coloring, &mut rng);
-        assert_eq!(run.probes, tree.height() + 1, "all-green input needs one root-to-leaf path");
+        assert_eq!(
+            run.probes,
+            tree.height() + 1,
+            "all-green input needs one root-to-leaf path"
+        );
         assert!(run.witness.is_green());
     }
 
@@ -240,7 +244,13 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(ProbeStrategy::<TreeQuorum>::name(&ProbeTree::new()), "Probe_Tree");
-        assert_eq!(ProbeStrategy::<TreeQuorum>::name(&RProbeTree::new()), "R_Probe_Tree");
+        assert_eq!(
+            ProbeStrategy::<TreeQuorum>::name(&ProbeTree::new()),
+            "Probe_Tree"
+        );
+        assert_eq!(
+            ProbeStrategy::<TreeQuorum>::name(&RProbeTree::new()),
+            "R_Probe_Tree"
+        );
     }
 }

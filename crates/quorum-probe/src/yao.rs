@@ -56,7 +56,9 @@ impl InputDistribution {
             }
             if !weight.is_finite() || *weight <= 0.0 {
                 return Err(QuorumError::InvalidConstruction {
-                    reason: format!("distribution weights must be positive and finite, got {weight}"),
+                    reason: format!(
+                        "distribution weights must be positive and finite, got {weight}"
+                    ),
                 });
             }
             total += weight;
@@ -83,7 +85,10 @@ impl InputDistribution {
     /// [`QuorumError::InvalidConstruction`] for invalid `p`.
     pub fn iid(n: usize, p: f64) -> Result<Self, QuorumError> {
         if n > 20 {
-            return Err(QuorumError::UniverseTooLarge { actual: n, limit: 20 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: n,
+                limit: 20,
+            });
         }
         if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
             return Err(QuorumError::InvalidConstruction {
@@ -128,7 +133,10 @@ impl InputDistribution {
             }
             colorings = next;
         }
-        let colorings = colorings.into_iter().map(|greens| Coloring::from_green_set(&greens)).collect();
+        let colorings = colorings
+            .into_iter()
+            .map(|greens| Coloring::from_green_set(&greens))
+            .collect();
         Self::uniform(colorings).expect("the crumbling-walls hard distribution is never empty")
     }
 
@@ -161,7 +169,10 @@ impl InputDistribution {
             }
             red_sets = next;
         }
-        let colorings = red_sets.into_iter().map(|reds| Coloring::from_red_set(&reds)).collect();
+        let colorings = red_sets
+            .into_iter()
+            .map(|reds| Coloring::from_red_set(&reds))
+            .collect();
         Self::uniform(colorings).expect("the tree hard distribution is never empty")
     }
 
@@ -207,10 +218,16 @@ pub fn best_deterministic_cost<S: QuorumSystem + ?Sized>(
 ) -> Result<f64, QuorumError> {
     let n = system.universe_size();
     if n > 20 {
-        return Err(QuorumError::UniverseTooLarge { actual: n, limit: 20 });
+        return Err(QuorumError::UniverseTooLarge {
+            actual: n,
+            limit: 20,
+        });
     }
     if distribution.universe_size() != n {
-        return Err(QuorumError::UniverseMismatch { left: distribution.universe_size(), right: n });
+        return Err(QuorumError::UniverseMismatch {
+            left: distribution.universe_size(),
+            right: n,
+        });
     }
     let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     // Precompute red masks of the support for fast consistency filtering.
@@ -230,7 +247,8 @@ pub fn best_deterministic_cost<S: QuorumSystem + ?Sized>(
 
     impl<'a, S: QuorumSystem + ?Sized> Ctx<'a, S> {
         fn contains_quorum(&self, mask: u64) -> bool {
-            self.system.contains_quorum(&ElementSet::from_mask(self.n, mask))
+            self.system
+                .contains_quorum(&ElementSet::from_mask(self.n, mask))
         }
 
         fn determined(&self, green: u64, red: u64) -> bool {
@@ -258,7 +276,10 @@ pub fn best_deterministic_cost<S: QuorumSystem + ?Sized>(
                 .filter(|(reds, _)| reds & green == 0 && red & !reds == 0)
                 .collect();
             let mass: f64 = consistent.iter().map(|(_, w)| w).sum();
-            debug_assert!(mass > 0.0, "reached an observation state with no consistent input");
+            debug_assert!(
+                mass > 0.0,
+                "reached an observation state with no consistent input"
+            );
             let unprobed = self.full & !(green | red);
             let mut best = f64::INFINITY;
             for e in 0..self.n {
@@ -266,8 +287,11 @@ pub fn best_deterministic_cost<S: QuorumSystem + ?Sized>(
                 if unprobed & bit == 0 {
                     continue;
                 }
-                let red_mass: f64 =
-                    consistent.iter().filter(|(reds, _)| reds & bit != 0).map(|(_, w)| w).sum();
+                let red_mass: f64 = consistent
+                    .iter()
+                    .filter(|(reds, _)| reds & bit != 0)
+                    .map(|(_, w)| w)
+                    .sum();
                 let green_mass = mass - red_mass;
                 let mut cost = 1.0;
                 if green_mass > 0.0 {
@@ -283,7 +307,13 @@ pub fn best_deterministic_cost<S: QuorumSystem + ?Sized>(
         }
     }
 
-    let mut ctx = Ctx { system, n, full, support, memo: HashMap::new() };
+    let mut ctx = Ctx {
+        system,
+        n,
+        full,
+        support,
+        memo: HashMap::new(),
+    };
     Ok(ctx.value(0, 0))
 }
 
@@ -294,7 +324,10 @@ mod tests {
 
     #[test]
     fn distribution_construction_validates() {
-        assert!(matches!(InputDistribution::uniform(vec![]), Err(QuorumError::Empty)));
+        assert!(matches!(
+            InputDistribution::uniform(vec![]),
+            Err(QuorumError::Empty)
+        ));
         let c3 = Coloring::all_green(3);
         let c4 = Coloring::all_green(4);
         assert!(matches!(
@@ -305,7 +338,8 @@ mod tests {
             InputDistribution::new(vec![(c3.clone(), -1.0)]),
             Err(QuorumError::InvalidConstruction { .. })
         ));
-        let d = InputDistribution::new(vec![(c3.clone(), 2.0), (Coloring::all_red(3), 2.0)]).unwrap();
+        let d =
+            InputDistribution::new(vec![(c3.clone(), 2.0), (Coloring::all_red(3), 2.0)]).unwrap();
         assert_eq!(d.support_size(), 2);
         assert!((d.support()[0].1 - 0.5).abs() < 1e-12);
         assert_eq!(d.universe_size(), 3);
@@ -337,10 +371,14 @@ mod tests {
     fn cw_hard_distribution_shape() {
         let wall = CrumblingWalls::triang(3).unwrap(); // widths 1,2,3
         let d = InputDistribution::cw_hard(&wall);
-        assert_eq!(d.support_size(), 1 * 2 * 3);
+        assert_eq!(d.support_size(), 2 * 3);
         for (c, _) in d.support() {
             for row in 0..wall.row_count() {
-                let greens = wall.row_elements(row).into_iter().filter(|&e| c.color(e) == Color::Green).count();
+                let greens = wall
+                    .row_elements(row)
+                    .into_iter()
+                    .filter(|&e| c.color(e) == Color::Green)
+                    .count();
                 assert_eq!(greens, 1, "each row must have exactly one green element");
             }
         }
@@ -367,7 +405,10 @@ mod tests {
         let maj = Majority::new(3).unwrap();
         let d = InputDistribution::majority_hard(&maj);
         let bound = best_deterministic_cost(&maj, &d).unwrap();
-        assert!((bound - 8.0 / 3.0).abs() < 1e-9, "expected 8/3, got {bound}");
+        assert!(
+            (bound - 8.0 / 3.0).abs() < 1e-9,
+            "expected 8/3, got {bound}"
+        );
     }
 
     #[test]
@@ -387,7 +428,11 @@ mod tests {
         let bound = best_deterministic_cost(&wall, &d).unwrap();
         let n = wall.universe_size() as f64;
         let k = wall.row_count() as f64;
-        assert!(bound + 1e-9 >= (n + k) / 2.0, "bound {bound} below (n+k)/2 = {}", (n + k) / 2.0);
+        assert!(
+            bound + 1e-9 >= (n + k) / 2.0,
+            "bound {bound} below (n+k)/2 = {}",
+            (n + k) / 2.0
+        );
     }
 
     #[test]

@@ -79,7 +79,13 @@ where
             cluster.len(),
             "cluster size must match the quorum-system universe"
         );
-        QuorumMutex { system, cluster, strategy, locks: HashMap::new(), holders: HashMap::new() }
+        QuorumMutex {
+            system,
+            cluster,
+            strategy,
+            locks: HashMap::new(),
+            holders: HashMap::new(),
+        }
     }
 
     /// Access to the underlying cluster (to crash/recover nodes in tests and
@@ -261,8 +267,12 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(MutexError::NoLiveQuorum.to_string().contains("no live quorum"));
-        assert!(MutexError::Contended { node: 3, holder: 9 }.to_string().contains("3"));
+        assert!(MutexError::NoLiveQuorum
+            .to_string()
+            .contains("no live quorum"));
+        assert!(MutexError::Contended { node: 3, holder: 9 }
+            .to_string()
+            .contains("3"));
         assert!(MutexError::AlreadyHeld.to_string().contains("already"));
         assert!(MutexError::NotHeld.to_string().contains("not hold"));
     }

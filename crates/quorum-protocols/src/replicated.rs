@@ -79,7 +79,12 @@ where
             "cluster size must match the quorum-system universe"
         );
         let replicas = vec![(0, Vec::new()); cluster.len()];
-        ReplicatedRegister { system, cluster, strategy, replicas }
+        ReplicatedRegister {
+            system,
+            cluster,
+            strategy,
+            replicas,
+        }
     }
 
     /// Access to the underlying cluster (to crash/recover nodes).
@@ -113,7 +118,11 @@ where
             .map(|node| self.replicas[node].clone())
             .max_by_key(|(version, _)| *version)
             .expect("a quorum is never empty");
-        Ok(ReadResult { value, version, quorum })
+        Ok(ReadResult {
+            value,
+            version,
+            quorum,
+        })
     }
 
     /// Writes a new value, installing it on every member of a live quorum with
@@ -128,7 +137,11 @@ where
     pub fn write(&mut self, value: Vec<u8>) -> Result<Version, RegisterError> {
         // Phase 1: learn the highest committed version from a live quorum.
         let read_quorum = self.live_quorum()?;
-        let highest = read_quorum.iter().map(|node| self.replicas[node].0).max().unwrap_or(0);
+        let highest = read_quorum
+            .iter()
+            .map(|node| self.replicas[node].0)
+            .max()
+            .unwrap_or(0);
         let version = highest + 1;
         // Phase 2: install on a live write quorum.
         let write_quorum = self.live_quorum()?;
@@ -207,7 +220,10 @@ mod tests {
             register.cluster_mut().crash(node);
         }
         assert_eq!(register.read().unwrap_err(), RegisterError::NoLiveQuorum);
-        assert_eq!(register.write(b"x".to_vec()).unwrap_err(), RegisterError::NoLiveQuorum);
+        assert_eq!(
+            register.write(b"x".to_vec()).unwrap_err(),
+            RegisterError::NoLiveQuorum
+        );
         assert!(RegisterError::NoLiveQuorum.to_string().contains("quorum"));
     }
 

@@ -1,0 +1,269 @@
+//! The parallel trial runner: executes an [`EvalPlan`] into an
+//! [`EvalReport`] with deterministic per-trial seed derivation.
+//!
+//! # Determinism
+//!
+//! Every trial's RNG is derived as
+//! `derive_rng(base_seed, cell_index, trial_index)` — a SplitMix64-style
+//! mixing of the three coordinates — so a trial's outcome depends only on
+//! the plan and the base seed, never on scheduling. Trials of all cells are
+//! flattened into one global index space and executed by a single
+//! order-preserving `rayon` map, so the report is **bit-identical** for any
+//! thread count (including 1).
+
+use std::time::{Duration, Instant};
+
+use quorum_analysis::RunningStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use super::plan::{CellTask, EvalPlan};
+use crate::montecarlo::Estimate;
+use crate::report::Table;
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG for one `(cell, trial)` coordinate of a run.
+///
+/// The derivation is a pure function of its arguments, which is what makes
+/// engine reports independent of thread count and execution order.
+pub fn derive_rng(base_seed: u64, cell_index: u64, trial_index: u64) -> StdRng {
+    let cell_word = mix(cell_index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let trial_word = mix(trial_index.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7));
+    StdRng::seed_from_u64(mix(base_seed ^ cell_word ^ trial_word))
+}
+
+/// Runs `trials` independent trials of `f` in parallel with deterministic
+/// per-trial RNGs, returning the observed values in trial order.
+///
+/// This is the shared loop behind every Monte-Carlo estimator in the
+/// workspace: `f(trial_index, rng)` must be a pure function of its arguments
+/// for results to be reproducible.
+pub fn trial_values<F>(trials: usize, base_seed: u64, cell_index: u64, f: F) -> Vec<f64>
+where
+    F: Fn(u64, &mut StdRng) -> f64 + Sync,
+{
+    (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = derive_rng(base_seed, cell_index, trial as u64);
+            f(trial as u64, &mut rng)
+        })
+        .collect()
+}
+
+/// The measured outcome of one [`EvalPlan`] cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// The system label (`"-"` for custom cells).
+    pub system: String,
+    /// The strategy label (`"-"` for custom cells).
+    pub strategy: String,
+    /// The coloring-source / quantity label.
+    pub model: String,
+    /// Universe size, when the cell probes a system.
+    pub universe_size: Option<usize>,
+    /// Number of trials behind the estimate.
+    pub trials: usize,
+    /// The estimate accumulated over the cell's trials, in trial order.
+    pub estimate: Estimate,
+}
+
+impl CellReport {
+    /// The `(universe size, mean)` point of this cell, ready for power-law
+    /// fitting of a sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on custom cells, which probe no system.
+    pub fn fit_point(&self) -> (f64, f64) {
+        (
+            self.universe_size.expect("fit points require probe cells") as f64,
+            self.estimate.mean,
+        )
+    }
+}
+
+/// The `(universe size, mean)` points of a consecutive slice of sweep cells,
+/// ready for `fit_power_law`.
+///
+/// # Panics
+///
+/// Panics if any cell is a custom cell (no universe size).
+pub fn fit_points(cells: &[CellReport]) -> Vec<(f64, f64)> {
+    cells.iter().map(CellReport::fit_point).collect()
+}
+
+/// The outcome of running an [`EvalPlan`].
+///
+/// Everything except [`EvalReport::wall`] and [`EvalReport::threads`] is a
+/// deterministic function of the plan and its base seed.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// The plan's base seed.
+    pub base_seed: u64,
+    /// Worker threads used for this run (informational).
+    pub threads: usize,
+    /// Wall-clock time of the whole run (informational).
+    pub wall: Duration,
+    /// One report per plan cell, in plan order.
+    pub cells: Vec<CellReport>,
+}
+
+impl EvalReport {
+    /// The deterministic payload of the report: everything except timing and
+    /// thread count. Two runs of the same plan and seed produce equal
+    /// fingerprints regardless of parallelism.
+    pub fn fingerprint(&self) -> (u64, &[CellReport]) {
+        (self.base_seed, &self.cells)
+    }
+
+    /// The cell with the largest mean, if any (worst-case searches).
+    pub fn max_mean_cell(&self) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .max_by(|a, b| a.estimate.mean.total_cmp(&b.estimate.mean))
+    }
+
+    /// Renders the report as a plain-text [`Table`].
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new([
+            "system", "n", "strategy", "model", "mean", "std_err", "trials",
+        ]);
+        for cell in &self.cells {
+            table.add_row(vec![
+                cell.system.clone(),
+                cell.universe_size
+                    .map_or_else(|| "-".into(), |n| n.to_string()),
+                cell.strategy.clone(),
+                cell.model.clone(),
+                format!("{:.3}", cell.estimate.mean),
+                format!("{:.3}", cell.estimate.std_error),
+                cell.trials.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// Executes [`EvalPlan`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalEngine {
+    threads: Option<usize>,
+}
+
+impl EvalEngine {
+    /// An engine using all available worker threads.
+    pub fn new() -> Self {
+        EvalEngine { threads: None }
+    }
+
+    /// An engine pinned to `threads` worker threads (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        EvalEngine {
+            threads: if threads == 0 { None } else { Some(threads) },
+        }
+    }
+
+    /// The number of worker threads this engine will use.
+    pub fn thread_count(&self) -> usize {
+        self.threads.unwrap_or_else(rayon::current_num_threads)
+    }
+
+    /// Runs `op` with this engine's thread count governing every parallel
+    /// iterator inside it — including the legacy estimator entry points
+    /// ([`crate::estimate_expected_probes`], [`crate::estimate_worst_case`],
+    /// …) that call [`trial_values`] directly.
+    ///
+    /// An unpinned engine ([`EvalEngine::new`]) runs `op` on the ambient
+    /// configuration without building a pool.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        match self.threads {
+            None => op(),
+            Some(threads) => rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool construction cannot fail")
+                .install(op),
+        }
+    }
+
+    /// Runs every cell of `plan`, in parallel over the flattened
+    /// `(cell, trial)` space.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from strategies that return invalid witnesses.
+    pub fn run(&self, plan: &EvalPlan) -> EvalReport {
+        let started = Instant::now();
+        let threads = self.thread_count();
+        let values = self.install(|| self.run_trials(plan));
+
+        // Fold each cell's values, in trial order, into its estimate.
+        let mut cells = Vec::with_capacity(plan.cells.len());
+        let mut offset = 0usize;
+        for cell in &plan.cells {
+            let mut stats = RunningStats::new();
+            for &value in &values[offset..offset + cell.trials] {
+                stats.push(value);
+            }
+            offset += cell.trials;
+            cells.push(CellReport {
+                system: cell.system_label.clone(),
+                strategy: cell.strategy_label.clone(),
+                model: cell.model_label.clone(),
+                universe_size: cell.universe_size,
+                trials: cell.trials,
+                estimate: Estimate::from_stats(&stats),
+            });
+        }
+
+        EvalReport {
+            base_seed: plan.base_seed,
+            threads,
+            wall: started.elapsed(),
+            cells,
+        }
+    }
+
+    /// Flattens all `(cell, trial)` pairs into one parallel map.
+    fn run_trials(&self, plan: &EvalPlan) -> Vec<f64> {
+        // offsets[i] = global index of cell i's first trial.
+        let mut offsets = Vec::with_capacity(plan.cells.len() + 1);
+        let mut total = 0usize;
+        for cell in &plan.cells {
+            offsets.push(total);
+            total += cell.trials;
+        }
+        offsets.push(total);
+
+        (0..total)
+            .into_par_iter()
+            .map(|global| {
+                // The cell owning this global trial index.
+                let cell_index = offsets.partition_point(|&o| o <= global) - 1;
+                let trial_index = (global - offsets[cell_index]) as u64;
+                let cell = &plan.cells[cell_index];
+                let mut rng = derive_rng(plan.base_seed, cell_index as u64, trial_index);
+                match &cell.task {
+                    CellTask::Probe {
+                        system,
+                        strategy,
+                        source,
+                    } => {
+                        let coloring = source.sample(system.universe_size(), trial_index, &mut rng);
+                        strategy.run(system.as_ref(), &coloring, &mut rng).probes as f64
+                    }
+                    CellTask::Custom { sample } => sample(trial_index, &mut rng),
+                }
+            })
+            .collect()
+    }
+}

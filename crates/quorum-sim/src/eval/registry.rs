@@ -1,0 +1,299 @@
+//! Registries of the paper's system families and probe strategies.
+//!
+//! The registries make the evaluation engine *table-driven*: every named
+//! construction of `quorum-systems` and every probing algorithm of
+//! `quorum-probe` is enumerable, buildable from a size hint, and pairable —
+//! [`StrategyRegistry::compatible_pairs`] yields exactly the `(system,
+//! strategy)` cells a survey should run.
+
+use quorum_probe::strategies::{
+    IrProbeHqs, ProbeCw, ProbeHqs, ProbeMaj, ProbeTree, RProbeCw, RProbeHqs, RProbeMaj, RProbeTree,
+    RandomScan, SequentialScan,
+};
+use quorum_systems::{CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
+
+use super::dynsys::{
+    erase_system, typed_strategy, universal_strategy, DynProbeStrategy, DynSystem,
+};
+
+/// A named system family, buildable from an approximate universe size.
+#[derive(Clone)]
+pub struct SystemEntry {
+    /// Family name, e.g. `"Maj"`.
+    pub family: &'static str,
+    /// Builds an instance with roughly `size_hint` elements (rounded to
+    /// whatever the family supports).
+    pub build: fn(usize) -> DynSystem,
+}
+
+impl std::fmt::Debug for SystemEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemEntry")
+            .field("family", &self.family)
+            .finish()
+    }
+}
+
+/// The registry of system families.
+#[derive(Debug, Clone)]
+pub struct SystemRegistry {
+    entries: Vec<SystemEntry>,
+}
+
+impl SystemRegistry {
+    /// The families studied by the paper (Maj, Wheel, Triang, Tree, HQS)
+    /// plus the Grid baseline.
+    pub fn paper() -> Self {
+        SystemRegistry {
+            entries: vec![
+                SystemEntry {
+                    family: "Maj",
+                    build: |hint| erase_system(Majority::with_size_hint(hint)),
+                },
+                SystemEntry {
+                    family: "Wheel",
+                    build: |hint| erase_system(Wheel::with_size_hint(hint)),
+                },
+                SystemEntry {
+                    family: "Triang",
+                    build: |hint| erase_system(CrumblingWalls::triang_with_size_hint(hint)),
+                },
+                SystemEntry {
+                    family: "Tree",
+                    build: |hint| erase_system(TreeQuorum::with_size_hint(hint)),
+                },
+                SystemEntry {
+                    family: "HQS",
+                    build: |hint| erase_system(Hqs::with_size_hint(hint)),
+                },
+                SystemEntry {
+                    family: "Grid",
+                    build: |hint| erase_system(Grid::with_size_hint(hint)),
+                },
+            ],
+        }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[SystemEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by family name.
+    pub fn get(&self, family: &str) -> Option<&SystemEntry> {
+        self.entries.iter().find(|e| e.family == family)
+    }
+
+    /// Builds an instance of `family` with roughly `size_hint` elements.
+    pub fn build(&self, family: &str, size_hint: usize) -> Option<DynSystem> {
+        self.get(family).map(|e| (e.build)(size_hint))
+    }
+}
+
+/// A named probe strategy, buildable as a [`DynProbeStrategy`].
+#[derive(Clone)]
+pub struct StrategyEntry {
+    /// Canonical name, e.g. `"Probe_CW"`.
+    pub name: &'static str,
+    /// Builds the strategy.
+    pub build: fn() -> DynProbeStrategy,
+    /// Whether the strategy randomises its probe order (Section 4
+    /// algorithms and `RandomScan`).
+    pub randomized: bool,
+}
+
+impl std::fmt::Debug for StrategyEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategyEntry")
+            .field("name", &self.name)
+            .field("randomized", &self.randomized)
+            .finish()
+    }
+}
+
+/// The registry of probe strategies.
+#[derive(Debug, Clone)]
+pub struct StrategyRegistry {
+    entries: Vec<StrategyEntry>,
+}
+
+impl StrategyRegistry {
+    /// Every strategy of the paper (Sections 3 and 4) plus the generic
+    /// scan baselines.
+    pub fn paper() -> Self {
+        StrategyRegistry {
+            entries: vec![
+                StrategyEntry {
+                    name: "Probe_Maj",
+                    build: || typed_strategy::<Majority, _>(ProbeMaj::new()),
+                    randomized: false,
+                },
+                StrategyEntry {
+                    name: "R_Probe_Maj",
+                    build: || typed_strategy::<Majority, _>(RProbeMaj::new()),
+                    randomized: true,
+                },
+                StrategyEntry {
+                    name: "Probe_CW",
+                    build: || typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
+                    randomized: false,
+                },
+                StrategyEntry {
+                    name: "R_Probe_CW",
+                    build: || typed_strategy::<CrumblingWalls, _>(RProbeCw::new()),
+                    randomized: true,
+                },
+                StrategyEntry {
+                    name: "Probe_Tree",
+                    build: || typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+                    randomized: false,
+                },
+                StrategyEntry {
+                    name: "R_Probe_Tree",
+                    build: || typed_strategy::<TreeQuorum, _>(RProbeTree::new()),
+                    randomized: true,
+                },
+                StrategyEntry {
+                    name: "Probe_HQS",
+                    build: || typed_strategy::<Hqs, _>(ProbeHqs::new()),
+                    randomized: false,
+                },
+                StrategyEntry {
+                    name: "R_Probe_HQS",
+                    build: || typed_strategy::<Hqs, _>(RProbeHqs::new()),
+                    randomized: true,
+                },
+                StrategyEntry {
+                    name: "IR_Probe_HQS",
+                    build: || typed_strategy::<Hqs, _>(IrProbeHqs::new()),
+                    randomized: true,
+                },
+                StrategyEntry {
+                    name: "SequentialScan",
+                    build: || universal_strategy(SequentialScan::new()),
+                    randomized: false,
+                },
+                StrategyEntry {
+                    name: "RandomScan",
+                    build: || universal_strategy(RandomScan::new()),
+                    randomized: true,
+                },
+            ],
+        }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[StrategyEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by canonical name.
+    pub fn get(&self, name: &str) -> Option<&StrategyEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Builds the strategy registered under `name`.
+    pub fn build(&self, name: &str) -> Option<DynProbeStrategy> {
+        self.get(name).map(|e| (e.build)())
+    }
+
+    /// Every `(system, strategy)` pair that can run together, with systems
+    /// built at roughly `size_hint` elements.
+    pub fn compatible_pairs(
+        &self,
+        systems: &SystemRegistry,
+        size_hint: usize,
+    ) -> Vec<(DynSystem, DynProbeStrategy)> {
+        let mut pairs = Vec::new();
+        for system_entry in systems.entries() {
+            let system = (system_entry.build)(size_hint);
+            for strategy_entry in self.entries() {
+                let strategy = (strategy_entry.build)();
+                if strategy.supports(system.as_ref()) {
+                    pairs.push((system.clone(), strategy));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and `quorum_systems::catalogue()` are two views of the
+    /// same family inventory; layering prevents sharing code (the catalogue's
+    /// type-erased builders cannot produce downcastable [`DynSystem`]s), so
+    /// this test pins them together instead.
+    #[test]
+    fn registry_agrees_with_the_systems_catalogue() {
+        let registry = SystemRegistry::paper();
+        let catalogue = quorum_systems::catalogue();
+        let registry_families: Vec<&str> = registry.entries().iter().map(|e| e.family).collect();
+        let catalogue_families: Vec<&str> = catalogue.iter().map(|e| e.family).collect();
+        assert_eq!(
+            registry_families, catalogue_families,
+            "family inventories diverged"
+        );
+        for (reg, cat) in registry.entries().iter().zip(&catalogue) {
+            for hint in [3, 10, 30, 100] {
+                assert_eq!(
+                    (reg.build)(hint).universe_size(),
+                    (cat.build)(hint).universe_size(),
+                    "{} builds different sizes for hint {hint}",
+                    reg.family
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn system_registry_builds_every_family() {
+        let registry = SystemRegistry::paper();
+        assert_eq!(registry.entries().len(), 6);
+        for entry in registry.entries() {
+            let system = (entry.build)(20);
+            assert!(system.universe_size() >= 3, "{} too small", entry.family);
+        }
+        assert!(registry.build("Maj", 10).is_some());
+        assert!(registry.build("NoSuchFamily", 10).is_none());
+    }
+
+    #[test]
+    fn strategy_registry_names_match_the_strategies() {
+        let registry = StrategyRegistry::paper();
+        assert_eq!(registry.entries().len(), 11);
+        for entry in registry.entries() {
+            let strategy = (entry.build)();
+            assert_eq!(strategy.name(), entry.name, "registry name drifted");
+        }
+    }
+
+    #[test]
+    fn compatible_pairs_cover_typed_and_generic_strategies() {
+        let systems = SystemRegistry::paper();
+        let strategies = StrategyRegistry::paper();
+        let pairs = strategies.compatible_pairs(&systems, 15);
+        for (system, strategy) in &pairs {
+            assert!(strategy.supports(system.as_ref()));
+        }
+        // 6 families × 2 generic scans, plus the typed pairs: Maj 2,
+        // Triang (CrumblingWalls) 2, Tree 2, HQS 3.
+        assert_eq!(
+            pairs.len(),
+            6 * 2 + 2 + 2 + 2 + 3,
+            "pair count drifted: {}",
+            pairs.len()
+        );
+        let maj_strategies: Vec<String> = pairs
+            .iter()
+            .filter(|(s, _)| s.name().starts_with("Maj"))
+            .map(|(_, t)| t.name())
+            .collect();
+        assert!(maj_strategies.contains(&"Probe_Maj".to_string()));
+        assert!(maj_strategies.contains(&"R_Probe_Maj".to_string()));
+        assert!(maj_strategies.contains(&"SequentialScan".to_string()));
+        assert!(maj_strategies.contains(&"RandomScan".to_string()));
+    }
+}

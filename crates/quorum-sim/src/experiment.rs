@@ -55,8 +55,8 @@ pub fn sweep<S, T, R>(
     rng: &mut R,
 ) -> SweepRow
 where
-    S: QuorumSystem,
-    T: ProbeStrategy<S>,
+    S: QuorumSystem + Sync,
+    T: ProbeStrategy<S> + Sync,
     R: Rng,
 {
     assert!(!systems.is_empty(), "a sweep needs at least one system");
@@ -154,6 +154,13 @@ mod tests {
     fn empty_sweep_panics() {
         let mut rng = StdRng::seed_from_u64(4);
         let systems: Vec<TreeQuorum> = vec![];
-        let _ = sweep("Tree", &systems, &ProbeTree::new(), &FailureModel::iid(0.5), 10, &mut rng);
+        let _ = sweep(
+            "Tree",
+            &systems,
+            &ProbeTree::new(),
+            &FailureModel::iid(0.5),
+            10,
+            &mut rng,
+        );
     }
 }

@@ -72,7 +72,10 @@ impl FailureModel {
                 }
             }),
             FailureModel::ExactRedCount { reds } => {
-                assert!(*reds <= n, "cannot place {reds} red elements in a universe of {n}");
+                assert!(
+                    *reds <= n,
+                    "cannot place {reds} red elements in a universe of {n}"
+                );
                 let mut order: Vec<usize> = (0..n).collect();
                 order.shuffle(rng);
                 let red_set = ElementSet::from_iter(n, order.into_iter().take(*reds));
@@ -148,7 +151,11 @@ mod tests {
         for _ in 0..200 {
             seen.insert(model.sample(6, &mut rng).red_set().to_vec());
         }
-        assert_eq!(seen.len(), 6, "every position must eventually be the red one");
+        assert_eq!(
+            seen.len(),
+            6,
+            "every position must eventually be the red one"
+        );
     }
 
     #[test]

@@ -6,7 +6,16 @@
 //! concrete strategy, parameter sweeps over universe sizes, and plain-text /
 //! CSV report tables.
 //!
-//! Everything is driven by caller-supplied seeded RNGs so experiments are
+//! At the centre sits the [`eval`] module: a parallel, registry-driven
+//! evaluation engine. [`eval::EvalPlan`]s batch `(system, strategy,
+//! coloring-source)` cells; [`eval::EvalEngine`] executes all their trials
+//! on a rayon pool with deterministic per-trial seed derivation
+//! (`base_seed, cell, trial → StdRng`), so every report is bit-identical
+//! regardless of thread count. The classic entry points below
+//! ([`estimate_expected_probes`], [`worst_case_over_colorings`],
+//! [`sweep`], …) are thin wrappers over the same engine.
+//!
+//! Everything is driven by caller-supplied seeds so experiments are
 //! reproducible.
 //!
 //! ```
@@ -31,12 +40,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eval;
 pub mod experiment;
 pub mod failure;
 pub mod montecarlo;
 pub mod report;
 pub mod worstcase;
 
+pub use eval::{
+    ColoringSource, DynProbeStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport,
+    StrategyRegistry, SystemRegistry,
+};
 pub use experiment::{sweep, SweepPoint, SweepRow};
 pub use failure::FailureModel;
 pub use montecarlo::{estimate_expected_probes, exhaustive_expected_probes, Estimate};

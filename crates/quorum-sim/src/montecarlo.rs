@@ -23,7 +23,7 @@ pub struct Estimate {
 }
 
 impl Estimate {
-    fn from_stats(stats: &RunningStats) -> Self {
+    pub(crate) fn from_stats(stats: &RunningStats) -> Self {
         let summary = stats.summary();
         Estimate {
             mean: summary.mean,
@@ -47,6 +47,11 @@ impl Estimate {
 /// benchmark harness: with [`FailureModel::Iid`] it estimates
 /// `PPC_p(strategy, system)`.
 ///
+/// The trials execute on the parallel evaluation engine
+/// ([`crate::eval::trial_values`]): the caller's `rng` only contributes the
+/// base seed, each trial derives its own deterministic RNG, and the estimate
+/// is identical for any worker-thread count.
+///
 /// # Panics
 ///
 /// Panics if `trials == 0`, or propagates the panic of
@@ -59,17 +64,20 @@ pub fn estimate_expected_probes<S, T, R>(
     rng: &mut R,
 ) -> Estimate
 where
-    S: QuorumSystem + ?Sized,
-    T: ProbeStrategy<S> + ?Sized,
+    S: QuorumSystem + Sync + ?Sized,
+    T: ProbeStrategy<S> + Sync + ?Sized,
     R: Rng,
 {
     assert!(trials > 0, "at least one trial is required");
+    let base_seed = rng.next_u64();
     let n = system.universe_size();
+    let values = crate::eval::trial_values(trials, base_seed, 0, |_, trial_rng| {
+        let coloring = model.sample(n, trial_rng);
+        run_strategy(system, strategy, &coloring, trial_rng).probes as f64
+    });
     let mut stats = RunningStats::new();
-    for _ in 0..trials {
-        let coloring = model.sample(n, rng);
-        let run = run_strategy(system, strategy, &coloring, rng);
-        stats.push(run.probes as f64);
+    for value in values {
+        stats.push(value);
     }
     Estimate::from_stats(&stats)
 }
@@ -92,28 +100,42 @@ pub fn exhaustive_expected_probes<S, T, R>(
     rng: &mut R,
 ) -> f64
 where
-    S: QuorumSystem + ?Sized,
-    T: ProbeStrategy<S> + ?Sized,
+    S: QuorumSystem + Sync + ?Sized,
+    T: ProbeStrategy<S> + Sync + ?Sized,
     R: Rng,
 {
     let n = system.universe_size();
     assert!(n <= 20, "exhaustive estimation is limited to n <= 20");
-    assert!(runs_per_coloring > 0, "at least one run per coloring is required");
+    assert!(
+        runs_per_coloring > 0,
+        "at least one run per coloring is required"
+    );
     assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let base_seed = rng.next_u64();
     let q = 1.0 - p;
-    let mut total = 0.0;
-    for coloring in Coloring::enumerate_all(n) {
-        let weight = p.powi(coloring.red_count() as i32) * q.powi(coloring.green_count() as i32);
-        if weight == 0.0 {
-            continue;
-        }
-        let mut cost = 0.0;
-        for _ in 0..runs_per_coloring {
-            cost += run_strategy(system, strategy, &coloring, rng).probes as f64;
-        }
-        total += weight * cost / runs_per_coloring as f64;
-    }
-    total
+    let weighted: Vec<(Coloring, f64)> = Coloring::enumerate_all(n)
+        .into_iter()
+        .map(|c| {
+            let weight = p.powi(c.red_count() as i32) * q.powi(c.green_count() as i32);
+            (c, weight)
+        })
+        .filter(|(_, weight)| *weight > 0.0)
+        .collect();
+    // All (coloring, run) trials flattened onto the shared parallel runner.
+    let values = crate::eval::trial_values(
+        weighted.len() * runs_per_coloring,
+        base_seed,
+        0,
+        |trial, trial_rng| {
+            let (coloring, _) = &weighted[trial as usize / runs_per_coloring];
+            run_strategy(system, strategy, coloring, trial_rng).probes as f64
+        },
+    );
+    weighted
+        .iter()
+        .zip(values.chunks_exact(runs_per_coloring))
+        .map(|((_, weight), costs)| weight * costs.iter().sum::<f64>() / runs_per_coloring as f64)
+        .sum()
 }
 
 #[cfg(test)]
@@ -136,7 +158,10 @@ mod tests {
             20_000,
             &mut rng,
         );
-        assert!(estimate.is_consistent_with(2.5, 4.0), "estimate {estimate:?}");
+        assert!(
+            estimate.is_consistent_with(2.5, 4.0),
+            "estimate {estimate:?}"
+        );
         assert_eq!(estimate.samples, 20_000);
         assert!(estimate.min >= 2.0 && estimate.max <= 3.0);
     }
@@ -189,7 +214,11 @@ mod tests {
             4_000,
             &mut rng,
         );
-        assert!(estimate.mean <= 3.0 + 4.0 * estimate.std_error, "estimate {}", estimate.mean);
+        assert!(
+            estimate.mean <= 3.0 + 4.0 * estimate.std_error,
+            "estimate {}",
+            estimate.mean
+        );
         // Sanity: the wheel and its CW representation agree on the universe.
         assert_eq!(wheel.universe_size(), wall.universe_size());
     }
@@ -208,7 +237,10 @@ mod tests {
             30_000,
             &mut rng,
         );
-        assert!(estimate.is_consistent_with(4.5, 4.0), "estimate {estimate:?}");
+        assert!(
+            estimate.is_consistent_with(4.5, 4.0),
+            "estimate {estimate:?}"
+        );
     }
 
     #[test]
@@ -216,7 +248,8 @@ mod tests {
     fn zero_trials_panics() {
         let maj = Majority::new(3).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
-        let _ = estimate_expected_probes(&maj, &ProbeMaj::new(), &FailureModel::iid(0.5), 0, &mut rng);
+        let _ =
+            estimate_expected_probes(&maj, &ProbeMaj::new(), &FailureModel::iid(0.5), 0, &mut rng);
     }
 
     #[test]

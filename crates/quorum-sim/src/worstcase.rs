@@ -40,21 +40,38 @@ pub fn worst_case_over_colorings<S, T, R>(
     rng: &mut R,
 ) -> WorstCase
 where
-    S: QuorumSystem + ?Sized,
-    T: ProbeStrategy<S> + ?Sized,
+    S: QuorumSystem + Sync + ?Sized,
+    T: ProbeStrategy<S> + Sync + ?Sized,
     R: Rng,
 {
     assert!(!colorings.is_empty(), "at least one coloring is required");
-    assert!(runs_per_coloring > 0, "at least one run per coloring is required");
+    assert!(
+        runs_per_coloring > 0,
+        "at least one run per coloring is required"
+    );
+    // All (coloring, run) trials flattened onto the shared parallel runner;
+    // the caller's rng only contributes the base seed.
+    let base_seed = rng.next_u64();
+    let values = crate::eval::trial_values(
+        colorings.len() * runs_per_coloring,
+        base_seed,
+        0,
+        |trial, trial_rng| {
+            let coloring = &colorings[trial as usize / runs_per_coloring];
+            run_strategy(system, strategy, coloring, trial_rng).probes as f64
+        },
+    );
     let mut worst: Option<WorstCase> = None;
-    for coloring in colorings {
+    for (coloring, costs) in colorings.iter().zip(values.chunks_exact(runs_per_coloring)) {
         let mut stats = RunningStats::new();
-        for _ in 0..runs_per_coloring {
-            let run = run_strategy(system, strategy, coloring, rng);
-            stats.push(run.probes as f64);
+        for &cost in costs {
+            stats.push(cost);
         }
         let summary = stats.summary();
-        if worst.as_ref().map_or(true, |w| summary.mean > w.expected_probes) {
+        if worst
+            .as_ref()
+            .is_none_or(|w| summary.mean > w.expected_probes)
+        {
             worst = Some(WorstCase {
                 coloring: coloring.clone(),
                 expected_probes: summary.mean,
@@ -80,12 +97,15 @@ pub fn estimate_worst_case<S, T, R>(
     rng: &mut R,
 ) -> WorstCase
 where
-    S: QuorumSystem + ?Sized,
-    T: ProbeStrategy<S> + ?Sized,
+    S: QuorumSystem + Sync + ?Sized,
+    T: ProbeStrategy<S> + Sync + ?Sized,
     R: Rng,
 {
     let n = system.universe_size();
-    assert!(n <= 16, "exhaustive worst-case estimation is limited to n <= 16");
+    assert!(
+        n <= 16,
+        "exhaustive worst-case estimation is limited to n <= 16"
+    );
     let colorings = Coloring::enumerate_all(n);
     worst_case_over_colorings(system, strategy, &colorings, runs_per_coloring, rng)
 }
@@ -123,7 +143,11 @@ mod tests {
         );
         // The worst coloring has a bare majority of one color.
         let reds = worst.coloring.red_count();
-        assert!(reds == 2 || reds == 3, "unexpected worst coloring {:?}", worst.coloring);
+        assert!(
+            reds == 2 || reds == 3,
+            "unexpected worst coloring {:?}",
+            worst.coloring
+        );
     }
 
     #[test]
@@ -165,7 +189,8 @@ mod tests {
         let maj = Majority::new(5).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let colorings = vec![Coloring::all_green(5), Coloring::all_red(5)];
-        let worst = worst_case_over_colorings(&maj, &SequentialScan::new(), &colorings, 1, &mut rng);
+        let worst =
+            worst_case_over_colorings(&maj, &SequentialScan::new(), &colorings, 1, &mut rng);
         // Both colorings cost exactly 3 probes; the first maximiser is kept.
         assert_eq!(worst.expected_probes, 3.0);
         assert_eq!(worst.coloring, Coloring::all_green(5));

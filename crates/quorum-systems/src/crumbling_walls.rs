@@ -50,10 +50,14 @@ impl CrumblingWalls {
     /// any row has width 0.
     pub fn new(widths: Vec<usize>) -> Result<Self, QuorumError> {
         if widths.is_empty() {
-            return Err(QuorumError::InvalidConstruction { reason: "a crumbling wall needs at least one row".into() });
+            return Err(QuorumError::InvalidConstruction {
+                reason: "a crumbling wall needs at least one row".into(),
+            });
         }
-        if widths.iter().any(|&w| w == 0) {
-            return Err(QuorumError::InvalidConstruction { reason: "crumbling wall rows must be nonempty".into() });
+        if widths.contains(&0) {
+            return Err(QuorumError::InvalidConstruction {
+                reason: "crumbling wall rows must be nonempty".into(),
+            });
         }
         let mut offsets = Vec::with_capacity(widths.len());
         let mut acc = 0;
@@ -61,7 +65,11 @@ impl CrumblingWalls {
             offsets.push(acc);
             acc += w;
         }
-        Ok(CrumblingWalls { widths, offsets, n: acc })
+        Ok(CrumblingWalls {
+            widths,
+            offsets,
+            n: acc,
+        })
     }
 
     /// The Wheel system as a `(1, n−1)`-CW.
@@ -90,6 +98,18 @@ impl CrumblingWalls {
             });
         }
         Self::new((1..=d).collect())
+    }
+
+    /// Creates the largest Triang system with at most `max(size_hint, 3)`
+    /// elements (and at least 2 rows). Infallible counterpart of
+    /// [`CrumblingWalls::triang`] for catalogues and registries.
+    pub fn triang_with_size_hint(size_hint: usize) -> Self {
+        // Largest d with d(d+1)/2 <= max(size_hint, 3), at least 2 rows.
+        let mut d = 1;
+        while (d + 1) * (d + 2) / 2 <= size_hint.max(3) {
+            d += 1;
+        }
+        Self::triang(d.max(2)).expect("d >= 2 is always valid")
     }
 
     /// Number of rows `k`.
@@ -127,7 +147,11 @@ impl CrumblingWalls {
     ///
     /// Panics if `e` is outside the universe.
     pub fn row_of(&self, e: ElementId) -> usize {
-        assert!(e < self.n, "element {e} outside universe of size {}", self.n);
+        assert!(
+            e < self.n,
+            "element {e} outside universe of size {}",
+            self.n
+        );
         match self.offsets.binary_search(&e) {
             Ok(row) => row,
             Err(next) => next - 1,
@@ -202,15 +226,19 @@ impl QuorumSystem for CrumblingWalls {
             count = count.saturating_add(c);
         }
         if count > 2_000_000 {
-            return Err(QuorumError::UniverseTooLarge { actual: self.n, limit: 24 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: self.n,
+                limit: 24,
+            });
         }
         let mut out = Vec::with_capacity(count as usize);
         for j in 0..self.row_count() {
             // Full row j plus every combination of single representatives from
             // rows below.
             let base = ElementSet::from_iter(self.n, self.row_elements(j));
-            let below: Vec<Vec<ElementId>> =
-                (j + 1..self.row_count()).map(|i| self.row_elements(i)).collect();
+            let below: Vec<Vec<ElementId>> = (j + 1..self.row_count())
+                .map(|i| self.row_elements(i))
+                .collect();
             let mut stack = vec![(base, 0usize)];
             while let Some((set, depth)) = stack.pop() {
                 if depth == below.len() {
@@ -279,7 +307,10 @@ mod tests {
         assert_eq!(t.widths(), &[1, 2, 3, 4]);
         assert_eq!(t.universe_size(), 10);
         assert!(t.is_nd_shape());
-        assert!(matches!(CrumblingWalls::triang(1), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(
+            CrumblingWalls::triang(1),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
     }
 
     #[test]
@@ -289,9 +320,16 @@ mod tests {
         // Same characteristic function on every subset.
         for mask in 0u64..(1 << 6) {
             let set = ElementSet::from_mask(6, mask);
-            assert_eq!(cw.contains_quorum(&set), wheel.contains_quorum(&set), "mismatch on {set}");
+            assert_eq!(
+                cw.contains_quorum(&set),
+                wheel.contains_quorum(&set),
+                "mismatch on {set}"
+            );
         }
-        assert!(matches!(CrumblingWalls::wheel(2), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(
+            CrumblingWalls::wheel(2),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
     }
 
     #[test]

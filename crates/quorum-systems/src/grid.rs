@@ -41,10 +41,20 @@ impl Grid {
     pub fn new(rows: usize, cols: usize) -> Result<Self, QuorumError> {
         if rows == 0 || cols == 0 || rows * cols < 2 {
             return Err(QuorumError::InvalidConstruction {
-                reason: format!("grid dimensions must be positive and non-trivial, got {rows}x{cols}"),
+                reason: format!(
+                    "grid dimensions must be positive and non-trivial, got {rows}x{cols}"
+                ),
             });
         }
         Ok(Grid { rows, cols })
+    }
+
+    /// Creates the largest square grid with at most `max(size_hint, 4)`
+    /// elements (side at least 2). Infallible counterpart of [`Grid::new`]
+    /// for catalogues and registries.
+    pub fn with_size_hint(size_hint: usize) -> Self {
+        let side = ((size_hint.max(4)) as f64).sqrt().floor() as usize;
+        Grid::new(side.max(2), side.max(2)).expect("side >= 2 is always valid")
     }
 
     /// Number of rows.
@@ -63,7 +73,10 @@ impl Grid {
     ///
     /// Panics if the coordinates are out of range.
     pub fn element(&self, row: usize, col: usize) -> ElementId {
-        assert!(row < self.rows && col < self.cols, "grid coordinates out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "grid coordinates out of range"
+        );
         row * self.cols + col
     }
 
@@ -88,7 +101,8 @@ impl QuorumSystem for Grid {
     }
 
     fn contains_quorum(&self, set: &ElementSet) -> bool {
-        let full_row = (0..self.rows).any(|r| (0..self.cols).all(|c| set.contains(self.element(r, c))));
+        let full_row =
+            (0..self.rows).any(|r| (0..self.cols).all(|c| set.contains(self.element(r, c))));
         if !full_row {
             return false;
         }
@@ -113,8 +127,14 @@ mod tests {
     fn construction_validation() {
         assert!(Grid::new(2, 3).is_ok());
         assert!(Grid::new(1, 2).is_ok());
-        assert!(matches!(Grid::new(0, 3), Err(QuorumError::InvalidConstruction { .. })));
-        assert!(matches!(Grid::new(1, 1), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(
+            Grid::new(0, 3),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
+        assert!(matches!(
+            Grid::new(1, 1),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
     }
 
     #[test]

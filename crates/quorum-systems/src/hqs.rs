@@ -53,7 +53,10 @@ impl Hqs {
                 reason: format!("HQS of height {height} is too large to represent"),
             });
         }
-        Ok(Hqs { height, n: 3usize.pow(height as u32) })
+        Ok(Hqs {
+            height,
+            n: 3usize.pow(height as u32),
+        })
     }
 
     /// Creates the largest HQS with at most `max_elements` leaves.
@@ -74,6 +77,13 @@ impl Hqs {
         Self::new(h)
     }
 
+    /// Creates the largest HQS with at most `max(size_hint, 3)` leaves.
+    /// Infallible counterpart of [`Hqs::with_at_most`] for catalogues and
+    /// registries.
+    pub fn with_size_hint(size_hint: usize) -> Self {
+        Self::with_at_most(size_hint.max(3)).expect("hint >= 3 is always valid")
+    }
+
     /// The height of the ternary computation tree.
     pub fn height(&self) -> usize {
         self.height
@@ -90,7 +100,11 @@ impl Hqs {
     /// Leaves are indexed left to right, so the subtree rooted at the `c`-th
     /// child (0, 1 or 2) of a node covering `start .. start + 3^k` covers
     /// `start + c·3^{k−1} .. start + (c+1)·3^{k−1}`.
-    pub fn subtree_leaf_range(&self, start: ElementId, sub_height: usize) -> std::ops::Range<ElementId> {
+    pub fn subtree_leaf_range(
+        &self,
+        start: ElementId,
+        sub_height: usize,
+    ) -> std::ops::Range<ElementId> {
         start..start + 3usize.pow(sub_height as u32)
     }
 
@@ -155,8 +169,14 @@ mod tests {
         assert_eq!(Hqs::new(1).unwrap().universe_size(), 3);
         assert_eq!(Hqs::new(2).unwrap().universe_size(), 9);
         assert_eq!(Hqs::new(3).unwrap().universe_size(), 27);
-        assert!(matches!(Hqs::new(0), Err(QuorumError::InvalidConstruction { .. })));
-        assert!(matches!(Hqs::new(17), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(
+            Hqs::new(0),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
+        assert!(matches!(
+            Hqs::new(17),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
     }
 
     #[test]
@@ -196,7 +216,10 @@ mod tests {
         assert!(hqs.contains_quorum(&ElementSet::from_iter(9, [0, 1, 4, 5])));
         // Removing any single element breaks it (it is a minterm).
         for e in [0, 1, 4, 5] {
-            assert!(!hqs.contains_quorum(&ElementSet::from_iter(9, [0, 1, 4, 5].into_iter().filter(|&x| x != e))));
+            assert!(!hqs.contains_quorum(&ElementSet::from_iter(
+                9,
+                [0, 1, 4, 5].into_iter().filter(|&x| x != e)
+            )));
         }
     }
 
@@ -225,7 +248,10 @@ mod tests {
     fn coloring_verdict_is_exclusive() {
         let hqs = Hqs::new(2).unwrap();
         for coloring in Coloring::enumerate_all(9) {
-            assert_ne!(hqs.has_green_quorum(&coloring), hqs.has_red_quorum(&coloring));
+            assert_ne!(
+                hqs.has_green_quorum(&coloring),
+                hqs.has_red_quorum(&coloring)
+            );
         }
     }
 

@@ -69,7 +69,9 @@ pub struct FamilyEntry {
 
 impl std::fmt::Debug for FamilyEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FamilyEntry").field("family", &self.family).finish()
+        f.debug_struct("FamilyEntry")
+            .field("family", &self.family)
+            .finish()
     }
 }
 
@@ -86,60 +88,55 @@ impl std::fmt::Debug for FamilyEntry {
 /// ```
 pub fn catalogue() -> Vec<FamilyEntry> {
     vec![
-        FamilyEntry { family: "Maj", build: build_majority },
-        FamilyEntry { family: "Wheel", build: build_wheel },
-        FamilyEntry { family: "Triang", build: build_triang },
-        FamilyEntry { family: "Tree", build: build_tree },
-        FamilyEntry { family: "HQS", build: build_hqs },
-        FamilyEntry { family: "Grid", build: build_grid },
+        FamilyEntry {
+            family: "Maj",
+            build: build_majority,
+        },
+        FamilyEntry {
+            family: "Wheel",
+            build: build_wheel,
+        },
+        FamilyEntry {
+            family: "Triang",
+            build: build_triang,
+        },
+        FamilyEntry {
+            family: "Tree",
+            build: build_tree,
+        },
+        FamilyEntry {
+            family: "HQS",
+            build: build_hqs,
+        },
+        FamilyEntry {
+            family: "Grid",
+            build: build_grid,
+        },
     ]
 }
 
 fn build_majority(size_hint: usize) -> DynQuorumSystem {
-    let n = if size_hint < 3 {
-        3
-    } else if size_hint % 2 == 0 {
-        size_hint + 1
-    } else {
-        size_hint
-    };
-    Arc::new(Majority::new(n).expect("odd n >= 3 is always valid"))
+    Arc::new(Majority::with_size_hint(size_hint))
 }
 
 fn build_wheel(size_hint: usize) -> DynQuorumSystem {
-    Arc::new(Wheel::new(size_hint.max(3)).expect("n >= 3 is always valid"))
+    Arc::new(Wheel::with_size_hint(size_hint))
 }
 
 fn build_triang(size_hint: usize) -> DynQuorumSystem {
-    // Largest d with d(d+1)/2 <= max(size_hint, 3), at least 2 rows.
-    let mut d = 1;
-    while (d + 1) * (d + 2) / 2 <= size_hint.max(3) {
-        d += 1;
-    }
-    Arc::new(CrumblingWalls::triang(d.max(2)).expect("d >= 2 is always valid"))
+    Arc::new(CrumblingWalls::triang_with_size_hint(size_hint))
 }
 
 fn build_tree(size_hint: usize) -> DynQuorumSystem {
-    // Largest height with 2^(h+1) - 1 <= max(size_hint, 3).
-    let mut h = 1;
-    while (1usize << (h + 2)) - 1 <= size_hint.max(3) {
-        h += 1;
-    }
-    Arc::new(TreeQuorum::new(h).expect("h >= 1 is always valid"))
+    Arc::new(TreeQuorum::with_size_hint(size_hint))
 }
 
 fn build_hqs(size_hint: usize) -> DynQuorumSystem {
-    let mut h = 1;
-    while 3usize.pow(h as u32 + 1) <= size_hint.max(3) {
-        h += 1;
-    }
-    Arc::new(Hqs::new(h).expect("h >= 1 is always valid"))
+    Arc::new(Hqs::with_size_hint(size_hint))
 }
 
 fn build_grid(size_hint: usize) -> DynQuorumSystem {
-    let side = ((size_hint.max(4)) as f64).sqrt().floor() as usize;
-    let side = side.max(2);
-    Arc::new(Grid::new(side, side).expect("side >= 2 is always valid"))
+    Arc::new(Grid::with_size_hint(size_hint))
 }
 
 #[cfg(test)]
@@ -152,7 +149,11 @@ mod tests {
         for entry in catalogue() {
             for hint in [10, 30, 100] {
                 let system = (entry.build)(hint);
-                assert!(system.universe_size() >= 3, "{} produced a tiny system", entry.family);
+                assert!(
+                    system.universe_size() >= 3,
+                    "{} produced a tiny system",
+                    entry.family
+                );
                 assert!(
                     system.universe_size() <= 2 * hint + 3,
                     "{} produced an oversized system for hint {hint}: {}",

@@ -37,15 +37,33 @@ impl Majority {
     pub fn new(n: usize) -> Result<Self, QuorumError> {
         if n < 3 || n % 2 == 0 {
             return Err(QuorumError::InvalidConstruction {
-                reason: format!("majority requires an odd universe of at least 3 elements, got {n}"),
+                reason: format!(
+                    "majority requires an odd universe of at least 3 elements, got {n}"
+                ),
             });
         }
         Ok(Majority { n })
     }
 
+    /// Creates the majority system whose universe is closest to `size_hint`
+    /// from above: `size_hint` rounded up to an odd number, at least 3.
+    ///
+    /// Infallible counterpart of [`Majority::new`] used by catalogues and
+    /// registries that sweep heterogeneous families from a single size knob.
+    pub fn with_size_hint(size_hint: usize) -> Self {
+        let n = if size_hint < 3 {
+            3
+        } else if size_hint % 2 == 0 {
+            size_hint + 1
+        } else {
+            size_hint
+        };
+        Majority::new(n).expect("odd n >= 3 is always valid")
+    }
+
     /// The uniform quorum size `(n+1)/2`.
     pub fn quorum_size(&self) -> usize {
-        (self.n + 1) / 2
+        self.n.div_ceil(2)
     }
 }
 
@@ -72,7 +90,10 @@ impl QuorumSystem for Majority {
 
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         if self.n > 24 {
-            return Err(QuorumError::UniverseTooLarge { actual: self.n, limit: 24 });
+            return Err(QuorumError::UniverseTooLarge {
+                actual: self.n,
+                limit: 24,
+            });
         }
         let mut out = Vec::new();
         let k = self.quorum_size();
@@ -111,9 +132,18 @@ mod tests {
     fn construction_validates_parity_and_size() {
         assert!(Majority::new(3).is_ok());
         assert!(Majority::new(21).is_ok());
-        assert!(matches!(Majority::new(4), Err(QuorumError::InvalidConstruction { .. })));
-        assert!(matches!(Majority::new(1), Err(QuorumError::InvalidConstruction { .. })));
-        assert!(matches!(Majority::new(0), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(
+            Majority::new(4),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
+        assert!(matches!(
+            Majority::new(1),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
+        assert!(matches!(
+            Majority::new(0),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
     }
 
     #[test]

@@ -80,6 +80,13 @@ impl TreeQuorum {
         Self::new(h)
     }
 
+    /// Creates the largest tree system with at most `max(size_hint, 3)`
+    /// elements. Infallible counterpart of [`TreeQuorum::with_at_most`] for
+    /// catalogues and registries.
+    pub fn with_size_hint(size_hint: usize) -> Self {
+        Self::with_at_most(size_hint.max(3)).expect("hint >= 3 is always valid")
+    }
+
     /// The height of the tree.
     pub fn height(&self) -> usize {
         self.height
@@ -155,7 +162,7 @@ impl QuorumSystem for TreeQuorum {
 
     fn max_quorum_size(&self) -> usize {
         // All the leaves.
-        (self.n + 1) / 2
+        self.n.div_ceil(2)
     }
 }
 
@@ -173,8 +180,14 @@ mod tests {
         assert_eq!(t.height(), 3);
         assert_eq!(t.min_quorum_size(), 4);
         assert_eq!(t.max_quorum_size(), 8);
-        assert!(matches!(TreeQuorum::new(0), Err(QuorumError::InvalidConstruction { .. })));
-        assert!(matches!(TreeQuorum::new(40), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(
+            TreeQuorum::new(0),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
+        assert!(matches!(
+            TreeQuorum::new(40),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
     }
 
     #[test]

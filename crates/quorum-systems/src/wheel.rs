@@ -43,6 +43,13 @@ impl Wheel {
         Ok(Wheel { n })
     }
 
+    /// Creates the wheel whose universe is closest to `size_hint`
+    /// (`max(size_hint, 3)` elements). Infallible counterpart of
+    /// [`Wheel::new`] for catalogues and registries.
+    pub fn with_size_hint(size_hint: usize) -> Self {
+        Wheel::new(size_hint.max(3)).expect("n >= 3 is always valid")
+    }
+
     /// The hub element (index 0).
     pub fn hub(&self) -> ElementId {
         0
@@ -101,8 +108,14 @@ mod tests {
     #[test]
     fn construction_rejects_tiny_universes() {
         assert!(Wheel::new(3).is_ok());
-        assert!(matches!(Wheel::new(2), Err(QuorumError::InvalidConstruction { .. })));
-        assert!(matches!(Wheel::new(0), Err(QuorumError::InvalidConstruction { .. })));
+        assert!(matches!(
+            Wheel::new(2),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
+        assert!(matches!(
+            Wheel::new(0),
+            Err(QuorumError::InvalidConstruction { .. })
+        ));
     }
 
     #[test]
@@ -191,7 +204,10 @@ mod tests {
     fn exactly_one_monochromatic_quorum_per_coloring() {
         let wheel = Wheel::new(6).unwrap();
         for coloring in Coloring::enumerate_all(6) {
-            assert_ne!(wheel.has_green_quorum(&coloring), wheel.has_red_quorum(&coloring));
+            assert_ne!(
+                wheel.has_green_quorum(&coloring),
+                wheel.has_red_quorum(&coloring)
+            );
         }
     }
 }

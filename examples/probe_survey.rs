@@ -2,6 +2,10 @@
 //! universe sizes, fit the growth exponent, and print the paper's predicted
 //! exponent next to the measurement.
 //!
+//! The whole survey is one [`EvalPlan`] — the registries enumerate the
+//! families and strategies, the engine executes every cell in parallel, and
+//! the rows below are read straight out of the resulting [`EvalReport`].
+//!
 //! Run with:
 //!
 //! ```text
@@ -9,80 +13,122 @@
 //! ```
 
 use probequorum::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use probequorum::sim::eval::fit_points;
+
+/// One sweep: a family name, the strategy to probe it with, and the size
+/// hints passed to the registry (rounded to whatever the family supports).
+struct Sweep {
+    family: &'static str,
+    strategy: &'static str,
+    size_hints: &'static [usize],
+    paper_exponent: String,
+}
 
 fn main() -> Result<(), QuorumError> {
-    let mut rng = StdRng::seed_from_u64(7);
+    let systems = SystemRegistry::paper();
+    let strategies = StrategyRegistry::paper();
     let trials = 2_000;
     let p = 0.5;
 
+    let sweeps = [
+        Sweep {
+            family: "Maj",
+            strategy: "Probe_Maj",
+            size_hints: &[11, 21, 41, 81, 161],
+            paper_exponent: "1.0 (n − Θ(√n))".into(),
+        },
+        Sweep {
+            family: "Triang",
+            strategy: "Probe_CW",
+            size_hints: &[10, 36, 78, 136, 300],
+            paper_exponent: "0.5 (2k − 1 with k ≈ √(2n))".into(),
+        },
+        Sweep {
+            family: "Tree",
+            strategy: "Probe_Tree",
+            size_hints: &[15, 31, 63, 127, 255, 511, 1023],
+            paper_exponent: format!("{:.3} (log2(1+p))", bounds::tree_probabilistic_exponent(p)),
+        },
+        Sweep {
+            family: "HQS",
+            strategy: "Probe_HQS",
+            size_hints: &[9, 27, 81, 243, 729, 2187],
+            paper_exponent: format!(
+                "{:.3} (log3 2.5)",
+                bounds::hqs_probabilistic_exponent_symmetric()
+            ),
+        },
+    ];
+
+    // Plan every cell of the survey, then run the engine once.
+    let mut plan = EvalPlan::new(7).trials(trials);
+    for sweep in &sweeps {
+        let strategy = strategies
+            .build(sweep.strategy)
+            .expect("registered strategy");
+        for &hint in sweep.size_hints {
+            let system = systems
+                .build(sweep.family, hint)
+                .expect("registered family");
+            plan.probe(&system, &strategy, ColoringSource::iid(p));
+        }
+    }
+    let report = EvalEngine::new().run(&plan);
+
     println!("== Growth of the expected probe count at p = 1/2 ==\n");
-    let mut table = Table::new(["family", "strategy", "sizes", "fitted exponent", "paper exponent"]);
-
-    // Majority: essentially linear (exponent 1).
-    let majorities: Vec<Majority> = [11, 21, 41, 81, 161]
-        .into_iter()
-        .map(Majority::new)
-        .collect::<Result<_, _>>()?;
-    let row = sweep("Maj", &majorities, &ProbeMaj::new(), &FailureModel::iid(p), trials, &mut rng);
-    let fit = fit_power_law(&row.as_fit_points());
-    table.add_row(vec![
-        "Maj".into(),
-        row.strategy.clone(),
-        format!("{:?}", row.points.iter().map(|pt| pt.universe_size).collect::<Vec<_>>()),
-        format!("{:.3}", fit.exponent),
-        "1.0 (n − Θ(√n))".into(),
+    let mut table = Table::new([
+        "family",
+        "strategy",
+        "sizes",
+        "fitted exponent",
+        "paper exponent",
     ]);
-
-    // Triang: constant in n for fixed shape growth? Its cost grows with the
-    // number of rows k ≈ √(2n), i.e. exponent ~0.5 in n.
-    let triangs: Vec<CrumblingWalls> = [4, 8, 12, 16, 24]
-        .into_iter()
-        .map(CrumblingWalls::triang)
-        .collect::<Result<_, _>>()?;
-    let row = sweep("Triang", &triangs, &ProbeCw::new(), &FailureModel::iid(p), trials, &mut rng);
-    let fit = fit_power_law(&row.as_fit_points());
-    table.add_row(vec![
-        "Triang".into(),
-        row.strategy.clone(),
-        format!("{:?}", row.points.iter().map(|pt| pt.universe_size).collect::<Vec<_>>()),
-        format!("{:.3}", fit.exponent),
-        "0.5 (2k − 1 with k ≈ √(2n))".into(),
-    ]);
-
-    // Tree: exponent log2(1.5) ≈ 0.585.
-    let trees: Vec<TreeQuorum> = (3..=9).map(TreeQuorum::new).collect::<Result<_, _>>()?;
-    let row = sweep("Tree", &trees, &ProbeTree::new(), &FailureModel::iid(p), trials, &mut rng);
-    let fit = fit_power_law(&row.as_fit_points());
-    table.add_row(vec![
-        "Tree".into(),
-        row.strategy.clone(),
-        format!("{:?}", row.points.iter().map(|pt| pt.universe_size).collect::<Vec<_>>()),
-        format!("{:.3}", fit.exponent),
-        format!("{:.3} (log2(1+p))", bounds::tree_probabilistic_exponent(p)),
-    ]);
-
-    // HQS: exponent log3(2.5) ≈ 0.834 at p = 1/2.
-    let hqss: Vec<Hqs> = (2..=7).map(Hqs::new).collect::<Result<_, _>>()?;
-    let row = sweep("HQS", &hqss, &ProbeHqs::new(), &FailureModel::iid(p), trials, &mut rng);
-    let fit = fit_power_law(&row.as_fit_points());
-    table.add_row(vec![
-        "HQS".into(),
-        row.strategy.clone(),
-        format!("{:?}", row.points.iter().map(|pt| pt.universe_size).collect::<Vec<_>>()),
-        format!("{:.3}", fit.exponent),
-        format!("{:.3} (log3 2.5)", bounds::hqs_probabilistic_exponent_symmetric()),
-    ]);
-
+    let mut offset = 0;
+    for sweep in &sweeps {
+        let cells = &report.cells[offset..offset + sweep.size_hints.len()];
+        offset += sweep.size_hints.len();
+        let fit = fit_power_law(&fit_points(cells));
+        table.add_row(vec![
+            sweep.family.into(),
+            sweep.strategy.into(),
+            format!(
+                "{:?}",
+                cells
+                    .iter()
+                    .map(|c| c.universe_size.unwrap())
+                    .collect::<Vec<_>>()
+            ),
+            format!("{:.3}", fit.exponent),
+            sweep.paper_exponent.clone(),
+        ]);
+    }
     println!("{table}");
+    println!(
+        "(One evaluation plan, {} cells, {} trials, {:.2?} on {} thread(s).)",
+        report.cells.len(),
+        plan.total_trials(),
+        report.wall,
+        report.threads,
+    );
 
     // Also show how the Tree exponent moves with p (Proposition 3.6).
+    let tree_hints: Vec<usize> = (3..=9).map(|h| (1usize << (h + 1)) - 1).collect();
+    let probe_tree = strategies.build("Probe_Tree").expect("registered strategy");
+    let probabilities = [0.1, 0.25, 0.5];
+    let mut plan = EvalPlan::new(8).trials(trials);
+    for &p in &probabilities {
+        for &hint in &tree_hints {
+            let tree = systems.build("Tree", hint).expect("registered family");
+            plan.probe(&tree, &probe_tree, ColoringSource::iid(p));
+        }
+    }
+    let report = EvalEngine::new().run(&plan);
+
     println!("\n== Tree exponent as a function of the failure probability p ==\n");
     let mut tree_table = Table::new(["p", "fitted exponent", "log2(1+p)"]);
-    for p in [0.1, 0.25, 0.5] {
-        let row = sweep("Tree", &trees, &ProbeTree::new(), &FailureModel::iid(p), trials, &mut rng);
-        let fit = fit_power_law(&row.as_fit_points());
+    for (i, p) in probabilities.into_iter().enumerate() {
+        let cells = &report.cells[i * tree_hints.len()..(i + 1) * tree_hints.len()];
+        let fit = fit_power_law(&fit_points(cells));
         tree_table.add_row(vec![
             format!("{p}"),
             format!("{:.3}", fit.exponent),

@@ -24,7 +24,13 @@ fn main() -> Result<(), QuorumError> {
 
     // Majority over 101 elements: expected probes close to n (Proposition 3.2).
     let maj = Majority::new(101)?;
-    let estimate = estimate_expected_probes(&maj, &ProbeMaj::new(), &FailureModel::iid(p), trials, &mut rng);
+    let estimate = estimate_expected_probes(
+        &maj,
+        &ProbeMaj::new(),
+        &FailureModel::iid(p),
+        trials,
+        &mut rng,
+    );
     table.add_row(vec![
         "Maj".into(),
         maj.universe_size().to_string(),
@@ -35,7 +41,13 @@ fn main() -> Result<(), QuorumError> {
 
     // Wheel over 101 elements: constant expected probes (Corollary 3.4).
     let wheel = CrumblingWalls::wheel(101)?;
-    let estimate = estimate_expected_probes(&wheel, &ProbeCw::new(), &FailureModel::iid(p), trials, &mut rng);
+    let estimate = estimate_expected_probes(
+        &wheel,
+        &ProbeCw::new(),
+        &FailureModel::iid(p),
+        trials,
+        &mut rng,
+    );
     table.add_row(vec![
         "Wheel".into(),
         "101".into(),
@@ -46,7 +58,13 @@ fn main() -> Result<(), QuorumError> {
 
     // Triang with 13 rows (91 elements): O(k) expected probes (Theorem 3.3).
     let triang = CrumblingWalls::triang(13)?;
-    let estimate = estimate_expected_probes(&triang, &ProbeCw::new(), &FailureModel::iid(p), trials, &mut rng);
+    let estimate = estimate_expected_probes(
+        &triang,
+        &ProbeCw::new(),
+        &FailureModel::iid(p),
+        trials,
+        &mut rng,
+    );
     table.add_row(vec![
         "Triang".into(),
         triang.universe_size().to_string(),
@@ -57,24 +75,42 @@ fn main() -> Result<(), QuorumError> {
 
     // Tree of height 6 (127 elements): O(n^0.585) (Corollary 3.7).
     let tree = TreeQuorum::new(6)?;
-    let estimate = estimate_expected_probes(&tree, &ProbeTree::new(), &FailureModel::iid(p), trials, &mut rng);
+    let estimate = estimate_expected_probes(
+        &tree,
+        &ProbeTree::new(),
+        &FailureModel::iid(p),
+        trials,
+        &mut rng,
+    );
     table.add_row(vec![
         "Tree".into(),
         tree.universe_size().to_string(),
         tree.min_quorum_size().to_string(),
         format!("{:.2}", estimate.mean),
-        format!("O(n^0.585) ≈ {:.1}", (tree.universe_size() as f64).powf(0.585)),
+        format!(
+            "O(n^0.585) ≈ {:.1}",
+            (tree.universe_size() as f64).powf(0.585)
+        ),
     ]);
 
     // HQS of height 4 (81 leaves): Θ(n^0.834) at p = 1/2 (Theorem 3.8).
     let hqs = Hqs::new(4)?;
-    let estimate = estimate_expected_probes(&hqs, &ProbeHqs::new(), &FailureModel::iid(p), trials, &mut rng);
+    let estimate = estimate_expected_probes(
+        &hqs,
+        &ProbeHqs::new(),
+        &FailureModel::iid(p),
+        trials,
+        &mut rng,
+    );
     table.add_row(vec![
         "HQS".into(),
         hqs.universe_size().to_string(),
         hqs.quorum_size().to_string(),
         format!("{:.2}", estimate.mean),
-        format!("Θ(n^0.834) ≈ {:.1}", (hqs.universe_size() as f64).powf(0.834)),
+        format!(
+            "Θ(n^0.834) ≈ {:.1}",
+            (hqs.universe_size() as f64).powf(0.834)
+        ),
     ]);
 
     println!("{table}");

@@ -67,8 +67,16 @@ fn main() -> Result<(), QuorumError> {
     }
 
     let mut table = Table::new(["operation", "completed", "blocked (no live quorum)"]);
-    table.add_row(vec!["write".into(), writes_ok.to_string(), writes_blocked.to_string()]);
-    table.add_row(vec!["read".into(), reads_ok.to_string(), reads_blocked.to_string()]);
+    table.add_row(vec![
+        "write".into(),
+        writes_ok.to_string(),
+        writes_blocked.to_string(),
+    ]);
+    table.add_row(vec![
+        "read".into(),
+        reads_ok.to_string(),
+        reads_blocked.to_string(),
+    ]);
     println!("{table}");
     println!("stale reads observed: {stale_reads} (must be 0 — quorum intersection)");
     println!(
@@ -76,7 +84,10 @@ fn main() -> Result<(), QuorumError> {
         register.cluster().total_rpcs(),
         register.cluster().now()
     );
-    assert_eq!(stale_reads, 0, "a read returned stale data despite quorum intersection");
+    assert_eq!(
+        stale_reads, 0,
+        "a read returned stale data despite quorum intersection"
+    );
     println!("\nEvery read that completed returned the latest committed value.");
     Ok(())
 }

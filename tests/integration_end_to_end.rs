@@ -94,7 +94,10 @@ fn exact_optimum_brackets_strategy_costs() {
     let tree = TreeQuorum::new(2).unwrap();
     let optimum = exact::optimal_expected(&tree, p).unwrap();
     let strategy_cost = exhaustive_expected_probes(&tree, &ProbeTree::new(), p, 1, &mut rng);
-    assert!(optimum <= strategy_cost + 1e-9, "optimum {optimum} vs Probe_Tree {strategy_cost}");
+    assert!(
+        optimum <= strategy_cost + 1e-9,
+        "optimum {optimum} vs Probe_Tree {strategy_cost}"
+    );
     let c = tree.min_quorum_size();
     assert!(optimum >= c as f64, "optimum below the minimal quorum size");
 
@@ -103,7 +106,10 @@ fn exact_optimum_brackets_strategy_costs() {
     let optimum = exact::optimal_expected(&wall, p).unwrap();
     let strategy_cost = exhaustive_expected_probes(&wall, &ProbeCw::new(), p, 1, &mut rng);
     assert!(optimum <= strategy_cost + 1e-9);
-    assert!(strategy_cost <= 2.0 * wall.row_count() as f64 - 1.0 + 1e-9, "Theorem 3.3 violated");
+    assert!(
+        strategy_cost <= 2.0 * wall.row_count() as f64 - 1.0 + 1e-9,
+        "Theorem 3.3 violated"
+    );
 }
 
 /// Running a probing strategy through the simulated cluster yields the same
@@ -124,7 +130,10 @@ fn cluster_backend_is_equivalent_to_coloring_backend() {
         assert_eq!(acquisition.rpcs, acquisition.probes as u64);
         acquisition.witness.verify(&wall, &coloring).unwrap();
         // The verdict matches the ground truth availability of the coloring.
-        assert_eq!(acquisition.witness.is_green(), wall.has_green_quorum(&coloring));
+        assert_eq!(
+            acquisition.witness.is_green(),
+            wall.has_green_quorum(&coloring)
+        );
     }
 }
 

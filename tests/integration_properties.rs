@@ -19,7 +19,13 @@ fn nd_wall() -> impl Strategy<Value = CrumblingWalls> {
 
 /// Random coloring of a universe of size `n` derived from a bit vector.
 fn coloring_for(n: usize, bits: &[bool]) -> Coloring {
-    Coloring::from_fn(n, |e| if bits[e % bits.len()] { Color::Red } else { Color::Green })
+    Coloring::from_fn(n, |e| {
+        if bits[e % bits.len()] {
+            Color::Red
+        } else {
+            Color::Green
+        }
+    })
 }
 
 proptest! {
@@ -138,9 +144,24 @@ fn hqs_strategies_agree_everywhere() {
     for coloring in Coloring::enumerate_all(9) {
         let truth = hqs.has_green_quorum(&coloring);
         for _ in 0..2 {
-            assert_eq!(run_strategy(&hqs, &ProbeHqs::new(), &coloring, &mut rng).witness.is_green(), truth);
-            assert_eq!(run_strategy(&hqs, &RProbeHqs::new(), &coloring, &mut rng).witness.is_green(), truth);
-            assert_eq!(run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng).witness.is_green(), truth);
+            assert_eq!(
+                run_strategy(&hqs, &ProbeHqs::new(), &coloring, &mut rng)
+                    .witness
+                    .is_green(),
+                truth
+            );
+            assert_eq!(
+                run_strategy(&hqs, &RProbeHqs::new(), &coloring, &mut rng)
+                    .witness
+                    .is_green(),
+                truth
+            );
+            assert_eq!(
+                run_strategy(&hqs, &IrProbeHqs::new(), &coloring, &mut rng)
+                    .witness
+                    .is_green(),
+                truth
+            );
         }
     }
 }

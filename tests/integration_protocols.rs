@@ -47,9 +47,16 @@ fn mutual_exclusion_under_churn() {
     // Fact 2.3: the probability that no live quorum exists is at most the
     // per-element crash probability (0.2), so the vast majority of attempts
     // must go through.
-    assert!(successes > 80, "the lock should usually be acquirable, got {successes}");
+    assert!(
+        successes > 80,
+        "the lock should usually be acquirable, got {successes}"
+    );
     assert!(no_quorum < 220, "too many outages: {no_quorum}");
-    assert_eq!(successes + no_quorum, 300, "every attempt either succeeds or reports an outage");
+    assert_eq!(
+        successes + no_quorum,
+        300,
+        "every attempt either succeeds or reports an outage"
+    );
 }
 
 /// Two clients can never hold intersecting quorums simultaneously, across
@@ -62,7 +69,10 @@ fn exclusion_invariant_across_families() {
     let cluster = Cluster::new(9, NetworkConfig::lan(), 1);
     let mut mutex = QuorumMutex::new(maj, cluster, RProbeMaj::new());
     let first = mutex.try_acquire(1).unwrap();
-    assert!(mutex.try_acquire(2).is_err(), "quorums over 9 elements always intersect");
+    assert!(
+        mutex.try_acquire(2).is_err(),
+        "quorums over 9 elements always intersect"
+    );
     assert!(mutex.exclusion_invariant_holds());
     assert!(first.len() >= 5);
     mutex.release(1).unwrap();

@@ -1,0 +1,411 @@
+//! Offline, API-compatible subset of the [`rayon`](https://docs.rs/rayon)
+//! crate, vendored so the workspace builds without network access.
+//!
+//! The shim provides the data-parallel surface the evaluation engine uses —
+//! `par_iter` / `into_par_iter`, `map`, `collect`, `sum`,
+//! [`current_num_threads`], and [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] — implemented with `std::thread::scope` over
+//! contiguous chunks. Item order is always preserved, so `collect` is
+//! deterministic regardless of the number of worker threads.
+//!
+//! Differences from real rayon, by design:
+//!
+//! * pipelines are materialised eagerly at each adapter (fine for the
+//!   bounded trial batches this workspace runs);
+//! * [`ThreadPool::install`] sets a **thread-local** thread-count override
+//!   for the duration of the closure instead of moving work onto pool
+//!   threads, so concurrent `install`s from different threads (e.g. the
+//!   test harness) cannot interfere with each other; the override is
+//!   restored on unwind;
+//! * work is split into `threads` contiguous chunks up front (no work
+//!   stealing).
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] on the
+    /// calling thread; 0 = unset.
+    static OVERRIDE_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel iterators will use.
+///
+/// Resolution order: the innermost [`ThreadPool::install`] active on the
+/// calling thread, the `RAYON_NUM_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    let forced = OVERRIDE_THREADS.with(Cell::get);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(parsed) = value.parse::<usize>() {
+            if parsed > 0 {
+                return parsed;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never produced by the
+/// shim, kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings (all available cores).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (0 = all available cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle fixing the number of worker threads for work run inside
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Restores the calling thread's override when dropped (also on unwind).
+struct OverrideGuard {
+    previous: usize,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        OVERRIDE_THREADS.with(|cell| cell.set(self.previous));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing all parallel
+    /// iterators executed inside it on the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = OVERRIDE_THREADS.with(|cell| {
+            let previous = cell.get();
+            cell.set(self.threads);
+            previous
+        });
+        let _guard = OverrideGuard { previous };
+        op()
+    }
+
+    /// The number of worker threads of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Order-preserving parallel map over owned items.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Parallel iterator adapters (eagerly evaluated, order-preserving).
+pub mod iter {
+    use super::parallel_map;
+
+    /// An iterator whose adapters evaluate in parallel.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Materialises all items, in order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps every item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collects all items, preserving order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.drive().into_iter().collect()
+        }
+
+        /// Sums all items.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.drive().into_iter().sum()
+        }
+
+        /// Applies `op` to every item in parallel (for its side effects).
+        fn for_each<F>(self, op: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            let _ = self.map(op).drive();
+        }
+
+        /// Number of items.
+        fn count(self) -> usize {
+            self.drive().len()
+        }
+    }
+
+    /// Base parallel iterator over a materialised item list.
+    pub struct IntoParIter<T> {
+        pub(crate) items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
+        type Item = T;
+
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// The result of [`ParallelIterator::map`].
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn drive(self) -> Vec<R> {
+            parallel_map(self.base.drive(), self.f)
+        }
+    }
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = IntoParIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            IntoParIter { items: self }
+        }
+    }
+
+    macro_rules! impl_range_into_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = IntoParIter<$t>;
+
+                fn into_par_iter(self) -> Self::Iter {
+                    IntoParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    impl_range_into_par_iter!(usize, u32, u64, i32, i64);
+
+    /// Conversion into a borrowing parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type (a reference).
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Creates a parallel iterator over references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = IntoParIter<&'data T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = IntoParIter<&'data T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+/// The traits needed to call `.par_iter()` / `.into_par_iter()` / `.map()`.
+pub mod prelude {
+    pub use super::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn order_is_independent_of_thread_count() {
+        let baseline: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| {
+                (0..500u64)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(0x9E37))
+                    .collect()
+            });
+        let wide: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap()
+            .install(|| {
+                (0..500u64)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(0x9E37))
+                    .collect()
+            });
+        assert_eq!(baseline, wide);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1, 2, 3, 4, 5];
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let total: i32 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn install_is_scoped_to_the_calling_thread() {
+        // Concurrent installs on different threads must not see each other.
+        let ambient = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 5);
+            let seen_elsewhere = std::thread::spawn(current_num_threads).join().unwrap();
+            assert_eq!(seen_elsewhere, ambient, "override leaked across threads");
+        });
+        assert_eq!(current_num_threads(), ambient, "override not restored");
+    }
+
+    #[test]
+    fn install_restores_override_on_panic() {
+        let ambient = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(9).build().unwrap();
+        let result = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(
+            current_num_threads(),
+            ambient,
+            "override leaked after panic"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
