@@ -92,9 +92,39 @@ fn bench_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_failure_sampling(c: &mut Criterion) {
+    // The engine hot path: allocation-free resampling into one scratch
+    // coloring, across every failure-model flavour.
+    let mut group = c.benchmark_group("failure/sample_into");
+    let n = 1024usize;
+    let models = [
+        ("iid", FailureModel::iid(0.3)),
+        ("exact-reds", FailureModel::exact_red_count(n / 2)),
+        (
+            "hetero",
+            FailureModel::heterogeneous((0..n).map(|e| 0.1 + 0.3 * (e % 2) as f64).collect()),
+        ),
+        ("zoned", FailureModel::zoned_correlated(32, 0.3, 0.5)),
+        ("churn", FailureModel::churn(n, 0.05, 0.15, 256, 1)),
+    ];
+    for (name, model) in models {
+        group.bench_function(BenchmarkId::new(name, n), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut scratch = Coloring::all_green(0);
+            let mut trial = 0u64;
+            b.iter(|| {
+                model.sample_into(n, trial, &mut rng, &mut scratch);
+                trial = trial.wrapping_add(1);
+                scratch.red_count()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_contains_quorum, bench_availability, bench_enumeration
+    targets = bench_contains_quorum, bench_availability, bench_enumeration, bench_failure_sampling
 }
 criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Machine-readable bench artifacts: the `BENCH_<sha>.json` files the CI
+//! `bench-smoke` job uploads on every push, recording mean probe counts and
+//! wall-clock time per reproduced table so the performance trajectory of the
+//! repository is tracked over time.
+//!
+//! The JSON is written by hand (the workspace is offline; no serde): a flat
+//! schema of experiment records, each carrying its wall-clock milliseconds
+//! and the full table as `columns` + `rows` string matrices.
+
+use std::time::Duration;
+
+use probequorum::prelude::Table;
+
+/// A collector of per-experiment results, serialisable to JSON.
+#[derive(Debug, Default)]
+pub struct BenchArtifact {
+    records: Vec<ExperimentRecord>,
+}
+
+/// One reproduced experiment: its name, wall-clock time and output table.
+#[derive(Debug)]
+struct ExperimentRecord {
+    name: String,
+    wall: Duration,
+    table: Table,
+}
+
+impl BenchArtifact {
+    /// An empty artifact.
+    pub fn new() -> Self {
+        BenchArtifact::default()
+    }
+
+    /// Records one experiment's table and wall-clock time.
+    pub fn record(&mut self, name: impl Into<String>, wall: Duration, table: Table) {
+        self.records.push(ExperimentRecord {
+            name: name.into(),
+            wall,
+            table,
+        });
+    }
+
+    /// Number of recorded experiments.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialises the artifact to JSON.
+    ///
+    /// `sha` identifies the commit (CI passes `GITHUB_SHA`); `seed`,
+    /// `trials` and `threads` pin the reproduction configuration so two
+    /// artifacts are comparable only when they match.
+    pub fn to_json(&self, sha: &str, seed: u64, trials: usize, threads: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"probequorum-bench/1\",\n");
+        out.push_str(&format!("  \"sha\": {},\n", json_string(sha)));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!("  \"trials\": {trials},\n"));
+        out.push_str(&format!("  \"threads\": {threads},\n"));
+        out.push_str("  \"experiments\": [");
+        for (index, record) in self.records.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&record.name)));
+            out.push_str(&format!(
+                "      \"wall_ms\": {:.3},\n",
+                record.wall.as_secs_f64() * 1_000.0
+            ));
+            out.push_str(&format!(
+                "      \"columns\": {},\n",
+                json_string_array(record.table.headers())
+            ));
+            out.push_str("      \"rows\": [");
+            for (row_index, row) in record.table.rows().iter().enumerate() {
+                if row_index > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        ");
+                out.push_str(&json_string_array(row));
+            }
+            if !record.table.rows().is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.records.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a slice of strings as a JSON array literal.
+fn json_string_array(values: &[String]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| json_string(v)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut table = Table::new(["system", "mean"]);
+        table.add_row(vec!["Maj".into(), "4.125".into()]);
+        table.add_row(vec!["say \"hi\"\\".into(), "1.000".into()]);
+        table
+    }
+
+    #[test]
+    fn artifact_serialises_all_records() {
+        let mut artifact = BenchArtifact::new();
+        assert!(artifact.is_empty());
+        artifact.record("table1", Duration::from_millis(1500), sample_table());
+        artifact.record("zoned", Duration::from_micros(250), sample_table());
+        assert_eq!(artifact.len(), 2);
+
+        let json = artifact.to_json("abc123", 2001, 200, 1);
+        assert!(json.contains("\"schema\": \"probequorum-bench/1\""));
+        assert!(json.contains("\"sha\": \"abc123\""));
+        assert!(json.contains("\"name\": \"table1\""));
+        assert!(json.contains("\"wall_ms\": 1500.000"));
+        assert!(json.contains("\"wall_ms\": 0.250"));
+        assert!(json.contains("[\"system\", \"mean\"]"));
+        assert!(json.contains("[\"Maj\", \"4.125\"]"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        // The sample table's tricky row survives into valid JSON.
+        let mut artifact = BenchArtifact::new();
+        artifact.record("x", Duration::ZERO, sample_table());
+        let json = artifact.to_json("", 1, 1, 1);
+        assert!(json.contains("\"say \\\"hi\\\"\\\\\""));
+    }
+
+    #[test]
+    fn empty_artifact_is_valid_json_shape() {
+        let json = BenchArtifact::new().to_json("deadbeef", 7, 10, 2);
+        assert!(json.contains("\"experiments\": []"));
+    }
+}

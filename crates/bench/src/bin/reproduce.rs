@@ -1,39 +1,198 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper, plus the extended
+//! failure-scenario experiments.
 //!
 //! ```text
 //! cargo run --release -p bench --bin reproduce -- all
 //! cargo run --release -p bench --bin reproduce -- table1
 //! REPRO_TRIALS=20000 cargo run --release -p bench --bin reproduce -- hqs-randomized
 //! REPRO_THREADS=1 cargo run --release -p bench --bin reproduce -- table1   # force single-thread
+//! REPRO_JSON=BENCH_abc.json cargo run --release -p bench --bin reproduce -- scenario-matrix
 //! ```
 //!
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
-//! `availability`, `figures`, `all`.
+//! `availability`, `zoned`, `churn`, `scenario-matrix`, `figures`, `all`.
 //!
 //! Every experiment reports its wall-clock time and the engine's worker
-//! thread count, so `BENCH_*.json` baselines can be compared run over run.
+//! thread count on **stderr**, keeping stdout a pure function of the seed
+//! and trial count (bit-identical for any `REPRO_THREADS`). When the
+//! `REPRO_JSON` environment variable names a path, a machine-readable
+//! artifact (per-experiment wall-clock + full tables) is written there —
+//! that is the `BENCH_<sha>.json` file CI uploads on every push.
 
 use std::time::Instant;
 
 use bench::{
-    availability_table, crumbling_walls, figures, hqs_exponent, hqs_randomized, lemmas_table,
-    lower_bounds, maj3, randomized, table1, tree_exponent, ReproConfig,
+    availability_table, churn, crumbling_walls, figures, hqs_exponent, hqs_randomized,
+    lemmas_table, lower_bounds, maj3, randomized, scenario_matrix, table1, tree_exponent, zoned,
+    BenchArtifact, ReproConfig,
 };
+use probequorum::prelude::Table;
 
-/// Runs one experiment, printing its output and wall-clock time.
-fn timed(config: &ReproConfig, name: &str, run: impl FnOnce(&ReproConfig)) {
+/// Runs one experiment, printing its table (and any trailing ASCII art)
+/// under a heading and recording the table into the artifact. Timing goes to
+/// stderr so stdout stays deterministic.
+fn timed(
+    config: &ReproConfig,
+    artifact: &mut BenchArtifact,
+    name: &str,
+    heading: &str,
+    run: impl FnOnce(&ReproConfig) -> (Table, Option<String>),
+) {
     let started = Instant::now();
-    run(config);
+    println!("== {heading} ==\n");
+    let (table, art) = run(config);
+    println!("{table}");
+    if let Some(art) = art {
+        println!("{art}");
+    }
+    let wall = started.elapsed();
     // REPRO_TRIALS is the knob, not the per-cell count: tables scale it per
     // cell (e.g. `min(3000)` for sweeps, `/5` for the HQS hard family).
-    println!(
-        "[{name}: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]\n",
-        started.elapsed(),
+    eprintln!(
+        "[{name}: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]",
+        wall,
         config.engine().thread_count(),
         config.trials,
         config.seed,
     );
+    artifact.record(name, wall, table);
+}
+
+/// Adapts a plain-table experiment to `timed`'s `(table, art)` shape.
+fn plain(
+    run: impl FnOnce(&ReproConfig) -> Table,
+) -> impl FnOnce(&ReproConfig) -> (Table, Option<String>) {
+    |config| (run(config), None)
+}
+
+fn run_figures() {
+    println!("{}", figures());
+}
+
+fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact) -> bool {
+    match name {
+        "table1" => timed(
+            config,
+            artifact,
+            "table1",
+            "Table 1: probe complexity of Maj, Triang, Tree and HQS",
+            plain(table1),
+        ),
+        "maj3" => timed(
+            config,
+            artifact,
+            "maj3",
+            "Section 2.3 worked example: Maj3",
+            |c| {
+                let (table, art) = maj3(c);
+                (
+                    table,
+                    Some(format!("Optimal decision tree (Figure 4):\n\n{art}")),
+                )
+            },
+        ),
+        "crumbling-walls" => timed(
+            config,
+            artifact,
+            "crumbling-walls",
+            "Theorem 3.3 / Corollary 3.4: Probe_CW needs at most 2k−1 expected probes",
+            plain(crumbling_walls),
+        ),
+        "tree-exponent" => timed(
+            config,
+            artifact,
+            "tree-exponent",
+            "Proposition 3.6 / Corollary 3.7: Tree exponent log2(1+p)",
+            plain(tree_exponent),
+        ),
+        "hqs-exponent" => timed(
+            config,
+            artifact,
+            "hqs-exponent",
+            "Theorem 3.8: HQS probabilistic exponents",
+            plain(hqs_exponent),
+        ),
+        "randomized" => timed(
+            config,
+            artifact,
+            "randomized",
+            "Section 4 upper bounds: randomized algorithms",
+            plain(randomized),
+        ),
+        "lower-bounds" => timed(
+            config,
+            artifact,
+            "lower-bounds",
+            "Section 4 lower bounds via Yao's principle",
+            plain(lower_bounds),
+        ),
+        "hqs-randomized" => timed(
+            config,
+            artifact,
+            "hqs-randomized",
+            "Proposition 4.9 vs Theorem 4.10: R_Probe_HQS vs IR_Probe_HQS",
+            plain(hqs_randomized),
+        ),
+        "lemmas" => timed(
+            config,
+            artifact,
+            "lemmas",
+            "Section 2.4 technical lemmas",
+            plain(lemmas_table),
+        ),
+        "availability" => timed(
+            config,
+            artifact,
+            "availability",
+            "Fact 2.3 and availability recursions",
+            plain(availability_table),
+        ),
+        "zoned" => timed(
+            config,
+            artifact,
+            "zoned",
+            "Correlated zones: probe complexity and availability vs correlation strength",
+            plain(zoned),
+        ),
+        "churn" => timed(
+            config,
+            artifact,
+            "churn",
+            "Churn: time-averaged probe complexity along fail/repair timelines",
+            plain(churn),
+        ),
+        "scenario-matrix" => timed(
+            config,
+            artifact,
+            "scenario-matrix",
+            "Scenario matrix: every system × strategy × failure scenario",
+            plain(scenario_matrix),
+        ),
+        "figures" => run_figures(),
+        "all" => {
+            for experiment in [
+                "maj3",
+                "table1",
+                "crumbling-walls",
+                "tree-exponent",
+                "hqs-exponent",
+                "randomized",
+                "lower-bounds",
+                "hqs-randomized",
+                "lemmas",
+                "availability",
+                "zoned",
+                "churn",
+                "scenario-matrix",
+                "figures",
+            ] {
+                run_experiment(experiment, config, artifact);
+            }
+        }
+        _ => return false,
+    }
+    true
 }
 
 fn main() {
@@ -45,107 +204,32 @@ fn main() {
         requested
     };
 
+    let mut artifact = BenchArtifact::new();
     for experiment in &requested {
-        match experiment.as_str() {
-            "table1" => timed(&config, "table1", |c| {
-                println!("== Table 1: probe complexity of Maj, Triang, Tree and HQS ==\n");
-                println!("{}", table1(c));
-            }),
-            "maj3" => timed(&config, "maj3", |c| {
-                let (table, art) = maj3(c);
-                println!("== Section 2.3 worked example: Maj3 ==\n");
-                println!("{table}");
-                println!("Optimal decision tree (Figure 4):\n\n{art}");
-            }),
-            "crumbling-walls" => timed(&config, "crumbling-walls", |c| {
-                println!("== Theorem 3.3 / Corollary 3.4: Probe_CW needs at most 2k−1 expected probes ==\n");
-                println!("{}", crumbling_walls(c));
-            }),
-            "tree-exponent" => timed(&config, "tree-exponent", |c| {
-                println!("== Proposition 3.6 / Corollary 3.7: Tree exponent log2(1+p) ==\n");
-                println!("{}", tree_exponent(c));
-            }),
-            "hqs-exponent" => timed(&config, "hqs-exponent", |c| {
-                println!("== Theorem 3.8: HQS probabilistic exponents ==\n");
-                println!("{}", hqs_exponent(c));
-            }),
-            "randomized" => timed(&config, "randomized", |c| {
-                println!("== Section 4 upper bounds: randomized algorithms ==\n");
-                println!("{}", randomized(c));
-            }),
-            "lower-bounds" => timed(&config, "lower-bounds", |c| {
-                println!("== Section 4 lower bounds via Yao's principle ==\n");
-                println!("{}", lower_bounds(c));
-            }),
-            "hqs-randomized" => timed(&config, "hqs-randomized", |c| {
-                println!("== Proposition 4.9 vs Theorem 4.10: R_Probe_HQS vs IR_Probe_HQS ==\n");
-                println!("{}", hqs_randomized(c));
-            }),
-            "lemmas" => timed(&config, "lemmas", |c| {
-                println!("== Section 2.4 technical lemmas ==\n");
-                println!("{}", lemmas_table(c));
-            }),
-            "availability" => timed(&config, "availability", |c| {
-                println!("== Fact 2.3 and availability recursions ==\n");
-                println!("{}", availability_table(c));
-            }),
-            "figures" => timed(&config, "figures", |_| {
-                println!("{}", figures());
-            }),
-            "all" => {
-                timed(&config, "maj3", |c| {
-                    println!("== Section 2.3 worked example: Maj3 ==\n");
-                    let (table, art) = maj3(c);
-                    println!("{table}");
-                    println!("Optimal decision tree (Figure 4):\n\n{art}");
-                });
-                timed(&config, "table1", |c| {
-                    println!("== Table 1: probe complexity of Maj, Triang, Tree and HQS ==\n");
-                    println!("{}", table1(c));
-                });
-                timed(&config, "crumbling-walls", |c| {
-                    println!("== Theorem 3.3 / Corollary 3.4: crumbling walls ==\n");
-                    println!("{}", crumbling_walls(c));
-                });
-                timed(&config, "tree-exponent", |c| {
-                    println!("== Proposition 3.6 / Corollary 3.7: Tree exponent ==\n");
-                    println!("{}", tree_exponent(c));
-                });
-                timed(&config, "hqs-exponent", |c| {
-                    println!("== Theorem 3.8: HQS exponents ==\n");
-                    println!("{}", hqs_exponent(c));
-                });
-                timed(&config, "randomized", |c| {
-                    println!("== Section 4 randomized upper bounds ==\n");
-                    println!("{}", randomized(c));
-                });
-                timed(&config, "lower-bounds", |c| {
-                    println!("== Section 4 Yao lower bounds ==\n");
-                    println!("{}", lower_bounds(c));
-                });
-                timed(&config, "hqs-randomized", |c| {
-                    println!("== R_Probe_HQS vs IR_Probe_HQS ==\n");
-                    println!("{}", hqs_randomized(c));
-                });
-                timed(&config, "lemmas", |c| {
-                    println!("== Section 2.4 technical lemmas ==\n");
-                    println!("{}", lemmas_table(c));
-                });
-                timed(&config, "availability", |c| {
-                    println!("== Availability (Fact 2.3) ==\n");
-                    println!("{}", availability_table(c));
-                });
-                timed(&config, "figures", |_| {
-                    println!("{}", figures());
-                });
-            }
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                eprintln!(
-                    "available: table1 maj3 crumbling-walls tree-exponent hqs-exponent randomized \
-                     lower-bounds hqs-randomized lemmas availability figures all"
-                );
-                std::process::exit(2);
+        if !run_experiment(experiment, &config, &mut artifact) {
+            eprintln!("unknown experiment '{experiment}'");
+            eprintln!(
+                "available: table1 maj3 crumbling-walls tree-exponent hqs-exponent randomized \
+                 lower-bounds hqs-randomized lemmas availability zoned churn scenario-matrix \
+                 figures all"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    if let Ok(path) = std::env::var("REPRO_JSON") {
+        let sha = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string());
+        let json = artifact.to_json(
+            &sha,
+            config.seed,
+            config.trials,
+            config.engine().thread_count(),
+        );
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("[wrote bench artifact: {path}]"),
+            Err(error) => {
+                eprintln!("failed to write bench artifact {path}: {error}");
+                std::process::exit(1);
             }
         }
     }

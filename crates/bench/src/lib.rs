@@ -20,6 +20,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use probequorum::analysis::availability::{
+    exact_failure_probability as exact_fp, zoned_failure_probability, zoned_params,
+};
 use probequorum::prelude::*;
 use probequorum::sim::eval::{
     erase_system, fit_points, typed_strategy, CellReport, ColoringSource, DynSystem, EvalEngine,
@@ -29,6 +32,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+pub mod artifact;
+
+pub use artifact::BenchArtifact;
 
 /// Configuration of a reproduction run.
 #[derive(Debug, Clone, Copy)]
@@ -853,6 +860,202 @@ pub fn availability_table(_config: &ReproConfig) -> Table {
     table
 }
 
+/// The correlated-failure experiment: probe complexity and availability as
+/// the correlation strength sweeps from i.i.d. (`0`) to zone-wholesale
+/// (`1`) at a fixed per-element failure marginal of 0.3.
+///
+/// Every system keeps `n ≤ 24` so the availability column is **exact**
+/// (enumeration over all colorings, weighted by the zoned model); the
+/// `F_iid` column shows what the paper's independent analysis would predict
+/// at the same marginal — the gap is the price of correlation.
+pub fn zoned(config: &ReproConfig) -> Table {
+    let marginal = 0.3;
+    let correlations = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    struct ZonedSystem {
+        system: DynSystem,
+        strategy: probequorum::sim::eval::DynProbeStrategy,
+    }
+    let systems: Vec<ZonedSystem> = vec![
+        ZonedSystem {
+            system: erase_system(Majority::new(15).unwrap()),
+            strategy: typed_strategy::<Majority, _>(ProbeMaj::new()),
+        },
+        ZonedSystem {
+            system: erase_system(CrumblingWalls::triang(5).unwrap()),
+            strategy: typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
+        },
+        ZonedSystem {
+            system: erase_system(TreeQuorum::new(3).unwrap()),
+            strategy: typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+        },
+        ZonedSystem {
+            system: erase_system(Hqs::new(2).unwrap()),
+            strategy: typed_strategy::<Hqs, _>(ProbeHqs::new()),
+        },
+    ];
+
+    let mut plan = EvalPlan::new(config.section_seed("zoned")).trials(config.trials);
+    for entry in &systems {
+        let n = entry.system.universe_size();
+        let zones = (n / 3).max(2);
+        for &c in &correlations {
+            plan.probe(
+                &entry.system,
+                &entry.strategy,
+                ColoringSource::zoned_correlated(zones, marginal, c),
+            );
+        }
+    }
+    let report = config.engine().run(&plan);
+
+    let mut table = Table::new([
+        "system",
+        "n",
+        "zones",
+        "corr",
+        "q",
+        "p",
+        "mean probes",
+        "F (exact)",
+        "F_iid",
+    ]);
+    let mut cells = report.cells.iter();
+    for entry in &systems {
+        let n = entry.system.universe_size();
+        let zones = (n / 3).max(2);
+        let exact = entry.system.as_quorum_system();
+        let f_iid = exact_fp(exact, marginal).unwrap();
+        for &c in &correlations {
+            let cell = cells.next().expect("one cell per system × correlation");
+            let (q, p) = zoned_params(marginal, c);
+            let f_zoned = zoned_failure_probability(exact, zones, q, p).unwrap();
+            table.add_row(vec![
+                entry.system.name(),
+                n.to_string(),
+                zones.to_string(),
+                c.to_string(),
+                fmt(q),
+                fmt(p),
+                fmt(cell.estimate.mean),
+                fmt(f_zoned),
+                fmt(f_iid),
+            ]);
+        }
+    }
+    table
+}
+
+/// The churn experiment: time-averaged probe complexity and outage fraction
+/// along seeded fail/repair Markov timelines, at two churn intensities with
+/// the same stationary red fraction (0.25).
+///
+/// Probe means are time averages over the trajectory (trial `t` observes
+/// step `t`); the outage fraction is the share of steps with no live quorum,
+/// measured directly on the same shared timeline.
+pub fn churn(config: &ReproConfig) -> Table {
+    let systems: Vec<DynSystem> = vec![
+        erase_system(Majority::new(101).unwrap()),
+        erase_system(CrumblingWalls::triang(10).unwrap()),
+        erase_system(TreeQuorum::new(5).unwrap()),
+        erase_system(Hqs::new(4).unwrap()),
+    ];
+    let strategies: Vec<probequorum::sim::eval::DynProbeStrategy> = vec![
+        typed_strategy::<Majority, _>(ProbeMaj::new()),
+        typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
+        typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+        typed_strategy::<Hqs, _>(ProbeHqs::new()),
+    ];
+    // Same stationary fraction, different mixing speed: slow churn leaves
+    // failures in place for many steps, fast churn reshuffles them.
+    let regimes = [("slow", 0.02, 0.06), ("fast", 0.2, 0.6)];
+
+    let base_seed = config.section_seed("churn");
+    // One probe trial per timeline step, so the probe mean and the outage
+    // fraction below are measured over exactly the same window.
+    let steps = config.trials.clamp(1, 4_096);
+    let mut plan = EvalPlan::new(base_seed).trials(config.trials);
+    let mut trajectories = Vec::new();
+    for (index, (system, strategy)) in systems.iter().zip(&strategies).enumerate() {
+        let n = system.universe_size();
+        for (regime_index, &(_, fail, repair)) in regimes.iter().enumerate() {
+            let seed = base_seed ^ ((index * regimes.len() + regime_index) as u64 + 1);
+            let trajectory = Arc::new(ChurnTrajectory::generate(n, fail, repair, steps, seed));
+            plan.probe_with_trials(
+                system,
+                strategy,
+                ColoringSource::churn_trajectory(Arc::clone(&trajectory)),
+                steps,
+            );
+            trajectories.push(trajectory);
+        }
+    }
+    let report = config.engine().run(&plan);
+
+    let mut table = Table::new([
+        "system",
+        "n",
+        "regime",
+        "fail",
+        "repair",
+        "stationary red",
+        "time-avg probes",
+        "outage fraction",
+    ]);
+    let mut cells = report.cells.iter();
+    let mut trajectory_iter = trajectories.iter();
+    for system in &systems {
+        for &(regime, fail, repair) in &regimes {
+            let cell = cells.next().expect("one cell per system × regime");
+            let trajectory = trajectory_iter.next().expect("one trajectory per cell");
+            let outages = trajectory
+                .iter()
+                .filter(|coloring| !system.has_green_quorum(coloring))
+                .count();
+            table.add_row(vec![
+                system.name(),
+                system.universe_size().to_string(),
+                regime.into(),
+                fail.to_string(),
+                repair.to_string(),
+                fmt(trajectory.stationary_red_fraction()),
+                fmt(cell.estimate.mean),
+                fmt(outages as f64 / trajectory.len() as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// The full scenario matrix: every registry system × every compatible
+/// strategy × every standard failure scenario, one engine pass.
+///
+/// This is the table the `bench-smoke` CI job captures into
+/// `BENCH_<sha>.json` on every push, so the perf and complexity trajectory
+/// of the whole registry is recorded over time. Output is bit-identical for
+/// any `REPRO_THREADS`.
+pub fn scenario_matrix(config: &ReproConfig) -> Table {
+    let systems_registry = SystemRegistry::paper();
+    let strategies_registry = StrategyRegistry::paper();
+    let scenarios = ScenarioRegistry::standard();
+
+    let systems: Vec<DynSystem> = systems_registry
+        .entries()
+        .iter()
+        .map(|entry| (entry.build)(30))
+        .collect();
+    let strategies: Vec<probequorum::sim::eval::DynProbeStrategy> = strategies_registry
+        .entries()
+        .iter()
+        .map(|entry| (entry.build)())
+        .collect();
+
+    let mut plan =
+        EvalPlan::new(config.section_seed("scenario-matrix")).trials(config.trials.min(2_000));
+    plan.matrix(&systems, &strategies, &scenarios);
+    config.engine().run(&plan).to_table()
+}
+
 /// Renders Figures 1–4 of the paper as ASCII art: the Triang system with a
 /// shaded quorum, the Tree system with a shaded quorum, the HQS with the
 /// quorum of Fig. 3, and the Maj3 decision tree of Fig. 4.
@@ -1022,6 +1225,57 @@ mod tests {
         let table = availability_table(&tiny());
         assert!(table.render().contains("true"));
         assert!(!table.render().contains("false"));
+    }
+
+    #[test]
+    fn zoned_experiment_covers_the_sweep() {
+        let table = zoned(&tiny());
+        assert_eq!(table.row_count(), 20, "four systems × five correlations");
+        for row in table.rows() {
+            // At correlation 0 the exact zoned availability equals the iid
+            // prediction; the columns are (…, corr, q, p, mean, F, F_iid).
+            if row[3] == "0" {
+                assert_eq!(row[7], row[8], "corr=0 must match the iid prediction");
+            }
+            let mean: f64 = row[6].parse().unwrap();
+            let n: f64 = row[1].parse().unwrap();
+            assert!(mean >= 1.0 && mean <= n, "implausible probe mean {mean}");
+        }
+    }
+
+    #[test]
+    fn churn_experiment_reports_outages_and_probes() {
+        let table = churn(&tiny());
+        assert_eq!(table.row_count(), 8, "four systems × two regimes");
+        for row in table.rows() {
+            let outage: f64 = row[7].parse().unwrap();
+            assert!((0.0..=1.0).contains(&outage), "outage {outage} not a rate");
+            let stationary: f64 = row[5].parse().unwrap();
+            assert!((stationary - 0.25).abs() < 1e-9, "both regimes sit at 0.25");
+        }
+    }
+
+    #[test]
+    fn scenario_matrix_is_thread_count_invariant() {
+        // The acceptance guarantee behind the CI artifact: the matrix table
+        // renders bit-identically for 1 and 8 worker threads.
+        let single = ReproConfig {
+            trials: 60,
+            seed: 7,
+            threads: 1,
+        };
+        let parallel = ReproConfig {
+            trials: 60,
+            seed: 7,
+            threads: 8,
+        };
+        let a = scenario_matrix(&single).render();
+        let b = scenario_matrix(&parallel).render();
+        assert_eq!(a, b, "scenario matrix diverged across thread counts");
+        // Every scenario of the registry appears in the table.
+        for scenario in ["iid(p=0.3)", "zoned(", "hetero(", "churn("] {
+            assert!(a.contains(scenario), "missing scenario family {scenario}");
+        }
     }
 
     #[test]

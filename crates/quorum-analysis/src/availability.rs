@@ -87,6 +87,168 @@ where
     Ok(failures as f64 / trials as f64)
 }
 
+/// The zone of element `e` in a universe of `n` elements partitioned into
+/// `zone_count` contiguous, near-equal blocks.
+///
+/// This is the canonical partition shared by the zoned failure model in
+/// `quorum-sim` and the exact availability routines below, so the two layers
+/// agree on which elements fail together.
+///
+/// # Panics
+///
+/// Panics if `zone_count` is zero or exceeds `n`, or `e` is out of range.
+pub fn zone_of(e: usize, n: usize, zone_count: usize) -> usize {
+    assert!(
+        zone_count >= 1 && zone_count <= n,
+        "need 1 <= zone_count <= n, got {zone_count} zones for {n} elements"
+    );
+    assert!(e < n, "element {e} out of range for universe {n}");
+    e * zone_count / n
+}
+
+/// Maps a `(marginal, correlation)` pair to the `(q, p)` parameters of the
+/// zoned failure model so the per-element failure probability stays fixed at
+/// `marginal` while `correlation` sweeps from independent (`0`) to
+/// zone-wholesale (`1`).
+///
+/// The marginal failure probability of an element under the zoned model is
+/// `q + (1 − q)·p`; choosing `q = correlation·marginal` and solving for `p`
+/// keeps it constant along the sweep.
+///
+/// # Panics
+///
+/// Panics if either argument is not a probability.
+pub fn zoned_params(marginal: f64, correlation: f64) -> (f64, f64) {
+    assert!(
+        (0.0..=1.0).contains(&marginal),
+        "marginal must be a probability, got {marginal}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&correlation),
+        "correlation must be a probability, got {correlation}"
+    );
+    let q = correlation * marginal;
+    let p = if q >= 1.0 {
+        0.0
+    } else {
+        (marginal - q) / (1.0 - q)
+    };
+    (q, p.clamp(0.0, 1.0))
+}
+
+/// Computes the availability failure probability `F(S)` under the **zoned**
+/// failure model exactly, by enumerating all `2^n` colorings.
+///
+/// The universe is partitioned into `zone_count` contiguous zones (see
+/// [`zone_of`]); a zone fails wholesale with probability `q`, and elements of
+/// surviving zones fail i.i.d. with probability `p`. With `q = 0` this
+/// reduces to [`exact_failure_probability`] at `p`; with `p = 0` failures are
+/// fully correlated within zones.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when `n > 24` and
+/// [`QuorumError::InvalidConstruction`] when `q`/`p` are not probabilities or
+/// the zone count does not fit the universe.
+pub fn zoned_failure_probability<S: QuorumSystem + ?Sized>(
+    system: &S,
+    zone_count: usize,
+    q: f64,
+    p: f64,
+) -> Result<f64, QuorumError> {
+    let n = system.universe_size();
+    if n > 24 {
+        return Err(QuorumError::UniverseTooLarge {
+            actual: n,
+            limit: 24,
+        });
+    }
+    for (name, value) in [("q", q), ("p", p)] {
+        if !(0.0..=1.0).contains(&value) {
+            return Err(QuorumError::InvalidConstruction {
+                reason: format!("{name} must be a probability, got {value}"),
+            });
+        }
+    }
+    if zone_count == 0 || zone_count > n {
+        return Err(QuorumError::InvalidConstruction {
+            reason: format!("need 1 <= zone_count <= {n}, got {zone_count}"),
+        });
+    }
+
+    // Probability of a concrete coloring: a product over zones. A fully red
+    // zone can arise either from the wholesale failure or from every element
+    // failing individually; any zone with a green element must have survived
+    // the wholesale draw.
+    let zones: Vec<usize> = (0..n).map(|e| zone_of(e, n, zone_count)).collect();
+    let zone_sizes: Vec<usize> = {
+        let mut sizes = vec![0usize; zone_count];
+        for &zone in &zones {
+            sizes[zone] += 1;
+        }
+        sizes
+    };
+    let mut failure = 0.0;
+    let mut reds_in_zone = vec![0usize; zone_count];
+    for mask in 0u64..(1u64 << n) {
+        let red = ElementSet::from_mask(n, mask);
+        let green = red.complement();
+        if system.contains_quorum(&green) {
+            continue;
+        }
+        reds_in_zone.fill(0);
+        for e in red.iter() {
+            reds_in_zone[zones[e]] += 1;
+        }
+        let mut probability = 1.0;
+        for (zone, &size) in zone_sizes.iter().enumerate() {
+            let r = reds_in_zone[zone] as i32;
+            let iid = p.powi(r) * (1.0 - p).powi(size as i32 - r);
+            probability *= if r == size as i32 {
+                q + (1.0 - q) * iid
+            } else {
+                (1.0 - q) * iid
+            };
+        }
+        failure += probability;
+    }
+    Ok(failure)
+}
+
+/// Sweeps the zoned failure probability over correlation strengths `0..=1`
+/// at a fixed per-element marginal, returning `(correlation, q, p, F)` rows.
+///
+/// This is the availability-under-correlation curve the i.i.d. analysis
+/// cannot see: at correlation 0 it matches `F_p` with `p = marginal`, and it
+/// typically degrades as failures concentrate into zones.
+///
+/// # Errors
+///
+/// Propagates the errors of [`zoned_failure_probability`].
+pub fn availability_under_correlation<S: QuorumSystem + ?Sized>(
+    system: &S,
+    zone_count: usize,
+    marginal: f64,
+    correlations: &[f64],
+) -> Result<Vec<(f64, f64, f64, f64)>, QuorumError> {
+    let mut rows = Vec::with_capacity(correlations.len());
+    for &c in correlations {
+        if !(0.0..=1.0).contains(&c) {
+            return Err(QuorumError::InvalidConstruction {
+                reason: format!("correlation must be a probability, got {c}"),
+            });
+        }
+        let (q, p) = zoned_params(marginal, c);
+        rows.push((
+            c,
+            q,
+            p,
+            zoned_failure_probability(system, zone_count, q, p)?,
+        ));
+    }
+    Ok(rows)
+}
+
 /// The availability-failure recursion for the Tree system: returns
 /// `F_p(Tree_h)` computed level by level.
 ///
@@ -242,6 +404,95 @@ mod tests {
         }
         assert!(hqs_failure_probability(12, 0.3) < 1e-3);
         assert!(hqs_failure_probability(12, 0.45) < hqs_failure_probability(3, 0.45));
+    }
+
+    #[test]
+    fn zone_partition_is_balanced_and_ordered() {
+        let n = 10;
+        let zones: Vec<usize> = (0..n).map(|e| zone_of(e, n, 3)).collect();
+        assert_eq!(zones, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // Zones are contiguous and non-decreasing for every configuration.
+        for zone_count in 1..=n {
+            let mut previous = 0;
+            for e in 0..n {
+                let z = zone_of(e, n, zone_count);
+                assert!(z >= previous && z < zone_count);
+                previous = z;
+            }
+            assert_eq!(zone_of(n - 1, n, zone_count), zone_count - 1);
+        }
+    }
+
+    #[test]
+    fn zoned_params_preserve_the_marginal() {
+        for marginal in [0.1, 0.3, 0.5, 0.9] {
+            for correlation in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let (q, p) = zoned_params(marginal, correlation);
+                let realized = q + (1.0 - q) * p;
+                assert!(
+                    (realized - marginal).abs() < 1e-12,
+                    "marginal drifted: {realized} vs {marginal}"
+                );
+            }
+        }
+        assert_eq!(zoned_params(0.4, 0.0), (0.0, 0.4));
+        assert_eq!(zoned_params(0.4, 1.0), (0.4, 0.0));
+        assert_eq!(zoned_params(1.0, 1.0), (1.0, 0.0));
+    }
+
+    #[test]
+    fn zoned_with_q_zero_matches_iid() {
+        let maj = Majority::new(7).unwrap();
+        for p in [0.1, 0.3, 0.5] {
+            let iid = exact_failure_probability(&maj, p).unwrap();
+            for zone_count in [1, 3, 7] {
+                let zoned = zoned_failure_probability(&maj, zone_count, 0.0, p).unwrap();
+                assert!(
+                    (iid - zoned).abs() < 1e-12,
+                    "q=0 must reduce to iid: {zoned} vs {iid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_correlated_single_zone_is_all_or_nothing() {
+        // One zone, p = 0: either everything fails (probability q) or nothing
+        // does, so F = q exactly for any system with at least one quorum.
+        let maj = Majority::new(5).unwrap();
+        for q in [0.0, 0.3, 0.8, 1.0] {
+            let f = zoned_failure_probability(&maj, 1, q, 0.0).unwrap();
+            assert!((f - q).abs() < 1e-12, "q={q}: got {f}");
+        }
+    }
+
+    #[test]
+    fn correlation_degrades_majority_availability() {
+        // At a fixed marginal below 1/2, Maj's failure probability grows with
+        // the correlation strength: zone-wholesale failures defeat the
+        // redundancy that i.i.d. analysis counts on.
+        let maj = Majority::new(9).unwrap();
+        let rows = availability_under_correlation(&maj, 3, 0.3, &[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].3 < rows[1].3 && rows[1].3 < rows[2].3, "{rows:?}");
+        // Correlation 0 matches the plain iid number.
+        let iid = exact_failure_probability(&maj, 0.3).unwrap();
+        assert!((rows[0].3 - iid).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zoned_failure_probability_validates_inputs() {
+        let maj = Majority::new(5).unwrap();
+        assert!(zoned_failure_probability(&maj, 0, 0.5, 0.5).is_err());
+        assert!(zoned_failure_probability(&maj, 6, 0.5, 0.5).is_err());
+        assert!(zoned_failure_probability(&maj, 2, 1.5, 0.5).is_err());
+        assert!(zoned_failure_probability(&maj, 2, 0.5, -0.1).is_err());
+        let big = Majority::new(31).unwrap();
+        assert!(matches!(
+            zoned_failure_probability(&big, 2, 0.5, 0.5),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
+        assert!(availability_under_correlation(&maj, 2, 0.3, &[2.0]).is_err());
     }
 
     #[test]

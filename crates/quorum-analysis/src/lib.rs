@@ -29,6 +29,9 @@ pub mod fit;
 pub mod lemmas;
 pub mod stats;
 
-pub use availability::{exact_failure_probability, monte_carlo_failure_probability};
+pub use availability::{
+    availability_under_correlation, exact_failure_probability, monte_carlo_failure_probability,
+    zone_of, zoned_failure_probability, zoned_params,
+};
 pub use fit::{fit_power_law, PowerLawFit};
 pub use stats::{RunningStats, Summary};

@@ -148,6 +148,37 @@ impl Coloring {
         self.colors[e] = color;
     }
 
+    /// Overwrites every element with `color`, keeping the universe size.
+    pub fn fill(&mut self, color: Color) {
+        self.colors.fill(color);
+    }
+
+    /// Resizes the coloring to `n` elements, all set to `color`.
+    ///
+    /// Shrinking or same-size resets reuse the existing allocation, which is
+    /// what lets failure models resample into one scratch coloring per worker
+    /// thread without per-trial allocations.
+    pub fn reset(&mut self, n: usize, color: Color) {
+        self.colors.clear();
+        self.colors.resize(n, color);
+    }
+
+    /// Swaps the colors of elements `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of range.
+    pub fn swap(&mut self, a: ElementId, b: ElementId) {
+        self.colors.swap(a, b);
+    }
+
+    /// Overwrites this coloring with the contents of `other`, reusing the
+    /// existing allocation when it is large enough.
+    pub fn copy_from(&mut self, other: &Coloring) {
+        self.colors.clear();
+        self.colors.extend_from_slice(&other.colors);
+    }
+
     /// The set of green elements.
     pub fn green_set(&self) -> ElementSet {
         let n = self.universe_size();
@@ -303,6 +334,27 @@ mod tests {
     #[should_panic(expected = "n <= 24")]
     fn enumerate_all_rejects_large_universes() {
         let _ = Coloring::enumerate_all(25);
+    }
+
+    #[test]
+    fn fill_reset_swap_and_copy_reuse_storage() {
+        let mut c = Coloring::all_green(4);
+        c.fill(Color::Red);
+        assert_eq!(c.red_count(), 4);
+        c.reset(6, Color::Green);
+        assert_eq!(c.universe_size(), 6);
+        assert_eq!(c.green_count(), 6);
+        c.set_color(1, Color::Red);
+        c.swap(1, 4);
+        assert!(c.is_green(1));
+        assert!(c.is_red(4));
+        let mut d = Coloring::all_red(2);
+        d.copy_from(&c);
+        assert_eq!(d, c);
+        // Shrinking copy also matches exactly.
+        let small = Coloring::all_red(1);
+        d.copy_from(&small);
+        assert_eq!(d, small);
     }
 
     #[test]

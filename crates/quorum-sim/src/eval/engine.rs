@@ -11,9 +11,11 @@
 //! order-preserving `rayon` map, so the report is **bit-identical** for any
 //! thread count (including 1).
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use quorum_analysis::RunningStats;
+use quorum_core::Coloring;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -244,6 +246,12 @@ impl EvalEngine {
         }
         offsets.push(total);
 
+        // One scratch coloring per worker thread: model-backed sources
+        // resample into it without a per-trial allocation.
+        thread_local! {
+            static SCRATCH: RefCell<Coloring> = RefCell::new(Coloring::all_green(0));
+        }
+
         (0..total)
             .into_par_iter()
             .map(|global| {
@@ -257,10 +265,16 @@ impl EvalEngine {
                         system,
                         strategy,
                         source,
-                    } => {
-                        let coloring = source.sample(system.universe_size(), trial_index, &mut rng);
+                    } => SCRATCH.with(|scratch| {
+                        let mut coloring = scratch.borrow_mut();
+                        source.sample_into(
+                            system.universe_size(),
+                            trial_index,
+                            &mut rng,
+                            &mut coloring,
+                        );
                         strategy.run(system.as_ref(), &coloring, &mut rng).probes as f64
-                    }
+                    }),
                     CellTask::Custom { sample } => sample(trial_index, &mut rng),
                 }
             })

@@ -12,7 +12,9 @@
 //!    typed `ProbeStrategy<S>` interface so heterogeneous cells fit one plan.
 //! 2. **Registries** ([`registry`]): [`SystemRegistry`] and
 //!    [`StrategyRegistry`] enumerate every named family and paper strategy
-//!    and pair the compatible ones.
+//!    and pair the compatible ones; [`ScenarioRegistry`] names the failure
+//!    scenarios (i.i.d., correlated zones, heterogeneous rates, churn) that
+//!    [`EvalPlan::matrix`] sweeps them under.
 //! 3. **Engine** ([`engine`]): rayon-parallel execution of all trials with
 //!    deterministic per-trial seed derivation
 //!    (`base_seed, cell, trial → StdRng`), so reports are **bit-identical**
@@ -52,4 +54,6 @@ pub use dynsys::{
 };
 pub use engine::{derive_rng, fit_points, trial_values, CellReport, EvalEngine, EvalReport};
 pub use plan::{ColoringSource, EvalCell, EvalPlan};
-pub use registry::{StrategyEntry, StrategyRegistry, SystemEntry, SystemRegistry};
+pub use registry::{
+    ScenarioEntry, ScenarioRegistry, StrategyEntry, StrategyRegistry, SystemEntry, SystemRegistry,
+};

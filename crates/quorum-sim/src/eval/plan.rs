@@ -7,7 +7,7 @@ use quorum_core::Coloring;
 use rand::rngs::StdRng;
 
 use super::dynsys::{DynProbeStrategy, DynSystem};
-use crate::FailureModel;
+use crate::{ChurnTrajectory, FailureModel};
 
 /// A coloring generator: `generate(trial_index, cell_rng)`.
 pub type ColoringGenerator = Arc<dyn Fn(u64, &mut StdRng) -> Coloring + Send + Sync>;
@@ -16,7 +16,9 @@ pub type ColoringGenerator = Arc<dyn Fn(u64, &mut StdRng) -> Coloring + Send + S
 #[derive(Clone)]
 pub enum ColoringSource {
     /// A named failure model ([`FailureModel::iid`],
-    /// [`FailureModel::exact_red_count`], [`FailureModel::fixed`]).
+    /// [`FailureModel::exact_red_count`], [`FailureModel::fixed`],
+    /// [`FailureModel::heterogeneous`], [`FailureModel::zoned`],
+    /// [`FailureModel::churn`]).
     Model(FailureModel),
     /// An arbitrary generator, e.g. one of the paper's hard input families.
     Generator {
@@ -45,6 +47,43 @@ impl ColoringSource {
     /// Always the given coloring.
     pub fn fixed(coloring: Coloring) -> Self {
         ColoringSource::Model(FailureModel::fixed(coloring))
+    }
+
+    /// Independent failures with per-element probabilities (hot spots,
+    /// mixed hardware).
+    pub fn heterogeneous(probs: Vec<f64>) -> Self {
+        ColoringSource::Model(FailureModel::heterogeneous(probs))
+    }
+
+    /// Correlated zone failures: `zone_count` contiguous zones failing
+    /// wholesale with probability `q`, i.i.d. `p` inside survivors.
+    pub fn zoned(zone_count: usize, q: f64, p: f64) -> Self {
+        ColoringSource::Model(FailureModel::zoned(zone_count, q, p))
+    }
+
+    /// Zone failures parameterised by a fixed per-element marginal and a
+    /// correlation strength in `0..=1` (see
+    /// [`FailureModel::zoned_correlated`]).
+    pub fn zoned_correlated(zone_count: usize, marginal: f64, correlation: f64) -> Self {
+        ColoringSource::Model(FailureModel::zoned_correlated(
+            zone_count,
+            marginal,
+            correlation,
+        ))
+    }
+
+    /// A churn timeline: trial `t` observes step `t` of a fail/repair Markov
+    /// trajectory generated from `seed`, so the cell's mean is a **time
+    /// average** over a realistic failure sequence.
+    pub fn churn(n: usize, fail: f64, repair: f64, steps: usize, seed: u64) -> Self {
+        ColoringSource::Model(FailureModel::churn(n, fail, repair, steps, seed))
+    }
+
+    /// A churn source over an existing (possibly shared) trajectory. Cells
+    /// sharing one trajectory see identical colorings per trial — the
+    /// common-random-numbers device for comparing strategies under churn.
+    pub fn churn_trajectory(trajectory: Arc<ChurnTrajectory>) -> Self {
+        ColoringSource::Model(FailureModel::churn_trajectory(trajectory))
     }
 
     /// A custom generator with a report label. The closure draws from the
@@ -89,8 +128,19 @@ impl ColoringSource {
     /// elements.
     pub fn sample(&self, n: usize, trial_index: u64, rng: &mut StdRng) -> Coloring {
         match self {
-            ColoringSource::Model(model) => model.sample(n, rng),
+            ColoringSource::Model(model) => model.sample_at(n, trial_index, rng),
             ColoringSource::Generator { generate, .. } => generate(trial_index, rng),
+        }
+    }
+
+    /// Samples the coloring of trial `trial_index` into a caller-owned
+    /// scratch coloring. Model-backed sources are allocation-free (the
+    /// engine's hot loop); custom generators still allocate their coloring
+    /// and move it into the scratch.
+    pub fn sample_into(&self, n: usize, trial_index: u64, rng: &mut StdRng, out: &mut Coloring) {
+        match self {
+            ColoringSource::Model(model) => model.sample_into(n, trial_index, rng, out),
+            ColoringSource::Generator { generate, .. } => *out = generate(trial_index, rng),
         }
     }
 }
@@ -248,6 +298,43 @@ impl EvalPlan {
                     continue;
                 }
                 for source in sources {
+                    self.probe(system, strategy, source.clone());
+                }
+            }
+        }
+        self
+    }
+
+    /// Queues the full **scenario matrix**: every compatible `(system,
+    /// strategy)` pair under every scenario of `scenarios`, with
+    /// time-dependent scenarios (churn) seeded from this plan's base seed so
+    /// the whole matrix is a pure function of the plan.
+    ///
+    /// Scenario sources are built per system (heterogeneous and churn
+    /// scenarios need the universe size), which is what makes failure
+    /// scenarios first-class plan cells rather than a fixed source list.
+    pub fn matrix(
+        &mut self,
+        systems: &[DynSystem],
+        strategies: &[DynProbeStrategy],
+        scenarios: &super::registry::ScenarioRegistry,
+    ) -> &mut Self {
+        let scenario_seed = self.base_seed;
+        for system in systems {
+            let n = system.universe_size();
+            // Build each scenario once per system: strategies then share the
+            // same source (and, for churn, the same Arc-ed trajectory), so
+            // they are compared on identical failure timelines.
+            let sources: Vec<ColoringSource> = scenarios
+                .entries()
+                .iter()
+                .map(|entry| (entry.build)(n, scenario_seed))
+                .collect();
+            for strategy in strategies {
+                if !strategy.supports(system.as_ref()) {
+                    continue;
+                }
+                for source in &sources {
                     self.probe(system, strategy, source.clone());
                 }
             }

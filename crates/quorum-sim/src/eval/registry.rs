@@ -1,10 +1,13 @@
-//! Registries of the paper's system families and probe strategies.
+//! Registries of the paper's system families, probe strategies and failure
+//! scenarios.
 //!
 //! The registries make the evaluation engine *table-driven*: every named
-//! construction of `quorum-systems` and every probing algorithm of
-//! `quorum-probe` is enumerable, buildable from a size hint, and pairable —
+//! construction of `quorum-systems`, every probing algorithm of
+//! `quorum-probe` and every failure regime of [`crate::FailureModel`] is
+//! enumerable, buildable from a size hint, and pairable —
 //! [`StrategyRegistry::compatible_pairs`] yields exactly the `(system,
-//! strategy)` cells a survey should run.
+//! strategy)` cells a survey should run, and [`ScenarioRegistry::standard`]
+//! names the failure scenarios a scenario matrix sweeps them under.
 
 use quorum_probe::strategies::{
     IrProbeHqs, ProbeCw, ProbeHqs, ProbeMaj, ProbeTree, RProbeCw, RProbeHqs, RProbeMaj, RProbeTree,
@@ -15,6 +18,7 @@ use quorum_systems::{CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
 use super::dynsys::{
     erase_system, typed_strategy, universal_strategy, DynProbeStrategy, DynSystem,
 };
+use super::plan::ColoringSource;
 
 /// A named system family, buildable from an approximate universe size.
 #[derive(Clone)]
@@ -218,9 +222,127 @@ impl StrategyRegistry {
     }
 }
 
+/// A named failure scenario, buildable for any universe size.
+#[derive(Clone)]
+pub struct ScenarioEntry {
+    /// Canonical name, e.g. `"zoned-strong"`.
+    pub name: &'static str,
+    /// Builds the scenario's [`ColoringSource`] for a universe of `n`
+    /// elements; `seed` feeds time-dependent scenarios (churn trajectories)
+    /// so the whole matrix stays a pure function of the plan seed.
+    pub build: fn(n: usize, seed: u64) -> ColoringSource,
+}
+
+impl std::fmt::Debug for ScenarioEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioEntry")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// The registry of failure scenarios: the axis that turns a `(system,
+/// strategy)` survey into a scenario matrix.
+#[derive(Debug, Clone)]
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioEntry>,
+}
+
+/// Steps in every registry churn trajectory: long enough to average the
+/// timeline, short enough that small CI runs replay it a few times.
+const CHURN_STEPS: usize = 512;
+
+impl ScenarioRegistry {
+    /// The standard scenario battery: the paper's i.i.d. regime plus
+    /// correlated zones (weak → wholesale), heterogeneous per-element rates
+    /// (gradient and hot spot), and fail/repair churn at two intensities.
+    ///
+    /// All zoned scenarios share a per-element failure marginal of 0.3, so
+    /// rows differ only in *how* failures are arranged — exactly the
+    /// comparison the i.i.d. analysis cannot make.
+    pub fn standard() -> Self {
+        ScenarioRegistry {
+            entries: vec![
+                ScenarioEntry {
+                    name: "iid-0.3",
+                    build: |_, _| ColoringSource::iid(0.3),
+                },
+                ScenarioEntry {
+                    name: "iid-0.5",
+                    build: |_, _| ColoringSource::iid(0.5),
+                },
+                ScenarioEntry {
+                    name: "zoned-weak",
+                    build: |n, _| ColoringSource::zoned_correlated(zone_count_for(n), 0.3, 0.25),
+                },
+                ScenarioEntry {
+                    name: "zoned-strong",
+                    build: |n, _| ColoringSource::zoned_correlated(zone_count_for(n), 0.3, 0.75),
+                },
+                ScenarioEntry {
+                    name: "zoned-wholesale",
+                    build: |n, _| ColoringSource::zoned_correlated(zone_count_for(n), 0.3, 1.0),
+                },
+                ScenarioEntry {
+                    name: "hetero-gradient",
+                    build: |n, _| {
+                        // Linear ramp 0.1 → 0.5 across the universe; mean 0.3.
+                        let probs = (0..n)
+                            .map(|e| 0.1 + 0.4 * e as f64 / (n.max(2) - 1) as f64)
+                            .collect();
+                        ColoringSource::heterogeneous(probs)
+                    },
+                },
+                ScenarioEntry {
+                    name: "hetero-hotspot",
+                    build: |n, _| {
+                        // One failure-prone element in ten; the rest are
+                        // reliable. Mean rate ≈ 0.9/10 + 0.2·9/10 = 0.27.
+                        let probs = (0..n)
+                            .map(|e| if e % 10 == 0 { 0.9 } else { 0.2 })
+                            .collect();
+                        ColoringSource::heterogeneous(probs)
+                    },
+                },
+                ScenarioEntry {
+                    name: "churn-slow",
+                    build: |n, seed| ColoringSource::churn(n, 0.05, 0.15, CHURN_STEPS, seed),
+                },
+                ScenarioEntry {
+                    name: "churn-fast",
+                    build: |n, seed| ColoringSource::churn(n, 0.3, 0.5, CHURN_STEPS, seed),
+                },
+            ],
+        }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ScenarioEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Builds the scenario registered under `name` for a universe of `n`.
+    pub fn build(&self, name: &str, n: usize, seed: u64) -> Option<ColoringSource> {
+        self.get(name).map(|e| (e.build)(n, seed))
+    }
+}
+
+/// Zone count used by the registry's zoned scenarios: about one zone per ten
+/// elements, at least two so correlation is visible, never more than `n`.
+fn zone_count_for(n: usize) -> usize {
+    (n / 10).max(2).min(n.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     /// The registry and `quorum_systems::catalogue()` are two views of the
     /// same family inventory; layering prevents sharing code (the catalogue's
@@ -268,6 +390,45 @@ mod tests {
             let strategy = (entry.build)();
             assert_eq!(strategy.name(), entry.name, "registry name drifted");
         }
+    }
+
+    #[test]
+    fn scenario_registry_builds_every_scenario() {
+        let scenarios = ScenarioRegistry::standard();
+        assert_eq!(scenarios.entries().len(), 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for entry in scenarios.entries() {
+            for n in [9usize, 21, 64] {
+                let source = (entry.build)(n, 42);
+                let coloring = source.sample(n, 3, &mut rng);
+                assert_eq!(
+                    coloring.universe_size(),
+                    n,
+                    "{} built a wrong-sized coloring",
+                    entry.name
+                );
+            }
+        }
+        assert!(scenarios.build("iid-0.5", 10, 1).is_some());
+        assert!(scenarios.build("no-such-scenario", 10, 1).is_none());
+        assert!(scenarios.get("churn-fast").is_some());
+    }
+
+    #[test]
+    fn scenario_labels_are_distinct() {
+        let scenarios = ScenarioRegistry::standard();
+        let mut labels: Vec<String> = scenarios
+            .entries()
+            .iter()
+            .map(|e| (e.build)(30, 7).label())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(
+            labels.len(),
+            scenarios.entries().len(),
+            "two scenarios render the same label"
+        );
     }
 
     #[test]

@@ -1,19 +1,161 @@
 //! Failure models: distributions over colorings used to drive experiments.
+//!
+//! The paper analyses two input regimes — i.i.d. failures and an adversarial
+//! worst case. Real deployments sit in between: machines in one rack or
+//! availability zone fail *together*, failure probabilities differ per host,
+//! and the failure set *churns* over time. This module models all of these
+//! as first-class [`FailureModel`] variants so the evaluation engine can
+//! sweep from the paper's assumptions to correlated, heterogeneous and
+//! time-varying scenarios without changing any probing code.
 
-use quorum_core::{Color, Coloring, ElementSet};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use std::sync::Arc;
+
+use quorum_analysis::availability::{zone_of, zoned_params};
+use quorum_core::{Color, Coloring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A precomputed fail/repair Markov trajectory: one coloring per time step.
+///
+/// Each element is an independent two-state Markov chain: a green element
+/// turns red with probability `fail` per step, a red element turns green with
+/// probability `repair`. The initial coloring is drawn from the stationary
+/// distribution (red with probability `fail / (fail + repair)`), so the
+/// trajectory is in steady state from step 0 and its time averages estimate
+/// stationary expectations without burn-in.
+///
+/// The whole trajectory is generated **eagerly and sequentially** from the
+/// seed at construction time, which is what makes churn experiments
+/// bit-identical across engine thread counts: parallel trials only ever read
+/// the shared, immutable timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTrajectory {
+    fail: f64,
+    repair: f64,
+    seed: u64,
+    colorings: Vec<Coloring>,
+}
+
+impl ChurnTrajectory {
+    /// Generates a trajectory of `steps` colorings for `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fail`/`repair` are not probabilities, both are zero (the
+    /// chain would have no stationary distribution), or `steps == 0`.
+    pub fn generate(n: usize, fail: f64, repair: f64, steps: usize, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fail),
+            "fail must be a probability, got {fail}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&repair),
+            "repair must be a probability, got {repair}"
+        );
+        assert!(
+            fail + repair > 0.0,
+            "fail and repair cannot both be zero: the chain never moves"
+        );
+        assert!(steps > 0, "a trajectory needs at least one step");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stationary_red = fail / (fail + repair);
+        let mut current = Coloring::from_fn(n, |_| {
+            if rng.gen_bool(stationary_red) {
+                Color::Red
+            } else {
+                Color::Green
+            }
+        });
+        let mut colorings = Vec::with_capacity(steps);
+        colorings.push(current.clone());
+        for _ in 1..steps {
+            for e in 0..n {
+                match current.color(e) {
+                    Color::Green => {
+                        if rng.gen_bool(fail) {
+                            current.set_color(e, Color::Red);
+                        }
+                    }
+                    Color::Red => {
+                        if rng.gen_bool(repair) {
+                            current.set_color(e, Color::Green);
+                        }
+                    }
+                }
+            }
+            colorings.push(current.clone());
+        }
+        ChurnTrajectory {
+            fail,
+            repair,
+            seed,
+            colorings,
+        }
+    }
+
+    /// Universe size of every coloring in the trajectory.
+    pub fn universe_size(&self) -> usize {
+        self.colorings[0].universe_size()
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.colorings.len()
+    }
+
+    /// Whether the trajectory is empty (never: construction requires a step).
+    pub fn is_empty(&self) -> bool {
+        self.colorings.is_empty()
+    }
+
+    /// The per-step fail probability of a green element.
+    pub fn fail_rate(&self) -> f64 {
+        self.fail
+    }
+
+    /// The per-step repair probability of a red element.
+    pub fn repair_rate(&self) -> f64 {
+        self.repair
+    }
+
+    /// The stationary red fraction `fail / (fail + repair)`.
+    pub fn stationary_red_fraction(&self) -> f64 {
+        self.fail / (self.fail + self.repair)
+    }
+
+    /// The coloring at time step `t`, wrapping around modulo the length, so
+    /// trial indices beyond the horizon replay the timeline.
+    pub fn coloring_at(&self, t: u64) -> &Coloring {
+        &self.colorings[(t % self.colorings.len() as u64) as usize]
+    }
+
+    /// Iterates over the trajectory's colorings in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &Coloring> + '_ {
+        self.colorings.iter()
+    }
+}
 
 /// A generator of colorings (failure patterns) for a universe of `n` elements.
 ///
-/// The variants mirror the input models used in the paper:
+/// The first three variants mirror the input models used in the paper; the
+/// last three extend them toward production failure regimes:
 ///
 /// * [`FailureModel::Iid`] — every element fails independently with
 ///   probability `p` (the probabilistic model of Section 3);
 /// * [`FailureModel::ExactRedCount`] — a uniformly random coloring with
 ///   exactly `reds` failed elements (the hard distribution of Theorem 4.2);
 /// * [`FailureModel::Fixed`] — a single adversarial coloring, for worst-case
-///   probing experiments.
+///   probing experiments;
+/// * [`FailureModel::Heterogeneous`] — element `e` fails independently with
+///   its own probability `probs[e]` (hot spots, mixed hardware);
+/// * [`FailureModel::Zoned`] — the universe is partitioned into contiguous
+///   zones; a zone fails wholesale with probability `q`, elements of
+///   surviving zones fail i.i.d. with probability `p`. Sweeping `q` at a
+///   fixed marginal spans independent to fully-correlated failures;
+/// * [`FailureModel::Churn`] — a seeded fail/repair Markov trajectory; trial
+///   `t` observes the coloring at time step `t`, so mean probe counts are
+///   **time averages** along a realistic failure timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FailureModel {
     /// Independent failures with probability `p`.
@@ -31,6 +173,27 @@ pub enum FailureModel {
     Fixed {
         /// The coloring to return.
         coloring: Coloring,
+    },
+    /// Independent failures with per-element probabilities.
+    Heterogeneous {
+        /// `probs[e]` is the failure probability of element `e`; the length
+        /// pins the universe size.
+        probs: Arc<Vec<f64>>,
+    },
+    /// Correlated zone failures: wholesale with probability `q`, then i.i.d.
+    /// `p` inside surviving zones.
+    Zoned {
+        /// Number of contiguous zones the universe is partitioned into.
+        zone_count: usize,
+        /// Probability that a zone fails wholesale.
+        q: f64,
+        /// Failure probability of elements in surviving zones.
+        p: f64,
+    },
+    /// A fail/repair Markov chain: trial `t` sees time step `t`.
+    Churn {
+        /// The precomputed, seed-deterministic timeline.
+        trajectory: Arc<ChurnTrajectory>,
     },
 }
 
@@ -55,31 +218,128 @@ impl FailureModel {
         FailureModel::Fixed { coloring }
     }
 
+    /// Independent failures with per-element probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or any entry is not a probability.
+    pub fn heterogeneous(probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "need at least one element probability");
+        for (e, &p) in probs.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "probs[{e}] must be a probability, got {p}"
+            );
+        }
+        FailureModel::Heterogeneous {
+            probs: Arc::new(probs),
+        }
+    }
+
+    /// Zone failures: `zone_count` contiguous zones, each failing wholesale
+    /// with probability `q`; elements of surviving zones fail i.i.d. with
+    /// probability `p`.
+    ///
+    /// With `q = 0` the model is **exactly** [`FailureModel::iid`] at `p`
+    /// (same colorings for the same RNG stream — the zone draws are skipped),
+    /// so correlation sweeps anchor bit-for-bit at the independent end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone_count == 0` or `q`/`p` are not probabilities.
+    pub fn zoned(zone_count: usize, q: f64, p: f64) -> Self {
+        assert!(zone_count >= 1, "need at least one zone");
+        assert!((0.0..=1.0).contains(&q), "q must be a probability, got {q}");
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        FailureModel::Zoned { zone_count, q, p }
+    }
+
+    /// Zone failures parameterised by `(marginal, correlation)`: the
+    /// per-element failure probability stays at `marginal` while
+    /// `correlation` sweeps from 0 (i.i.d.) to 1 (zones fail wholesale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone_count == 0` or either argument is not a probability.
+    pub fn zoned_correlated(zone_count: usize, marginal: f64, correlation: f64) -> Self {
+        let (q, p) = zoned_params(marginal, correlation);
+        FailureModel::zoned(zone_count, q, p)
+    }
+
+    /// A churn timeline generated from the given Markov parameters and seed
+    /// (see [`ChurnTrajectory::generate`] for panics).
+    pub fn churn(n: usize, fail: f64, repair: f64, steps: usize, seed: u64) -> Self {
+        FailureModel::Churn {
+            trajectory: Arc::new(ChurnTrajectory::generate(n, fail, repair, steps, seed)),
+        }
+    }
+
+    /// A churn model over an existing (possibly shared) trajectory.
+    pub fn churn_trajectory(trajectory: Arc<ChurnTrajectory>) -> Self {
+        FailureModel::Churn { trajectory }
+    }
+
     /// Samples a coloring for a universe of `n` elements.
+    ///
+    /// Time-dependent models ([`FailureModel::Churn`]) observe step 0; use
+    /// [`FailureModel::sample_at`] to address a specific trial/time index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the model/universe mismatches documented on
+    /// [`FailureModel::sample_into`].
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Coloring {
+        self.sample_at(n, 0, rng)
+    }
+
+    /// Samples the coloring of trial `trial_index` for a universe of `n`
+    /// elements. Only [`FailureModel::Churn`] depends on the index (it is the
+    /// time step); every other model ignores it.
+    pub fn sample_at<R: Rng + ?Sized>(&self, n: usize, trial_index: u64, rng: &mut R) -> Coloring {
+        let mut coloring = Coloring::all_green(0);
+        self.sample_into(n, trial_index, rng, &mut coloring);
+        coloring
+    }
+
+    /// Samples into a caller-owned scratch coloring, avoiding per-trial
+    /// allocations in the evaluation hot loop. The scratch is resized to `n`
+    /// (a no-alloc reset once its capacity has grown to the largest universe
+    /// it has seen).
     ///
     /// # Panics
     ///
     /// Panics if the model is [`FailureModel::ExactRedCount`] with more reds
-    /// than elements, or [`FailureModel::Fixed`] with a coloring of the wrong
-    /// universe size.
-    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Coloring {
+    /// than elements, [`FailureModel::Fixed`] / [`FailureModel::Heterogeneous`]
+    /// / [`FailureModel::Churn`] with a universe that does not match `n`, or
+    /// [`FailureModel::Zoned`] with more zones than elements.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        trial_index: u64,
+        rng: &mut R,
+        out: &mut Coloring,
+    ) {
         match self {
-            FailureModel::Iid { p } => Coloring::from_fn(n, |_| {
-                if rng.gen_bool(*p) {
-                    Color::Red
-                } else {
-                    Color::Green
-                }
-            }),
+            FailureModel::Iid { p } => {
+                out.reset(n, Color::Green);
+                sample_iid_into(n, *p, rng, out);
+            }
             FailureModel::ExactRedCount { reds } => {
                 assert!(
                     *reds <= n,
                     "cannot place {reds} red elements in a universe of {n}"
                 );
-                let mut order: Vec<usize> = (0..n).collect();
-                order.shuffle(rng);
-                let red_set = ElementSet::from_iter(n, order.into_iter().take(*reds));
-                Coloring::from_red_set(&red_set)
+                // Partial Fisher–Yates over the first `reds` positions: start
+                // with the reds packed into the prefix and shuffle only the
+                // slots a red can occupy. No index vector, no allocation.
+                out.reset(n, Color::Green);
+                for e in 0..*reds {
+                    out.set_color(e, Color::Red);
+                }
+                for i in 0..*reds {
+                    let j = rng.gen_range(i..n);
+                    out.swap(i, j);
+                }
             }
             FailureModel::Fixed { coloring } => {
                 assert_eq!(
@@ -87,7 +347,66 @@ impl FailureModel {
                     n,
                     "fixed coloring universe does not match the requested universe"
                 );
-                coloring.clone()
+                out.copy_from(coloring);
+            }
+            FailureModel::Heterogeneous { probs } => {
+                assert_eq!(
+                    probs.len(),
+                    n,
+                    "heterogeneous model has {} per-element probabilities but the universe has {n}",
+                    probs.len()
+                );
+                out.reset(n, Color::Green);
+                for (e, &p) in probs.iter().enumerate() {
+                    if rng.gen_bool(p) {
+                        out.set_color(e, Color::Red);
+                    }
+                }
+            }
+            FailureModel::Zoned { zone_count, q, p } => {
+                assert!(
+                    *zone_count <= n,
+                    "cannot partition {n} elements into {zone_count} zones"
+                );
+                out.reset(n, Color::Green);
+                if *q == 0.0 {
+                    // Exact specialization: no zone draws, so the RNG stream —
+                    // and therefore every sampled coloring — matches Iid(p)
+                    // bit for bit. Correlation sweeps anchor here.
+                    sample_iid_into(n, *p, rng, out);
+                    return;
+                }
+                let mut e = 0usize;
+                while e < n {
+                    let zone = zone_of(e, n, *zone_count);
+                    let zone_end = {
+                        let mut end = e + 1;
+                        while end < n && zone_of(end, n, *zone_count) == zone {
+                            end += 1;
+                        }
+                        end
+                    };
+                    if rng.gen_bool(*q) {
+                        for member in e..zone_end {
+                            out.set_color(member, Color::Red);
+                        }
+                    } else {
+                        for member in e..zone_end {
+                            if rng.gen_bool(*p) {
+                                out.set_color(member, Color::Red);
+                            }
+                        }
+                    }
+                    e = zone_end;
+                }
+            }
+            FailureModel::Churn { trajectory } => {
+                assert_eq!(
+                    trajectory.universe_size(),
+                    n,
+                    "churn trajectory universe does not match the requested universe"
+                );
+                out.copy_from(trajectory.coloring_at(trial_index));
             }
         }
     }
@@ -98,6 +417,28 @@ impl FailureModel {
             FailureModel::Iid { p } => format!("iid(p={p})"),
             FailureModel::ExactRedCount { reds } => format!("exact-reds({reds})"),
             FailureModel::Fixed { .. } => "fixed".to_string(),
+            FailureModel::Heterogeneous { probs } => {
+                let mean = probs.iter().sum::<f64>() / probs.len() as f64;
+                format!("hetero(mean p={mean:.3})")
+            }
+            FailureModel::Zoned { zone_count, q, p } => {
+                format!("zoned(z={zone_count},q={q:.3},p={p:.3})")
+            }
+            FailureModel::Churn { trajectory } => format!(
+                "churn(fail={:.3},repair={:.3},steps={})",
+                trajectory.fail_rate(),
+                trajectory.repair_rate(),
+                trajectory.len()
+            ),
+        }
+    }
+}
+
+/// Writes an i.i.d.(`p`) sample over an all-green coloring.
+fn sample_iid_into<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R, out: &mut Coloring) {
+    for e in 0..n {
+        if rng.gen_bool(p) {
+            out.set_color(e, Color::Red);
         }
     }
 }
@@ -159,6 +500,30 @@ mod tests {
     }
 
     #[test]
+    fn exact_red_count_placement_is_uniform() {
+        // The partial Fisher–Yates must place every 2-subset of 6 positions
+        // with equal probability: chi-squared against the uniform over the
+        // 15 subsets, generous tolerance for 15k samples.
+        let model = FailureModel::exact_red_count(2);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut counts = std::collections::HashMap::new();
+        let samples = 15_000usize;
+        for _ in 0..samples {
+            let reds = model.sample(6, &mut rng).red_set().to_vec();
+            *counts.entry(reds).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 15, "every subset must appear");
+        let expected = samples as f64 / 15.0;
+        for (subset, count) in counts {
+            let deviation = (count as f64 - expected).abs() / expected;
+            assert!(
+                deviation < 0.15,
+                "subset {subset:?} count {count} deviates {deviation:.3} from uniform"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "cannot place")]
     fn exact_red_count_validates_count() {
         let mut rng = StdRng::seed_from_u64(5);
@@ -182,9 +547,201 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_respects_extreme_elements() {
+        let model = FailureModel::heterogeneous(vec![0.0, 1.0, 0.5]);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let coloring = model.sample(3, &mut rng);
+            assert!(coloring.is_green(0), "p=0 element can never fail");
+            assert!(coloring.is_red(1), "p=1 element always fails");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per-element probabilities")]
+    fn heterogeneous_validates_universe() {
+        let model = FailureModel::heterogeneous(vec![0.5, 0.5]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = model.sample(3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn heterogeneous_validates_probabilities() {
+        let _ = FailureModel::heterogeneous(vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn zoned_q_zero_matches_iid_bitwise() {
+        // The documented specialization: with q = 0 the zoned model consumes
+        // the RNG exactly like Iid(p), so same seed ⇒ same colorings.
+        for zone_count in [1usize, 3, 5] {
+            let zoned = FailureModel::zoned(zone_count, 0.0, 0.35);
+            let iid = FailureModel::iid(0.35);
+            let mut rng_a = StdRng::seed_from_u64(10);
+            let mut rng_b = StdRng::seed_from_u64(10);
+            for trial in 0..40u64 {
+                assert_eq!(
+                    zoned.sample_at(15, trial, &mut rng_a),
+                    iid.sample_at(15, trial, &mut rng_b),
+                    "zone_count={zone_count} trial={trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zoned_q_one_fails_whole_zones() {
+        let model = FailureModel::zoned(3, 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let coloring = model.sample(9, &mut rng);
+        assert_eq!(coloring.red_count(), 9, "every zone fails wholesale");
+    }
+
+    #[test]
+    fn zoned_failures_are_zone_aligned_when_fully_correlated() {
+        // p = 0: reds can only arise from wholesale zone failures, so every
+        // zone is monochromatic.
+        let model = FailureModel::zoned(4, 0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 12;
+        for _ in 0..100 {
+            let coloring = model.sample(n, &mut rng);
+            for e in 1..n {
+                if zone_of(e, n, 4) == zone_of(e - 1, n, 4) {
+                    assert_eq!(
+                        coloring.color(e),
+                        coloring.color(e - 1),
+                        "zone split a color"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zoned_correlated_preserves_marginal_rate() {
+        let marginal = 0.3;
+        for correlation in [0.0, 0.5, 1.0] {
+            let model = FailureModel::zoned_correlated(5, marginal, correlation);
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut reds = 0usize;
+            let trials = 4_000;
+            let n = 20;
+            for _ in 0..trials {
+                reds += model.sample(n, &mut rng).red_count();
+            }
+            let rate = reds as f64 / (trials * n) as f64;
+            assert!(
+                (rate - marginal).abs() < 0.02,
+                "correlation {correlation}: marginal drifted to {rate}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot partition")]
+    fn zoned_validates_zone_count_at_sample() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let _ = FailureModel::zoned(10, 0.5, 0.5).sample(5, &mut rng);
+    }
+
+    #[test]
+    fn churn_trajectory_is_seed_deterministic() {
+        let a = ChurnTrajectory::generate(12, 0.1, 0.4, 64, 77);
+        let b = ChurnTrajectory::generate(12, 0.1, 0.4, 64, 77);
+        assert_eq!(a, b, "same parameters and seed must replay identically");
+        let c = ChurnTrajectory::generate(12, 0.1, 0.4, 64, 78);
+        assert_ne!(a, c, "a different seed must change the timeline");
+        assert_eq!(a.len(), 64);
+        assert_eq!(a.universe_size(), 12);
+        assert!(!a.is_empty());
+        assert!((a.stationary_red_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_stationary_fraction_holds_along_the_timeline() {
+        let trajectory = ChurnTrajectory::generate(50, 0.2, 0.3, 2_000, 5);
+        let reds: usize = trajectory.iter().map(Coloring::red_count).sum();
+        let rate = reds as f64 / (50 * 2_000) as f64;
+        assert!(
+            (rate - 0.4).abs() < 0.03,
+            "time-averaged red rate {rate} should be near 0.4"
+        );
+    }
+
+    #[test]
+    fn churn_model_replays_the_trajectory_per_trial() {
+        let model = FailureModel::churn(8, 0.3, 0.3, 16, 21);
+        let trajectory = match &model {
+            FailureModel::Churn { trajectory } => Arc::clone(trajectory),
+            _ => unreachable!(),
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for trial in 0..40u64 {
+            assert_eq!(
+                &model.sample_at(8, trial, &mut rng),
+                trajectory.coloring_at(trial),
+                "trial {trial} must observe its time step (wrapping)"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_steps_change_between_consecutive_colorings() {
+        let trajectory = ChurnTrajectory::generate(100, 0.5, 0.5, 8, 3);
+        let mut changed = false;
+        let colorings: Vec<&Coloring> = trajectory.iter().collect();
+        for pair in colorings.windows(2) {
+            if pair[0] != pair[1] {
+                changed = true;
+            }
+        }
+        assert!(changed, "a rate-1/2 chain on 100 elements must move");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot both be zero")]
+    fn churn_validates_rates() {
+        let _ = ChurnTrajectory::generate(5, 0.0, 0.0, 10, 1);
+    }
+
+    #[test]
+    fn sample_into_reuses_the_scratch_coloring() {
+        let mut scratch = Coloring::all_green(0);
+        let mut rng = StdRng::seed_from_u64(15);
+        for model in [
+            FailureModel::iid(0.4),
+            FailureModel::exact_red_count(3),
+            FailureModel::heterogeneous(vec![0.2; 9]),
+            FailureModel::zoned(3, 0.3, 0.2),
+            FailureModel::churn(9, 0.2, 0.4, 8, 9),
+            FailureModel::fixed(Coloring::all_red(9)),
+        ] {
+            for trial in 0..10u64 {
+                model.sample_into(9, trial, &mut rng, &mut scratch);
+                assert_eq!(scratch.universe_size(), 9, "{}", model.label());
+            }
+            // sample_at routes through sample_into, so the two agree given
+            // identical RNG streams.
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            model.sample_into(9, 4, &mut rng_a, &mut scratch);
+            assert_eq!(scratch, model.sample_at(9, 4, &mut rng_b));
+        }
+    }
+
+    #[test]
     fn labels_are_informative() {
         assert!(FailureModel::iid(0.5).label().contains("0.5"));
         assert!(FailureModel::exact_red_count(3).label().contains('3'));
         assert_eq!(FailureModel::fixed(Coloring::all_green(2)).label(), "fixed");
+        assert!(FailureModel::heterogeneous(vec![0.2, 0.4])
+            .label()
+            .contains("hetero"));
+        assert!(FailureModel::zoned(4, 0.5, 0.1).label().contains("z=4"));
+        assert!(FailureModel::churn(3, 0.1, 0.2, 8, 1)
+            .label()
+            .contains("churn"));
     }
 }

@@ -49,10 +49,10 @@ pub mod worstcase;
 
 pub use eval::{
     ColoringSource, DynProbeStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport,
-    StrategyRegistry, SystemRegistry,
+    ScenarioRegistry, StrategyRegistry, SystemRegistry,
 };
 pub use experiment::{sweep, SweepPoint, SweepRow};
-pub use failure::FailureModel;
+pub use failure::{ChurnTrajectory, FailureModel};
 pub use montecarlo::{estimate_expected_probes, exhaustive_expected_probes, Estimate};
 pub use report::Table;
 pub use worstcase::{estimate_worst_case, worst_case_over_colorings};

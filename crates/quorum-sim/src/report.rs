@@ -67,6 +67,11 @@ impl Table {
         &self.headers
     }
 
+    /// The data rows, in insertion order (for machine-readable exports).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();

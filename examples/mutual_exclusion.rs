@@ -2,6 +2,10 @@
 //! application: clients must lock a *live* quorum before entering the critical
 //! section, and probing is how they find one cheaply.
 //!
+//! The cluster is driven by a [`ChurnTrajectory`] — a seeded fail/repair
+//! Markov timeline — so nodes crash and recover the way production fleets
+//! do, rather than by one-off random shakes.
+//!
 //! Run with:
 //!
 //! ```text
@@ -18,6 +22,17 @@ fn main() -> Result<(), QuorumError> {
     let n = wall.universe_size();
     println!("== Quorum-based mutual exclusion on a Triang({rows}) system, n = {n} ==\n");
 
+    // A realistic failure timeline: each node fails with probability 0.03 and
+    // recovers with probability 0.12 per round, i.e. one node in five is down
+    // in steady state and failures persist for ~8 rounds.
+    let churn = ChurnTrajectory::generate(n, 0.03, 0.12, 200, 4242);
+    println!(
+        "churn timeline: fail {:.2}/round, repair {:.2}/round, stationary red fraction {:.2}\n",
+        churn.fail_rate(),
+        churn.repair_rate(),
+        churn.stationary_red_fraction()
+    );
+
     let cluster = Cluster::new(n, NetworkConfig::lan(), 4242);
     let mut mutex = QuorumMutex::new(wall, cluster, ProbeCw::new());
     let mut rng = StdRng::seed_from_u64(99);
@@ -27,17 +42,9 @@ fn main() -> Result<(), QuorumError> {
     let mut rejected_no_quorum = 0usize;
     let mut rejected_contended = 0usize;
 
-    for round in 0..200 {
-        // Periodically shake the cluster: crash a few nodes, recover others.
-        if round % 20 == 0 {
-            for node in 0..n {
-                if rng.gen_bool(0.25) {
-                    mutex.cluster_mut().crash(node);
-                } else {
-                    mutex.cluster_mut().recover(node);
-                }
-            }
-        }
+    for coloring in churn.iter() {
+        // Advance the cluster to this round's failure pattern.
+        mutex.cluster_mut().apply_coloring(coloring);
         // A random client tries to enter the critical section.
         let idx = rng.gen_range(0..clients.len());
         let client = clients[idx];

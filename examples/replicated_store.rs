@@ -3,6 +3,10 @@
 //! management à la Gifford/Thomas), with probe strategies locating live
 //! quorums for every read and write.
 //!
+//! Replica failures follow a [`ChurnTrajectory`]: a seeded fail/repair
+//! Markov timeline, so outages are correlated in time the way real replica
+//! fleets degrade and heal.
+//!
 //! Run with:
 //!
 //! ```text
@@ -18,6 +22,15 @@ fn main() -> Result<(), QuorumError> {
     let n = tree.universe_size();
     println!("== Replicated register on a Tree quorum system, n = {n} replicas ==\n");
 
+    // One replica in four is down in steady state; failures persist ~7 rounds.
+    let churn = ChurnTrajectory::generate(n, 0.05, 0.15, 150, 77);
+    println!(
+        "churn timeline: fail {:.2}/round, repair {:.2}/round, stationary red fraction {:.2}\n",
+        churn.fail_rate(),
+        churn.repair_rate(),
+        churn.stationary_red_fraction()
+    );
+
     let cluster = Cluster::new(n, NetworkConfig::wan(), 77);
     let mut register = ReplicatedRegister::new(tree, cluster, ProbeTree::new());
     let mut rng = StdRng::seed_from_u64(123);
@@ -29,17 +42,9 @@ fn main() -> Result<(), QuorumError> {
     let mut stale_reads = 0usize;
     let mut last_committed: Option<(u64, Vec<u8>)> = None;
 
-    for round in 0..150u64 {
-        // Crash/recover some replicas every few rounds.
-        if round % 10 == 0 {
-            for node in 0..n {
-                if rng.gen_bool(0.3) {
-                    register.cluster_mut().crash(node);
-                } else {
-                    register.cluster_mut().recover(node);
-                }
-            }
-        }
+    for (round, coloring) in churn.iter().enumerate() {
+        // Advance the replica fleet to this round's failure pattern.
+        register.cluster_mut().apply_coloring(coloring);
         if rng.gen_bool(0.4) {
             let payload = format!("round-{round}").into_bytes();
             match register.write(payload.clone()) {
