@@ -92,6 +92,53 @@ fn bench_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched_availability(c: &mut Criterion) {
+    // The acceptance hot path: iid availability at n ≈ 1024, scalar
+    // one-coloring-per-trial versus 64-trials-per-word-pass lanes.
+    let mut group = c.benchmark_group("availability/iid_n1024");
+    let systems: Vec<(&str, probequorum::core::DynQuorumSystem)> = vec![
+        ("Maj", std::sync::Arc::new(Majority::new(1025).unwrap())),
+        ("Tree", std::sync::Arc::new(TreeQuorum::new(9).unwrap())),
+        ("Grid", std::sync::Arc::new(Grid::new(32, 32).unwrap())),
+    ];
+    for (name, system) in &systems {
+        group.bench_function(BenchmarkId::new("scalar_200_trials", *name), |b| {
+            let mut rng = StdRng::seed_from_u64(17);
+            b.iter(|| {
+                probequorum::analysis::availability::monte_carlo_failure_probability(
+                    system, 0.3, 200, &mut rng,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("batched_200_trials", *name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                probequorum::sim::batched_failure_probability(system, 0.3, 200, seed).mean
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_probes(c: &mut Criterion) {
+    // Expected-probes through the chunked engine: one plan cell at n = 1025.
+    use probequorum::sim::eval::{erase_system, typed_strategy, ColoringSource, EvalPlan};
+    let mut group = c.benchmark_group("engine/expected_probes_n1024");
+    let maj = erase_system(Majority::new(1025).unwrap());
+    let probe_maj = typed_strategy::<Majority, _>(ProbeMaj::new());
+    group.bench_function("Maj_iid0.3_256_trials", |b| {
+        let engine = probequorum::sim::EvalEngine::new();
+        b.iter(|| {
+            let mut plan = EvalPlan::new(3).trials(256);
+            plan.probe(&maj, &probe_maj, ColoringSource::iid(0.3));
+            engine.run(&plan).cells[0].estimate.mean
+        })
+    });
+    group.finish();
+}
+
 fn bench_failure_sampling(c: &mut Criterion) {
     // The engine hot path: allocation-free resampling into one scratch
     // coloring, across every failure-model flavour.
@@ -125,6 +172,6 @@ fn bench_failure_sampling(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_contains_quorum, bench_availability, bench_enumeration, bench_failure_sampling
+    targets = bench_contains_quorum, bench_availability, bench_batched_availability, bench_engine_probes, bench_enumeration, bench_failure_sampling
 }
 criterion_main!(benches);

@@ -11,7 +11,13 @@
 //!
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
-//! `availability`, `zoned`, `churn`, `scenario-matrix`, `figures`, `all`.
+//! `availability`, `zoned`, `churn`, `scenario-matrix`, `throughput`,
+//! `figures`, `all`.
+//!
+//! `throughput` measures trials/second on the hot paths (engine probes,
+//! scalar vs word-parallel batched availability); being wall-clock data its
+//! table goes to **stderr** and the JSON artifact, never stdout — `all`
+//! excludes it, so stdout stays bit-identical across runs and thread counts.
 //!
 //! Every experiment reports its wall-clock time and the engine's worker
 //! thread count on **stderr**, keeping stdout a pure function of the seed
@@ -24,8 +30,8 @@ use std::time::Instant;
 
 use bench::{
     availability_table, churn, crumbling_walls, figures, hqs_exponent, hqs_randomized,
-    lemmas_table, lower_bounds, maj3, randomized, scenario_matrix, table1, tree_exponent, zoned,
-    BenchArtifact, ReproConfig,
+    lemmas_table, lower_bounds, maj3, randomized, scenario_matrix, table1, throughput,
+    tree_exponent, zoned, BenchArtifact, ReproConfig,
 };
 use probequorum::prelude::Table;
 
@@ -169,6 +175,21 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
             "Scenario matrix: every system × strategy × failure scenario",
             plain(scenario_matrix),
         ),
+        "throughput" => {
+            let started = Instant::now();
+            eprintln!("== Throughput: trials/second on the hot paths ==\n");
+            let table = throughput(config);
+            eprintln!("{table}");
+            let wall = started.elapsed();
+            eprintln!(
+                "[throughput: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]",
+                wall,
+                config.engine().thread_count(),
+                config.trials,
+                config.seed,
+            );
+            artifact.record("throughput", wall, table);
+        }
         "figures" => run_figures(),
         "all" => {
             for experiment in [
@@ -211,7 +232,7 @@ fn main() {
             eprintln!(
                 "available: table1 maj3 crumbling-walls tree-exponent hqs-exponent randomized \
                  lower-bounds hqs-randomized lemmas availability zoned churn scenario-matrix \
-                 figures all"
+                 throughput figures all"
             );
             std::process::exit(2);
         }

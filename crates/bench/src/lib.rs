@@ -1056,6 +1056,124 @@ pub fn scenario_matrix(config: &ReproConfig) -> Table {
     config.engine().run(&plan).to_table()
 }
 
+/// Measures trials/second through the workspace's hottest paths, for the
+/// Grid, Majority and Tree families at universe sizes ≈ {64, 256, 1024}:
+///
+/// * `probes/engine` — expected-probes estimation through the evaluation
+///   engine (one `EvalPlan` cell, iid failures at p = 0.3);
+/// * `avail/scalar` — the scalar Monte-Carlo availability estimator (one
+///   coloring sampled and checked per trial);
+/// * `avail/batched` — the word-parallel batched estimator (64 trials per
+///   word pass via `green_quorum_lanes`), with its speedup over the scalar
+///   path in the last column.
+///
+/// Timings are wall-clock and therefore **not** deterministic; the
+/// `reproduce` binary prints this table to stderr and records it in the
+/// `BENCH_<sha>.json` artifact, keeping stdout a pure function of the seed.
+pub fn throughput(config: &ReproConfig) -> Table {
+    use std::time::Instant;
+
+    let engine = config.engine();
+    let probe_trials = config.trials;
+    let scalar_trials = config.trials;
+    // The batched path runs whole 64-trial blocks; give it enough work to
+    // time meaningfully without slowing small CI runs.
+    let batched_trials = config.trials * 16;
+
+    let mut table = Table::new([
+        "family",
+        "n",
+        "path",
+        "trials",
+        "wall_ms",
+        "trials_per_sec",
+        "speedup_vs_scalar",
+    ]);
+    for hint in [64usize, 256, 1024] {
+        let entries: Vec<(&str, DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
+            (
+                "Grid",
+                erase_system(Grid::with_size_hint(hint)),
+                probequorum::sim::eval::universal_strategy(SequentialScan::new()),
+            ),
+            (
+                "Maj",
+                erase_system(Majority::with_size_hint(hint)),
+                typed_strategy::<Majority, _>(ProbeMaj::new()),
+            ),
+            (
+                "Tree",
+                erase_system(TreeQuorum::with_size_hint(hint)),
+                typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+            ),
+        ];
+        for (family, system, strategy) in entries {
+            let n = system.universe_size();
+
+            let mut plan = EvalPlan::new(config.section_seed("throughput")).trials(probe_trials);
+            plan.probe(&system, &strategy, ColoringSource::iid(0.3));
+            let started = Instant::now();
+            let report = engine.run(&plan);
+            let probes_wall = started.elapsed();
+            assert!(report.cells[0].estimate.mean >= 1.0);
+
+            let started = Instant::now();
+            let mut rng = config.rng();
+            let scalar = probequorum::analysis::availability::monte_carlo_failure_probability(
+                system.as_quorum_system(),
+                0.3,
+                scalar_trials,
+                &mut rng,
+            )
+            .expect("p=0.3 is a valid probability");
+            let scalar_wall = started.elapsed();
+
+            let started = Instant::now();
+            let batched = probequorum::sim::batched_failure_probability(
+                system.as_quorum_system(),
+                0.3,
+                batched_trials,
+                config.section_seed("throughput-batched"),
+            );
+            let batched_wall = started.elapsed();
+            // The two estimators must agree statistically on F_p: allow six
+            // binomial standard errors of each at its own trial count.
+            let tolerance = 6.0 * (0.25 / scalar_trials as f64).sqrt()
+                + 6.0 * (0.25 / batched_trials as f64).sqrt();
+            assert!(
+                (scalar - batched.mean).abs() < tolerance,
+                "{family}(n={n}): scalar F={scalar} vs batched F={}",
+                batched.mean
+            );
+
+            let scalar_rate = scalar_trials as f64 / scalar_wall.as_secs_f64();
+            let batched_rate = batched_trials as f64 / batched_wall.as_secs_f64();
+            let rows = [
+                ("probes/engine", probe_trials, probes_wall, None),
+                ("avail/scalar", scalar_trials, scalar_wall, None),
+                (
+                    "avail/batched",
+                    batched_trials,
+                    batched_wall,
+                    Some(batched_rate / scalar_rate),
+                ),
+            ];
+            for (path, trials, wall, speedup) in rows {
+                table.add_row(vec![
+                    family.into(),
+                    n.to_string(),
+                    path.into(),
+                    trials.to_string(),
+                    format!("{:.1}", wall.as_secs_f64() * 1_000.0),
+                    format!("{:.0}", trials as f64 / wall.as_secs_f64()),
+                    speedup.map_or_else(|| "-".into(), |s| format!("{s:.1}x")),
+                ]);
+            }
+        }
+    }
+    table
+}
+
 /// Renders Figures 1–4 of the paper as ASCII art: the Triang system with a
 /// shaded quorum, the Tree system with a shaded quorum, the HQS with the
 /// quorum of Fig. 3, and the Maj3 decision tree of Fig. 4.
@@ -1275,6 +1393,28 @@ mod tests {
         // Every scenario of the registry appears in the table.
         for scenario in ["iid(p=0.3)", "zoned(", "hetero(", "churn("] {
             assert!(a.contains(scenario), "missing scenario family {scenario}");
+        }
+    }
+
+    #[test]
+    fn throughput_covers_every_family_size_and_path() {
+        let table = throughput(&tiny());
+        // 3 families × 3 sizes × 3 paths.
+        assert_eq!(table.row_count(), 27);
+        let text = table.render();
+        for marker in [
+            "probes/engine",
+            "avail/scalar",
+            "avail/batched",
+            "Grid",
+            "Maj",
+            "Tree",
+        ] {
+            assert!(text.contains(marker), "missing {marker}");
+        }
+        for row in table.rows() {
+            let rate: f64 = row[5].parse().unwrap();
+            assert!(rate > 0.0, "non-positive throughput in {row:?}");
         }
     }
 

@@ -77,11 +77,12 @@ pub mod prelude {
     pub use quorum_sim::eval::{
         erase_system, typed_strategy, universal_strategy, ColoringSource, DynProbeStrategy,
         DynStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport, ScenarioRegistry,
-        StrategyRegistry, SystemRegistry,
+        StrategyRegistry, SystemRegistry, TrialRng,
     };
     pub use quorum_sim::{
-        estimate_expected_probes, estimate_worst_case, exhaustive_expected_probes, sweep,
-        worst_case_over_colorings, ChurnTrajectory, Estimate, FailureModel, Table,
+        batched_availability, batched_failure_probability, estimate_expected_probes,
+        estimate_worst_case, exhaustive_expected_probes, sweep, worst_case_over_colorings,
+        ChurnTrajectory, Estimate, FailureModel, Table,
     };
     pub use quorum_systems::{catalogue, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
 }

@@ -114,6 +114,39 @@ impl RunningStats {
         }
     }
 
+    /// Pushes the low `count` bits of `word` as 0/1 observations in O(1):
+    /// the word-parallel bridge from packed trial lanes (64 Monte-Carlo
+    /// indicator outcomes per `u64`) into streaming statistics, without
+    /// unpacking a single bit.
+    ///
+    /// Equivalent to calling [`RunningStats::push`] with `1.0` for every set
+    /// bit and `0.0` for every clear bit among the low `count` bits (in any
+    /// order — the closed-form Bernoulli batch is order-free and exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn push_indicator_word(&mut self, word: u64, count: usize) {
+        assert!(count <= 64, "an indicator word carries at most 64 trials");
+        if count == 0 {
+            return;
+        }
+        let ones = (word & mask_low(count)).count_ones() as u64;
+        let c = count as f64;
+        let mean = ones as f64 / c;
+        // Σ (x − mean)² for a 0/1 batch with `ones` ones.
+        let m2 =
+            ones as f64 * (1.0 - mean) * (1.0 - mean) + (count as u64 - ones) as f64 * mean * mean;
+        let batch = RunningStats {
+            count: count as u64,
+            mean,
+            m2,
+            min: if ones == count as u64 { 1.0 } else { 0.0 },
+            max: if ones > 0 { 1.0 } else { 0.0 },
+        };
+        self.merge(&batch);
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {
@@ -134,6 +167,15 @@ impl RunningStats {
         self.m2 = m2;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Mask of the low `count` bits (`count <= 64`).
+fn mask_low(count: usize) -> u64 {
+    if count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
     }
 }
 
@@ -225,6 +267,35 @@ mod tests {
         assert!((left.sample_variance() - sequential.sample_variance()).abs() < 1e-9);
         assert_eq!(left.min(), sequential.min());
         assert_eq!(left.max(), sequential.max());
+    }
+
+    #[test]
+    fn push_indicator_word_matches_bitwise_pushes() {
+        let words = [
+            (0xdead_beef_dead_beefu64, 64usize),
+            (0b1011, 4),
+            (u64::MAX, 64),
+            (0, 17),
+            (1, 1),
+            (0xffff_0000_ffff_0000, 37),
+        ];
+        let mut batched = RunningStats::new();
+        let mut scalar = RunningStats::new();
+        for (word, count) in words {
+            batched.push_indicator_word(word, count);
+            for t in 0..count {
+                scalar.push(if (word >> t) & 1 == 1 { 1.0 } else { 0.0 });
+            }
+        }
+        assert_eq!(batched.count(), scalar.count());
+        assert!((batched.mean() - scalar.mean()).abs() < 1e-12);
+        assert!((batched.sample_variance() - scalar.sample_variance()).abs() < 1e-12);
+        assert_eq!(batched.min(), scalar.min());
+        assert_eq!(batched.max(), scalar.max());
+        // Zero-count pushes are no-ops.
+        let before = batched;
+        batched.push_indicator_word(u64::MAX, 0);
+        assert_eq!(batched, before);
     }
 
     #[test]

@@ -1,7 +1,16 @@
 //! Colorings: alive/failed assignments to the elements of the universe.
+//!
+//! [`Coloring`] is stored **bit-packed**: one bit per element (set = red),
+//! in the same `u64`-word layout as [`ElementSet`]. Color lookups are bit
+//! tests, [`Coloring::red_count`] is a popcount, [`Coloring::green_set`] /
+//! [`Coloring::red_set`] are word copies, and set-vs-coloring intersections
+//! ([`Coloring::any_red_in`], [`Coloring::red_count_in`]) are word AND/popcount
+//! passes. This layer is the hottest data structure in the workspace: every
+//! Monte-Carlo trial samples a coloring and probes it.
 
 use std::fmt;
 
+use crate::set::{tail_mask, WORD_BITS};
 use crate::{ElementId, ElementSet};
 
 /// The state of a single element (processor).
@@ -48,6 +57,10 @@ impl fmt::Display for Color {
 /// A complete assignment of colors to the universe: the *input* to a probing
 /// algorithm.
 ///
+/// Packed representation: bit `e % 64` of word `e / 64` is 1 iff element `e`
+/// is red. Bits at positions `>= universe_size` (the tail of the last word)
+/// are always zero, so equality and hashing are canonical.
+///
 /// # Examples
 ///
 /// ```
@@ -61,63 +74,139 @@ impl fmt::Display for Color {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Coloring {
-    colors: Vec<Color>,
+    universe: usize,
+    red: Vec<u64>,
+}
+
+/// Number of backing words for a universe of `n` elements (always ≥ 1,
+/// matching [`ElementSet`]'s layout).
+fn word_count_for(n: usize) -> usize {
+    n.div_ceil(WORD_BITS).max(1)
 }
 
 impl Coloring {
     /// Builds a coloring from an explicit vector of colors.
     pub fn from_colors(colors: Vec<Color>) -> Self {
-        Coloring { colors }
+        let n = colors.len();
+        Coloring::from_fn(n, |e| colors[e])
     }
 
     /// Builds a coloring of `n` elements by calling `f(e)` for each element.
-    pub fn from_fn<F: FnMut(ElementId) -> Color>(n: usize, f: F) -> Self {
-        Coloring {
-            colors: (0..n).map(f).collect(),
+    pub fn from_fn<F: FnMut(ElementId) -> Color>(n: usize, mut f: F) -> Self {
+        let mut c = Coloring::all_green(n);
+        for word_index in 0..c.red.len() {
+            let start = word_index * WORD_BITS;
+            let take = WORD_BITS.min(n.saturating_sub(start));
+            let mut word = 0u64;
+            for bit in 0..take {
+                if f(start + bit).is_red() {
+                    word |= 1u64 << bit;
+                }
+            }
+            c.red[word_index] = word;
         }
+        c
     }
 
     /// The all-green coloring (no failures).
     pub fn all_green(n: usize) -> Self {
         Coloring {
-            colors: vec![Color::Green; n],
+            universe: n,
+            red: vec![0; word_count_for(n)],
         }
     }
 
     /// The all-red coloring (every processor failed).
     pub fn all_red(n: usize) -> Self {
+        let mut c = Coloring::all_green(n);
+        c.fill(Color::Red);
+        c
+    }
+
+    /// A coloring in which exactly the elements of `red` are red (one word
+    /// copy, no per-element work).
+    pub fn from_red_set(red: &ElementSet) -> Self {
         Coloring {
-            colors: vec![Color::Red; n],
+            universe: red.universe_size(),
+            red: red.words().to_vec(),
         }
     }
 
-    /// A coloring in which exactly the elements of `red` are red.
-    pub fn from_red_set(red: &ElementSet) -> Self {
-        let n = red.universe_size();
-        Coloring::from_fn(n, |e| {
-            if red.contains(e) {
-                Color::Red
-            } else {
-                Color::Green
-            }
-        })
-    }
-
-    /// A coloring in which exactly the elements of `green` are green.
+    /// A coloring in which exactly the elements of `green` are green (one
+    /// negated word copy).
     pub fn from_green_set(green: &ElementSet) -> Self {
         let n = green.universe_size();
-        Coloring::from_fn(n, |e| {
-            if green.contains(e) {
-                Color::Green
-            } else {
-                Color::Red
-            }
-        })
+        let mut c = Coloring {
+            universe: n,
+            red: green.words().iter().map(|w| !w).collect(),
+        };
+        c.mask_tail();
+        c
     }
 
     /// Number of elements in the universe.
     pub fn universe_size(&self) -> usize {
-        self.colors.len()
+        self.universe
+    }
+
+    /// The backing red-bit words (bit set = red). Tail bits beyond the
+    /// universe are zero.
+    pub fn red_words(&self) -> &[u64] {
+        &self.red
+    }
+
+    /// Number of backing words.
+    pub fn word_count(&self) -> usize {
+        self.red.len()
+    }
+
+    /// Overwrites backing word `index` with `word` (bit set = red). Bits
+    /// beyond the universe are masked off, so the zero-tail invariant holds
+    /// for any input. This is the word-fill entry point used by the failure
+    /// models' samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_red_word(&mut self, index: usize, word: u64) {
+        let masked = if index + 1 == self.red.len() {
+            word & tail_mask(self.universe)
+        } else {
+            word
+        };
+        self.red[index] = masked;
+    }
+
+    /// Marks every element of `start..end` red with masked word writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the universe or `start > end`.
+    pub fn set_red_range(&mut self, start: ElementId, end: ElementId) {
+        assert!(
+            start <= end && end <= self.universe,
+            "range {start}..{end} out of bounds for universe {}",
+            self.universe
+        );
+        if start == end {
+            return;
+        }
+        let first = start / WORD_BITS;
+        let last = (end - 1) / WORD_BITS;
+        for w in first..=last {
+            let lo = if w == first { start % WORD_BITS } else { 0 };
+            let hi = if w == last {
+                (end - 1) % WORD_BITS + 1
+            } else {
+                WORD_BITS
+            };
+            let mask = if hi - lo == WORD_BITS {
+                u64::MAX
+            } else {
+                ((1u64 << (hi - lo)) - 1) << lo
+            };
+            self.red[w] |= mask;
+        }
     }
 
     /// The color of element `e`.
@@ -126,7 +215,16 @@ impl Coloring {
     ///
     /// Panics if `e` is out of range.
     pub fn color(&self, e: ElementId) -> Color {
-        self.colors[e]
+        assert!(
+            e < self.universe,
+            "element {e} out of range for universe {}",
+            self.universe
+        );
+        if self.red[e / WORD_BITS] & (1u64 << (e % WORD_BITS)) != 0 {
+            Color::Red
+        } else {
+            Color::Green
+        }
     }
 
     /// Whether element `e` is green.
@@ -145,12 +243,27 @@ impl Coloring {
     ///
     /// Panics if `e` is out of range.
     pub fn set_color(&mut self, e: ElementId, color: Color) {
-        self.colors[e] = color;
+        assert!(
+            e < self.universe,
+            "element {e} out of range for universe {}",
+            self.universe
+        );
+        let mask = 1u64 << (e % WORD_BITS);
+        match color {
+            Color::Red => self.red[e / WORD_BITS] |= mask,
+            Color::Green => self.red[e / WORD_BITS] &= !mask,
+        }
     }
 
     /// Overwrites every element with `color`, keeping the universe size.
     pub fn fill(&mut self, color: Color) {
-        self.colors.fill(color);
+        match color {
+            Color::Green => self.red.fill(0),
+            Color::Red => {
+                self.red.fill(u64::MAX);
+                self.mask_tail();
+            }
+        }
     }
 
     /// Resizes the coloring to `n` elements, all set to `color`.
@@ -159,8 +272,14 @@ impl Coloring {
     /// what lets failure models resample into one scratch coloring per worker
     /// thread without per-trial allocations.
     pub fn reset(&mut self, n: usize, color: Color) {
-        self.colors.clear();
-        self.colors.resize(n, color);
+        self.universe = n;
+        let words = word_count_for(n);
+        self.red.clear();
+        self.red
+            .resize(words, if color.is_red() { u64::MAX } else { 0 });
+        if color.is_red() {
+            self.mask_tail();
+        }
     }
 
     /// Swaps the colors of elements `a` and `b`.
@@ -169,26 +288,34 @@ impl Coloring {
     ///
     /// Panics if either element is out of range.
     pub fn swap(&mut self, a: ElementId, b: ElementId) {
-        self.colors.swap(a, b);
+        let ca = self.color(a);
+        let cb = self.color(b);
+        if ca != cb {
+            self.set_color(a, cb);
+            self.set_color(b, ca);
+        }
     }
 
     /// Overwrites this coloring with the contents of `other`, reusing the
-    /// existing allocation when it is large enough.
+    /// existing allocation when it is large enough (a word memcpy).
     pub fn copy_from(&mut self, other: &Coloring) {
-        self.colors.clear();
-        self.colors.extend_from_slice(&other.colors);
+        self.universe = other.universe;
+        self.red.clear();
+        self.red.extend_from_slice(&other.red);
     }
 
-    /// The set of green elements.
+    /// The set of green elements (a negated word copy).
     pub fn green_set(&self) -> ElementSet {
-        let n = self.universe_size();
-        ElementSet::from_iter(n, (0..n).filter(|&e| self.is_green(e)))
+        let mut words: Vec<u64> = self.red.iter().map(|w| !w).collect();
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask(self.universe);
+        }
+        ElementSet::from_words(self.universe, words)
     }
 
-    /// The set of red elements.
+    /// The set of red elements (a word copy).
     pub fn red_set(&self) -> ElementSet {
-        let n = self.universe_size();
-        ElementSet::from_iter(n, (0..n).filter(|&e| self.is_red(e)))
+        ElementSet::from_words(self.universe, self.red.clone())
     }
 
     /// The set of elements with the given color.
@@ -201,25 +328,73 @@ impl Coloring {
 
     /// Number of green elements.
     pub fn green_count(&self) -> usize {
-        self.colors.iter().filter(|c| c.is_green()).count()
+        self.universe - self.red_count()
     }
 
-    /// Number of red elements.
+    /// Number of red elements (a popcount pass).
     pub fn red_count(&self) -> usize {
-        self.colors.iter().filter(|c| c.is_red()).count()
+        self.red.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any element of `set` is red (one word AND pass, no
+    /// intermediate set materialised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn any_red_in(&self, set: &ElementSet) -> bool {
+        self.assert_same_universe(set);
+        self.red.iter().zip(set.words()).any(|(r, s)| r & s != 0)
+    }
+
+    /// Whether every element of `set` is green (the quorum-liveness check,
+    /// one word pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn all_green_in(&self, set: &ElementSet) -> bool {
+        !self.any_red_in(set)
+    }
+
+    /// Whether every element of `set` is red (one word pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn all_red_in(&self, set: &ElementSet) -> bool {
+        self.assert_same_universe(set);
+        self.red.iter().zip(set.words()).all(|(r, s)| s & !r == 0)
+    }
+
+    /// Number of red elements inside `set` (word AND + popcount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn red_count_in(&self, set: &ElementSet) -> usize {
+        self.assert_same_universe(set);
+        self.red
+            .iter()
+            .zip(set.words())
+            .map(|(r, s)| (r & s).count_ones() as usize)
+            .sum()
     }
 
     /// Iterates over `(element, color)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ElementId, Color)> + '_ {
-        self.colors.iter().copied().enumerate()
+        (0..self.universe).map(|e| (e, self.color(e)))
     }
 
-    /// The coloring with every color flipped.
+    /// The coloring with every color flipped (a negated word copy).
     #[must_use]
     pub fn inverted(&self) -> Self {
-        Coloring {
-            colors: self.colors.iter().map(|c| c.opposite()).collect(),
-        }
+        let mut c = Coloring {
+            universe: self.universe,
+            red: self.red.iter().map(|w| !w).collect(),
+        };
+        c.mask_tail();
+        c
     }
 
     /// Enumerates all `2^n` colorings of a universe of `n` elements.
@@ -236,22 +411,35 @@ impl Coloring {
         );
         let mut out = Vec::with_capacity(1usize << n);
         for mask in 0u64..(1u64 << n) {
-            out.push(Coloring::from_fn(n, |e| {
-                if mask & (1u64 << e) != 0 {
-                    Color::Red
-                } else {
-                    Color::Green
-                }
-            }));
+            let mut c = Coloring::all_green(n);
+            c.set_red_word(0, mask);
+            out.push(c);
         }
         out
+    }
+
+    fn assert_same_universe(&self, set: &ElementSet) {
+        assert_eq!(
+            self.universe,
+            set.universe_size(),
+            "coloring universe {} does not match set universe {}",
+            self.universe,
+            set.universe_size()
+        );
+    }
+
+    fn mask_tail(&mut self) {
+        let mask = tail_mask(self.universe);
+        if let Some(last) = self.red.last_mut() {
+            *last &= mask;
+        }
     }
 }
 
 impl fmt::Display for Coloring {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for c in &self.colors {
-            write!(f, "{}", if c.is_green() { 'G' } else { 'R' })?;
+        for e in 0..self.universe {
+            write!(f, "{}", if self.is_green(e) { 'G' } else { 'R' })?;
         }
         Ok(())
     }
@@ -290,6 +478,33 @@ mod tests {
     }
 
     #[test]
+    fn tail_bits_stay_zero_across_word_boundaries() {
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 1000] {
+            let r = Coloring::all_red(n);
+            assert_eq!(r.red_count(), n, "all_red({n})");
+            assert_eq!(r.inverted(), Coloring::all_green(n));
+            let mut c = Coloring::all_green(n);
+            c.set_red_range(0, n);
+            assert_eq!(c, r, "set_red_range(0, {n}) must equal all_red");
+            c.set_red_word(c.word_count() - 1, u64::MAX);
+            assert_eq!(c.red_count(), n, "set_red_word must mask the tail");
+        }
+    }
+
+    #[test]
+    fn set_red_range_is_exact() {
+        let mut c = Coloring::all_green(200);
+        c.set_red_range(60, 140);
+        for e in 0..200 {
+            assert_eq!(c.is_red(e), (60..140).contains(&e), "element {e}");
+        }
+        assert_eq!(c.red_count(), 80);
+        let mut empty = Coloring::all_green(10);
+        empty.set_red_range(4, 4);
+        assert_eq!(empty.red_count(), 0);
+    }
+
+    #[test]
     fn from_red_and_green_sets() {
         let red = ElementSet::from_iter(6, [1, 4]);
         let c = Coloring::from_red_set(&red);
@@ -315,6 +530,23 @@ mod tests {
     fn display_renders_letters() {
         let c = Coloring::from_colors(vec![Color::Green, Color::Red, Color::Green]);
         assert_eq!(c.to_string(), "GRG");
+    }
+
+    #[test]
+    fn set_intersection_queries_match_scalar_loops() {
+        let c = Coloring::from_fn(130, |e| if e % 3 == 0 { Color::Red } else { Color::Green });
+        let set = ElementSet::from_iter(130, (0..130).filter(|e| e % 5 == 0));
+        let scalar_reds = set.iter().filter(|&e| c.is_red(e)).count();
+        assert_eq!(c.red_count_in(&set), scalar_reds);
+        assert_eq!(c.any_red_in(&set), scalar_reds > 0);
+        assert!(!c.all_green_in(&set));
+        assert!(!c.all_red_in(&set));
+        let greens = ElementSet::from_iter(130, (0..130).filter(|e| e % 3 != 0));
+        assert!(c.all_green_in(&greens));
+        let reds = ElementSet::from_iter(130, (0..130).filter(|e| e % 3 == 0));
+        assert!(c.all_red_in(&reds));
+        assert!(c.all_red_in(&ElementSet::empty(130)));
+        assert!(c.all_green_in(&ElementSet::empty(130)));
     }
 
     #[test]

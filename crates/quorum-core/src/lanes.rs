@@ -1,0 +1,203 @@
+//! Word-parallel trial lanes: 64 Monte-Carlo trials per `u64`.
+//!
+//! A *lane block* assigns each universe element one `u64` whose bit `t` is
+//! that element's boolean state in trial `t`. Monotone quorum predicates
+//! evaluated over lanes process 64 trials per word operation: intersections
+//! become `AND`, unions become `OR`, and cardinality thresholds become the
+//! bit-sliced counter of [`count_at_least`]. This is the batched evaluation
+//! device behind the fast availability estimators in `quorum-sim` (the same
+//! trick `fbas_analyzer` uses for packed quorum checks, applied across the
+//! trial axis instead of the element axis).
+
+/// Number of trials carried per lane word.
+pub const LANE_TRIALS: usize = 64;
+
+/// Lanes of "at least `threshold` of the inputs are 1", computed with a
+/// bit-sliced ripple-carry counter: bit `t` of the result is 1 iff at least
+/// `threshold` of the input lanes have bit `t` set.
+///
+/// Cost is O(`lanes.len()` · amortised-carry) word operations for 64 trials —
+/// the per-trial cardinality check of Majority-style systems collapses to
+/// roughly `n/64` word operations.
+pub fn count_at_least(lanes: &[u64], threshold: usize) -> u64 {
+    if threshold == 0 {
+        return u64::MAX;
+    }
+    if threshold > lanes.len() {
+        return 0;
+    }
+    // counter[i] holds bit i (LSB first) of the per-trial running count.
+    let mut counter: Vec<u64> =
+        Vec::with_capacity(usize::BITS as usize - lanes.len().leading_zeros() as usize);
+    for &lane in lanes {
+        let mut carry = lane;
+        for c in counter.iter_mut() {
+            if carry == 0 {
+                break;
+            }
+            let next = *c & carry;
+            *c ^= carry;
+            carry = next;
+        }
+        if carry != 0 {
+            counter.push(carry);
+        }
+    }
+    let bits = counter.len();
+    if bits < usize::BITS as usize && threshold >= (1usize << bits) {
+        return 0;
+    }
+    // Bit-sliced comparison count >= threshold, MSB to LSB.
+    let mut ge = 0u64;
+    let mut eq = u64::MAX;
+    for i in (0..bits).rev() {
+        let counter_bit = counter[i];
+        if (threshold >> i) & 1 == 0 {
+            ge |= eq & counter_bit;
+            eq &= !counter_bit;
+        } else {
+            eq &= counter_bit;
+        }
+    }
+    ge | eq
+}
+
+/// Lanes of 2-of-3 majority: bit `t` is 1 iff at least two of `a`, `b`, `c`
+/// have bit `t` set. The gate of HQS, one trial per bit.
+pub fn majority3(a: u64, b: u64, c: u64) -> u64 {
+    (a & b) | (a & c) | (b & c)
+}
+
+/// Precision of the Bernoulli lane expansion, in bits: lane probabilities
+/// are quantised to `round(p·2³²)/2³²`, a bias of at most `2⁻³³` — several
+/// orders of magnitude below the Monte-Carlo standard error of any feasible
+/// trial count, and half the random words of a full 53-bit expansion.
+pub const BERNOULLI_BITS: u32 = 32;
+
+/// Fills one lane word with 64 independent Bernoulli(`p`) draws using the
+/// binary-expansion trick: with `p = Σ bᵢ 2⁻ⁱ`, folding fresh random words
+/// `r` as `acc = r | acc` (bit 1) / `acc = r & acc` (bit 0) from the least
+/// significant expansion bit upward leaves every lane bit set with
+/// probability `round(p·2³²)/2³²` (see [`BERNOULLI_BITS`]).
+///
+/// Consumes at most [`BERNOULLI_BITS`] random words per 64 trials — and far
+/// fewer for dyadic probabilities (a single word for `p = 1/2`), since
+/// trailing zero bits of the expansion are skipped.
+pub fn bernoulli_lanes<F: FnMut() -> u64>(p: f64, mut next_word: F) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return u64::MAX;
+    }
+    const SCALE: f64 = (1u64 << BERNOULLI_BITS) as f64;
+    let mut scaled = (p * SCALE).round() as u64;
+    if scaled == 0 {
+        return 0;
+    }
+    if scaled >= 1u64 << BERNOULLI_BITS {
+        return u64::MAX;
+    }
+    // Bits below the lowest set bit are no-ops (`r & 0 = 0`) and are skipped;
+    // every position above — including zero bits, which halve the probability
+    // via `r & acc` — must consume one word.
+    let skip = scaled.trailing_zeros();
+    scaled >>= skip;
+    let mut acc = 0u64;
+    for _ in skip..BERNOULLI_BITS {
+        let r = next_word();
+        acc = if scaled & 1 == 1 { r | acc } else { r & acc };
+        scaled >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: per-trial popcount threshold.
+    fn scalar_count_at_least(lanes: &[u64], threshold: usize) -> u64 {
+        let mut out = 0u64;
+        for t in 0..LANE_TRIALS {
+            let count = lanes.iter().filter(|&&l| (l >> t) & 1 == 1).count();
+            if count >= threshold {
+                out |= 1u64 << t;
+            }
+        }
+        out
+    }
+
+    /// A tiny deterministic word stream for the tests.
+    fn stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn count_at_least_matches_scalar_reference() {
+        let mut next = stream(1);
+        for n in [1usize, 2, 3, 7, 64, 65, 130] {
+            let lanes: Vec<u64> = (0..n).map(|_| next()).collect();
+            for threshold in [0usize, 1, 2, n / 2, n.saturating_sub(1), n, n + 1] {
+                assert_eq!(
+                    count_at_least(&lanes, threshold),
+                    scalar_count_at_least(&lanes, threshold),
+                    "n={n} threshold={threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_at_least_extremes() {
+        assert_eq!(count_at_least(&[], 0), u64::MAX);
+        assert_eq!(count_at_least(&[], 1), 0);
+        assert_eq!(count_at_least(&[u64::MAX], 1), u64::MAX);
+        assert_eq!(count_at_least(&[0], 1), 0);
+    }
+
+    #[test]
+    fn majority3_is_two_of_three() {
+        assert_eq!(majority3(0b110, 0b101, 0b011), 0b111);
+        assert_eq!(majority3(0b100, 0b000, 0b001), 0b000);
+        assert_eq!(majority3(u64::MAX, 0, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn bernoulli_lanes_extremes_and_dyadic_economy() {
+        let draws = std::cell::Cell::new(0usize);
+        let mut next = stream(2);
+        let mut counted = || {
+            draws.set(draws.get() + 1);
+            next()
+        };
+        assert_eq!(bernoulli_lanes(0.0, &mut counted), 0);
+        assert_eq!(bernoulli_lanes(1.0, &mut counted), u64::MAX);
+        assert_eq!(draws.get(), 0, "extremes must not consume randomness");
+        let _ = bernoulli_lanes(0.5, &mut counted);
+        assert_eq!(draws.get(), 1, "p=1/2 is a single word draw");
+        let _ = bernoulli_lanes(0.25, &mut counted);
+        assert_eq!(draws.get(), 3, "p=1/4 is two more word draws");
+    }
+
+    #[test]
+    fn bernoulli_lanes_hit_the_requested_rate() {
+        for p in [0.1f64, 0.25, 0.3, 0.5, 0.75, 0.9] {
+            let mut next = stream(p.to_bits());
+            let mut ones = 0u64;
+            let blocks = 4_000;
+            for _ in 0..blocks {
+                ones += u64::from(bernoulli_lanes(p, &mut next).count_ones());
+            }
+            let rate = ones as f64 / (blocks * LANE_TRIALS as u64) as f64;
+            assert!((rate - p).abs() < 0.01, "p={p}: empirical lane rate {rate}");
+        }
+    }
+}

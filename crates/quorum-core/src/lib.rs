@@ -50,6 +50,7 @@ pub mod boolean;
 pub mod coloring;
 pub mod coterie;
 pub mod error;
+pub mod lanes;
 pub mod set;
 pub mod system;
 pub mod transversal;
@@ -59,7 +60,7 @@ pub use boolean::CharacteristicFunction;
 pub use coloring::{Color, Coloring};
 pub use coterie::Coterie;
 pub use error::QuorumError;
-pub use set::ElementSet;
+pub use set::{ElementSet, WORD_BITS};
 pub use system::{DynQuorumSystem, QuorumSystem};
 pub use transversal::{is_transversal, minimal_transversals};
 pub use witness::{Witness, WitnessKind};

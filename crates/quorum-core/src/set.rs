@@ -4,7 +4,23 @@ use std::fmt;
 
 use crate::ElementId;
 
-const WORD_BITS: usize = 64;
+/// Bits per backing word of the packed set/coloring layer. Shared by
+/// [`ElementSet`], [`crate::Coloring`] and the word-filling samplers in
+/// `quorum-sim`, so the layouts can never drift apart.
+pub const WORD_BITS: usize = 64;
+
+/// Mask of the in-universe bits of the last backing word: the zero-tail
+/// invariant of the whole packed layer hangs off this one function.
+pub(crate) fn tail_mask(universe: usize) -> u64 {
+    let tail = universe % WORD_BITS;
+    if universe == 0 {
+        0
+    } else if tail == 0 {
+        u64::MAX
+    } else {
+        (1u64 << tail) - 1
+    }
+}
 
 /// A set of universe elements, stored as a bitset.
 ///
@@ -80,6 +96,55 @@ impl ElementSet {
         let mut s = Self::empty(universe);
         s.insert(e);
         s
+    }
+
+    /// Builds a set directly from backing words (bit `e % 64` of word
+    /// `e / 64` = membership of element `e`). Bits beyond the universe are
+    /// masked off, so any word vector of the right length is accepted.
+    ///
+    /// This is the allocation-light bridge between the bit-packed
+    /// [`crate::Coloring`] / trial-lane layers and plain sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` does not have exactly `universe.div_ceil(64).max(1)`
+    /// entries.
+    pub fn from_words(universe: usize, mut words: Vec<u64>) -> Self {
+        let expected = universe.div_ceil(WORD_BITS).max(1);
+        assert_eq!(
+            words.len(),
+            expected,
+            "universe of {universe} needs exactly {expected} words, got {}",
+            words.len()
+        );
+        *words.last_mut().expect("at least one word") &= tail_mask(universe);
+        ElementSet { universe, words }
+    }
+
+    /// The backing words of the set (bit set = member). Tail bits beyond the
+    /// universe are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites backing word `index` with `word`, masking bits beyond the
+    /// universe so the zero-tail invariant holds for any input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_word(&mut self, index: usize, word: u64) {
+        let masked = if index + 1 == self.words.len() {
+            word & tail_mask(self.universe)
+        } else {
+            word
+        };
+        self.words[index] = masked;
+    }
+
+    /// Removes every element (word fill, keeps the allocation).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
     }
 
     /// Size of the universe this set ranges over.
@@ -279,7 +344,7 @@ impl ElementSet {
 
     /// Iterates over the elements of the set in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, next: 0 }
+        Iter::new(self)
     }
 
     /// Returns the smallest element, if any.
@@ -386,24 +451,42 @@ impl<'a> IntoIterator for &'a ElementSet {
 }
 
 /// Iterator over the elements of an [`ElementSet`] in increasing order.
+///
+/// Scans word by word with `trailing_zeros`, so iterating a sparse set costs
+/// O(words + members) rather than O(universe).
 #[derive(Debug, Clone)]
 pub struct Iter<'a> {
     set: &'a ElementSet,
-    next: usize,
+    /// Index of the word currently being drained.
+    word_index: usize,
+    /// Remaining bits of the current word.
+    word: u64,
+}
+
+impl<'a> Iter<'a> {
+    fn new(set: &'a ElementSet) -> Self {
+        Iter {
+            set,
+            word_index: 0,
+            word: set.words.first().copied().unwrap_or(0),
+        }
+    }
 }
 
 impl<'a> Iterator for Iter<'a> {
     type Item = ElementId;
 
     fn next(&mut self) -> Option<ElementId> {
-        while self.next < self.set.universe {
-            let e = self.next;
-            self.next += 1;
-            if self.set.contains(e) {
-                return Some(e);
+        while self.word == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.set.words.len() {
+                return None;
             }
+            self.word = self.set.words[self.word_index];
         }
-        None
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.word_index * WORD_BITS + bit)
     }
 }
 
@@ -549,6 +632,38 @@ mod tests {
         let s = ElementSet::from_iter(5, [1, 3]);
         assert_eq!(s.to_string(), "{1, 3}");
         assert!(format!("{s:?}").contains("n=5"));
+    }
+
+    #[test]
+    fn word_level_round_trip() {
+        let s = ElementSet::from_iter(130, [0, 63, 64, 100, 129]);
+        let rebuilt = ElementSet::from_words(130, s.words().to_vec());
+        assert_eq!(rebuilt, s);
+        // from_words masks out-of-universe bits.
+        let masked = ElementSet::from_words(70, vec![u64::MAX, u64::MAX]);
+        assert_eq!(masked, ElementSet::full(70));
+        // set_word masks the tail too.
+        let mut t = ElementSet::empty(70);
+        t.set_word(1, u64::MAX);
+        assert_eq!(t.len(), 6);
+        t.set_word(0, 0b101);
+        assert_eq!(t.to_vec(), vec![0, 2, 64, 65, 66, 67, 68, 69]);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.universe_size(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn from_words_validates_length() {
+        let _ = ElementSet::from_words(70, vec![0]);
+    }
+
+    #[test]
+    fn zero_universe_word_round_trip() {
+        let z = ElementSet::from_words(0, vec![u64::MAX]);
+        assert!(z.is_empty());
+        assert_eq!(z, ElementSet::empty(0));
     }
 
     #[test]

@@ -47,6 +47,23 @@ pub trait QuorumSystem {
         self.contains_quorum(&coloring.red_set())
     }
 
+    /// Word-parallel evaluation of the characteristic function over **64
+    /// trials at once**: `lanes[e]` carries element `e`'s liveness bit for 64
+    /// independent trials (bit `t` set = green in trial `t`), and bit `t` of
+    /// the returned word is 1 iff trial `t`'s green set contains a quorum.
+    ///
+    /// Returns `None` when the construction has no lane evaluator; batched
+    /// estimators then fall back to transposing the block and calling
+    /// [`QuorumSystem::contains_quorum`] per trial. Implementations reduce
+    /// quorum checks to AND/OR/threshold word operations over the lanes (see
+    /// [`crate::lanes`]), so the per-trial cost drops by up to 64×.
+    ///
+    /// `lanes.len()` must equal [`QuorumSystem::universe_size`].
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        let _ = lanes;
+        None
+    }
+
     /// Enumerates all minimal quorums (the minterms of the characteristic
     /// function).
     ///
@@ -115,6 +132,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for &T {
     fn max_quorum_size(&self) -> usize {
         (**self).max_quorum_size()
     }
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        (**self).green_quorum_lanes(lanes)
+    }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()
     }
@@ -136,6 +156,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for Arc<T> {
     fn max_quorum_size(&self) -> usize {
         (**self).max_quorum_size()
     }
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        (**self).green_quorum_lanes(lanes)
+    }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()
     }
@@ -156,6 +179,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for Box<T> {
     }
     fn max_quorum_size(&self) -> usize {
         (**self).max_quorum_size()
+    }
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        (**self).green_quorum_lanes(lanes)
     }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()

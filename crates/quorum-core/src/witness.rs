@@ -172,14 +172,31 @@ impl Witness {
                 system: system.universe_size(),
             });
         }
+        // The word-level checks below require the coloring to share the
+        // witness universe; report a mismatch as an error, not a panic.
+        if coloring.universe_size() != self.elements.universe_size() {
+            return Err(WitnessError::UniverseMismatch {
+                witness: self.elements.universe_size(),
+                system: coloring.universe_size(),
+            });
+        }
         let expected = self.color();
-        for e in self.elements.iter() {
-            if coloring.color(e) != expected {
-                return Err(WitnessError::WrongColor {
-                    element: e,
-                    expected,
-                });
-            }
+        // Monochromaticity is a word-level intersection test on the packed
+        // coloring; the per-element scan only runs to name the offender.
+        let monochromatic = match self.kind {
+            WitnessKind::GreenQuorum => coloring.all_green_in(&self.elements),
+            WitnessKind::RedQuorum => coloring.all_red_in(&self.elements),
+        };
+        if !monochromatic {
+            let offender = self
+                .elements
+                .iter()
+                .find(|&e| coloring.color(e) != expected)
+                .expect("a word mismatch names at least one wrong element");
+            return Err(WitnessError::WrongColor {
+                element: offender,
+                expected,
+            });
         }
         match self.kind {
             WitnessKind::GreenQuorum => {
@@ -330,6 +347,21 @@ mod tests {
                 system: 3
             }
         ));
+    }
+
+    #[test]
+    fn coloring_universe_mismatch_is_an_error_not_a_panic() {
+        // The word-level monochromaticity check requires matching universes;
+        // a mismatched coloring must surface through the Result contract.
+        let system = maj3();
+        let w = Witness::green(ElementSet::from_iter(3, [0, 1]));
+        for n in [2usize, 4] {
+            let coloring = Coloring::all_green(n);
+            assert!(matches!(
+                w.verify(&system, &coloring).unwrap_err(),
+                WitnessError::UniverseMismatch { witness: 3, .. }
+            ));
+        }
     }
 
     #[test]

@@ -123,11 +123,10 @@ impl<'a> ProbeOracle<'a> {
         &self.sequence
     }
 
-    /// The elements not probed yet, in index order.
+    /// The elements not probed yet, in index order (one word-complement pass
+    /// plus a word-skipping iteration — no per-element membership tests).
     pub fn unprobed(&self) -> Vec<ElementId> {
-        (0..self.universe_size())
-            .filter(|&e| !self.probed.contains(e))
-            .collect()
+        self.probed.complement().to_vec()
     }
 }
 

@@ -1,0 +1,209 @@
+//! Word-parallel Monte-Carlo estimators: 64 trials per word pass.
+//!
+//! The scalar availability estimator samples one coloring per trial, builds
+//! its green [`quorum_core::ElementSet`] and evaluates the characteristic
+//! function — thousands of operations per trial. The batched estimator here
+//! flips the layout: each element contributes one **64-trial lane** (bit `t`
+//! = alive in trial `t`), filled straight from the RNG by the exact
+//! binary-expansion sampler of [`quorum_core::lanes::bernoulli_lanes`], and
+//! the quorum availability check becomes AND/OR/popcount over lanes via
+//! [`quorum_core::QuorumSystem::green_quorum_lanes`]. Systems without a lane
+//! evaluator transparently fall back to a per-trial transpose + scalar check,
+//! so the estimator is total over all constructions.
+//!
+//! Determinism: block `b` of a run derives its RNG as
+//! `derive_rng(base_seed, BATCH_CELL, b)`, so results are a pure function of
+//! `(system, p, trials, base_seed)` and bit-identical for any worker-thread
+//! count — the same contract as the evaluation engine.
+
+use quorum_analysis::RunningStats;
+use quorum_core::lanes::{bernoulli_lanes, LANE_TRIALS};
+use quorum_core::{ElementSet, QuorumSystem, WORD_BITS};
+use rand::RngCore;
+use rayon::prelude::*;
+
+use crate::eval::derive_rng;
+use crate::montecarlo::Estimate;
+
+/// The reserved cell coordinate of batched availability runs in the
+/// `derive_rng(base_seed, cell, trial)` space (distinct from plan cells,
+/// which count up from zero).
+const BATCH_CELL: u64 = u64::MAX - 1;
+
+/// Estimates the availability failure probability `F_p(S)` — the probability
+/// that no live quorum exists under i.i.d. element failures with probability
+/// `p` — evaluating **64 trials per word pass**.
+///
+/// Returns the estimate over exactly `trials` trials; the result is a pure
+/// function of the arguments (thread-count invariant).
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability or `trials == 0`.
+pub fn batched_failure_probability<S>(system: &S, p: f64, trials: usize, base_seed: u64) -> Estimate
+where
+    S: QuorumSystem + Sync + ?Sized,
+{
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    assert!(trials > 0, "at least one trial is required");
+    let n = system.universe_size();
+    let green_probability = 1.0 - p;
+    let blocks: Vec<usize> = (0..trials.div_ceil(LANE_TRIALS)).collect();
+
+    // Each block is independent and pure: fill one lane per element, evaluate
+    // the quorum predicate over all 64 trials, return the failure word.
+    let block_words: Vec<(u64, usize)> = blocks
+        .into_par_iter()
+        .map(|block| {
+            let mut rng = derive_rng(base_seed, BATCH_CELL, block as u64);
+            let lanes: Vec<u64> = (0..n)
+                .map(|_| bernoulli_lanes(green_probability, || rng.next_u64()))
+                .collect();
+            let take = LANE_TRIALS.min(trials - block * LANE_TRIALS);
+            let available = system
+                .green_quorum_lanes(&lanes)
+                .unwrap_or_else(|| transpose_and_check(system, &lanes, take));
+            (!available, take)
+        })
+        .collect();
+
+    // Word-parallel fold: 64 indicator trials enter the accumulator per push.
+    let mut stats = RunningStats::new();
+    for (failure_word, take) in block_words {
+        stats.push_indicator_word(failure_word, take);
+    }
+    Estimate::from_stats(&stats)
+}
+
+/// Estimates the availability `1 − F_p(S)` with the same batched machinery.
+pub fn batched_availability<S>(system: &S, p: f64, trials: usize, base_seed: u64) -> Estimate
+where
+    S: QuorumSystem + Sync + ?Sized,
+{
+    let failure = batched_failure_probability(system, p, trials, base_seed);
+    Estimate {
+        mean: 1.0 - failure.mean,
+        std_error: failure.std_error,
+        min: 1.0 - failure.max,
+        max: 1.0 - failure.min,
+        samples: failure.samples,
+    }
+}
+
+/// Fallback for systems without a lane evaluator: transpose the block into
+/// per-trial green sets (word accumulation, one scratch set) and evaluate the
+/// scalar characteristic function per trial.
+fn transpose_and_check<S>(system: &S, lanes: &[u64], take: usize) -> u64
+where
+    S: QuorumSystem + ?Sized,
+{
+    let n = lanes.len();
+    let mut green = ElementSet::empty(n);
+    let mut available = 0u64;
+    for t in 0..take {
+        // Chunk the *element* axis by the set's backing-word width (which is
+        // independent of the trial-lane width, even though both are 64).
+        for (word_index, chunk) in lanes.chunks(WORD_BITS).enumerate() {
+            let mut word = 0u64;
+            for (bit, &lane) in chunk.iter().enumerate() {
+                word |= ((lane >> t) & 1) << bit;
+            }
+            green.set_word(word_index, word);
+        }
+        if system.contains_quorum(&green) {
+            available |= 1u64 << t;
+        }
+    }
+    available
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_analysis::availability::exact_failure_probability;
+    use quorum_systems::{Grid, Hqs, Majority, TreeQuorum};
+
+    /// A wrapper hiding the lane evaluator, to force the transpose fallback.
+    struct NoLanes<S>(S);
+
+    impl<S: QuorumSystem> QuorumSystem for NoLanes<S> {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn universe_size(&self) -> usize {
+            self.0.universe_size()
+        }
+        fn contains_quorum(&self, set: &ElementSet) -> bool {
+            self.0.contains_quorum(set)
+        }
+        fn min_quorum_size(&self) -> usize {
+            self.0.min_quorum_size()
+        }
+        fn max_quorum_size(&self) -> usize {
+            self.0.max_quorum_size()
+        }
+    }
+
+    #[test]
+    fn batched_estimate_matches_exact_enumeration() {
+        let maj = Majority::new(9).unwrap();
+        for p in [0.2, 0.4, 0.5] {
+            let exact = exact_failure_probability(&maj, p).unwrap();
+            let estimate = batched_failure_probability(&maj, p, 60_000, 11);
+            assert!(
+                (estimate.mean - exact).abs() < 0.02,
+                "p={p}: batched {} vs exact {exact}",
+                estimate.mean
+            );
+            assert_eq!(estimate.samples, 60_000);
+        }
+    }
+
+    #[test]
+    fn lane_and_fallback_paths_agree_bitwise() {
+        // Same seed ⇒ same lanes ⇒ identical estimates whether the quorum
+        // check runs word-parallel or through the transpose fallback.
+        for trials in [1usize, 63, 64, 65, 1000] {
+            let tree = TreeQuorum::new(3).unwrap();
+            let fast = batched_failure_probability(&tree, 0.3, trials, 5);
+            let slow =
+                batched_failure_probability(&NoLanes(TreeQuorum::new(3).unwrap()), 0.3, trials, 5);
+            assert_eq!(fast, slow, "trials={trials}");
+        }
+    }
+
+    #[test]
+    fn batched_availability_complements_failure() {
+        let grid = Grid::new(5, 5).unwrap();
+        let fail = batched_failure_probability(&grid, 0.3, 10_000, 3);
+        let avail = batched_availability(&grid, 0.3, 10_000, 3);
+        assert!((fail.mean + avail.mean - 1.0).abs() < 1e-12);
+        assert_eq!(fail.samples, avail.samples);
+    }
+
+    #[test]
+    fn batched_estimates_are_thread_count_invariant() {
+        let hqs = Hqs::new(3).unwrap();
+        let ambient = batched_failure_probability(&hqs, 0.4, 7_777, 21);
+        let single = crate::eval::EvalEngine::with_threads(1)
+            .install(|| batched_failure_probability(&hqs, 0.4, 7_777, 21));
+        let wide = crate::eval::EvalEngine::with_threads(8)
+            .install(|| batched_failure_probability(&hqs, 0.4, 7_777, 21));
+        assert_eq!(ambient, single);
+        assert_eq!(single, wide);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let maj = Majority::new(7).unwrap();
+        assert_eq!(batched_failure_probability(&maj, 0.0, 1_000, 1).mean, 0.0);
+        assert_eq!(batched_failure_probability(&maj, 1.0, 1_000, 1).mean, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let maj = Majority::new(3).unwrap();
+        let _ = batched_failure_probability(&maj, 0.5, 0, 1);
+    }
+}

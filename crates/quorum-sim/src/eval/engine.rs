@@ -6,23 +6,38 @@
 //! Every trial's RNG is derived as
 //! `derive_rng(base_seed, cell_index, trial_index)` — a SplitMix64-style
 //! mixing of the three coordinates — so a trial's outcome depends only on
-//! the plan and the base seed, never on scheduling. Trials of all cells are
-//! flattened into one global index space and executed by a single
-//! order-preserving `rayon` map, so the report is **bit-identical** for any
-//! thread count (including 1).
+//! the plan and the base seed, never on scheduling. Trials are grouped into
+//! fixed-size **per-cell chunks** executed by an order-preserving `rayon`
+//! map, so the report is **bit-identical** for any thread count (including
+//! 1): chunking changes only which worker computes a value, never the value.
+//!
+//! # Hot-loop layout
+//!
+//! Chunking is also the allocation story: each probe chunk owns one scratch
+//! [`Coloring`] reused across its trials (no `thread_local` machinery), and
+//! custom cells never touch a scratch coloring at all. Cell lookup is one
+//! index per chunk instead of a `partition_point` binary search per trial.
 
-use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use quorum_analysis::RunningStats;
 use quorum_core::Coloring;
-use rand::rngs::StdRng;
+use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
 use super::plan::{CellTask, EvalPlan};
 use crate::montecarlo::Estimate;
 use crate::report::Table;
+
+/// The per-trial generator used throughout the evaluation engine: a
+/// single-word SplitMix64 stream whose seeding is one store. Swapping the
+/// trial RNG is a one-line change here; every closure type below follows.
+pub type TrialRng = SmallRng;
+
+/// Trials per work chunk: big enough to amortise scratch setup and scheduling,
+/// small enough to load-balance cells of a few thousand trials across workers.
+const CHUNK_TRIALS: usize = 512;
 
 /// SplitMix64 finalizer.
 fn mix(mut z: u64) -> u64 {
@@ -35,11 +50,13 @@ fn mix(mut z: u64) -> u64 {
 /// Derives the RNG for one `(cell, trial)` coordinate of a run.
 ///
 /// The derivation is a pure function of its arguments, which is what makes
-/// engine reports independent of thread count and execution order.
-pub fn derive_rng(base_seed: u64, cell_index: u64, trial_index: u64) -> StdRng {
+/// engine reports independent of thread count and execution order. The
+/// returned [`TrialRng`] seeds with a single store, so deriving millions of
+/// per-trial generators costs three mixes and a store each.
+pub fn derive_rng(base_seed: u64, cell_index: u64, trial_index: u64) -> TrialRng {
     let cell_word = mix(cell_index.wrapping_mul(0xD1B5_4A32_D192_ED03));
     let trial_word = mix(trial_index.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7));
-    StdRng::seed_from_u64(mix(base_seed ^ cell_word ^ trial_word))
+    TrialRng::seed_from_u64(mix(base_seed ^ cell_word ^ trial_word))
 }
 
 /// Runs `trials` independent trials of `f` in parallel with deterministic
@@ -47,18 +64,30 @@ pub fn derive_rng(base_seed: u64, cell_index: u64, trial_index: u64) -> StdRng {
 ///
 /// This is the shared loop behind every Monte-Carlo estimator in the
 /// workspace: `f(trial_index, rng)` must be a pure function of its arguments
-/// for results to be reproducible.
+/// for results to be reproducible. Trials run in fixed-size chunks; results
+/// are identical for any thread count.
 pub fn trial_values<F>(trials: usize, base_seed: u64, cell_index: u64, f: F) -> Vec<f64>
 where
-    F: Fn(u64, &mut StdRng) -> f64 + Sync,
+    F: Fn(u64, &mut TrialRng) -> f64 + Sync,
 {
-    (0..trials)
+    let starts: Vec<usize> = (0..trials).step_by(CHUNK_TRIALS).collect();
+    let chunks: Vec<Vec<f64>> = starts
         .into_par_iter()
-        .map(|trial| {
-            let mut rng = derive_rng(base_seed, cell_index, trial as u64);
-            f(trial as u64, &mut rng)
+        .map(|start| {
+            let len = CHUNK_TRIALS.min(trials - start);
+            let mut out = Vec::with_capacity(len);
+            for trial in start..start + len {
+                let mut rng = derive_rng(base_seed, cell_index, trial as u64);
+                out.push(f(trial as u64, &mut rng));
+            }
+            out
         })
-        .collect()
+        .collect();
+    let mut values = Vec::with_capacity(trials);
+    for chunk in chunks {
+        values.extend(chunk);
+    }
+    values
 }
 
 /// The measured outcome of one [`EvalPlan`] cell.
@@ -161,6 +190,15 @@ pub struct EvalEngine {
     threads: Option<usize>,
 }
 
+/// One contiguous run of trials inside a single cell: the unit of parallel
+/// work. All chunks except a cell's last have exactly `CHUNK_TRIALS` trials.
+#[derive(Debug, Clone, Copy)]
+struct ChunkSpec {
+    cell_index: usize,
+    first_trial: u64,
+    trials: usize,
+}
+
 impl EvalEngine {
     /// An engine using all available worker threads.
     pub fn new() -> Self {
@@ -197,8 +235,7 @@ impl EvalEngine {
         }
     }
 
-    /// Runs every cell of `plan`, in parallel over the flattened
-    /// `(cell, trial)` space.
+    /// Runs every cell of `plan`, in parallel over per-cell trial chunks.
     ///
     /// # Panics
     ///
@@ -235,49 +272,70 @@ impl EvalEngine {
         }
     }
 
-    /// Flattens all `(cell, trial)` pairs into one parallel map.
+    /// Executes all `(cell, trial)` pairs as per-cell chunks on one parallel
+    /// map, returning every trial value in plan order.
     fn run_trials(&self, plan: &EvalPlan) -> Vec<f64> {
-        // offsets[i] = global index of cell i's first trial.
-        let mut offsets = Vec::with_capacity(plan.cells.len() + 1);
-        let mut total = 0usize;
-        for cell in &plan.cells {
-            offsets.push(total);
-            total += cell.trials;
+        let mut specs = Vec::new();
+        for (cell_index, cell) in plan.cells.iter().enumerate() {
+            let mut first_trial = 0usize;
+            while first_trial < cell.trials {
+                let len = CHUNK_TRIALS.min(cell.trials - first_trial);
+                specs.push(ChunkSpec {
+                    cell_index,
+                    first_trial: first_trial as u64,
+                    trials: len,
+                });
+                first_trial += len;
+            }
         }
-        offsets.push(total);
 
-        // One scratch coloring per worker thread: model-backed sources
-        // resample into it without a per-trial allocation.
-        thread_local! {
-            static SCRATCH: RefCell<Coloring> = RefCell::new(Coloring::all_green(0));
-        }
-
-        (0..total)
+        let chunk_values: Vec<Vec<f64>> = specs
             .into_par_iter()
-            .map(|global| {
-                // The cell owning this global trial index.
-                let cell_index = offsets.partition_point(|&o| o <= global) - 1;
-                let trial_index = (global - offsets[cell_index]) as u64;
-                let cell = &plan.cells[cell_index];
-                let mut rng = derive_rng(plan.base_seed, cell_index as u64, trial_index);
+            .map(|spec| {
+                let cell = &plan.cells[spec.cell_index];
+                let mut out = Vec::with_capacity(spec.trials);
                 match &cell.task {
                     CellTask::Probe {
                         system,
                         strategy,
                         source,
-                    } => SCRATCH.with(|scratch| {
-                        let mut coloring = scratch.borrow_mut();
-                        source.sample_into(
-                            system.universe_size(),
-                            trial_index,
-                            &mut rng,
-                            &mut coloring,
-                        );
-                        strategy.run(system.as_ref(), &coloring, &mut rng).probes as f64
-                    }),
-                    CellTask::Custom { sample } => sample(trial_index, &mut rng),
+                    } => {
+                        // One scratch coloring per chunk, resampled in place:
+                        // a single allocation amortised over the whole chunk.
+                        let mut scratch = Coloring::all_green(system.universe_size());
+                        for offset in 0..spec.trials {
+                            let trial_index = spec.first_trial + offset as u64;
+                            let mut rng =
+                                derive_rng(plan.base_seed, spec.cell_index as u64, trial_index);
+                            source.sample_into(
+                                system.universe_size(),
+                                trial_index,
+                                &mut rng,
+                                &mut scratch,
+                            );
+                            out.push(
+                                strategy.run(system.as_ref(), &scratch, &mut rng).probes as f64,
+                            );
+                        }
+                    }
+                    // Custom cells pay no scratch-coloring setup at all.
+                    CellTask::Custom { sample } => {
+                        for offset in 0..spec.trials {
+                            let trial_index = spec.first_trial + offset as u64;
+                            let mut rng =
+                                derive_rng(plan.base_seed, spec.cell_index as u64, trial_index);
+                            out.push(sample(trial_index, &mut rng));
+                        }
+                    }
                 }
+                out
             })
-            .collect()
+            .collect();
+
+        let mut values = Vec::with_capacity(plan.cells.iter().map(|c| c.trials).sum());
+        for chunk in chunk_values {
+            values.extend(chunk);
+        }
+        values
     }
 }

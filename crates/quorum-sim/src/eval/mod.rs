@@ -17,8 +17,8 @@
 //!    [`EvalPlan::matrix`] sweeps them under.
 //! 3. **Engine** ([`engine`]): rayon-parallel execution of all trials with
 //!    deterministic per-trial seed derivation
-//!    (`base_seed, cell, trial → StdRng`), so reports are **bit-identical**
-//!    for any thread count.
+//!    (`base_seed, cell, trial → TrialRng`, a one-store SplitMix64 seed), so
+//!    reports are **bit-identical** for any thread count.
 //!
 //! # Example
 //!
@@ -52,7 +52,9 @@ pub use dynsys::{
     erase_system, typed_strategy, universal_strategy, DynProbeStrategy, DynStrategy, DynSystem,
     EvalSystem, ForAny, ForSystem,
 };
-pub use engine::{derive_rng, fit_points, trial_values, CellReport, EvalEngine, EvalReport};
+pub use engine::{
+    derive_rng, fit_points, trial_values, CellReport, EvalEngine, EvalReport, TrialRng,
+};
 pub use plan::{ColoringSource, EvalCell, EvalPlan};
 pub use registry::{
     ScenarioEntry, ScenarioRegistry, StrategyEntry, StrategyRegistry, SystemEntry, SystemRegistry,

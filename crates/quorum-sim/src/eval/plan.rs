@@ -4,13 +4,13 @@
 use std::sync::Arc;
 
 use quorum_core::Coloring;
-use rand::rngs::StdRng;
 
 use super::dynsys::{DynProbeStrategy, DynSystem};
+use super::engine::TrialRng;
 use crate::{ChurnTrajectory, FailureModel};
 
 /// A coloring generator: `generate(trial_index, cell_rng)`.
-pub type ColoringGenerator = Arc<dyn Fn(u64, &mut StdRng) -> Coloring + Send + Sync>;
+pub type ColoringGenerator = Arc<dyn Fn(u64, &mut TrialRng) -> Coloring + Send + Sync>;
 
 /// Where a cell's colorings come from.
 #[derive(Clone)]
@@ -90,7 +90,7 @@ impl ColoringSource {
     /// cell's trial RNG.
     pub fn generator<F>(label: impl Into<String>, generate: F) -> Self
     where
-        F: Fn(&mut StdRng) -> Coloring + Send + Sync + 'static,
+        F: Fn(&mut TrialRng) -> Coloring + Send + Sync + 'static,
     {
         ColoringSource::Generator {
             label: label.into(),
@@ -105,7 +105,7 @@ impl ColoringSource {
     /// numbers); each cell's own RNG still drives strategy randomness.
     pub fn paired_generator<F>(label: impl Into<String>, pair_seed: u64, generate: F) -> Self
     where
-        F: Fn(&mut StdRng) -> Coloring + Send + Sync + 'static,
+        F: Fn(&mut TrialRng) -> Coloring + Send + Sync + 'static,
     {
         ColoringSource::Generator {
             label: label.into(),
@@ -126,7 +126,7 @@ impl ColoringSource {
 
     /// Samples the coloring of trial `trial_index` for a universe of `n`
     /// elements.
-    pub fn sample(&self, n: usize, trial_index: u64, rng: &mut StdRng) -> Coloring {
+    pub fn sample(&self, n: usize, trial_index: u64, rng: &mut TrialRng) -> Coloring {
         match self {
             ColoringSource::Model(model) => model.sample_at(n, trial_index, rng),
             ColoringSource::Generator { generate, .. } => generate(trial_index, rng),
@@ -137,7 +137,7 @@ impl ColoringSource {
     /// scratch coloring. Model-backed sources are allocation-free (the
     /// engine's hot loop); custom generators still allocate their coloring
     /// and move it into the scratch.
-    pub fn sample_into(&self, n: usize, trial_index: u64, rng: &mut StdRng, out: &mut Coloring) {
+    pub fn sample_into(&self, n: usize, trial_index: u64, rng: &mut TrialRng, out: &mut Coloring) {
         match self {
             ColoringSource::Model(model) => model.sample_into(n, trial_index, rng, out),
             ColoringSource::Generator { generate, .. } => *out = generate(trial_index, rng),
@@ -146,7 +146,7 @@ impl ColoringSource {
 }
 
 /// A custom per-trial Monte-Carlo sampler: `sample(trial_index, rng)`.
-pub type CustomSample = Arc<dyn Fn(u64, &mut StdRng) -> f64 + Send + Sync>;
+pub type CustomSample = Arc<dyn Fn(u64, &mut TrialRng) -> f64 + Send + Sync>;
 
 /// What one cell measures per trial.
 #[derive(Clone)]
@@ -350,7 +350,7 @@ impl EvalPlan {
     /// Panics if `trials == 0`.
     pub fn custom<F>(&mut self, label: impl Into<String>, trials: usize, sample: F) -> &mut Self
     where
-        F: Fn(u64, &mut StdRng) -> f64 + Send + Sync + 'static,
+        F: Fn(u64, &mut TrialRng) -> f64 + Send + Sync + 'static,
     {
         assert!(trials > 0, "at least one trial is required");
         self.cells.push(EvalCell {

@@ -341,8 +341,9 @@ fn zone_count_for(n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    use super::super::engine::TrialRng;
 
     /// The registry and `quorum_systems::catalogue()` are two views of the
     /// same family inventory; layering prevents sharing code (the catalogue's
@@ -396,7 +397,7 @@ mod tests {
     fn scenario_registry_builds_every_scenario() {
         let scenarios = ScenarioRegistry::standard();
         assert_eq!(scenarios.entries().len(), 9);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = TrialRng::seed_from_u64(1);
         for entry in scenarios.entries() {
             for n in [9usize, 21, 64] {
                 let source = (entry.build)(n, 42);

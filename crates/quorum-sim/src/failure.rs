@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use quorum_analysis::availability::{zone_of, zoned_params};
-use quorum_core::{Color, Coloring};
+use quorum_core::{Color, Coloring, WORD_BITS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -330,12 +330,11 @@ impl FailureModel {
                     "cannot place {reds} red elements in a universe of {n}"
                 );
                 // Partial Fisher–Yates over the first `reds` positions: start
-                // with the reds packed into the prefix and shuffle only the
-                // slots a red can occupy. No index vector, no allocation.
+                // with the reds packed into the prefix (one masked word-range
+                // write) and shuffle only the slots a red can occupy. No
+                // index vector, no allocation.
                 out.reset(n, Color::Green);
-                for e in 0..*reds {
-                    out.set_color(e, Color::Red);
-                }
+                out.set_red_range(0, *reds);
                 for i in 0..*reds {
                     let j = rng.gen_range(i..n);
                     out.swap(i, j);
@@ -357,10 +356,18 @@ impl FailureModel {
                     probs.len()
                 );
                 out.reset(n, Color::Green);
-                for (e, &p) in probs.iter().enumerate() {
-                    if rng.gen_bool(p) {
-                        out.set_color(e, Color::Red);
+                // Per-element thresholds accumulated into whole words: one
+                // masked word write per 64 elements instead of 64 bit writes.
+                for word_index in 0..out.word_count() {
+                    let start = word_index * WORD_BITS;
+                    let take = WORD_BITS.min(n - start.min(n));
+                    let mut word = 0u64;
+                    for (bit, &p) in probs[start..start + take].iter().enumerate() {
+                        if draw_red(rng, p) {
+                            word |= 1u64 << bit;
+                        }
                     }
+                    out.set_red_word(word_index, word);
                 }
             }
             FailureModel::Zoned { zone_count, q, p } => {
@@ -387,12 +394,11 @@ impl FailureModel {
                         end
                     };
                     if rng.gen_bool(*q) {
-                        for member in e..zone_end {
-                            out.set_color(member, Color::Red);
-                        }
+                        // Wholesale failure: one masked word-range write.
+                        out.set_red_range(e, zone_end);
                     } else {
                         for member in e..zone_end {
-                            if rng.gen_bool(*p) {
+                            if draw_red(rng, *p) {
                                 out.set_color(member, Color::Red);
                             }
                         }
@@ -434,12 +440,46 @@ impl FailureModel {
     }
 }
 
-/// Writes an i.i.d.(`p`) sample over an all-green coloring.
+/// The `next_u64() < threshold` cutoff realising a Bernoulli(`p`) draw for
+/// `p < 1` (probability `⌊p·2⁶⁴⌋ / 2⁶⁴`, exact to within one part in `2⁶⁴`).
+#[inline]
+fn bernoulli_threshold(p: f64) -> u64 {
+    (p * ((u64::MAX as f64) + 1.0)) as u64
+}
+
+/// One Bernoulli(`p`) draw as an integer threshold compare — no `f64`
+/// conversion of the random word on the hot path.
+#[inline]
+fn draw_red<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p >= 1.0 {
+        true
+    } else {
+        rng.next_u64() < bernoulli_threshold(p)
+    }
+}
+
+/// Writes an i.i.d.(`p`) sample over an all-green coloring: per-element
+/// threshold compares accumulated into whole words, one masked word write per
+/// 64 elements.
 fn sample_iid_into<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R, out: &mut Coloring) {
-    for e in 0..n {
-        if rng.gen_bool(p) {
-            out.set_color(e, Color::Red);
+    if p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        out.fill(Color::Red);
+        return;
+    }
+    let threshold = bernoulli_threshold(p);
+    for word_index in 0..out.word_count() {
+        let start = word_index * WORD_BITS;
+        let take = WORD_BITS.min(n - start.min(n));
+        let mut word = 0u64;
+        for bit in 0..take {
+            if rng.next_u64() < threshold {
+                word |= 1u64 << bit;
+            }
         }
+        out.set_red_word(word_index, word);
     }
 }
 

@@ -10,8 +10,9 @@
 //! evaluation engine. [`eval::EvalPlan`]s batch `(system, strategy,
 //! coloring-source)` cells; [`eval::EvalEngine`] executes all their trials
 //! on a rayon pool with deterministic per-trial seed derivation
-//! (`base_seed, cell, trial → StdRng`), so every report is bit-identical
-//! regardless of thread count. The classic entry points below
+//! (`base_seed, cell, trial → TrialRng`), so every report is bit-identical
+//! regardless of thread count. The [`batch`] module adds word-parallel
+//! estimators that evaluate 64 trials per word pass for monotone systems. The classic entry points below
 //! ([`estimate_expected_probes`], [`worst_case_over_colorings`],
 //! [`sweep`], …) are thin wrappers over the same engine.
 //!
@@ -40,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod eval;
 pub mod experiment;
 pub mod failure;
@@ -47,9 +49,10 @@ pub mod montecarlo;
 pub mod report;
 pub mod worstcase;
 
+pub use batch::{batched_availability, batched_failure_probability};
 pub use eval::{
     ColoringSource, DynProbeStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport,
-    ScenarioRegistry, StrategyRegistry, SystemRegistry,
+    ScenarioRegistry, StrategyRegistry, SystemRegistry, TrialRng,
 };
 pub use experiment::{sweep, SweepPoint, SweepRow};
 pub use failure::{ChurnTrajectory, FailureModel};

@@ -201,6 +201,27 @@ impl QuorumSystem for CrumblingWalls {
         false
     }
 
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        debug_assert_eq!(lanes.len(), self.n);
+        // Bottom-up over rows, 64 trials per pass: "row full" is an AND over
+        // its element lanes, "row represented" an OR; a quorum exists when
+        // some row is full with every row below it represented.
+        let mut result = 0u64;
+        let mut reps_below_all = u64::MAX;
+        for row in (0..self.row_count()).rev() {
+            let start = self.offsets[row];
+            let mut full = u64::MAX;
+            let mut rep = 0u64;
+            for &lane in &lanes[start..start + self.widths[row]] {
+                full &= lane;
+                rep |= lane;
+            }
+            result |= full & reps_below_all;
+            reps_below_all &= rep;
+        }
+        Some(result)
+    }
+
     fn min_quorum_size(&self) -> usize {
         (0..self.row_count())
             .map(|j| self.widths[j] + (self.row_count() - 1 - j))

@@ -109,6 +109,32 @@ impl QuorumSystem for Grid {
         (0..self.cols).any(|c| (0..self.rows).all(|r| set.contains(self.element(r, c))))
     }
 
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        debug_assert_eq!(lanes.len(), self.rows * self.cols);
+        // 64 trials per pass: a full row/column is an AND over its element
+        // lanes, "any row" / "any column" an OR over the row/column lanes.
+        let mut any_row = 0u64;
+        for r in 0..self.rows {
+            let mut row = u64::MAX;
+            for c in 0..self.cols {
+                row &= lanes[self.element(r, c)];
+            }
+            any_row |= row;
+        }
+        if any_row == 0 {
+            return Some(0);
+        }
+        let mut any_col = 0u64;
+        for c in 0..self.cols {
+            let mut col = u64::MAX;
+            for r in 0..self.rows {
+                col &= lanes[self.element(r, c)];
+            }
+            any_col |= col;
+        }
+        Some(any_row & any_col)
+    }
+
     fn min_quorum_size(&self) -> usize {
         self.rows + self.cols - 1
     }

@@ -135,6 +135,19 @@ impl Hqs {
         }
         self.eval_node(start + 2 * third, sub_height - 1, leaf_value)
     }
+
+    /// The 2-of-3 recursion over 64 trial lanes at once: every gate becomes
+    /// one [`quorum_core::lanes::majority3`] word expression.
+    fn eval_node_lanes(&self, start: ElementId, sub_height: usize, lanes: &[u64]) -> u64 {
+        if sub_height == 0 {
+            return lanes[start];
+        }
+        let third = 3usize.pow(sub_height as u32 - 1);
+        let a = self.eval_node_lanes(start, sub_height - 1, lanes);
+        let b = self.eval_node_lanes(start + third, sub_height - 1, lanes);
+        let c = self.eval_node_lanes(start + 2 * third, sub_height - 1, lanes);
+        quorum_core::lanes::majority3(a, b, c)
+    }
 }
 
 impl QuorumSystem for Hqs {
@@ -148,6 +161,11 @@ impl QuorumSystem for Hqs {
 
     fn contains_quorum(&self, set: &ElementSet) -> bool {
         self.evaluate_with(|leaf| set.contains(leaf))
+    }
+
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        debug_assert_eq!(lanes.len(), self.n);
+        Some(self.eval_node_lanes(0, self.height, lanes))
     }
 
     fn min_quorum_size(&self) -> usize {

@@ -178,4 +178,44 @@ mod tests {
         let entry = &catalogue()[0];
         assert!(format!("{entry:?}").contains("Maj"));
     }
+
+    /// Every family's word-parallel lane evaluator must agree with the scalar
+    /// characteristic function, trial by trial, across word-boundary sizes.
+    #[test]
+    fn lane_evaluators_match_contains_quorum() {
+        use quorum_core::ElementSet;
+
+        // A small deterministic word stream (SplitMix64).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+
+        for entry in catalogue() {
+            for hint in [5usize, 16, 40, 70, 130] {
+                let system = (entry.build)(hint);
+                let n = system.universe_size();
+                for _ in 0..4 {
+                    let lanes: Vec<u64> = (0..n).map(|_| next()).collect();
+                    let lane_result = system
+                        .green_quorum_lanes(&lanes)
+                        .unwrap_or_else(|| panic!("{} has no lane evaluator", entry.family));
+                    for t in 0..64 {
+                        let green =
+                            ElementSet::from_iter(n, (0..n).filter(|&e| (lanes[e] >> t) & 1 == 1));
+                        assert_eq!(
+                            (lane_result >> t) & 1 == 1,
+                            system.contains_quorum(&green),
+                            "{} n={n} trial {t} diverged from the scalar evaluation",
+                            entry.family
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

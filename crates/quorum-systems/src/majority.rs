@@ -80,6 +80,16 @@ impl QuorumSystem for Majority {
         set.len() >= self.quorum_size()
     }
 
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        debug_assert_eq!(lanes.len(), self.n);
+        // 64 trials per pass: the cardinality threshold becomes a bit-sliced
+        // ripple-carry count over the element lanes.
+        Some(quorum_core::lanes::count_at_least(
+            lanes,
+            self.quorum_size(),
+        ))
+    }
+
     fn min_quorum_size(&self) -> usize {
         self.quorum_size()
     }

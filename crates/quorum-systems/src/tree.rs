@@ -140,6 +140,17 @@ impl TreeQuorum {
         let right = self.subtree_contains_quorum(r, set);
         (set.contains(v) && (left || right)) || (left && right)
     }
+
+    /// The quorum recursion evaluated over 64 trial lanes at once: each gate
+    /// is three word operations instead of three boolean ones.
+    fn subtree_quorum_lanes(&self, v: ElementId, lanes: &[u64]) -> u64 {
+        if self.is_leaf(v) {
+            return lanes[v];
+        }
+        let left = self.subtree_quorum_lanes(2 * v + 1, lanes);
+        let right = self.subtree_quorum_lanes(2 * v + 2, lanes);
+        (lanes[v] & (left | right)) | (left & right)
+    }
 }
 
 impl QuorumSystem for TreeQuorum {
@@ -153,6 +164,11 @@ impl QuorumSystem for TreeQuorum {
 
     fn contains_quorum(&self, set: &ElementSet) -> bool {
         self.subtree_contains_quorum(0, set)
+    }
+
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        debug_assert_eq!(lanes.len(), self.n);
+        Some(self.subtree_quorum_lanes(0, lanes))
     }
 
     fn min_quorum_size(&self) -> usize {

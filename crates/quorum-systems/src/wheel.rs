@@ -83,6 +83,18 @@ impl QuorumSystem for Wheel {
         }
     }
 
+    fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
+        debug_assert_eq!(lanes.len(), self.n);
+        // Hub + any rim element, or the whole rim: two OR/AND folds.
+        let mut any_rim = 0u64;
+        let mut all_rim = u64::MAX;
+        for &lane in &lanes[1..] {
+            any_rim |= lane;
+            all_rim &= lane;
+        }
+        Some((lanes[0] & any_rim) | all_rim)
+    }
+
     fn min_quorum_size(&self) -> usize {
         2
     }

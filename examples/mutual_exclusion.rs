@@ -33,6 +33,17 @@ fn main() -> Result<(), QuorumError> {
         churn.stationary_red_fraction()
     );
 
+    // The stationary distribution of independent fail/repair chains is iid
+    // across nodes, so the word-parallel batched estimator (64 trials per
+    // word pass) predicts the long-run fraction of rounds with no live
+    // quorum before the simulation runs.
+    let predicted_outage =
+        batched_failure_probability(&wall, churn.stationary_red_fraction(), 200_000, 4242);
+    println!(
+        "predicted outage fraction (batched estimator, 200k trials): {:.4} ± {:.4}\n",
+        predicted_outage.mean, predicted_outage.std_error
+    );
+
     let cluster = Cluster::new(n, NetworkConfig::lan(), 4242);
     let mut mutex = QuorumMutex::new(wall, cluster, ProbeCw::new());
     let mut rng = StdRng::seed_from_u64(99);
@@ -68,6 +79,11 @@ fn main() -> Result<(), QuorumError> {
     }
     println!("{table}");
     println!("attempts rejected because no live quorum existed: {rejected_no_quorum}");
+    println!(
+        "observed outage fraction: {:.4} (batched prediction: {:.4})",
+        rejected_no_quorum as f64 / churn.len() as f64,
+        predicted_outage.mean
+    );
     println!("attempts rejected because of contention:          {rejected_contended}");
     println!(
         "total probe RPCs issued: {} over {} virtual time",

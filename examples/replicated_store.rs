@@ -31,6 +31,16 @@ fn main() -> Result<(), QuorumError> {
         churn.stationary_red_fraction()
     );
 
+    // The stationary churn marginal is iid across replicas, so the
+    // word-parallel batched estimator predicts the long-run fraction of
+    // rounds in which reads/writes must block, before any RPC is simulated.
+    let predicted_outage =
+        batched_failure_probability(&tree, churn.stationary_red_fraction(), 200_000, 77);
+    println!(
+        "predicted outage fraction (batched estimator, 200k trials): {:.4} ± {:.4}\n",
+        predicted_outage.mean, predicted_outage.std_error
+    );
+
     let cluster = Cluster::new(n, NetworkConfig::wan(), 77);
     let mut register = ReplicatedRegister::new(tree, cluster, ProbeTree::new());
     let mut rng = StdRng::seed_from_u64(123);
@@ -83,6 +93,11 @@ fn main() -> Result<(), QuorumError> {
         reads_blocked.to_string(),
     ]);
     println!("{table}");
+    println!(
+        "observed blocked fraction: {:.4} (batched prediction: {:.4})",
+        (writes_blocked + reads_blocked) as f64 / churn.len() as f64,
+        predicted_outage.mean
+    );
     println!("stale reads observed: {stale_reads} (must be 0 — quorum intersection)");
     println!(
         "probe RPCs issued: {}, virtual time elapsed: {}",

@@ -3,7 +3,7 @@
 //! with the legacy estimator entry points.
 
 use probequorum::prelude::*;
-use probequorum::sim::eval::trial_values;
+use probequorum::sim::eval::{trial_values, TrialRng};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -90,7 +90,7 @@ fn base_seed_changes_results() {
 /// The shared trial runner is deterministic and order-preserving.
 #[test]
 fn trial_values_are_deterministic() {
-    let f = |trial: u64, rng: &mut StdRng| {
+    let f = |trial: u64, rng: &mut TrialRng| {
         use rand::Rng;
         trial as f64 + rng.gen_range(0.0f64..1.0)
     };
