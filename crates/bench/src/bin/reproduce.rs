@@ -11,8 +11,8 @@
 //!
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
-//! `availability`, `zoned`, `churn`, `scenario-matrix`, `throughput`,
-//! `figures`, `all`.
+//! `availability`, `zoned`, `churn`, `scenario-matrix`, `workload`,
+//! `throughput`, `figures`, `all`.
 //!
 //! `throughput` measures trials/second on the hot paths (engine probes,
 //! scalar vs word-parallel batched availability); being wall-clock data its
@@ -31,7 +31,7 @@ use std::time::Instant;
 use bench::{
     availability_table, churn, crumbling_walls, figures, hqs_exponent, hqs_randomized,
     lemmas_table, lower_bounds, maj3, randomized, scenario_matrix, table1, throughput,
-    tree_exponent, zoned, BenchArtifact, ReproConfig,
+    tree_exponent, workload, zoned, BenchArtifact, ReproConfig,
 };
 use probequorum::prelude::Table;
 
@@ -175,6 +175,13 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
             "Scenario matrix: every system × strategy × failure scenario",
             plain(scenario_matrix),
         ),
+        "workload" => timed(
+            config,
+            artifact,
+            "workload",
+            "Workload: concurrent sessions, service queues and load-aware probing",
+            plain(workload),
+        ),
         "throughput" => {
             let started = Instant::now();
             eprintln!("== Throughput: trials/second on the hot paths ==\n");
@@ -206,6 +213,7 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
                 "zoned",
                 "churn",
                 "scenario-matrix",
+                "workload",
                 "figures",
             ] {
                 run_experiment(experiment, config, artifact);
@@ -232,7 +240,7 @@ fn main() {
             eprintln!(
                 "available: table1 maj3 crumbling-walls tree-exponent hqs-exponent randomized \
                  lower-bounds hqs-randomized lemmas availability zoned churn scenario-matrix \
-                 throughput figures all"
+                 workload throughput figures all"
             );
             std::process::exit(2);
         }

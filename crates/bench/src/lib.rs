@@ -1056,6 +1056,70 @@ pub fn scenario_matrix(config: &ReproConfig) -> Table {
     config.engine().run(&plan).to_table()
 }
 
+/// The heavy-traffic **workload** experiment: three system families under
+/// {paper strategy, least-loaded, power-of-two} × {open-loop Poisson,
+/// closed-loop think-time} arrivals × two failure scenarios, executed on the
+/// cluster's discrete-event workload engine.
+///
+/// Each row reports virtual-time throughput, p50/p95/p99 session latency,
+/// mean probes per session and the per-node load-imbalance factor. All
+/// numbers are functions of virtual time and the seed — **no wall clock** —
+/// so the table is bit-identical for any `REPRO_THREADS` and belongs on
+/// stdout alongside the probe-complexity tables.
+///
+/// Sessions per cell are `REPRO_TRIALS` **capped at 1000** (36 discrete-event
+/// simulations per run; quantiles converge long before that). The `sessions`
+/// column of every row records the count actually used.
+pub fn workload(config: &ReproConfig) -> Table {
+    let sessions = config.trials.clamp(1, 1_000);
+
+    let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
+        (
+            erase_system(Majority::new(31).unwrap()),
+            typed_strategy::<Majority, _>(ProbeMaj::new()),
+        ),
+        (
+            erase_system(CrumblingWalls::triang(8).unwrap()),
+            typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
+        ),
+        (
+            erase_system(TreeQuorum::new(4).unwrap()),
+            typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+        ),
+    ];
+    // One independent and one correlated failure regime: load-aware probing
+    // must help (or at least not hurt) under both.
+    let scenarios = [
+        ColoringSource::iid(0.05),
+        ColoringSource::zoned_correlated(6, 0.2, 0.75),
+    ];
+    let workloads = standard_workloads(sessions);
+
+    let mut cells = Vec::new();
+    for (system, paper) in &systems {
+        for strategy in [
+            WorkloadStrategy::Paper(Arc::clone(paper)),
+            WorkloadStrategy::LeastLoaded,
+            WorkloadStrategy::PowerOfTwo,
+        ] {
+            for (name, workload_config) in &workloads {
+                for source in &scenarios {
+                    cells.push(WorkloadCell {
+                        system: system.clone(),
+                        strategy: strategy.clone(),
+                        source: source.clone(),
+                        workload: (*name).to_string(),
+                        config: *workload_config,
+                    });
+                }
+            }
+        }
+    }
+
+    let outcomes = run_workload_cells(&config.engine(), config.section_seed("workload"), &cells);
+    outcomes_table(&outcomes)
+}
+
 /// Measures trials/second through the workspace's hottest paths, for the
 /// Grid, Majority and Tree families at universe sizes ≈ {64, 256, 1024}:
 ///
@@ -1393,6 +1457,51 @@ mod tests {
         // Every scenario of the registry appears in the table.
         for scenario in ["iid(p=0.3)", "zoned(", "hetero(", "churn("] {
             assert!(a.contains(scenario), "missing scenario family {scenario}");
+        }
+    }
+
+    #[test]
+    fn workload_covers_the_full_matrix_and_is_thread_invariant() {
+        // 3 systems × 3 strategies × 2 arrival models × 2 scenarios.
+        let single = ReproConfig {
+            trials: 120,
+            seed: 7,
+            threads: 1,
+        };
+        let parallel = ReproConfig {
+            trials: 120,
+            seed: 7,
+            threads: 4,
+        };
+        let a = workload(&single);
+        assert_eq!(a.row_count(), 36);
+        let text = a.render();
+        for marker in [
+            "Probe_Maj",
+            "Probe_CW",
+            "Probe_Tree",
+            "LeastLoaded",
+            "PowerOfTwo",
+            "open-poisson",
+            "closed-loop",
+            "iid(p=0.05)",
+            "zoned(",
+        ] {
+            assert!(text.contains(marker), "missing {marker}");
+        }
+        let b = workload(&parallel);
+        assert_eq!(a.render(), b.render(), "workload diverged across threads");
+        // Latency columns are ordered and throughput is positive in each row:
+        // columns are (.., sessions, ok_rate, thr, p50, p95, p99, probes, imb).
+        for row in a.rows() {
+            let thr: f64 = row[7].parse().unwrap();
+            let p50: f64 = row[8].parse().unwrap();
+            let p95: f64 = row[9].parse().unwrap();
+            let p99: f64 = row[10].parse().unwrap();
+            let imbalance: f64 = row[12].parse().unwrap();
+            assert!(thr > 0.0, "non-positive throughput in {row:?}");
+            assert!(p50 <= p95 && p95 <= p99, "unordered quantiles in {row:?}");
+            assert!(imbalance >= 1.0, "impossible imbalance in {row:?}");
         }
     }
 

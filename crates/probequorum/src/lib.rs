@@ -59,10 +59,13 @@ pub use quorum_systems as systems;
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use quorum_analysis::{
-        availability::exact_failure_probability, bounds, fit_power_law, lemmas, PowerLawFit,
-        RunningStats,
+        availability::exact_failure_probability, bounds, fit_power_law, lemmas, load_imbalance,
+        LogHistogram, PowerLawFit, RunningStats,
     };
-    pub use quorum_cluster::{Cluster, NetworkConfig, SimTime};
+    pub use quorum_cluster::{
+        run_workload, ArrivalProcess, Cluster, Distribution, LoadLedger, NetworkConfig,
+        SessionPlan, SimTime, WorkloadConfig, WorkloadReport,
+    };
     pub use quorum_core::{
         Color, Coloring, Coterie, ElementId, ElementSet, QuorumError, QuorumSystem, Witness,
         WitnessKind,
@@ -80,9 +83,11 @@ pub mod prelude {
         StrategyRegistry, SystemRegistry, TrialRng,
     };
     pub use quorum_sim::{
-        batched_availability, batched_failure_probability, estimate_expected_probes,
-        estimate_worst_case, exhaustive_expected_probes, sweep, worst_case_over_colorings,
-        ChurnTrajectory, Estimate, FailureModel, Table,
+        batched_availability, batched_failure_probability, closed_loop_workload,
+        estimate_expected_probes, estimate_worst_case, exhaustive_expected_probes,
+        open_poisson_workload, outcomes_table, run_workload_cells, standard_workloads, sweep,
+        worst_case_over_colorings, ChurnTrajectory, Estimate, FailureModel, Table, WorkloadCell,
+        WorkloadOutcome, WorkloadStrategy,
     };
     pub use quorum_systems::{catalogue, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
 }

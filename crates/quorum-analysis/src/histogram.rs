@@ -1,0 +1,310 @@
+//! Fixed-bucket logarithmic histograms for latency quantiles.
+//!
+//! The workload engine measures millions of virtual-time latencies per run;
+//! storing them all to compute p50/p95/p99 would dwarf the simulation state.
+//! [`LogHistogram`] keeps a fixed array of buckets whose widths grow
+//! geometrically (32 sub-buckets per power of two), so recording is O(1),
+//! memory is constant, and any quantile is recovered with a relative error of
+//! at most 1/32 ≈ 3% — far below the run-to-run variation of any workload.
+
+/// Sub-bucket resolution: each power-of-two octave is split into `2^SUB_BITS`
+/// equal-width buckets, bounding the relative quantile error by `2^-SUB_BITS`.
+const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Total bucket count: values below `SUBS` get exact unit buckets, larger
+/// values one of 32 sub-buckets per octave up to `u64::MAX`.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// A fixed-size log-scale histogram over `u64` values (e.g. latencies in
+/// microseconds).
+///
+/// # Examples
+///
+/// ```
+/// use quorum_analysis::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.50);
+/// assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.05);
+/// assert!(h.quantile(0.99) >= p50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `value`: exact below [`SUBS`], then
+    /// `(octave, sub-bucket)` with the sub-bucket read from the bits just
+    /// below the leading one.
+    fn bucket_index(value: u64) -> usize {
+        if value < SUBS as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros();
+        let sub = ((value >> (octave - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        (octave - SUB_BITS + 1) as usize * SUBS + sub
+    }
+
+    /// The largest value mapping to bucket `index` (the histogram's quantile
+    /// answers are these upper edges, clamped into the observed range).
+    fn bucket_upper(index: usize) -> u64 {
+        if index < SUBS {
+            return index as u64;
+        }
+        let octave = (index / SUBS) as u32 + SUB_BITS - 1;
+        let sub = (index % SUBS) as u64;
+        let width = 1u64 << (octave - SUB_BITS);
+        ((SUBS as u64 + sub) << (octave - SUB_BITS)) + (width - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The exact smallest recorded value (`u64::MAX` when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// The exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` (`0 < q <= 1`): an upper bound `v` such that
+    /// at least `⌈q·count⌉` observations are `<= v`, within one bucket width
+    /// (relative error at most `2^-5`), clamped to the observed `[min, max]`.
+    ///
+    /// Returns 0 on an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Self::bucket_upper(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile shorthand.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// The load-imbalance factor of a per-node load vector: `max / mean`.
+///
+/// `1.0` means perfectly balanced; `k` means the hottest node carries `k`
+/// times the average load. Empty or all-zero vectors report `1.0` (nothing is
+/// imbalanced when nothing is loaded).
+pub fn load_imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let total: u128 = loads.iter().map(|&l| u128::from(l)).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let mean = total as f64 / loads.len() as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_neutral() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let measured = h.quantile(q) as f64;
+            let relative = (measured - exact).abs() / exact;
+            assert!(relative < 0.04, "q={q}: {measured} vs {exact}");
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+    }
+
+    #[test]
+    fn identical_values_collapse_to_their_bucket() {
+        let mut h = LogHistogram::new();
+        for _ in 0..1_000 {
+            h.record(5_000);
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q) as f64;
+            assert!((v - 5_000.0).abs() / 5_000.0 < 0.04, "q={q}: {v}");
+        }
+        assert_eq!(h.mean(), 5_000.0);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_consistent() {
+        let values = [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            1_000,
+            65_535,
+            65_536,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &values {
+            let index = LogHistogram::bucket_index(v);
+            assert!(index >= last, "bucket index not monotone at {v}");
+            assert!(
+                LogHistogram::bucket_upper(index) >= v,
+                "upper edge below member {v}"
+            );
+            last = index;
+        }
+        assert!(LogHistogram::bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for v in 1..500u64 {
+            a.record(v * 3);
+            combined.record(v * 3);
+        }
+        for v in 1..300u64 {
+            b.record(v * 7);
+            combined.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn load_imbalance_factor() {
+        assert_eq!(load_imbalance(&[]), 1.0);
+        assert_eq!(load_imbalance(&[0, 0, 0]), 1.0);
+        assert_eq!(load_imbalance(&[5, 5, 5, 5]), 1.0);
+        assert_eq!(load_imbalance(&[10, 0, 0, 0, 0]), 5.0);
+        let skewed = load_imbalance(&[100, 10, 10]);
+        assert!((skewed - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_validates_q() {
+        let _ = LogHistogram::new().quantile(0.0);
+    }
+}

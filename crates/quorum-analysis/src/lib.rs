@@ -26,6 +26,7 @@
 pub mod availability;
 pub mod bounds;
 pub mod fit;
+pub mod histogram;
 pub mod lemmas;
 pub mod stats;
 
@@ -34,4 +35,5 @@ pub use availability::{
     zone_of, zoned_failure_probability, zoned_params,
 };
 pub use fit::{fit_power_law, PowerLawFit};
+pub use histogram::{load_imbalance, LogHistogram};
 pub use stats::{RunningStats, Summary};

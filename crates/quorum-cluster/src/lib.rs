@@ -16,6 +16,11 @@
 //! `DESIGN.md`, and it is what the mutual-exclusion and replicated-register
 //! protocols in `quorum-protocols` run on.
 //!
+//! The [`workload`] module scales the simulator from one client to many: a
+//! discrete-event scheduler interleaves concurrent probing sessions (open- or
+//! closed-loop arrivals) over per-node service queues, with a load ledger
+//! that load-aware probe strategies consult.
+//!
 //! ```
 //! use quorum_cluster::{Cluster, NetworkConfig};
 //! use quorum_core::QuorumSystem;
@@ -37,8 +42,13 @@ pub mod cluster;
 pub mod network;
 pub mod node;
 pub mod time;
+pub mod workload;
 
 pub use cluster::{Cluster, QuorumAcquisition};
 pub use network::NetworkConfig;
 pub use node::{NodeId, NodeState};
 pub use time::SimTime;
+pub use workload::{
+    run_workload, ArrivalProcess, Distribution, LoadLedger, SessionPlan, WorkloadConfig,
+    WorkloadReport,
+};

@@ -1,0 +1,742 @@
+//! The concurrent workload engine: a discrete-event scheduler that
+//! interleaves many simultaneous client probing sessions over simulated
+//! nodes with service queues.
+//!
+//! [`Cluster::probe_for_quorum`](crate::Cluster::probe_for_quorum) runs *one*
+//! client at a time and charges pure network latency. This module models the
+//! regime the ROADMAP targets — heavy traffic — where many clients probe
+//! concurrently and nodes take time to *serve* each probe, so probes queue:
+//!
+//! * **Arrivals** ([`ArrivalProcess`]): open-loop Poisson (sessions arrive at
+//!   a fixed rate regardless of completions) or closed-loop think time (a
+//!   fixed client population, each starting its next session a think time
+//!   after the previous one finished).
+//! * **Per-node service queues**: each probe request travels one network
+//!   delay, waits for the node's FIFO queue (ordered by probe-issue time),
+//!   is served for a sampled service time, and travels back. Probes to
+//!   crashed nodes cost the client the probe timeout.
+//! * **Load ledger** ([`LoadLedger`]): probes received, timeouts, busy time,
+//!   current backlog and peak backlog per node — the signal that load-aware
+//!   probe strategies consult.
+//!
+//! The engine knows nothing about strategies or failure models: the caller
+//! supplies a `session` closure that, given the session index and the current
+//! ledger, returns the [`SessionPlan`] (probe sequence plus observed colors)
+//! that session will execute. `quorum-sim` builds those plans by sampling a
+//! failure scenario and running a probe strategy; the engine turns them into
+//! interleaved, queued, timed RPCs. Everything is a pure function of the seed
+//! and the supplied closure, so runs are bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use quorum_analysis::{load_imbalance, LogHistogram};
+use quorum_core::Color;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::{NodeId, SimTime};
+
+/// A distribution over durations, sampled with the engine's seeded RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Always the same duration.
+    Fixed(SimTime),
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Smallest possible duration.
+        min: SimTime,
+        /// Largest possible duration.
+        max: SimTime,
+    },
+    /// Exponential with the given mean (memoryless service/think times).
+    Exponential {
+        /// The mean duration.
+        mean: SimTime,
+    },
+}
+
+impl Distribution {
+    /// A fixed duration.
+    pub fn fixed(value: SimTime) -> Self {
+        Distribution::Fixed(value)
+    }
+
+    /// Uniform over `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn uniform(min: SimTime, max: SimTime) -> Self {
+        assert!(min <= max, "uniform distribution needs min <= max");
+        Distribution::Uniform { min, max }
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(mean: SimTime) -> Self {
+        Distribution::Exponential { mean }
+    }
+
+    /// The mean duration.
+    pub fn mean(&self) -> SimTime {
+        match self {
+            Distribution::Fixed(value) => *value,
+            Distribution::Uniform { min, max } => {
+                SimTime::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            Distribution::Exponential { mean } => *mean,
+        }
+    }
+
+    /// Draws one duration.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match self {
+            Distribution::Fixed(value) => *value,
+            Distribution::Uniform { min, max } => {
+                let (lo, hi) = (min.as_micros(), max.as_micros());
+                if hi > lo {
+                    SimTime::from_micros(rng.gen_range(lo..=hi))
+                } else {
+                    *min
+                }
+            }
+            Distribution::Exponential { mean } => {
+                // Inverse CDF on a 53-bit uniform in [0, 1); `1 - u` keeps the
+                // argument of `ln` strictly positive.
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let draw = -(mean.as_micros() as f64) * (1.0 - u).ln();
+                SimTime::from_micros(draw.round() as u64)
+            }
+        }
+    }
+}
+
+/// How client sessions arrive at the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Open loop: inter-arrival times are drawn from an exponential with the
+    /// given mean, independent of completions (a Poisson process). Offered
+    /// load does not back off when the system slows down.
+    OpenPoisson {
+        /// Mean time between session arrivals.
+        mean_interarrival: SimTime,
+    },
+    /// Closed loop: a fixed population of clients; each client starts its
+    /// next session one think time after its previous session completed.
+    /// Offered load is self-limiting — at most `clients` sessions in flight.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Think time between a completion and the client's next session.
+        think: Distribution,
+    },
+}
+
+impl ArrivalProcess {
+    /// A short label used in report rows.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::OpenPoisson { mean_interarrival } => {
+                format!("open-poisson({mean_interarrival})")
+            }
+            ArrivalProcess::ClosedLoop { clients, think } => {
+                format!("closed({clients} clients,think={})", think.mean())
+            }
+        }
+    }
+}
+
+/// Configuration of one workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// How sessions arrive.
+    pub arrival: ArrivalProcess,
+    /// Total number of sessions to run.
+    pub sessions: usize,
+    /// One-way network delay of a probe request (and of its response).
+    pub rpc_latency: Distribution,
+    /// Service time of one probe at a live node.
+    pub service: Distribution,
+    /// What a probe to a crashed node costs the client.
+    pub probe_timeout: SimTime,
+}
+
+impl WorkloadConfig {
+    /// Whether the configuration is consistent: at least one session, a
+    /// positive timeout, and a closed loop with at least one client.
+    pub fn is_valid(&self) -> bool {
+        let arrival_ok = match self.arrival {
+            ArrivalProcess::OpenPoisson { .. } => true,
+            ArrivalProcess::ClosedLoop { clients, .. } => clients >= 1,
+        };
+        self.sessions >= 1 && self.probe_timeout > SimTime::ZERO && arrival_ok
+    }
+}
+
+/// Per-node load bookkeeping, updated as the engine issues probe RPCs.
+#[derive(Debug, Clone)]
+pub struct LoadLedger {
+    probes: Vec<u64>,
+    timeouts: Vec<u64>,
+    busy: Vec<SimTime>,
+    /// Outstanding service completion times per node, in FIFO order.
+    outstanding: Vec<VecDeque<SimTime>>,
+    peak_backlog: Vec<usize>,
+}
+
+impl LoadLedger {
+    fn new(n: usize) -> Self {
+        LoadLedger {
+            probes: vec![0; n],
+            timeouts: vec![0; n],
+            busy: vec![SimTime::ZERO; n],
+            outstanding: vec![VecDeque::new(); n],
+            peak_backlog: vec![0; n],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the ledger tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Probes received per node so far (timeouts included).
+    pub fn probes_received(&self) -> &[u64] {
+        &self.probes
+    }
+
+    /// Timed-out probes per node so far.
+    pub fn timeouts(&self) -> &[u64] {
+        &self.timeouts
+    }
+
+    /// Cumulative service time of node `node`.
+    pub fn busy_time(&self, node: NodeId) -> SimTime {
+        self.busy[node]
+    }
+
+    /// The peak backlog (requests queued or in service) node `node` reached.
+    pub fn peak_backlog(&self, node: NodeId) -> usize {
+        self.peak_backlog[node]
+    }
+
+    /// Requests queued or in service at `node` as of `now`.
+    pub fn backlog(&self, node: NodeId, now: SimTime) -> usize {
+        self.outstanding[node]
+            .iter()
+            .filter(|&&finish| finish > now)
+            .count()
+    }
+
+    /// A single load score for `node` as of `now`: the current backlog in the
+    /// high bits (the hot, instantaneous signal) with cumulative probes as
+    /// the low-order tie-break, so idle nodes order by long-run fairness.
+    pub fn score(&self, node: NodeId, now: SimTime) -> u64 {
+        ((self.backlog(node, now) as u64) << 32) | self.probes[node].min(u32::MAX as u64)
+    }
+
+    /// The load-imbalance factor (max/mean) of cumulative probes per node.
+    pub fn imbalance(&self) -> f64 {
+        load_imbalance(&self.probes)
+    }
+
+    /// Drops completed requests (finish `<= now`) from a node's queue; the
+    /// queue is FIFO in finish time, so this is a pop-front loop.
+    fn prune(&mut self, node: NodeId, now: SimTime) {
+        while self.outstanding[node].front().is_some_and(|&f| f <= now) {
+            self.outstanding[node].pop_front();
+        }
+    }
+}
+
+/// What one client session will do, decided by the caller's session closure:
+/// the probe order its strategy chose and the color each probe will observe.
+#[derive(Debug, Clone)]
+pub struct SessionPlan {
+    /// The elements to probe, in order.
+    pub sequence: Vec<NodeId>,
+    /// The color each probe observes (`Green` = served, `Red` = timeout).
+    /// Must have the same length as `sequence`.
+    pub colors: Vec<Color>,
+    /// Whether the session located a live quorum.
+    pub success: bool,
+}
+
+/// The measured outcome of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Sessions completed (always equals the configured count).
+    pub sessions: usize,
+    /// Sessions that located a live quorum.
+    pub successes: usize,
+    /// Total probe RPCs issued (timeouts included).
+    pub probes: u64,
+    /// Virtual time of the last session completion.
+    pub duration: SimTime,
+    /// Session latency histogram, in microseconds of virtual time.
+    pub latency: LogHistogram,
+    /// The final load ledger.
+    pub ledger: LoadLedger,
+}
+
+impl WorkloadReport {
+    /// Completed sessions per second of virtual time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.duration == SimTime::ZERO {
+            0.0
+        } else {
+            self.sessions as f64 / (self.duration.as_micros() as f64 / 1e6)
+        }
+    }
+
+    /// Fraction of sessions that found a live quorum.
+    pub fn success_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.sessions as f64
+        }
+    }
+
+    /// Mean probes per session.
+    pub fn probes_per_session(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.sessions as f64
+        }
+    }
+
+    /// The load-imbalance factor (max/mean probes per node).
+    pub fn load_imbalance(&self) -> f64 {
+        self.ledger.imbalance()
+    }
+}
+
+/// One scheduled event. Ordered by `(time, seq)`: `seq` is a global issue
+/// counter, so simultaneous events fire in the deterministic order they were
+/// scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A new session arrives (index into the session count).
+    Arrival(u64),
+    /// The response (or timeout) of a session's in-flight probe reaches the
+    /// client (index into the engine's active-session table).
+    Response(usize),
+}
+
+#[derive(Debug)]
+struct ActiveSession {
+    plan: SessionPlan,
+    next_probe: usize,
+    started: SimTime,
+}
+
+/// Runs one workload over `n` nodes, returning its report.
+///
+/// `session(index, ledger, now)` is called once per session, at its arrival
+/// time, with the live ledger — this is where a caller samples the failure
+/// scenario and runs a (possibly load-aware) probe strategy. The engine then
+/// executes the returned plan probe by probe: each probe is issued when the
+/// previous one's response (or timeout) reaches the client, and each live
+/// probe waits in the target node's FIFO queue behind every other client's
+/// in-flight probes.
+///
+/// Determinism: all latency/service/arrival randomness comes from one
+/// `StdRng` seeded with `seed`, events tie-break on a schedule counter, and
+/// the engine is single-threaded — the report is a pure function of
+/// `(n, config, seed, session)`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a plan's `colors` length does
+/// not match its `sequence`.
+pub fn run_workload<F>(
+    n: usize,
+    config: &WorkloadConfig,
+    seed: u64,
+    mut session: F,
+) -> WorkloadReport
+where
+    F: FnMut(u64, &LoadLedger, SimTime) -> SessionPlan,
+{
+    assert!(config.is_valid(), "inconsistent workload configuration");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ledger = LoadLedger::new(n);
+    let mut latency = LogHistogram::new();
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, EventKind)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut schedule = |heap: &mut BinaryHeap<_>, at: SimTime, kind: EventKind| {
+        heap.push(Reverse((at, seq, kind)));
+        seq += 1;
+    };
+
+    // Seed the arrival stream.
+    let total_sessions = config.sessions as u64;
+    let mut sessions_issued: u64;
+    match config.arrival {
+        ArrivalProcess::OpenPoisson { mean_interarrival } => {
+            let first = Distribution::exponential(mean_interarrival).sample(&mut rng);
+            schedule(&mut heap, first, EventKind::Arrival(0));
+            sessions_issued = 1;
+        }
+        ArrivalProcess::ClosedLoop { clients, think } => {
+            sessions_issued = (clients as u64).min(total_sessions);
+            for client in 0..sessions_issued {
+                let at = think.sample(&mut rng);
+                schedule(&mut heap, at, EventKind::Arrival(client));
+            }
+        }
+    }
+
+    let mut active: Vec<ActiveSession> = Vec::new();
+    let mut completed = 0usize;
+    let mut successes = 0usize;
+    let mut probes_total = 0u64;
+    let mut last_completion = SimTime::ZERO;
+
+    // Issues the next probe of `state` at time `now`, returning the instant
+    // its response (or timeout) reaches the client.
+    let mut issue_probe = |state: &ActiveSession,
+                           now: SimTime,
+                           ledger: &mut LoadLedger,
+                           rng: &mut StdRng|
+     -> SimTime {
+        let index = state.next_probe;
+        let node = state.plan.sequence[index];
+        let color = state.plan.colors[index];
+        ledger.probes[node] += 1;
+        probes_total += 1;
+        match color {
+            Color::Red => {
+                ledger.timeouts[node] += 1;
+                now + config.probe_timeout
+            }
+            Color::Green => {
+                let request_at = now + config.rpc_latency.sample(rng);
+                ledger.prune(node, request_at);
+                // The queue is FIFO in probe-*issue* order (the order this
+                // closure runs), not request-arrival order: a request issued
+                // earlier but with a longer network delay is still served
+                // first. The modelling simplification keeps each probe's
+                // full timeline computable at issue time.
+                let queue_free = ledger.outstanding[node]
+                    .back()
+                    .copied()
+                    .unwrap_or(request_at)
+                    .max(request_at);
+                let service = config.service.sample(rng);
+                let finish = queue_free + service;
+                ledger.busy[node] += service;
+                ledger.outstanding[node].push_back(finish);
+                let depth = ledger.outstanding[node].len();
+                if depth > ledger.peak_backlog[node] {
+                    ledger.peak_backlog[node] = depth;
+                }
+                finish + config.rpc_latency.sample(rng)
+            }
+        }
+    };
+
+    while let Some(Reverse((now, _, kind))) = heap.pop() {
+        match kind {
+            EventKind::Arrival(session_index) => {
+                // Open-loop arrivals breed the next arrival immediately, so
+                // the offered rate never reacts to completions.
+                if let ArrivalProcess::OpenPoisson { mean_interarrival } = config.arrival {
+                    if sessions_issued < total_sessions {
+                        let gap = Distribution::exponential(mean_interarrival).sample(&mut rng);
+                        schedule(&mut heap, now + gap, EventKind::Arrival(sessions_issued));
+                        sessions_issued += 1;
+                    }
+                }
+                let plan = session(session_index, &ledger, now);
+                assert_eq!(
+                    plan.sequence.len(),
+                    plan.colors.len(),
+                    "session plan colors must align with its probe sequence"
+                );
+                if plan.sequence.is_empty() {
+                    // A zero-probe session (degenerate but legal): completes
+                    // instantly.
+                    completed += 1;
+                    successes += usize::from(plan.success);
+                    latency.record(0);
+                    last_completion = last_completion.max(now);
+                    if let ArrivalProcess::ClosedLoop { think, .. } = config.arrival {
+                        if sessions_issued < total_sessions {
+                            let gap = think.sample(&mut rng);
+                            schedule(&mut heap, now + gap, EventKind::Arrival(sessions_issued));
+                            sessions_issued += 1;
+                        }
+                    }
+                    continue;
+                }
+                active.push(ActiveSession {
+                    plan,
+                    next_probe: 0,
+                    started: now,
+                });
+                let slot = active.len() - 1;
+                let response_at = issue_probe(&active[slot], now, &mut ledger, &mut rng);
+                schedule(&mut heap, response_at, EventKind::Response(slot));
+            }
+            EventKind::Response(slot) => {
+                active[slot].next_probe += 1;
+                if active[slot].next_probe < active[slot].plan.sequence.len() {
+                    let response_at = issue_probe(&active[slot], now, &mut ledger, &mut rng);
+                    schedule(&mut heap, response_at, EventKind::Response(slot));
+                    continue;
+                }
+                // Session complete. Drop the plan's buffers so memory stays
+                // proportional to in-flight sessions, not total sessions.
+                let state = &mut active[slot];
+                latency.record((now - state.started).as_micros());
+                completed += 1;
+                successes += usize::from(state.plan.success);
+                state.plan.sequence = Vec::new();
+                state.plan.colors = Vec::new();
+                last_completion = last_completion.max(now);
+                if let ArrivalProcess::ClosedLoop { think, .. } = config.arrival {
+                    if sessions_issued < total_sessions {
+                        let gap = think.sample(&mut rng);
+                        schedule(&mut heap, now + gap, EventKind::Arrival(sessions_issued));
+                        sessions_issued += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    debug_assert_eq!(completed, config.sessions, "every session must complete");
+    WorkloadReport {
+        sessions: completed,
+        successes,
+        probes: probes_total,
+        duration: last_completion,
+        latency,
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_core::{Coloring, QuorumSystem};
+    use quorum_probe::run_strategy;
+    use quorum_probe::strategies::SequentialScan;
+    use quorum_systems::Majority;
+
+    fn lan_config(arrival: ArrivalProcess, sessions: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            arrival,
+            sessions,
+            rpc_latency: Distribution::uniform(
+                SimTime::from_micros(100),
+                SimTime::from_micros(400),
+            ),
+            service: Distribution::exponential(SimTime::from_micros(200)),
+            probe_timeout: SimTime::from_millis(10),
+        }
+    }
+
+    /// A session closure probing a Majority system on an all-green universe.
+    fn maj_sessions(n: usize) -> impl FnMut(u64, &LoadLedger, SimTime) -> SessionPlan {
+        let maj = Majority::new(n).unwrap();
+        move |session, _ledger, _now| {
+            let coloring = Coloring::all_green(maj.universe_size());
+            let mut rng = StdRng::seed_from_u64(session);
+            let run = run_strategy(&maj, &SequentialScan::new(), &coloring, &mut rng);
+            SessionPlan {
+                colors: run.sequence.iter().map(|&e| coloring.color(e)).collect(),
+                sequence: run.sequence,
+                success: run.witness.is_green(),
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_runs_every_session() {
+        let n = 7;
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_micros(500),
+            },
+            200,
+        );
+        let report = run_workload(n, &config, 1, maj_sessions(n));
+        assert_eq!(report.sessions, 200);
+        assert_eq!(report.successes, 200);
+        // Sequential scan on all-green Maj(7) always probes 4 elements.
+        assert_eq!(report.probes, 800);
+        assert!((report.probes_per_session() - 4.0).abs() < 1e-12);
+        assert!(report.duration > SimTime::ZERO);
+        assert!(report.throughput_per_sec() > 0.0);
+        assert_eq!(report.latency.count(), 200);
+        assert!(report.latency.p50() <= report.latency.p99());
+        // Sequential scans hammer the prefix: elements 0..=3 carry all load.
+        assert_eq!(report.ledger.probes_received()[0], 200);
+        assert_eq!(report.ledger.probes_received()[5], 0);
+        assert!(report.load_imbalance() > 1.5);
+    }
+
+    #[test]
+    fn closed_loop_bounds_in_flight_sessions() {
+        let n = 5;
+        let clients = 3usize;
+        let config = lan_config(
+            ArrivalProcess::ClosedLoop {
+                clients,
+                think: Distribution::fixed(SimTime::from_micros(50)),
+            },
+            60,
+        );
+        let report = run_workload(n, &config, 2, maj_sessions(n));
+        assert_eq!(report.sessions, 60);
+        // At most `clients` sessions in flight ⇒ a node's backlog can never
+        // exceed the client population.
+        for node in 0..n {
+            assert!(
+                report.ledger.peak_backlog(node) <= clients,
+                "node {node} backlog {} exceeds {clients} clients",
+                report.ledger.peak_backlog(node)
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let n = 7;
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_micros(300),
+            },
+            100,
+        );
+        let a = run_workload(n, &config, 9, maj_sessions(n));
+        let b = run_workload(n, &config, 9, maj_sessions(n));
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.ledger.probes_received(), b.ledger.probes_received());
+        let c = run_workload(n, &config, 10, maj_sessions(n));
+        assert_ne!(a.duration, c.duration, "a different seed must differ");
+    }
+
+    #[test]
+    fn contention_inflates_latency() {
+        let n = 7;
+        // Same total work, but arrivals 100x denser: queues must form and
+        // the p99 latency must exceed the uncontended run's.
+        let relaxed = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_millis(50),
+            },
+            150,
+        );
+        let slammed = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_micros(50),
+            },
+            150,
+        );
+        let calm = run_workload(n, &relaxed, 3, maj_sessions(n));
+        let hot = run_workload(n, &slammed, 3, maj_sessions(n));
+        assert!(
+            hot.latency.p99() > calm.latency.p99(),
+            "queueing must show up in the tail: hot {} vs calm {}",
+            hot.latency.p99(),
+            calm.latency.p99()
+        );
+        let busiest = (0..n).map(|e| hot.ledger.peak_backlog(e)).max().unwrap();
+        assert!(busiest > 1, "dense arrivals must queue somewhere");
+    }
+
+    #[test]
+    fn timeouts_are_charged_and_recorded() {
+        let n = 5;
+        let maj = Majority::new(n).unwrap();
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_millis(1),
+            },
+            20,
+        );
+        // Element 0 is crashed in every session's view.
+        let coloring = Coloring::from_fn(n, |e| if e == 0 { Color::Red } else { Color::Green });
+        let report = run_workload(n, &config, 4, |session, _ledger, _now| {
+            let mut rng = StdRng::seed_from_u64(session);
+            let run = run_strategy(&maj, &SequentialScan::new(), &coloring, &mut rng);
+            SessionPlan {
+                colors: run.sequence.iter().map(|&e| coloring.color(e)).collect(),
+                sequence: run.sequence,
+                success: run.witness.is_green(),
+            }
+        });
+        assert_eq!(report.sessions, 20);
+        assert_eq!(report.successes, 20);
+        assert_eq!(report.ledger.timeouts()[0], 20);
+        assert_eq!(report.ledger.timeouts()[1], 0);
+        // Every session eats one 10ms timeout, so no latency can be below it.
+        assert!(report.latency.min() >= SimTime::from_millis(10).as_micros());
+    }
+
+    #[test]
+    fn ledger_scores_expose_backlog_and_history() {
+        let mut ledger = LoadLedger::new(2);
+        ledger.probes[0] = 10;
+        ledger.outstanding[1].push_back(SimTime::from_millis(5));
+        let now = SimTime::from_millis(1);
+        assert_eq!(ledger.backlog(0, now), 0);
+        assert_eq!(ledger.backlog(1, now), 1);
+        assert!(ledger.score(1, now) > ledger.score(0, now));
+        // Once the request finishes, history decides.
+        let later = SimTime::from_millis(6);
+        assert!(ledger.score(0, later) > ledger.score(1, later));
+        assert_eq!(ledger.len(), 2);
+        assert!(!ledger.is_empty());
+    }
+
+    #[test]
+    fn distributions_sample_sane_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fixed = Distribution::fixed(SimTime::from_micros(7));
+        assert_eq!(fixed.sample(&mut rng), SimTime::from_micros(7));
+        assert_eq!(fixed.mean(), SimTime::from_micros(7));
+        let uniform = Distribution::uniform(SimTime::from_micros(10), SimTime::from_micros(20));
+        for _ in 0..100 {
+            let v = uniform.sample(&mut rng).as_micros();
+            assert!((10..=20).contains(&v));
+        }
+        let expo = Distribution::exponential(SimTime::from_micros(1_000));
+        let mean: f64 = (0..4_000)
+            .map(|_| expo.sample(&mut rng).as_micros() as f64)
+            .sum::<f64>()
+            / 4_000.0;
+        assert!((mean - 1_000.0).abs() < 100.0, "exponential mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent workload configuration")]
+    fn invalid_config_is_rejected() {
+        let config = WorkloadConfig {
+            arrival: ArrivalProcess::ClosedLoop {
+                clients: 0,
+                think: Distribution::fixed(SimTime::ZERO),
+            },
+            sessions: 10,
+            rpc_latency: Distribution::fixed(SimTime::from_micros(100)),
+            service: Distribution::fixed(SimTime::from_micros(100)),
+            probe_timeout: SimTime::from_millis(1),
+        };
+        let _ = run_workload(3, &config, 0, |_, _, _| SessionPlan {
+            sequence: vec![],
+            colors: vec![],
+            success: false,
+        });
+    }
+}

@@ -200,4 +200,112 @@ mod tests {
             assert!((rate - p).abs() < 0.01, "p={p}: empirical lane rate {rate}");
         }
     }
+
+    /// Calls `bernoulli_lanes(p)` once over a counted word stream, returning
+    /// `(lane word, words consumed)`.
+    fn counted_lanes(p: f64, seed: u64) -> (u64, usize) {
+        let mut draws = 0usize;
+        let mut next = stream(seed);
+        let lanes = bernoulli_lanes(p, || {
+            draws += 1;
+            next()
+        });
+        (lanes, draws)
+    }
+
+    /// The scalar reference sampler at the lane expansion's own quantisation:
+    /// one word per trial, red iff its top 32 bits fall below `round(p·2³²)`.
+    fn scalar_rate(p: f64, trials: usize, seed: u64) -> f64 {
+        let threshold = (p * (1u64 << BERNOULLI_BITS) as f64).round() as u64;
+        let mut next = stream(seed);
+        let mut reds = 0usize;
+        for _ in 0..trials {
+            if (next() >> BERNOULLI_BITS) < threshold {
+                reds += 1;
+            }
+        }
+        reds as f64 / trials as f64
+    }
+
+    proptest::proptest! {
+        /// Edge: p = 0 and p = 1 are decided without consuming any
+        /// randomness, and every lane agrees.
+        #[test]
+        fn prop_extreme_p_consumes_no_randomness(seed in 0u64..1000) {
+            let (zero, zero_draws) = counted_lanes(0.0, seed);
+            proptest::prop_assert_eq!(zero, 0);
+            proptest::prop_assert_eq!(zero_draws, 0);
+            let (one, one_draws) = counted_lanes(1.0, seed);
+            proptest::prop_assert_eq!(one, u64::MAX);
+            proptest::prop_assert_eq!(one_draws, 0);
+        }
+
+        /// Edge: tiny p below the 2⁻³³ rounding threshold quantises to an
+        /// all-zero lane word without consuming randomness.
+        #[test]
+        fn prop_tiny_p_rounds_to_zero(seed in 0u64..1000, exp in 34u32..200) {
+            let p = 2f64.powi(-(exp as i32));
+            let (lanes, draws) = counted_lanes(p, seed);
+            proptest::prop_assert_eq!(lanes, 0);
+            proptest::prop_assert_eq!(draws, 0);
+        }
+
+        /// Edge: exact dyadic p = k/2^m consumes exactly `m − tz(k)` words —
+        /// the expansion skips the trailing zero bits and nothing else.
+        #[test]
+        fn prop_dyadic_draw_counts_are_exact(
+            m in 1u32..=16,
+            k_raw in 1u64..(1u64 << 16),
+            seed in 0u64..1000,
+        ) {
+            let k = k_raw & ((1u64 << m) - 1);
+            proptest::prop_assume!(k > 0);
+            let p = k as f64 / (1u64 << m) as f64;
+            let (_, draws) = counted_lanes(p, seed);
+            let expected = m - k.trailing_zeros();
+            proptest::prop_assert_eq!(draws, expected as usize, "p = {}/2^{}", k, m);
+        }
+
+        /// Statistics: the lane popcount rate matches the scalar
+        /// threshold-compare sampler at the same quantised probability —
+        /// including exact dyadic p, where both hit it exactly in
+        /// expectation.
+        #[test]
+        fn prop_lane_popcounts_match_the_scalar_sampler(
+            p_milli in 1u32..1000,
+            seed in 0u64..50,
+        ) {
+            let p = f64::from(p_milli) / 1000.0;
+            let blocks = 1_500usize;
+            let mut next = stream(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) + 1);
+            let mut ones = 0u64;
+            for _ in 0..blocks {
+                ones += u64::from(bernoulli_lanes(p, &mut next).count_ones());
+            }
+            let lane_rate = ones as f64 / (blocks * LANE_TRIALS) as f64;
+            let scalar = scalar_rate(p, blocks * LANE_TRIALS, !seed);
+            // Both estimates carry ≤ 0.0017 standard error at 96k trials;
+            // 0.012 is a generous joint 5σ band.
+            proptest::prop_assert!(
+                (lane_rate - p).abs() < 0.012,
+                "lane rate {} drifted from p={}", lane_rate, p
+            );
+            proptest::prop_assert!(
+                (lane_rate - scalar).abs() < 0.012,
+                "lane rate {} vs scalar rate {}", lane_rate, scalar
+            );
+        }
+
+        /// Edge: tiny-but-representable p (a single expansion bit) pays the
+        /// full 32-word cost and produces a sparse lane word.
+        #[test]
+        fn prop_smallest_representable_p(seed in 0u64..200) {
+            let p = 2f64.powi(-(BERNOULLI_BITS as i32));
+            let (lanes, draws) = counted_lanes(p, seed);
+            proptest::prop_assert_eq!(draws, BERNOULLI_BITS as usize);
+            // 64 trials at p = 2⁻³²: more than a couple of set bits means
+            // the expansion is broken, not unlucky (P ≈ 1e-17).
+            proptest::prop_assert!(lanes.count_ones() <= 2);
+        }
+    }
 }

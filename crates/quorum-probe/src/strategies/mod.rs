@@ -13,15 +13,23 @@
 //!
 //! [`SequentialScan`] and [`RandomScan`] are generic baselines applicable to
 //! any quorum system.
+//!
+//! A third group extends the paper toward heavy traffic: the **load-aware**
+//! strategies [`LeastLoadedScan`] and [`PowerOfTwoScan`] consult a shared
+//! [`LoadView`] of per-element load and steer probes toward cold nodes —
+//! they trade a few extra expected probes for a flatter per-node load
+//! profile under many concurrent clients.
 
 mod cw;
 mod generic;
 mod hqs;
+mod load;
 mod maj;
 mod tree;
 
 pub use cw::{ProbeCw, RProbeCw};
 pub use generic::{RandomScan, SequentialScan};
 pub use hqs::{IrProbeHqs, ProbeHqs, RProbeHqs};
+pub use load::{LeastLoadedScan, LoadView, PowerOfTwoScan};
 pub use maj::{ProbeMaj, RProbeMaj};
 pub use tree::{ProbeTree, RProbeTree};

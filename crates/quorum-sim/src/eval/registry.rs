@@ -10,8 +10,8 @@
 //! names the failure scenarios a scenario matrix sweeps them under.
 
 use quorum_probe::strategies::{
-    IrProbeHqs, ProbeCw, ProbeHqs, ProbeMaj, ProbeTree, RProbeCw, RProbeHqs, RProbeMaj, RProbeTree,
-    RandomScan, SequentialScan,
+    IrProbeHqs, LeastLoadedScan, PowerOfTwoScan, ProbeCw, ProbeHqs, ProbeMaj, ProbeTree, RProbeCw,
+    RProbeHqs, RProbeMaj, RProbeTree, RandomScan, SequentialScan,
 };
 use quorum_systems::{CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
 
@@ -184,6 +184,26 @@ impl StrategyRegistry {
                 },
             ],
         }
+    }
+
+    /// The paper battery plus the generic **load-aware** strategies
+    /// ([`LeastLoadedScan`], [`PowerOfTwoScan`]). Registry-built instances
+    /// carry a fresh, empty load view — useful for probe-count comparisons;
+    /// workload simulations instead build them over a live ledger (see
+    /// [`crate::workload`]).
+    pub fn extended() -> Self {
+        let mut registry = Self::paper();
+        registry.entries.push(StrategyEntry {
+            name: "LeastLoaded",
+            build: || universal_strategy(LeastLoadedScan::unloaded()),
+            randomized: false,
+        });
+        registry.entries.push(StrategyEntry {
+            name: "PowerOfTwo",
+            build: || universal_strategy(PowerOfTwoScan::unloaded()),
+            randomized: true,
+        });
+        registry
     }
 
     /// All entries.
@@ -391,6 +411,27 @@ mod tests {
             let strategy = (entry.build)();
             assert_eq!(strategy.name(), entry.name, "registry name drifted");
         }
+    }
+
+    #[test]
+    fn extended_registry_adds_the_load_aware_strategies() {
+        let registry = StrategyRegistry::extended();
+        assert_eq!(registry.entries().len(), 13);
+        for name in ["LeastLoaded", "PowerOfTwo"] {
+            let strategy = registry.build(name).expect("registered");
+            assert_eq!(strategy.name(), name);
+            // Generic strategies: compatible with every family.
+            for entry in SystemRegistry::paper().entries() {
+                let system = (entry.build)(12);
+                assert!(
+                    strategy.supports(system.as_ref()),
+                    "{name} vs {}",
+                    entry.family
+                );
+            }
+        }
+        // The paper registry stays untouched.
+        assert!(StrategyRegistry::paper().get("LeastLoaded").is_none());
     }
 
     #[test]

@@ -12,9 +12,13 @@
 //! on a rayon pool with deterministic per-trial seed derivation
 //! (`base_seed, cell, trial → TrialRng`), so every report is bit-identical
 //! regardless of thread count. The [`batch`] module adds word-parallel
-//! estimators that evaluate 64 trials per word pass for monotone systems. The classic entry points below
-//! ([`estimate_expected_probes`], [`worst_case_over_colorings`],
-//! [`sweep`], …) are thin wrappers over the same engine.
+//! estimators that evaluate 64 trials per word pass for monotone systems,
+//! and the [`workload`] module runs heavy-traffic [`WorkloadCell`]s on the
+//! cluster's discrete-event scheduler (concurrent sessions, service queues,
+//! load-aware probing) with the same thread-count-invariant guarantee. The
+//! classic entry points below ([`estimate_expected_probes`],
+//! [`worst_case_over_colorings`], [`sweep`], …) are thin wrappers over the
+//! same engine.
 //!
 //! Everything is driven by caller-supplied seeds so experiments are
 //! reproducible.
@@ -47,6 +51,7 @@ pub mod experiment;
 pub mod failure;
 pub mod montecarlo;
 pub mod report;
+pub mod workload;
 pub mod worstcase;
 
 pub use batch::{batched_availability, batched_failure_probability};
@@ -58,4 +63,8 @@ pub use experiment::{sweep, SweepPoint, SweepRow};
 pub use failure::{ChurnTrajectory, FailureModel};
 pub use montecarlo::{estimate_expected_probes, exhaustive_expected_probes, Estimate};
 pub use report::Table;
+pub use workload::{
+    closed_loop_workload, open_poisson_workload, outcomes_table, run_workload_cells,
+    standard_workloads, WorkloadCell, WorkloadOutcome, WorkloadStrategy,
+};
 pub use worstcase::{estimate_worst_case, worst_case_over_colorings};

@@ -1,0 +1,386 @@
+//! Heavy-traffic workload cells: `(system, strategy, failure scenario,
+//! workload)` combinations executed on the cluster's discrete-event
+//! workload engine.
+//!
+//! The probe-count engine ([`crate::eval`]) answers *how many probes* a
+//! strategy needs; this module answers how a strategy behaves **under
+//! traffic**: many concurrent client sessions, per-node service queues, and
+//! load-aware probe ordering. Each [`WorkloadCell`] runs one complete
+//! workload simulation — sequential inside, so the discrete-event timeline is
+//! exact — and cells run in parallel across the engine's rayon pool. Every
+//! cell is a pure function of `(base_seed, cell index, cell spec)`, so the
+//! resulting rows are bit-identical for any worker-thread count, like the
+//! rest of the evaluation engine.
+
+use std::sync::Arc;
+
+use quorum_analysis::load_imbalance;
+use quorum_cluster::{
+    run_workload, ArrivalProcess, Distribution, SessionPlan, SimTime, WorkloadConfig,
+};
+use quorum_core::Coloring;
+use quorum_probe::strategies::{LeastLoadedScan, LoadView, PowerOfTwoScan};
+use rayon::prelude::*;
+
+use crate::eval::{
+    derive_rng, universal_strategy, ColoringSource, DynProbeStrategy, DynSystem, EvalEngine,
+};
+use crate::report::Table;
+
+/// Which probe strategy a workload cell runs.
+#[derive(Clone)]
+pub enum WorkloadStrategy {
+    /// A load-blind strategy (typically one of the paper's algorithms).
+    Paper(DynProbeStrategy),
+    /// [`LeastLoadedScan`] over the cell's live load ledger.
+    LeastLoaded,
+    /// [`PowerOfTwoScan`] over the cell's live load ledger.
+    PowerOfTwo,
+}
+
+impl WorkloadStrategy {
+    /// The label used in report rows.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadStrategy::Paper(strategy) => strategy.name(),
+            WorkloadStrategy::LeastLoaded => "LeastLoaded".into(),
+            WorkloadStrategy::PowerOfTwo => "PowerOfTwo".into(),
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkloadStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkloadStrategy({})", self.label())
+    }
+}
+
+/// One workload simulation: a system probed by a strategy under a failure
+/// scenario and an arrival/service model.
+#[derive(Clone)]
+pub struct WorkloadCell {
+    /// The quorum system under load.
+    pub system: DynSystem,
+    /// The probe strategy serving the sessions.
+    pub strategy: WorkloadStrategy,
+    /// The failure scenario: session `s` observes the scenario's trial-`s`
+    /// coloring, so strategies sharing a cell index and seed are compared on
+    /// identical failure timelines.
+    pub source: ColoringSource,
+    /// A short name for the arrival/service model (e.g. `"open-lan"`).
+    pub workload: String,
+    /// The arrival, latency, service and timeout model.
+    pub config: WorkloadConfig,
+}
+
+/// The deterministic summary of one executed [`WorkloadCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOutcome {
+    /// System label.
+    pub system: String,
+    /// Universe size.
+    pub universe_size: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Workload label.
+    pub workload: String,
+    /// Failure-scenario label.
+    pub scenario: String,
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Fraction of sessions that located a live quorum.
+    pub success_rate: f64,
+    /// Completed sessions per second of virtual time.
+    pub throughput_per_sec: f64,
+    /// Median session latency, microseconds of virtual time.
+    pub p50_us: u64,
+    /// 95th-percentile session latency.
+    pub p95_us: u64,
+    /// 99th-percentile session latency.
+    pub p99_us: u64,
+    /// Mean probes per session.
+    pub probes_per_session: f64,
+    /// Load-imbalance factor (max/mean probes per node).
+    pub imbalance: f64,
+    /// Highest backlog any node reached.
+    pub peak_backlog: usize,
+}
+
+/// A LAN-ish open-loop workload: Poisson arrivals at the given mean
+/// inter-arrival time, 100–400 µs one-way network delays, 150 µs mean
+/// service times, 5 ms probe timeout.
+pub fn open_poisson_workload(sessions: usize, mean_interarrival: SimTime) -> WorkloadConfig {
+    WorkloadConfig {
+        arrival: ArrivalProcess::OpenPoisson { mean_interarrival },
+        sessions,
+        rpc_latency: Distribution::uniform(SimTime::from_micros(100), SimTime::from_micros(400)),
+        service: Distribution::exponential(SimTime::from_micros(150)),
+        probe_timeout: SimTime::from_millis(5),
+    }
+}
+
+/// A LAN-ish closed-loop workload: `clients` concurrent clients with
+/// exponential think times of the given mean, same network/service model as
+/// [`open_poisson_workload`].
+pub fn closed_loop_workload(sessions: usize, clients: usize, think: SimTime) -> WorkloadConfig {
+    WorkloadConfig {
+        arrival: ArrivalProcess::ClosedLoop {
+            clients,
+            think: Distribution::exponential(think),
+        },
+        sessions,
+        rpc_latency: Distribution::uniform(SimTime::from_micros(100), SimTime::from_micros(400)),
+        service: Distribution::exponential(SimTime::from_micros(150)),
+        probe_timeout: SimTime::from_millis(5),
+    }
+}
+
+/// The standard two-entry workload battery: one open-loop and one closed-loop
+/// arrival model over the shared LAN network/service profile.
+pub fn standard_workloads(sessions: usize) -> Vec<(&'static str, WorkloadConfig)> {
+    vec![
+        (
+            "open-poisson",
+            open_poisson_workload(sessions, SimTime::from_micros(250)),
+        ),
+        (
+            "closed-loop",
+            closed_loop_workload(sessions, 16, SimTime::from_micros(500)),
+        ),
+    ]
+}
+
+/// Executes one cell. Sequential inside (the discrete-event timeline is a
+/// strict total order); pure in `(base_seed, cell_index, cell)`.
+fn run_cell(base_seed: u64, cell_index: u64, cell: &WorkloadCell) -> WorkloadOutcome {
+    let n = cell.system.universe_size();
+    // Only the load-aware strategies read the view; paper cells skip both
+    // the allocation and the per-session score refresh below.
+    let view = match &cell.strategy {
+        WorkloadStrategy::Paper(_) => None,
+        WorkloadStrategy::LeastLoaded | WorkloadStrategy::PowerOfTwo => Some(LoadView::new(n)),
+    };
+    let strategy: DynProbeStrategy = match (&cell.strategy, &view) {
+        (WorkloadStrategy::Paper(strategy), _) => Arc::clone(strategy),
+        (WorkloadStrategy::LeastLoaded, Some(view)) => {
+            universal_strategy(LeastLoadedScan::new(view.clone()))
+        }
+        (WorkloadStrategy::PowerOfTwo, Some(view)) => {
+            universal_strategy(PowerOfTwoScan::new(view.clone()))
+        }
+        _ => unreachable!("load-aware strategies always carry a view"),
+    };
+    assert!(
+        strategy.supports(cell.system.as_ref()),
+        "strategy {} does not support system {}",
+        strategy.name(),
+        cell.system.name()
+    );
+
+    // The engine's own randomness (latencies, service times, arrivals) is
+    // seeded per cell; each session's strategy/scenario randomness derives
+    // from (base_seed, cell, session) exactly like an eval-plan trial.
+    let engine_seed = base_seed
+        .rotate_left(17)
+        .wrapping_add((cell_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut scratch = Coloring::all_green(n);
+    let report = run_workload(n, &cell.config, engine_seed, |session, ledger, now| {
+        // Publish the ledger's current scores so load-aware strategies see
+        // the backlog this session would join.
+        if let Some(view) = &view {
+            for e in 0..n {
+                view.set(e, ledger.score(e, now));
+            }
+        }
+        let mut rng = derive_rng(base_seed, cell_index, session);
+        cell.source.sample_into(n, session, &mut rng, &mut scratch);
+        let run = strategy.run(cell.system.as_ref(), &scratch, &mut rng);
+        SessionPlan {
+            colors: run.sequence.iter().map(|&e| scratch.color(e)).collect(),
+            sequence: run.sequence,
+            success: run.witness.is_green(),
+        }
+    });
+
+    let peak_backlog = (0..n)
+        .map(|e| report.ledger.peak_backlog(e))
+        .max()
+        .unwrap_or(0);
+    WorkloadOutcome {
+        system: cell.system.name(),
+        universe_size: n,
+        strategy: cell.strategy.label(),
+        workload: cell.workload.clone(),
+        scenario: cell.source.label(),
+        sessions: report.sessions,
+        success_rate: report.success_rate(),
+        throughput_per_sec: report.throughput_per_sec(),
+        p50_us: report.latency.p50(),
+        p95_us: report.latency.p95(),
+        p99_us: report.latency.p99(),
+        probes_per_session: report.probes_per_session(),
+        imbalance: load_imbalance(report.ledger.probes_received()),
+        peak_backlog,
+    }
+}
+
+/// Runs every cell, in parallel across the engine's worker pool, returning
+/// outcomes in cell order. Bit-identical for any thread count.
+pub fn run_workload_cells(
+    engine: &EvalEngine,
+    base_seed: u64,
+    cells: &[WorkloadCell],
+) -> Vec<WorkloadOutcome> {
+    let indexed: Vec<(u64, &WorkloadCell)> = cells
+        .iter()
+        .enumerate()
+        .map(|(index, cell)| (index as u64, cell))
+        .collect();
+    engine.install(|| {
+        indexed
+            .into_par_iter()
+            .map(|(index, cell)| run_cell(base_seed, index, cell))
+            .collect()
+    })
+}
+
+/// Renders outcomes as the standard workload table.
+pub fn outcomes_table(outcomes: &[WorkloadOutcome]) -> Table {
+    let mut table = Table::new([
+        "system",
+        "n",
+        "strategy",
+        "workload",
+        "scenario",
+        "sessions",
+        "ok_rate",
+        "thr_per_s",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "probes",
+        "imbalance",
+    ]);
+    for o in outcomes {
+        table.add_row(vec![
+            o.system.clone(),
+            o.universe_size.to_string(),
+            o.strategy.clone(),
+            o.workload.clone(),
+            o.scenario.clone(),
+            o.sessions.to_string(),
+            format!("{:.3}", o.success_rate),
+            format!("{:.1}", o.throughput_per_sec),
+            format!("{:.3}", o.p50_us as f64 / 1_000.0),
+            format!("{:.3}", o.p95_us as f64 / 1_000.0),
+            format!("{:.3}", o.p99_us as f64 / 1_000.0),
+            format!("{:.2}", o.probes_per_session),
+            format!("{:.2}", o.imbalance),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::erase_system;
+    use quorum_probe::strategies::SequentialScan;
+    use quorum_systems::Majority;
+
+    fn maj_cells(sessions: usize) -> Vec<WorkloadCell> {
+        let system = erase_system(Majority::new(15).unwrap());
+        let workloads = standard_workloads(sessions);
+        let mut cells = Vec::new();
+        for strategy in [
+            WorkloadStrategy::Paper(universal_strategy(SequentialScan::new())),
+            WorkloadStrategy::LeastLoaded,
+            WorkloadStrategy::PowerOfTwo,
+        ] {
+            for (name, config) in &workloads {
+                cells.push(WorkloadCell {
+                    system: system.clone(),
+                    strategy: strategy.clone(),
+                    source: ColoringSource::iid(0.1),
+                    workload: (*name).to_string(),
+                    config: *config,
+                });
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn outcomes_are_thread_count_invariant() {
+        let cells = maj_cells(300);
+        let single = run_workload_cells(&EvalEngine::with_threads(1), 42, &cells);
+        let parallel = run_workload_cells(&EvalEngine::with_threads(4), 42, &cells);
+        assert_eq!(single, parallel, "workload rows diverged across threads");
+        assert_eq!(
+            outcomes_table(&single).render(),
+            outcomes_table(&parallel).render()
+        );
+    }
+
+    #[test]
+    fn load_aware_strategies_flatten_the_load() {
+        let cells = maj_cells(400);
+        let outcomes = run_workload_cells(&EvalEngine::with_threads(0), 7, &cells);
+        let imbalance_of = |strategy: &str, workload: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.strategy == strategy && o.workload == workload)
+                .map(|o| o.imbalance)
+                .expect("cell exists")
+        };
+        for workload in ["open-poisson", "closed-loop"] {
+            let sequential = imbalance_of("SequentialScan", workload);
+            let least = imbalance_of("LeastLoaded", workload);
+            let p2c = imbalance_of("PowerOfTwo", workload);
+            // A sequential scan on Maj(15) leaves almost half the universe
+            // unprobed; both load-aware orders must spread load far flatter.
+            assert!(
+                least < sequential,
+                "{workload}: least-loaded {least} vs sequential {sequential}"
+            );
+            assert!(
+                p2c < sequential,
+                "{workload}: power-of-two {p2c} vs sequential {sequential}"
+            );
+            assert!(least < 1.25, "{workload}: least-loaded should be near-flat");
+        }
+    }
+
+    #[test]
+    fn outcome_metrics_are_sane() {
+        let cells = maj_cells(200);
+        let outcomes = run_workload_cells(&EvalEngine::with_threads(0), 11, &cells);
+        assert_eq!(outcomes.len(), cells.len());
+        for o in &outcomes {
+            assert_eq!(o.sessions, 200);
+            assert!(o.success_rate > 0.9, "iid(0.1) rarely kills Maj(15)");
+            assert!(o.throughput_per_sec > 0.0);
+            assert!(o.p50_us <= o.p95_us && o.p95_us <= o.p99_us);
+            assert!(o.probes_per_session >= 8.0, "majority needs 8 greens");
+            assert!(o.imbalance >= 1.0);
+            assert!(o.peak_backlog >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn incompatible_paper_strategy_is_rejected() {
+        use quorum_probe::strategies::ProbeCw;
+        use quorum_systems::CrumblingWalls;
+        let cell = WorkloadCell {
+            system: erase_system(Majority::new(5).unwrap()),
+            strategy: WorkloadStrategy::Paper(crate::eval::typed_strategy::<CrumblingWalls, _>(
+                ProbeCw::new(),
+            )),
+            source: ColoringSource::iid(0.1),
+            workload: "open".into(),
+            config: open_poisson_workload(10, SimTime::from_micros(200)),
+        };
+        let _ = run_workload_cells(&EvalEngine::with_threads(1), 1, &[cell]);
+    }
+}

@@ -1,33 +1,53 @@
-//! Mutual exclusion over a failing cluster, the paper's first motivating
-//! application: clients must lock a *live* quorum before entering the critical
-//! section, and probing is how they find one cheaply.
+//! Mutual exclusion over a failing cluster **under contention**: several
+//! clients race for the lock every round, holders keep it for a few rounds,
+//! and probing is how each client finds a live quorum cheaply.
 //!
 //! The cluster is driven by a [`ChurnTrajectory`] — a seeded fail/repair
 //! Markov timeline — so nodes crash and recover the way production fleets
-//! do, rather than by one-off random shakes.
+//! do. Acquisition latency (virtual time spent probing) is accumulated into
+//! a [`LogHistogram`] and reported as p50/p95/p99, together with the
+//! per-node load-imbalance factor the probe traffic induced.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --example mutual_exclusion -p probequorum
+//! EXAMPLE_ROUNDS=60 cargo run --release --example mutual_exclusion -p probequorum
 //! ```
 
 use probequorum::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Reads a `usize` knob from the environment (CI smoke runs bound the work).
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() -> Result<(), QuorumError> {
+    let rounds = env_usize("EXAMPLE_ROUNDS", 200);
+    let clients: Vec<u64> = (1..=env_usize("EXAMPLE_CLIENTS", 6) as u64).collect();
+    let hold_rounds = 2usize;
+
     let rows = 10;
     let wall = CrumblingWalls::triang(rows)?;
     let n = wall.universe_size();
-    println!("== Quorum-based mutual exclusion on a Triang({rows}) system, n = {n} ==\n");
+    println!("== Contended mutual exclusion on a Triang({rows}) system, n = {n} ==\n");
+    println!(
+        "{} clients race for the lock every round; a holder keeps it for {hold_rounds} rounds.\n",
+        clients.len()
+    );
 
     // A realistic failure timeline: each node fails with probability 0.03 and
     // recovers with probability 0.12 per round, i.e. one node in five is down
     // in steady state and failures persist for ~8 rounds.
-    let churn = ChurnTrajectory::generate(n, 0.03, 0.12, 200, 4242);
+    let churn = ChurnTrajectory::generate(n, 0.03, 0.12, rounds, 4242);
     println!(
-        "churn timeline: fail {:.2}/round, repair {:.2}/round, stationary red fraction {:.2}\n",
+        "churn timeline: fail {:.2}/round, repair {:.2}/round, stationary red fraction {:.2}",
         churn.fail_rate(),
         churn.repair_rate(),
         churn.stationary_red_fraction()
@@ -48,29 +68,53 @@ fn main() -> Result<(), QuorumError> {
     let mut mutex = QuorumMutex::new(wall, cluster, ProbeCw::new());
     let mut rng = StdRng::seed_from_u64(99);
 
-    let clients: Vec<u64> = (1..=4).collect();
     let mut completed = vec![0usize; clients.len()];
     let mut rejected_no_quorum = 0usize;
     let mut rejected_contended = 0usize;
+    let mut outage_rounds = 0usize;
+    let mut acquire_latency = LogHistogram::new();
+    // client -> round at which it releases the lock.
+    let mut holding: HashMap<u64, usize> = HashMap::new();
 
-    for coloring in churn.iter() {
+    for (round, coloring) in churn.iter().enumerate() {
         // Advance the cluster to this round's failure pattern.
         mutex.cluster_mut().apply_coloring(coloring);
-        // A random client tries to enter the critical section.
-        let idx = rng.gen_range(0..clients.len());
-        let client = clients[idx];
-        match mutex.try_acquire(client) {
-            Ok(quorum) => {
-                assert!(mutex.exclusion_invariant_holds(), "exclusion violated!");
-                completed[idx] += 1;
-                // ... critical section would run here ...
-                let _ = quorum;
-                mutex.release(client).expect("holder can always release");
+        let mut saw_no_quorum = false;
+        for (idx, &client) in clients.iter().enumerate() {
+            if let Some(&until) = holding.get(&client) {
+                if round >= until {
+                    mutex.release(client).expect("holder can always release");
+                    holding.remove(&client);
+                }
+                continue;
             }
-            Err(MutexError::NoLiveQuorum) => rejected_no_quorum += 1,
-            Err(MutexError::Contended { .. }) => rejected_contended += 1,
-            Err(other) => panic!("unexpected error: {other}"),
+            // Idle clients want the lock more often than not.
+            if !rng.gen_bool(0.7) {
+                continue;
+            }
+            let started = mutex.cluster().now();
+            match mutex.try_acquire(client) {
+                Ok(_quorum) => {
+                    assert!(mutex.exclusion_invariant_holds(), "exclusion violated!");
+                    completed[idx] += 1;
+                    acquire_latency
+                        .record((mutex.cluster().now().saturating_sub(started)).as_micros());
+                    holding.insert(client, round + hold_rounds);
+                }
+                Err(MutexError::NoLiveQuorum) => {
+                    rejected_no_quorum += 1;
+                    saw_no_quorum = true;
+                }
+                Err(MutexError::Contended { .. }) => rejected_contended += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
         }
+        if saw_no_quorum {
+            outage_rounds += 1;
+        }
+    }
+    for &client in holding.keys() {
+        mutex.release(client).expect("holder can always release");
     }
 
     let mut table = Table::new(["client", "critical sections entered"]);
@@ -78,13 +122,25 @@ fn main() -> Result<(), QuorumError> {
         table.add_row(vec![format!("client {client}"), completed[idx].to_string()]);
     }
     println!("{table}");
+    println!(
+        "acquisition latency (virtual): p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms over {} acquisitions",
+        acquire_latency.p50() as f64 / 1_000.0,
+        acquire_latency.p95() as f64 / 1_000.0,
+        acquire_latency.p99() as f64 / 1_000.0,
+        acquire_latency.count()
+    );
     println!("attempts rejected because no live quorum existed: {rejected_no_quorum}");
     println!(
-        "observed outage fraction: {:.4} (batched prediction: {:.4})",
-        rejected_no_quorum as f64 / churn.len() as f64,
+        "observed outage-round fraction: {:.4} (batched prediction: {:.4})",
+        outage_rounds as f64 / churn.len() as f64,
         predicted_outage.mean
     );
     println!("attempts rejected because of contention:          {rejected_contended}");
+    let loads: Vec<u64> = (0..n).map(|e| mutex.cluster().probes_received(e)).collect();
+    println!(
+        "per-node probe load imbalance (max/mean): {:.2}",
+        load_imbalance(&loads)
+    );
     println!(
         "total probe RPCs issued: {} over {} virtual time",
         mutex.cluster().total_rpcs(),

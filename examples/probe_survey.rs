@@ -27,7 +27,11 @@ struct Sweep {
 fn main() -> Result<(), QuorumError> {
     let systems = SystemRegistry::paper();
     let strategies = StrategyRegistry::paper();
-    let trials = 2_000;
+    // `EXAMPLE_TRIALS` bounds the work in CI smoke runs.
+    let trials = std::env::var("EXAMPLE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
     let p = 0.5;
 
     let sweeps = [

@@ -14,7 +14,11 @@ use rand::SeedableRng;
 fn main() -> Result<(), QuorumError> {
     let mut rng = StdRng::seed_from_u64(2001);
     let p = 0.5;
-    let trials = 5_000;
+    // `EXAMPLE_TRIALS` bounds the work in CI smoke runs.
+    let trials = std::env::var("EXAMPLE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
 
     println!("== Average probe complexity in quorum systems — quickstart ==\n");
     println!("Every element fails independently with probability p = {p}; a probing");

@@ -1,31 +1,47 @@
-//! A replicated key value — well, a replicated *register* — over a failing
-//! cluster, the paper's second motivating application (replicated data
-//! management à la Gifford/Thomas), with probe strategies locating live
-//! quorums for every read and write.
+//! A replicated register over a failing cluster **under contention**:
+//! several clients issue interleaved reads and writes every round, with
+//! probe strategies locating a live quorum for every operation.
 //!
-//! Replica failures follow a [`ChurnTrajectory`]: a seeded fail/repair
-//! Markov timeline, so outages are correlated in time the way real replica
-//! fleets degrade and heal.
+//! Replica failures follow a [`ChurnTrajectory`] (a seeded fail/repair
+//! Markov timeline), and the register probes with the load-aware
+//! [`LeastLoadedScan`]: its [`LoadView`] is refreshed from the cluster's
+//! per-node probe counters each round, so operations steer toward cold
+//! replicas and the load stays flat even though tree-structured quorums are
+//! naturally skewed. Operation latency lands in a [`LogHistogram`].
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --example replicated_store -p probequorum
+//! EXAMPLE_ROUNDS=50 cargo run --release --example replicated_store -p probequorum
 //! ```
 
 use probequorum::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Reads a `usize` knob from the environment (CI smoke runs bound the work).
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() -> Result<(), QuorumError> {
+    let rounds = env_usize("EXAMPLE_ROUNDS", 150);
+    let clients = env_usize("EXAMPLE_CLIENTS", 4);
+
     let tree = TreeQuorum::new(5)?; // 63 replicas
     let n = tree.universe_size();
     println!("== Replicated register on a Tree quorum system, n = {n} replicas ==\n");
+    println!("{clients} clients issue interleaved reads and writes every round,");
+    println!("probing with the load-aware LeastLoaded strategy.\n");
 
     // One replica in four is down in steady state; failures persist ~7 rounds.
-    let churn = ChurnTrajectory::generate(n, 0.05, 0.15, 150, 77);
+    let churn = ChurnTrajectory::generate(n, 0.05, 0.15, rounds, 77);
     println!(
-        "churn timeline: fail {:.2}/round, repair {:.2}/round, stationary red fraction {:.2}\n",
+        "churn timeline: fail {:.2}/round, repair {:.2}/round, stationary red fraction {:.2}",
         churn.fail_rate(),
         churn.repair_rate(),
         churn.stationary_red_fraction()
@@ -42,7 +58,8 @@ fn main() -> Result<(), QuorumError> {
     );
 
     let cluster = Cluster::new(n, NetworkConfig::wan(), 77);
-    let mut register = ReplicatedRegister::new(tree, cluster, ProbeTree::new());
+    let view = LoadView::new(n);
+    let mut register = ReplicatedRegister::new(tree, cluster, LeastLoadedScan::new(view.clone()));
     let mut rng = StdRng::seed_from_u64(123);
 
     let mut writes_ok = 0usize;
@@ -50,34 +67,43 @@ fn main() -> Result<(), QuorumError> {
     let mut reads_ok = 0usize;
     let mut reads_blocked = 0usize;
     let mut stale_reads = 0usize;
+    let mut latency = LogHistogram::new();
     let mut last_committed: Option<(u64, Vec<u8>)> = None;
 
     for (round, coloring) in churn.iter().enumerate() {
-        // Advance the replica fleet to this round's failure pattern.
+        // Advance the replica fleet to this round's failure pattern, and
+        // publish its accumulated probe load so the strategy sees it.
         register.cluster_mut().apply_coloring(coloring);
-        if rng.gen_bool(0.4) {
-            let payload = format!("round-{round}").into_bytes();
-            match register.write(payload.clone()) {
-                Ok(version) => {
-                    writes_ok += 1;
-                    last_committed = Some((version, payload));
+        for e in 0..n {
+            view.set(e, register.cluster().probes_received(e));
+        }
+        for client in 0..clients {
+            let started = register.cluster().now();
+            if rng.gen_bool(0.4) {
+                let payload = format!("round-{round}-client-{client}").into_bytes();
+                match register.write(payload.clone()) {
+                    Ok(version) => {
+                        writes_ok += 1;
+                        last_committed = Some((version, payload));
+                    }
+                    Err(_) => writes_blocked += 1,
                 }
-                Err(_) => writes_blocked += 1,
-            }
-        } else {
-            match register.read() {
-                Ok(result) => {
-                    reads_ok += 1;
-                    if let Some((version, ref value)) = last_committed {
-                        // Freshness: the read must return the latest committed
-                        // write (or a newer one, which cannot happen here).
-                        if result.version < version || &result.value != value {
-                            stale_reads += 1;
+            } else {
+                match register.read() {
+                    Ok(result) => {
+                        reads_ok += 1;
+                        if let Some((version, ref value)) = last_committed {
+                            // Freshness: the read must return the latest
+                            // committed write.
+                            if result.version < version || &result.value != value {
+                                stale_reads += 1;
+                            }
                         }
                     }
+                    Err(_) => reads_blocked += 1,
                 }
-                Err(_) => reads_blocked += 1,
             }
+            latency.record((register.cluster().now().saturating_sub(started)).as_micros());
         }
     }
 
@@ -94,11 +120,25 @@ fn main() -> Result<(), QuorumError> {
     ]);
     println!("{table}");
     println!(
+        "operation latency (virtual): p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms over {} operations",
+        latency.p50() as f64 / 1_000.0,
+        latency.p95() as f64 / 1_000.0,
+        latency.p99() as f64 / 1_000.0,
+        latency.count()
+    );
+    println!(
         "observed blocked fraction: {:.4} (batched prediction: {:.4})",
-        (writes_blocked + reads_blocked) as f64 / churn.len() as f64,
+        (writes_blocked + reads_blocked) as f64 / (churn.len() * clients) as f64,
         predicted_outage.mean
     );
     println!("stale reads observed: {stale_reads} (must be 0 — quorum intersection)");
+    let loads: Vec<u64> = (0..n)
+        .map(|e| register.cluster().probes_received(e))
+        .collect();
+    println!(
+        "per-replica probe load imbalance (max/mean): {:.2}",
+        load_imbalance(&loads)
+    );
     println!(
         "probe RPCs issued: {}, virtual time elapsed: {}",
         register.cluster().total_rpcs(),

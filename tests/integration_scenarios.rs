@@ -275,3 +275,54 @@ fn shared_churn_trajectory_pairs_cells() {
         "identical timeline + deterministic strategy must match exactly"
     );
 }
+
+/// Stationarity: the long-run time-average per-element availability of a
+/// churn trajectory converges to the fail/repair chain's stationary
+/// distribution `p_repair / (p_fail + p_repair)` — the law every churn
+/// experiment's "stationary red" column relies on.
+#[test]
+fn churn_time_average_availability_matches_the_stationary_distribution() {
+    let n = 30usize;
+    let steps = 6_000usize;
+    for (fail, repair, seed) in [
+        (0.05, 0.15, 11u64),
+        (0.3, 0.5, 12),
+        (0.02, 0.02, 13),
+        (0.5, 0.1, 14),
+    ] {
+        let trajectory = ChurnTrajectory::generate(n, fail, repair, steps, seed);
+        let expected_availability = repair / (fail + repair);
+        assert!(
+            (trajectory.stationary_red_fraction() - (1.0 - expected_availability)).abs() < 1e-12
+        );
+
+        let green_steps: usize = trajectory
+            .iter()
+            .map(|coloring| coloring.green_count())
+            .sum();
+        let availability = green_steps as f64 / (n * steps) as f64;
+        // Mixing time is ~1/(fail+repair) steps, so the slowest chain here
+        // (0.04 total rate) still yields thousands of effective samples:
+        // 0.03 is a multi-sigma tolerance for every regime.
+        assert!(
+            (availability - expected_availability).abs() < 0.03,
+            "fail={fail} repair={repair}: time-average availability \
+             {availability} vs stationary {expected_availability}"
+        );
+
+        // Convergence, not coincidence: the second half of the timeline
+        // alone agrees with the stationary value too, so the average is not
+        // carried by a lucky initial draw.
+        let half: usize = trajectory
+            .iter()
+            .skip(steps / 2)
+            .map(|coloring| coloring.green_count())
+            .sum();
+        let half_availability = half as f64 / (n * (steps - steps / 2)) as f64;
+        assert!(
+            (half_availability - expected_availability).abs() < 0.04,
+            "fail={fail} repair={repair}: second-half availability \
+             {half_availability} vs stationary {expected_availability}"
+        );
+    }
+}
