@@ -12,7 +12,19 @@
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
 //! `availability`, `zoned`, `churn`, `scenario-matrix`, `workload`,
-//! `throughput`, `figures`, `all`.
+//! `network`, `throughput`, `figures`, `all`. Unknown names are rejected
+//! before anything runs, with a non-zero exit — CI cannot silently run
+//! nothing.
+//!
+//! The binary doubles as the CI perf-regression gate:
+//!
+//! ```text
+//! reproduce --check-regression BENCH_<sha>.json crates/bench/baseline.json --tolerance 0.25
+//! ```
+//!
+//! compares the deterministic throughput rows of the two artifacts (failing
+//! on a drop beyond the tolerance) and prints a markdown delta table, also
+//! appended to `$GITHUB_STEP_SUMMARY` when set.
 //!
 //! `throughput` measures trials/second on the hot paths (engine probes,
 //! scalar vs word-parallel batched availability); being wall-clock data its
@@ -29,11 +41,36 @@
 use std::time::Instant;
 
 use bench::{
-    availability_table, churn, crumbling_walls, figures, hqs_exponent, hqs_randomized,
-    lemmas_table, lower_bounds, maj3, randomized, scenario_matrix, table1, throughput,
-    tree_exponent, workload, zoned, BenchArtifact, ReproConfig,
+    availability_table, check_regression, churn, crumbling_walls, figures, hqs_exponent,
+    hqs_randomized, lemmas_table, lower_bounds, maj3, network, parse_artifact, randomized,
+    scenario_matrix, table1, throughput, tree_exponent, workload, zoned, BenchArtifact,
+    ReproConfig,
 };
 use probequorum::prelude::Table;
+
+/// Every experiment the binary can run, in `all` order (`throughput` and the
+/// meta-entry `all` are appended for the usage message only: `all` skips
+/// `throughput` because its wall-clock table is non-deterministic).
+const EXPERIMENTS: &[&str] = &[
+    "maj3",
+    "table1",
+    "crumbling-walls",
+    "tree-exponent",
+    "hqs-exponent",
+    "randomized",
+    "lower-bounds",
+    "hqs-randomized",
+    "lemmas",
+    "availability",
+    "zoned",
+    "churn",
+    "scenario-matrix",
+    "workload",
+    "network",
+    "figures",
+    "throughput",
+    "all",
+];
 
 /// Runs one experiment, printing its table (and any trailing ASCII art)
 /// under a heading and recording the table into the artifact. Timing goes to
@@ -182,6 +219,13 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
             "Workload: concurrent sessions, service queues and load-aware probing",
             plain(workload),
         ),
+        "network" => timed(
+            config,
+            artifact,
+            "network",
+            "Network faults: loss, heavy tails, partitions, and retrying/hedged probe sessions",
+            plain(network),
+        ),
         "throughput" => {
             let started = Instant::now();
             eprintln!("== Throughput: trials/second on the hot paths ==\n");
@@ -214,6 +258,7 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
                 "churn",
                 "scenario-matrix",
                 "workload",
+                "network",
                 "figures",
             ] {
                 run_experiment(experiment, config, artifact);
@@ -224,26 +269,98 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
     true
 }
 
+/// Handles `reproduce --check-regression <current.json> <baseline.json>
+/// [--tolerance 0.25]`: prints the markdown delta table (also appended to
+/// `$GITHUB_STEP_SUMMARY` when set) and exits non-zero when an enforced
+/// throughput row regressed beyond the tolerance.
+fn run_regression_check(args: &[String]) -> ! {
+    let mut paths = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--tolerance" {
+            let value = iter.next().and_then(|v| v.parse().ok());
+            match value {
+                Some(v) if (0.0..1.0).contains(&v) => tolerance = v,
+                _ => {
+                    eprintln!("--tolerance needs a fraction in [0, 1), e.g. 0.25");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [current_path, baseline_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: reproduce --check-regression <current.json> <baseline.json> [--tolerance 0.25]"
+        );
+        std::process::exit(2);
+    };
+    let load = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => match parse_artifact(&text) {
+            Ok(run) => run,
+            Err(error) => {
+                eprintln!("failed to parse {path}: {error}");
+                std::process::exit(2);
+            }
+        },
+        Err(error) => {
+            eprintln!("failed to read {path}: {error}");
+            std::process::exit(2);
+        }
+    };
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+    let report = check_regression(&current, &baseline, tolerance);
+    println!("{}", report.markdown);
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary_path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{}", report.markdown);
+            }
+            Err(error) => eprintln!("could not append to GITHUB_STEP_SUMMARY: {error}"),
+        }
+    }
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check-regression") {
+        run_regression_check(&args[1..]);
+    }
+
     let config = ReproConfig::from_env();
-    let requested: Vec<String> = std::env::args().skip(1).collect();
-    let requested = if requested.is_empty() {
+    let requested = if args.is_empty() {
         vec!["all".to_string()]
     } else {
-        requested
+        args
     };
+
+    // Validate every name before running anything: a typo must not let CI
+    // silently run a partial (or empty) reproduction and exit 0.
+    let unknown: Vec<&String> = requested
+        .iter()
+        .filter(|name| !EXPERIMENTS.contains(&name.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for name in unknown {
+            eprintln!("unknown experiment '{name}'");
+        }
+        eprintln!("available: {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
 
     let mut artifact = BenchArtifact::new();
     for experiment in &requested {
-        if !run_experiment(experiment, &config, &mut artifact) {
-            eprintln!("unknown experiment '{experiment}'");
-            eprintln!(
-                "available: table1 maj3 crumbling-walls tree-exponent hqs-exponent randomized \
-                 lower-bounds hqs-randomized lemmas availability zoned churn scenario-matrix \
-                 workload throughput figures all"
-            );
-            std::process::exit(2);
-        }
+        let ran = run_experiment(experiment, &config, &mut artifact);
+        debug_assert!(ran, "validated names always dispatch");
     }
 
     if let Ok(path) = std::env::var("REPRO_JSON") {

@@ -34,8 +34,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 pub mod artifact;
+pub mod regression;
 
 pub use artifact::BenchArtifact;
+pub use regression::{check_regression, parse_artifact, BenchRun, RegressionReport};
 
 /// Configuration of a reproduction run.
 #[derive(Debug, Clone, Copy)]
@@ -1120,6 +1122,74 @@ pub fn workload(config: &ReproConfig) -> Table {
     outcomes_table(&outcomes)
 }
 
+/// The **network** experiment: the same heavy-traffic engine as
+/// [`workload`], but with a message-level network between client and nodes —
+/// probes are request/response pairs routed through loss, heavy-tailed
+/// delays and timed partition windows (see
+/// [`network_scenarios`]), and clients run session-level robustness
+/// policies (bounded retry with backoff, hedged probes).
+///
+/// Three system families × the six-scenario battery (clean, lossy,
+/// heavy-tail, minority partition, flapping partition, asymmetric split);
+/// every faulty scenario runs twice — once with the **naive** single-attempt
+/// policy and once with the scenario's recommended robust policy — so each
+/// row pair shows what retries and hedging buy. The `clean` rows are the
+/// control: they are produced by exactly the latency-only engine's code path
+/// and match [`workload`]-style cells bit for bit.
+///
+/// Rows report ok-rate (sessions that located a quorum in their *observed*
+/// coloring), virtual-time throughput, p50/p95/p99 session latency, probes,
+/// messages and wasted-probe fraction per session. Deterministic: the table
+/// is bit-identical for any `REPRO_THREADS`.
+pub fn network(config: &ReproConfig) -> Table {
+    let sessions = config.trials.clamp(1, 1_000);
+
+    let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
+        (
+            erase_system(Majority::new(31).unwrap()),
+            typed_strategy::<Majority, _>(ProbeMaj::new()),
+        ),
+        (
+            erase_system(CrumblingWalls::triang(8).unwrap()),
+            typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
+        ),
+        (
+            erase_system(TreeQuorum::new(4).unwrap()),
+            typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+        ),
+    ];
+    let workload_config = open_poisson_workload(sessions, SimTime::from_micros(250));
+
+    let mut cells = Vec::new();
+    for (system, paper) in &systems {
+        let n = system.universe_size();
+        for scenario in network_scenarios(n, &workload_config) {
+            // The clean scenario's recommended policy *is* the naive one, so
+            // it contributes a single control row; every faulty scenario
+            // gets a naive/robust pair.
+            let mut policies = vec![scenario.policy];
+            if !scenario.policy.is_sequential() {
+                policies.push(ProbePolicy::sequential());
+            }
+            for policy in policies {
+                cells.push(NetWorkloadCell {
+                    system: system.clone(),
+                    strategy: WorkloadStrategy::Paper(Arc::clone(paper)),
+                    source: ColoringSource::iid(0.05),
+                    workload: "open-poisson".into(),
+                    config: workload_config,
+                    net: scenario.name.to_string(),
+                    network: scenario.network.clone(),
+                    policy,
+                });
+            }
+        }
+    }
+
+    let outcomes = run_net_workload_cells(&config.engine(), config.section_seed("network"), &cells);
+    net_outcomes_table(&outcomes)
+}
+
 /// Measures trials/second through the workspace's hottest paths, for the
 /// Grid, Majority and Tree families at universe sizes ≈ {64, 256, 1024}:
 ///
@@ -1503,6 +1573,91 @@ mod tests {
             assert!(p50 <= p95 && p95 <= p99, "unordered quantiles in {row:?}");
             assert!(imbalance >= 1.0, "impossible imbalance in {row:?}");
         }
+    }
+
+    #[test]
+    fn network_covers_the_battery_and_is_thread_invariant() {
+        // 3 systems × (1 clean control + 5 faulty scenarios × 2 policies).
+        let single = ReproConfig {
+            trials: 120,
+            seed: 7,
+            threads: 1,
+        };
+        let parallel = ReproConfig {
+            trials: 120,
+            seed: 7,
+            threads: 4,
+        };
+        let a = network(&single);
+        assert_eq!(a.row_count(), 33);
+        let text = a.render();
+        for marker in [
+            "clean",
+            "lossy",
+            "heavy-tail",
+            "minority-part",
+            "flapping",
+            "asym-split",
+            "naive",
+            "r3/b300us",
+            "Probe_Maj",
+            "Probe_CW",
+            "Probe_Tree",
+        ] {
+            assert!(text.contains(marker), "missing {marker}");
+        }
+        let b = network(&parallel);
+        assert_eq!(a.render(), b.render(), "network diverged across threads");
+        // Columns: (.., sessions, ok_rate, thr, p50, p95, p99, probes, msgs,
+        // wasted).
+        for row in a.rows() {
+            let ok: f64 = row[7].parse().unwrap();
+            let thr: f64 = row[8].parse().unwrap();
+            let wasted: f64 = row[14].parse().unwrap();
+            assert!((0.0..=1.0).contains(&ok), "bad ok-rate in {row:?}");
+            assert!(thr > 0.0, "non-positive throughput in {row:?}");
+            assert!((0.0..=1.0).contains(&wasted), "bad waste in {row:?}");
+            if row[3] == "clean" {
+                assert_eq!(row[14], "0.000", "clean rows waste nothing: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn robust_policies_pay_messages_to_recover_ok_rate() {
+        let table = network(&ReproConfig {
+            trials: 250,
+            seed: 11,
+            threads: 0,
+        });
+        // For each system, on the lossy scenario the robust policy must
+        // reach at least the naive policy's ok-rate, strictly improving it
+        // somewhere. (Messages per session need not rise: a naive client
+        // that mistakes live nodes for dead ones probes *more* elements.)
+        let mut strict_improvement = false;
+        for system in ["Maj", "CW", "Tree"] {
+            let find = |policy: &str| {
+                table
+                    .rows()
+                    .iter()
+                    .find(|row| row[0].starts_with(system) && row[3] == "lossy" && row[4] == policy)
+                    .unwrap_or_else(|| panic!("missing {system} lossy {policy} row"))
+                    .clone()
+            };
+            let naive = find("naive");
+            let robust = find("r3/b300us");
+            let naive_ok: f64 = naive[7].parse().unwrap();
+            let robust_ok: f64 = robust[7].parse().unwrap();
+            assert!(
+                robust_ok >= naive_ok,
+                "{system}: retries must not lower ok-rate ({robust_ok} vs {naive_ok})"
+            );
+            strict_improvement |= robust_ok > naive_ok;
+        }
+        assert!(
+            strict_improvement,
+            "retries must strictly recover ok-rate on at least one family"
+        );
     }
 
     #[test]

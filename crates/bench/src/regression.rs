@@ -1,0 +1,722 @@
+//! The CI performance-regression gate: parse two `BENCH_<sha>.json`
+//! artifacts (see [`crate::artifact`]), compare their throughput rows, and
+//! render a markdown delta table for `$GITHUB_STEP_SUMMARY`.
+//!
+//! The gate enforces the **deterministic** throughput metrics — the
+//! virtual-time sessions/second of the `workload` and `network` experiments,
+//! which are pure functions of the seed and trial count, so any drop is a
+//! genuine behavioural change, never runner noise. The wall-clock
+//! `throughput` experiment (trials/second on the hot paths) is reported in
+//! the same table for context but never fails the gate: CI runners are too
+//! noisy for hard wall-clock thresholds.
+//!
+//! The workspace is offline (no serde), so a ~100-line recursive-descent
+//! JSON parser for the artifact's own schema lives here.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (only what the artifact schema needs).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("JSON parse error at byte {}: {message}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("short \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.error("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&byte) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let len = match byte {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.error("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.error("invalid UTF-8"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+}
+
+/// One experiment of a parsed artifact.
+#[derive(Debug, Clone)]
+pub struct BenchExperiment {
+    /// Experiment name (`"workload"`, `"network"`, …).
+    pub name: String,
+    /// Wall-clock milliseconds the experiment took.
+    pub wall_ms: f64,
+    /// Column headers of the recorded table.
+    pub columns: Vec<String>,
+    /// Table rows, as rendered strings.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A parsed `BENCH_<sha>.json` artifact.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Commit the artifact was produced from.
+    pub sha: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// `REPRO_TRIALS` of the run.
+    pub trials: u64,
+    /// The recorded experiments.
+    pub experiments: Vec<BenchExperiment>,
+}
+
+impl BenchRun {
+    /// Looks an experiment up by name.
+    pub fn experiment(&self, name: &str) -> Option<&BenchExperiment> {
+        self.experiments.iter().find(|e| e.name == name)
+    }
+}
+
+/// Parses a `BENCH_<sha>.json` artifact (the schema written by
+/// [`crate::BenchArtifact::to_json`]).
+pub fn parse_artifact(json: &str) -> Result<BenchRun, String> {
+    let mut parser = Parser::new(json);
+    let root = parser.value()?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "probequorum-bench/1" {
+        return Err(format!("unsupported artifact schema '{schema}'"));
+    }
+    let experiments = root
+        .get("experiments")
+        .and_then(Json::as_array)
+        .ok_or("missing experiments array")?
+        .iter()
+        .map(|entry| {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("experiment without name")?
+                .to_string();
+            let wall_ms = entry.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            let strings = |value: &Json| -> Vec<String> {
+                value
+                    .as_array()
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|v| v.as_str().map(String::from))
+                    .collect()
+            };
+            let columns = entry.get("columns").map(&strings).unwrap_or_default();
+            let rows = entry
+                .get("rows")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(&strings)
+                .collect();
+            Ok(BenchExperiment {
+                name,
+                wall_ms,
+                columns,
+                rows,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BenchRun {
+        sha: root
+            .get("sha")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        seed: root.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        trials: root.get("trials").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        experiments,
+    })
+}
+
+/// One gated (or reported) metric: which experiment, which column carries
+/// the throughput number, which columns identify a row, and whether a drop
+/// fails the gate.
+struct Gate {
+    experiment: &'static str,
+    metric: &'static str,
+    keys: &'static [&'static str],
+    enforced: bool,
+}
+
+/// Deterministic virtual-time throughputs are enforced; wall-clock rates are
+/// reported only.
+const GATES: &[Gate] = &[
+    Gate {
+        experiment: "workload",
+        metric: "thr_per_s",
+        keys: &["system", "n", "strategy", "workload", "scenario"],
+        enforced: true,
+    },
+    Gate {
+        experiment: "network",
+        metric: "thr_per_s",
+        keys: &["system", "n", "strategy", "net", "policy", "scenario"],
+        enforced: true,
+    },
+    Gate {
+        experiment: "throughput",
+        metric: "trials_per_sec",
+        keys: &["family", "n", "path"],
+        enforced: false,
+    },
+];
+
+/// The result of a regression check.
+#[derive(Debug)]
+pub struct RegressionReport {
+    /// The markdown delta table (for stdout and `$GITHUB_STEP_SUMMARY`).
+    pub markdown: String,
+    /// Human-readable gate failures; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl RegressionReport {
+    /// Whether the gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn keyed_rows(
+    experiment: &BenchExperiment,
+    keys: &[&str],
+    metric: &str,
+) -> Result<BTreeMap<String, f64>, String> {
+    let key_indices: Vec<usize> = keys
+        .iter()
+        .map(|key| {
+            experiment
+                .columns
+                .iter()
+                .position(|c| c == key)
+                .ok_or_else(|| format!("{}: missing key column '{key}'", experiment.name))
+        })
+        .collect::<Result<_, _>>()?;
+    let metric_index = experiment
+        .columns
+        .iter()
+        .position(|c| c == metric)
+        .ok_or_else(|| format!("{}: missing metric column '{metric}'", experiment.name))?;
+    let mut out = BTreeMap::new();
+    for row in &experiment.rows {
+        let key = key_indices
+            .iter()
+            .map(|&i| row.get(i).map(String::as_str).unwrap_or("?"))
+            .collect::<Vec<_>>()
+            .join(" · ");
+        let value: f64 = row
+            .get(metric_index)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{}: unparsable {metric} in row {key}", experiment.name))?;
+        out.insert(key, value);
+    }
+    Ok(out)
+}
+
+/// Compares `current` against `baseline`: enforced metrics may not drop by
+/// more than `tolerance` (a fraction, e.g. `0.25`), and every baseline row
+/// must still exist. Returns the markdown delta table and the failures.
+pub fn check_regression(
+    current: &BenchRun,
+    baseline: &BenchRun,
+    tolerance: f64,
+) -> RegressionReport {
+    let mut failures = Vec::new();
+    let mut markdown = String::new();
+    markdown.push_str("## Bench regression check\n\n");
+    markdown.push_str(&format!(
+        "baseline `{}` (seed {}, trials {}) → current `{}` (seed {}, trials {}), \
+         tolerance {:.0}%\n\n",
+        baseline.sha,
+        baseline.seed,
+        baseline.trials,
+        current.sha,
+        current.seed,
+        current.trials,
+        tolerance * 100.0
+    ));
+    if current.seed != baseline.seed || current.trials != baseline.trials {
+        failures.push(format!(
+            "artifacts are not comparable: baseline ran seed {} / trials {}, current ran \
+             seed {} / trials {} — refresh the baseline with the pinned configuration",
+            baseline.seed, baseline.trials, current.seed, current.trials
+        ));
+    }
+    markdown.push_str("| experiment | row | baseline | current | Δ | status |\n");
+    markdown.push_str("|---|---|---:|---:|---:|---|\n");
+    for gate in GATES {
+        let (Some(base_exp), Some(cur_exp)) = (
+            baseline.experiment(gate.experiment),
+            current.experiment(gate.experiment),
+        ) else {
+            // An enforced gate must have rows on BOTH sides: a baseline
+            // regenerated without `workload`/`network` would otherwise
+            // silently disable the check forever.
+            if gate.enforced {
+                let missing_from = if baseline.experiment(gate.experiment).is_none() {
+                    "baseline (regenerate it with the pinned recipe)"
+                } else {
+                    "current artifact"
+                };
+                failures.push(format!(
+                    "enforced experiment '{}' is missing from the {missing_from}",
+                    gate.experiment
+                ));
+            }
+            continue;
+        };
+        let base_rows = match keyed_rows(base_exp, gate.keys, gate.metric) {
+            Ok(rows) => rows,
+            Err(error) => {
+                failures.push(format!("baseline {error}"));
+                continue;
+            }
+        };
+        let cur_rows = match keyed_rows(cur_exp, gate.keys, gate.metric) {
+            Ok(rows) => rows,
+            Err(error) => {
+                failures.push(format!("current {error}"));
+                continue;
+            }
+        };
+        for (key, base_value) in &base_rows {
+            let Some(cur_value) = cur_rows.get(key) else {
+                if gate.enforced {
+                    failures.push(format!(
+                        "{}: row '{key}' disappeared from the current artifact",
+                        gate.experiment
+                    ));
+                }
+                markdown.push_str(&format!(
+                    "| {} | {key} | {base_value:.1} | — | — | {} |\n",
+                    gate.experiment,
+                    if gate.enforced {
+                        "**FAIL** (missing)"
+                    } else {
+                        "info"
+                    }
+                ));
+                continue;
+            };
+            let delta = if *base_value == 0.0 {
+                0.0
+            } else {
+                (cur_value - base_value) / base_value
+            };
+            let regressed = gate.enforced && delta < -tolerance;
+            if regressed {
+                failures.push(format!(
+                    "{}: '{key}' dropped {:.1}% ({base_value:.1} → {cur_value:.1}, \
+                     tolerance {:.0}%)",
+                    gate.experiment,
+                    -delta * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+            let status = if regressed {
+                "**FAIL**"
+            } else if gate.enforced {
+                "ok"
+            } else {
+                "info"
+            };
+            markdown.push_str(&format!(
+                "| {} | {key} | {base_value:.1} | {cur_value:.1} | {:+.1}% | {status} |\n",
+                gate.experiment,
+                delta * 100.0
+            ));
+        }
+        for key in cur_rows.keys() {
+            if !base_rows.contains_key(key) {
+                markdown.push_str(&format!(
+                    "| {} | {key} | — | new | — | info |\n",
+                    gate.experiment
+                ));
+            }
+        }
+    }
+    markdown.push('\n');
+    if failures.is_empty() {
+        markdown.push_str("**PASS** — no enforced throughput row regressed.\n");
+    } else {
+        markdown.push_str(&format!("**FAIL** — {} problem(s):\n", failures.len()));
+        for failure in &failures {
+            markdown.push_str(&format!("- {failure}\n"));
+        }
+    }
+    RegressionReport { markdown, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchArtifact;
+    use probequorum::prelude::Table;
+    use std::time::Duration;
+
+    /// A minimal but gate-complete artifact: `workload` rows as given, one
+    /// constant `network` row (every enforced gate needs rows on both
+    /// sides), and an optional wall-clock `throughput` row.
+    fn artifact_parts(thr: &[(&str, f64)], wall_rate: Option<f64>) -> String {
+        let mut table = Table::new([
+            "system",
+            "n",
+            "strategy",
+            "workload",
+            "scenario",
+            "thr_per_s",
+        ]);
+        for (name, value) in thr {
+            table.add_row(vec![
+                (*name).into(),
+                "15".into(),
+                "Probe_Maj".into(),
+                "open".into(),
+                "iid".into(),
+                format!("{value:.1}"),
+            ]);
+        }
+        let mut net = Table::new([
+            "system",
+            "n",
+            "strategy",
+            "net",
+            "policy",
+            "scenario",
+            "thr_per_s",
+        ]);
+        net.add_row(vec![
+            "Maj".into(),
+            "15".into(),
+            "Probe_Maj".into(),
+            "clean".into(),
+            "naive".into(),
+            "iid".into(),
+            "500.0".into(),
+        ]);
+        let mut artifact = BenchArtifact::new();
+        artifact.record("workload", Duration::from_millis(5), table);
+        artifact.record("network", Duration::from_millis(5), net);
+        if let Some(rate) = wall_rate {
+            let mut wall = Table::new(["family", "n", "path", "trials_per_sec"]);
+            wall.add_row(vec![
+                "Maj".into(),
+                "64".into(),
+                "probes/engine".into(),
+                format!("{rate:.1}"),
+            ]);
+            artifact.record("throughput", Duration::ZERO, wall);
+        }
+        artifact.to_json("testsha", 2001, 500, 1)
+    }
+
+    fn artifact_with(thr: &[(&str, f64)]) -> String {
+        artifact_parts(thr, None)
+    }
+
+    #[test]
+    fn round_trips_the_artifact_schema() {
+        let json = artifact_with(&[("Maj", 1234.5), ("Tree", 999.0)]);
+        let run = parse_artifact(&json).expect("own schema parses");
+        assert_eq!(run.sha, "testsha");
+        assert_eq!(run.seed, 2001);
+        assert_eq!(run.trials, 500);
+        let workload = run.experiment("workload").expect("recorded");
+        assert_eq!(workload.rows.len(), 2);
+        assert_eq!(workload.columns[5], "thr_per_s");
+        assert_eq!(workload.rows[0][5], "1234.5");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let mut table = Table::new(["system", "mean"]);
+        table.add_row(vec!["say \"hi\"\\ \n".into(), "1.0".into()]);
+        let mut artifact = BenchArtifact::new();
+        artifact.record("x", Duration::ZERO, table);
+        let run = parse_artifact(&artifact.to_json("s", 1, 1, 1)).expect("escapes survive");
+        assert_eq!(run.experiments[0].rows[0][0], "say \"hi\"\\ \n");
+        assert!(parse_artifact("{").is_err());
+        assert!(parse_artifact("[]").is_err(), "wrong root shape");
+        assert!(parse_artifact("{\"schema\": \"other/1\"}").is_err());
+    }
+
+    #[test]
+    fn matching_artifacts_pass() {
+        let json = artifact_with(&[("Maj", 1000.0)]);
+        let run = parse_artifact(&json).unwrap();
+        let report = check_regression(&run, &run, 0.25);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.markdown.contains("**PASS**"));
+        assert!(report.markdown.contains("| workload |"));
+    }
+
+    #[test]
+    fn drops_beyond_tolerance_fail_and_within_pass() {
+        let baseline = parse_artifact(&artifact_with(&[("Maj", 1000.0)])).unwrap();
+        let slower = parse_artifact(&artifact_with(&[("Maj", 700.0)])).unwrap();
+        let report = check_regression(&slower, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(report.markdown.contains("**FAIL**"));
+        assert!(report.failures[0].contains("dropped 30.0%"));
+        // The same drop passes a looser gate, and improvements always pass.
+        assert!(check_regression(&slower, &baseline, 0.35).passed());
+        let faster = parse_artifact(&artifact_with(&[("Maj", 2000.0)])).unwrap();
+        assert!(check_regression(&faster, &baseline, 0.25).passed());
+    }
+
+    #[test]
+    fn a_baseline_without_an_enforced_experiment_fails_loudly() {
+        // A baseline regenerated from a partial experiment list must not
+        // silently disable the gate.
+        let empty = parse_artifact(&BenchArtifact::new().to_json("empty", 2001, 500, 1)).unwrap();
+        let current = parse_artifact(&artifact_with(&[("Maj", 1000.0)])).unwrap();
+        let report = check_regression(&current, &empty, 0.25);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("missing from the baseline")));
+    }
+
+    #[test]
+    fn missing_rows_and_mismatched_configs_fail() {
+        let baseline = parse_artifact(&artifact_with(&[("Maj", 1000.0), ("Tree", 500.0)])).unwrap();
+        let partial = parse_artifact(&artifact_with(&[("Maj", 1000.0)])).unwrap();
+        let report = check_regression(&partial, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("disappeared"));
+
+        let mut other_config = baseline.clone();
+        other_config.trials = 200;
+        let report = check_regression(&other_config, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("not comparable"));
+    }
+
+    #[test]
+    fn wall_clock_gates_are_informational() {
+        // A 100x wall-clock slowdown is reported but never fails the gate.
+        let baseline = parse_artifact(&artifact_parts(&[("Maj", 1000.0)], Some(100.0))).unwrap();
+        let current = parse_artifact(&artifact_parts(&[("Maj", 1000.0)], Some(1.0))).unwrap();
+        let report = check_regression(&current, &baseline, 0.25);
+        assert!(
+            report.passed(),
+            "wall-clock drops must not fail the gate: {:?}",
+            report.failures
+        );
+        assert!(report.markdown.contains("| throughput |"));
+        assert!(report.markdown.contains("info"));
+    }
+}

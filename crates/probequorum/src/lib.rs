@@ -63,8 +63,10 @@ pub mod prelude {
         LogHistogram, PowerLawFit, RunningStats,
     };
     pub use quorum_cluster::{
-        run_workload, ArrivalProcess, Cluster, Distribution, LoadLedger, NetworkConfig,
-        SessionPlan, SimTime, WorkloadConfig, WorkloadReport,
+        run_net_workload, run_workload, ArrivalProcess, Cluster, Distribution, LinkDirection,
+        LoadLedger, NetProbe, NetSessionPlan, NetworkConfig, NetworkModel, PartitionKind,
+        PartitionSchedule, PartitionWindow, ProbePolicy, SessionPlan, SimTime, WorkloadConfig,
+        WorkloadReport,
     };
     pub use quorum_core::{
         Color, Coloring, Coterie, ElementId, ElementSet, QuorumError, QuorumSystem, Witness,
@@ -85,9 +87,11 @@ pub mod prelude {
     pub use quorum_sim::{
         batched_availability, batched_failure_probability, closed_loop_workload,
         estimate_expected_probes, estimate_worst_case, exhaustive_expected_probes,
-        open_poisson_workload, outcomes_table, run_workload_cells, standard_workloads, sweep,
-        worst_case_over_colorings, ChurnTrajectory, Estimate, FailureModel, Table, WorkloadCell,
-        WorkloadOutcome, WorkloadStrategy,
+        net_outcomes_table, network_scenarios, open_poisson_workload, outcomes_table,
+        run_net_workload_cells, run_workload_cells, standard_workloads, sweep,
+        worst_case_over_colorings, ChurnTrajectory, Estimate, FailureModel, NetScenario,
+        NetWorkloadCell, NetWorkloadOutcome, Table, WorkloadCell, WorkloadOutcome,
+        WorkloadStrategy,
     };
     pub use quorum_systems::{catalogue, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
 }

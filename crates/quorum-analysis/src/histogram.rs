@@ -193,6 +193,20 @@ pub fn load_imbalance(loads: &[u64]) -> f64 {
     max / mean
 }
 
+/// The wasted-work fraction of a probe (or message) budget: the share of
+/// `total` units whose result was never used — retries written off by a
+/// timeout, responses dropped in transit, hedge races lost.
+///
+/// `0.0` when nothing was issued; clamped to `[0, 1]` (a caller counting
+/// waste and totals from different vantage points cannot push it past 1).
+pub fn wasted_work_fraction(wasted: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        (wasted.min(total)) as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +312,10 @@ mod tests {
         assert_eq!(load_imbalance(&[0, 0, 0]), 1.0);
         assert_eq!(load_imbalance(&[5, 5, 5, 5]), 1.0);
         assert_eq!(load_imbalance(&[10, 0, 0, 0, 0]), 5.0);
+        assert_eq!(wasted_work_fraction(0, 0), 0.0);
+        assert_eq!(wasted_work_fraction(0, 10), 0.0);
+        assert_eq!(wasted_work_fraction(3, 12), 0.25);
+        assert_eq!(wasted_work_fraction(20, 10), 1.0, "clamped");
         let skewed = load_imbalance(&[100, 10, 10]);
         assert!((skewed - 2.5).abs() < 1e-12);
     }

@@ -35,5 +35,5 @@ pub use availability::{
     zone_of, zoned_failure_probability, zoned_params,
 };
 pub use fit::{fit_power_law, PowerLawFit};
-pub use histogram::{load_imbalance, LogHistogram};
+pub use histogram::{load_imbalance, wasted_work_fraction, LogHistogram};
 pub use stats::{RunningStats, Summary};

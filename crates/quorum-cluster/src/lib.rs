@@ -19,7 +19,10 @@
 //! The [`workload`] module scales the simulator from one client to many: a
 //! discrete-event scheduler interleaves concurrent probing sessions (open- or
 //! closed-loop arrivals) over per-node service queues, with a load ledger
-//! that load-aware probe strategies consult.
+//! that load-aware probe strategies consult. Its message-level layer
+//! ([`NetworkModel`], [`PartitionSchedule`], [`ProbePolicy`]) makes each
+//! probe a request/response pair that loss or partitions can drop, with
+//! client-side timeouts, bounded retries and hedged probes on top.
 //!
 //! ```
 //! use quorum_cluster::{Cluster, NetworkConfig};
@@ -45,10 +48,13 @@ pub mod time;
 pub mod workload;
 
 pub use cluster::{Cluster, QuorumAcquisition};
-pub use network::NetworkConfig;
+pub use network::{
+    LinkDirection, NetworkConfig, NetworkModel, PartitionKind, PartitionSchedule, PartitionWindow,
+    ProbePolicy,
+};
 pub use node::{NodeId, NodeState};
 pub use time::SimTime;
 pub use workload::{
-    run_workload, ArrivalProcess, Distribution, LoadLedger, SessionPlan, WorkloadConfig,
-    WorkloadReport,
+    run_net_workload, run_workload, ArrivalProcess, Distribution, LoadLedger, NetProbe,
+    NetSessionPlan, SessionPlan, WorkloadConfig, WorkloadReport,
 };

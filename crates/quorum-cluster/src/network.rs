@@ -1,6 +1,26 @@
-//! Network model: latency and probe timeout.
+//! Network models: legacy latency/timeout profiles, and the message-level
+//! fault model — per-link loss, delay overrides and partition schedules —
+//! that the workload engine prices probe sessions against.
+//!
+//! Two layers live here:
+//!
+//! * [`NetworkConfig`] is the original oracle-flavoured profile used by
+//!   [`Cluster`](crate::Cluster): probes to live nodes cost a round trip,
+//!   probes to crashed nodes cost the timeout.
+//! * [`NetworkModel`] + [`PartitionSchedule`] + [`ProbePolicy`] form the
+//!   message-level model: a probe is a request/response pair, either leg can
+//!   be lost (`loss_ppm`) or blocked by a timed partition window, and a
+//!   dropped message simply never arrives — the *client* decides how long to
+//!   wait, how often to retry, and when to hedge. The model's
+//!   [`NetworkModel::probe_fate`] decides each element's observable outcome;
+//!   the workload engine (see [`crate::workload`]) prices the attempts in
+//!   virtual time.
 
-use crate::SimTime;
+use quorum_probe::session::{AttemptLoss, ProbeFate};
+use rand::{Rng, RngCore};
+
+use crate::workload::Distribution;
+use crate::{NodeId, SimTime};
 
 /// Configuration of the simulated network.
 ///
@@ -49,9 +69,347 @@ impl Default for NetworkConfig {
     }
 }
 
+/// Which leg of a probe RPC a message travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// Client → node.
+    Request,
+    /// Node → client.
+    Response,
+}
+
+/// What a partition window does to the messages of its nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// Both directions are cut: the nodes are unreachable and mute.
+    Isolate,
+    /// Requests are dropped; responses (to earlier requests) still pass.
+    DropRequests,
+    /// Requests are delivered — the nodes do the work — but every response
+    /// is dropped: the asymmetric-link case where effort is wasted.
+    DropResponses,
+}
+
+/// One timed partition window over a set of nodes: messages matching the
+/// window's kind are dropped for `from <= t < until`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First instant the window is active.
+    pub from: SimTime,
+    /// First instant after the window (exclusive).
+    pub until: SimTime,
+    /// The nodes cut off by this window.
+    pub nodes: Vec<NodeId>,
+    /// Which messages the window drops.
+    pub kind: PartitionKind,
+}
+
+impl PartitionWindow {
+    fn blocks(&self, node: NodeId, direction: LinkDirection, at: SimTime) -> bool {
+        if at < self.from || at >= self.until || !self.nodes.contains(&node) {
+            return false;
+        }
+        match self.kind {
+            PartitionKind::Isolate => true,
+            PartitionKind::DropRequests => direction == LinkDirection::Request,
+            PartitionKind::DropResponses => direction == LinkDirection::Response,
+        }
+    }
+}
+
+/// A timed schedule of partition windows: splits and heals of the node set,
+/// including asymmetric splits.
+///
+/// The schedule is piecewise: any number of (possibly overlapping) windows,
+/// each dropping the messages of its nodes for its duration. A message is
+/// delivered iff *no* window blocks it. [`PartitionSchedule::heal_all`]
+/// clamps every window, restoring full connectivity from a given instant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionSchedule {
+    windows: Vec<PartitionWindow>,
+}
+
+impl PartitionSchedule {
+    /// A schedule with no partitions: the network is always fully connected.
+    pub fn none() -> Self {
+        PartitionSchedule::default()
+    }
+
+    /// A schedule made of explicit windows.
+    pub fn from_windows(windows: Vec<PartitionWindow>) -> Self {
+        PartitionSchedule { windows }
+    }
+
+    /// One symmetric split: `nodes` are unreachable during `[from, until)`.
+    pub fn minority(nodes: Vec<NodeId>, from: SimTime, until: SimTime) -> Self {
+        PartitionSchedule {
+            windows: vec![PartitionWindow {
+                from,
+                until,
+                nodes,
+                kind: PartitionKind::Isolate,
+            }],
+        }
+    }
+
+    /// One asymmetric split: requests reach `nodes` (they do the work) but
+    /// every response is dropped during `[from, until)`.
+    pub fn asymmetric(nodes: Vec<NodeId>, from: SimTime, until: SimTime) -> Self {
+        PartitionSchedule {
+            windows: vec![PartitionWindow {
+                from,
+                until,
+                nodes,
+                kind: PartitionKind::DropResponses,
+            }],
+        }
+    }
+
+    /// A flapping partition: `nodes` are cut for the first `down` of every
+    /// `period`, repeatedly, until `until`.
+    ///
+    /// The windows are materialised eagerly — one per period — so `until`
+    /// must be a bounded horizon (use [`PartitionSchedule::heal_all`] for
+    /// "flaps forever, then an operator fixes it" traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `down > period`.
+    pub fn flapping(nodes: Vec<NodeId>, period: SimTime, down: SimTime, until: SimTime) -> Self {
+        assert!(period > SimTime::ZERO, "flapping needs a positive period");
+        assert!(down <= period, "downtime cannot exceed the period");
+        let mut windows = Vec::new();
+        let mut start = SimTime::ZERO;
+        while start < until {
+            windows.push(PartitionWindow {
+                from: start,
+                until: (start + down).min(until),
+                nodes: nodes.clone(),
+                kind: PartitionKind::Isolate,
+            });
+            start += period;
+        }
+        PartitionSchedule { windows }
+    }
+
+    /// The windows of the schedule.
+    pub fn windows(&self) -> &[PartitionWindow] {
+        &self.windows
+    }
+
+    /// Adds one window.
+    pub fn push(&mut self, window: PartitionWindow) {
+        self.windows.push(window);
+    }
+
+    /// Whether the schedule never partitions anything.
+    pub fn is_empty(&self) -> bool {
+        self.windows
+            .iter()
+            .all(|w| w.from >= w.until || w.nodes.is_empty())
+    }
+
+    /// Heals every partition from `at` onward: windows ending later are
+    /// clamped to `at`, so every message sent at or after `at` is delivered.
+    pub fn heal_all(&mut self, at: SimTime) {
+        for window in &mut self.windows {
+            window.until = window.until.min(at);
+        }
+        self.windows.retain(|w| w.from < w.until);
+    }
+
+    /// Whether a message to/from `node` in `direction` sent at `at` gets
+    /// through the partitions (loss is a separate, probabilistic layer).
+    pub fn delivers(&self, node: NodeId, direction: LinkDirection, at: SimTime) -> bool {
+        !self.windows.iter().any(|w| w.blocks(node, direction, at))
+    }
+
+    /// The nodes with any blocked direction at `at` (what a round-based
+    /// protocol trace treats as unreachable).
+    pub fn unreachable_at(&self, n: usize, at: SimTime) -> Vec<NodeId> {
+        (0..n)
+            .filter(|&node| {
+                !self.delivers(node, LinkDirection::Request, at)
+                    || !self.delivers(node, LinkDirection::Response, at)
+            })
+            .collect()
+    }
+}
+
+/// The message-level network model: one-way delay, per-message loss and a
+/// partition schedule.
+///
+/// A probe is two messages. Each leg independently: (1) checks the partition
+/// schedule — a blocked message is dropped deterministically; (2) flips the
+/// loss coin — `loss_ppm` parts per million. A dropped message never
+/// arrives; the client's [`ProbePolicy`] turns silence into timeouts,
+/// retries and hedges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// One-way delay of each delivered message; `None` uses the workload's
+    /// configured RPC latency (keeping the clean model bit-identical to the
+    /// latency-only engine).
+    pub delay: Option<Distribution>,
+    /// Probability (in parts per million) that any single message is lost.
+    pub loss_ppm: u32,
+    /// Timed splits and heals of the node set.
+    pub partitions: PartitionSchedule,
+}
+
+impl NetworkModel {
+    /// A perfect network: no loss, no partitions, workload-configured delay.
+    /// Under this model the message-level engine reproduces the latency-only
+    /// engine bit for bit.
+    pub fn clean() -> Self {
+        NetworkModel {
+            delay: None,
+            loss_ppm: 0,
+            partitions: PartitionSchedule::none(),
+        }
+    }
+
+    /// A lossy but unpartitioned network.
+    pub fn lossy(loss_ppm: u32) -> Self {
+        NetworkModel {
+            loss_ppm,
+            ..NetworkModel::clean()
+        }
+    }
+
+    /// Whether the model is fault-free (no loss, no partitions, no delay
+    /// override).
+    pub fn is_clean(&self) -> bool {
+        self.delay.is_none() && self.loss_ppm == 0 && self.partitions.is_empty()
+    }
+
+    /// Flips the loss coin for one message leg. Draws nothing when the model
+    /// is lossless, so a clean network consumes no randomness.
+    fn loses<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        self.loss_ppm > 0 && rng.gen_range(0u32..1_000_000) < self.loss_ppm
+    }
+
+    /// Decides how probing `node` at `now` under `policy` turns out: which
+    /// attempts fail on which leg, and the color the client records.
+    ///
+    /// Partition windows are evaluated at the session's arrival instant
+    /// `now` — a session is short relative to partition timescales, so a
+    /// partition flaps *across* sessions, not within one. Loss coins are
+    /// drawn lazily (none for dead nodes, none on a lossless network), which
+    /// keeps the clean model's randomness stream untouched.
+    pub fn probe_fate<R: RngCore + ?Sized>(
+        &self,
+        node: NodeId,
+        alive: bool,
+        now: SimTime,
+        policy: &ProbePolicy,
+        rng: &mut R,
+    ) -> ProbeFate {
+        let attempts = policy.attempts.max(1);
+        if !alive {
+            return ProbeFate::dead(attempts);
+        }
+        let mut failures = Vec::new();
+        for _ in 0..attempts {
+            if !self.partitions.delivers(node, LinkDirection::Request, now) || self.loses(rng) {
+                failures.push(AttemptLoss::Request);
+                continue;
+            }
+            if !self.partitions.delivers(node, LinkDirection::Response, now) || self.loses(rng) {
+                failures.push(AttemptLoss::Response);
+                continue;
+            }
+            return ProbeFate {
+                observed: quorum_core::Color::Green,
+                failures,
+            };
+        }
+        ProbeFate {
+            observed: quorum_core::Color::Red,
+            failures,
+        }
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::clean()
+    }
+}
+
+/// The client-side robustness policy of a probe session: how silence is
+/// turned into observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbePolicy {
+    /// Attempts per element before it is recorded red (≥ 1; 1 = no retry).
+    pub attempts: u32,
+    /// Base backoff inserted after a failed attempt; attempt `k` waits
+    /// `backoff · 2^k` on top of its timeout (exponential backoff).
+    pub backoff: SimTime,
+    /// When set, a probe that has not resolved after this delay launches the
+    /// session's next candidate in parallel (first answer drives the session
+    /// forward; the race's loser is recorded in the ledger).
+    pub hedge: Option<SimTime>,
+}
+
+impl ProbePolicy {
+    /// The oracle-flavoured policy of the latency-only engine: one attempt,
+    /// no backoff, no hedging.
+    pub fn sequential() -> Self {
+        ProbePolicy {
+            attempts: 1,
+            backoff: SimTime::ZERO,
+            hedge: None,
+        }
+    }
+
+    /// Bounded retry with exponential backoff.
+    pub fn retry(attempts: u32, backoff: SimTime) -> Self {
+        ProbePolicy {
+            attempts: attempts.max(1),
+            backoff,
+            hedge: None,
+        }
+    }
+
+    /// Adds a hedging delay to this policy.
+    pub fn with_hedge(mut self, delay: SimTime) -> Self {
+        self.hedge = Some(delay);
+        self
+    }
+
+    /// Whether this is the plain sequential policy.
+    pub fn is_sequential(&self) -> bool {
+        *self == ProbePolicy::sequential()
+    }
+
+    /// A short label used in report rows, e.g. `"naive"` or `"r3/b300us+h2.000ms"`.
+    pub fn label(&self) -> String {
+        if self.is_sequential() {
+            return "naive".into();
+        }
+        let mut out = format!("r{}", self.attempts);
+        if self.backoff > SimTime::ZERO {
+            out.push_str(&format!("/b{}", self.backoff));
+        }
+        if let Some(h) = self.hedge {
+            out.push_str(&format!("+h{h}"));
+        }
+        out
+    }
+}
+
+impl Default for ProbePolicy {
+    fn default() -> Self {
+        ProbePolicy::sequential()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quorum_core::Color;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn profiles_are_valid() {
@@ -75,5 +433,151 @@ mod tests {
             probe_timeout: SimTime::from_millis(1),
         };
         assert!(!short_timeout.is_valid());
+    }
+
+    #[test]
+    fn minority_window_blocks_both_directions_inside_only() {
+        let schedule = PartitionSchedule::minority(
+            vec![0, 1],
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        let inside = SimTime::from_millis(15);
+        let before = SimTime::from_millis(9);
+        let at_end = SimTime::from_millis(20);
+        for direction in [LinkDirection::Request, LinkDirection::Response] {
+            assert!(!schedule.delivers(0, direction, inside));
+            assert!(schedule.delivers(2, direction, inside), "unlisted node");
+            assert!(schedule.delivers(0, direction, before), "window not open");
+            assert!(
+                schedule.delivers(0, direction, at_end),
+                "until is exclusive"
+            );
+        }
+        assert_eq!(schedule.unreachable_at(4, inside), vec![0, 1]);
+        assert!(schedule.unreachable_at(4, before).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_windows_drop_only_responses() {
+        let schedule =
+            PartitionSchedule::asymmetric(vec![3], SimTime::ZERO, SimTime::from_millis(5));
+        let t = SimTime::from_millis(1);
+        assert!(schedule.delivers(3, LinkDirection::Request, t));
+        assert!(!schedule.delivers(3, LinkDirection::Response, t));
+        assert_eq!(schedule.unreachable_at(5, t), vec![3]);
+    }
+
+    #[test]
+    fn flapping_alternates_and_heal_all_restores_connectivity() {
+        let mut schedule = PartitionSchedule::flapping(
+            vec![1],
+            SimTime::from_millis(10),
+            SimTime::from_millis(4),
+            SimTime::from_millis(35),
+        );
+        assert_eq!(schedule.windows().len(), 4);
+        assert!(!schedule.delivers(1, LinkDirection::Request, SimTime::from_millis(2)));
+        assert!(schedule.delivers(1, LinkDirection::Request, SimTime::from_millis(6)));
+        assert!(!schedule.delivers(1, LinkDirection::Request, SimTime::from_millis(12)));
+        schedule.heal_all(SimTime::from_millis(11));
+        assert!(schedule.delivers(1, LinkDirection::Request, SimTime::from_millis(12)));
+        assert!(
+            !schedule.delivers(1, LinkDirection::Request, SimTime::from_millis(2)),
+            "healing is not retroactive"
+        );
+    }
+
+    #[test]
+    fn clean_model_draws_nothing_and_observes_the_truth() {
+        let model = NetworkModel::clean();
+        assert!(model.is_clean());
+        let policy = ProbePolicy::sequential();
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = rng.clone();
+        let fate = model.probe_fate(0, true, SimTime::ZERO, &policy, &mut rng);
+        assert_eq!(fate, ProbeFate::answered());
+        let fate = model.probe_fate(1, false, SimTime::ZERO, &policy, &mut rng);
+        assert_eq!(fate, ProbeFate::dead(1));
+        // The RNG stream is untouched: clean networks stay bit-compatible.
+        let mut replay = before.clone();
+        let mut current = rng;
+        assert_eq!(replay.next_u64(), current.next_u64());
+    }
+
+    #[test]
+    fn total_loss_exhausts_every_attempt() {
+        let model = NetworkModel::lossy(1_000_000);
+        let policy = ProbePolicy::retry(3, SimTime::from_micros(100));
+        let mut rng = StdRng::seed_from_u64(2);
+        let fate = model.probe_fate(0, true, SimTime::ZERO, &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Red);
+        assert_eq!(fate.failures, vec![AttemptLoss::Request; 3]);
+    }
+
+    #[test]
+    fn retries_recover_from_partial_loss() {
+        let model = NetworkModel::lossy(400_000); // 40 % per leg
+        let single = ProbePolicy::sequential();
+        let retrying = ProbePolicy::retry(4, SimTime::ZERO);
+        let trials = 4_000;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ok_single = 0usize;
+        let mut ok_retry = 0usize;
+        for _ in 0..trials {
+            if model
+                .probe_fate(0, true, SimTime::ZERO, &single, &mut rng)
+                .observed
+                == Color::Green
+            {
+                ok_single += 1;
+            }
+            if model
+                .probe_fate(0, true, SimTime::ZERO, &retrying, &mut rng)
+                .observed
+                == Color::Green
+            {
+                ok_retry += 1;
+            }
+        }
+        // Per-attempt success is 0.36; four attempts lift it to ~0.83.
+        assert!(ok_single < ok_retry, "{ok_single} vs {ok_retry}");
+        assert!((ok_retry as f64 / trials as f64) > 0.75);
+        assert!((ok_single as f64 / trials as f64) < 0.45);
+    }
+
+    #[test]
+    fn asymmetric_partitions_waste_the_response_leg() {
+        let model = NetworkModel {
+            partitions: PartitionSchedule::asymmetric(
+                vec![0],
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+            ),
+            ..NetworkModel::clean()
+        };
+        let policy = ProbePolicy::retry(2, SimTime::ZERO);
+        let mut rng = StdRng::seed_from_u64(4);
+        let fate = model.probe_fate(0, true, SimTime::ZERO, &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Red);
+        assert_eq!(fate.failures, vec![AttemptLoss::Response; 2]);
+        // After the window the same probe answers.
+        let fate = model.probe_fate(0, true, SimTime::from_millis(2), &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Green);
+    }
+
+    #[test]
+    fn policy_labels_are_compact() {
+        assert_eq!(ProbePolicy::sequential().label(), "naive");
+        assert_eq!(
+            ProbePolicy::retry(3, SimTime::from_micros(300)).label(),
+            "r3/b300us"
+        );
+        assert_eq!(
+            ProbePolicy::retry(2, SimTime::ZERO)
+                .with_hedge(SimTime::from_millis(2))
+                .label(),
+            "r2+h2.000ms"
+        );
     }
 }

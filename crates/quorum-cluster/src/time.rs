@@ -39,6 +39,12 @@ impl SimTime {
     pub fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))
     }
+
+    /// Saturating multiplication by a scalar (backoff doubling, horizon
+    /// estimates).
+    pub fn saturating_mul(self, factor: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(factor))
+    }
 }
 
 impl Add for SimTime {
@@ -92,6 +98,11 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c.as_micros(), 500);
+        assert_eq!(a.saturating_mul(3).as_micros(), 900);
+        assert_eq!(
+            SimTime::from_micros(u64::MAX).saturating_mul(2).as_micros(),
+            u64::MAX
+        );
     }
 
     #[test]

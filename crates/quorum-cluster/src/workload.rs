@@ -1,40 +1,53 @@
 //! The concurrent workload engine: a discrete-event scheduler that
 //! interleaves many simultaneous client probing sessions over simulated
-//! nodes with service queues.
+//! nodes with service queues, connected through a message-level network.
 //!
 //! [`Cluster::probe_for_quorum`](crate::Cluster::probe_for_quorum) runs *one*
 //! client at a time and charges pure network latency. This module models the
-//! regime the ROADMAP targets — heavy traffic — where many clients probe
-//! concurrently and nodes take time to *serve* each probe, so probes queue:
+//! regime the ROADMAP targets — heavy traffic over an unreliable network —
+//! where many clients probe concurrently, nodes take time to *serve* each
+//! probe, and every probe is a request/response message pair that can be
+//! lost or partitioned away:
 //!
 //! * **Arrivals** ([`ArrivalProcess`]): open-loop Poisson (sessions arrive at
 //!   a fixed rate regardless of completions) or closed-loop think time (a
 //!   fixed client population, each starting its next session a think time
 //!   after the previous one finished).
-//! * **Per-node service queues**: each probe request travels one network
-//!   delay, waits for the node's FIFO queue (ordered by probe-issue time),
-//!   is served for a sampled service time, and travels back. Probes to
-//!   crashed nodes cost the client the probe timeout.
+//! * **Per-node service queues**: each delivered probe request travels one
+//!   network delay, waits for the node's FIFO queue (ordered by probe-issue
+//!   time), is served for a sampled service time, and travels back.
+//! * **Message-level faults** ([`NetworkModel`]): either leg of a probe can
+//!   be dropped by loss or a [`crate::PartitionSchedule`] window; a dropped
+//!   message never arrives, so the timeout is a *client-side policy*
+//!   ([`ProbePolicy`]: bounded retries with exponential backoff, hedged
+//!   probes) rather than an oracle.
 //! * **Load ledger** ([`LoadLedger`]): probes received, timeouts, busy time,
 //!   current backlog and peak backlog per node — the signal that load-aware
 //!   probe strategies consult.
 //!
 //! The engine knows nothing about strategies or failure models: the caller
 //! supplies a `session` closure that, given the session index and the current
-//! ledger, returns the [`SessionPlan`] (probe sequence plus observed colors)
-//! that session will execute. `quorum-sim` builds those plans by sampling a
-//! failure scenario and running a probe strategy; the engine turns them into
-//! interleaved, queued, timed RPCs. Everything is a pure function of the seed
-//! and the supplied closure, so runs are bit-reproducible.
+//! ledger, returns the plan (probe sequence, observed colors and per-attempt
+//! message fates) that session will execute. `quorum-sim` builds those plans
+//! by sampling a failure scenario, deciding each element's fate through the
+//! network model, and running a probe strategy against the *observed*
+//! coloring; the engine turns them into interleaved, queued, timed RPCs.
+//! Everything is a pure function of the seed and the supplied closure, so
+//! runs are bit-reproducible — and [`run_workload`] (the latency-only entry
+//! point of the pre-network engine) is exactly [`run_net_workload`] on a
+//! [`NetworkModel::clean`] network with the [`ProbePolicy::sequential`]
+//! policy, so clean-network rows are bit-identical to the old engine's.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use quorum_analysis::{load_imbalance, LogHistogram};
+use quorum_analysis::{load_imbalance, wasted_work_fraction, LogHistogram};
 use quorum_core::Color;
+use quorum_probe::session::AttemptLoss;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::network::{NetworkModel, ProbePolicy};
 use crate::{NodeId, SimTime};
 
 /// A distribution over durations, sampled with the engine's seeded RNG.
@@ -53,6 +66,19 @@ pub enum Distribution {
     Exponential {
         /// The mean duration.
         mean: SimTime,
+    },
+    /// A heavy-tailed mixture: mostly uniform over `[min, max]`, but with
+    /// probability `slow_ppm` (parts per million) an exponential straggler
+    /// of mean `slow` — the tail-latency regime hedged probes target.
+    HeavyTail {
+        /// Smallest common-case duration.
+        min: SimTime,
+        /// Largest common-case duration.
+        max: SimTime,
+        /// Mean of the straggler tail.
+        slow: SimTime,
+        /// Straggler probability, in parts per million.
+        slow_ppm: u32,
     },
 }
 
@@ -77,6 +103,23 @@ impl Distribution {
         Distribution::Exponential { mean }
     }
 
+    /// The heavy-tailed mixture: uniform `[min, max]` with an exponential
+    /// straggler of mean `slow` at probability `slow_ppm`/1e6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `slow_ppm > 1_000_000`.
+    pub fn heavy_tail(min: SimTime, max: SimTime, slow: SimTime, slow_ppm: u32) -> Self {
+        assert!(min <= max, "heavy-tail body needs min <= max");
+        assert!(slow_ppm <= 1_000_000, "slow_ppm is parts per million");
+        Distribution::HeavyTail {
+            min,
+            max,
+            slow,
+            slow_ppm,
+        }
+    }
+
     /// The mean duration.
     pub fn mean(&self) -> SimTime {
         match self {
@@ -85,6 +128,18 @@ impl Distribution {
                 SimTime::from_micros((min.as_micros() + max.as_micros()) / 2)
             }
             Distribution::Exponential { mean } => *mean,
+            Distribution::HeavyTail {
+                min,
+                max,
+                slow,
+                slow_ppm,
+            } => {
+                let body = (min.as_micros() + max.as_micros()) / 2;
+                let ppm = u64::from(*slow_ppm);
+                SimTime::from_micros(
+                    (body * (1_000_000 - ppm) + slow.as_micros() * ppm) / 1_000_000,
+                )
+            }
         }
     }
 
@@ -106,6 +161,22 @@ impl Distribution {
                 let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
                 let draw = -(mean.as_micros() as f64) * (1.0 - u).ln();
                 SimTime::from_micros(draw.round() as u64)
+            }
+            Distribution::HeavyTail {
+                min,
+                max,
+                slow,
+                slow_ppm,
+            } => {
+                if rng.gen_range(0u32..1_000_000) < *slow_ppm {
+                    Distribution::Exponential { mean: *slow }.sample(rng)
+                } else {
+                    Distribution::Uniform {
+                        min: *min,
+                        max: *max,
+                    }
+                    .sample(rng)
+                }
             }
         }
     }
@@ -157,7 +228,8 @@ pub struct WorkloadConfig {
     pub rpc_latency: Distribution,
     /// Service time of one probe at a live node.
     pub service: Distribution,
-    /// What a probe to a crashed node costs the client.
+    /// How long a client waits for a probe answer before the attempt is
+    /// written off (a timed-out or unreachable attempt costs this much).
     pub probe_timeout: SimTime,
 }
 
@@ -170,6 +242,23 @@ impl WorkloadConfig {
             ArrivalProcess::ClosedLoop { clients, .. } => clients >= 1,
         };
         self.sessions >= 1 && self.probe_timeout > SimTime::ZERO && arrival_ok
+    }
+
+    /// A rough estimate of the run's virtual-time horizon, used to place
+    /// partition windows relative to the run (not a guarantee — queueing can
+    /// stretch the actual run past it).
+    pub fn horizon_hint(&self) -> SimTime {
+        match self.arrival {
+            ArrivalProcess::OpenPoisson { mean_interarrival } => {
+                mean_interarrival.saturating_mul(self.sessions as u64)
+            }
+            ArrivalProcess::ClosedLoop { clients, think } => {
+                let per_session = think.mean()
+                    + self.service.mean().saturating_mul(4)
+                    + self.rpc_latency.mean().saturating_mul(2);
+                per_session.saturating_mul(self.sessions.div_ceil(clients.max(1)) as u64)
+            }
+        }
     }
 }
 
@@ -256,6 +345,9 @@ impl LoadLedger {
 
 /// What one client session will do, decided by the caller's session closure:
 /// the probe order its strategy chose and the color each probe will observe.
+///
+/// This is the latency-only plan of [`run_workload`]; the message-level
+/// engine works on [`NetSessionPlan`]s, which add per-attempt fates.
 #[derive(Debug, Clone)]
 pub struct SessionPlan {
     /// The elements to probe, in order.
@@ -267,6 +359,64 @@ pub struct SessionPlan {
     pub success: bool,
 }
 
+/// One probe of a message-level session plan: the element, the color the
+/// client ends up recording, and the transit fate of each failed attempt.
+#[derive(Debug, Clone)]
+pub struct NetProbe {
+    /// The element (node) probed.
+    pub node: NodeId,
+    /// The color the client records once its attempts are exhausted or
+    /// answered.
+    pub observed: Color,
+    /// The failed attempts, in order ([`AttemptLoss::Request`] legs cost a
+    /// timeout; [`AttemptLoss::Response`] legs additionally make the node do
+    /// wasted work). A green observation answers on the attempt after these;
+    /// a red observation must have at least one entry.
+    pub failures: Vec<AttemptLoss>,
+}
+
+/// What one client session will do under the message-level engine.
+#[derive(Debug, Clone)]
+pub struct NetSessionPlan {
+    /// The probes, in the order the strategy issued them.
+    pub probes: Vec<NetProbe>,
+    /// Whether the session located a live quorum *in its observed coloring*.
+    pub success: bool,
+}
+
+impl NetSessionPlan {
+    /// Adapts a latency-only [`SessionPlan`]: green probes answer first try,
+    /// red probes are one unanswered attempt — the oracle semantics of the
+    /// pre-network engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's `colors` length does not match its `sequence`.
+    pub fn from_plan(plan: SessionPlan) -> Self {
+        assert_eq!(
+            plan.sequence.len(),
+            plan.colors.len(),
+            "session plan colors must align with its probe sequence"
+        );
+        NetSessionPlan {
+            probes: plan
+                .sequence
+                .into_iter()
+                .zip(plan.colors)
+                .map(|(node, observed)| NetProbe {
+                    node,
+                    observed,
+                    failures: match observed {
+                        Color::Green => Vec::new(),
+                        Color::Red => vec![AttemptLoss::Request],
+                    },
+                })
+                .collect(),
+            success: plan.success,
+        }
+    }
+}
+
 /// The measured outcome of one workload run.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
@@ -274,7 +424,7 @@ pub struct WorkloadReport {
     pub sessions: usize,
     /// Sessions that located a live quorum.
     pub successes: usize,
-    /// Total probe RPCs issued (timeouts included).
+    /// Total probe RPCs issued (timeouts and retries included).
     pub probes: u64,
     /// Virtual time of the last session completion.
     pub duration: SimTime,
@@ -282,6 +432,17 @@ pub struct WorkloadReport {
     pub latency: LogHistogram,
     /// The final load ledger.
     pub ledger: LoadLedger,
+    /// Messages actually transmitted (requests sent plus responses sent,
+    /// whether or not they were delivered).
+    pub messages: u64,
+    /// Probe attempts whose answer was never used: lost/timed-out attempts
+    /// that a retry or red observation wrote off.
+    pub wasted_probes: u64,
+    /// Probes launched early by the hedging policy.
+    pub hedges: u64,
+    /// Hedge races where the slower of the two overlapped probes was
+    /// cancelled in the ledger (its answer no longer gated the session).
+    pub cancelled: u64,
 }
 
 impl WorkloadReport {
@@ -312,6 +473,20 @@ impl WorkloadReport {
         }
     }
 
+    /// Mean messages per session.
+    pub fn messages_per_session(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.sessions as f64
+        }
+    }
+
+    /// Fraction of probe attempts whose answer was never used.
+    pub fn wasted_fraction(&self) -> f64 {
+        wasted_work_fraction(self.wasted_probes, self.probes)
+    }
+
     /// The load-imbalance factor (max/mean probes per node).
     pub fn load_imbalance(&self) -> f64 {
         self.ledger.imbalance()
@@ -325,32 +500,141 @@ impl WorkloadReport {
 enum EventKind {
     /// A new session arrives (index into the session count).
     Arrival(u64),
-    /// The response (or timeout) of a session's in-flight probe reaches the
-    /// client (index into the engine's active-session table).
-    Response(usize),
+    /// Probe `1` of session slot `0` resolves at the client: its answer
+    /// arrived, or its last attempt timed out.
+    Resolved(usize, usize),
+    /// The hedging delay of probe `1` in session slot `0` elapsed without a
+    /// resolution: consider launching the next candidate.
+    HedgeDue(usize, usize),
 }
+
+/// The event queue: min-ordered on `(time, schedule counter, kind)`.
+type EventHeap = BinaryHeap<Reverse<(SimTime, u64, EventKind)>>;
 
 #[derive(Debug)]
 struct ActiveSession {
-    plan: SessionPlan,
-    next_probe: usize,
+    probes: Vec<NetProbe>,
+    success: bool,
+    resolved: Vec<bool>,
+    next_issue: usize,
+    in_flight: usize,
+    done: usize,
     started: SimTime,
+    /// Whether a hedge-launched pair is currently racing; cleared (and
+    /// counted as one cancellation) when the race's first probe resolves.
+    hedge_race: bool,
 }
 
-/// Runs one workload over `n` nodes, returning its report.
+/// Mutable engine counters shared by the pricing helpers.
+struct EngineState {
+    ledger: LoadLedger,
+    probes_total: u64,
+    messages: u64,
+    wasted: u64,
+    hedges: u64,
+    cancelled: u64,
+}
+
+impl EngineState {
+    /// Queues one delivered request at `node` (arriving at `request_at`) and
+    /// returns its service-finish instant.
+    fn serve(&mut self, node: NodeId, request_at: SimTime, service: SimTime) -> SimTime {
+        self.ledger.prune(node, request_at);
+        // The queue is FIFO in probe-*issue* order (the order the pricing
+        // code runs), not request-arrival order: a request issued earlier but
+        // with a longer network delay is still served first. The modelling
+        // simplification keeps each probe's full timeline computable at issue
+        // time.
+        let queue_free = self.ledger.outstanding[node]
+            .back()
+            .copied()
+            .unwrap_or(request_at)
+            .max(request_at);
+        let finish = queue_free + service;
+        self.ledger.busy[node] += service;
+        self.ledger.outstanding[node].push_back(finish);
+        let depth = self.ledger.outstanding[node].len();
+        if depth > self.ledger.peak_backlog[node] {
+            self.ledger.peak_backlog[node] = depth;
+        }
+        finish
+    }
+
+    /// Prices one probe issued at `now`, returning the instant it resolves
+    /// at the client. Failed attempts cost the timeout (plus backoff);
+    /// attempts whose response leg was dropped additionally make the node do
+    /// the work. The answering attempt of a green observation goes through
+    /// the delay → queue → service → delay pipeline.
+    fn price_probe(
+        &mut self,
+        probe: &NetProbe,
+        now: SimTime,
+        config: &WorkloadConfig,
+        delay: &Distribution,
+        policy: &ProbePolicy,
+        rng: &mut StdRng,
+    ) -> SimTime {
+        let node = probe.node;
+        let mut send_at = now;
+        let mut last_failure = now;
+        for (attempt, loss) in probe.failures.iter().enumerate() {
+            self.ledger.probes[node] += 1;
+            self.ledger.timeouts[node] += 1;
+            self.probes_total += 1;
+            self.messages += 1; // the request was transmitted
+                                // The attempt that *produces* the recorded observation is not
+                                // wasted: for a red observation that is the final timeout (the
+                                // oracle semantics of the latency-only engine). Waste is the
+                                // attempts a retry wrote off, plus any served-then-dropped
+                                // attempt — the node did work nobody consumed.
+            if probe.observed == Color::Green
+                || attempt + 1 < probe.failures.len()
+                || *loss == AttemptLoss::Response
+            {
+                self.wasted += 1;
+            }
+            if *loss == AttemptLoss::Response {
+                // Delivered and served; only the answer was dropped.
+                let request_at = send_at + delay.sample(rng);
+                let service = config.service.sample(rng);
+                self.serve(node, request_at, service);
+                self.messages += 1; // the response was transmitted, then lost
+            }
+            last_failure = send_at + config.probe_timeout;
+            send_at = last_failure + policy.backoff.saturating_mul(1u64 << attempt.min(16));
+        }
+        match probe.observed {
+            Color::Green => {
+                self.ledger.probes[node] += 1;
+                self.probes_total += 1;
+                self.messages += 1;
+                let request_at = send_at + delay.sample(rng);
+                let service = config.service.sample(rng);
+                let finish = self.serve(node, request_at, service);
+                self.messages += 1;
+                finish + delay.sample(rng)
+            }
+            Color::Red => {
+                assert!(
+                    !probe.failures.is_empty(),
+                    "a red observation needs at least one failed attempt"
+                );
+                last_failure
+            }
+        }
+    }
+}
+
+/// Runs one latency-only workload over `n` nodes, returning its report.
+///
+/// This is the oracle-flavoured entry point: probes to live nodes always
+/// answer, probes to crashed nodes cost the timeout. It is implemented as
+/// [`run_net_workload`] on a clean network with the sequential policy, so
+/// its rows are bit-identical to the pre-network engine's.
 ///
 /// `session(index, ledger, now)` is called once per session, at its arrival
 /// time, with the live ledger — this is where a caller samples the failure
-/// scenario and runs a (possibly load-aware) probe strategy. The engine then
-/// executes the returned plan probe by probe: each probe is issued when the
-/// previous one's response (or timeout) reaches the client, and each live
-/// probe waits in the target node's FIFO queue behind every other client's
-/// in-flight probes.
-///
-/// Determinism: all latency/service/arrival randomness comes from one
-/// `StdRng` seeded with `seed`, events tie-break on a schedule counter, and
-/// the engine is single-threaded — the report is a pure function of
-/// `(n, config, seed, session)`.
+/// scenario and runs a (possibly load-aware) probe strategy.
 ///
 /// # Panics
 ///
@@ -365,13 +649,65 @@ pub fn run_workload<F>(
 where
     F: FnMut(u64, &LoadLedger, SimTime) -> SessionPlan,
 {
+    run_net_workload(
+        n,
+        config,
+        &NetworkModel::clean(),
+        &ProbePolicy::sequential(),
+        seed,
+        |index, ledger, now, _rng| NetSessionPlan::from_plan(session(index, ledger, now)),
+    )
+}
+
+/// Runs one message-level workload over `n` nodes, returning its report.
+///
+/// `session(index, ledger, now, rng)` is called once per session, at its
+/// arrival time, with the live ledger and the engine's RNG — the caller
+/// samples the failure scenario, decides each element's transit fate through
+/// [`NetworkModel::probe_fate`], runs its strategy against the *observed*
+/// coloring, and returns the resulting [`NetSessionPlan`]. The engine then
+/// executes the plan probe by probe: failed attempts cost the configured
+/// timeout (plus the policy's backoff), answered attempts travel the delay →
+/// queue → service → delay pipeline, and — when the policy hedges — a probe
+/// that has not resolved after the hedging delay launches the session's next
+/// candidate in parallel (at most two probes in flight; the race's slower
+/// probe is counted as cancelled).
+///
+/// Determinism: all randomness comes from one `StdRng` seeded with `seed`
+/// (handed to the closure for fate draws), events tie-break on a schedule
+/// counter, and the engine is single-threaded — the report is a pure
+/// function of `(n, config, network, policy, seed, session)`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a plan records a red
+/// observation with no failed attempts.
+pub fn run_net_workload<F>(
+    n: usize,
+    config: &WorkloadConfig,
+    network: &NetworkModel,
+    policy: &ProbePolicy,
+    seed: u64,
+    mut session: F,
+) -> WorkloadReport
+where
+    F: FnMut(u64, &LoadLedger, SimTime, &mut StdRng) -> NetSessionPlan,
+{
     assert!(config.is_valid(), "inconsistent workload configuration");
+    let delay = network.delay.unwrap_or(config.rpc_latency);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut ledger = LoadLedger::new(n);
+    let mut state = EngineState {
+        ledger: LoadLedger::new(n),
+        probes_total: 0,
+        messages: 0,
+        wasted: 0,
+        hedges: 0,
+        cancelled: 0,
+    };
     let mut latency = LogHistogram::new();
-    let mut heap: BinaryHeap<Reverse<(SimTime, u64, EventKind)>> = BinaryHeap::new();
+    let mut heap: EventHeap = BinaryHeap::new();
     let mut seq = 0u64;
-    let mut schedule = |heap: &mut BinaryHeap<_>, at: SimTime, kind: EventKind| {
+    let mut schedule = |heap: &mut EventHeap, at: SimTime, kind: EventKind| {
         heap.push(Reverse((at, seq, kind)));
         seq += 1;
     };
@@ -397,48 +733,34 @@ where
     let mut active: Vec<ActiveSession> = Vec::new();
     let mut completed = 0usize;
     let mut successes = 0usize;
-    let mut probes_total = 0u64;
     let mut last_completion = SimTime::ZERO;
 
-    // Issues the next probe of `state` at time `now`, returning the instant
-    // its response (or timeout) reaches the client.
-    let mut issue_probe = |state: &ActiveSession,
-                           now: SimTime,
-                           ledger: &mut LoadLedger,
-                           rng: &mut StdRng|
-     -> SimTime {
-        let index = state.next_probe;
-        let node = state.plan.sequence[index];
-        let color = state.plan.colors[index];
-        ledger.probes[node] += 1;
-        probes_total += 1;
-        match color {
-            Color::Red => {
-                ledger.timeouts[node] += 1;
-                now + config.probe_timeout
-            }
-            Color::Green => {
-                let request_at = now + config.rpc_latency.sample(rng);
-                ledger.prune(node, request_at);
-                // The queue is FIFO in probe-*issue* order (the order this
-                // closure runs), not request-arrival order: a request issued
-                // earlier but with a longer network delay is still served
-                // first. The modelling simplification keeps each probe's
-                // full timeline computable at issue time.
-                let queue_free = ledger.outstanding[node]
-                    .back()
-                    .copied()
-                    .unwrap_or(request_at)
-                    .max(request_at);
-                let service = config.service.sample(rng);
-                let finish = queue_free + service;
-                ledger.busy[node] += service;
-                ledger.outstanding[node].push_back(finish);
-                let depth = ledger.outstanding[node].len();
-                if depth > ledger.peak_backlog[node] {
-                    ledger.peak_backlog[node] = depth;
-                }
-                finish + config.rpc_latency.sample(rng)
+    // Issues probe `index` of session `slot` at `now`: prices it, schedules
+    // its resolution and (when hedging) its hedge timer.
+    let issue = |slot: usize,
+                 index: usize,
+                 now: SimTime,
+                 active: &mut Vec<ActiveSession>,
+                 heap: &mut EventHeap,
+                 state: &mut EngineState,
+                 rng: &mut StdRng,
+                 schedule: &mut dyn FnMut(&mut EventHeap, SimTime, EventKind)| {
+        let resolve_at = state.price_probe(
+            &active[slot].probes[index],
+            now,
+            config,
+            &delay,
+            policy,
+            rng,
+        );
+        active[slot].next_issue = index + 1;
+        active[slot].in_flight += 1;
+        schedule(heap, resolve_at, EventKind::Resolved(slot, index));
+        if let Some(hedge) = policy.hedge {
+            // Only meaningful if the probe is still unresolved at the timer
+            // and a next candidate exists.
+            if resolve_at > now + hedge && index + 1 < active[slot].probes.len() {
+                schedule(heap, now + hedge, EventKind::HedgeDue(slot, index));
             }
         }
     };
@@ -455,13 +777,8 @@ where
                         sessions_issued += 1;
                     }
                 }
-                let plan = session(session_index, &ledger, now);
-                assert_eq!(
-                    plan.sequence.len(),
-                    plan.colors.len(),
-                    "session plan colors must align with its probe sequence"
-                );
-                if plan.sequence.is_empty() {
+                let plan = session(session_index, &state.ledger, now, &mut rng);
+                if plan.probes.is_empty() {
                     // A zero-probe session (degenerate but legal): completes
                     // instantly.
                     completed += 1;
@@ -477,37 +794,101 @@ where
                     }
                     continue;
                 }
+                let count = plan.probes.len();
                 active.push(ActiveSession {
-                    plan,
-                    next_probe: 0,
+                    probes: plan.probes,
+                    success: plan.success,
+                    resolved: vec![false; count],
+                    next_issue: 0,
+                    in_flight: 0,
+                    done: 0,
                     started: now,
+                    hedge_race: false,
                 });
                 let slot = active.len() - 1;
-                let response_at = issue_probe(&active[slot], now, &mut ledger, &mut rng);
-                schedule(&mut heap, response_at, EventKind::Response(slot));
+                issue(
+                    slot,
+                    0,
+                    now,
+                    &mut active,
+                    &mut heap,
+                    &mut state,
+                    &mut rng,
+                    &mut schedule,
+                );
             }
-            EventKind::Response(slot) => {
-                active[slot].next_probe += 1;
-                if active[slot].next_probe < active[slot].plan.sequence.len() {
-                    let response_at = issue_probe(&active[slot], now, &mut ledger, &mut rng);
-                    schedule(&mut heap, response_at, EventKind::Response(slot));
+            EventKind::Resolved(slot, index) => {
+                // A hedge race ends the moment the faster of its two probes
+                // resolves: the one still in flight is cancelled in the
+                // ledger. Counted once per race (a pipeline that keeps
+                // running past a stalled probe is not a new race), so
+                // `cancelled <= hedges` always holds.
+                if active[slot].hedge_race && active[slot].in_flight == 2 {
+                    state.cancelled += 1;
+                    active[slot].hedge_race = false;
+                }
+                active[slot].resolved[index] = true;
+                active[slot].done += 1;
+                active[slot].in_flight -= 1;
+                if active[slot].next_issue == index + 1
+                    && active[slot].next_issue < active[slot].probes.len()
+                {
+                    let next = active[slot].next_issue;
+                    issue(
+                        slot,
+                        next,
+                        now,
+                        &mut active,
+                        &mut heap,
+                        &mut state,
+                        &mut rng,
+                        &mut schedule,
+                    );
                     continue;
                 }
-                // Session complete. Drop the plan's buffers so memory stays
-                // proportional to in-flight sessions, not total sessions.
-                let state = &mut active[slot];
-                latency.record((now - state.started).as_micros());
-                completed += 1;
-                successes += usize::from(state.plan.success);
-                state.plan.sequence = Vec::new();
-                state.plan.colors = Vec::new();
-                last_completion = last_completion.max(now);
-                if let ArrivalProcess::ClosedLoop { think, .. } = config.arrival {
-                    if sessions_issued < total_sessions {
-                        let gap = think.sample(&mut rng);
-                        schedule(&mut heap, now + gap, EventKind::Arrival(sessions_issued));
-                        sessions_issued += 1;
+                if active[slot].done == active[slot].probes.len() {
+                    // Session complete. Drop the plan's buffers so memory
+                    // stays proportional to in-flight sessions, not total
+                    // sessions.
+                    let session = &mut active[slot];
+                    latency.record((now - session.started).as_micros());
+                    completed += 1;
+                    successes += usize::from(session.success);
+                    session.probes = Vec::new();
+                    session.resolved = Vec::new();
+                    last_completion = last_completion.max(now);
+                    if let ArrivalProcess::ClosedLoop { think, .. } = config.arrival {
+                        if sessions_issued < total_sessions {
+                            let gap = think.sample(&mut rng);
+                            schedule(&mut heap, now + gap, EventKind::Arrival(sessions_issued));
+                            sessions_issued += 1;
+                        }
                     }
+                }
+            }
+            EventKind::HedgeDue(slot, index) => {
+                // Launch the next candidate only if the hedged probe is
+                // still unresolved, its successor has not been issued some
+                // other way, and the two-in-flight cap leaves room.
+                let launch = !active[slot].probes.is_empty()
+                    && !active[slot].resolved[index]
+                    && active[slot].next_issue == index + 1
+                    && active[slot].next_issue < active[slot].probes.len()
+                    && active[slot].in_flight < 2;
+                if launch {
+                    state.hedges += 1;
+                    active[slot].hedge_race = true;
+                    let next = active[slot].next_issue;
+                    issue(
+                        slot,
+                        next,
+                        now,
+                        &mut active,
+                        &mut heap,
+                        &mut state,
+                        &mut rng,
+                        &mut schedule,
+                    );
                 }
             }
         }
@@ -517,16 +898,21 @@ where
     WorkloadReport {
         sessions: completed,
         successes,
-        probes: probes_total,
+        probes: state.probes_total,
         duration: last_completion,
         latency,
-        ledger,
+        ledger: state.ledger,
+        messages: state.messages,
+        wasted_probes: state.wasted,
+        hedges: state.hedges,
+        cancelled: state.cancelled,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::PartitionSchedule;
     use quorum_core::{Coloring, QuorumSystem};
     use quorum_probe::run_strategy;
     use quorum_probe::strategies::SequentialScan;
@@ -583,6 +969,14 @@ mod tests {
         assert_eq!(report.ledger.probes_received()[0], 200);
         assert_eq!(report.ledger.probes_received()[5], 0);
         assert!(report.load_imbalance() > 1.5);
+        // On a clean network every probe is one request + one response and
+        // nothing is wasted, hedged or cancelled.
+        assert_eq!(report.messages, 2 * report.probes);
+        assert_eq!(report.wasted_probes, 0);
+        assert_eq!(report.hedges, 0);
+        assert_eq!(report.cancelled, 0);
+        assert_eq!(report.wasted_fraction(), 0.0);
+        assert!((report.messages_per_session() - 8.0).abs() < 1e-12);
     }
 
     #[test]
@@ -683,6 +1077,9 @@ mod tests {
         assert_eq!(report.ledger.timeouts()[1], 0);
         // Every session eats one 10ms timeout, so no latency can be below it.
         assert!(report.latency.min() >= SimTime::from_millis(10).as_micros());
+        // A single timed-out attempt IS the red observation — not waste.
+        assert_eq!(report.wasted_probes, 0);
+        assert_eq!(report.wasted_fraction(), 0.0);
     }
 
     #[test]
@@ -721,6 +1118,227 @@ mod tests {
     }
 
     #[test]
+    fn heavy_tail_mixes_body_and_stragglers() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dist = Distribution::heavy_tail(
+            SimTime::from_micros(100),
+            SimTime::from_micros(200),
+            SimTime::from_millis(50),
+            100_000, // 10 % stragglers
+        );
+        // Mean: 0.9·150us + 0.1·50ms = 5.135ms.
+        assert_eq!(dist.mean(), SimTime::from_micros(5_135));
+        let mut body = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..4_000 {
+            let v = dist.sample(&mut rng).as_micros();
+            if (100..=200).contains(&v) {
+                body += 1;
+            } else {
+                tail += 1;
+            }
+        }
+        let tail_rate = tail as f64 / (body + tail) as f64;
+        assert!(
+            (tail_rate - 0.1).abs() < 0.03,
+            "straggler rate {tail_rate} should be ≈ 0.1"
+        );
+    }
+
+    /// The clean network + sequential policy path through the message-level
+    /// engine is the old engine: same draws, same timeline, plus the new
+    /// message counters.
+    #[test]
+    fn net_engine_on_clean_network_equals_latency_engine() {
+        let n = 7;
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_micros(300),
+            },
+            150,
+        );
+        let direct = run_workload(n, &config, 11, maj_sessions(n));
+        let mut inner = maj_sessions(n);
+        let via_net = run_net_workload(
+            n,
+            &config,
+            &NetworkModel::clean(),
+            &ProbePolicy::sequential(),
+            11,
+            |index, ledger, now, _rng| NetSessionPlan::from_plan(inner(index, ledger, now)),
+        );
+        assert_eq!(direct.duration, via_net.duration);
+        assert_eq!(direct.latency, via_net.latency);
+        assert_eq!(direct.probes, via_net.probes);
+        assert_eq!(
+            direct.ledger.probes_received(),
+            via_net.ledger.probes_received()
+        );
+        assert_eq!(direct.messages, via_net.messages);
+    }
+
+    /// Retried attempts charge timeouts and backoff; response-lost attempts
+    /// also make the node do wasted work.
+    #[test]
+    fn retries_and_lost_responses_are_priced() {
+        let n = 3;
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_millis(1),
+            },
+            10,
+        );
+        let policy = ProbePolicy::retry(3, SimTime::from_micros(500));
+        let report = run_net_workload(
+            n,
+            &config,
+            &NetworkModel::clean(),
+            &policy,
+            13,
+            |_index, _ledger, _now, _rng| NetSessionPlan {
+                probes: vec![NetProbe {
+                    node: 0,
+                    observed: Color::Green,
+                    failures: vec![AttemptLoss::Request, AttemptLoss::Response],
+                }],
+                success: true,
+            },
+        );
+        assert_eq!(report.sessions, 10);
+        // 3 attempts per session: 2 failed + 1 answered.
+        assert_eq!(report.probes, 30);
+        assert_eq!(report.wasted_probes, 20);
+        assert_eq!(report.ledger.timeouts()[0], 20);
+        // Messages: attempt 1 request; attempt 2 request + lost response;
+        // attempt 3 request + response = 5 per session.
+        assert_eq!(report.messages, 50);
+        // Each session pays two timeouts plus backoff 500us + 1000us before
+        // the answering attempt even starts.
+        let floor = 2 * config.probe_timeout.as_micros() + 1_500;
+        assert!(
+            report.latency.min() >= floor,
+            "latency {} below the retry floor {floor}",
+            report.latency.min()
+        );
+        assert!(report.wasted_fraction() > 0.6 && report.wasted_fraction() < 0.7);
+    }
+
+    /// Hedging overlaps a stalled probe with its successor: the tail of the
+    /// latency distribution shrinks, the observations are unchanged, and the
+    /// race's loser is counted.
+    #[test]
+    fn hedging_overlaps_stalled_probes() {
+        let n = 5;
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_millis(2),
+            },
+            50,
+        );
+        // Every session: a dead element (10ms timeout) then three greens.
+        let plan = || NetSessionPlan {
+            probes: vec![
+                NetProbe {
+                    node: 0,
+                    observed: Color::Red,
+                    failures: vec![AttemptLoss::Request],
+                },
+                NetProbe {
+                    node: 1,
+                    observed: Color::Green,
+                    failures: vec![],
+                },
+                NetProbe {
+                    node: 2,
+                    observed: Color::Green,
+                    failures: vec![],
+                },
+                NetProbe {
+                    node: 3,
+                    observed: Color::Green,
+                    failures: vec![],
+                },
+            ],
+            success: true,
+        };
+        let sequential = run_net_workload(
+            n,
+            &config,
+            &NetworkModel::clean(),
+            &ProbePolicy::sequential(),
+            17,
+            |_, _, _, _| plan(),
+        );
+        let hedged_policy = ProbePolicy::sequential().with_hedge(SimTime::from_millis(1));
+        let hedged = run_net_workload(
+            n,
+            &config,
+            &NetworkModel::clean(),
+            &hedged_policy,
+            17,
+            |_, _, _, _| plan(),
+        );
+        assert_eq!(hedged.successes, sequential.successes, "ok-rate unchanged");
+        assert_eq!(hedged.probes, sequential.probes, "same observations");
+        // Each session hedges exactly once (past the stalled red probe),
+        // and each race has exactly one loser: the pipeline continuing past
+        // the stall must not be re-counted as further cancellations.
+        assert_eq!(hedged.hedges, 50, "one hedge per session");
+        assert_eq!(hedged.cancelled, 50, "one loser per race");
+        assert!(hedged.cancelled <= hedged.hedges);
+        assert!(
+            hedged.latency.p50() < sequential.latency.p50(),
+            "hedging must shrink the stall: {} vs {}",
+            hedged.latency.p50(),
+            sequential.latency.p50()
+        );
+    }
+
+    /// A partitioned minority makes its nodes look dead for the window, and
+    /// healing restores them — measured end to end through fates.
+    #[test]
+    fn partition_fates_flow_through_the_engine() {
+        let n = 4;
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_millis(1),
+            },
+            40,
+        );
+        let network = NetworkModel {
+            partitions: PartitionSchedule::minority(
+                vec![0],
+                SimTime::ZERO,
+                SimTime::from_millis(15),
+            ),
+            ..NetworkModel::clean()
+        };
+        let policy = ProbePolicy::sequential();
+        let report = run_net_workload(n, &config, &network, &policy, 19, |_, _, now, rng| {
+            let fate = network.probe_fate(0, true, now, &policy, rng);
+            NetSessionPlan {
+                probes: vec![NetProbe {
+                    node: 0,
+                    observed: fate.observed,
+                    failures: fate.failures,
+                }],
+                success: fate.observed == Color::Green,
+            }
+        });
+        assert_eq!(report.sessions, 40);
+        assert!(
+            report.successes > 0 && report.successes < 40,
+            "sessions inside the window fail, sessions after it succeed: {}",
+            report.successes
+        );
+        assert_eq!(
+            (40 - report.successes) as u64,
+            report.ledger.timeouts()[0],
+            "each partitioned session times out once"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "inconsistent workload configuration")]
     fn invalid_config_is_rejected() {
         let config = WorkloadConfig {
@@ -738,5 +1356,40 @@ mod tests {
             colors: vec![],
             success: false,
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "colors must align")]
+    fn misaligned_plans_are_rejected() {
+        let config = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_millis(1),
+            },
+            1,
+        );
+        let _ = run_workload(3, &config, 0, |_, _, _| SessionPlan {
+            sequence: vec![0, 1],
+            colors: vec![Color::Green],
+            success: true,
+        });
+    }
+
+    #[test]
+    fn horizon_hint_tracks_the_arrival_model() {
+        let open = lan_config(
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_micros(250),
+            },
+            1_000,
+        );
+        assert_eq!(open.horizon_hint(), SimTime::from_millis(250));
+        let closed = lan_config(
+            ArrivalProcess::ClosedLoop {
+                clients: 10,
+                think: Distribution::fixed(SimTime::from_millis(1)),
+            },
+            100,
+        );
+        assert!(closed.horizon_hint() >= SimTime::from_millis(10));
     }
 }

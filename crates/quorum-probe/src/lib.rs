@@ -46,12 +46,16 @@ pub mod decision_tree;
 pub mod exact;
 pub mod oracle;
 pub mod runner;
+pub mod session;
 pub mod strategies;
 pub mod yao;
 
 pub use decision_tree::DecisionTree;
 pub use oracle::ProbeOracle;
 pub use runner::{run_strategy, ProbeRun, ProbeStrategy};
+pub use session::{
+    observed_coloring, run_strategy_with_faults, AttemptLoss, FaultySessionRun, ProbeFate,
+};
 pub use yao::InputDistribution;
 
 // Re-exported for doc examples and downstream convenience.

@@ -1,0 +1,242 @@
+//! Fault-aware probe sessions: running a strategy against the coloring a
+//! client *observes* through an unreliable network, rather than the true
+//! coloring of the universe.
+//!
+//! The paper's oracle model assumes a probe either answers or is
+//! known-dead. Over a real network a probe is a request/response message
+//! pair: either leg can be lost or partitioned away, so a live element can
+//! look dead to the client, and a client-side policy (bounded retries,
+//! hedging) decides how hard to try before giving up. This module supplies
+//! the observation layer:
+//!
+//! * [`AttemptLoss`] / [`ProbeFate`] describe how each probe attempt to an
+//!   element fares in transit — which leg of which attempt was dropped, and
+//!   the color the client ultimately records.
+//! * [`observed_coloring`] folds per-element fates over a true coloring to
+//!   produce the coloring the client actually sees.
+//! * [`run_strategy_with_faults`] runs any [`ProbeStrategy`] against that
+//!   observed coloring and returns the run together with the per-probe
+//!   fates, ready to be priced by a message-level network simulator (see
+//!   `quorum-cluster`'s workload engine).
+//!
+//! The fate of an element is decided by a caller-supplied closure, so this
+//! crate stays agnostic of delay models and partition schedules; it only
+//! fixes the *contract*: a dead element never answers, and an element
+//! observed green answered on the attempt after its recorded failures.
+
+use quorum_core::{Color, Coloring, ElementId};
+use rand::RngCore;
+
+use crate::runner::{run_strategy, ProbeRun, ProbeStrategy};
+use quorum_core::QuorumSystem;
+
+/// Which leg of a probe attempt the network dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptLoss {
+    /// The request never reached the element (lost, partitioned away, or the
+    /// element is dead): the element does no work, the client times out.
+    Request,
+    /// The request was delivered and served, but the response was dropped on
+    /// the way back: the element's work is wasted, the client times out.
+    Response,
+}
+
+/// How probing one element turns out, over all attempts a policy allows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeFate {
+    /// The color the client records after its last attempt.
+    pub observed: Color,
+    /// The losses of the failed attempts, in order. An element observed
+    /// [`Color::Green`] answered on the attempt following these failures; an
+    /// element observed [`Color::Red`] exhausted every attempt.
+    pub failures: Vec<AttemptLoss>,
+}
+
+impl ProbeFate {
+    /// A clean first-attempt answer.
+    pub fn answered() -> Self {
+        ProbeFate {
+            observed: Color::Green,
+            failures: Vec::new(),
+        }
+    }
+
+    /// A dead (or unreachable) element probed `attempts` times: every
+    /// request leg is charged, nothing ever answers.
+    pub fn dead(attempts: u32) -> Self {
+        ProbeFate {
+            observed: Color::Red,
+            failures: vec![AttemptLoss::Request; attempts.max(1) as usize],
+        }
+    }
+
+    /// Number of attempts this fate consumed (failures plus the answering
+    /// attempt for green observations).
+    pub fn attempts(&self) -> usize {
+        self.failures.len() + usize::from(self.observed == Color::Green)
+    }
+}
+
+/// Folds per-element fates over the true coloring, returning the coloring
+/// the client observes plus every element's fate (indexed by element).
+///
+/// `fate(e, true_color)` is called once per element in index order, so a
+/// deterministic closure yields a deterministic observation no matter which
+/// elements the strategy later probes.
+///
+/// # Panics
+///
+/// Panics if a fate claims a green observation for a truly red element — a
+/// dead element cannot answer.
+pub fn observed_coloring<F>(truth: &Coloring, mut fate: F) -> (Coloring, Vec<ProbeFate>)
+where
+    F: FnMut(ElementId, Color) -> ProbeFate,
+{
+    let n = truth.universe_size();
+    let mut fates = Vec::with_capacity(n);
+    let mut colors = Vec::with_capacity(n);
+    for e in 0..n {
+        let true_color = truth.color(e);
+        let verdict = fate(e, true_color);
+        assert!(
+            !(true_color == Color::Red && verdict.observed == Color::Green),
+            "element {e} is dead but its fate claims an answer"
+        );
+        colors.push(verdict.observed);
+        fates.push(verdict);
+    }
+    (Coloring::from_colors(colors), fates)
+}
+
+/// A probe run executed through a faulty observation channel.
+#[derive(Debug, Clone)]
+pub struct FaultySessionRun {
+    /// The run against the observed coloring (sequence, witness, count).
+    pub run: ProbeRun,
+    /// The coloring the client observed.
+    pub observed: Coloring,
+    /// The fate of each probed element, aligned with `run.sequence`.
+    pub fates: Vec<ProbeFate>,
+}
+
+/// Runs `strategy` against the coloring observed through `fate`, returning
+/// the run plus the per-probe fates.
+///
+/// The witness verifies against the *observed* coloring: under message loss
+/// or partitions it may disagree with the true world (a live quorum declared
+/// dead), which is exactly the degradation a network experiment measures.
+pub fn run_strategy_with_faults<S, T, F>(
+    system: &S,
+    strategy: &T,
+    truth: &Coloring,
+    fate: F,
+    rng: &mut dyn RngCore,
+) -> FaultySessionRun
+where
+    S: QuorumSystem + ?Sized,
+    T: ProbeStrategy<S> + ?Sized,
+    F: FnMut(ElementId, Color) -> ProbeFate,
+{
+    let (observed, mut all_fates) = observed_coloring(truth, fate);
+    let run = run_strategy(system, strategy, &observed, rng);
+    let fates = run
+        .sequence
+        .iter()
+        .map(|&e| std::mem::replace(&mut all_fates[e], ProbeFate::answered()))
+        .collect();
+    FaultySessionRun {
+        run,
+        observed,
+        fates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::SequentialScan;
+    use quorum_systems::Majority;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fates_report_their_attempt_counts() {
+        assert_eq!(ProbeFate::answered().attempts(), 1);
+        assert_eq!(ProbeFate::dead(3).attempts(), 3);
+        assert_eq!(ProbeFate::dead(0).attempts(), 1, "at least one attempt");
+        let retried = ProbeFate {
+            observed: Color::Green,
+            failures: vec![AttemptLoss::Response, AttemptLoss::Request],
+        };
+        assert_eq!(retried.attempts(), 3);
+    }
+
+    #[test]
+    fn clean_fates_observe_the_truth() {
+        let truth = Coloring::from_colors(vec![Color::Green, Color::Red, Color::Green]);
+        let (observed, fates) = observed_coloring(&truth, |_, color| match color {
+            Color::Green => ProbeFate::answered(),
+            Color::Red => ProbeFate::dead(1),
+        });
+        assert_eq!(observed, truth);
+        assert_eq!(fates[0], ProbeFate::answered());
+        assert_eq!(fates[1], ProbeFate::dead(1));
+    }
+
+    #[test]
+    fn lost_answers_turn_live_elements_red() {
+        let truth = Coloring::all_green(4);
+        // Element 2's answers are all dropped on the response leg.
+        let (observed, fates) = observed_coloring(&truth, |e, _| {
+            if e == 2 {
+                ProbeFate {
+                    observed: Color::Red,
+                    failures: vec![AttemptLoss::Response; 2],
+                }
+            } else {
+                ProbeFate::answered()
+            }
+        });
+        assert_eq!(observed.color(2), Color::Red);
+        assert_eq!(observed.red_count(), 1);
+        assert_eq!(fates[2].attempts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead but its fate claims an answer")]
+    fn dead_elements_cannot_answer() {
+        let truth = Coloring::all_red(2);
+        let _ = observed_coloring(&truth, |_, _| ProbeFate::answered());
+    }
+
+    #[test]
+    fn faulty_runs_align_fates_with_the_sequence() {
+        let maj = Majority::new(5).unwrap();
+        let truth = Coloring::all_green(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Element 0 looks dead after two lost attempts: the scan must probe
+        // one extra element to assemble a majority.
+        let session = run_strategy_with_faults(
+            &maj,
+            &SequentialScan::new(),
+            &truth,
+            |e, _| {
+                if e == 0 {
+                    ProbeFate {
+                        observed: Color::Red,
+                        failures: vec![AttemptLoss::Request, AttemptLoss::Response],
+                    }
+                } else {
+                    ProbeFate::answered()
+                }
+            },
+            &mut rng,
+        );
+        assert!(session.run.witness.is_green());
+        assert_eq!(session.run.sequence, vec![0, 1, 2, 3]);
+        assert_eq!(session.fates.len(), session.run.sequence.len());
+        assert_eq!(session.fates[0].observed, Color::Red);
+        assert_eq!(session.fates[0].attempts(), 2);
+        assert_eq!(session.observed.color(0), Color::Red);
+    }
+}

@@ -64,7 +64,8 @@ pub use failure::{ChurnTrajectory, FailureModel};
 pub use montecarlo::{estimate_expected_probes, exhaustive_expected_probes, Estimate};
 pub use report::Table;
 pub use workload::{
-    closed_loop_workload, open_poisson_workload, outcomes_table, run_workload_cells,
-    standard_workloads, WorkloadCell, WorkloadOutcome, WorkloadStrategy,
+    closed_loop_workload, net_outcomes_table, network_scenarios, open_poisson_workload,
+    outcomes_table, run_net_workload_cells, run_workload_cells, standard_workloads, NetScenario,
+    NetWorkloadCell, NetWorkloadOutcome, WorkloadCell, WorkloadOutcome, WorkloadStrategy,
 };
 pub use worstcase::{estimate_worst_case, worst_case_over_colorings};

@@ -16,9 +16,11 @@ use std::sync::Arc;
 
 use quorum_analysis::load_imbalance;
 use quorum_cluster::{
-    run_workload, ArrivalProcess, Distribution, SessionPlan, SimTime, WorkloadConfig,
+    run_net_workload, run_workload, ArrivalProcess, Distribution, NetProbe, NetSessionPlan,
+    NetworkModel, PartitionSchedule, ProbePolicy, SessionPlan, SimTime, WorkloadConfig,
 };
-use quorum_core::Coloring;
+use quorum_core::{Color, Coloring};
+use quorum_probe::session::observed_coloring;
 use quorum_probe::strategies::{LeastLoadedScan, LoadView, PowerOfTwoScan};
 use rayon::prelude::*;
 
@@ -281,6 +283,329 @@ pub fn outcomes_table(outcomes: &[WorkloadOutcome]) -> Table {
     table
 }
 
+/// A named network-fault scenario: a [`NetworkModel`] plus the client-side
+/// [`ProbePolicy`] recommended for it.
+#[derive(Debug, Clone)]
+pub struct NetScenario {
+    /// Canonical name, e.g. `"minority-part"`.
+    pub name: &'static str,
+    /// The message-level network the scenario runs on.
+    pub network: NetworkModel,
+    /// The robustness policy the scenario pairs with the network.
+    pub policy: ProbePolicy,
+}
+
+/// The standard network-fault battery for a universe of `n` nodes under
+/// `config`: clean, lossy, heavy-tail delay, minority partition, flapping
+/// partition and asymmetric split.
+///
+/// Partition windows are placed relative to the run's
+/// [`WorkloadConfig::horizon_hint`], so the same scenario scales with the
+/// session count. The `clean` scenario is bit-identical to the latency-only
+/// engine — it is the control row of every network experiment.
+pub fn network_scenarios(n: usize, config: &WorkloadConfig) -> Vec<NetScenario> {
+    let horizon = config.horizon_hint().as_micros();
+    let at = |num: u64, den: u64| SimTime::from_micros(horizon * num / den);
+    let third: Vec<usize> = (0..n / 3).collect();
+    let quarter: Vec<usize> = (0..n / 4).collect();
+    let backoff = SimTime::from_micros(300);
+    let hedge = SimTime::from_millis(2);
+    vec![
+        NetScenario {
+            name: "clean",
+            network: NetworkModel::clean(),
+            policy: ProbePolicy::sequential(),
+        },
+        NetScenario {
+            // 6 % of messages vanish on each leg; three attempts with
+            // backoff recover almost every probe.
+            name: "lossy",
+            network: NetworkModel::lossy(60_000),
+            policy: ProbePolicy::retry(3, backoff),
+        },
+        NetScenario {
+            // 4 % of messages hit an 8 ms straggler path: the hedged policy
+            // overlaps the stragglers with the next candidate.
+            name: "heavy-tail",
+            network: NetworkModel {
+                delay: Some(Distribution::heavy_tail(
+                    SimTime::from_micros(100),
+                    SimTime::from_micros(400),
+                    SimTime::from_millis(8),
+                    40_000,
+                )),
+                ..NetworkModel::clean()
+            },
+            policy: ProbePolicy::retry(2, backoff).with_hedge(hedge),
+        },
+        NetScenario {
+            // A third of the universe is unreachable for the middle of the
+            // run, then heals.
+            name: "minority-part",
+            network: NetworkModel {
+                partitions: PartitionSchedule::minority(third.clone(), at(1, 4), at(5, 8)),
+                ..NetworkModel::clean()
+            },
+            policy: ProbePolicy::retry(2, backoff).with_hedge(hedge),
+        },
+        NetScenario {
+            // A quarter of the universe flaps: down for the first half of
+            // every period through the first three quarters of the run.
+            name: "flapping",
+            network: NetworkModel {
+                partitions: PartitionSchedule::flapping(quarter, at(1, 8), at(1, 16), at(3, 4)),
+                ..NetworkModel::clean()
+            },
+            policy: ProbePolicy::retry(2, backoff).with_hedge(hedge),
+        },
+        NetScenario {
+            // Requests reach a third of the universe — the nodes do the work
+            // — but every response is dropped: pure wasted effort.
+            name: "asym-split",
+            network: NetworkModel {
+                partitions: PartitionSchedule::asymmetric(third, at(1, 5), at(7, 10)),
+                ..NetworkModel::clean()
+            },
+            policy: ProbePolicy::retry(2, backoff),
+        },
+    ]
+}
+
+/// One message-level workload simulation: a [`WorkloadCell`] plus the
+/// network-fault scenario it runs through.
+#[derive(Clone)]
+pub struct NetWorkloadCell {
+    /// The quorum system under load.
+    pub system: DynSystem,
+    /// The probe strategy serving the sessions.
+    pub strategy: WorkloadStrategy,
+    /// The failure scenario (true crashes, as distinct from network faults).
+    pub source: ColoringSource,
+    /// A short name for the arrival/service model.
+    pub workload: String,
+    /// The arrival, latency, service and timeout model.
+    pub config: WorkloadConfig,
+    /// The network-fault scenario's name (report column).
+    pub net: String,
+    /// The message-level network the cell runs on.
+    pub network: NetworkModel,
+    /// The client-side robustness policy.
+    pub policy: ProbePolicy,
+}
+
+impl NetWorkloadCell {
+    /// Lifts a latency-only cell onto a network scenario.
+    pub fn from_cell(cell: WorkloadCell, scenario: &NetScenario) -> Self {
+        NetWorkloadCell {
+            system: cell.system,
+            strategy: cell.strategy,
+            source: cell.source,
+            workload: cell.workload,
+            config: cell.config,
+            net: scenario.name.to_string(),
+            network: scenario.network.clone(),
+            policy: scenario.policy,
+        }
+    }
+}
+
+/// The deterministic summary of one executed [`NetWorkloadCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetWorkloadOutcome {
+    /// System label.
+    pub system: String,
+    /// Universe size.
+    pub universe_size: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Workload label.
+    pub workload: String,
+    /// Network-scenario label.
+    pub net: String,
+    /// Policy label.
+    pub policy: String,
+    /// Failure-scenario label.
+    pub scenario: String,
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Fraction of sessions that located a live quorum in their *observed*
+    /// coloring (network faults can push this below the crash-only rate).
+    pub success_rate: f64,
+    /// Completed sessions per second of virtual time.
+    pub throughput_per_sec: f64,
+    /// Median session latency, microseconds of virtual time.
+    pub p50_us: u64,
+    /// 95th-percentile session latency.
+    pub p95_us: u64,
+    /// 99th-percentile session latency.
+    pub p99_us: u64,
+    /// Mean probes per session (attempts included).
+    pub probes_per_session: f64,
+    /// Mean messages per session (requests plus transmitted responses).
+    pub messages_per_session: f64,
+    /// Fraction of probe attempts whose answer was never used.
+    pub wasted_fraction: f64,
+    /// Load-imbalance factor (max/mean probes per node).
+    pub imbalance: f64,
+    /// Highest backlog any node reached.
+    pub peak_backlog: usize,
+}
+
+/// Executes one network cell. Sequential inside; pure in `(base_seed,
+/// cell_index, cell)`. Uses the same engine seed derivation as the
+/// latency-only [`run_cell`], so a `clean` network cell reproduces its
+/// [`WorkloadCell`] twin bit for bit.
+fn run_net_cell(base_seed: u64, cell_index: u64, cell: &NetWorkloadCell) -> NetWorkloadOutcome {
+    let n = cell.system.universe_size();
+    let view = match &cell.strategy {
+        WorkloadStrategy::Paper(_) => None,
+        WorkloadStrategy::LeastLoaded | WorkloadStrategy::PowerOfTwo => Some(LoadView::new(n)),
+    };
+    let strategy: DynProbeStrategy = match (&cell.strategy, &view) {
+        (WorkloadStrategy::Paper(strategy), _) => Arc::clone(strategy),
+        (WorkloadStrategy::LeastLoaded, Some(view)) => {
+            universal_strategy(LeastLoadedScan::new(view.clone()))
+        }
+        (WorkloadStrategy::PowerOfTwo, Some(view)) => {
+            universal_strategy(PowerOfTwoScan::new(view.clone()))
+        }
+        _ => unreachable!("load-aware strategies always carry a view"),
+    };
+    assert!(
+        strategy.supports(cell.system.as_ref()),
+        "strategy {} does not support system {}",
+        strategy.name(),
+        cell.system.name()
+    );
+
+    let engine_seed = base_seed
+        .rotate_left(17)
+        .wrapping_add((cell_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut scratch = Coloring::all_green(n);
+    let report = run_net_workload(
+        n,
+        &cell.config,
+        &cell.network,
+        &cell.policy,
+        engine_seed,
+        |session, ledger, now, net_rng| {
+            if let Some(view) = &view {
+                for e in 0..n {
+                    view.set(e, ledger.score(e, now));
+                }
+            }
+            let mut rng = derive_rng(base_seed, cell_index, session);
+            cell.source.sample_into(n, session, &mut rng, &mut scratch);
+            // The client sees crashes *through* the network: transit fates
+            // can turn live elements red, and the strategy adapts to the
+            // observed coloring, not the true one.
+            let (observed, mut fates) = observed_coloring(&scratch, |e, color| {
+                cell.network
+                    .probe_fate(e, color == Color::Green, now, &cell.policy, net_rng)
+            });
+            let run = strategy.run(cell.system.as_ref(), &observed, &mut rng);
+            NetSessionPlan {
+                probes: run
+                    .sequence
+                    .iter()
+                    .map(|&e| NetProbe {
+                        node: e,
+                        observed: observed.color(e),
+                        failures: std::mem::take(&mut fates[e].failures),
+                    })
+                    .collect(),
+                success: run.witness.is_green(),
+            }
+        },
+    );
+
+    let peak_backlog = (0..n)
+        .map(|e| report.ledger.peak_backlog(e))
+        .max()
+        .unwrap_or(0);
+    NetWorkloadOutcome {
+        system: cell.system.name(),
+        universe_size: n,
+        strategy: cell.strategy.label(),
+        workload: cell.workload.clone(),
+        net: cell.net.clone(),
+        policy: cell.policy.label(),
+        scenario: cell.source.label(),
+        sessions: report.sessions,
+        success_rate: report.success_rate(),
+        throughput_per_sec: report.throughput_per_sec(),
+        p50_us: report.latency.p50(),
+        p95_us: report.latency.p95(),
+        p99_us: report.latency.p99(),
+        probes_per_session: report.probes_per_session(),
+        messages_per_session: report.messages_per_session(),
+        wasted_fraction: report.wasted_fraction(),
+        imbalance: load_imbalance(report.ledger.probes_received()),
+        peak_backlog,
+    }
+}
+
+/// Runs every network cell, in parallel across the engine's worker pool,
+/// returning outcomes in cell order. Bit-identical for any thread count.
+pub fn run_net_workload_cells(
+    engine: &EvalEngine,
+    base_seed: u64,
+    cells: &[NetWorkloadCell],
+) -> Vec<NetWorkloadOutcome> {
+    let indexed: Vec<(u64, &NetWorkloadCell)> = cells
+        .iter()
+        .enumerate()
+        .map(|(index, cell)| (index as u64, cell))
+        .collect();
+    engine.install(|| {
+        indexed
+            .into_par_iter()
+            .map(|(index, cell)| run_net_cell(base_seed, index, cell))
+            .collect()
+    })
+}
+
+/// Renders network outcomes as the standard network-workload table.
+pub fn net_outcomes_table(outcomes: &[NetWorkloadOutcome]) -> Table {
+    let mut table = Table::new([
+        "system",
+        "n",
+        "strategy",
+        "net",
+        "policy",
+        "scenario",
+        "sessions",
+        "ok_rate",
+        "thr_per_s",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "probes",
+        "msgs",
+        "wasted",
+    ]);
+    for o in outcomes {
+        table.add_row(vec![
+            o.system.clone(),
+            o.universe_size.to_string(),
+            o.strategy.clone(),
+            o.net.clone(),
+            o.policy.clone(),
+            o.scenario.clone(),
+            o.sessions.to_string(),
+            format!("{:.3}", o.success_rate),
+            format!("{:.1}", o.throughput_per_sec),
+            format!("{:.3}", o.p50_us as f64 / 1_000.0),
+            format!("{:.3}", o.p95_us as f64 / 1_000.0),
+            format!("{:.3}", o.p99_us as f64 / 1_000.0),
+            format!("{:.2}", o.probes_per_session),
+            format!("{:.2}", o.messages_per_session),
+            format!("{:.3}", o.wasted_fraction),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,5 +707,145 @@ mod tests {
             config: open_poisson_workload(10, SimTime::from_micros(200)),
         };
         let _ = run_workload_cells(&EvalEngine::with_threads(1), 1, &[cell]);
+    }
+
+    #[test]
+    fn clean_network_cells_reproduce_latency_cells_bit_for_bit() {
+        // The acceptance guarantee of the message-level engine: lifting a
+        // cell onto the clean scenario changes *nothing* — same engine seed,
+        // same draws, same rows.
+        let cells = maj_cells(200);
+        let plain = run_workload_cells(&EvalEngine::with_threads(0), 42, &cells);
+        let clean = NetScenario {
+            name: "clean",
+            network: NetworkModel::clean(),
+            policy: ProbePolicy::sequential(),
+        };
+        let net_cells: Vec<NetWorkloadCell> = cells
+            .into_iter()
+            .map(|cell| NetWorkloadCell::from_cell(cell, &clean))
+            .collect();
+        let net = run_net_workload_cells(&EvalEngine::with_threads(0), 42, &net_cells);
+        assert_eq!(plain.len(), net.len());
+        for (a, b) in plain.iter().zip(&net) {
+            assert_eq!(
+                a.success_rate, b.success_rate,
+                "{}/{}",
+                a.system, a.workload
+            );
+            assert_eq!(a.throughput_per_sec, b.throughput_per_sec);
+            assert_eq!(
+                (a.p50_us, a.p95_us, a.p99_us),
+                (b.p50_us, b.p95_us, b.p99_us)
+            );
+            assert_eq!(a.probes_per_session, b.probes_per_session);
+            assert_eq!(a.imbalance, b.imbalance);
+            assert_eq!(a.peak_backlog, b.peak_backlog);
+            assert_eq!(b.wasted_fraction, 0.0, "clean networks waste nothing");
+        }
+    }
+
+    #[test]
+    fn net_outcomes_are_thread_count_invariant() {
+        let system = erase_system(Majority::new(15).unwrap());
+        let config = open_poisson_workload(250, SimTime::from_micros(250));
+        let cells: Vec<NetWorkloadCell> = network_scenarios(15, &config)
+            .iter()
+            .map(|scenario| {
+                NetWorkloadCell::from_cell(
+                    WorkloadCell {
+                        system: system.clone(),
+                        strategy: WorkloadStrategy::Paper(
+                            universal_strategy(SequentialScan::new()),
+                        ),
+                        source: ColoringSource::iid(0.1),
+                        workload: "open-poisson".into(),
+                        config,
+                    },
+                    scenario,
+                )
+            })
+            .collect();
+        assert_eq!(cells.len(), 6, "the standard battery has six scenarios");
+        let single = run_net_workload_cells(&EvalEngine::with_threads(1), 9, &cells);
+        let parallel = run_net_workload_cells(&EvalEngine::with_threads(4), 9, &cells);
+        assert_eq!(single, parallel, "network rows diverged across threads");
+        assert_eq!(
+            net_outcomes_table(&single).render(),
+            net_outcomes_table(&parallel).render()
+        );
+    }
+
+    #[test]
+    fn network_faults_degrade_and_policies_recover() {
+        let system = erase_system(Majority::new(15).unwrap());
+        let config = open_poisson_workload(300, SimTime::from_micros(250));
+        let lossy_net = NetworkModel::lossy(150_000); // 15 % per leg
+        let build = |net: &str, network: NetworkModel, policy: ProbePolicy| NetWorkloadCell {
+            system: system.clone(),
+            strategy: WorkloadStrategy::Paper(universal_strategy(SequentialScan::new())),
+            source: ColoringSource::iid(0.05),
+            workload: "open-poisson".into(),
+            config,
+            net: net.into(),
+            network,
+            policy,
+        };
+        let cells = vec![
+            build("clean", NetworkModel::clean(), ProbePolicy::sequential()),
+            build("lossy", lossy_net.clone(), ProbePolicy::sequential()),
+            build(
+                "lossy",
+                lossy_net,
+                ProbePolicy::retry(4, SimTime::from_micros(200)),
+            ),
+        ];
+        let outcomes = run_net_workload_cells(&EvalEngine::with_threads(0), 3, &cells);
+        let (clean, naive, robust) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+        assert!(
+            naive.success_rate < clean.success_rate,
+            "loss must hurt the naive policy: {} vs {}",
+            naive.success_rate,
+            clean.success_rate
+        );
+        assert!(
+            robust.success_rate > naive.success_rate,
+            "retries must recover ok-rate: {} vs {}",
+            robust.success_rate,
+            naive.success_rate
+        );
+        assert_eq!(clean.wasted_fraction, 0.0);
+        assert!(naive.wasted_fraction > 0.0);
+        assert!(robust.messages_per_session > clean.messages_per_session);
+    }
+
+    #[test]
+    fn asymmetric_splits_waste_served_work() {
+        let system = erase_system(Majority::new(15).unwrap());
+        let config = open_poisson_workload(300, SimTime::from_micros(250));
+        let scenarios = network_scenarios(15, &config);
+        let asym = scenarios
+            .iter()
+            .find(|s| s.name == "asym-split")
+            .expect("battery has the asymmetric split");
+        let cell = NetWorkloadCell::from_cell(
+            WorkloadCell {
+                system: system.clone(),
+                strategy: WorkloadStrategy::Paper(universal_strategy(SequentialScan::new())),
+                source: ColoringSource::iid(0.02),
+                workload: "open-poisson".into(),
+                config,
+            },
+            asym,
+        );
+        let outcome = &run_net_workload_cells(&EvalEngine::with_threads(1), 5, &[cell])[0];
+        assert!(
+            outcome.wasted_fraction > 0.0,
+            "responses dropped after service must register as waste"
+        );
+        // Every attempt transmits its request; only served attempts also
+        // transmit a response — so messages sit within [probes, 2·probes].
+        assert!(outcome.messages_per_session <= 2.0 * outcome.probes_per_session);
+        assert!(outcome.messages_per_session >= outcome.probes_per_session);
     }
 }

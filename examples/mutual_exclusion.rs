@@ -64,6 +64,24 @@ fn main() -> Result<(), QuorumError> {
         predicted_outage.mean, predicted_outage.std_error
     );
 
+    // A partition-and-heal trace rides on top of the churn: a third of the
+    // nodes drops off the network for the middle of the run (rounds map to
+    // trace instants, one millisecond per round). The window is open-ended;
+    // `heal_all` closes it — the heal is an explicit control-plane event,
+    // exactly like an operator fixing a switch.
+    let partition_from = rounds / 3;
+    let heal_at = (2 * rounds) / 3;
+    let cut: Vec<usize> = (0..n / 3).collect();
+    let mut partitions = PartitionSchedule::minority(
+        cut.clone(),
+        SimTime::from_millis(partition_from as u64),
+        SimTime::from_micros(u64::MAX),
+    );
+    println!(
+        "partition trace: nodes 0..{} unreachable from round {partition_from}, healed at round {heal_at}\n",
+        cut.len()
+    );
+
     let cluster = Cluster::new(n, NetworkConfig::lan(), 4242);
     let mut mutex = QuorumMutex::new(wall, cluster, ProbeCw::new());
     let mut rng = StdRng::seed_from_u64(99);
@@ -76,9 +94,25 @@ fn main() -> Result<(), QuorumError> {
     // client -> round at which it releases the lock.
     let mut holding: HashMap<u64, usize> = HashMap::new();
 
+    let mut outage_rounds_partitioned = 0usize;
     for (round, coloring) in churn.iter().enumerate() {
-        // Advance the cluster to this round's failure pattern.
-        mutex.cluster_mut().apply_coloring(coloring);
+        if round == heal_at {
+            partitions.heal_all(SimTime::from_millis(heal_at as u64));
+        }
+        // Advance the cluster to this round's failure pattern, overlaying
+        // the partition trace: an unreachable node is indistinguishable
+        // from a crashed one to the probing clients.
+        let trace_at = SimTime::from_millis(round as u64);
+        let unreachable = partitions.unreachable_at(n, trace_at);
+        let effective = Coloring::from_fn(n, |e| {
+            if unreachable.contains(&e) {
+                Color::Red
+            } else {
+                coloring.color(e)
+            }
+        });
+        mutex.cluster_mut().apply_coloring(&effective);
+        let in_partition = !unreachable.is_empty();
         let mut saw_no_quorum = false;
         for (idx, &client) in clients.iter().enumerate() {
             if let Some(&until) = holding.get(&client) {
@@ -111,6 +145,9 @@ fn main() -> Result<(), QuorumError> {
         }
         if saw_no_quorum {
             outage_rounds += 1;
+            if in_partition {
+                outage_rounds_partitioned += 1;
+            }
         }
     }
     for &client in holding.keys() {
@@ -131,9 +168,14 @@ fn main() -> Result<(), QuorumError> {
     );
     println!("attempts rejected because no live quorum existed: {rejected_no_quorum}");
     println!(
-        "observed outage-round fraction: {:.4} (batched prediction: {:.4})",
+        "observed outage-round fraction: {:.4} (batched churn-only prediction: {:.4})",
         outage_rounds as f64 / churn.len() as f64,
         predicted_outage.mean
+    );
+    println!(
+        "outage rounds while partitioned: {outage_rounds_partitioned} of {} partitioned rounds; \
+         after heal_all the trace reverts to churn-only failures",
+        heal_at - partition_from
     );
     println!("attempts rejected because of contention:          {rejected_contended}");
     let loads: Vec<u64> = (0..n).map(|e| mutex.cluster().probes_received(e)).collect();

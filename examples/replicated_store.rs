@@ -57,6 +57,24 @@ fn main() -> Result<(), QuorumError> {
         predicted_outage.mean, predicted_outage.std_error
     );
 
+    // A flapping partition rides on top of the churn: a quarter of the
+    // replicas (including the tree root) blink off and on through the first
+    // two thirds of the run, then the link is healed for good. One round
+    // maps to one millisecond of trace time.
+    let flap_until = (2 * rounds) / 3;
+    let flappers: Vec<usize> = (0..n / 4).collect();
+    let mut partitions = PartitionSchedule::flapping(
+        flappers.clone(),
+        SimTime::from_millis(10),
+        SimTime::from_millis(4),
+        SimTime::from_millis(rounds as u64),
+    );
+    partitions.heal_all(SimTime::from_millis(flap_until as u64));
+    println!(
+        "partition trace: replicas 0..{} flap (4ms down / 10ms period) until round {flap_until}, then heal\n",
+        flappers.len()
+    );
+
     let cluster = Cluster::new(n, NetworkConfig::wan(), 77);
     let view = LoadView::new(n);
     let mut register = ReplicatedRegister::new(tree, cluster, LeastLoadedScan::new(view.clone()));
@@ -70,10 +88,22 @@ fn main() -> Result<(), QuorumError> {
     let mut latency = LogHistogram::new();
     let mut last_committed: Option<(u64, Vec<u8>)> = None;
 
+    let mut blocked_while_flapping = 0usize;
     for (round, coloring) in churn.iter().enumerate() {
-        // Advance the replica fleet to this round's failure pattern, and
-        // publish its accumulated probe load so the strategy sees it.
-        register.cluster_mut().apply_coloring(coloring);
+        // Advance the replica fleet to this round's failure pattern —
+        // overlaying the partition trace, since an unreachable replica is
+        // indistinguishable from a crashed one — and publish its
+        // accumulated probe load so the strategy sees it.
+        let unreachable = partitions.unreachable_at(n, SimTime::from_millis(round as u64));
+        let effective = Coloring::from_fn(n, |e| {
+            if unreachable.contains(&e) {
+                Color::Red
+            } else {
+                coloring.color(e)
+            }
+        });
+        let blocked_before = writes_blocked + reads_blocked;
+        register.cluster_mut().apply_coloring(&effective);
         for e in 0..n {
             view.set(e, register.cluster().probes_received(e));
         }
@@ -105,6 +135,9 @@ fn main() -> Result<(), QuorumError> {
             }
             latency.record((register.cluster().now().saturating_sub(started)).as_micros());
         }
+        if !unreachable.is_empty() {
+            blocked_while_flapping += writes_blocked + reads_blocked - blocked_before;
+        }
     }
 
     let mut table = Table::new(["operation", "completed", "blocked (no live quorum)"]);
@@ -130,6 +163,10 @@ fn main() -> Result<(), QuorumError> {
         "observed blocked fraction: {:.4} (batched prediction: {:.4})",
         (writes_blocked + reads_blocked) as f64 / (churn.len() * clients) as f64,
         predicted_outage.mean
+    );
+    println!(
+        "operations blocked during flap windows: {blocked_while_flapping} of {} total blocked",
+        writes_blocked + reads_blocked
     );
     println!("stale reads observed: {stale_reads} (must be 0 — quorum intersection)");
     let loads: Vec<u64> = (0..n)
