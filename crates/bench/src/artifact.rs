@@ -3,15 +3,166 @@
 //! wall-clock time per reproduced table so the performance trajectory of the
 //! repository is tracked over time.
 //!
-//! The JSON is written by hand (the workspace is offline; no serde): a flat
-//! schema of experiment records, each carrying its wall-clock milliseconds
-//! and the full table as `columns` + `rows` string matrices.
+//! The JSON is written by hand (the workspace is offline; no serde) through
+//! [`ArtifactStream`], a **streaming row writer**: the header goes out when
+//! the stream opens, every row is flushed to the sink the moment it is
+//! recorded, and the footer (including the process's peak RSS) closes the
+//! file. Memory stays constant no matter how many rows an experiment
+//! produces — the million-element `scale` experiment writes its cells as
+//! they complete instead of accumulating tables. [`BenchArtifact`] is the
+//! in-memory collector layered on top for tests and small tools; its
+//! `to_json` drives the same streaming writer over a byte buffer, so there
+//! is exactly one serialisation path.
 
+use std::io::{self, Write};
 use std::time::Duration;
 
 use probequorum::prelude::Table;
 
+/// An incremental `BENCH_<sha>.json` writer: open with [`ArtifactStream::new`]
+/// (writes the header), record experiments with
+/// [`ArtifactStream::record_table`] or the `begin_experiment` / `row` /
+/// `end_experiment` triple (each row is flushed immediately), and close with
+/// [`ArtifactStream::finish`] (writes the footer). The emitted document
+/// matches the `probequorum-bench/1` schema parsed by
+/// [`crate::parse_artifact`].
+#[derive(Debug)]
+pub struct ArtifactStream<W: Write> {
+    sink: W,
+    experiments: usize,
+    rows_in_current: usize,
+    in_experiment: bool,
+}
+
+impl<W: Write> ArtifactStream<W> {
+    /// Opens a stream and writes the artifact header.
+    ///
+    /// `sha` identifies the commit (CI passes `GITHUB_SHA`); `seed`, `trials`
+    /// and `threads` pin the reproduction configuration so two artifacts are
+    /// comparable only when they match.
+    pub fn new(
+        mut sink: W,
+        sha: &str,
+        seed: u64,
+        trials: usize,
+        threads: usize,
+    ) -> io::Result<Self> {
+        write!(
+            sink,
+            "{{\n  \"schema\": \"probequorum-bench/1\",\n  \"sha\": {},\n  \"seed\": {seed},\n  \
+             \"trials\": {trials},\n  \"threads\": {threads},\n  \"experiments\": [",
+            json_string(sha)
+        )?;
+        Ok(ArtifactStream {
+            sink,
+            experiments: 0,
+            rows_in_current: 0,
+            in_experiment: false,
+        })
+    }
+
+    /// Starts one experiment record: name and column headers go out
+    /// immediately; rows follow via [`ArtifactStream::row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous experiment was not closed with
+    /// [`ArtifactStream::end_experiment`].
+    pub fn begin_experiment(&mut self, name: &str, columns: &[String]) -> io::Result<()> {
+        assert!(
+            !self.in_experiment,
+            "close the previous experiment before starting another"
+        );
+        if self.experiments > 0 {
+            self.sink.write_all(b",")?;
+        }
+        self.experiments += 1;
+        self.in_experiment = true;
+        self.rows_in_current = 0;
+        write!(
+            self.sink,
+            "\n    {{\n      \"name\": {},\n      \"columns\": {},\n      \"rows\": [",
+            json_string(name),
+            json_string_array(columns)
+        )
+    }
+
+    /// Appends one row to the open experiment and flushes it to the sink, so
+    /// partial progress of a long experiment is on disk before it finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no experiment is open.
+    pub fn row(&mut self, cells: &[String]) -> io::Result<()> {
+        assert!(
+            self.in_experiment,
+            "begin an experiment before writing rows"
+        );
+        if self.rows_in_current > 0 {
+            self.sink.write_all(b",")?;
+        }
+        self.rows_in_current += 1;
+        write!(self.sink, "\n        {}", json_string_array(cells))?;
+        self.sink.flush()
+    }
+
+    /// Closes the open experiment, recording its wall-clock time (known only
+    /// once the last row is in — which is why `wall_ms` trails the rows; the
+    /// parser is field-order independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no experiment is open.
+    pub fn end_experiment(&mut self, wall: Duration) -> io::Result<()> {
+        assert!(self.in_experiment, "no experiment to close");
+        self.in_experiment = false;
+        if self.rows_in_current > 0 {
+            self.sink.write_all(b"\n      ")?;
+        }
+        write!(
+            self.sink,
+            "],\n      \"wall_ms\": {:.3}\n    }}",
+            wall.as_secs_f64() * 1_000.0
+        )?;
+        self.sink.flush()
+    }
+
+    /// Records a whole experiment from an in-memory table: a
+    /// `begin_experiment` / per-row `row` / `end_experiment` sequence.
+    pub fn record_table(&mut self, name: &str, wall: Duration, table: &Table) -> io::Result<()> {
+        self.begin_experiment(name, table.headers())?;
+        for row in table.rows() {
+            self.row(row)?;
+        }
+        self.end_experiment(wall)
+    }
+
+    /// Writes the artifact footer — including the process's peak resident-set
+    /// size when known (see [`crate::peak_rss_bytes`]) — and returns the
+    /// sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an experiment is still open.
+    pub fn finish(mut self, peak_rss_bytes: Option<u64>) -> io::Result<W> {
+        assert!(!self.in_experiment, "close the open experiment first");
+        if self.experiments > 0 {
+            self.sink.write_all(b"\n  ")?;
+        }
+        match peak_rss_bytes {
+            Some(bytes) => write!(self.sink, "],\n  \"peak_rss_bytes\": {bytes}\n}}\n")?,
+            None => self.sink.write_all(b"]\n}\n")?,
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
 /// A collector of per-experiment results, serialisable to JSON.
+///
+/// This is the buffered convenience layer over [`ArtifactStream`] for tests
+/// and small tools; long-running producers (the `reproduce` binary) stream
+/// rows straight to disk instead.
 #[derive(Debug, Default)]
 pub struct BenchArtifact {
     records: Vec<ExperimentRecord>,
@@ -50,52 +201,24 @@ impl BenchArtifact {
         self.records.is_empty()
     }
 
-    /// Serialises the artifact to JSON.
+    /// Serialises the artifact to JSON by replaying every record through
+    /// [`ArtifactStream`] over a byte buffer.
     ///
     /// `sha` identifies the commit (CI passes `GITHUB_SHA`); `seed`,
     /// `trials` and `threads` pin the reproduction configuration so two
     /// artifacts are comparable only when they match.
     pub fn to_json(&self, sha: &str, seed: u64, trials: usize, threads: usize) -> String {
-        let mut out = String::with_capacity(4096);
-        out.push_str("{\n");
-        out.push_str("  \"schema\": \"probequorum-bench/1\",\n");
-        out.push_str(&format!("  \"sha\": {},\n", json_string(sha)));
-        out.push_str(&format!("  \"seed\": {seed},\n"));
-        out.push_str(&format!("  \"trials\": {trials},\n"));
-        out.push_str(&format!("  \"threads\": {threads},\n"));
-        out.push_str("  \"experiments\": [");
-        for (index, record) in self.records.iter().enumerate() {
-            if index > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    {\n");
-            out.push_str(&format!("      \"name\": {},\n", json_string(&record.name)));
-            out.push_str(&format!(
-                "      \"wall_ms\": {:.3},\n",
-                record.wall.as_secs_f64() * 1_000.0
-            ));
-            out.push_str(&format!(
-                "      \"columns\": {},\n",
-                json_string_array(record.table.headers())
-            ));
-            out.push_str("      \"rows\": [");
-            for (row_index, row) in record.table.rows().iter().enumerate() {
-                if row_index > 0 {
-                    out.push(',');
-                }
-                out.push_str("\n        ");
-                out.push_str(&json_string_array(row));
-            }
-            if !record.table.rows().is_empty() {
-                out.push_str("\n      ");
-            }
-            out.push_str("]\n    }");
+        let mut stream = ArtifactStream::new(Vec::with_capacity(4096), sha, seed, trials, threads)
+            .expect("writing to a byte buffer cannot fail");
+        for record in &self.records {
+            stream
+                .record_table(&record.name, record.wall, &record.table)
+                .expect("writing to a byte buffer cannot fail");
         }
-        if !self.records.is_empty() {
-            out.push_str("\n  ");
-        }
-        out.push_str("]\n}\n");
-        out
+        let bytes = stream
+            .finish(None)
+            .expect("writing to a byte buffer cannot fail");
+        String::from_utf8(bytes).expect("artifact JSON is UTF-8")
     }
 }
 
@@ -171,5 +294,54 @@ mod tests {
     fn empty_artifact_is_valid_json_shape() {
         let json = BenchArtifact::new().to_json("deadbeef", 7, 10, 2);
         assert!(json.contains("\"experiments\": []"));
+    }
+
+    #[test]
+    fn stream_flushes_each_row_as_it_is_recorded() {
+        // The streaming contract: after `row` returns, the row's bytes are in
+        // the sink — a crash mid-experiment loses nothing already recorded.
+        let mut stream = ArtifactStream::new(Vec::new(), "sha", 1, 10, 1).unwrap();
+        stream
+            .begin_experiment("scale", &["family".into(), "avail".into()])
+            .unwrap();
+        stream.row(&["Grid".into(), "0.500".into()]).unwrap();
+        assert!(String::from_utf8(stream.sink.clone())
+            .unwrap()
+            .contains("[\"Grid\", \"0.500\"]"));
+        stream.row(&["Tree".into(), "0.250".into()]).unwrap();
+        stream.end_experiment(Duration::from_millis(3)).unwrap();
+        let bytes = stream.finish(Some(123_456_789)).unwrap();
+        let json = String::from_utf8(bytes).unwrap();
+        assert!(json.contains("\"peak_rss_bytes\": 123456789"));
+        // The streamed document parses under the artifact schema.
+        let run = crate::parse_artifact(&json).expect("streamed artifact parses");
+        assert_eq!(run.experiments.len(), 1);
+        assert_eq!(run.experiments[0].rows.len(), 2);
+        assert_eq!(run.peak_rss_bytes, Some(123_456_789));
+    }
+
+    #[test]
+    fn stream_and_buffered_collector_emit_identical_documents() {
+        let mut artifact = BenchArtifact::new();
+        artifact.record("a", Duration::from_millis(2), sample_table());
+        artifact.record("b", Duration::ZERO, Table::new(["x"]));
+        let buffered = artifact.to_json("sha", 9, 100, 2);
+
+        let mut stream = ArtifactStream::new(Vec::new(), "sha", 9, 100, 2).unwrap();
+        stream
+            .record_table("a", Duration::from_millis(2), &sample_table())
+            .unwrap();
+        stream
+            .record_table("b", Duration::ZERO, &Table::new(["x"]))
+            .unwrap();
+        let streamed = String::from_utf8(stream.finish(None).unwrap()).unwrap();
+        assert_eq!(buffered, streamed);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin an experiment")]
+    fn rows_outside_an_experiment_panic() {
+        let mut stream = ArtifactStream::new(Vec::new(), "s", 1, 1, 1).unwrap();
+        let _ = stream.row(&["x".into()]);
     }
 }

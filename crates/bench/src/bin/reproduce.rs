@@ -12,9 +12,9 @@
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
 //! `availability`, `zoned`, `churn`, `scenario-matrix`, `workload`,
-//! `network`, `throughput`, `figures`, `all`. Unknown names are rejected
-//! before anything runs, with a non-zero exit — CI cannot silently run
-//! nothing.
+//! `network`, `scale`, `throughput`, `figures`, `all`. Unknown names are
+//! rejected before anything runs, with a non-zero exit — CI cannot silently
+//! run nothing.
 //!
 //! The binary doubles as the CI perf-regression gate:
 //!
@@ -31,20 +31,30 @@
 //! table goes to **stderr** and the JSON artifact, never stdout — `all`
 //! excludes it, so stdout stays bit-identical across runs and thread counts.
 //!
+//! `scale` demonstrates the lane engine at n ≥ 10⁶ (Grid 1000×1000, Tree of
+//! height 19, Maj over 10⁶ + 1 elements). Its availability table is a pure
+//! function of the seed and goes to stdout (it IS part of `all`); the
+//! lane-trials/second table is wall-clock data and follows the `throughput`
+//! convention (stderr + artifact only, as `scale-throughput`).
+//!
 //! Every experiment reports its wall-clock time and the engine's worker
 //! thread count on **stderr**, keeping stdout a pure function of the seed
 //! and trial count (bit-identical for any `REPRO_THREADS`). When the
 //! `REPRO_JSON` environment variable names a path, a machine-readable
-//! artifact (per-experiment wall-clock + full tables) is written there —
-//! that is the `BENCH_<sha>.json` file CI uploads on every push.
+//! artifact (per-experiment wall-clock + full tables) is **streamed** there
+//! row by row as experiments complete — constant memory, partial progress on
+//! disk — closing with the process's peak RSS. That is the `BENCH_<sha>.json`
+//! file CI uploads on every push.
 
-use std::time::Instant;
+use std::fs::File;
+use std::io::BufWriter;
+use std::time::{Duration, Instant};
 
 use bench::{
     availability_table, check_regression, churn, crumbling_walls, figures, hqs_exponent,
-    hqs_randomized, lemmas_table, lower_bounds, maj3, network, parse_artifact, randomized,
-    scenario_matrix, table1, throughput, tree_exponent, workload, zoned, BenchArtifact,
-    ReproConfig,
+    hqs_randomized, lemmas_table, lower_bounds, maj3, network, parse_artifact, peak_rss_bytes,
+    randomized, scale, scenario_matrix, table1, throughput, tree_exponent, workload, zoned,
+    ArtifactStream, ReproConfig,
 };
 use probequorum::prelude::Table;
 
@@ -67,17 +77,78 @@ const EXPERIMENTS: &[&str] = &[
     "scenario-matrix",
     "workload",
     "network",
+    "scale",
     "figures",
     "throughput",
     "all",
 ];
+
+/// The streaming sink behind every experiment: when `REPRO_JSON` names a
+/// path, rows go to disk through an [`ArtifactStream`] the moment each
+/// experiment completes (constant memory no matter how many rows the
+/// million-element `scale` cells produce); otherwise recording is a no-op.
+struct Recorder {
+    stream: Option<(ArtifactStream<BufWriter<File>>, String)>,
+}
+
+impl Recorder {
+    /// Opens the artifact stream if `REPRO_JSON` is set; exits non-zero when
+    /// the path is set but unwritable (CI must not lose its artifact late).
+    fn from_env(config: &ReproConfig) -> Self {
+        let Ok(path) = std::env::var("REPRO_JSON") else {
+            return Recorder { stream: None };
+        };
+        let sha = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string());
+        let open = File::create(&path).and_then(|file| {
+            ArtifactStream::new(
+                BufWriter::new(file),
+                &sha,
+                config.seed,
+                config.trials,
+                config.engine().thread_count(),
+            )
+        });
+        match open {
+            Ok(stream) => Recorder {
+                stream: Some((stream, path)),
+            },
+            Err(error) => {
+                eprintln!("failed to open bench artifact {path}: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Streams one experiment's table into the artifact.
+    fn record(&mut self, name: &str, wall: Duration, table: &Table) {
+        if let Some((stream, path)) = &mut self.stream {
+            if let Err(error) = stream.record_table(name, wall, table) {
+                eprintln!("failed to stream bench artifact {path}: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Writes the artifact footer (with the process's peak RSS).
+    fn finish(self) {
+        if let Some((stream, path)) = self.stream {
+            match stream.finish(peak_rss_bytes()) {
+                Ok(_) => eprintln!("[wrote bench artifact: {path}]"),
+                Err(error) => {
+                    eprintln!("failed to finish bench artifact {path}: {error}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
 
 /// Runs one experiment, printing its table (and any trailing ASCII art)
 /// under a heading and recording the table into the artifact. Timing goes to
 /// stderr so stdout stays deterministic.
 fn timed(
     config: &ReproConfig,
-    artifact: &mut BenchArtifact,
+    artifact: &mut Recorder,
     name: &str,
     heading: &str,
     run: impl FnOnce(&ReproConfig) -> (Table, Option<String>),
@@ -99,7 +170,7 @@ fn timed(
         config.trials,
         config.seed,
     );
-    artifact.record(name, wall, table);
+    artifact.record(name, wall, &table);
 }
 
 /// Adapts a plain-table experiment to `timed`'s `(table, art)` shape.
@@ -113,7 +184,7 @@ fn run_figures() {
     println!("{}", figures());
 }
 
-fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact) -> bool {
+fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> bool {
     match name {
         "table1" => timed(
             config,
@@ -239,7 +310,33 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
                 config.trials,
                 config.seed,
             );
-            artifact.record("throughput", wall, table);
+            artifact.record("throughput", wall, &table);
+        }
+        "scale" => {
+            let started = Instant::now();
+            println!("== Scale: the lane engine at n ≥ 10^6 (Grid 1000×1000, Tree h=19, Maj 10^6+1) ==\n");
+            let (avail_table, lane_table) = scale(config);
+            // The availability table is a pure function of the seed →
+            // stdout; the lane-trials/s table is wall-clock data → stderr
+            // and the artifact only (the `throughput` convention).
+            println!("{avail_table}");
+            let wall = started.elapsed();
+            eprintln!("{lane_table}");
+            eprintln!(
+                "[scale: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]",
+                wall,
+                config.engine().thread_count(),
+                config.trials,
+                config.seed,
+            );
+            if let Some(rss) = peak_rss_bytes() {
+                eprintln!(
+                    "[scale: peak RSS {:.0} MiB]",
+                    rss as f64 / (1024.0 * 1024.0)
+                );
+            }
+            artifact.record("scale", wall, &avail_table);
+            artifact.record("scale-throughput", wall, &lane_table);
         }
         "figures" => run_figures(),
         "all" => {
@@ -259,6 +356,7 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut BenchArtifact
                 "scenario-matrix",
                 "workload",
                 "network",
+                "scale",
                 "figures",
             ] {
                 run_experiment(experiment, config, artifact);
@@ -357,26 +455,10 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut artifact = BenchArtifact::new();
+    let mut recorder = Recorder::from_env(&config);
     for experiment in &requested {
-        let ran = run_experiment(experiment, &config, &mut artifact);
+        let ran = run_experiment(experiment, &config, &mut recorder);
         debug_assert!(ran, "validated names always dispatch");
     }
-
-    if let Ok(path) = std::env::var("REPRO_JSON") {
-        let sha = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string());
-        let json = artifact.to_json(
-            &sha,
-            config.seed,
-            config.trials,
-            config.engine().thread_count(),
-        );
-        match std::fs::write(&path, json) {
-            Ok(()) => eprintln!("[wrote bench artifact: {path}]"),
-            Err(error) => {
-                eprintln!("failed to write bench artifact {path}: {error}");
-                std::process::exit(1);
-            }
-        }
-    }
+    recorder.finish();
 }

@@ -269,6 +269,9 @@ pub struct BenchRun {
     pub seed: u64,
     /// `REPRO_TRIALS` of the run.
     pub trials: u64,
+    /// Peak resident-set size of the producing process, when the artifact
+    /// recorded one (linux runs of the `reproduce` binary do).
+    pub peak_rss_bytes: Option<u64>,
     /// The recorded experiments.
     pub experiments: Vec<BenchExperiment>,
 }
@@ -336,6 +339,10 @@ pub fn parse_artifact(json: &str) -> Result<BenchRun, String> {
             .to_string(),
         seed: root.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
         trials: root.get("trials").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        peak_rss_bytes: root
+            .get("peak_rss_bytes")
+            .and_then(Json::as_f64)
+            .map(|b| b as u64),
         experiments,
     })
 }
@@ -350,8 +357,8 @@ struct Gate {
     enforced: bool,
 }
 
-/// Deterministic virtual-time throughputs are enforced; wall-clock rates are
-/// reported only.
+/// Deterministic metrics (virtual-time throughputs, the million-element
+/// `scale` availabilities) are enforced; wall-clock rates are reported only.
 const GATES: &[Gate] = &[
     Gate {
         experiment: "workload",
@@ -366,9 +373,21 @@ const GATES: &[Gate] = &[
         enforced: true,
     },
     Gate {
+        experiment: "scale",
+        metric: "avail",
+        keys: &["family", "n", "p"],
+        enforced: true,
+    },
+    Gate {
         experiment: "throughput",
         metric: "trials_per_sec",
         keys: &["family", "n", "path"],
+        enforced: false,
+    },
+    Gate {
+        experiment: "scale-throughput",
+        metric: "lane_trials_per_s",
+        keys: &["family", "n", "width"],
         enforced: false,
     },
 ];
@@ -447,6 +466,17 @@ pub fn check_regression(
         current.trials,
         tolerance * 100.0
     ));
+    if current.peak_rss_bytes.is_some() || baseline.peak_rss_bytes.is_some() {
+        let mib = |bytes: Option<u64>| match bytes {
+            Some(b) => format!("{:.0} MiB", b as f64 / (1024.0 * 1024.0)),
+            None => "unknown".to_string(),
+        };
+        markdown.push_str(&format!(
+            "peak RSS: baseline {} → current {}\n\n",
+            mib(baseline.peak_rss_bytes),
+            mib(current.peak_rss_bytes)
+        ));
+    }
     if current.seed != baseline.seed || current.trials != baseline.trials {
         failures.push(format!(
             "artifacts are not comparable: baseline ran seed {} / trials {}, current ran \
@@ -566,10 +596,19 @@ mod tests {
     use probequorum::prelude::Table;
     use std::time::Duration;
 
-    /// A minimal but gate-complete artifact: `workload` rows as given, one
-    /// constant `network` row (every enforced gate needs rows on both
-    /// sides), and an optional wall-clock `throughput` row.
+    /// A minimal but gate-complete artifact: `workload` rows as given,
+    /// constant `network` and `scale` rows (every enforced gate needs rows
+    /// on both sides), and optional wall-clock `throughput` /
+    /// `scale-throughput` rows.
     fn artifact_parts(thr: &[(&str, f64)], wall_rate: Option<f64>) -> String {
+        artifact_parts_with_scale(thr, wall_rate, 0.875)
+    }
+
+    fn artifact_parts_with_scale(
+        thr: &[(&str, f64)],
+        wall_rate: Option<f64>,
+        scale_avail: f64,
+    ) -> String {
         let mut table = Table::new([
             "system",
             "n",
@@ -606,9 +645,28 @@ mod tests {
             "iid".into(),
             "500.0".into(),
         ]);
+        let mut scale = Table::new([
+            "family",
+            "n",
+            "p",
+            "trials",
+            "avail",
+            "fail_prob",
+            "std_err",
+        ]);
+        scale.add_row(vec![
+            "Grid".into(),
+            "1000000".into(),
+            "0.25".into(),
+            "500".into(),
+            format!("{scale_avail:.6}"),
+            format!("{:.6}", 1.0 - scale_avail),
+            "0.010000".into(),
+        ]);
         let mut artifact = BenchArtifact::new();
         artifact.record("workload", Duration::from_millis(5), table);
         artifact.record("network", Duration::from_millis(5), net);
+        artifact.record("scale", Duration::from_millis(5), scale);
         if let Some(rate) = wall_rate {
             let mut wall = Table::new(["family", "n", "path", "trials_per_sec"]);
             wall.add_row(vec![
@@ -618,6 +676,25 @@ mod tests {
                 format!("{rate:.1}"),
             ]);
             artifact.record("throughput", Duration::ZERO, wall);
+            let mut lanes = Table::new([
+                "family",
+                "n",
+                "width",
+                "p",
+                "trials",
+                "wall_ms",
+                "lane_trials_per_s",
+            ]);
+            lanes.add_row(vec![
+                "Grid".into(),
+                "1000000".into(),
+                "8".into(),
+                "0.25".into(),
+                "500".into(),
+                "12.0".into(),
+                format!("{:.0}", rate * 1.0e6),
+            ]);
+            artifact.record("scale-throughput", Duration::ZERO, lanes);
         }
         artifact.to_json("testsha", 2001, 500, 1)
     }
@@ -718,5 +795,44 @@ mod tests {
         );
         assert!(report.markdown.contains("| throughput |"));
         assert!(report.markdown.contains("info"));
+        // Lane-engine wall-clock rates ride the same informational path: a
+        // 1000x slowdown in lane_trials_per_s never fails the gate.
+        assert!(report.markdown.contains("| scale-throughput |"));
+    }
+
+    #[test]
+    fn scale_availability_is_an_enforced_gate() {
+        // The million-element availabilities are deterministic functions of
+        // (seed, trials); a large drop means the lane engine changed
+        // behaviour and must fail the gate.
+        let baseline =
+            parse_artifact(&artifact_parts_with_scale(&[("Maj", 1000.0)], None, 0.9)).unwrap();
+        let broken =
+            parse_artifact(&artifact_parts_with_scale(&[("Maj", 1000.0)], None, 0.5)).unwrap();
+        let report = check_regression(&broken, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("scale:")));
+        assert!(report.markdown.contains("| scale |"));
+    }
+
+    #[test]
+    fn peak_rss_round_trips_and_is_reported() {
+        let mut stream = crate::ArtifactStream::new(Vec::new(), "rss-sha", 2001, 500, 1).unwrap();
+        stream
+            .record_table("x", Duration::ZERO, &Table::new(["a"]))
+            .unwrap();
+        let json = String::from_utf8(stream.finish(Some(512 * 1024 * 1024)).unwrap()).unwrap();
+        let with_rss = parse_artifact(&json).unwrap();
+        assert_eq!(with_rss.peak_rss_bytes, Some(512 * 1024 * 1024));
+
+        let without = parse_artifact(&artifact_with(&[("Maj", 1.0)])).unwrap();
+        assert_eq!(without.peak_rss_bytes, None);
+
+        let report = check_regression(&with_rss, &with_rss, 0.25);
+        assert!(report
+            .markdown
+            .contains("peak RSS: baseline 512 MiB → current 512 MiB"));
+        let no_rss_report = check_regression(&without, &without, 0.25);
+        assert!(!no_rss_report.markdown.contains("peak RSS"));
     }
 }

@@ -147,6 +147,35 @@ impl RunningStats {
         self.merge(&batch);
     }
 
+    /// Pushes the first `count` trials of a multi-word indicator lane block
+    /// as 0/1 observations: word `w` of `lanes` carries trials
+    /// `64·w .. 64·w + 64`, consumed in word order via
+    /// [`RunningStats::push_indicator_word`].
+    ///
+    /// Trailing words beyond `count` trials are ignored, so a partially
+    /// filled block folds exactly its live trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64 · lanes.len()`.
+    pub fn push_indicator_lanes(&mut self, lanes: &[u64], count: usize) {
+        assert!(
+            count <= 64 * lanes.len(),
+            "an indicator block of {} words carries at most {} trials",
+            lanes.len(),
+            64 * lanes.len()
+        );
+        let mut remaining = count;
+        for &word in lanes {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(64);
+            self.push_indicator_word(word, take);
+            remaining -= take;
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {
@@ -296,6 +325,35 @@ mod tests {
         let before = batched;
         batched.push_indicator_word(u64::MAX, 0);
         assert_eq!(batched, before);
+    }
+
+    #[test]
+    fn push_indicator_lanes_matches_per_word_pushes() {
+        let lanes = [0xdead_beef_0123_4567u64, 0x8888_8888_8888_8888, 0x0f0f];
+        for count in [0usize, 1, 64, 65, 128, 150, 192] {
+            let mut blocked = RunningStats::new();
+            blocked.push_indicator_lanes(&lanes, count);
+            let mut scalar = RunningStats::new();
+            for t in 0..count {
+                scalar.push(if (lanes[t / 64] >> (t % 64)) & 1 == 1 {
+                    1.0
+                } else {
+                    0.0
+                });
+            }
+            assert_eq!(blocked.count(), scalar.count(), "count={count}");
+            if count > 0 {
+                assert!((blocked.mean() - scalar.mean()).abs() < 1e-12);
+                assert!((blocked.sample_variance() - scalar.sample_variance()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "carries at most")]
+    fn push_indicator_lanes_rejects_overlong_counts() {
+        let mut stats = RunningStats::new();
+        stats.push_indicator_lanes(&[0u64; 2], 129);
     }
 
     #[test]

@@ -275,6 +275,9 @@ impl Coloring {
         self.universe = n;
         let words = word_count_for(n);
         self.red.clear();
+        // Exact reservation: growing to a million-element universe must not
+        // over-allocate through the doubling growth of `resize`.
+        self.red.reserve_exact(words);
         self.red
             .resize(words, if color.is_red() { u64::MAX } else { 0 });
         if color.is_red() {
@@ -301,6 +304,7 @@ impl Coloring {
     pub fn copy_from(&mut self, other: &Coloring) {
         self.universe = other.universe;
         self.red.clear();
+        self.red.reserve_exact(other.red.len());
         self.red.extend_from_slice(&other.red);
     }
 

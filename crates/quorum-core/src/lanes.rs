@@ -12,6 +12,149 @@
 /// Number of trials carried per lane word.
 pub const LANE_TRIALS: usize = 64;
 
+/// The block widths (in lane words per element) the multi-word engine is
+/// specialised for. Every family's [`crate::QuorumSystem::green_quorum_lane_block`]
+/// dispatches these widths to monomorphised evaluators; other widths fall
+/// back to word-at-a-time evaluation.
+pub const LANE_WIDTHS: [usize; 3] = [1, 4, 8];
+
+/// A packed group of trial lanes: either a single `u64` word (64 trials) or a
+/// [`LaneBlock`] of `W` consecutive words (`W·64` trials), with the word
+/// operations monotone circuit evaluation needs. Everything is `Copy` and
+/// fixed-width, so block evaluators monomorphise to straight-line word code
+/// the compiler auto-vectorises.
+pub trait Lanes: Copy {
+    /// Lane words per value.
+    const WORDS: usize;
+
+    /// Trials carried per value (`WORDS · 64`).
+    const TRIALS: usize = Self::WORDS * LANE_TRIALS;
+
+    /// The all-zero lanes (every trial 0).
+    fn zeros() -> Self;
+
+    /// The all-one lanes (every trial 1).
+    fn ones() -> Self;
+
+    /// Lane-wise AND.
+    fn and(self, other: Self) -> Self;
+
+    /// Lane-wise OR.
+    fn or(self, other: Self) -> Self;
+
+    /// Lane-wise XOR.
+    fn xor(self, other: Self) -> Self;
+
+    /// Lane-wise NOT.
+    fn not(self) -> Self;
+
+    /// Whether any lane bit is set.
+    fn any(self) -> bool;
+
+    /// Loads [`Lanes::WORDS`] consecutive words from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than [`Lanes::WORDS`].
+    fn load(words: &[u64]) -> Self;
+
+    /// Stores the value into [`Lanes::WORDS`] consecutive words of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`Lanes::WORDS`].
+    fn store(self, out: &mut [u64]);
+}
+
+impl Lanes for u64 {
+    const WORDS: usize = 1;
+
+    fn zeros() -> Self {
+        0
+    }
+    fn ones() -> Self {
+        u64::MAX
+    }
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+    fn not(self) -> Self {
+        !self
+    }
+    fn any(self) -> bool {
+        self != 0
+    }
+    fn load(words: &[u64]) -> Self {
+        words[0]
+    }
+    fn store(self, out: &mut [u64]) {
+        out[0] = self;
+    }
+}
+
+/// `W` consecutive lane words treated as one value: `W·64` Monte-Carlo trials
+/// per word operation. The multi-word unit of the block evaluators — with
+/// `W = 8` a single AND over two blocks advances 512 trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct LaneBlock<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> Lanes for LaneBlock<W> {
+    const WORDS: usize = W;
+
+    fn zeros() -> Self {
+        LaneBlock([0; W])
+    }
+    fn ones() -> Self {
+        LaneBlock([u64::MAX; W])
+    }
+    fn and(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(other.0) {
+            *o &= r;
+        }
+        LaneBlock(out)
+    }
+    fn or(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(other.0) {
+            *o |= r;
+        }
+        LaneBlock(out)
+    }
+    fn xor(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(other.0) {
+            *o ^= r;
+        }
+        LaneBlock(out)
+    }
+    fn not(self) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = !*o;
+        }
+        LaneBlock(out)
+    }
+    fn any(self) -> bool {
+        self.0.iter().any(|&w| w != 0)
+    }
+    fn load(words: &[u64]) -> Self {
+        let mut out = [0u64; W];
+        out.copy_from_slice(&words[..W]);
+        LaneBlock(out)
+    }
+    fn store(self, out: &mut [u64]) {
+        out[..W].copy_from_slice(&self.0);
+    }
+}
+
 /// Lanes of "at least `threshold` of the inputs are 1", computed with a
 /// bit-sliced ripple-carry counter: bit `t` of the result is 1 iff at least
 /// `threshold` of the input lanes have bit `t` set.
@@ -20,52 +163,70 @@ pub const LANE_TRIALS: usize = 64;
 /// the per-trial cardinality check of Majority-style systems collapses to
 /// roughly `n/64` word operations.
 pub fn count_at_least(lanes: &[u64], threshold: usize) -> u64 {
+    count_at_least_lanes(lanes.iter().copied(), threshold)
+}
+
+/// The generic form of [`count_at_least`], over any [`Lanes`] width: with
+/// [`LaneBlock`] inputs every ripple-carry step advances `W·64` trials.
+pub fn count_at_least_lanes<L, I>(lanes: I, threshold: usize) -> L
+where
+    L: Lanes,
+    I: IntoIterator<Item = L>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let lanes = lanes.into_iter();
+    let input_count = lanes.len();
     if threshold == 0 {
-        return u64::MAX;
+        return L::ones();
     }
-    if threshold > lanes.len() {
-        return 0;
+    if threshold > input_count {
+        return L::zeros();
     }
     // counter[i] holds bit i (LSB first) of the per-trial running count.
-    let mut counter: Vec<u64> =
-        Vec::with_capacity(usize::BITS as usize - lanes.len().leading_zeros() as usize);
-    for &lane in lanes {
+    let mut counter: Vec<L> =
+        Vec::with_capacity(usize::BITS as usize - input_count.leading_zeros() as usize);
+    for lane in lanes {
         let mut carry = lane;
         for c in counter.iter_mut() {
-            if carry == 0 {
+            if !carry.any() {
                 break;
             }
-            let next = *c & carry;
-            *c ^= carry;
+            let next = c.and(carry);
+            *c = c.xor(carry);
             carry = next;
         }
-        if carry != 0 {
+        if carry.any() {
             counter.push(carry);
         }
     }
     let bits = counter.len();
     if bits < usize::BITS as usize && threshold >= (1usize << bits) {
-        return 0;
+        return L::zeros();
     }
     // Bit-sliced comparison count >= threshold, MSB to LSB.
-    let mut ge = 0u64;
-    let mut eq = u64::MAX;
+    let mut ge = L::zeros();
+    let mut eq = L::ones();
     for i in (0..bits).rev() {
         let counter_bit = counter[i];
         if (threshold >> i) & 1 == 0 {
-            ge |= eq & counter_bit;
-            eq &= !counter_bit;
+            ge = ge.or(eq.and(counter_bit));
+            eq = eq.and(counter_bit.not());
         } else {
-            eq &= counter_bit;
+            eq = eq.and(counter_bit);
         }
     }
-    ge | eq
+    ge.or(eq)
 }
 
 /// Lanes of 2-of-3 majority: bit `t` is 1 iff at least two of `a`, `b`, `c`
 /// have bit `t` set. The gate of HQS, one trial per bit.
 pub fn majority3(a: u64, b: u64, c: u64) -> u64 {
     (a & b) | (a & c) | (b & c)
+}
+
+/// The generic form of [`majority3`], over any [`Lanes`] width.
+pub fn majority3_lanes<L: Lanes>(a: L, b: L, c: L) -> L {
+    a.and(b).or(a.and(c)).or(b.and(c))
 }
 
 /// Precision of the Bernoulli lane expansion, in bits: lane probabilities
@@ -110,6 +271,64 @@ pub fn bernoulli_lanes<F: FnMut() -> u64>(p: f64, mut next_word: F) -> u64 {
         scaled >>= 1;
     }
     acc
+}
+
+/// Fills `out.len()` lane words with independent Bernoulli(`p`) draws, one
+/// **independent word stream per lane word**: `next_word(w)` must return the
+/// next word of stream `w`, and stream `w` is consumed in exactly the order
+/// and quantity a standalone [`bernoulli_lanes`] call on that stream would
+/// consume it.
+///
+/// This is the block-width fill of the multi-word engine: a width-`W` trial
+/// superblock uses `W` per-trial-word RNG streams, so lane content is
+/// bit-identical whether the block is filled at width 1, 4 or 8 — the
+/// determinism contract that keeps wide estimators byte-compatible with the
+/// single-word ones.
+pub fn bernoulli_lane_words<F: FnMut(usize) -> u64>(p: f64, out: &mut [u64], mut next_word: F) {
+    if p <= 0.0 {
+        out.fill(0);
+        return;
+    }
+    if p >= 1.0 {
+        out.fill(u64::MAX);
+        return;
+    }
+    const SCALE: f64 = (1u64 << BERNOULLI_BITS) as f64;
+    let mut scaled = (p * SCALE).round() as u64;
+    if scaled == 0 {
+        out.fill(0);
+        return;
+    }
+    if scaled >= 1u64 << BERNOULLI_BITS {
+        out.fill(u64::MAX);
+        return;
+    }
+    let skip = scaled.trailing_zeros();
+    scaled >>= skip;
+    out.fill(0);
+    for _ in skip..BERNOULLI_BITS {
+        if scaled & 1 == 1 {
+            for (w, acc) in out.iter_mut().enumerate() {
+                *acc |= next_word(w);
+            }
+        } else {
+            for (w, acc) in out.iter_mut().enumerate() {
+                *acc &= next_word(w);
+            }
+        }
+        scaled >>= 1;
+    }
+}
+
+/// The [`LaneBlock`] form of [`bernoulli_lane_words`]: fills one width-`W`
+/// block from `W` independent word streams.
+pub fn bernoulli_lane_block<const W: usize, F: FnMut(usize) -> u64>(
+    p: f64,
+    next_word: F,
+) -> LaneBlock<W> {
+    let mut out = [0u64; W];
+    bernoulli_lane_words(p, &mut out, next_word);
+    LaneBlock(out)
 }
 
 #[cfg(test)]
@@ -168,6 +387,97 @@ mod tests {
         assert_eq!(majority3(0b110, 0b101, 0b011), 0b111);
         assert_eq!(majority3(0b100, 0b000, 0b001), 0b000);
         assert_eq!(majority3(u64::MAX, 0, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn lane_block_word_ops_act_per_word() {
+        let a = LaneBlock([0b110, 0b101]);
+        let b = LaneBlock([0b011, 0b100]);
+        assert_eq!(a.and(b), LaneBlock([0b010, 0b100]));
+        assert_eq!(a.or(b), LaneBlock([0b111, 0b101]));
+        assert_eq!(a.xor(b), LaneBlock([0b101, 0b001]));
+        assert_eq!(a.not().0[0], !0b110u64);
+        assert!(a.any());
+        assert!(!LaneBlock::<4>::zeros().any());
+        assert_eq!(LaneBlock::<4>::ones().0, [u64::MAX; 4]);
+        assert_eq!(<LaneBlock<2> as Lanes>::TRIALS, 128);
+    }
+
+    #[test]
+    fn lane_block_load_store_round_trips() {
+        let words = [1u64, 2, 3, 4, 5];
+        let block: LaneBlock<4> = Lanes::load(&words);
+        assert_eq!(block.0, [1, 2, 3, 4]);
+        let mut out = [0u64; 5];
+        block.store(&mut out);
+        assert_eq!(out, [1, 2, 3, 4, 0]);
+        let w: u64 = Lanes::load(&words[1..]);
+        assert_eq!(w, 2);
+    }
+
+    /// A width-W `count_at_least_lanes` must agree word-for-word with W
+    /// independent single-word evaluations over the interleaved layout.
+    #[test]
+    fn block_count_at_least_matches_per_word_evaluation() {
+        const W: usize = 4;
+        let mut next = stream(7);
+        for n in [1usize, 3, 9, 64, 91] {
+            let lanes: Vec<u64> = (0..n * W).map(|_| next()).collect();
+            for threshold in [0usize, 1, n / 3, n / 2, n, n + 1] {
+                let blocks =
+                    (0..n).map(|e| LaneBlock::<W>(std::array::from_fn(|w| lanes[e * W + w])));
+                let block_result: LaneBlock<W> = count_at_least_lanes(blocks, threshold);
+                for w in 0..W {
+                    let word_lanes: Vec<u64> = (0..n).map(|e| lanes[e * W + w]).collect();
+                    assert_eq!(
+                        block_result.0[w],
+                        count_at_least(&word_lanes, threshold),
+                        "n={n} threshold={threshold} word {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority3_lanes_matches_scalar_gate() {
+        let mut next = stream(11);
+        for _ in 0..16 {
+            let (a, b, c) = (next(), next(), next());
+            let block = majority3_lanes(LaneBlock([a, b]), LaneBlock([b, c]), LaneBlock([c, a]));
+            assert_eq!(block.0[0], majority3(a, b, c));
+            assert_eq!(block.0[1], majority3(b, c, a));
+        }
+    }
+
+    /// `bernoulli_lane_words` over W streams must reproduce W standalone
+    /// `bernoulli_lanes` calls bit-for-bit, including per-stream draw counts.
+    #[test]
+    fn block_bernoulli_fill_matches_independent_streams() {
+        const W: usize = 8;
+        for p in [0.0f64, 0.1, 0.25, 0.3, 0.5, 0.9, 1.0] {
+            let mut streams: Vec<_> = (0..W).map(|w| stream(1000 + w as u64)).collect();
+            let mut out = [0u64; W];
+            bernoulli_lane_words(p, &mut out, |w| streams[w]());
+            for (w, lane) in out.iter().enumerate() {
+                let mut reference = stream(1000 + w as u64);
+                assert_eq!(
+                    *lane,
+                    bernoulli_lanes(p, &mut reference),
+                    "p={p} stream {w} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_bernoulli_helper_equals_slice_fill() {
+        let mut streams: Vec<_> = (0..4).map(|w| stream(77 + w as u64)).collect();
+        let block: LaneBlock<4> = bernoulli_lane_block(0.3, |w| streams[w]());
+        let mut expected = [0u64; 4];
+        let mut streams: Vec<_> = (0..4).map(|w| stream(77 + w as u64)).collect();
+        bernoulli_lane_words(0.3, &mut expected, |w| streams[w]());
+        assert_eq!(block.0, expected);
     }
 
     #[test]

@@ -354,7 +354,11 @@ impl ElementSet {
 
     /// Converts to a sorted `Vec` of elements.
     pub fn to_vec(&self) -> Vec<ElementId> {
-        self.iter().collect()
+        // One popcount pass buys an exact allocation; the iterator has no
+        // size hint, so a bare collect would reallocate log(len) times.
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
     }
 
     /// Interprets the set as an integer bitmask (only valid for universes of

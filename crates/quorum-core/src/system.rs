@@ -64,6 +64,52 @@ pub trait QuorumSystem {
         None
     }
 
+    /// Multi-word block evaluation: `width · 64` trials per circuit traversal.
+    ///
+    /// The lanes are laid out element-major — `lanes[e * width + w]` is trial
+    /// word `w` of element `e`, so each element's block is one contiguous
+    /// `[u64; width]` load. On success the `width` result words are written to
+    /// `out` (bit `t` of `out[w]` = trial `w·64+t` contains a green quorum)
+    /// and `true` is returned.
+    ///
+    /// Implementations dispatch the widths in [`crate::lanes::LANE_WIDTHS`] to
+    /// monomorphised [`crate::lanes::LaneBlock`] evaluators; the default falls
+    /// back to gathering each trial word and calling
+    /// [`QuorumSystem::green_quorum_lanes`], and returns `false` (out
+    /// unspecified) when no lane evaluator exists at all. The method stays
+    /// object-safe (runtime `width`, no generics) so `dyn QuorumSystem`
+    /// callers get the wide path too.
+    ///
+    /// `lanes.len()` must equal `universe_size() · width` and `out.len()` must
+    /// equal `width`.
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        let n = self.universe_size();
+        debug_assert_eq!(lanes.len(), n * width);
+        debug_assert_eq!(out.len(), width);
+        if width == 1 {
+            match self.green_quorum_lanes(lanes) {
+                Some(word) => {
+                    out[0] = word;
+                    return true;
+                }
+                None => return false,
+            }
+        }
+        // Fallback: strided gather of each trial word through the single-word
+        // evaluator. Correct for any width, at single-word speed.
+        let mut scratch = vec![0u64; n];
+        for (w, out_word) in out.iter_mut().enumerate() {
+            for (e, s) in scratch.iter_mut().enumerate() {
+                *s = lanes[e * width + w];
+            }
+            match self.green_quorum_lanes(&scratch) {
+                Some(word) => *out_word = word,
+                None => return false,
+            }
+        }
+        true
+    }
+
     /// Enumerates all minimal quorums (the minterms of the characteristic
     /// function).
     ///
@@ -135,6 +181,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for &T {
     fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
         (**self).green_quorum_lanes(lanes)
     }
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        (**self).green_quorum_lane_block(lanes, width, out)
+    }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()
     }
@@ -159,6 +208,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for Arc<T> {
     fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
         (**self).green_quorum_lanes(lanes)
     }
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        (**self).green_quorum_lane_block(lanes, width, out)
+    }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()
     }
@@ -182,6 +234,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for Box<T> {
     }
     fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
         (**self).green_quorum_lanes(lanes)
+    }
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        (**self).green_quorum_lane_block(lanes, width, out)
     }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()

@@ -11,18 +11,20 @@
 //! evaluator transparently fall back to a per-trial transpose + scalar check,
 //! so the estimator is total over all constructions.
 //!
-//! Determinism: block `b` of a run derives its RNG as
-//! `derive_rng(base_seed, BATCH_CELL, b)`, so results are a pure function of
+//! Determinism: trial word `j` of a run derives its RNG as
+//! `derive_rng(base_seed, BATCH_CELL, j)` and consumes it element-
+//! sequentially, whether the word is evaluated alone or inside a wider
+//! superblock. Results are therefore a pure function of
 //! `(system, p, trials, base_seed)` and bit-identical for any worker-thread
-//! count — the same contract as the evaluation engine.
+//! count **and any lane width** — the same contract as the evaluation engine.
 
 use quorum_analysis::RunningStats;
-use quorum_core::lanes::{bernoulli_lanes, LANE_TRIALS};
+use quorum_core::lanes::{bernoulli_lane_words, LANE_TRIALS};
 use quorum_core::{ElementSet, QuorumSystem, WORD_BITS};
 use rand::RngCore;
 use rayon::prelude::*;
 
-use crate::eval::derive_rng;
+use crate::eval::{derive_rng, TrialRng};
 use crate::montecarlo::Estimate;
 
 /// The reserved cell coordinate of batched availability runs in the
@@ -30,12 +32,18 @@ use crate::montecarlo::Estimate;
 /// which count up from zero).
 const BATCH_CELL: u64 = u64::MAX - 1;
 
+/// Default trial-word width of the batched estimators: 8-word superblocks,
+/// i.e. 512 trials per traversal of the quorum circuit. Every width produces
+/// bit-identical estimates; wider blocks amortise the circuit walk over more
+/// trials at the cost of a larger working set.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
 /// Estimates the availability failure probability `F_p(S)` — the probability
 /// that no live quorum exists under i.i.d. element failures with probability
-/// `p` — evaluating **64 trials per word pass**.
+/// `p` — evaluating **[`DEFAULT_BATCH_WIDTH`]·64 trials per circuit pass**.
 ///
 /// Returns the estimate over exactly `trials` trials; the result is a pure
-/// function of the arguments (thread-count invariant).
+/// function of the arguments (thread-count and lane-width invariant).
 ///
 /// # Panics
 ///
@@ -44,33 +52,85 @@ pub fn batched_failure_probability<S>(system: &S, p: f64, trials: usize, base_se
 where
     S: QuorumSystem + Sync + ?Sized,
 {
+    batched_failure_probability_wide(system, p, trials, base_seed, DEFAULT_BATCH_WIDTH)
+}
+
+/// [`batched_failure_probability`] at an explicit lane-block width.
+///
+/// The trial axis is tiled into superblocks of `width` consecutive 64-trial
+/// words. Each trial word owns its own derived RNG stream and is consumed
+/// element-sequentially regardless of the width it is grouped under, so
+/// **every width returns the same bits** — `width` only tunes how many trials
+/// each traversal of the quorum predicate amortises.
+///
+/// Widths outside [`quorum_core::lanes::LANE_WIDTHS`] (and partial tail
+/// blocks) transparently fall back to word-at-a-time evaluation; systems
+/// without any lane evaluator fall back further to a per-trial transpose +
+/// scalar check, so the estimator is total over all constructions.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability, `trials == 0`, or `width == 0`.
+pub fn batched_failure_probability_wide<S>(
+    system: &S,
+    p: f64,
+    trials: usize,
+    base_seed: u64,
+    width: usize,
+) -> Estimate
+where
+    S: QuorumSystem + Sync + ?Sized,
+{
     assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
     assert!(trials > 0, "at least one trial is required");
+    assert!(width > 0, "lane width must be positive");
     let n = system.universe_size();
     let green_probability = 1.0 - p;
-    let blocks: Vec<usize> = (0..trials.div_ceil(LANE_TRIALS)).collect();
+    let words = trials.div_ceil(LANE_TRIALS);
+    let superblocks: Vec<usize> = (0..words).step_by(width).collect();
 
-    // Each block is independent and pure: fill one lane per element, evaluate
-    // the quorum predicate over all 64 trials, return the failure word.
-    let block_words: Vec<(u64, usize)> = blocks
+    // Each superblock is independent and pure: fill an element-major block of
+    // lanes (one RNG stream per trial word), evaluate the quorum predicate
+    // over all of its trials in one circuit walk, return the failure words.
+    let block_words: Vec<(Vec<u64>, usize)> = superblocks
         .into_par_iter()
-        .map(|block| {
-            let mut rng = derive_rng(base_seed, BATCH_CELL, block as u64);
-            let lanes: Vec<u64> = (0..n)
-                .map(|_| bernoulli_lanes(green_probability, || rng.next_u64()))
+        .map(|first_word| {
+            let w = width.min(words - first_word);
+            let mut rngs: Vec<TrialRng> = (0..w)
+                .map(|i| derive_rng(base_seed, BATCH_CELL, (first_word + i) as u64))
                 .collect();
-            let take = LANE_TRIALS.min(trials - block * LANE_TRIALS);
-            let available = system
-                .green_quorum_lanes(&lanes)
-                .unwrap_or_else(|| transpose_and_check(system, &lanes, take));
-            (!available, take)
+            let mut lanes = vec![0u64; n * w];
+            for slot in lanes.chunks_mut(w) {
+                bernoulli_lane_words(green_probability, slot, |i| rngs[i].next_u64());
+            }
+            let take = (LANE_TRIALS * w).min(trials - first_word * LANE_TRIALS);
+            let mut available = vec![0u64; w];
+            if !system.green_quorum_lane_block(&lanes, w, &mut available) {
+                // No block evaluator at this width: gather each trial word
+                // out of the element-major layout and take the word path.
+                let mut word_lanes = vec![0u64; n];
+                for (j, out) in available.iter_mut().enumerate() {
+                    for (e, lane) in word_lanes.iter_mut().enumerate() {
+                        *lane = lanes[e * w + j];
+                    }
+                    let word_take = LANE_TRIALS.min(trials - (first_word + j) * LANE_TRIALS);
+                    *out = system
+                        .green_quorum_lanes(&word_lanes)
+                        .unwrap_or_else(|| transpose_and_check(system, &word_lanes, word_take));
+                }
+            }
+            for word in &mut available {
+                *word = !*word;
+            }
+            (available, take)
         })
         .collect();
 
-    // Word-parallel fold: 64 indicator trials enter the accumulator per push.
+    // Word-parallel fold: up to 64·width indicator trials per push, in trial
+    // order, so the accumulator sees the same sequence at every width.
     let mut stats = RunningStats::new();
-    for (failure_word, take) in block_words {
-        stats.push_indicator_word(failure_word, take);
+    for (failure_words, take) in block_words {
+        stats.push_indicator_lanes(&failure_words, take);
     }
     Estimate::from_stats(&stats)
 }
@@ -80,7 +140,21 @@ pub fn batched_availability<S>(system: &S, p: f64, trials: usize, base_seed: u64
 where
     S: QuorumSystem + Sync + ?Sized,
 {
-    let failure = batched_failure_probability(system, p, trials, base_seed);
+    batched_availability_wide(system, p, trials, base_seed, DEFAULT_BATCH_WIDTH)
+}
+
+/// [`batched_availability`] at an explicit lane-block width.
+pub fn batched_availability_wide<S>(
+    system: &S,
+    p: f64,
+    trials: usize,
+    base_seed: u64,
+    width: usize,
+) -> Estimate
+where
+    S: QuorumSystem + Sync + ?Sized,
+{
+    let failure = batched_failure_probability_wide(system, p, trials, base_seed, width);
     Estimate {
         mean: 1.0 - failure.mean,
         std_error: failure.std_error,
@@ -169,6 +243,46 @@ mod tests {
             let slow =
                 batched_failure_probability(&NoLanes(TreeQuorum::new(3).unwrap()), 0.3, trials, 5);
             assert_eq!(fast, slow, "trials={trials}");
+        }
+    }
+
+    #[test]
+    fn every_lane_width_returns_the_same_bits() {
+        // Widths with a block evaluator (1, 4, 8), widths forcing the gather
+        // fallback (2, 3), and widths wider than the whole run (16) must all
+        // reproduce the width-1 estimate exactly.
+        let grid = Grid::new(4, 5).unwrap();
+        for trials in [1usize, 63, 64, 65, 300, 1000] {
+            let narrow = batched_failure_probability_wide(&grid, 0.35, trials, 9, 1);
+            for width in [2usize, 3, 4, 8, 16] {
+                let wide = batched_failure_probability_wide(&grid, 0.35, trials, 9, width);
+                assert_eq!(narrow, wide, "trials={trials} width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_width_matches_the_legacy_entry_point() {
+        let maj = Majority::new(11).unwrap();
+        assert_eq!(
+            batched_failure_probability(&maj, 0.45, 2_500, 13),
+            batched_failure_probability_wide(&maj, 0.45, 2_500, 13, DEFAULT_BATCH_WIDTH),
+        );
+    }
+
+    #[test]
+    fn wide_fallback_without_lane_evaluator_agrees_bitwise() {
+        for width in [1usize, 4, 8] {
+            let fast =
+                batched_failure_probability_wide(&TreeQuorum::new(3).unwrap(), 0.3, 500, 5, width);
+            let slow = batched_failure_probability_wide(
+                &NoLanes(TreeQuorum::new(3).unwrap()),
+                0.3,
+                500,
+                5,
+                width,
+            );
+            assert_eq!(fast, slow, "width={width}");
         }
     }
 

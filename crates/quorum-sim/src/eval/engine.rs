@@ -6,17 +6,18 @@
 //! Every trial's RNG is derived as
 //! `derive_rng(base_seed, cell_index, trial_index)` — a SplitMix64-style
 //! mixing of the three coordinates — so a trial's outcome depends only on
-//! the plan and the base seed, never on scheduling. Trials are grouped into
-//! fixed-size **per-cell chunks** executed by an order-preserving `rayon`
-//! map, so the report is **bit-identical** for any thread count (including
-//! 1): chunking changes only which worker computes a value, never the value.
+//! the plan and the base seed, never on scheduling. Trials are tiled into
+//! per-cell [`Shard`]s executed by an order-preserving `rayon` map, so the
+//! report is **bit-identical** for any thread count (including 1) *and* any
+//! shard size: sharding changes only which worker computes a value, never
+//! the value.
 //!
 //! # Hot-loop layout
 //!
-//! Chunking is also the allocation story: each probe chunk owns one scratch
+//! Sharding is also the allocation story: each probe shard owns one scratch
 //! [`Coloring`] reused across its trials (no `thread_local` machinery), and
 //! custom cells never touch a scratch coloring at all. Cell lookup is one
-//! index per chunk instead of a `partition_point` binary search per trial.
+//! index per shard instead of a `partition_point` binary search per trial.
 
 use std::time::{Duration, Instant};
 
@@ -35,9 +36,10 @@ use crate::report::Table;
 /// trial RNG is a one-line change here; every closure type below follows.
 pub type TrialRng = SmallRng;
 
-/// Trials per work chunk: big enough to amortise scratch setup and scheduling,
-/// small enough to load-balance cells of a few thousand trials across workers.
-const CHUNK_TRIALS: usize = 512;
+/// Default trials per [`Shard`]: big enough to amortise scratch setup and
+/// scheduling, small enough to load-balance cells of a few thousand trials
+/// across workers. Override per engine with [`EvalEngine::with_shard_trials`].
+pub const DEFAULT_SHARD_TRIALS: usize = 512;
 
 /// SplitMix64 finalizer.
 fn mix(mut z: u64) -> u64 {
@@ -70,11 +72,11 @@ pub fn trial_values<F>(trials: usize, base_seed: u64, cell_index: u64, f: F) -> 
 where
     F: Fn(u64, &mut TrialRng) -> f64 + Sync,
 {
-    let starts: Vec<usize> = (0..trials).step_by(CHUNK_TRIALS).collect();
+    let starts: Vec<usize> = (0..trials).step_by(DEFAULT_SHARD_TRIALS).collect();
     let chunks: Vec<Vec<f64>> = starts
         .into_par_iter()
         .map(|start| {
-            let len = CHUNK_TRIALS.min(trials - start);
+            let len = DEFAULT_SHARD_TRIALS.min(trials - start);
             let mut out = Vec::with_capacity(len);
             for trial in start..start + len {
                 let mut rng = derive_rng(base_seed, cell_index, trial as u64);
@@ -185,31 +187,85 @@ impl EvalReport {
 }
 
 /// Executes [`EvalPlan`]s.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EvalEngine {
     threads: Option<usize>,
+    shard_trials: usize,
 }
 
-/// One contiguous run of trials inside a single cell: the unit of parallel
-/// work. All chunks except a cell's last have exactly `CHUNK_TRIALS` trials.
-#[derive(Debug, Clone, Copy)]
-struct ChunkSpec {
-    cell_index: usize,
-    first_trial: u64,
-    trials: usize,
+impl Default for EvalEngine {
+    fn default() -> Self {
+        EvalEngine::new()
+    }
+}
+
+/// One cache-sized tile of trials inside a single cell: the unit of parallel
+/// work. All shards except a cell's last have exactly
+/// [`EvalEngine::shard_trials`] trials. Because every trial derives its own
+/// RNG from `(base_seed, cell, trial)`, the shard decomposition affects
+/// scheduling and scratch reuse only — never the values produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Index of the plan cell this shard belongs to.
+    pub cell_index: usize,
+    /// First trial index covered by this shard.
+    pub first_trial: u64,
+    /// Number of consecutive trials in this shard.
+    pub trials: usize,
 }
 
 impl EvalEngine {
     /// An engine using all available worker threads.
     pub fn new() -> Self {
-        EvalEngine { threads: None }
+        EvalEngine {
+            threads: None,
+            shard_trials: DEFAULT_SHARD_TRIALS,
+        }
     }
 
     /// An engine pinned to `threads` worker threads (`0` = all cores).
     pub fn with_threads(threads: usize) -> Self {
         EvalEngine {
             threads: if threads == 0 { None } else { Some(threads) },
+            shard_trials: DEFAULT_SHARD_TRIALS,
         }
+    }
+
+    /// Sets the trials-per-shard tile size (`0` restores the default).
+    ///
+    /// Reports are bit-identical for every shard size; tuning trades
+    /// scheduling granularity against per-shard scratch amortisation.
+    pub fn with_shard_trials(mut self, shard_trials: usize) -> Self {
+        self.shard_trials = if shard_trials == 0 {
+            DEFAULT_SHARD_TRIALS
+        } else {
+            shard_trials
+        };
+        self
+    }
+
+    /// The trials-per-shard tile size this engine schedules with.
+    pub fn shard_trials(&self) -> usize {
+        self.shard_trials
+    }
+
+    /// The shard decomposition this engine would use for `plan`, in
+    /// execution (plan) order.
+    pub fn shards(&self, plan: &EvalPlan) -> Vec<Shard> {
+        let mut shards = Vec::new();
+        for (cell_index, cell) in plan.cells.iter().enumerate() {
+            let mut first_trial = 0usize;
+            while first_trial < cell.trials {
+                let len = self.shard_trials.min(cell.trials - first_trial);
+                shards.push(Shard {
+                    cell_index,
+                    first_trial: first_trial as u64,
+                    trials: len,
+                });
+                first_trial += len;
+            }
+        }
+        shards
     }
 
     /// The number of worker threads this engine will use.
@@ -235,7 +291,7 @@ impl EvalEngine {
         }
     }
 
-    /// Runs every cell of `plan`, in parallel over per-cell trial chunks.
+    /// Runs every cell of `plan`, in parallel over per-cell trial shards.
     ///
     /// # Panics
     ///
@@ -272,41 +328,28 @@ impl EvalEngine {
         }
     }
 
-    /// Executes all `(cell, trial)` pairs as per-cell chunks on one parallel
+    /// Executes all `(cell, trial)` pairs as per-cell shards on one parallel
     /// map, returning every trial value in plan order.
     fn run_trials(&self, plan: &EvalPlan) -> Vec<f64> {
-        let mut specs = Vec::new();
-        for (cell_index, cell) in plan.cells.iter().enumerate() {
-            let mut first_trial = 0usize;
-            while first_trial < cell.trials {
-                let len = CHUNK_TRIALS.min(cell.trials - first_trial);
-                specs.push(ChunkSpec {
-                    cell_index,
-                    first_trial: first_trial as u64,
-                    trials: len,
-                });
-                first_trial += len;
-            }
-        }
-
-        let chunk_values: Vec<Vec<f64>> = specs
+        let shard_values: Vec<Vec<f64>> = self
+            .shards(plan)
             .into_par_iter()
-            .map(|spec| {
-                let cell = &plan.cells[spec.cell_index];
-                let mut out = Vec::with_capacity(spec.trials);
+            .map(|shard| {
+                let cell = &plan.cells[shard.cell_index];
+                let mut out = Vec::with_capacity(shard.trials);
                 match &cell.task {
                     CellTask::Probe {
                         system,
                         strategy,
                         source,
                     } => {
-                        // One scratch coloring per chunk, resampled in place:
-                        // a single allocation amortised over the whole chunk.
+                        // One scratch coloring per shard, resampled in place:
+                        // a single allocation amortised over the whole shard.
                         let mut scratch = Coloring::all_green(system.universe_size());
-                        for offset in 0..spec.trials {
-                            let trial_index = spec.first_trial + offset as u64;
+                        for offset in 0..shard.trials {
+                            let trial_index = shard.first_trial + offset as u64;
                             let mut rng =
-                                derive_rng(plan.base_seed, spec.cell_index as u64, trial_index);
+                                derive_rng(plan.base_seed, shard.cell_index as u64, trial_index);
                             source.sample_into(
                                 system.universe_size(),
                                 trial_index,
@@ -320,10 +363,10 @@ impl EvalEngine {
                     }
                     // Custom cells pay no scratch-coloring setup at all.
                     CellTask::Custom { sample } => {
-                        for offset in 0..spec.trials {
-                            let trial_index = spec.first_trial + offset as u64;
+                        for offset in 0..shard.trials {
+                            let trial_index = shard.first_trial + offset as u64;
                             let mut rng =
-                                derive_rng(plan.base_seed, spec.cell_index as u64, trial_index);
+                                derive_rng(plan.base_seed, shard.cell_index as u64, trial_index);
                             out.push(sample(trial_index, &mut rng));
                         }
                     }
@@ -333,9 +376,73 @@ impl EvalEngine {
             .collect();
 
         let mut values = Vec::with_capacity(plan.cells.iter().map(|c| c.trials).sum());
-        for chunk in chunk_values {
-            values.extend(chunk);
+        for shard in shard_values {
+            values.extend(shard);
         }
         values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ColoringSource;
+    use crate::eval::{StrategyRegistry, SystemRegistry};
+
+    fn small_plan() -> EvalPlan {
+        let systems = SystemRegistry::paper();
+        let strategies = StrategyRegistry::paper();
+        let maj = systems.build("Maj", 13).unwrap();
+        let probe = strategies.build("Probe_Maj").unwrap();
+        let mut plan = EvalPlan::new(77).trials(1_300);
+        plan.probe(&maj, &probe, ColoringSource::iid(0.4));
+        plan.probe(&maj, &probe, ColoringSource::iid(0.6));
+        plan
+    }
+
+    #[test]
+    fn shards_tile_each_cell_exactly() {
+        let plan = small_plan();
+        let engine = EvalEngine::new().with_shard_trials(512);
+        let shards = engine.shards(&plan);
+        for cell_index in 0..plan.cells.len() {
+            let cell_shards: Vec<&Shard> = shards
+                .iter()
+                .filter(|s| s.cell_index == cell_index)
+                .collect();
+            let total: usize = cell_shards.iter().map(|s| s.trials).sum();
+            assert_eq!(total, plan.cells[cell_index].trials);
+            // Contiguous, ordered, non-overlapping.
+            let mut next = 0u64;
+            for shard in cell_shards {
+                assert_eq!(shard.first_trial, next);
+                assert!(shard.trials > 0 && shard.trials <= engine.shard_trials());
+                next += shard.trials as u64;
+            }
+        }
+    }
+
+    #[test]
+    fn reports_are_bit_identical_across_shard_sizes_and_threads() {
+        let plan = small_plan();
+        let baseline = EvalEngine::with_threads(1).run(&plan);
+        for shard_trials in [1usize, 7, 64, 512, 10_000] {
+            for threads in [1usize, 4] {
+                let report = EvalEngine::with_threads(threads)
+                    .with_shard_trials(shard_trials)
+                    .run(&plan);
+                assert_eq!(
+                    report.fingerprint(),
+                    baseline.fingerprint(),
+                    "shard_trials={shard_trials} threads={threads} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shard_trials_restores_default() {
+        let engine = EvalEngine::new().with_shard_trials(0);
+        assert_eq!(engine.shard_trials(), DEFAULT_SHARD_TRIALS);
     }
 }

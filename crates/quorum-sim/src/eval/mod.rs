@@ -53,7 +53,8 @@ pub use dynsys::{
     EvalSystem, ForAny, ForSystem,
 };
 pub use engine::{
-    derive_rng, fit_points, trial_values, CellReport, EvalEngine, EvalReport, TrialRng,
+    derive_rng, fit_points, trial_values, CellReport, EvalEngine, EvalReport, Shard, TrialRng,
+    DEFAULT_SHARD_TRIALS,
 };
 pub use plan::{ColoringSource, EvalCell, EvalPlan};
 pub use registry::{

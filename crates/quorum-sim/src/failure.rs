@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use quorum_analysis::availability::{zone_of, zoned_params};
+use quorum_core::lanes::{bernoulli_lane_words, LANE_TRIALS};
 use quorum_core::{Color, Coloring, WORD_BITS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -417,6 +418,141 @@ impl FailureModel {
         }
     }
 
+    /// Samples an element-major block of **green trial lanes**: bit `t` of
+    /// `out[e·width + w]` is 1 iff element `e` is green (alive) in trial
+    /// `(first_trial_word + w)·64 + t`, where `width = rngs.len()`.
+    ///
+    /// This is the block-width bulk counterpart of
+    /// [`FailureModel::sample_into`]: one call fills `width · 64` trials for
+    /// the whole universe in the layout
+    /// [`quorum_core::QuorumSystem::green_quorum_lane_block`] consumes.
+    /// Purely RNG-driven models (i.i.d., heterogeneous, zoned) fill lanes
+    /// straight from the exact binary-expansion sampler; per-trial structured
+    /// models (exact red count, churn, fixed) transpose their colorings into
+    /// lanes.
+    ///
+    /// Stream `w` of `rngs` is consumed element-sequentially and independently
+    /// of the other streams, so **the bits are invariant under regrouping**:
+    /// filling one trial word at a time or eight at once returns the same
+    /// lanes as long as each trial word keeps its own RNG stream. (The lane
+    /// fill draws the RNG differently from the scalar sampler, so the
+    /// per-trial colorings match [`FailureModel::sample_into`] in
+    /// *distribution*, not bit-for-bit.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs` is empty, `out.len() != n · rngs.len()`, or on the
+    /// model/universe mismatches documented on [`FailureModel::sample_into`].
+    pub fn sample_green_lanes<R: Rng>(
+        &self,
+        n: usize,
+        first_trial_word: u64,
+        rngs: &mut [R],
+        out: &mut [u64],
+    ) {
+        let width = rngs.len();
+        assert!(width > 0, "need at least one trial-word RNG stream");
+        assert_eq!(
+            out.len(),
+            n * width,
+            "green-lane block must hold universe × width words"
+        );
+        match self {
+            FailureModel::Iid { p } => fill_iid_green_lanes(*p, rngs, out),
+            FailureModel::Heterogeneous { probs } => {
+                assert_eq!(
+                    probs.len(),
+                    n,
+                    "heterogeneous model has {} per-element probabilities but the universe has {n}",
+                    probs.len()
+                );
+                for (slot, &p) in out.chunks_mut(width).zip(probs.iter()) {
+                    bernoulli_lane_words(1.0 - p, slot, |i| rngs[i].next_u64());
+                }
+            }
+            FailureModel::Zoned { zone_count, q, p } => {
+                assert!(
+                    *zone_count <= n,
+                    "cannot partition {n} elements into {zone_count} zones"
+                );
+                if *q == 0.0 {
+                    // Same specialization as `sample_into`: no zone draws, the
+                    // stream consumption matches the i.i.d. fill exactly.
+                    fill_iid_green_lanes(*p, rngs, out);
+                    return;
+                }
+                let mut zone_fail = vec![0u64; width];
+                let mut e = 0usize;
+                while e < n {
+                    let zone = zone_of(e, n, *zone_count);
+                    let mut zone_end = e + 1;
+                    while zone_end < n && zone_of(zone_end, n, *zone_count) == zone {
+                        zone_end += 1;
+                    }
+                    // One wholesale-failure lane per trial word, ANDed out of
+                    // every member's i.i.d. survival lane.
+                    bernoulli_lane_words(*q, &mut zone_fail, |i| rngs[i].next_u64());
+                    for member in e..zone_end {
+                        let slot = &mut out[member * width..(member + 1) * width];
+                        bernoulli_lane_words(1.0 - *p, slot, |i| rngs[i].next_u64());
+                        for (lane, fail) in slot.iter_mut().zip(&zone_fail) {
+                            *lane &= !*fail;
+                        }
+                    }
+                    e = zone_end;
+                }
+            }
+            FailureModel::Fixed { coloring } => {
+                assert_eq!(
+                    coloring.universe_size(),
+                    n,
+                    "fixed coloring universe does not match the requested universe"
+                );
+                for (e, slot) in out.chunks_mut(width).enumerate() {
+                    slot.fill(if coloring.is_green(e) { u64::MAX } else { 0 });
+                }
+            }
+            FailureModel::Churn { trajectory } => {
+                assert_eq!(
+                    trajectory.universe_size(),
+                    n,
+                    "churn trajectory universe does not match the requested universe"
+                );
+                out.fill(0);
+                for w in 0..width {
+                    for t in 0..LANE_TRIALS {
+                        let time = (first_trial_word + w as u64) * LANE_TRIALS as u64 + t as u64;
+                        let coloring = trajectory.coloring_at(time);
+                        for e in 0..n {
+                            if coloring.is_green(e) {
+                                out[e * width + w] |= 1u64 << t;
+                            }
+                        }
+                    }
+                }
+            }
+            FailureModel::ExactRedCount { reds } => {
+                assert!(
+                    *reds <= n,
+                    "cannot place {reds} red elements in a universe of {n}"
+                );
+                out.fill(0);
+                let mut scratch = Coloring::all_green(n);
+                for (w, rng) in rngs.iter_mut().enumerate() {
+                    for t in 0..LANE_TRIALS {
+                        let time = (first_trial_word + w as u64) * LANE_TRIALS as u64 + t as u64;
+                        self.sample_into(n, time, rng, &mut scratch);
+                        for e in 0..n {
+                            if scratch.is_green(e) {
+                                out[e * width + w] |= 1u64 << t;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// A short label used in reports.
     pub fn label(&self) -> String {
         match self {
@@ -455,6 +591,17 @@ fn draw_red<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
         true
     } else {
         rng.next_u64() < bernoulli_threshold(p)
+    }
+}
+
+/// Fills an element-major green-lane block for i.i.d.(`p_fail`) failures:
+/// each element's `width` trial words come from the exact binary-expansion
+/// sampler at the survival probability, one independent stream per word.
+fn fill_iid_green_lanes<R: Rng>(p_fail: f64, rngs: &mut [R], out: &mut [u64]) {
+    let width = rngs.len();
+    let green = 1.0 - p_fail;
+    for slot in out.chunks_mut(width) {
+        bernoulli_lane_words(green, slot, |i| rngs[i].next_u64());
     }
 }
 
@@ -769,6 +916,175 @@ mod tests {
             model.sample_into(9, 4, &mut rng_a, &mut scratch);
             assert_eq!(scratch, model.sample_at(9, 4, &mut rng_b));
         }
+    }
+
+    /// Seeds one RNG stream per trial word the way the batched estimators do:
+    /// stream `i` depends only on the absolute trial-word index.
+    fn lane_streams(first_word: u64, count: usize) -> Vec<StdRng> {
+        (0..count)
+            .map(|i| StdRng::seed_from_u64(0xABCD_0000 + first_word + i as u64))
+            .collect()
+    }
+
+    fn all_models(n: usize) -> Vec<FailureModel> {
+        vec![
+            FailureModel::iid(0.3),
+            FailureModel::exact_red_count(n / 3),
+            FailureModel::fixed(Coloring::from_fn(n, |e| {
+                if e % 3 == 0 {
+                    Color::Red
+                } else {
+                    Color::Green
+                }
+            })),
+            FailureModel::heterogeneous((0..n).map(|e| (e as f64) / (n as f64)).collect()),
+            FailureModel::zoned(3, 0.4, 0.2),
+            FailureModel::churn(n, 0.2, 0.4, 8, 9),
+        ]
+    }
+
+    #[test]
+    fn green_lanes_are_invariant_under_width_regrouping() {
+        // Filling four trial words in one block must equal filling them one
+        // word at a time, as long as each word keeps its own RNG stream.
+        let n = 19usize;
+        for model in all_models(n) {
+            let width = 4usize;
+            let mut wide = vec![0u64; n * width];
+            model.sample_green_lanes(n, 2, &mut lane_streams(2, width), &mut wide);
+            for w in 0..width {
+                let mut narrow = vec![0u64; n];
+                let mut streams = lane_streams(2 + w as u64, 1);
+                model.sample_green_lanes(n, 2 + w as u64, &mut streams, &mut narrow);
+                for e in 0..n {
+                    assert_eq!(
+                        wide[e * width + w],
+                        narrow[e],
+                        "{} word {w} element {e} diverged",
+                        model.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn green_lanes_match_model_marginals() {
+        // Column `t` of the block is one trial; its green rate must match the
+        // model's marginal survival probability.
+        let n = 40usize;
+        let width = 8usize;
+        let model = FailureModel::iid(0.3);
+        let mut lanes = vec![0u64; n * width];
+        model.sample_green_lanes(n, 0, &mut lane_streams(0, width), &mut lanes);
+        let greens: u32 = lanes.iter().map(|w| w.count_ones()).sum();
+        let rate = greens as f64 / (n * width * 64) as f64;
+        assert!((rate - 0.7).abs() < 0.02, "green rate {rate}");
+    }
+
+    #[test]
+    fn green_lanes_exact_red_count_holds_per_trial() {
+        let n = 11usize;
+        let reds = 4usize;
+        let width = 2usize;
+        let model = FailureModel::exact_red_count(reds);
+        let mut lanes = vec![0u64; n * width];
+        model.sample_green_lanes(n, 0, &mut lane_streams(0, width), &mut lanes);
+        for w in 0..width {
+            for t in 0..64 {
+                let greens = (0..n)
+                    .filter(|&e| (lanes[e * width + w] >> t) & 1 == 1)
+                    .count();
+                assert_eq!(greens, n - reds, "word {w} trial {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn green_lanes_zoned_q_zero_matches_iid_bitwise() {
+        let n = 15usize;
+        let width = 4usize;
+        let mut zoned = vec![0u64; n * width];
+        let mut iid = vec![0u64; n * width];
+        FailureModel::zoned(3, 0.0, 0.35).sample_green_lanes(
+            n,
+            0,
+            &mut lane_streams(0, width),
+            &mut zoned,
+        );
+        FailureModel::iid(0.35).sample_green_lanes(n, 0, &mut lane_streams(0, width), &mut iid);
+        assert_eq!(zoned, iid);
+    }
+
+    #[test]
+    fn green_lanes_zoned_respects_wholesale_failures() {
+        // p = 0: reds only arise from wholesale zone failures, so within a
+        // zone every element's lane is identical in every trial.
+        let n = 12usize;
+        let model = FailureModel::zoned(4, 0.5, 0.0);
+        let width = 2usize;
+        let mut lanes = vec![0u64; n * width];
+        model.sample_green_lanes(n, 0, &mut lane_streams(0, width), &mut lanes);
+        for e in 1..n {
+            if zone_of(e, n, 4) == zone_of(e - 1, n, 4) {
+                assert_eq!(
+                    &lanes[e * width..(e + 1) * width],
+                    &lanes[(e - 1) * width..e * width],
+                    "zone split at element {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn green_lanes_fixed_and_churn_transpose_their_colorings() {
+        let n = 9usize;
+        let width = 2usize;
+        // Fixed: every trial sees the same coloring.
+        let coloring = Coloring::from_fn(n, |e| if e < 4 { Color::Red } else { Color::Green });
+        let mut lanes = vec![0u64; n * width];
+        FailureModel::fixed(coloring.clone()).sample_green_lanes(
+            n,
+            5,
+            &mut lane_streams(5, width),
+            &mut lanes,
+        );
+        for e in 0..n {
+            let expect = if coloring.is_green(e) { u64::MAX } else { 0 };
+            assert_eq!(&lanes[e * width..(e + 1) * width], &[expect; 2]);
+        }
+        // Churn: bit t of word w is the trajectory at time (first + w)·64 + t.
+        let model = FailureModel::churn(n, 0.3, 0.3, 16, 21);
+        let trajectory = match &model {
+            FailureModel::Churn { trajectory } => Arc::clone(trajectory),
+            _ => unreachable!(),
+        };
+        let first_word = 3u64;
+        model.sample_green_lanes(
+            n,
+            first_word,
+            &mut lane_streams(first_word, width),
+            &mut lanes,
+        );
+        for w in 0..width {
+            for t in 0..64u64 {
+                let coloring = trajectory.coloring_at((first_word + w as u64) * 64 + t);
+                for e in 0..n {
+                    assert_eq!(
+                        (lanes[e * width + w] >> t) & 1 == 1,
+                        coloring.is_green(e),
+                        "word {w} trial {t} element {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe × width")]
+    fn green_lanes_validate_block_shape() {
+        let mut lanes = vec![0u64; 5];
+        FailureModel::iid(0.5).sample_green_lanes(3, 0, &mut lane_streams(0, 2), &mut lanes);
     }
 
     #[test]

@@ -54,10 +54,13 @@ pub mod report;
 pub mod workload;
 pub mod worstcase;
 
-pub use batch::{batched_availability, batched_failure_probability};
+pub use batch::{
+    batched_availability, batched_availability_wide, batched_failure_probability,
+    batched_failure_probability_wide, DEFAULT_BATCH_WIDTH,
+};
 pub use eval::{
     ColoringSource, DynProbeStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport,
-    ScenarioRegistry, StrategyRegistry, SystemRegistry, TrialRng,
+    ScenarioRegistry, Shard, StrategyRegistry, SystemRegistry, TrialRng,
 };
 pub use experiment::{sweep, SweepPoint, SweepRow};
 pub use failure::{ChurnTrajectory, FailureModel};

@@ -1,6 +1,9 @@
 //! The Crumbling Walls family (Peleg & Wool), including Triang and Wheel.
 
+use quorum_core::lanes::Lanes;
 use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+
+use crate::dispatch_lane_block;
 
 /// A crumbling-walls quorum system `(n_1, …, n_k)-CW`.
 ///
@@ -163,6 +166,28 @@ impl CrumblingWalls {
     pub fn is_nd_shape(&self) -> bool {
         self.widths[0] == 1 && self.widths.iter().skip(1).all(|&w| w > 1)
     }
+
+    /// The bottom-up row fold at any lane width: "row full" is an AND over
+    /// its element blocks, "row represented" an OR; a quorum exists when some
+    /// row is full with every row below it represented.
+    fn green_lane_block_impl<L: Lanes>(&self, lanes: &[u64]) -> L {
+        let stride = L::WORDS;
+        let mut result = L::zeros();
+        let mut reps_below_all = L::ones();
+        for row in (0..self.row_count()).rev() {
+            let start = self.offsets[row];
+            let mut full = L::ones();
+            let mut rep = L::zeros();
+            for e in start..start + self.widths[row] {
+                let lane = L::load(&lanes[e * stride..]);
+                full = full.and(lane);
+                rep = rep.or(lane);
+            }
+            result = result.or(full.and(reps_below_all));
+            reps_below_all = reps_below_all.and(rep);
+        }
+        result
+    }
 }
 
 impl QuorumSystem for CrumblingWalls {
@@ -206,20 +231,11 @@ impl QuorumSystem for CrumblingWalls {
         // Bottom-up over rows, 64 trials per pass: "row full" is an AND over
         // its element lanes, "row represented" an OR; a quorum exists when
         // some row is full with every row below it represented.
-        let mut result = 0u64;
-        let mut reps_below_all = u64::MAX;
-        for row in (0..self.row_count()).rev() {
-            let start = self.offsets[row];
-            let mut full = u64::MAX;
-            let mut rep = 0u64;
-            for &lane in &lanes[start..start + self.widths[row]] {
-                full &= lane;
-                rep |= lane;
-            }
-            result |= full & reps_below_all;
-            reps_below_all &= rep;
-        }
-        Some(result)
+        Some(self.green_lane_block_impl::<u64>(lanes))
+    }
+
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        dispatch_lane_block!(self, lanes, width, out)
     }
 
     fn min_quorum_size(&self) -> usize {

@@ -1,7 +1,10 @@
 //! A Maekawa-style grid quorum system (extra baseline, not from the paper's
 //! main analysis).
 
+use quorum_core::lanes::Lanes;
 use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+
+use crate::dispatch_lane_block;
 
 /// A grid quorum system over `rows × cols` elements: a quorum is the union of
 /// one full row and one full column.
@@ -89,6 +92,32 @@ impl Grid {
     pub fn col_elements(&self, col: usize) -> Vec<ElementId> {
         (0..self.rows).map(|r| self.element(r, col)).collect()
     }
+
+    /// The row/column folds at any lane width: a full row/column is an AND
+    /// over its element blocks, "any row"/"any column" an OR over those.
+    fn green_lane_block_impl<L: Lanes>(&self, lanes: &[u64]) -> L {
+        let stride = L::WORDS;
+        let mut any_row = L::zeros();
+        for r in 0..self.rows {
+            let mut row = L::ones();
+            for c in 0..self.cols {
+                row = row.and(L::load(&lanes[self.element(r, c) * stride..]));
+            }
+            any_row = any_row.or(row);
+        }
+        if !any_row.any() {
+            return L::zeros();
+        }
+        let mut any_col = L::zeros();
+        for c in 0..self.cols {
+            let mut col = L::ones();
+            for r in 0..self.rows {
+                col = col.and(L::load(&lanes[self.element(r, c) * stride..]));
+            }
+            any_col = any_col.or(col);
+        }
+        any_row.and(any_col)
+    }
 }
 
 impl QuorumSystem for Grid {
@@ -113,26 +142,11 @@ impl QuorumSystem for Grid {
         debug_assert_eq!(lanes.len(), self.rows * self.cols);
         // 64 trials per pass: a full row/column is an AND over its element
         // lanes, "any row" / "any column" an OR over the row/column lanes.
-        let mut any_row = 0u64;
-        for r in 0..self.rows {
-            let mut row = u64::MAX;
-            for c in 0..self.cols {
-                row &= lanes[self.element(r, c)];
-            }
-            any_row |= row;
-        }
-        if any_row == 0 {
-            return Some(0);
-        }
-        let mut any_col = 0u64;
-        for c in 0..self.cols {
-            let mut col = u64::MAX;
-            for r in 0..self.rows {
-                col &= lanes[self.element(r, c)];
-            }
-            any_col |= col;
-        }
-        Some(any_row & any_col)
+        Some(self.green_lane_block_impl::<u64>(lanes))
+    }
+
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        dispatch_lane_block!(self, lanes, width, out)
     }
 
     fn min_quorum_size(&self) -> usize {

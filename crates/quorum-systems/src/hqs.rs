@@ -1,6 +1,9 @@
 //! The Hierarchical Quorum System (HQS) of Kumar.
 
+use quorum_core::lanes::{majority3_lanes, Lanes};
 use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+
+use crate::dispatch_lane_block;
 
 /// Kumar's Hierarchical Quorum System over `n = 3^h` elements.
 ///
@@ -136,17 +139,27 @@ impl Hqs {
         self.eval_node(start + 2 * third, sub_height - 1, leaf_value)
     }
 
-    /// The 2-of-3 recursion over 64 trial lanes at once: every gate becomes
-    /// one [`quorum_core::lanes::majority3`] word expression.
-    fn eval_node_lanes(&self, start: ElementId, sub_height: usize, lanes: &[u64]) -> u64 {
+    /// The 2-of-3 recursion over packed trial lanes: every gate becomes one
+    /// [`quorum_core::lanes::majority3_lanes`] expression, advancing `W·64`
+    /// trials per traversal at block width `W`.
+    fn eval_node_lane_block<L: Lanes>(
+        &self,
+        start: ElementId,
+        sub_height: usize,
+        lanes: &[u64],
+    ) -> L {
         if sub_height == 0 {
-            return lanes[start];
+            return L::load(&lanes[start * L::WORDS..]);
         }
         let third = 3usize.pow(sub_height as u32 - 1);
-        let a = self.eval_node_lanes(start, sub_height - 1, lanes);
-        let b = self.eval_node_lanes(start + third, sub_height - 1, lanes);
-        let c = self.eval_node_lanes(start + 2 * third, sub_height - 1, lanes);
-        quorum_core::lanes::majority3(a, b, c)
+        let a = self.eval_node_lane_block::<L>(start, sub_height - 1, lanes);
+        let b = self.eval_node_lane_block::<L>(start + third, sub_height - 1, lanes);
+        let c = self.eval_node_lane_block::<L>(start + 2 * third, sub_height - 1, lanes);
+        majority3_lanes(a, b, c)
+    }
+
+    fn green_lane_block_impl<L: Lanes>(&self, lanes: &[u64]) -> L {
+        self.eval_node_lane_block::<L>(0, self.height, lanes)
     }
 }
 
@@ -165,7 +178,11 @@ impl QuorumSystem for Hqs {
 
     fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
         debug_assert_eq!(lanes.len(), self.n);
-        Some(self.eval_node_lanes(0, self.height, lanes))
+        Some(self.green_lane_block_impl::<u64>(lanes))
+    }
+
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        dispatch_lane_block!(self, lanes, width, out)
     }
 
     fn min_quorum_size(&self) -> usize {

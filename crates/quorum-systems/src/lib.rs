@@ -52,6 +52,32 @@ pub use wheel::Wheel;
 use quorum_core::DynQuorumSystem;
 use std::sync::Arc;
 
+/// Dispatches a family's const-generic `green_lane_block_impl` over the
+/// supported widths ([`quorum_core::lanes::LANE_WIDTHS`]), storing the result
+/// words and returning `true`; any other width returns `false` so callers use
+/// the word-at-a-time path. Expands inside each family's
+/// `green_quorum_lane_block` override, keeping the trait object-safe while
+/// the evaluators themselves monomorphise.
+macro_rules! dispatch_lane_block {
+    ($self:ident, $lanes:ident, $width:ident, $out:ident) => {{
+        use quorum_core::lanes::{LaneBlock, Lanes as _};
+        debug_assert_eq!($lanes.len(), $self.universe_size() * $width);
+        debug_assert_eq!($out.len(), $width);
+        match $width {
+            1 => $self.green_lane_block_impl::<u64>($lanes).store($out),
+            4 => $self
+                .green_lane_block_impl::<LaneBlock<4>>($lanes)
+                .store($out),
+            8 => $self
+                .green_lane_block_impl::<LaneBlock<8>>($lanes)
+                .store($out),
+            _ => return false,
+        }
+        true
+    }};
+}
+pub(crate) use dispatch_lane_block;
+
 /// A catalogue entry: a named family plus a constructor from a size hint.
 ///
 /// Used by the benchmark harness to sweep heterogeneous families with a single
@@ -177,6 +203,52 @@ mod tests {
     fn family_entry_debug_is_informative() {
         let entry = &catalogue()[0];
         assert!(format!("{entry:?}").contains("Maj"));
+    }
+
+    /// Every family's block evaluator must reproduce the single-word lane
+    /// evaluator bit-for-bit at every supported width, over the element-major
+    /// layout, and reject unsupported widths.
+    #[test]
+    fn block_evaluators_match_single_word_lanes() {
+        use quorum_core::lanes::LANE_WIDTHS;
+
+        let mut state = 0xfeed_5eed_0042_1337u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+
+        for entry in catalogue() {
+            for hint in [5usize, 40, 130] {
+                let system = (entry.build)(hint);
+                let n = system.universe_size();
+                for &width in &LANE_WIDTHS {
+                    let lanes: Vec<u64> = (0..n * width).map(|_| next()).collect();
+                    let mut out = vec![0u64; width];
+                    assert!(
+                        system.green_quorum_lane_block(&lanes, width, &mut out),
+                        "{} rejected width {width}",
+                        entry.family
+                    );
+                    for w in 0..width {
+                        let word_lanes: Vec<u64> = (0..n).map(|e| lanes[e * width + w]).collect();
+                        assert_eq!(
+                            Some(out[w]),
+                            system.green_quorum_lanes(&word_lanes),
+                            "{} n={n} width={width} word {w} diverged",
+                            entry.family
+                        );
+                    }
+                }
+                // Unsupported widths fall back to the caller's slow path.
+                let lanes = vec![0u64; n * 3];
+                let mut out = vec![0u64; 3];
+                assert!(!system.green_quorum_lane_block(&lanes, 3, &mut out));
+            }
+        }
     }
 
     /// Every family's word-parallel lane evaluator must agree with the scalar

@@ -1,6 +1,9 @@
 //! The Majority quorum system (Thomas' voting scheme).
 
+use quorum_core::lanes::{count_at_least_lanes, Lanes};
 use quorum_core::{ElementSet, QuorumError, QuorumSystem};
+
+use crate::dispatch_lane_block;
 
 /// The Majority coterie `Maj` over an odd universe of `n` elements: the
 /// quorums are all subsets of size `(n+1)/2`.
@@ -65,6 +68,15 @@ impl Majority {
     pub fn quorum_size(&self) -> usize {
         self.n.div_ceil(2)
     }
+
+    /// The threshold check at any lane width: the ripple-carry counter over
+    /// element-major blocks advances `W·64` trials per pass.
+    fn green_lane_block_impl<L: Lanes>(&self, lanes: &[u64]) -> L {
+        count_at_least_lanes(
+            (0..self.n).map(|e| L::load(&lanes[e * L::WORDS..])),
+            self.quorum_size(),
+        )
+    }
 }
 
 impl QuorumSystem for Majority {
@@ -84,10 +96,11 @@ impl QuorumSystem for Majority {
         debug_assert_eq!(lanes.len(), self.n);
         // 64 trials per pass: the cardinality threshold becomes a bit-sliced
         // ripple-carry count over the element lanes.
-        Some(quorum_core::lanes::count_at_least(
-            lanes,
-            self.quorum_size(),
-        ))
+        Some(self.green_lane_block_impl::<u64>(lanes))
+    }
+
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        dispatch_lane_block!(self, lanes, width, out)
     }
 
     fn min_quorum_size(&self) -> usize {

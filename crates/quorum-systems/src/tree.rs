@@ -1,6 +1,9 @@
 //! The Tree quorum system of Agrawal & El Abbadi.
 
+use quorum_core::lanes::Lanes;
 use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+
+use crate::dispatch_lane_block;
 
 /// The Tree quorum system over a complete binary tree of height `h`
 /// (`n = 2^{h+1} − 1` elements, one per tree node, in heap order: the root is
@@ -141,15 +144,22 @@ impl TreeQuorum {
         (set.contains(v) && (left || right)) || (left && right)
     }
 
-    /// The quorum recursion evaluated over 64 trial lanes at once: each gate
-    /// is three word operations instead of three boolean ones.
-    fn subtree_quorum_lanes(&self, v: ElementId, lanes: &[u64]) -> u64 {
+    /// The quorum recursion evaluated over packed trial lanes: each gate is
+    /// three word operations per lane word instead of three boolean ones, and
+    /// at block width `W` one traversal advances `W·64` trials.
+    fn subtree_quorum_lane_block<L: Lanes>(&self, v: ElementId, lanes: &[u64]) -> L {
         if self.is_leaf(v) {
-            return lanes[v];
+            return L::load(&lanes[v * L::WORDS..]);
         }
-        let left = self.subtree_quorum_lanes(2 * v + 1, lanes);
-        let right = self.subtree_quorum_lanes(2 * v + 2, lanes);
-        (lanes[v] & (left | right)) | (left & right)
+        let left = self.subtree_quorum_lane_block::<L>(2 * v + 1, lanes);
+        let right = self.subtree_quorum_lane_block::<L>(2 * v + 2, lanes);
+        L::load(&lanes[v * L::WORDS..])
+            .and(left.or(right))
+            .or(left.and(right))
+    }
+
+    fn green_lane_block_impl<L: Lanes>(&self, lanes: &[u64]) -> L {
+        self.subtree_quorum_lane_block::<L>(0, lanes)
     }
 }
 
@@ -168,7 +178,11 @@ impl QuorumSystem for TreeQuorum {
 
     fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
         debug_assert_eq!(lanes.len(), self.n);
-        Some(self.subtree_quorum_lanes(0, lanes))
+        Some(self.green_lane_block_impl::<u64>(lanes))
+    }
+
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        dispatch_lane_block!(self, lanes, width, out)
     }
 
     fn min_quorum_size(&self) -> usize {

@@ -1,6 +1,9 @@
 //! The Wheel quorum system.
 
+use quorum_core::lanes::Lanes;
 use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+
+use crate::dispatch_lane_block;
 
 /// The Wheel coterie over `n ≥ 3` elements: element 0 is the *hub*, elements
 /// `1..n` form the *rim*.  The quorums are the spokes `{0, i}` for every rim
@@ -59,6 +62,20 @@ impl Wheel {
     pub fn rim(&self) -> ElementSet {
         ElementSet::from_iter(self.n, 1..self.n)
     }
+
+    /// Hub + any rim element, or the whole rim, at any lane width: two
+    /// OR/AND folds over element-major blocks.
+    fn green_lane_block_impl<L: Lanes>(&self, lanes: &[u64]) -> L {
+        let stride = L::WORDS;
+        let mut any_rim = L::zeros();
+        let mut all_rim = L::ones();
+        for e in 1..self.n {
+            let lane = L::load(&lanes[e * stride..]);
+            any_rim = any_rim.or(lane);
+            all_rim = all_rim.and(lane);
+        }
+        L::load(lanes).and(any_rim).or(all_rim)
+    }
 }
 
 impl QuorumSystem for Wheel {
@@ -86,13 +103,11 @@ impl QuorumSystem for Wheel {
     fn green_quorum_lanes(&self, lanes: &[u64]) -> Option<u64> {
         debug_assert_eq!(lanes.len(), self.n);
         // Hub + any rim element, or the whole rim: two OR/AND folds.
-        let mut any_rim = 0u64;
-        let mut all_rim = u64::MAX;
-        for &lane in &lanes[1..] {
-            any_rim |= lane;
-            all_rim &= lane;
-        }
-        Some((lanes[0] & any_rim) | all_rim)
+        Some(self.green_lane_block_impl::<u64>(lanes))
+    }
+
+    fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
+        dispatch_lane_block!(self, lanes, width, out)
     }
 
     fn min_quorum_size(&self) -> usize {
