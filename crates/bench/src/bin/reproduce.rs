@@ -12,9 +12,9 @@
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
 //! `availability`, `zoned`, `churn`, `scenario-matrix`, `workload`,
-//! `network`, `scale`, `throughput`, `figures`, `all`. Unknown names are
-//! rejected before anything runs, with a non-zero exit — CI cannot silently
-//! run nothing.
+//! `network`, `live`, `scale`, `throughput`, `figures`, `all`. Unknown names
+//! are rejected before anything runs, with a non-zero exit — CI cannot
+//! silently run nothing.
 //!
 //! The binary doubles as the CI perf-regression gate:
 //!
@@ -37,6 +37,13 @@
 //! lane-trials/second table is wall-clock data and follows the `throughput`
 //! convention (stderr + artifact only, as `scale-throughput`).
 //!
+//! `live` replays a slice of the `network` battery on the real-concurrency
+//! cluster runtime and cross-validates every logical observable against the
+//! simulator. Its agreement table (sim observables + the `agree` flag) is
+//! deterministic and goes to stdout; the wall-clock sessions/second table
+//! follows the `throughput` convention (stderr + artifact only, as
+//! `live-throughput`).
+//!
 //! Every experiment reports its wall-clock time and the engine's worker
 //! thread count on **stderr**, keeping stdout a pure function of the seed
 //! and trial count (bit-identical for any `REPRO_THREADS`). When the
@@ -52,9 +59,9 @@ use std::time::{Duration, Instant};
 
 use bench::{
     availability_table, check_regression, churn, crumbling_walls, figures, hqs_exponent,
-    hqs_randomized, lemmas_table, lower_bounds, maj3, network, parse_artifact, peak_rss_bytes,
-    randomized, scale, scenario_matrix, table1, throughput, tree_exponent, workload, zoned,
-    ArtifactStream, ReproConfig,
+    hqs_randomized, lemmas_table, live, lower_bounds, maj3, network, parse_artifact,
+    peak_rss_bytes, randomized, scale, scenario_matrix, table1, throughput, tree_exponent,
+    workload, zoned, ArtifactStream, ReproConfig,
 };
 use probequorum::prelude::Table;
 
@@ -77,6 +84,7 @@ const EXPERIMENTS: &[&str] = &[
     "scenario-matrix",
     "workload",
     "network",
+    "live",
     "scale",
     "figures",
     "throughput",
@@ -297,6 +305,27 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
             "Network faults: loss, heavy tails, partitions, and retrying/hedged probe sessions",
             plain(network),
         ),
+        "live" => {
+            let started = Instant::now();
+            println!("== Live: the real-concurrency runtime replays the simulator's traces, cross-validated ==\n");
+            let (agree_table, rate_table) = live(config);
+            // The agreement table (the sim's observables plus the agree
+            // flag) is deterministic → stdout; the sessions/second table is
+            // wall-clock data → stderr and the artifact only (the
+            // `throughput` convention).
+            println!("{agree_table}");
+            let wall = started.elapsed();
+            eprintln!("{rate_table}");
+            eprintln!(
+                "[live: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]",
+                wall,
+                config.engine().thread_count(),
+                config.trials,
+                config.seed,
+            );
+            artifact.record("live", wall, &agree_table);
+            artifact.record("live-throughput", wall, &rate_table);
+        }
         "throughput" => {
             let started = Instant::now();
             eprintln!("== Throughput: trials/second on the hot paths ==\n");
@@ -356,6 +385,7 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
                 "scenario-matrix",
                 "workload",
                 "network",
+                "live",
                 "scale",
                 "figures",
             ] {

@@ -1038,7 +1038,7 @@ pub fn churn(config: &ReproConfig) -> Table {
 /// any `REPRO_THREADS`.
 pub fn scenario_matrix(config: &ReproConfig) -> Table {
     let systems_registry = SystemRegistry::paper();
-    let strategies_registry = StrategyRegistry::paper();
+    let strategies_registry = RegistryBuilder::new().paper().build();
     let scenarios = ScenarioRegistry::standard();
 
     let systems: Vec<DynSystem> = systems_registry
@@ -1188,6 +1188,125 @@ pub fn network(config: &ReproConfig) -> Table {
 
     let outcomes = run_net_workload_cells(&config.engine(), config.section_seed("network"), &cells);
     net_outcomes_table(&outcomes)
+}
+
+/// The **live** experiment: a slice of the [`network`] battery replayed on
+/// the real-concurrency cluster runtime (`quorum_cluster::live` behind
+/// [`Backend::Live`]), cross-validating every logical observable — per-session
+/// ok/fail, probe sequences, observed colors, probe/message/waste/timeout
+/// counts — against the discrete-event simulator that planned the trace.
+///
+/// Two system families × the six-scenario battery (clean, lossy, heavy-tail,
+/// minority partition, flapping partition, asymmetric split), each under its
+/// recommended robust policy. Returns two tables:
+///
+/// * the **agreement table** (`system, n, strategy, scenario, policy,
+///   sessions, agree, ok_rate, probes, msgs, wasted`) — the observables are
+///   the simulator's (pure functions of the seed), and `agree` is `1`
+///   exactly when the live replay reproduced them all and drained its node
+///   queues cleanly; goes to stdout and is enforced by the CI regression
+///   gate (an agreement flip is a 100 % drop);
+/// * the **throughput table** (`system, n, scenario, policy, sessions,
+///   wall_ms, sessions_per_s, p50_ms, p99_ms`) — wall-clock data from the
+///   live run, printed to stderr and recorded as the informational
+///   `live-throughput` artifact entry (the `throughput` convention).
+pub fn live(config: &ReproConfig) -> (Table, Table) {
+    // Every admitted session is a real OS thread: bound the trace length so
+    // the experiment stays cheap even at full REPRO_TRIALS.
+    let sessions = config.trials.clamp(1, 200);
+    // Time compressed 200×: arrivals, rpc latencies and timeouts keep their
+    // ratios, the wall stays in the milliseconds.
+    let options = LiveOptions::default().time_scale(0.005);
+
+    let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
+        (
+            erase_system(Majority::new(15).unwrap()),
+            typed_strategy::<Majority, _>(ProbeMaj::new()),
+        ),
+        (
+            erase_system(TreeQuorum::new(3).unwrap()),
+            typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+        ),
+    ];
+    let workload_config = open_poisson_workload(sessions, SimTime::from_micros(250));
+
+    let mut agreement = Table::new([
+        "system", "n", "strategy", "scenario", "policy", "sessions", "agree", "ok_rate", "probes",
+        "msgs", "wasted",
+    ]);
+    let mut rates = Table::new([
+        "system",
+        "n",
+        "scenario",
+        "policy",
+        "sessions",
+        "wall_ms",
+        "sessions_per_s",
+        "p50_ms",
+        "p99_ms",
+    ]);
+    let seed = config.section_seed("live");
+    let mut index = 0u64;
+    for (system, paper) in &systems {
+        let n = system.universe_size();
+        for scenario in network_scenarios(n, &workload_config) {
+            let cell = NetWorkloadCell {
+                system: system.clone(),
+                strategy: WorkloadStrategy::Paper(Arc::clone(paper)),
+                source: ColoringSource::iid(0.05),
+                workload: "open-poisson".into(),
+                config: workload_config,
+                net: scenario.name.to_string(),
+                network: scenario.network.clone(),
+                policy: scenario.policy,
+            };
+            let outcome = run_live_cell(seed, index, &cell, &options);
+            index += 1;
+            if !outcome.agreement.agree {
+                // Stdout must stay a pure function of the seed; the details
+                // of a divergence go to stderr for the CI transcript.
+                eprintln!(
+                    "[live: {} × {} diverged:\n{}]",
+                    outcome.sim.system,
+                    scenario.name,
+                    outcome.agreement.mismatches.join("\n")
+                );
+            }
+            let sim = &outcome.sim;
+            agreement.add_row(vec![
+                sim.system.clone(),
+                n.to_string(),
+                sim.strategy.clone(),
+                sim.net.clone(),
+                sim.policy.clone(),
+                sim.sessions.to_string(),
+                if outcome.agreement.agree { "1" } else { "0" }.into(),
+                format!("{:.3}", sim.success_rate),
+                format!("{:.2}", sim.probes_per_session),
+                format!("{:.2}", sim.messages_per_session),
+                format!("{:.3}", sim.wasted_fraction),
+            ]);
+            let live = &outcome.live;
+            rates.add_row(vec![
+                sim.system.clone(),
+                n.to_string(),
+                sim.net.clone(),
+                sim.policy.clone(),
+                live.admitted.to_string(),
+                format!("{:.1}", live.wall.as_secs_f64() * 1_000.0),
+                format!("{:.0}", live.sessions_per_sec()),
+                format!(
+                    "{:.3}",
+                    live.wall_latency_quantile(0.50).as_secs_f64() * 1_000.0
+                ),
+                format!(
+                    "{:.3}",
+                    live.wall_latency_quantile(0.99).as_secs_f64() * 1_000.0
+                ),
+            ]);
+        }
+    }
+    (agreement, rates)
 }
 
 /// Measures trials/second through the workspace's hottest paths, for the
@@ -1778,6 +1897,42 @@ mod tests {
                 assert_eq!(row[14], "0.000", "clean rows waste nothing: {row:?}");
             }
         }
+    }
+
+    #[test]
+    fn live_agrees_with_the_simulator_and_is_reproducible() {
+        let config = ReproConfig {
+            trials: 60,
+            seed: 7,
+            threads: 1,
+        };
+        let (agreement, rates) = live(&config);
+        assert_eq!(agreement.row_count(), 12, "2 systems × 6 scenarios");
+        assert_eq!(rates.row_count(), 12);
+        for row in agreement.rows() {
+            assert_eq!(row[6], "1", "live diverged from the simulator: {row:?}");
+        }
+        let text = agreement.render();
+        for marker in [
+            "clean",
+            "lossy",
+            "heavy-tail",
+            "minority-part",
+            "flapping",
+            "asym-split",
+            "Probe_Maj",
+            "Probe_Tree",
+        ] {
+            assert!(text.contains(marker), "missing {marker}");
+        }
+        for row in rates.rows() {
+            let rate: f64 = row[6].parse().unwrap();
+            assert!(rate > 0.0, "non-positive live throughput in {row:?}");
+        }
+        // The agreement table carries the sim's observables plus the agree
+        // flag: a repeat run (real threads and all) renders identically.
+        let (again, _) = live(&config);
+        assert_eq!(agreement.render(), again.render());
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //! artifacts (see [`crate::artifact`]), compare their throughput rows, and
 //! render a markdown delta table for `$GITHUB_STEP_SUMMARY`.
 //!
-//! The gate enforces the **deterministic** throughput metrics — the
-//! virtual-time sessions/second of the `workload` and `network` experiments,
-//! which are pure functions of the seed and trial count, so any drop is a
-//! genuine behavioural change, never runner noise. The wall-clock
-//! `throughput` experiment (trials/second on the hot paths) is reported in
-//! the same table for context but never fails the gate: CI runners are too
-//! noisy for hard wall-clock thresholds.
+//! The gate enforces the **deterministic** metrics — the virtual-time
+//! sessions/second of the `workload` and `network` experiments, the
+//! million-element `scale` availabilities, and the sim-vs-live `agree` flag
+//! of the `live` experiment — all pure functions of the seed and trial
+//! count, so any drop is a genuine behavioural change, never runner noise.
+//! The wall-clock experiments (`throughput`, `scale-throughput`,
+//! `live-throughput`) are reported in the same table for context but never
+//! fail the gate: CI runners are too noisy for hard wall-clock thresholds.
 //!
 //! The workspace is offline (no serde), so a ~100-line recursive-descent
 //! JSON parser for the artifact's own schema lives here.
@@ -379,6 +380,20 @@ const GATES: &[Gate] = &[
         enforced: true,
     },
     Gate {
+        // Sim-vs-live agreement, printed "1"/"0": a flip to "0" is a 100 %
+        // drop, so any divergence of the live runtime fails the gate.
+        experiment: "live",
+        metric: "agree",
+        keys: &["system", "n", "strategy", "scenario", "policy"],
+        enforced: true,
+    },
+    Gate {
+        experiment: "live-throughput",
+        metric: "sessions_per_s",
+        keys: &["system", "n", "scenario", "policy"],
+        enforced: false,
+    },
+    Gate {
         experiment: "throughput",
         metric: "trials_per_sec",
         keys: &["family", "n", "path"],
@@ -597,17 +612,26 @@ mod tests {
     use std::time::Duration;
 
     /// A minimal but gate-complete artifact: `workload` rows as given,
-    /// constant `network` and `scale` rows (every enforced gate needs rows
-    /// on both sides), and optional wall-clock `throughput` /
-    /// `scale-throughput` rows.
+    /// constant `network`, `scale` and `live` rows (every enforced gate
+    /// needs rows on both sides), and optional wall-clock `throughput` /
+    /// `scale-throughput` / `live-throughput` rows.
     fn artifact_parts(thr: &[(&str, f64)], wall_rate: Option<f64>) -> String {
-        artifact_parts_with_scale(thr, wall_rate, 0.875)
+        artifact_parts_full(thr, wall_rate, 0.875, "1")
     }
 
     fn artifact_parts_with_scale(
         thr: &[(&str, f64)],
         wall_rate: Option<f64>,
         scale_avail: f64,
+    ) -> String {
+        artifact_parts_full(thr, wall_rate, scale_avail, "1")
+    }
+
+    fn artifact_parts_full(
+        thr: &[(&str, f64)],
+        wall_rate: Option<f64>,
+        scale_avail: f64,
+        live_agree: &str,
     ) -> String {
         let mut table = Table::new([
             "system",
@@ -663,10 +687,28 @@ mod tests {
             format!("{:.6}", 1.0 - scale_avail),
             "0.010000".into(),
         ]);
+        let mut live = Table::new([
+            "system", "n", "strategy", "scenario", "policy", "sessions", "agree", "ok_rate",
+            "probes", "msgs", "wasted",
+        ]);
+        live.add_row(vec![
+            "Maj".into(),
+            "15".into(),
+            "Probe_Maj".into(),
+            "lossy".into(),
+            "r3/b300us".into(),
+            "60".into(),
+            live_agree.into(),
+            "0.950".into(),
+            "8.00".into(),
+            "16.50".into(),
+            "0.020".into(),
+        ]);
         let mut artifact = BenchArtifact::new();
         artifact.record("workload", Duration::from_millis(5), table);
         artifact.record("network", Duration::from_millis(5), net);
         artifact.record("scale", Duration::from_millis(5), scale);
+        artifact.record("live", Duration::from_millis(5), live);
         if let Some(rate) = wall_rate {
             let mut wall = Table::new(["family", "n", "path", "trials_per_sec"]);
             wall.add_row(vec![
@@ -695,6 +737,29 @@ mod tests {
                 format!("{:.0}", rate * 1.0e6),
             ]);
             artifact.record("scale-throughput", Duration::ZERO, lanes);
+            let mut live_rates = Table::new([
+                "system",
+                "n",
+                "scenario",
+                "policy",
+                "sessions",
+                "wall_ms",
+                "sessions_per_s",
+                "p50_ms",
+                "p99_ms",
+            ]);
+            live_rates.add_row(vec![
+                "Maj".into(),
+                "15".into(),
+                "lossy".into(),
+                "r3/b300us".into(),
+                "60".into(),
+                "4.0".into(),
+                format!("{:.0}", rate * 100.0),
+                "0.050".into(),
+                "0.400".into(),
+            ]);
+            artifact.record("live-throughput", Duration::ZERO, live_rates);
         }
         artifact.to_json("testsha", 2001, 500, 1)
     }
@@ -798,6 +863,8 @@ mod tests {
         // Lane-engine wall-clock rates ride the same informational path: a
         // 1000x slowdown in lane_trials_per_s never fails the gate.
         assert!(report.markdown.contains("| scale-throughput |"));
+        // As do the live runtime's wall-clock sessions/second.
+        assert!(report.markdown.contains("| live-throughput |"));
     }
 
     #[test]
@@ -813,6 +880,28 @@ mod tests {
         assert!(!report.passed());
         assert!(report.failures.iter().any(|f| f.contains("scale:")));
         assert!(report.markdown.contains("| scale |"));
+    }
+
+    #[test]
+    fn a_live_agreement_flip_fails_the_gate() {
+        // `agree` is printed "1"/"0": a flip to "0" is a 100 % drop on an
+        // enforced metric, so a live runtime that stops reproducing the
+        // simulator's observables cannot pass CI.
+        let baseline =
+            parse_artifact(&artifact_parts_full(&[("Maj", 1000.0)], None, 0.875, "1")).unwrap();
+        let diverged =
+            parse_artifact(&artifact_parts_full(&[("Maj", 1000.0)], None, 0.875, "0")).unwrap();
+        let report = check_regression(&diverged, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("live:")),
+            "{:?}",
+            report.failures
+        );
+        assert!(report.markdown.contains("| live |"));
+        // Agreement holding on both sides passes.
+        let report = check_regression(&baseline, &baseline, 0.25);
+        assert!(report.passed(), "{:?}", report.failures);
     }
 
     #[test]

@@ -63,11 +63,14 @@ pub mod prelude {
         LogHistogram, PowerLawFit, RunningStats,
     };
     pub use quorum_cluster::{
-        run_net_workload, run_workload, ArrivalProcess, Cluster, Distribution, LinkDirection,
-        LoadLedger, NetProbe, NetSessionPlan, NetworkConfig, NetworkModel, PartitionKind,
-        PartitionSchedule, PartitionWindow, ProbePolicy, SessionPlan, SimTime, WorkloadConfig,
-        WorkloadReport,
+        cross_validate, plan_observables, AgreementReport, ArrivalProcess, Backend, Cluster,
+        Distribution, LinkDirection, LiveOptions, LiveReport, LoadLedger, NetProbe, NetSessionPlan,
+        NetworkConfig, NetworkModel, PartitionKind, PartitionSchedule, PartitionWindow, PlanCost,
+        ProbePolicy, SessionPlan, SessionTrace, SimTime, SpecReport, WorkloadConfig,
+        WorkloadReport, WorkloadSpec,
     };
+    #[allow(deprecated)]
+    pub use quorum_cluster::{run_net_workload, run_workload};
     pub use quorum_core::{
         Color, Coloring, Coterie, ElementId, ElementSet, QuorumError, QuorumSystem, Witness,
         WitnessKind,
@@ -81,16 +84,16 @@ pub mod prelude {
     };
     pub use quorum_sim::eval::{
         erase_system, typed_strategy, universal_strategy, ColoringSource, DynProbeStrategy,
-        DynStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport, ScenarioRegistry,
-        StrategyRegistry, SystemRegistry, TrialRng,
+        DynStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport, RegistryBuilder,
+        ScenarioRegistry, StrategyRegistry, SystemRegistry, TrialRng,
     };
     pub use quorum_sim::{
         batched_availability, batched_failure_probability, closed_loop_workload,
         estimate_expected_probes, estimate_worst_case, exhaustive_expected_probes,
         net_outcomes_table, network_scenarios, open_poisson_workload, outcomes_table,
-        run_net_workload_cells, run_workload_cells, standard_workloads, sweep,
-        worst_case_over_colorings, ChurnTrajectory, Estimate, FailureModel, NetScenario,
-        NetWorkloadCell, NetWorkloadOutcome, Table, WorkloadCell, WorkloadOutcome,
+        run_live_cell, run_net_workload_cells, run_workload_cells, standard_workloads, sweep,
+        worst_case_over_colorings, ChurnTrajectory, Estimate, FailureModel, LiveCellOutcome,
+        NetScenario, NetWorkloadCell, NetWorkloadOutcome, Table, WorkloadCell, WorkloadOutcome,
         WorkloadStrategy,
     };
     pub use quorum_systems::{catalogue, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};

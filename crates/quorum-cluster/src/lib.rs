@@ -24,6 +24,12 @@
 //! probe a request/response pair that loss or partitions can drop, with
 //! client-side timeouts, bounded retries and hedged probes on top.
 //!
+//! The [`spec`] module is the single entry point over all of it: a
+//! builder-style [`WorkloadSpec`] selecting a backend — the virtual-time
+//! simulator, or the [`live`] runtime that replays the same trace over OS
+//! threads and bounded channels and cross-validates every logical
+//! observable against the simulation.
+//!
 //! ```
 //! use quorum_cluster::{Cluster, NetworkConfig};
 //! use quorum_core::QuorumSystem;
@@ -42,19 +48,28 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod live;
 pub mod network;
 pub mod node;
+pub mod spec;
 pub mod time;
 pub mod workload;
 
 pub use cluster::{Cluster, QuorumAcquisition};
+pub use live::{LiveOptions, LiveReport, LiveSessionOutcome};
 pub use network::{
     LinkDirection, NetworkConfig, NetworkModel, PartitionKind, PartitionSchedule, PartitionWindow,
     ProbePolicy,
 };
 pub use node::{NodeId, NodeState};
+pub use spec::{
+    cross_validate, plan_observables, AgreementReport, Backend, PlanCost, SessionTrace, SpecReport,
+    TracedSession, WorkloadSpec,
+};
 pub use time::SimTime;
+#[allow(deprecated)]
+pub use workload::{run_net_workload, run_workload};
 pub use workload::{
-    run_net_workload, run_workload, ArrivalProcess, Distribution, LoadLedger, NetProbe,
-    NetSessionPlan, SessionPlan, WorkloadConfig, WorkloadReport,
+    ArrivalProcess, Distribution, LoadLedger, NetProbe, NetSessionPlan, SessionPlan,
+    WorkloadConfig, WorkloadReport,
 };

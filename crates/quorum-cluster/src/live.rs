@@ -1,0 +1,712 @@
+//! The real-concurrency runtime: executes a captured [`SessionTrace`] over
+//! OS threads, real channels and wall-clock time, mirroring the message
+//! semantics of [`crate::network`] — lost requests, lost responses,
+//! client-side timeouts, exponential backoff and hedged probes from the same
+//! [`ProbePolicy`] the simulator prices.
+//!
+//! Topology: one OS thread per node, each behind a *bounded* request
+//! channel (a full queue blocks the sender — backpressure, not loss). A
+//! driver thread admits sessions at their scaled arrival instants, subject
+//! to an admission limit: when the in-flight session count is at the limit,
+//! new arrivals are shed and counted, which keeps tail latency bounded under
+//! overload instead of letting queues grow without bound. Each admitted
+//! session runs on its own thread and executes its plan probe by probe; a
+//! hedging policy races at most two probes on runner threads, exactly like
+//! the simulator's two-in-flight cap.
+//!
+//! Fate adjudication is the trace's: the network layer here drops exactly
+//! the messages the recorded [`NetProbe`] fates say were dropped, so the
+//! replay is deterministic in its *logical* observables while scheduling,
+//! queueing and latency are genuinely concurrent and measured on the wall
+//! clock. A dropped message manifests as a real timed-out `recv` at the
+//! client; a served-but-dropped response makes the node thread do the work
+//! and send an answer nobody receives — the same waste the simulator
+//! charges. Shutdown is graceful: closing the request channels lets every
+//! node drain its queue before exiting, and [`LiveReport::drained_clean`]
+//! certifies that nothing in flight was lost.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use quorum_core::Color;
+use quorum_probe::session::AttemptLoss;
+
+use crate::network::ProbePolicy;
+use crate::spec::{attempt_is_wasted, SessionTrace};
+use crate::workload::{NetProbe, WorkloadConfig};
+use crate::{NodeId, SimTime};
+
+/// How long a client waits for an answer the trace says *will* arrive
+/// before giving up and letting the cross-validation flag the divergence
+/// (rather than hanging the run).
+const ANSWER_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Tuning of the live runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveOptions {
+    /// Wall-clock seconds per virtual second: timeouts, backoffs, hedging
+    /// delays, service times and arrival gaps are all multiplied by this.
+    /// `1.0` replays in real time; the default compresses time so test and
+    /// bench runs finish quickly. Logical observables are scale-invariant.
+    pub time_scale: f64,
+    /// Maximum sessions in flight at once; arrivals beyond it are shed (and
+    /// counted in [`LiveReport::rejected`]). `0` means unbounded — required
+    /// for cross-validation runs, where every traced session must execute.
+    pub admission_limit: usize,
+    /// Capacity of each node's bounded request queue; a full queue blocks
+    /// the probing client (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            time_scale: 0.02,
+            admission_limit: 0,
+            queue_capacity: 128,
+        }
+    }
+}
+
+impl LiveOptions {
+    /// Replays in real time (scale 1.0) with the default limits.
+    pub fn realtime() -> Self {
+        LiveOptions {
+            time_scale: 1.0,
+            ..LiveOptions::default()
+        }
+    }
+
+    /// Sets the time scale.
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Sets the admission limit (`0` = unbounded).
+    pub fn admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = limit;
+        self
+    }
+
+    /// Sets the per-node queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// What one admitted session measured while executing its plan.
+#[derive(Debug, Clone)]
+pub struct LiveSessionOutcome {
+    /// The trace index of the session.
+    pub index: u64,
+    /// The strategy verdict carried by the plan (the transcript checks
+    /// below are what tie it to this execution).
+    pub ok: bool,
+    /// The nodes actually probed, in resolution-slot order.
+    pub sequence: Vec<NodeId>,
+    /// The color each probe actually recorded: green iff a real answer
+    /// arrived, red iff every attempt timed out.
+    pub observed: Vec<Color>,
+    /// Probe attempts actually issued.
+    pub probes: u64,
+    /// Messages actually transmitted by and for this session: requests sent
+    /// by the client plus responses sent by node threads (delivered or
+    /// dropped).
+    pub messages: u64,
+    /// Attempts whose answer was never used.
+    pub wasted: u64,
+    /// Attempts that timed out at the client.
+    pub timeouts: u64,
+    /// Probes launched early by the hedging policy.
+    pub hedges: u64,
+    /// Hedge races whose slower probe was cancelled.
+    pub cancelled: u64,
+    /// Wall-clock duration from admission to the last probe's resolution.
+    pub wall: Duration,
+}
+
+/// The report of one live run.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Sessions the trace offered.
+    pub offered: u64,
+    /// Sessions admitted (and run to completion).
+    pub admitted: u64,
+    /// Sessions shed by admission control.
+    pub rejected: u64,
+    /// Admitted sessions whose strategy verdict was a located quorum.
+    pub successes: u64,
+    /// Probe attempts issued across all sessions.
+    pub probes: u64,
+    /// Messages transmitted across all sessions (requests + responses).
+    pub messages: u64,
+    /// Wasted attempts across all sessions.
+    pub wasted: u64,
+    /// Timed-out attempts across all sessions.
+    pub timeouts: u64,
+    /// Hedge launches across all sessions.
+    pub hedges: u64,
+    /// Cancelled hedge-race losers across all sessions.
+    pub cancelled: u64,
+    /// Requests actually enqueued at node threads.
+    pub requests_delivered: u64,
+    /// Requests node threads served before exiting — equal to
+    /// `requests_delivered` iff shutdown drained every queue.
+    pub requests_served: u64,
+    /// The highest concurrent-session count the driver observed.
+    pub peak_in_flight: usize,
+    /// Wall-clock duration from the first arrival to the last session
+    /// completion.
+    pub wall: Duration,
+    /// Per-session outcomes, in admission order.
+    pub sessions: Vec<LiveSessionOutcome>,
+}
+
+impl LiveReport {
+    /// Whether graceful shutdown drained every node queue: every request
+    /// enqueued at a node was served before the node exited.
+    pub fn drained_clean(&self) -> bool {
+        self.requests_delivered == self.requests_served
+    }
+
+    /// Admitted sessions completed per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.admitted as f64 / secs
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of admitted sessions' wall-clock
+    /// latency; zero when nothing ran.
+    pub fn wall_latency_quantile(&self, q: f64) -> Duration {
+        if self.sessions.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut walls: Vec<Duration> = self.sessions.iter().map(|s| s.wall).collect();
+        walls.sort_unstable();
+        let rank = ((walls.len() as f64 * q).ceil() as usize).clamp(1, walls.len());
+        walls[rank - 1]
+    }
+}
+
+/// Converts a virtual duration to a scaled wall-clock duration.
+fn scaled(t: SimTime, scale: f64) -> Duration {
+    Duration::from_nanos((t.as_micros() as f64 * 1_000.0 * scale).round() as u64)
+}
+
+/// The response path of one delivered request.
+enum Reply {
+    /// Deliver the answer to the client.
+    To(SyncSender<()>),
+    /// The node serves and answers, but the response leg drops the message.
+    Lost,
+}
+
+/// One request enqueued at a node thread.
+struct NodeRequest {
+    session: usize,
+    service: Duration,
+    reply: Reply,
+}
+
+/// Client-side shared state: the node channels and the run-wide counters.
+struct Ctx {
+    node_tx: Vec<SyncSender<NodeRequest>>,
+    delivered: AtomicU64,
+    policy: ProbePolicy,
+    timeout: Duration,
+    service: Duration,
+    scale: f64,
+}
+
+impl Ctx {
+    /// Enqueues one request at `node` (blocking on a full queue —
+    /// backpressure) and counts the delivery.
+    fn deliver(&self, session: usize, node: NodeId, reply: Reply) {
+        let request = NodeRequest {
+            session,
+            service: self.service,
+            reply,
+        };
+        if self.node_tx[node].send(request).is_ok() {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// What one probe execution measured.
+#[derive(Debug, Clone)]
+struct LiveProbe {
+    node: NodeId,
+    observed: Color,
+    attempts: u64,
+    timeouts: u64,
+    wasted: u64,
+}
+
+/// Executes one probe for real: scripted-lost attempts send (or drop) a
+/// request, wait out a genuine `recv` timeout and back off exponentially;
+/// the answering attempt of a green observation blocks on the node's actual
+/// response.
+fn execute_probe(ctx: &Ctx, session: usize, probe: &NetProbe) -> LiveProbe {
+    let mut out = LiveProbe {
+        node: probe.node,
+        observed: Color::Red,
+        attempts: 0,
+        timeouts: 0,
+        wasted: 0,
+    };
+    for (attempt, loss) in probe.failures.iter().enumerate() {
+        out.attempts += 1;
+        out.timeouts += 1;
+        if attempt_is_wasted(probe.observed, attempt, &probe.failures) {
+            out.wasted += 1;
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<()>(1);
+        match loss {
+            // The request leg dropped the message: the node never sees it.
+            AttemptLoss::Request => {}
+            // The response leg drops: the node receives, serves and answers
+            // into the void.
+            AttemptLoss::Response => ctx.deliver(session, probe.node, Reply::Lost),
+        }
+        // `reply_tx` stays alive in this scope, so the wait below is a real
+        // timed-out receive, not an instant disconnect.
+        let waited = reply_rx.recv_timeout(ctx.timeout);
+        debug_assert!(waited.is_err(), "a scripted-lost attempt cannot answer");
+        drop(reply_tx);
+        let backoff = ctx.policy.backoff.saturating_mul(1u64 << attempt.min(16));
+        if backoff > SimTime::ZERO {
+            thread::sleep(scaled(backoff, ctx.scale));
+        }
+    }
+    if probe.observed == Color::Green {
+        out.attempts += 1;
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<()>(1);
+        ctx.deliver(session, probe.node, Reply::To(reply_tx));
+        // Green is recorded only if the answer actually arrives; a deadline
+        // miss leaves the probe red and the cross-validation flags it.
+        if reply_rx.recv_timeout(ANSWER_DEADLINE).is_ok() {
+            out.observed = Color::Green;
+        }
+    }
+    out
+}
+
+/// Runs one admitted session: sequential probe execution, or a two-in-flight
+/// hedged race when the policy hedges.
+fn run_session(
+    ctx: &Arc<Ctx>,
+    index: u64,
+    session: usize,
+    plan: &crate::workload::NetSessionPlan,
+) -> LiveSessionOutcome {
+    let start = Instant::now();
+    let total = plan.probes.len();
+    let mut slots: Vec<Option<LiveProbe>> = vec![None; total];
+    let mut hedges = 0u64;
+    let mut cancelled = 0u64;
+    let hedge_delay = ctx.policy.hedge.map(|h| scaled(h, ctx.scale));
+    match hedge_delay {
+        None => {
+            for (i, probe) in plan.probes.iter().enumerate() {
+                slots[i] = Some(execute_probe(ctx, session, probe));
+            }
+        }
+        Some(hedge) if total >= 1 => {
+            let (done_tx, done_rx) = mpsc::channel::<(usize, LiveProbe)>();
+            let mut handles = Vec::with_capacity(total);
+            let launch = |i: usize, handles: &mut Vec<thread::JoinHandle<()>>| {
+                let ctx = Arc::clone(ctx);
+                let probe = plan.probes[i].clone();
+                let tx = done_tx.clone();
+                handles.push(thread::spawn(move || {
+                    let out = execute_probe(&ctx, session, &probe);
+                    let _ = tx.send((i, out));
+                }));
+            };
+            launch(0, &mut handles);
+            let mut next = 1usize;
+            let mut in_flight = 1usize;
+            let mut resolved = 0usize;
+            let mut racing = false;
+            while resolved < total {
+                let message = if in_flight == 1 && next < total {
+                    match done_rx.recv_timeout(hedge) {
+                        Ok(message) => Some(message),
+                        Err(RecvTimeoutError::Timeout) => {
+                            // The frontier probe stalled past the hedging
+                            // delay: launch its successor in parallel.
+                            hedges += 1;
+                            racing = true;
+                            launch(next, &mut handles);
+                            next += 1;
+                            in_flight += 1;
+                            None
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            unreachable!("probe runners outlive the race loop")
+                        }
+                    }
+                } else {
+                    Some(done_rx.recv().expect("probe runner delivers its result"))
+                };
+                if let Some((i, out)) = message {
+                    if racing && in_flight == 2 {
+                        cancelled += 1;
+                    }
+                    racing = false;
+                    slots[i] = Some(out);
+                    resolved += 1;
+                    in_flight -= 1;
+                    if in_flight == 0 && next < total {
+                        launch(next, &mut handles);
+                        next += 1;
+                        in_flight = 1;
+                    }
+                }
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+        Some(_) => {}
+    }
+    let mut outcome = LiveSessionOutcome {
+        index,
+        ok: plan.success,
+        sequence: Vec::with_capacity(total),
+        observed: Vec::with_capacity(total),
+        probes: 0,
+        messages: 0,
+        wasted: 0,
+        timeouts: 0,
+        hedges,
+        cancelled,
+        wall: start.elapsed(),
+    };
+    for slot in slots {
+        let probe = slot.expect("every probe resolved");
+        outcome.sequence.push(probe.node);
+        outcome.observed.push(probe.observed);
+        outcome.probes += probe.attempts;
+        outcome.messages += probe.attempts; // the requests; responses are
+                                            // attributed after node drain
+        outcome.wasted += probe.wasted;
+        outcome.timeouts += probe.timeouts;
+    }
+    outcome
+}
+
+/// Replays a captured trace on the live runtime.
+///
+/// Spawns one node thread per node behind a bounded queue, admits sessions
+/// at their scaled arrival instants (shedding above the admission limit),
+/// executes every admitted plan with real timeouts/backoff/hedging, then
+/// shuts down gracefully: the request channels close, every node drains its
+/// queue and reports how many requests it served.
+///
+/// # Panics
+///
+/// Panics if a traced probe names a node outside `0..nodes`.
+pub fn run_live(
+    nodes: usize,
+    trace: &SessionTrace,
+    config: &WorkloadConfig,
+    policy: &ProbePolicy,
+    options: &LiveOptions,
+) -> LiveReport {
+    let scale = if options.time_scale.is_finite() && options.time_scale > 0.0 {
+        options.time_scale
+    } else {
+        0.0
+    };
+    let offered = trace.sessions.len();
+    for traced in &trace.sessions {
+        for probe in &traced.plan.probes {
+            assert!(
+                probe.node < nodes,
+                "traced probe names node {} of {nodes}",
+                probe.node
+            );
+        }
+    }
+    let responses: Arc<Vec<AtomicU64>> =
+        Arc::new((0..offered).map(|_| AtomicU64::new(0)).collect());
+    let capacity = options.queue_capacity.max(1);
+    let mut node_tx = Vec::with_capacity(nodes);
+    let mut node_handles = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let (tx, rx) = mpsc::sync_channel::<NodeRequest>(capacity);
+        node_tx.push(tx);
+        let responses = Arc::clone(&responses);
+        node_handles.push(thread::spawn(move || {
+            let mut served = 0u64;
+            while let Ok(request) = rx.recv() {
+                if !request.service.is_zero() {
+                    thread::sleep(request.service);
+                }
+                // The node always answers a request it served; whether the
+                // answer reaches anyone is the network's (scripted) call.
+                responses[request.session].fetch_add(1, Ordering::Relaxed);
+                served += 1;
+                if let Reply::To(tx) = request.reply {
+                    let _ = tx.send(());
+                }
+            }
+            served
+        }));
+    }
+    let ctx = Arc::new(Ctx {
+        node_tx,
+        delivered: AtomicU64::new(0),
+        policy: *policy,
+        timeout: scaled(config.probe_timeout, scale),
+        service: scaled(config.service.mean(), scale),
+        scale,
+    });
+
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let mut rejected = 0u64;
+    let mut workers = Vec::with_capacity(offered);
+    let start = Instant::now();
+    for (position, traced) in trace.sessions.iter().enumerate() {
+        let target = scaled(traced.arrival, scale);
+        let elapsed = start.elapsed();
+        if target > elapsed {
+            thread::sleep(target - elapsed);
+        }
+        if options.admission_limit > 0
+            && in_flight.load(Ordering::Acquire) >= options.admission_limit
+        {
+            rejected += 1;
+            continue;
+        }
+        let current = in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        peak.fetch_max(current, Ordering::AcqRel);
+        let ctx = Arc::clone(&ctx);
+        let in_flight = Arc::clone(&in_flight);
+        let plan = traced.plan.clone();
+        let index = traced.index;
+        workers.push(thread::spawn(move || {
+            let outcome = run_session(&ctx, index, position, &plan);
+            in_flight.fetch_sub(1, Ordering::AcqRel);
+            (position, outcome)
+        }));
+    }
+    let mut admitted_sessions: Vec<(usize, LiveSessionOutcome)> = workers
+        .into_iter()
+        .map(|handle| handle.join().expect("session worker completes"))
+        .collect();
+    let wall = start.elapsed();
+
+    // Graceful shutdown: dropping the last client handle closes every
+    // request channel; each node drains what is queued, then exits.
+    let delivered = ctx.delivered.load(Ordering::Relaxed);
+    drop(ctx);
+    let served: u64 = node_handles
+        .into_iter()
+        .map(|handle| handle.join().expect("node thread completes"))
+        .sum();
+
+    // Attribute node-sent responses to their sessions now that every count
+    // is settled.
+    for (position, outcome) in &mut admitted_sessions {
+        outcome.messages += responses[*position].load(Ordering::Relaxed);
+    }
+    let sessions: Vec<LiveSessionOutcome> = admitted_sessions
+        .into_iter()
+        .map(|(_, outcome)| outcome)
+        .collect();
+
+    let mut report = LiveReport {
+        offered: offered as u64,
+        admitted: sessions.len() as u64,
+        rejected,
+        successes: 0,
+        probes: 0,
+        messages: 0,
+        wasted: 0,
+        timeouts: 0,
+        hedges: 0,
+        cancelled: 0,
+        requests_delivered: delivered,
+        requests_served: served,
+        peak_in_flight: peak.load(Ordering::Acquire),
+        wall,
+        sessions,
+    };
+    for session in &report.sessions {
+        report.successes += u64::from(session.ok);
+        report.probes += session.probes;
+        report.messages += session.messages;
+        report.wasted += session.wasted;
+        report.timeouts += session.timeouts;
+        report.hedges += session.hedges;
+        report.cancelled += session.cancelled;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{plan_observables, TracedSession};
+    use crate::workload::{ArrivalProcess, Distribution, NetSessionPlan};
+
+    fn tiny_config(sessions: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            arrival: ArrivalProcess::OpenPoisson {
+                mean_interarrival: SimTime::from_micros(200),
+            },
+            sessions,
+            rpc_latency: Distribution::fixed(SimTime::from_micros(100)),
+            service: Distribution::fixed(SimTime::from_micros(100)),
+            probe_timeout: SimTime::from_millis(2),
+        }
+    }
+
+    fn mixed_plan() -> NetSessionPlan {
+        NetSessionPlan {
+            probes: vec![
+                NetProbe {
+                    node: 0,
+                    observed: Color::Green,
+                    failures: vec![AttemptLoss::Request],
+                },
+                NetProbe {
+                    node: 1,
+                    observed: Color::Red,
+                    failures: vec![AttemptLoss::Response, AttemptLoss::Request],
+                },
+                NetProbe {
+                    node: 2,
+                    observed: Color::Green,
+                    failures: vec![],
+                },
+            ],
+            success: true,
+        }
+    }
+
+    fn trace_of(plans: usize) -> SessionTrace {
+        SessionTrace {
+            sessions: (0..plans)
+                .map(|i| TracedSession {
+                    index: i as u64,
+                    arrival: SimTime::from_micros(50 * i as u64),
+                    plan: mixed_plan(),
+                })
+                .collect(),
+        }
+    }
+
+    fn fast_options() -> LiveOptions {
+        LiveOptions::default().time_scale(0.002)
+    }
+
+    #[test]
+    fn live_counts_match_the_plan_observables() {
+        let trace = trace_of(12);
+        let config = tiny_config(12);
+        let report = run_live(
+            3,
+            &trace,
+            &config,
+            &ProbePolicy::retry(2, SimTime::ZERO),
+            &fast_options(),
+        );
+        assert_eq!(report.offered, 12);
+        assert_eq!(report.admitted, 12);
+        assert_eq!(report.rejected, 0);
+        assert!(report.drained_clean(), "shutdown must drain the queues");
+        let expect = plan_observables(&mixed_plan());
+        for session in &report.sessions {
+            assert_eq!(session.sequence, expect.sequence);
+            assert_eq!(session.observed, expect.observed);
+            assert_eq!(session.probes, expect.probes);
+            assert_eq!(session.messages, expect.messages);
+            assert_eq!(session.wasted, expect.wasted);
+            assert_eq!(session.timeouts, expect.timeouts);
+            assert!(session.ok);
+        }
+        assert_eq!(report.messages, 12 * expect.messages);
+        assert!(report.wall > Duration::ZERO);
+        assert!(report.sessions_per_sec() > 0.0);
+        assert!(report.wall_latency_quantile(0.5) <= report.wall_latency_quantile(0.99));
+    }
+
+    #[test]
+    fn admission_control_sheds_load_and_bounds_concurrency() {
+        // Arrivals all at t=0 against a 2-session limit: most are shed.
+        let mut trace = trace_of(16);
+        for traced in &mut trace.sessions {
+            traced.arrival = SimTime::ZERO;
+        }
+        let config = tiny_config(16);
+        let options = fast_options().admission_limit(2);
+        let report = run_live(3, &trace, &config, &ProbePolicy::sequential(), &options);
+        assert!(report.rejected > 0, "overload must shed sessions");
+        assert_eq!(report.admitted + report.rejected, report.offered);
+        assert!(
+            report.peak_in_flight <= 2,
+            "admission must bound concurrency, saw {}",
+            report.peak_in_flight
+        );
+        assert!(report.drained_clean());
+    }
+
+    #[test]
+    fn hedged_sessions_still_resolve_every_probe() {
+        let trace = trace_of(6);
+        let config = tiny_config(6);
+        let policy = ProbePolicy::retry(2, SimTime::ZERO).with_hedge(SimTime::from_micros(500));
+        let report = run_live(3, &trace, &config, &policy, &fast_options());
+        assert_eq!(report.admitted, 6);
+        let expect = plan_observables(&mixed_plan());
+        for session in &report.sessions {
+            assert_eq!(session.sequence, expect.sequence, "order is by probe slot");
+            assert_eq!(
+                session.messages, expect.messages,
+                "hedging never changes messages"
+            );
+            assert!(session.cancelled <= session.hedges);
+        }
+        assert!(report.drained_clean());
+    }
+
+    #[test]
+    fn zero_probe_sessions_complete_instantly() {
+        let trace = SessionTrace {
+            sessions: vec![TracedSession {
+                index: 0,
+                arrival: SimTime::ZERO,
+                plan: NetSessionPlan {
+                    probes: vec![],
+                    success: false,
+                },
+            }],
+        };
+        let config = tiny_config(1);
+        let report = run_live(
+            2,
+            &trace,
+            &config,
+            &ProbePolicy::sequential(),
+            &fast_options(),
+        );
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.probes, 0);
+        assert_eq!(report.messages, 0);
+        assert!(report.drained_clean());
+    }
+}

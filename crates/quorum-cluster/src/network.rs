@@ -16,6 +16,7 @@
 //!   the workload engine (see [`crate::workload`]) prices the attempts in
 //!   virtual time.
 
+use quorum_core::{Color, Coloring};
 use quorum_probe::session::{AttemptLoss, ProbeFate};
 use rand::{Rng, RngCore};
 
@@ -233,6 +234,23 @@ impl PartitionSchedule {
                     || !self.delivers(node, LinkDirection::Response, at)
             })
             .collect()
+    }
+
+    /// Overlays the schedule onto a ground-truth coloring: the view at `at`,
+    /// with every element whose node has any blocked direction forced red —
+    /// to a probing client an unreachable node is indistinguishable from a
+    /// crashed one. This is the one shared query for round-based protocol
+    /// traces; [`PartitionSchedule::unreachable_at`] lists the same nodes.
+    pub fn observed_coloring(&self, truth: &Coloring, at: SimTime) -> Coloring {
+        Coloring::from_fn(truth.universe_size(), |e| {
+            if self.delivers(e, LinkDirection::Request, at)
+                && self.delivers(e, LinkDirection::Response, at)
+            {
+                truth.color(e)
+            } else {
+                Color::Red
+            }
+        })
     }
 }
 
@@ -466,6 +484,25 @@ mod tests {
         assert!(schedule.delivers(3, LinkDirection::Request, t));
         assert!(!schedule.delivers(3, LinkDirection::Response, t));
         assert_eq!(schedule.unreachable_at(5, t), vec![3]);
+    }
+
+    #[test]
+    fn observed_coloring_forces_unreachable_nodes_red() {
+        let schedule =
+            PartitionSchedule::asymmetric(vec![1], SimTime::ZERO, SimTime::from_millis(5));
+        let truth = Coloring::from_fn(4, |e| if e == 2 { Color::Red } else { Color::Green });
+        let inside = schedule.observed_coloring(&truth, SimTime::from_millis(1));
+        assert_eq!(inside.red_set().to_vec(), vec![1, 2]);
+        let after = schedule.observed_coloring(&truth, SimTime::from_millis(6));
+        assert_eq!(
+            after, truth,
+            "a healed schedule observes the ground truth unchanged"
+        );
+        // The overlay and the unreachable list must name the same nodes.
+        let unreachable = schedule.unreachable_at(4, SimTime::from_millis(1));
+        for node in unreachable {
+            assert!(inside.is_red(node));
+        }
     }
 
     #[test]

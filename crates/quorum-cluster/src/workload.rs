@@ -582,15 +582,7 @@ impl EngineState {
             self.ledger.timeouts[node] += 1;
             self.probes_total += 1;
             self.messages += 1; // the request was transmitted
-                                // The attempt that *produces* the recorded observation is not
-                                // wasted: for a red observation that is the final timeout (the
-                                // oracle semantics of the latency-only engine). Waste is the
-                                // attempts a retry wrote off, plus any served-then-dropped
-                                // attempt — the node did work nobody consumed.
-            if probe.observed == Color::Green
-                || attempt + 1 < probe.failures.len()
-                || *loss == AttemptLoss::Response
-            {
+            if crate::spec::attempt_is_wasted(probe.observed, attempt, &probe.failures) {
                 self.wasted += 1;
             }
             if *loss == AttemptLoss::Response {
@@ -628,9 +620,9 @@ impl EngineState {
 /// Runs one latency-only workload over `n` nodes, returning its report.
 ///
 /// This is the oracle-flavoured entry point: probes to live nodes always
-/// answer, probes to crashed nodes cost the timeout. It is implemented as
-/// [`run_net_workload`] on a clean network with the sequential policy, so
-/// its rows are bit-identical to the pre-network engine's.
+/// answer, probes to crashed nodes cost the timeout. It is a thin wrapper
+/// over [`WorkloadSpec`](crate::spec::WorkloadSpec) on a clean network with
+/// the sequential policy, so its rows are bit-identical to the builder's.
 ///
 /// `session(index, ledger, now)` is called once per session, at its arrival
 /// time, with the live ledger — this is where a caller samples the failure
@@ -640,23 +632,18 @@ impl EngineState {
 ///
 /// Panics if the configuration is invalid or a plan's `colors` length does
 /// not match its `sequence`.
-pub fn run_workload<F>(
-    n: usize,
-    config: &WorkloadConfig,
-    seed: u64,
-    mut session: F,
-) -> WorkloadReport
+#[deprecated(
+    since = "0.1.0",
+    note = "assemble a `quorum_cluster::spec::WorkloadSpec` and call `run_plans` instead"
+)]
+pub fn run_workload<F>(n: usize, config: &WorkloadConfig, seed: u64, session: F) -> WorkloadReport
 where
     F: FnMut(u64, &LoadLedger, SimTime) -> SessionPlan,
 {
-    run_net_workload(
-        n,
-        config,
-        &NetworkModel::clean(),
-        &ProbePolicy::sequential(),
-        seed,
-        |index, ledger, now, _rng| NetSessionPlan::from_plan(session(index, ledger, now)),
-    )
+    crate::spec::WorkloadSpec::new(n)
+        .config(*config)
+        .run_plans(seed, session)
+        .report
 }
 
 /// Runs one message-level workload over `n` nodes, returning its report.
@@ -682,7 +669,34 @@ where
 ///
 /// Panics if the configuration is invalid or a plan records a red
 /// observation with no failed attempts.
+#[deprecated(
+    since = "0.1.0",
+    note = "assemble a `quorum_cluster::spec::WorkloadSpec` and call `run` instead"
+)]
 pub fn run_net_workload<F>(
+    n: usize,
+    config: &WorkloadConfig,
+    network: &NetworkModel,
+    policy: &ProbePolicy,
+    seed: u64,
+    session: F,
+) -> WorkloadReport
+where
+    F: FnMut(u64, &LoadLedger, SimTime, &mut StdRng) -> NetSessionPlan,
+{
+    crate::spec::WorkloadSpec::new(n)
+        .config(*config)
+        .network(network.clone())
+        .policy(*policy)
+        .run(seed, session)
+        .report
+}
+
+/// The discrete-event engine behind every backend: prices each session plan
+/// in virtual time under `network` and `policy`, with all randomness drawn
+/// from one `StdRng` seeded with `seed` — the report is a pure function of
+/// `(n, config, network, policy, seed, session)`.
+pub(crate) fn run_net_engine<F>(
     n: usize,
     config: &WorkloadConfig,
     network: &NetworkModel,
@@ -910,6 +924,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::network::PartitionSchedule;

@@ -58,5 +58,6 @@ pub use engine::{
 };
 pub use plan::{ColoringSource, EvalCell, EvalPlan};
 pub use registry::{
-    ScenarioEntry, ScenarioRegistry, StrategyEntry, StrategyRegistry, SystemEntry, SystemRegistry,
+    RegistryBuilder, ScenarioEntry, ScenarioRegistry, StrategyEntry, StrategyRegistry, SystemEntry,
+    SystemRegistry,
 };

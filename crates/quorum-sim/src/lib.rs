@@ -59,7 +59,7 @@ pub use batch::{
     batched_failure_probability_wide, DEFAULT_BATCH_WIDTH,
 };
 pub use eval::{
-    ColoringSource, DynProbeStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport,
+    ColoringSource, DynProbeStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport, RegistryBuilder,
     ScenarioRegistry, Shard, StrategyRegistry, SystemRegistry, TrialRng,
 };
 pub use experiment::{sweep, SweepPoint, SweepRow};
@@ -68,7 +68,8 @@ pub use montecarlo::{estimate_expected_probes, exhaustive_expected_probes, Estim
 pub use report::Table;
 pub use workload::{
     closed_loop_workload, net_outcomes_table, network_scenarios, open_poisson_workload,
-    outcomes_table, run_net_workload_cells, run_workload_cells, standard_workloads, NetScenario,
-    NetWorkloadCell, NetWorkloadOutcome, WorkloadCell, WorkloadOutcome, WorkloadStrategy,
+    outcomes_table, run_live_cell, run_net_workload_cells, run_workload_cells, standard_workloads,
+    LiveCellOutcome, NetScenario, NetWorkloadCell, NetWorkloadOutcome, WorkloadCell,
+    WorkloadOutcome, WorkloadStrategy,
 };
 pub use worstcase::{estimate_worst_case, worst_case_over_colorings};

@@ -16,8 +16,9 @@ use std::sync::Arc;
 
 use quorum_analysis::load_imbalance;
 use quorum_cluster::{
-    run_net_workload, run_workload, ArrivalProcess, Distribution, NetProbe, NetSessionPlan,
-    NetworkModel, PartitionSchedule, ProbePolicy, SessionPlan, SimTime, WorkloadConfig,
+    AgreementReport, ArrivalProcess, Backend, Distribution, LiveOptions, LiveReport, NetProbe,
+    NetSessionPlan, NetworkModel, PartitionSchedule, ProbePolicy, SessionPlan, SimTime, SpecReport,
+    WorkloadConfig, WorkloadSpec,
 };
 use quorum_core::{Color, Coloring};
 use quorum_probe::session::observed_coloring;
@@ -186,23 +187,26 @@ fn run_cell(base_seed: u64, cell_index: u64, cell: &WorkloadCell) -> WorkloadOut
         .rotate_left(17)
         .wrapping_add((cell_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut scratch = Coloring::all_green(n);
-    let report = run_workload(n, &cell.config, engine_seed, |session, ledger, now| {
-        // Publish the ledger's current scores so load-aware strategies see
-        // the backlog this session would join.
-        if let Some(view) = &view {
-            for e in 0..n {
-                view.set(e, ledger.score(e, now));
+    let report = WorkloadSpec::new(n)
+        .config(cell.config)
+        .run_plans(engine_seed, |session, ledger, now| {
+            // Publish the ledger's current scores so load-aware strategies
+            // see the backlog this session would join.
+            if let Some(view) = &view {
+                for e in 0..n {
+                    view.set(e, ledger.score(e, now));
+                }
             }
-        }
-        let mut rng = derive_rng(base_seed, cell_index, session);
-        cell.source.sample_into(n, session, &mut rng, &mut scratch);
-        let run = strategy.run(cell.system.as_ref(), &scratch, &mut rng);
-        SessionPlan {
-            colors: run.sequence.iter().map(|&e| scratch.color(e)).collect(),
-            sequence: run.sequence,
-            success: run.witness.is_green(),
-        }
-    });
+            let mut rng = derive_rng(base_seed, cell_index, session);
+            cell.source.sample_into(n, session, &mut rng, &mut scratch);
+            let run = strategy.run(cell.system.as_ref(), &scratch, &mut rng);
+            SessionPlan {
+                colors: run.sequence.iter().map(|&e| scratch.color(e)).collect(),
+                sequence: run.sequence,
+                success: run.witness.is_green(),
+            }
+        })
+        .report;
 
     let peak_backlog = (0..n)
         .map(|e| report.ledger.peak_backlog(e))
@@ -451,11 +455,17 @@ pub struct NetWorkloadOutcome {
     pub peak_backlog: usize,
 }
 
-/// Executes one network cell. Sequential inside; pure in `(base_seed,
-/// cell_index, cell)`. Uses the same engine seed derivation as the
-/// latency-only [`run_cell`], so a `clean` network cell reproduces its
-/// [`WorkloadCell`] twin bit for bit.
-fn run_net_cell(base_seed: u64, cell_index: u64, cell: &NetWorkloadCell) -> NetWorkloadOutcome {
+/// Executes one network cell on the given backend via [`WorkloadSpec`].
+/// Sequential inside; the sim half is pure in `(base_seed, cell_index,
+/// cell)`. Uses the same engine seed derivation as the latency-only
+/// [`run_cell`], so a `clean` network cell reproduces its [`WorkloadCell`]
+/// twin bit for bit.
+fn run_net_cell_spec(
+    base_seed: u64,
+    cell_index: u64,
+    cell: &NetWorkloadCell,
+    backend: Backend,
+) -> SpecReport {
     let n = cell.system.universe_size();
     let view = match &cell.strategy {
         WorkloadStrategy::Paper(_) => None,
@@ -482,13 +492,12 @@ fn run_net_cell(base_seed: u64, cell_index: u64, cell: &NetWorkloadCell) -> NetW
         .rotate_left(17)
         .wrapping_add((cell_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut scratch = Coloring::all_green(n);
-    let report = run_net_workload(
-        n,
-        &cell.config,
-        &cell.network,
-        &cell.policy,
-        engine_seed,
-        |session, ledger, now, net_rng| {
+    WorkloadSpec::new(n)
+        .config(cell.config)
+        .network(cell.network.clone())
+        .policy(cell.policy)
+        .backend(backend)
+        .run(engine_seed, |session, ledger, now, net_rng| {
             if let Some(view) = &view {
                 for e in 0..n {
                     view.set(e, ledger.score(e, now));
@@ -516,9 +525,15 @@ fn run_net_cell(base_seed: u64, cell_index: u64, cell: &NetWorkloadCell) -> NetW
                     .collect(),
                 success: run.witness.is_green(),
             }
-        },
-    );
+        })
+}
 
+/// Summarises an executed network cell's engine report as the standard row.
+fn net_outcome_from_report(
+    cell: &NetWorkloadCell,
+    report: &quorum_cluster::WorkloadReport,
+) -> NetWorkloadOutcome {
+    let n = cell.system.universe_size();
     let peak_backlog = (0..n)
         .map(|e| report.ledger.peak_backlog(e))
         .max()
@@ -542,6 +557,43 @@ fn run_net_cell(base_seed: u64, cell_index: u64, cell: &NetWorkloadCell) -> NetW
         wasted_fraction: report.wasted_fraction(),
         imbalance: load_imbalance(report.ledger.probes_received()),
         peak_backlog,
+    }
+}
+
+/// Executes one network cell on the sim backend.
+fn run_net_cell(base_seed: u64, cell_index: u64, cell: &NetWorkloadCell) -> NetWorkloadOutcome {
+    let spec = run_net_cell_spec(base_seed, cell_index, cell, Backend::Sim);
+    net_outcome_from_report(cell, &spec.report)
+}
+
+/// The result of executing one network cell on **both** backends: the sim
+/// row, the live runtime's wall-clock report, and the observable-by-
+/// observable cross-validation between the two executions.
+#[derive(Debug)]
+pub struct LiveCellOutcome {
+    /// The simulator's row for the cell (virtual time).
+    pub sim: NetWorkloadOutcome,
+    /// The live runtime's report for the same trace (wall-clock time).
+    pub live: LiveReport,
+    /// The sim-vs-live agreement verdict.
+    pub agreement: AgreementReport,
+}
+
+/// Executes one network cell through [`Backend::Live`]: the simulator runs
+/// first (bit-identical to [`run_net_workload_cells`] for the same seed and
+/// cell index), its trace replays on the real-concurrency runtime, and every
+/// logical observable is cross-validated between the two executions.
+pub fn run_live_cell(
+    base_seed: u64,
+    cell_index: u64,
+    cell: &NetWorkloadCell,
+    options: &LiveOptions,
+) -> LiveCellOutcome {
+    let spec = run_net_cell_spec(base_seed, cell_index, cell, Backend::Live(options.clone()));
+    LiveCellOutcome {
+        sim: net_outcome_from_report(cell, &spec.report),
+        live: spec.live.expect("the live backend always reports"),
+        agreement: spec.agreement.expect("the live backend always validates"),
     }
 }
 

@@ -104,13 +104,7 @@ fn main() -> Result<(), QuorumError> {
         // from a crashed one to the probing clients.
         let trace_at = SimTime::from_millis(round as u64);
         let unreachable = partitions.unreachable_at(n, trace_at);
-        let effective = Coloring::from_fn(n, |e| {
-            if unreachable.contains(&e) {
-                Color::Red
-            } else {
-                coloring.color(e)
-            }
-        });
+        let effective = partitions.observed_coloring(coloring, trace_at);
         mutex.cluster_mut().apply_coloring(&effective);
         let in_partition = !unreachable.is_empty();
         let mut saw_no_quorum = false;

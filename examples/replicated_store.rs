@@ -94,14 +94,9 @@ fn main() -> Result<(), QuorumError> {
         // overlaying the partition trace, since an unreachable replica is
         // indistinguishable from a crashed one — and publish its
         // accumulated probe load so the strategy sees it.
-        let unreachable = partitions.unreachable_at(n, SimTime::from_millis(round as u64));
-        let effective = Coloring::from_fn(n, |e| {
-            if unreachable.contains(&e) {
-                Color::Red
-            } else {
-                coloring.color(e)
-            }
-        });
+        let trace_at = SimTime::from_millis(round as u64);
+        let unreachable = partitions.unreachable_at(n, trace_at);
+        let effective = partitions.observed_coloring(coloring, trace_at);
         let blocked_before = writes_blocked + reads_blocked;
         register.cluster_mut().apply_coloring(&effective);
         for e in 0..n {

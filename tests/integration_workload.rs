@@ -168,19 +168,22 @@ fn raw_engine_composes_with_typed_strategies_and_histograms() {
         probe_timeout: SimTime::from_millis(2),
     };
     let model = FailureModel::iid(0.15);
-    let report = run_workload(n, &config, 99, |session, ledger, now| {
-        for e in 0..n {
-            view.set(e, ledger.score(e, now));
-        }
-        let mut rng = StdRng::seed_from_u64(session);
-        let coloring = model.sample_at(n, session, &mut rng);
-        let run = run_strategy(&tree, &strategy, &coloring, &mut rng);
-        SessionPlan {
-            colors: run.sequence.iter().map(|&e| coloring.color(e)).collect(),
-            sequence: run.sequence,
-            success: run.witness.is_green(),
-        }
-    });
+    let report = WorkloadSpec::new(n)
+        .config(config)
+        .run_plans(99, |session, ledger, now| {
+            for e in 0..n {
+                view.set(e, ledger.score(e, now));
+            }
+            let mut rng = StdRng::seed_from_u64(session);
+            let coloring = model.sample_at(n, session, &mut rng);
+            let run = run_strategy(&tree, &strategy, &coloring, &mut rng);
+            SessionPlan {
+                colors: run.sequence.iter().map(|&e| coloring.color(e)).collect(),
+                sequence: run.sequence,
+                success: run.witness.is_green(),
+            }
+        })
+        .report;
     assert_eq!(report.sessions, 120);
     assert!(report.successes > 0);
     assert_eq!(report.latency.count(), 120);
