@@ -12,7 +12,8 @@
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
 //! `availability`, `zoned`, `churn`, `scenario-matrix`, `workload`,
-//! `network`, `live`, `scale`, `throughput`, `figures`, `all`. Unknown names
+//! `network`, `live`, `chaos`, `scale`, `throughput`, `figures`, `all`.
+//! Unknown names
 //! are rejected before anything runs, with a non-zero exit — CI cannot
 //! silently run nothing.
 //!
@@ -44,6 +45,13 @@
 //! follows the `throughput` convention (stderr + artifact only, as
 //! `live-throughput`).
 //!
+//! `chaos` does the same for process failure: nodes crash (queues dropped,
+//! in-flight requests lost), stall and restart under a supervisor while
+//! naive and health-aware (circuit-breaker) clients run the same traces on
+//! both backends. The agreement table adds degraded/lost counts and per-node
+//! recovery times and goes to stdout; the wall-clock table follows the
+//! `throughput` convention (as `chaos-throughput`).
+//!
 //! Every experiment reports its wall-clock time and the engine's worker
 //! thread count on **stderr**, keeping stdout a pure function of the seed
 //! and trial count (bit-identical for any `REPRO_THREADS`). When the
@@ -58,7 +66,7 @@ use std::io::BufWriter;
 use std::time::{Duration, Instant};
 
 use bench::{
-    availability_table, check_regression, churn, crumbling_walls, figures, hqs_exponent,
+    availability_table, chaos, check_regression, churn, crumbling_walls, figures, hqs_exponent,
     hqs_randomized, lemmas_table, live, lower_bounds, maj3, network, parse_artifact,
     peak_rss_bytes, randomized, scale, scenario_matrix, table1, throughput, tree_exponent,
     workload, zoned, ArtifactStream, ReproConfig,
@@ -85,6 +93,7 @@ const EXPERIMENTS: &[&str] = &[
     "workload",
     "network",
     "live",
+    "chaos",
     "scale",
     "figures",
     "throughput",
@@ -326,6 +335,27 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
             artifact.record("live", wall, &agree_table);
             artifact.record("live-throughput", wall, &rate_table);
         }
+        "chaos" => {
+            let started = Instant::now();
+            println!("== Chaos: node crash/stall/restart under supervision, naive vs health-aware clients ==\n");
+            let (agree_table, rate_table) = chaos(config);
+            // Same split as `live`: the agreement table (sim observables,
+            // agree flag, crash-loss ledger, recovery times) is
+            // deterministic → stdout; sessions/second is wall-clock data →
+            // stderr and the artifact only.
+            println!("{agree_table}");
+            let wall = started.elapsed();
+            eprintln!("{rate_table}");
+            eprintln!(
+                "[chaos: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]",
+                wall,
+                config.engine().thread_count(),
+                config.trials,
+                config.seed,
+            );
+            artifact.record("chaos", wall, &agree_table);
+            artifact.record("chaos-throughput", wall, &rate_table);
+        }
         "throughput" => {
             let started = Instant::now();
             eprintln!("== Throughput: trials/second on the hot paths ==\n");
@@ -386,6 +416,7 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
                 "workload",
                 "network",
                 "live",
+                "chaos",
                 "scale",
                 "figures",
             ] {

@@ -1181,6 +1181,7 @@ pub fn network(config: &ReproConfig) -> Table {
                     net: scenario.name.to_string(),
                     network: scenario.network.clone(),
                     policy,
+                    health: None,
                 });
             }
         }
@@ -1259,6 +1260,7 @@ pub fn live(config: &ReproConfig) -> (Table, Table) {
                 net: scenario.name.to_string(),
                 network: scenario.network.clone(),
                 policy: scenario.policy,
+                health: None,
             };
             let outcome = run_live_cell(seed, index, &cell, &options);
             index += 1;
@@ -1304,6 +1306,181 @@ pub fn live(config: &ReproConfig) -> (Table, Table) {
                     live.wall_latency_quantile(0.99).as_secs_f64() * 1_000.0
                 ),
             ]);
+        }
+    }
+    (agreement, rates)
+}
+
+/// The **chaos** experiment: the process-failure battery replayed on the
+/// real-concurrency cluster runtime. Three system families × the four-chaos
+/// battery (crash-minority, rolling-restart, stall-flap, crash+partition
+/// compound), each run twice — once with the **naive** client (no health
+/// tracking) and once **health-aware** (the per-node EWMA circuit breaker of
+/// `quorum_probe::health` sheds probes to open nodes and degrades typed
+/// instead of timing out) — so each row pair shows what the breaker buys
+/// while nodes crash, restart under supervision and stall.
+///
+/// Returns two tables:
+///
+/// * the **agreement table** (`system, n, strategy, scenario, policy,
+///   sessions, agree, ok_rate, probes, wasted, degraded, lost, recovered,
+///   recov_max_us`) — all observables are the simulator's (pure functions of
+///   the seed); `agree` is `1` exactly when the live replay reproduced every
+///   logical observable **and** drained its node queues cleanly
+///   (`delivered == served + lost_to_crash`); `lost` counts requests
+///   delivered into crashed nodes and dropped unserved (identical in both
+///   backends); `recovered`/`recov_max_us` summarise
+///   [`chaos_recovery_micros`] — how many disrupted nodes the trace saw
+///   green again after their last disruption, and the slowest such recovery
+///   in virtual microseconds. Goes to stdout and is enforced by the CI
+///   regression gate (an agreement flip is a 100 % drop);
+/// * the **throughput table** (`system, n, scenario, policy, sessions,
+///   wall_ms, sessions_per_s, p50_ms, p99_ms`) — wall-clock data from the
+///   live run, printed to stderr and recorded as the informational
+///   `chaos-throughput` artifact entry.
+pub fn chaos(config: &ReproConfig) -> (Table, Table) {
+    // Every admitted session is a real OS thread; same bound as `live`.
+    let sessions = config.trials.clamp(1, 200);
+    let options = LiveOptions::default().time_scale(0.005);
+
+    let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
+        (
+            erase_system(Majority::new(15).unwrap()),
+            typed_strategy::<Majority, _>(ProbeMaj::new()),
+        ),
+        (
+            erase_system(CrumblingWalls::triang(5).unwrap()),
+            typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
+        ),
+        (
+            erase_system(TreeQuorum::new(3).unwrap()),
+            typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
+        ),
+    ];
+    let workload_config = open_poisson_workload(sessions, SimTime::from_micros(250));
+
+    let mut agreement = Table::new([
+        "system",
+        "n",
+        "strategy",
+        "scenario",
+        "policy",
+        "sessions",
+        "agree",
+        "ok_rate",
+        "probes",
+        "wasted",
+        "degraded",
+        "lost",
+        "recovered",
+        "recov_max_us",
+    ]);
+    let mut rates = Table::new([
+        "system",
+        "n",
+        "scenario",
+        "policy",
+        "sessions",
+        "wall_ms",
+        "sessions_per_s",
+        "p50_ms",
+        "p99_ms",
+    ]);
+    let seed = config.section_seed("chaos");
+    let mut index = 0u64;
+    for (system, paper) in &systems {
+        let n = system.universe_size();
+        for scenario in chaos_scenarios(n, &workload_config) {
+            for health in [None, Some(HealthConfig::default())] {
+                let mut cell = NetWorkloadCell {
+                    system: system.clone(),
+                    strategy: WorkloadStrategy::Paper(Arc::clone(paper)),
+                    source: ColoringSource::iid(0.05),
+                    workload: "open-poisson".into(),
+                    config: workload_config,
+                    net: scenario.name.to_string(),
+                    network: scenario.network.clone(),
+                    policy: scenario.policy,
+                    health: None,
+                };
+                if let Some(breaker) = health {
+                    cell = cell.with_health(breaker);
+                }
+                let outcome = run_live_cell(seed, index, &cell, &options);
+                index += 1;
+                if !outcome.agreement.agree {
+                    // Stdout must stay a pure function of the seed; the
+                    // details of a divergence go to stderr.
+                    eprintln!(
+                        "[chaos: {} × {} diverged:\n{}]",
+                        outcome.sim.system,
+                        scenario.name,
+                        outcome.agreement.mismatches.join("\n")
+                    );
+                }
+                let drained = outcome.live.drained_clean();
+                if !drained {
+                    eprintln!(
+                        "[chaos: {} × {} leaked requests: delivered {} != served {} + lost {}]",
+                        outcome.sim.system,
+                        scenario.name,
+                        outcome.live.requests_delivered,
+                        outcome.live.requests_served,
+                        outcome.live.requests_lost_to_crash
+                    );
+                }
+                let sim = &outcome.sim;
+                // Naive and health-aware rows share the scenario's policy;
+                // the suffix keeps the regression-gate key (system, n,
+                // strategy, scenario, policy) unique per row.
+                let policy_label = if health.is_some() {
+                    format!("{}+health", sim.policy)
+                } else {
+                    sim.policy.clone()
+                };
+                let recovery = chaos_recovery_micros(&outcome.trace, &cell.network.chaos);
+                let recovered = recovery.iter().filter(|(_, at)| at.is_some()).count();
+                let recov_max = recovery.iter().filter_map(|(_, at)| *at).max();
+                agreement.add_row(vec![
+                    sim.system.clone(),
+                    n.to_string(),
+                    sim.strategy.clone(),
+                    sim.net.clone(),
+                    policy_label.clone(),
+                    sim.sessions.to_string(),
+                    if outcome.agreement.agree && drained {
+                        "1"
+                    } else {
+                        "0"
+                    }
+                    .into(),
+                    format!("{:.3}", sim.success_rate),
+                    format!("{:.2}", sim.probes_per_session),
+                    format!("{:.3}", sim.wasted_fraction),
+                    sim.degraded.to_string(),
+                    sim.lost_to_crash.to_string(),
+                    format!("{recovered}/{}", recovery.len()),
+                    recov_max.map_or_else(|| "-".into(), |us| us.to_string()),
+                ]);
+                let live = &outcome.live;
+                rates.add_row(vec![
+                    sim.system.clone(),
+                    n.to_string(),
+                    sim.net.clone(),
+                    policy_label,
+                    live.admitted.to_string(),
+                    format!("{:.1}", live.wall.as_secs_f64() * 1_000.0),
+                    format!("{:.0}", live.sessions_per_sec()),
+                    format!(
+                        "{:.3}",
+                        live.wall_latency_quantile(0.50).as_secs_f64() * 1_000.0
+                    ),
+                    format!(
+                        "{:.3}",
+                        live.wall_latency_quantile(0.99).as_secs_f64() * 1_000.0
+                    ),
+                ]);
+            }
         }
     }
     (agreement, rates)
@@ -1676,6 +1853,52 @@ mod tests {
         // Estimates are seeded: a repeat run reproduces the table verbatim.
         let (again, _) = scale_over(&tiny(), &systems);
         assert_eq!(avail.render(), again.render());
+    }
+
+    #[test]
+    fn chaos_rows_agree_and_reproduce_verbatim() {
+        // Small trace: each of the 24 cells replays on the real-thread
+        // runtime, so keep the per-cell session count low.
+        let config = ReproConfig {
+            trials: 48,
+            seed: 11,
+            threads: 0,
+        };
+        let (agreement, rates) = chaos(&config);
+        assert_eq!(
+            agreement.row_count(),
+            24,
+            "3 families × 4 scenarios × {{naive, health-aware}}"
+        );
+        assert_eq!(rates.row_count(), 24);
+        let text = agreement.render();
+        for scenario in [
+            "crash-minority",
+            "rolling-restart",
+            "stall-flap",
+            "crash-part",
+        ] {
+            assert!(text.contains(scenario), "missing {scenario} rows");
+        }
+        assert!(text.contains("+health"), "health-aware rows carry a suffix");
+        for row in agreement.rows() {
+            // Column 6 is the agree flag: the live replay reproduced every
+            // observable and drained its queues (delivered == served + lost).
+            assert_eq!(row[6], "1", "divergent chaos row: {row:?}");
+            // Crash scenarios must lose requests and report a recovery time;
+            // their rows are what the CI artifact check keys on.
+            if row[3] == "crash-minority" {
+                assert!(
+                    row[11].parse::<u64>().unwrap() > 0,
+                    "no lost requests: {row:?}"
+                );
+                assert_ne!(row[13], "-", "no recovery time: {row:?}");
+            }
+        }
+        // The agreement table is a pure function of the seed: a repeat run
+        // (same config, fresh live threads) reproduces it verbatim.
+        let (again, _) = chaos(&config);
+        assert_eq!(agreement.render(), again.render());
     }
 
     #[test]

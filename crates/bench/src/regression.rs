@@ -5,11 +5,12 @@
 //! The gate enforces the **deterministic** metrics — the virtual-time
 //! sessions/second of the `workload` and `network` experiments, the
 //! million-element `scale` availabilities, and the sim-vs-live `agree` flag
-//! of the `live` experiment — all pure functions of the seed and trial
-//! count, so any drop is a genuine behavioural change, never runner noise.
-//! The wall-clock experiments (`throughput`, `scale-throughput`,
-//! `live-throughput`) are reported in the same table for context but never
-//! fail the gate: CI runners are too noisy for hard wall-clock thresholds.
+//! of the `live` and `chaos` experiments — all pure functions of the seed
+//! and trial count, so any drop is a genuine behavioural change, never
+//! runner noise. The wall-clock experiments (`throughput`,
+//! `scale-throughput`, `live-throughput`, `chaos-throughput`) are reported
+//! in the same table for context but never fail the gate: CI runners are
+//! too noisy for hard wall-clock thresholds.
 //!
 //! The workspace is offline (no serde), so a ~100-line recursive-descent
 //! JSON parser for the artifact's own schema lives here.
@@ -388,7 +389,22 @@ const GATES: &[Gate] = &[
         enforced: true,
     },
     Gate {
+        // Same flip-to-zero contract for the chaos battery: the live
+        // runtime must reproduce the simulator's observables (including the
+        // crash-loss ledger) and drain its queues on every scenario.
+        experiment: "chaos",
+        metric: "agree",
+        keys: &["system", "n", "strategy", "scenario", "policy"],
+        enforced: true,
+    },
+    Gate {
         experiment: "live-throughput",
+        metric: "sessions_per_s",
+        keys: &["system", "n", "scenario", "policy"],
+        enforced: false,
+    },
+    Gate {
+        experiment: "chaos-throughput",
         metric: "sessions_per_s",
         keys: &["system", "n", "scenario", "policy"],
         enforced: false,
@@ -612,11 +628,11 @@ mod tests {
     use std::time::Duration;
 
     /// A minimal but gate-complete artifact: `workload` rows as given,
-    /// constant `network`, `scale` and `live` rows (every enforced gate
-    /// needs rows on both sides), and optional wall-clock `throughput` /
-    /// `scale-throughput` / `live-throughput` rows.
+    /// constant `network`, `scale`, `live` and `chaos` rows (every enforced
+    /// gate needs rows on both sides), and optional wall-clock `throughput`
+    /// / `scale-throughput` / `live-throughput` / `chaos-throughput` rows.
     fn artifact_parts(thr: &[(&str, f64)], wall_rate: Option<f64>) -> String {
-        artifact_parts_full(thr, wall_rate, 0.875, "1")
+        artifact_parts_full(thr, wall_rate, 0.875, "1", "1")
     }
 
     fn artifact_parts_with_scale(
@@ -624,7 +640,7 @@ mod tests {
         wall_rate: Option<f64>,
         scale_avail: f64,
     ) -> String {
-        artifact_parts_full(thr, wall_rate, scale_avail, "1")
+        artifact_parts_full(thr, wall_rate, scale_avail, "1", "1")
     }
 
     fn artifact_parts_full(
@@ -632,6 +648,7 @@ mod tests {
         wall_rate: Option<f64>,
         scale_avail: f64,
         live_agree: &str,
+        chaos_agree: &str,
     ) -> String {
         let mut table = Table::new([
             "system",
@@ -704,11 +721,44 @@ mod tests {
             "16.50".into(),
             "0.020".into(),
         ]);
+        let mut chaos = Table::new([
+            "system",
+            "n",
+            "strategy",
+            "scenario",
+            "policy",
+            "sessions",
+            "agree",
+            "ok_rate",
+            "probes",
+            "wasted",
+            "degraded",
+            "lost",
+            "recovered",
+            "recov_max_us",
+        ]);
+        chaos.add_row(vec![
+            "Maj".into(),
+            "15".into(),
+            "Probe_Maj".into(),
+            "crash-minority".into(),
+            "r2/b300us+health".into(),
+            "60".into(),
+            chaos_agree.into(),
+            "0.900".into(),
+            "7.50".into(),
+            "0.030".into(),
+            "4".into(),
+            "11".into(),
+            "5/5".into(),
+            "1840".into(),
+        ]);
         let mut artifact = BenchArtifact::new();
         artifact.record("workload", Duration::from_millis(5), table);
         artifact.record("network", Duration::from_millis(5), net);
         artifact.record("scale", Duration::from_millis(5), scale);
         artifact.record("live", Duration::from_millis(5), live);
+        artifact.record("chaos", Duration::from_millis(5), chaos);
         if let Some(rate) = wall_rate {
             let mut wall = Table::new(["family", "n", "path", "trials_per_sec"]);
             wall.add_row(vec![
@@ -760,6 +810,29 @@ mod tests {
                 "0.400".into(),
             ]);
             artifact.record("live-throughput", Duration::ZERO, live_rates);
+            let mut chaos_rates = Table::new([
+                "system",
+                "n",
+                "scenario",
+                "policy",
+                "sessions",
+                "wall_ms",
+                "sessions_per_s",
+                "p50_ms",
+                "p99_ms",
+            ]);
+            chaos_rates.add_row(vec![
+                "Maj".into(),
+                "15".into(),
+                "crash-minority".into(),
+                "r2/b300us+health".into(),
+                "60".into(),
+                "4.0".into(),
+                format!("{:.0}", rate * 100.0),
+                "0.050".into(),
+                "0.400".into(),
+            ]);
+            artifact.record("chaos-throughput", Duration::ZERO, chaos_rates);
         }
         artifact.to_json("testsha", 2001, 500, 1)
     }
@@ -887,10 +960,22 @@ mod tests {
         // `agree` is printed "1"/"0": a flip to "0" is a 100 % drop on an
         // enforced metric, so a live runtime that stops reproducing the
         // simulator's observables cannot pass CI.
-        let baseline =
-            parse_artifact(&artifact_parts_full(&[("Maj", 1000.0)], None, 0.875, "1")).unwrap();
-        let diverged =
-            parse_artifact(&artifact_parts_full(&[("Maj", 1000.0)], None, 0.875, "0")).unwrap();
+        let baseline = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "1",
+            "1",
+        ))
+        .unwrap();
+        let diverged = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "0",
+            "1",
+        ))
+        .unwrap();
         let report = check_regression(&diverged, &baseline, 0.25);
         assert!(!report.passed());
         assert!(
@@ -902,6 +987,47 @@ mod tests {
         // Agreement holding on both sides passes.
         let report = check_regression(&baseline, &baseline, 0.25);
         assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn a_chaos_agreement_flip_fails_the_gate() {
+        // The chaos battery's agree flag carries the crash-loss ledger and
+        // queue-drain invariant too: a live runtime that leaks requests or
+        // diverges under crash/stall/restart cannot pass CI.
+        let baseline = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "1",
+            "1",
+        ))
+        .unwrap();
+        let diverged = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "1",
+            "0",
+        ))
+        .unwrap();
+        let report = check_regression(&diverged, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("chaos:")),
+            "{:?}",
+            report.failures
+        );
+        assert!(report.markdown.contains("| chaos |"));
+        // A baseline regenerated without the chaos experiment must fail
+        // loudly rather than silently disabling the gate.
+        let mut without = baseline.clone();
+        without.experiments.retain(|e| e.name != "chaos");
+        let report = check_regression(&baseline, &without, 0.25);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("'chaos' is missing from the baseline")));
     }
 
     #[test]

@@ -63,11 +63,12 @@ pub mod prelude {
         LogHistogram, PowerLawFit, RunningStats,
     };
     pub use quorum_cluster::{
-        cross_validate, plan_observables, AgreementReport, ArrivalProcess, Backend, Cluster,
-        Distribution, LinkDirection, LiveOptions, LiveReport, LoadLedger, NetProbe, NetSessionPlan,
-        NetworkConfig, NetworkModel, PartitionKind, PartitionSchedule, PartitionWindow, PlanCost,
-        ProbePolicy, SessionPlan, SessionTrace, SimTime, SpecReport, WorkloadConfig,
-        WorkloadReport, WorkloadSpec,
+        cross_validate, plan_observables, AgreementReport, ArrivalProcess, Backend, ChaosKind,
+        ChaosSchedule, ChaosState, ChaosWindow, Cluster, Distribution, LinkDirection, LiveOptions,
+        LiveReport, LoadLedger, NetProbe, NetSessionPlan, NetworkConfig, NetworkModel,
+        PartitionKind, PartitionSchedule, PartitionWindow, PlanCost, ProbePolicy, SessionPlan,
+        SessionTrace, SimTime, SpecReport, SupervisorPolicy, WorkloadConfig, WorkloadReport,
+        WorkloadSpec,
     };
     #[allow(deprecated)]
     pub use quorum_cluster::{run_net_workload, run_workload};
@@ -76,8 +77,8 @@ pub mod prelude {
         WitnessKind,
     };
     pub use quorum_probe::{
-        exact, run_strategy, strategies::*, yao, DecisionTree, InputDistribution, ProbeOracle,
-        ProbeRun, ProbeStrategy,
+        exact, run_strategy, strategies::*, yao, BreakerState, DecisionTree, GatedOutcome,
+        HealthConfig, HealthView, InputDistribution, ProbeOracle, ProbeRun, ProbeStrategy,
     };
     pub use quorum_protocols::{
         MutexError, QuorumMutex, ReadResult, RegisterError, ReplicatedRegister,
@@ -88,13 +89,13 @@ pub mod prelude {
         ScenarioRegistry, StrategyRegistry, SystemRegistry, TrialRng,
     };
     pub use quorum_sim::{
-        batched_availability, batched_failure_probability, closed_loop_workload,
-        estimate_expected_probes, estimate_worst_case, exhaustive_expected_probes,
-        net_outcomes_table, network_scenarios, open_poisson_workload, outcomes_table,
-        run_live_cell, run_net_workload_cells, run_workload_cells, standard_workloads, sweep,
-        worst_case_over_colorings, ChurnTrajectory, Estimate, FailureModel, LiveCellOutcome,
-        NetScenario, NetWorkloadCell, NetWorkloadOutcome, Table, WorkloadCell, WorkloadOutcome,
-        WorkloadStrategy,
+        batched_availability, batched_failure_probability, chaos_recovery_micros, chaos_scenarios,
+        closed_loop_workload, estimate_expected_probes, estimate_worst_case,
+        exhaustive_expected_probes, net_outcomes_table, network_scenarios, open_poisson_workload,
+        outcomes_table, run_live_cell, run_net_workload_cells, run_workload_cells,
+        standard_workloads, sweep, worst_case_over_colorings, ChurnTrajectory, Estimate,
+        FailureModel, LiveCellOutcome, NetScenario, NetWorkloadCell, NetWorkloadOutcome, Table,
+        WorkloadCell, WorkloadOutcome, WorkloadStrategy,
     };
     pub use quorum_systems::{catalogue, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
 }

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod live;
 pub mod network;
@@ -55,8 +56,9 @@ pub mod spec;
 pub mod time;
 pub mod workload;
 
+pub use chaos::{ChaosKind, ChaosSchedule, ChaosState, ChaosWindow};
 pub use cluster::{Cluster, QuorumAcquisition};
-pub use live::{LiveOptions, LiveReport, LiveSessionOutcome};
+pub use live::{LiveOptions, LiveReport, LiveSessionOutcome, SupervisorPolicy};
 pub use network::{
     LinkDirection, NetworkConfig, NetworkModel, PartitionKind, PartitionSchedule, PartitionWindow,
     ProbePolicy,

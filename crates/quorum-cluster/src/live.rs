@@ -24,17 +24,34 @@
 //! charges. Shutdown is graceful: closing the request channels lets every
 //! node drain its queue before exiting, and [`LiveReport::drained_clean`]
 //! certifies that nothing in flight was lost.
+//!
+//! Chaos: when [`LiveOptions::chaos`] carries a [`ChaosSchedule`], node
+//! worker threads genuinely die inside crash windows — a crash-fated request
+//! is dropped unserved (counted in [`LiveReport::requests_lost_to_crash`])
+//! and the worker exits, abandoning whatever else is queued. A per-node
+//! *supervisor* thread restarts the worker after the window plus a
+//! [`SupervisorPolicy::restart_delay`], preferring a partition-quiescent
+//! instant (see [`PartitionSchedule::is_quiescent_at`]) within a bounded
+//! patience, with a capped restart budget: past the cap the node is pinned
+//! up and merely sheds the remaining scripted crash work. The restarted
+//! generation inherits the node's bounded queue, so shutdown still drains
+//! everything and the accounting invariant
+//! `requests_delivered == requests_served + requests_lost_to_crash` holds on
+//! every run. Stalled nodes sleep through their window before serving (late
+//! answers the client has given up on); slow nodes serve with inflated
+//! service time.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
-use std::sync::Arc;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use quorum_core::Color;
 use quorum_probe::session::AttemptLoss;
 
-use crate::network::ProbePolicy;
+use crate::chaos::{ChaosSchedule, ChaosState};
+use crate::network::{PartitionSchedule, ProbePolicy};
 use crate::spec::{attempt_is_wasted, SessionTrace};
 use crate::workload::{NetProbe, WorkloadConfig};
 use crate::{NodeId, SimTime};
@@ -43,6 +60,35 @@ use crate::{NodeId, SimTime};
 /// before giving up and letting the cross-validation flag the divergence
 /// (rather than hanging the run).
 const ANSWER_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How much longer a slow node takes to serve a request.
+const SLOW_SERVICE_FACTOR: u32 = 4;
+
+/// How the per-node supervisor restarts crashed workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Virtual delay between detecting a crash (the worker exiting) and the
+    /// earliest restart, on top of the crash window itself.
+    pub restart_delay: SimTime,
+    /// Restarts allowed per node. Once exhausted the node is pinned up: its
+    /// final generation keeps serving (so shutdown still drains) and merely
+    /// drops the remaining scripted crash work.
+    pub max_restarts: u32,
+    /// How far past the due instant the supervisor will wait for the
+    /// partition schedule to go quiescent before restarting anyway —
+    /// restarting into an open partition just looks like another crash.
+    pub partition_patience: SimTime,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            restart_delay: SimTime::from_micros(500),
+            max_restarts: 8,
+            partition_patience: SimTime::from_millis(5),
+        }
+    }
+}
 
 /// Tuning of the live runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +105,15 @@ pub struct LiveOptions {
     /// Capacity of each node's bounded request queue; a full queue blocks
     /// the probing client (backpressure).
     pub queue_capacity: usize,
+    /// The chaos schedule node workers live under.
+    /// [`WorkloadSpec`](crate::WorkloadSpec) fills this from its network
+    /// model; empty means no process faults.
+    pub chaos: ChaosSchedule,
+    /// How crashed workers are restarted.
+    pub supervisor: SupervisorPolicy,
+    /// The partition schedule the supervisor consults to sequence restarts
+    /// (also filled in by `WorkloadSpec`).
+    pub quiesce: PartitionSchedule,
 }
 
 impl Default for LiveOptions {
@@ -67,6 +122,9 @@ impl Default for LiveOptions {
             time_scale: 0.02,
             admission_limit: 0,
             queue_capacity: 128,
+            chaos: ChaosSchedule::none(),
+            supervisor: SupervisorPolicy::default(),
+            quiesce: PartitionSchedule::none(),
         }
     }
 }
@@ -95,6 +153,24 @@ impl LiveOptions {
     /// Sets the per-node queue capacity.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the chaos schedule.
+    pub fn chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Sets the supervisor policy.
+    pub fn supervisor(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervisor = policy;
+        self
+    }
+
+    /// Sets the partition schedule the supervisor sequences restarts around.
+    pub fn quiesce(mut self, partitions: PartitionSchedule) -> Self {
+        self.quiesce = partitions;
         self
     }
 }
@@ -155,9 +231,17 @@ pub struct LiveReport {
     pub cancelled: u64,
     /// Requests actually enqueued at node threads.
     pub requests_delivered: u64,
-    /// Requests node threads served before exiting — equal to
-    /// `requests_delivered` iff shutdown drained every queue.
+    /// Requests node threads served before exiting.
     pub requests_served: u64,
+    /// Requests dropped unserved by crashed (or crash-fated) workers. Every
+    /// delivered request is either served or lost to a crash — see
+    /// [`LiveReport::drained_clean`].
+    pub requests_lost_to_crash: u64,
+    /// Worker generations started beyond the first, across all nodes (the
+    /// supervisors' restart count).
+    pub node_restarts: u64,
+    /// Worker deaths observed by supervisors, across all nodes.
+    pub node_crashes: u64,
     /// The highest concurrent-session count the driver observed.
     pub peak_in_flight: usize,
     /// Wall-clock duration from the first arrival to the last session
@@ -168,10 +252,11 @@ pub struct LiveReport {
 }
 
 impl LiveReport {
-    /// Whether graceful shutdown drained every node queue: every request
-    /// enqueued at a node was served before the node exited.
+    /// Whether graceful shutdown accounted for every node queue: every
+    /// request enqueued at a node was either served or deliberately dropped
+    /// by a crash before the node exited — nothing silently vanished.
     pub fn drained_clean(&self) -> bool {
-        self.requests_delivered == self.requests_served
+        self.requests_delivered == self.requests_served + self.requests_lost_to_crash
     }
 
     /// Admitted sessions completed per wall-clock second.
@@ -215,6 +300,10 @@ struct NodeRequest {
     session: usize,
     service: Duration,
     reply: Reply,
+    /// The trace scripted this request to be swallowed by a crash: the
+    /// worker drops it unserved (and dies if its node is inside a crash
+    /// window when it processes it).
+    doomed: bool,
 }
 
 /// Client-side shared state: the node channels and the run-wide counters.
@@ -230,11 +319,12 @@ struct Ctx {
 impl Ctx {
     /// Enqueues one request at `node` (blocking on a full queue —
     /// backpressure) and counts the delivery.
-    fn deliver(&self, session: usize, node: NodeId, reply: Reply) {
+    fn deliver(&self, session: usize, node: NodeId, reply: Reply, doomed: bool) {
         let request = NodeRequest {
             session,
             service: self.service,
             reply,
+            doomed,
         };
         if self.node_tx[node].send(request).is_ok() {
             self.delivered.fetch_add(1, Ordering::Relaxed);
@@ -276,14 +366,16 @@ fn execute_probe(ctx: &Ctx, session: usize, probe: &NetProbe) -> LiveProbe {
             AttemptLoss::Request => {}
             // The response leg drops: the node receives, serves and answers
             // into the void.
-            AttemptLoss::Response => ctx.deliver(session, probe.node, Reply::Lost),
+            AttemptLoss::Response => ctx.deliver(session, probe.node, Reply::Lost, false),
+            // The node's crash swallows the delivered request unserved.
+            AttemptLoss::Crash => ctx.deliver(session, probe.node, Reply::Lost, true),
         }
         // `reply_tx` stays alive in this scope, so the wait below is a real
         // timed-out receive, not an instant disconnect.
         let waited = reply_rx.recv_timeout(ctx.timeout);
         debug_assert!(waited.is_err(), "a scripted-lost attempt cannot answer");
         drop(reply_tx);
-        let backoff = ctx.policy.backoff.saturating_mul(1u64 << attempt.min(16));
+        let backoff = ctx.policy.backoff_before(attempt as u32);
         if backoff > SimTime::ZERO {
             thread::sleep(scaled(backoff, ctx.scale));
         }
@@ -291,7 +383,7 @@ fn execute_probe(ctx: &Ctx, session: usize, probe: &NetProbe) -> LiveProbe {
     if probe.observed == Color::Green {
         out.attempts += 1;
         let (reply_tx, reply_rx) = mpsc::sync_channel::<()>(1);
-        ctx.deliver(session, probe.node, Reply::To(reply_tx));
+        ctx.deliver(session, probe.node, Reply::To(reply_tx), false);
         // Green is recorded only if the answer actually arrives; a deadline
         // miss leaves the probe red and the cross-validation flags it.
         if reply_rx.recv_timeout(ANSWER_DEADLINE).is_ok() {
@@ -299,6 +391,147 @@ fn execute_probe(ctx: &Ctx, session: usize, probe: &NetProbe) -> LiveProbe {
         }
     }
     out
+}
+
+/// Everything one node's worker generations share: the (single-consumer)
+/// request queue, the response tally, and the clock that maps wall time back
+/// to the virtual chaos timeline.
+struct NodeHarness {
+    node: NodeId,
+    rx: Mutex<Receiver<NodeRequest>>,
+    responses: Arc<Vec<AtomicU64>>,
+    chaos: ChaosSchedule,
+    scale: f64,
+    start: Instant,
+}
+
+impl NodeHarness {
+    /// The current instant on the virtual timeline the chaos schedule is
+    /// written against (wall elapsed divided by the time scale).
+    fn virtual_now(&self) -> SimTime {
+        if self.scale <= 0.0 {
+            // Degenerate zero scale: everything is instantaneous, so every
+            // window is long past.
+            return SimTime::from_micros(u64::MAX / 2);
+        }
+        SimTime::from_micros((self.start.elapsed().as_secs_f64() / self.scale * 1e6) as u64)
+    }
+
+    /// Sleeps until virtual instant `until` (no-op if already past).
+    fn sleep_until(&self, until: SimTime) {
+        let target = scaled(until, self.scale);
+        let elapsed = self.start.elapsed();
+        if target > elapsed {
+            thread::sleep(target - elapsed);
+        }
+    }
+}
+
+/// Why a worker generation ended.
+enum WorkerExit {
+    /// The request channel closed and the queue is drained: shutdown.
+    Drained,
+    /// The worker died inside a crash window; the supervisor decides when
+    /// the next generation starts.
+    Crashed,
+}
+
+/// One worker generation: serves the node's queue until shutdown or death.
+///
+/// A crash-fated (`doomed`) request is dropped unserved and — unless this
+/// generation is `immortal` (restart budget exhausted) — kills the worker if
+/// its node is inside a crash window right now; stale doomed requests
+/// drained after a restart are dropped without dying, so the lost count
+/// stays exactly the scripted one. Stalled generations sleep out the window
+/// before serving (the client has long given up); slow ones serve with
+/// inflated service time.
+fn run_worker(h: &NodeHarness, immortal: bool) -> (WorkerExit, u64, u64) {
+    let mut served = 0u64;
+    let mut lost = 0u64;
+    let rx = h.rx.lock().expect("one worker generation at a time");
+    while let Ok(request) = rx.recv() {
+        if request.doomed {
+            lost += 1;
+            if !immortal && h.chaos.crashed_at(h.node, h.virtual_now()) {
+                return (WorkerExit::Crashed, served, lost);
+            }
+            continue;
+        }
+        let mut service = request.service;
+        match h.chaos.state_at(h.node, h.virtual_now()) {
+            ChaosState::Stalled => {
+                if let Some(end) = h.chaos.disruption_end_at(h.node, h.virtual_now()) {
+                    h.sleep_until(end);
+                }
+            }
+            ChaosState::Slow => service *= SLOW_SERVICE_FACTOR,
+            ChaosState::Up | ChaosState::Crashed => {}
+        }
+        if !service.is_zero() {
+            thread::sleep(service);
+        }
+        // The node always answers a request it served; whether the answer
+        // reaches anyone is the network's (scripted) call.
+        h.responses[request.session].fetch_add(1, Ordering::Relaxed);
+        served += 1;
+        if let Reply::To(tx) = request.reply {
+            let _ = tx.send(());
+        }
+    }
+    (WorkerExit::Drained, served, lost)
+}
+
+/// What one node's supervisor reports after shutdown.
+struct NodeOutcome {
+    served: u64,
+    lost_to_crash: u64,
+    restarts: u64,
+    crashes: u64,
+}
+
+/// The per-node supervisor: spawns worker generations, observes their
+/// deaths, and restarts them — after the crash window plus the restart
+/// delay, preferring a partition-quiescent instant within the policy's
+/// patience. Past the restart budget the final generation is immortal, so
+/// shutdown always drains the queue and the accounting invariant holds
+/// unconditionally.
+fn supervise(
+    harness: Arc<NodeHarness>,
+    policy: SupervisorPolicy,
+    quiesce: PartitionSchedule,
+) -> NodeOutcome {
+    let mut outcome = NodeOutcome {
+        served: 0,
+        lost_to_crash: 0,
+        restarts: 0,
+        crashes: 0,
+    };
+    loop {
+        let immortal = outcome.crashes >= u64::from(policy.max_restarts);
+        let generation = Arc::clone(&harness);
+        let worker = thread::spawn(move || run_worker(&generation, immortal));
+        let (exit, served, lost) = worker.join().expect("node worker completes");
+        outcome.served += served;
+        outcome.lost_to_crash += lost;
+        match exit {
+            WorkerExit::Drained => return outcome,
+            WorkerExit::Crashed => {
+                outcome.crashes += 1;
+                let now = harness.virtual_now();
+                let mut due = now + policy.restart_delay;
+                if let Some(end) = harness.chaos.disruption_end_at(harness.node, now) {
+                    due = due.max(end);
+                }
+                if let Some(quiet) = quiesce.next_quiescent_at_or_after(due) {
+                    if quiet <= due + policy.partition_patience {
+                        due = quiet;
+                    }
+                }
+                harness.sleep_until(due);
+                outcome.restarts += 1;
+            }
+        }
+    }
 }
 
 /// Runs one admitted session: sequential probe execution, or a two-in-flight
@@ -443,27 +676,24 @@ pub fn run_live(
         Arc::new((0..offered).map(|_| AtomicU64::new(0)).collect());
     let capacity = options.queue_capacity.max(1);
     let mut node_tx = Vec::with_capacity(nodes);
-    let mut node_handles = Vec::with_capacity(nodes);
-    for _ in 0..nodes {
+    let mut supervisors = Vec::with_capacity(nodes);
+    // The virtual timeline's origin: arrivals, chaos windows and partition
+    // windows are all measured from here.
+    let start = Instant::now();
+    for node in 0..nodes {
         let (tx, rx) = mpsc::sync_channel::<NodeRequest>(capacity);
         node_tx.push(tx);
-        let responses = Arc::clone(&responses);
-        node_handles.push(thread::spawn(move || {
-            let mut served = 0u64;
-            while let Ok(request) = rx.recv() {
-                if !request.service.is_zero() {
-                    thread::sleep(request.service);
-                }
-                // The node always answers a request it served; whether the
-                // answer reaches anyone is the network's (scripted) call.
-                responses[request.session].fetch_add(1, Ordering::Relaxed);
-                served += 1;
-                if let Reply::To(tx) = request.reply {
-                    let _ = tx.send(());
-                }
-            }
-            served
-        }));
+        let harness = Arc::new(NodeHarness {
+            node,
+            rx: Mutex::new(rx),
+            responses: Arc::clone(&responses),
+            chaos: options.chaos.clone(),
+            scale,
+            start,
+        });
+        let policy = options.supervisor;
+        let quiesce = options.quiesce.clone();
+        supervisors.push(thread::spawn(move || supervise(harness, policy, quiesce)));
     }
     let ctx = Arc::new(Ctx {
         node_tx,
@@ -478,7 +708,6 @@ pub fn run_live(
     let peak = Arc::new(AtomicUsize::new(0));
     let mut rejected = 0u64;
     let mut workers = Vec::with_capacity(offered);
-    let start = Instant::now();
     for (position, traced) in trace.sessions.iter().enumerate() {
         let target = scaled(traced.arrival, scale);
         let elapsed = start.elapsed();
@@ -510,13 +739,22 @@ pub fn run_live(
     let wall = start.elapsed();
 
     // Graceful shutdown: dropping the last client handle closes every
-    // request channel; each node drains what is queued, then exits.
+    // request channel; each node's current worker generation drains what is
+    // queued (serving it, or dropping it if scripted to die in a crash),
+    // then exits, and its supervisor reports the node's totals.
     let delivered = ctx.delivered.load(Ordering::Relaxed);
     drop(ctx);
-    let served: u64 = node_handles
-        .into_iter()
-        .map(|handle| handle.join().expect("node thread completes"))
-        .sum();
+    let mut served = 0u64;
+    let mut lost_to_crash = 0u64;
+    let mut node_restarts = 0u64;
+    let mut node_crashes = 0u64;
+    for handle in supervisors {
+        let outcome = handle.join().expect("node supervisor completes");
+        served += outcome.served;
+        lost_to_crash += outcome.lost_to_crash;
+        node_restarts += outcome.restarts;
+        node_crashes += outcome.crashes;
+    }
 
     // Attribute node-sent responses to their sessions now that every count
     // is settled.
@@ -541,6 +779,9 @@ pub fn run_live(
         cancelled: 0,
         requests_delivered: delivered,
         requests_served: served,
+        requests_lost_to_crash: lost_to_crash,
+        node_restarts,
+        node_crashes,
         peak_in_flight: peak.load(Ordering::Acquire),
         wall,
         sessions,
@@ -682,6 +923,113 @@ mod tests {
             assert!(session.cancelled <= session.hedges);
         }
         assert!(report.drained_clean());
+    }
+
+    fn crash_plan() -> NetSessionPlan {
+        NetSessionPlan {
+            probes: vec![
+                NetProbe {
+                    node: 0,
+                    observed: Color::Red,
+                    failures: vec![AttemptLoss::Crash, AttemptLoss::Crash],
+                },
+                NetProbe {
+                    node: 1,
+                    observed: Color::Green,
+                    failures: vec![],
+                },
+            ],
+            success: true,
+        }
+    }
+
+    #[test]
+    fn crashed_workers_drop_scripted_requests_and_account_for_them() {
+        let sessions = 8;
+        let trace = SessionTrace {
+            sessions: (0..sessions)
+                .map(|i| TracedSession {
+                    index: i as u64,
+                    arrival: SimTime::from_micros(50 * i as u64),
+                    plan: crash_plan(),
+                })
+                .collect(),
+        };
+        let config = tiny_config(sessions);
+        // The window comfortably covers the whole run, so the worker dies on
+        // the first doomed request and shutdown happens while node 0 is
+        // crashed mid-drain: the restarted generation inherits the queue.
+        let options = fast_options().chaos(ChaosSchedule::crash(
+            vec![0],
+            SimTime::ZERO,
+            SimTime::from_millis(5_000),
+        ));
+        let report = run_live(
+            2,
+            &trace,
+            &config,
+            &ProbePolicy::retry(2, SimTime::ZERO),
+            &options,
+        );
+        assert_eq!(report.admitted, sessions as u64);
+        assert_eq!(
+            report.requests_lost_to_crash,
+            2 * sessions as u64,
+            "every scripted crash attempt is dropped, nothing else"
+        );
+        assert!(
+            report.drained_clean(),
+            "delivered ({}) must equal served ({}) + lost to crash ({})",
+            report.requests_delivered,
+            report.requests_served,
+            report.requests_lost_to_crash
+        );
+        assert!(
+            report.node_crashes >= 1,
+            "the crash window kills the worker"
+        );
+        assert!(report.node_restarts >= 1, "the supervisor restarts it");
+        assert_eq!(report.successes, sessions as u64, "node 1 still answers");
+        for session in &report.sessions {
+            assert_eq!(session.observed, vec![Color::Red, Color::Green]);
+        }
+    }
+
+    #[test]
+    fn stalled_nodes_serve_late_without_losing_work() {
+        let sessions = 4;
+        let plan = NetSessionPlan {
+            probes: vec![NetProbe {
+                node: 0,
+                observed: Color::Red,
+                failures: vec![AttemptLoss::Response],
+            }],
+            success: false,
+        };
+        let trace = SessionTrace {
+            sessions: (0..sessions)
+                .map(|i| TracedSession {
+                    index: i as u64,
+                    arrival: SimTime::ZERO,
+                    plan: plan.clone(),
+                })
+                .collect(),
+        };
+        let config = tiny_config(sessions);
+        let options = fast_options().chaos(ChaosSchedule::stall(
+            vec![0],
+            SimTime::ZERO,
+            SimTime::from_millis(20),
+        ));
+        let report = run_live(1, &trace, &config, &ProbePolicy::sequential(), &options);
+        assert_eq!(report.requests_lost_to_crash, 0);
+        assert_eq!(report.node_crashes, 0, "stalls do not kill workers");
+        assert_eq!(
+            report.requests_served, report.requests_delivered,
+            "the stalled node eventually serves everything"
+        );
+        assert!(report.drained_clean());
+        assert_eq!(report.successes, 0, "every client had given up");
     }
 
     #[test]

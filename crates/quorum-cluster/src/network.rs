@@ -20,6 +20,7 @@ use quorum_core::{Color, Coloring};
 use quorum_probe::session::{AttemptLoss, ProbeFate};
 use rand::{Rng, RngCore};
 
+use crate::chaos::{ChaosSchedule, ChaosState};
 use crate::workload::Distribution;
 use crate::{NodeId, SimTime};
 
@@ -213,6 +214,9 @@ impl PartitionSchedule {
     /// Heals every partition from `at` onward: windows ending later are
     /// clamped to `at`, so every message sent at or after `at` is delivered.
     pub fn heal_all(&mut self, at: SimTime) {
+        if self.windows.is_empty() {
+            return;
+        }
         for window in &mut self.windows {
             window.until = window.until.min(at);
         }
@@ -222,7 +226,43 @@ impl PartitionSchedule {
     /// Whether a message to/from `node` in `direction` sent at `at` gets
     /// through the partitions (loss is a separate, probabilistic layer).
     pub fn delivers(&self, node: NodeId, direction: LinkDirection, at: SimTime) -> bool {
+        if self.windows.is_empty() {
+            return true;
+        }
         !self.windows.iter().any(|w| w.blocks(node, direction, at))
+    }
+
+    /// Whether no window blocks any message at `at` — i.e. the network is
+    /// momentarily whole. The chaos supervisor consults this to sequence
+    /// restarts: restarting a node into an open partition window would just
+    /// look like another crash to clients.
+    pub fn is_quiescent_at(&self, at: SimTime) -> bool {
+        if self.windows.is_empty() {
+            return true;
+        }
+        !self
+            .windows
+            .iter()
+            .any(|w| !w.nodes.is_empty() && at >= w.from && at < w.until)
+    }
+
+    /// The earliest instant `t >= at` at which the schedule is quiescent
+    /// (see [`PartitionSchedule::is_quiescent_at`]), or `None` if every
+    /// remaining boundary still has an open window. Quiescence only changes
+    /// at window boundaries, so scanning `until` instants suffices.
+    pub fn next_quiescent_at_or_after(&self, at: SimTime) -> Option<SimTime> {
+        if self.is_quiescent_at(at) {
+            return Some(at);
+        }
+        let mut ends: Vec<SimTime> = self
+            .windows
+            .iter()
+            .filter(|w| !w.nodes.is_empty() && w.until > at)
+            .map(|w| w.until)
+            .collect();
+        ends.sort_unstable();
+        ends.dedup();
+        ends.into_iter().find(|&t| self.is_quiescent_at(t))
     }
 
     /// The nodes with any blocked direction at `at` (what a round-based
@@ -272,6 +312,8 @@ pub struct NetworkModel {
     pub loss_ppm: u32,
     /// Timed splits and heals of the node set.
     pub partitions: PartitionSchedule,
+    /// Timed process-level faults: crashes, stalls and slow nodes.
+    pub chaos: ChaosSchedule,
 }
 
 impl NetworkModel {
@@ -283,7 +325,14 @@ impl NetworkModel {
             delay: None,
             loss_ppm: 0,
             partitions: PartitionSchedule::none(),
+            chaos: ChaosSchedule::none(),
         }
+    }
+
+    /// Overlays a chaos schedule onto this model.
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = chaos;
+        self
     }
 
     /// A lossy but unpartitioned network.
@@ -294,10 +343,13 @@ impl NetworkModel {
         }
     }
 
-    /// Whether the model is fault-free (no loss, no partitions, no delay
-    /// override).
+    /// Whether the model is fault-free (no loss, no partitions, no chaos, no
+    /// delay override).
     pub fn is_clean(&self) -> bool {
-        self.delay.is_none() && self.loss_ppm == 0 && self.partitions.is_empty()
+        self.delay.is_none()
+            && self.loss_ppm == 0
+            && self.partitions.is_empty()
+            && self.chaos.is_empty()
     }
 
     /// Flips the loss coin for one message leg. Draws nothing when the model
@@ -309,11 +361,17 @@ impl NetworkModel {
     /// Decides how probing `node` at `now` under `policy` turns out: which
     /// attempts fail on which leg, and the color the client records.
     ///
-    /// Partition windows are evaluated at the session's arrival instant
-    /// `now` — a session is short relative to partition timescales, so a
-    /// partition flaps *across* sessions, not within one. Loss coins are
-    /// drawn lazily (none for dead nodes, none on a lossless network), which
-    /// keeps the clean model's randomness stream untouched.
+    /// Partition and chaos windows are evaluated at the session's arrival
+    /// instant `now` — a session is short relative to fault timescales, so a
+    /// fault flaps *across* sessions, not within one. Loss coins are drawn
+    /// lazily (none for dead, crashed or stalled nodes, none on a lossless
+    /// network), which keeps the clean model's randomness stream untouched.
+    ///
+    /// Chaos resolves before the message layer: a crashed node swallows
+    /// every delivered request unserved ([`AttemptLoss::Crash`]); a stalled
+    /// node serves every request too late to matter ([`AttemptLoss::Response`]
+    /// on every attempt); a slow node times out the first attempt and then
+    /// behaves normally, so retries recover.
     pub fn probe_fate<R: RngCore + ?Sized>(
         &self,
         node: NodeId,
@@ -327,7 +385,18 @@ impl NetworkModel {
             return ProbeFate::dead(attempts);
         }
         let mut failures = Vec::new();
-        for _ in 0..attempts {
+        match self.chaos.state_at(node, now) {
+            ChaosState::Crashed => return ProbeFate::crashed(attempts),
+            ChaosState::Stalled => {
+                return ProbeFate {
+                    observed: quorum_core::Color::Red,
+                    failures: vec![AttemptLoss::Response; attempts as usize],
+                }
+            }
+            ChaosState::Slow => failures.push(AttemptLoss::Response),
+            ChaosState::Up => {}
+        }
+        while (failures.len() as u32) < attempts {
             if !self.partitions.delivers(node, LinkDirection::Request, now) || self.loses(rng) {
                 failures.push(AttemptLoss::Request);
                 continue;
@@ -360,8 +429,10 @@ impl Default for NetworkModel {
 pub struct ProbePolicy {
     /// Attempts per element before it is recorded red (≥ 1; 1 = no retry).
     pub attempts: u32,
-    /// Base backoff inserted after a failed attempt; attempt `k` waits
-    /// `backoff · 2^k` on top of its timeout (exponential backoff).
+    /// Base backoff inserted after a failed attempt; failed attempt `k`
+    /// (0-based) waits `backoff · 2^k` on top of its timeout, saturating and
+    /// capped at [`ProbePolicy::BACKOFF_CAP`] — see
+    /// [`ProbePolicy::backoff_before`].
     pub backoff: SimTime,
     /// When set, a probe that has not resolved after this delay launches the
     /// session's next candidate in parallel (first answer drives the session
@@ -393,6 +464,28 @@ impl ProbePolicy {
     pub fn with_hedge(mut self, delay: SimTime) -> Self {
         self.hedge = Some(delay);
         self
+    }
+
+    /// Hard ceiling on any single backoff wait: no retry ever sleeps longer
+    /// than this, no matter how many doublings precede it. Chosen far above
+    /// every shipped scenario's largest pre-cap wait, so existing numbers
+    /// are unchanged.
+    pub const BACKOFF_CAP: SimTime = SimTime::from_millis(100);
+
+    /// Largest exponent applied to the base backoff before the cap; also
+    /// guards the shift itself from overflowing.
+    pub const MAX_BACKOFF_DOUBLINGS: u32 = 32;
+
+    /// The wait inserted after failed attempt `attempt` (0-based):
+    /// `backoff · 2^attempt`, saturating, clamped to
+    /// [`ProbePolicy::BACKOFF_CAP`]. Monotone non-decreasing in `attempt`
+    /// and zero whenever the base backoff is zero.
+    pub fn backoff_before(&self, attempt: u32) -> SimTime {
+        if self.backoff == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        let factor = 1u64 << attempt.min(Self::MAX_BACKOFF_DOUBLINGS);
+        self.backoff.saturating_mul(factor).min(Self::BACKOFF_CAP)
     }
 
     /// Whether this is the plain sequential policy.
@@ -601,6 +694,126 @@ mod tests {
         // After the window the same probe answers.
         let fate = model.probe_fate(0, true, SimTime::from_millis(2), &policy, &mut rng);
         assert_eq!(fate.observed, Color::Green);
+    }
+
+    #[test]
+    fn quiescence_handles_boundaries_and_empty_schedules() {
+        assert!(PartitionSchedule::none().is_quiescent_at(SimTime::ZERO));
+        // A window whose start equals its end is inert.
+        let degenerate =
+            PartitionSchedule::minority(vec![0], SimTime::from_millis(5), SimTime::from_millis(5));
+        assert!(degenerate.is_quiescent_at(SimTime::from_millis(5)));
+        assert!(degenerate.delivers(0, LinkDirection::Request, SimTime::from_millis(5)));
+        // Adjacent windows [a, b) and [b, c): not quiescent at b — the second
+        // window opens exactly as the first closes.
+        let mut adjacent =
+            PartitionSchedule::minority(vec![0], SimTime::from_millis(1), SimTime::from_millis(2));
+        adjacent.push(PartitionWindow {
+            from: SimTime::from_millis(2),
+            until: SimTime::from_millis(3),
+            nodes: vec![1],
+            kind: PartitionKind::Isolate,
+        });
+        assert!(!adjacent.is_quiescent_at(SimTime::from_millis(1)));
+        assert!(!adjacent.is_quiescent_at(SimTime::from_millis(2)));
+        assert!(adjacent.is_quiescent_at(SimTime::from_millis(3)));
+        assert!(adjacent.is_quiescent_at(SimTime::from_micros(999)));
+        assert_eq!(
+            adjacent.next_quiescent_at_or_after(SimTime::from_millis(1)),
+            Some(SimTime::from_millis(3)),
+            "the first window's end is still inside the second window"
+        );
+        assert_eq!(
+            adjacent.next_quiescent_at_or_after(SimTime::from_millis(4)),
+            Some(SimTime::from_millis(4))
+        );
+        // Healing an empty schedule is a no-op that stays empty.
+        let mut empty = PartitionSchedule::none();
+        empty.heal_all(SimTime::from_millis(1));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn crashed_nodes_swallow_requests_with_a_crash_fate() {
+        let model = NetworkModel::clean().with_chaos(ChaosSchedule::crash(
+            vec![0],
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        ));
+        assert!(!model.is_clean());
+        let policy = ProbePolicy::retry(3, SimTime::ZERO);
+        let mut rng = StdRng::seed_from_u64(5);
+        let fate = model.probe_fate(0, true, SimTime::from_millis(1), &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Red);
+        assert_eq!(fate.failures, vec![AttemptLoss::Crash; 3]);
+        // After the window the node answers again (the supervisor restarted it).
+        let fate = model.probe_fate(0, true, SimTime::from_millis(10), &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Green);
+        // Other nodes are untouched.
+        let fate = model.probe_fate(1, true, SimTime::from_millis(1), &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Green);
+    }
+
+    #[test]
+    fn stalled_nodes_serve_late_and_slow_nodes_recover_on_retry() {
+        let stall = NetworkModel::clean().with_chaos(ChaosSchedule::stall(
+            vec![0],
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        ));
+        let policy = ProbePolicy::retry(2, SimTime::ZERO);
+        let mut rng = StdRng::seed_from_u64(6);
+        let fate = stall.probe_fate(0, true, SimTime::ZERO, &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Red);
+        assert_eq!(fate.failures, vec![AttemptLoss::Response; 2]);
+
+        let slow = NetworkModel::clean().with_chaos(ChaosSchedule::slow(
+            vec![0],
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        ));
+        let fate = slow.probe_fate(0, true, SimTime::ZERO, &policy, &mut rng);
+        assert_eq!(fate.observed, Color::Green, "the retry gets through");
+        assert_eq!(fate.failures, vec![AttemptLoss::Response]);
+        let naive = ProbePolicy::sequential();
+        let fate = slow.probe_fate(0, true, SimTime::ZERO, &naive, &mut rng);
+        assert_eq!(fate.observed, Color::Red, "one attempt is not enough");
+        assert_eq!(fate.failures, vec![AttemptLoss::Response]);
+    }
+
+    #[test]
+    fn chaos_draws_no_randomness_for_disrupted_nodes() {
+        let model = NetworkModel {
+            loss_ppm: 500_000,
+            chaos: ChaosSchedule::crash(vec![0], SimTime::ZERO, SimTime::from_millis(1)),
+            ..NetworkModel::clean()
+        };
+        let policy = ProbePolicy::retry(3, SimTime::ZERO);
+        let mut rng = StdRng::seed_from_u64(7);
+        let before = rng.clone();
+        let _ = model.probe_fate(0, true, SimTime::ZERO, &policy, &mut rng);
+        let mut replay = before;
+        assert_eq!(replay.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        let policy = ProbePolicy::retry(64, SimTime::from_micros(300));
+        assert_eq!(policy.backoff_before(0), SimTime::from_micros(300));
+        assert_eq!(policy.backoff_before(2), SimTime::from_micros(1_200));
+        let mut previous = SimTime::ZERO;
+        for attempt in 0..128 {
+            let wait = policy.backoff_before(attempt);
+            assert!(wait >= previous, "monotone at attempt {attempt}");
+            assert!(wait <= ProbePolicy::BACKOFF_CAP);
+            previous = wait;
+        }
+        assert_eq!(policy.backoff_before(127), ProbePolicy::BACKOFF_CAP);
+        let zero = ProbePolicy::retry(8, SimTime::ZERO);
+        assert_eq!(zero.backoff_before(60), SimTime::ZERO);
+        // Even absurd bases saturate instead of overflowing.
+        let huge = ProbePolicy::retry(8, SimTime::from_micros(u64::MAX));
+        assert_eq!(huge.backoff_before(63), ProbePolicy::BACKOFF_CAP);
     }
 
     #[test]

@@ -133,6 +133,8 @@ pub fn plan_observables(plan: &NetSessionPlan) -> PlanCost {
             if *loss == AttemptLoss::Response {
                 cost.messages += 1; // served, answered, answer lost
             }
+            // AttemptLoss::Crash: the request was transmitted and delivered,
+            // then dropped unserved — no response, no extra message.
             if attempt_is_wasted(probe.observed, attempt, &probe.failures) {
                 cost.wasted += 1;
             }
@@ -281,10 +283,35 @@ pub fn cross_validate(
             ));
         }
     }
+    // Crash accounting: the live runtime must have lost to crashes exactly
+    // the requests the trace scripted as crash-fated — no more, no fewer —
+    // and the sim engine must have counted the same losses.
+    if live.sessions.len() == trace.sessions.len() {
+        let scripted: u64 = trace
+            .sessions
+            .iter()
+            .flat_map(|t| &t.plan.probes)
+            .flat_map(|p| &p.failures)
+            .filter(|&&loss| loss == AttemptLoss::Crash)
+            .count() as u64;
+        if live.requests_lost_to_crash != scripted {
+            report.note(format!(
+                "crash fates: trace scripted {scripted} crash-lost requests, live dropped {}",
+                live.requests_lost_to_crash
+            ));
+        }
+        if sim.lost_to_crash != scripted {
+            report.note(format!(
+                "crash fates: trace scripted {scripted} crash-lost requests, sim engine \
+                 priced {}",
+                sim.lost_to_crash
+            ));
+        }
+    }
     if !live.drained_clean() {
         report.note(format!(
-            "shutdown left requests behind: {} delivered to nodes, {} served",
-            live.requests_delivered, live.requests_served
+            "shutdown lost requests: {} delivered to nodes, {} served, {} lost to crashes",
+            live.requests_delivered, live.requests_served, live.requests_lost_to_crash
         ));
     }
     report
@@ -467,8 +494,9 @@ impl WorkloadSpec {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid or a plan records a red
-    /// observation with no failed attempts.
+    /// Panics if the configuration is invalid. (A red observation with no
+    /// failed attempts is legal: it is a *shed* probe that resolves
+    /// instantly at zero cost.)
     pub fn run<F>(&self, seed: u64, mut session: F) -> SpecReport
     where
         F: FnMut(u64, &LoadLedger, SimTime, &mut StdRng) -> NetSessionPlan,
@@ -508,7 +536,20 @@ impl WorkloadSpec {
                         plan
                     },
                 );
-                let live = run_live(self.nodes, &trace, &self.config, &self.policy, options);
+                // The spec's network model is the source of truth for the
+                // process- and message-fault schedules: hand them to the
+                // live runtime so workers crash (and supervisors sequence
+                // restarts) on the same timeline the fates were scripted
+                // against. Explicitly pre-set options are preserved when the
+                // model carries no schedule of its own.
+                let mut options = options.clone();
+                if !self.network.chaos.is_empty() {
+                    options.chaos = self.network.chaos.clone();
+                }
+                if !self.network.partitions.is_empty() {
+                    options.quiesce = self.network.partitions.clone();
+                }
+                let live = run_live(self.nodes, &trace, &self.config, &self.policy, &options);
                 let agreement = cross_validate(&trace, &report, &live);
                 SpecReport {
                     report,

@@ -16,12 +16,12 @@ impl SimTime {
     pub const ZERO: SimTime = SimTime(0);
 
     /// Creates a time from microseconds.
-    pub fn from_micros(micros: u64) -> Self {
+    pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros)
     }
 
     /// Creates a time from milliseconds.
-    pub fn from_millis(millis: u64) -> Self {
+    pub const fn from_millis(millis: u64) -> Self {
         SimTime(millis * 1_000)
     }
 

@@ -370,8 +370,11 @@ pub struct NetProbe {
     pub observed: Color,
     /// The failed attempts, in order ([`AttemptLoss::Request`] legs cost a
     /// timeout; [`AttemptLoss::Response`] legs additionally make the node do
-    /// wasted work). A green observation answers on the attempt after these;
-    /// a red observation must have at least one entry.
+    /// wasted work; [`AttemptLoss::Crash`] legs deliver into a dying node
+    /// that drops the work unserved). A green observation answers on the
+    /// attempt after these. A red observation with *no* entries is a *shed*
+    /// probe (see `quorum_probe::health`): the client declined to send, so
+    /// it costs no attempts, no messages and no time.
     pub failures: Vec<AttemptLoss>,
 }
 
@@ -443,6 +446,10 @@ pub struct WorkloadReport {
     /// Hedge races where the slower of the two overlapped probes was
     /// cancelled in the ledger (its answer no longer gated the session).
     pub cancelled: u64,
+    /// Requests delivered into crashed nodes and dropped unserved
+    /// ([`AttemptLoss::Crash`] fates) — the sim-side counterpart of the live
+    /// runtime's `requests_lost_to_crash`.
+    pub lost_to_crash: u64,
 }
 
 impl WorkloadReport {
@@ -533,6 +540,7 @@ struct EngineState {
     wasted: u64,
     hedges: u64,
     cancelled: u64,
+    lost_to_crash: u64,
 }
 
 impl EngineState {
@@ -592,8 +600,15 @@ impl EngineState {
                 self.serve(node, request_at, service);
                 self.messages += 1; // the response was transmitted, then lost
             }
+            if *loss == AttemptLoss::Crash {
+                // Delivered into a crashing node: the queued work is dropped
+                // unserved — no response message, no service time, but the
+                // loss is accounted so `delivered == served + lost_to_crash`
+                // can be cross-validated against the live runtime.
+                self.lost_to_crash += 1;
+            }
             last_failure = send_at + config.probe_timeout;
-            send_at = last_failure + policy.backoff.saturating_mul(1u64 << attempt.min(16));
+            send_at = last_failure + policy.backoff_before(attempt as u32);
         }
         match probe.observed {
             Color::Green => {
@@ -607,10 +622,9 @@ impl EngineState {
                 finish + delay.sample(rng)
             }
             Color::Red => {
-                assert!(
-                    !probe.failures.is_empty(),
-                    "a red observation needs at least one failed attempt"
-                );
+                // A red observation with no failures is a *shed* probe: the
+                // health layer declined to send, so it resolves immediately
+                // (`last_failure` is still `now`) at zero cost.
                 last_failure
             }
         }
@@ -667,8 +681,9 @@ where
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid or a plan records a red
-/// observation with no failed attempts.
+/// Panics if the configuration is invalid. (A red observation with no
+/// failed attempts is legal: it is a *shed* probe that resolves instantly
+/// at zero cost.)
 #[deprecated(
     since = "0.1.0",
     note = "assemble a `quorum_cluster::spec::WorkloadSpec` and call `run` instead"
@@ -717,6 +732,7 @@ where
         wasted: 0,
         hedges: 0,
         cancelled: 0,
+        lost_to_crash: 0,
     };
     let mut latency = LogHistogram::new();
     let mut heap: EventHeap = BinaryHeap::new();
@@ -920,6 +936,7 @@ where
         wasted_probes: state.wasted,
         hedges: state.hedges,
         cancelled: state.cancelled,
+        lost_to_crash: state.lost_to_crash,
     }
 }
 

@@ -1,0 +1,124 @@
+//! Property tests for the chaos engine: retry backoff stays monotone and
+//! capped for any base, and the discrete-event engine completes every
+//! session (never hangs, never loses accounting) under arbitrary
+//! [`ChaosSchedule`] soups.
+
+use proptest::prelude::*;
+use quorum_cluster::{
+    ArrivalProcess, Backend, ChaosKind, ChaosSchedule, ChaosWindow, Distribution, NetProbe,
+    NetSessionPlan, NetworkModel, ProbePolicy, SimTime, WorkloadConfig, WorkloadSpec,
+};
+use quorum_probe::AttemptLoss;
+
+const NODES: usize = 5;
+
+/// Decodes one packed seed into a (possibly degenerate) chaos window: start
+/// and length up to ~4 ms, any subset of the 5 nodes (including the empty
+/// set), any fault kind. Degenerate windows (`until == from`, no nodes) are
+/// deliberately representable — they must be inert, not crash the engine.
+fn window_from_seed(seed: u64) -> ChaosWindow {
+    let from = seed & 0xFFF;
+    let len = (seed >> 12) & 0xFFF;
+    let nodes = (0..NODES).filter(|i| (seed >> (24 + i)) & 1 == 1).collect();
+    let kind = match (seed >> 29) % 3 {
+        0 => ChaosKind::Crash,
+        1 => ChaosKind::Stall,
+        _ => ChaosKind::SlowNode,
+    };
+    ChaosWindow {
+        from: SimTime::from_micros(from),
+        until: SimTime::from_micros(from + len),
+        nodes,
+        kind,
+    }
+}
+
+proptest! {
+    /// Satellite: the per-attempt backoff is monotone non-decreasing in the
+    /// attempt index, never exceeds the hard cap, and is identically zero
+    /// when the base backoff is zero — for any base, including ones far past
+    /// the cap and attempt counts far past the doubling limit.
+    #[test]
+    fn backoff_is_monotone_capped_and_zero_preserving(
+        base_micros in 0u64..2_000_000,
+        attempt in 0u32..200,
+    ) {
+        let policy = ProbePolicy::retry(3, SimTime::from_micros(base_micros));
+        let here = policy.backoff_before(attempt);
+        let next = policy.backoff_before(attempt + 1);
+        prop_assert!(here <= next, "backoff must be monotone: {here:?} > {next:?}");
+        prop_assert!(here <= ProbePolicy::BACKOFF_CAP);
+        prop_assert!(next <= ProbePolicy::BACKOFF_CAP);
+        if base_micros == 0 {
+            prop_assert_eq!(here, SimTime::ZERO);
+        } else {
+            prop_assert_eq!(
+                policy.backoff_before(0),
+                SimTime::from_micros(base_micros).min(ProbePolicy::BACKOFF_CAP)
+            );
+        }
+    }
+
+    /// Satellite: for ANY soup of chaos windows (overlapping, degenerate,
+    /// empty-node, every kind) the sim engine completes every session — no
+    /// hangs, no dropped sessions — and the crash ledger exactly matches the
+    /// scripted crash fates.
+    #[test]
+    fn sessions_never_hang_under_arbitrary_chaos(
+        window_seeds in proptest::collection::vec(0u64..u64::MAX, 0..6),
+        seed in 0u64..1_000,
+    ) {
+        let soup =
+            ChaosSchedule::from_windows(window_seeds.into_iter().map(window_from_seed).collect());
+        let network = NetworkModel::clean().with_chaos(soup);
+        let policy = ProbePolicy::retry(2, SimTime::from_micros(50));
+        let sessions = 48usize;
+        let spec = WorkloadSpec::new(NODES)
+            .config(WorkloadConfig {
+                arrival: ArrivalProcess::OpenPoisson {
+                    mean_interarrival: SimTime::from_micros(100),
+                },
+                sessions,
+                rpc_latency: Distribution::fixed(SimTime::from_micros(80)),
+                service: Distribution::fixed(SimTime::from_micros(60)),
+                probe_timeout: SimTime::from_micros(500),
+            })
+            .network(network.clone())
+            .policy(policy)
+            .backend(Backend::Sim);
+
+        let mut scripted_crashes = 0u64;
+        let outcome = spec.run(seed, |_index, _ledger, now, rng| {
+            let mut probes = Vec::new();
+            let mut greens = 0usize;
+            for node in 0..NODES {
+                let fate = network.probe_fate(node, true, now, &policy, rng);
+                scripted_crashes += fate
+                    .failures
+                    .iter()
+                    .filter(|&&loss| loss == AttemptLoss::Crash)
+                    .count() as u64;
+                let observed = fate.observed;
+                probes.push(NetProbe {
+                    node,
+                    observed,
+                    failures: fate.failures,
+                });
+                if observed == quorum_core::Color::Green {
+                    greens += 1;
+                    if greens >= 3 {
+                        break;
+                    }
+                }
+            }
+            NetSessionPlan {
+                probes,
+                success: greens >= 3,
+            }
+        });
+
+        prop_assert_eq!(outcome.report.sessions, sessions);
+        prop_assert_eq!(outcome.report.lost_to_crash, scripted_crashes);
+        prop_assert!(outcome.agrees());
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod decision_tree;
 pub mod exact;
+pub mod health;
 pub mod oracle;
 pub mod runner;
 pub mod session;
@@ -51,6 +52,7 @@ pub mod strategies;
 pub mod yao;
 
 pub use decision_tree::DecisionTree;
+pub use health::{BreakerState, GatedOutcome, HealthConfig, HealthView};
 pub use oracle::ProbeOracle;
 pub use runner::{run_strategy, ProbeRun, ProbeStrategy};
 pub use session::{

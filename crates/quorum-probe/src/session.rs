@@ -39,6 +39,11 @@ pub enum AttemptLoss {
     /// The request was delivered and served, but the response was dropped on
     /// the way back: the element's work is wasted, the client times out.
     Response,
+    /// The request was delivered to a crashed (or crashing) element: the
+    /// queued work is dropped without being served, the client times out.
+    /// Distinguishable from [`AttemptLoss::Request`] so crash accounting
+    /// (`delivered == served + lost_to_crash`) can be cross-validated.
+    Crash,
 }
 
 /// How probing one element turns out, over all attempts a policy allows.
@@ -70,8 +75,31 @@ impl ProbeFate {
         }
     }
 
+    /// A crashed element probed `attempts` times: every request is delivered
+    /// into a queue that is dropped, so the work is lost rather than served.
+    pub fn crashed(attempts: u32) -> Self {
+        ProbeFate {
+            observed: Color::Red,
+            failures: vec![AttemptLoss::Crash; attempts.max(1) as usize],
+        }
+    }
+
+    /// A probe the client declined to send (circuit breaker open): observed
+    /// red with **zero** attempts, so it costs no messages and no work.
+    pub fn shed() -> Self {
+        ProbeFate {
+            observed: Color::Red,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Whether the client never sent a single attempt (see [`ProbeFate::shed`]).
+    pub fn is_shed(&self) -> bool {
+        self.observed == Color::Red && self.failures.is_empty()
+    }
+
     /// Number of attempts this fate consumed (failures plus the answering
-    /// attempt for green observations).
+    /// attempt for green observations). Shed fates consumed zero.
     pub fn attempts(&self) -> usize {
         self.failures.len() + usize::from(self.observed == Color::Green)
     }

@@ -67,9 +67,9 @@ pub use failure::{ChurnTrajectory, FailureModel};
 pub use montecarlo::{estimate_expected_probes, exhaustive_expected_probes, Estimate};
 pub use report::Table;
 pub use workload::{
-    closed_loop_workload, net_outcomes_table, network_scenarios, open_poisson_workload,
-    outcomes_table, run_live_cell, run_net_workload_cells, run_workload_cells, standard_workloads,
-    LiveCellOutcome, NetScenario, NetWorkloadCell, NetWorkloadOutcome, WorkloadCell,
-    WorkloadOutcome, WorkloadStrategy,
+    chaos_recovery_micros, chaos_scenarios, closed_loop_workload, net_outcomes_table,
+    network_scenarios, open_poisson_workload, outcomes_table, run_live_cell,
+    run_net_workload_cells, run_workload_cells, standard_workloads, LiveCellOutcome, NetScenario,
+    NetWorkloadCell, NetWorkloadOutcome, WorkloadCell, WorkloadOutcome, WorkloadStrategy,
 };
 pub use worstcase::{estimate_worst_case, worst_case_over_colorings};

@@ -16,13 +16,14 @@ use std::sync::Arc;
 
 use quorum_analysis::load_imbalance;
 use quorum_cluster::{
-    AgreementReport, ArrivalProcess, Backend, Distribution, LiveOptions, LiveReport, NetProbe,
-    NetSessionPlan, NetworkModel, PartitionSchedule, ProbePolicy, SessionPlan, SimTime, SpecReport,
-    WorkloadConfig, WorkloadSpec,
+    AgreementReport, ArrivalProcess, Backend, ChaosSchedule, Distribution, LiveOptions, LiveReport,
+    NetProbe, NetSessionPlan, NetworkModel, PartitionSchedule, ProbePolicy, SessionPlan,
+    SessionTrace, SimTime, SpecReport, WorkloadConfig, WorkloadSpec,
 };
 use quorum_core::{Color, Coloring};
-use quorum_probe::session::observed_coloring;
+use quorum_probe::session::{observed_coloring, ProbeFate};
 use quorum_probe::strategies::{LeastLoadedScan, LoadView, PowerOfTwoScan};
+use quorum_probe::{HealthConfig, HealthView};
 use rayon::prelude::*;
 
 use crate::eval::{
@@ -375,6 +376,72 @@ pub fn network_scenarios(n: usize, config: &WorkloadConfig) -> Vec<NetScenario> 
     ]
 }
 
+/// The standard chaos battery for a universe of `n` nodes under `config`:
+/// timed node-level faults (as distinct from [`network_scenarios`]' message
+/// faults) placed relative to the run's [`WorkloadConfig::horizon_hint`].
+///
+/// * `crash-minority` — a third of the universe is dead for the middle of
+///   the run; delivered requests are dropped unserved until restart.
+/// * `rolling-restart` — the same third crashes one node at a time, the
+///   classic staggered deploy.
+/// * `stall-flap` — a quarter of the universe freezes for the first half of
+///   every period through three quarters of the run, serving each backlog
+///   too late to matter.
+/// * `crash-part` — a compound fault: a crashed third *plus* a partitioned
+///   disjoint quarter, so for a stretch of the run no majority is healthy.
+///
+/// Each scenario pairs with a bounded-retry policy; run the same cells with
+/// and without [`NetWorkloadCell::with_health`] to measure what the
+/// health-aware client buys.
+pub fn chaos_scenarios(n: usize, config: &WorkloadConfig) -> Vec<NetScenario> {
+    let horizon = config.horizon_hint().as_micros();
+    let at = |num: u64, den: u64| SimTime::from_micros(horizon * num / den);
+    let third: Vec<usize> = (0..n / 3).collect();
+    let quarter: Vec<usize> = (0..n / 4).collect();
+    let split: Vec<usize> = (n / 3..n / 3 + n / 4).collect();
+    let policy = ProbePolicy::retry(2, SimTime::from_micros(300));
+    vec![
+        NetScenario {
+            name: "crash-minority",
+            network: NetworkModel::clean().with_chaos(ChaosSchedule::crash(
+                third.clone(),
+                at(1, 4),
+                at(5, 8),
+            )),
+            policy,
+        },
+        NetScenario {
+            name: "rolling-restart",
+            network: NetworkModel::clean().with_chaos(ChaosSchedule::rolling_restart(
+                third.clone(),
+                at(1, 8),
+                at(1, 8),
+                at(1, 16),
+            )),
+            policy,
+        },
+        NetScenario {
+            name: "stall-flap",
+            network: NetworkModel::clean().with_chaos(ChaosSchedule::stall_flapping(
+                quarter,
+                at(1, 8),
+                at(1, 16),
+                at(3, 4),
+            )),
+            policy,
+        },
+        NetScenario {
+            name: "crash-part",
+            network: NetworkModel {
+                partitions: PartitionSchedule::minority(split, at(3, 8), at(5, 8)),
+                ..NetworkModel::clean()
+            }
+            .with_chaos(ChaosSchedule::crash(third, at(1, 4), at(1, 2))),
+            policy,
+        },
+    ]
+}
+
 /// One message-level workload simulation: a [`WorkloadCell`] plus the
 /// network-fault scenario it runs through.
 #[derive(Clone)]
@@ -395,10 +462,15 @@ pub struct NetWorkloadCell {
     pub network: NetworkModel,
     /// The client-side robustness policy.
     pub policy: ProbePolicy,
+    /// When set, every session runs behind a shared [`HealthView`] circuit
+    /// breaker: probes to open nodes are shed, sessions that cannot reach a
+    /// healthy quorum degrade without probing, and probe outcomes feed the
+    /// per-node failure EWMA.
+    pub health: Option<HealthConfig>,
 }
 
 impl NetWorkloadCell {
-    /// Lifts a latency-only cell onto a network scenario.
+    /// Lifts a latency-only cell onto a network scenario (health-blind).
     pub fn from_cell(cell: WorkloadCell, scenario: &NetScenario) -> Self {
         NetWorkloadCell {
             system: cell.system,
@@ -409,7 +481,14 @@ impl NetWorkloadCell {
             net: scenario.name.to_string(),
             network: scenario.network.clone(),
             policy: scenario.policy,
+            health: None,
         }
+    }
+
+    /// Puts the cell's sessions behind a health-aware circuit breaker.
+    pub fn with_health(mut self, config: HealthConfig) -> Self {
+        self.health = Some(config);
+        self
     }
 }
 
@@ -453,6 +532,13 @@ pub struct NetWorkloadOutcome {
     pub imbalance: f64,
     /// Highest backlog any node reached.
     pub peak_backlog: usize,
+    /// Sessions that degraded gracefully instead of failing outright: the
+    /// health layer either shed at least one of their probes or declined the
+    /// whole session because no healthy quorum was reachable. Always zero
+    /// for health-blind cells.
+    pub degraded: u64,
+    /// Requests delivered into crashed nodes and dropped unserved.
+    pub lost_to_crash: u64,
 }
 
 /// Executes one network cell on the given backend via [`WorkloadSpec`].
@@ -465,7 +551,7 @@ fn run_net_cell_spec(
     cell_index: u64,
     cell: &NetWorkloadCell,
     backend: Backend,
-) -> SpecReport {
+) -> (SpecReport, u64) {
     let n = cell.system.universe_size();
     let view = match &cell.strategy {
         WorkloadStrategy::Paper(_) => None,
@@ -492,7 +578,9 @@ fn run_net_cell_spec(
         .rotate_left(17)
         .wrapping_add((cell_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut scratch = Coloring::all_green(n);
-    WorkloadSpec::new(n)
+    let health = cell.health.map(|config| HealthView::new(n, config));
+    let mut degraded = 0u64;
+    let report = WorkloadSpec::new(n)
         .config(cell.config)
         .network(cell.network.clone())
         .policy(cell.policy)
@@ -503,35 +591,71 @@ fn run_net_cell_spec(
                     view.set(e, ledger.score(e, now));
                 }
             }
+            // Sessions run sequentially in arrival order, so consulting and
+            // feeding the shared health view here is deterministic — and the
+            // resulting plans carry the gating into both backends.
+            let now_micros = now.as_micros();
+            if let Some(health) = &health {
+                if !health.quorum_reachable(cell.system.as_ref(), now_micros) {
+                    degraded += 1;
+                    return NetSessionPlan {
+                        probes: Vec::new(),
+                        success: false,
+                    };
+                }
+            }
             let mut rng = derive_rng(base_seed, cell_index, session);
             cell.source.sample_into(n, session, &mut rng, &mut scratch);
             // The client sees crashes *through* the network: transit fates
             // can turn live elements red, and the strategy adapts to the
-            // observed coloring, not the true one.
-            let (observed, mut fates) = observed_coloring(&scratch, |e, color| {
-                cell.network
-                    .probe_fate(e, color == Color::Green, now, &cell.policy, net_rng)
+            // observed coloring, not the true one. Open breakers shed their
+            // element — observed red at zero cost, no randomness consumed.
+            let (observed, mut fates) = observed_coloring(&scratch, |e, color| match &health {
+                Some(health) if health.is_open(e, now_micros) => ProbeFate::shed(),
+                _ => cell
+                    .network
+                    .probe_fate(e, color == Color::Green, now, &cell.policy, net_rng),
             });
             let run = strategy.run(cell.system.as_ref(), &observed, &mut rng);
-            NetSessionPlan {
-                probes: run
-                    .sequence
-                    .iter()
-                    .map(|&e| NetProbe {
-                        node: e,
-                        observed: observed.color(e),
-                        failures: std::mem::take(&mut fates[e].failures),
-                    })
-                    .collect(),
-                success: run.witness.is_green(),
+            let probes: Vec<NetProbe> = run
+                .sequence
+                .iter()
+                .map(|&e| NetProbe {
+                    node: e,
+                    observed: observed.color(e),
+                    failures: std::mem::take(&mut fates[e].failures),
+                })
+                .collect();
+            let ok = run.witness.is_green();
+            if let Some(health) = &health {
+                // Only probes the strategy actually issued teach the view;
+                // shed probes never reached the node, so they carry no new
+                // evidence.
+                let mut any_shed = false;
+                for probe in &probes {
+                    let shed = probe.observed == Color::Red && probe.failures.is_empty();
+                    any_shed |= shed;
+                    if !shed {
+                        health.record(probe.node, probe.observed == Color::Green, now_micros);
+                    }
+                }
+                if !ok && any_shed {
+                    degraded += 1;
+                }
             }
-        })
+            NetSessionPlan {
+                probes,
+                success: ok,
+            }
+        });
+    (report, degraded)
 }
 
 /// Summarises an executed network cell's engine report as the standard row.
 fn net_outcome_from_report(
     cell: &NetWorkloadCell,
     report: &quorum_cluster::WorkloadReport,
+    degraded: u64,
 ) -> NetWorkloadOutcome {
     let n = cell.system.universe_size();
     let peak_backlog = (0..n)
@@ -557,13 +681,15 @@ fn net_outcome_from_report(
         wasted_fraction: report.wasted_fraction(),
         imbalance: load_imbalance(report.ledger.probes_received()),
         peak_backlog,
+        degraded,
+        lost_to_crash: report.lost_to_crash,
     }
 }
 
 /// Executes one network cell on the sim backend.
 fn run_net_cell(base_seed: u64, cell_index: u64, cell: &NetWorkloadCell) -> NetWorkloadOutcome {
-    let spec = run_net_cell_spec(base_seed, cell_index, cell, Backend::Sim);
-    net_outcome_from_report(cell, &spec.report)
+    let (spec, degraded) = run_net_cell_spec(base_seed, cell_index, cell, Backend::Sim);
+    net_outcome_from_report(cell, &spec.report, degraded)
 }
 
 /// The result of executing one network cell on **both** backends: the sim
@@ -577,6 +703,9 @@ pub struct LiveCellOutcome {
     pub live: LiveReport,
     /// The sim-vs-live agreement verdict.
     pub agreement: AgreementReport,
+    /// The captured per-session trace both backends executed — the input to
+    /// recovery metrics like [`chaos_recovery_micros`].
+    pub trace: SessionTrace,
 }
 
 /// Executes one network cell through [`Backend::Live`]: the simulator runs
@@ -589,12 +718,51 @@ pub fn run_live_cell(
     cell: &NetWorkloadCell,
     options: &LiveOptions,
 ) -> LiveCellOutcome {
-    let spec = run_net_cell_spec(base_seed, cell_index, cell, Backend::Live(options.clone()));
+    let (spec, degraded) =
+        run_net_cell_spec(base_seed, cell_index, cell, Backend::Live(options.clone()));
     LiveCellOutcome {
-        sim: net_outcome_from_report(cell, &spec.report),
+        sim: net_outcome_from_report(cell, &spec.report, degraded),
         live: spec.live.expect("the live backend always reports"),
         agreement: spec.agreement.expect("the live backend always validates"),
+        trace: spec.trace.expect("the live backend always traces"),
     }
+}
+
+/// The deterministic recovery metric of one executed chaos cell: for every
+/// node a non-inert chaos window disrupted, the virtual delay (microseconds)
+/// between the end of its *last* disruption and the arrival of the first
+/// session that observed the node green again — or `None` if the trace never
+/// saw it recover. Pure function of the trace and schedule, so both backends
+/// report it identically.
+pub fn chaos_recovery_micros(
+    trace: &SessionTrace,
+    chaos: &ChaosSchedule,
+) -> Vec<(usize, Option<u64>)> {
+    let mut nodes: Vec<usize> = chaos
+        .windows()
+        .iter()
+        .flat_map(|w| w.nodes.iter().copied())
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+        .into_iter()
+        .filter_map(|node| {
+            let end = chaos.last_disruption_end(node)?;
+            let recovered = trace
+                .sessions
+                .iter()
+                .filter(|s| s.arrival >= end)
+                .find(|s| {
+                    s.plan
+                        .probes
+                        .iter()
+                        .any(|p| p.node == node && p.observed == Color::Green)
+                })
+                .map(|s| (s.arrival - end).as_micros());
+            Some((node, recovered))
+        })
+        .collect()
 }
 
 /// Runs every network cell, in parallel across the engine's worker pool,
@@ -842,6 +1010,7 @@ mod tests {
             net: net.into(),
             network,
             policy,
+            health: None,
         };
         let cells = vec![
             build("clean", NetworkModel::clean(), ProbePolicy::sequential()),
@@ -869,6 +1038,129 @@ mod tests {
         assert_eq!(clean.wasted_fraction, 0.0);
         assert!(naive.wasted_fraction > 0.0);
         assert!(robust.messages_per_session > clean.messages_per_session);
+    }
+
+    fn chaos_cell(
+        n: usize,
+        config: WorkloadConfig,
+        scenario: &NetScenario,
+        health: Option<HealthConfig>,
+    ) -> NetWorkloadCell {
+        let mut cell = NetWorkloadCell::from_cell(
+            WorkloadCell {
+                system: erase_system(Majority::new(n).unwrap()),
+                strategy: WorkloadStrategy::Paper(universal_strategy(SequentialScan::new())),
+                source: ColoringSource::iid(0.02),
+                workload: "open-poisson".into(),
+                config,
+            },
+            scenario,
+        );
+        if let Some(config) = health {
+            cell = cell.with_health(config);
+        }
+        cell
+    }
+
+    #[test]
+    fn chaos_cells_cross_validate_on_the_live_runtime() {
+        let n = 15;
+        let config = open_poisson_workload(80, SimTime::from_micros(250));
+        let options = LiveOptions::default().time_scale(0.002);
+        for (index, scenario) in chaos_scenarios(n, &config).iter().enumerate() {
+            let cell = chaos_cell(n, config, scenario, None);
+            let outcome = run_live_cell(21, index as u64, &cell, &options);
+            assert!(
+                outcome.agreement.agree,
+                "{}: sim and live disagreed: {:?}",
+                scenario.name, outcome.agreement.mismatches
+            );
+            assert!(
+                outcome.live.drained_clean(),
+                "{}: delivered != served + lost_to_crash",
+                scenario.name
+            );
+            assert_eq!(
+                outcome.sim.lost_to_crash, outcome.live.requests_lost_to_crash,
+                "{}: the two backends must lose the same requests",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn crash_scenarios_lose_requests_and_report_recovery() {
+        let n = 15;
+        let config = open_poisson_workload(300, SimTime::from_micros(250));
+        let scenarios = chaos_scenarios(n, &config);
+        let crash = scenarios
+            .iter()
+            .find(|s| s.name == "crash-minority")
+            .expect("battery has crash-minority");
+        let cell = chaos_cell(n, config, crash, None);
+        let options = LiveOptions::default().time_scale(0.002);
+        let outcome = run_live_cell(33, 0, &cell, &options);
+        assert!(
+            outcome.sim.lost_to_crash > 0,
+            "a crashed third must swallow some delivered requests"
+        );
+        let recovery = chaos_recovery_micros(&outcome.trace, &cell.network.chaos);
+        assert_eq!(recovery.len(), n / 3, "one row per crashed node");
+        for (node, recovered) in &recovery {
+            assert!(*node < n / 3);
+            let micros = recovered.expect("the schedule heals well before the run ends");
+            let horizon = config.horizon_hint().as_micros();
+            assert!(
+                micros < horizon,
+                "node {node} took {micros}us to be seen green again"
+            );
+        }
+    }
+
+    #[test]
+    fn health_aware_clients_beat_naive_ones_under_chaos() {
+        let n = 15;
+        let config = open_poisson_workload(400, SimTime::from_micros(250));
+        let scenarios = chaos_scenarios(n, &config);
+        for name in ["crash-minority", "rolling-restart"] {
+            let scenario = scenarios.iter().find(|s| s.name == name).unwrap();
+            let naive = chaos_cell(n, config, scenario, None);
+            let aware = chaos_cell(n, config, scenario, Some(HealthConfig::default()));
+            let outcomes =
+                run_net_workload_cells(&EvalEngine::with_threads(0), 17, &[naive, aware]);
+            let (naive, aware) = (&outcomes[0], &outcomes[1]);
+            assert_eq!(naive.degraded, 0, "health-blind cells never degrade");
+            assert!(
+                aware.wasted_fraction < naive.wasted_fraction,
+                "{name}: shedding must cut wasted probes: {} vs {}",
+                aware.wasted_fraction,
+                naive.wasted_fraction
+            );
+            assert!(
+                aware.success_rate >= naive.success_rate - 0.02,
+                "{name}: shedding sick nodes must not cost ok-rate: {} vs {}",
+                aware.success_rate,
+                naive.success_rate
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_outcomes_are_thread_count_invariant() {
+        let n = 15;
+        let config = open_poisson_workload(200, SimTime::from_micros(250));
+        let cells: Vec<NetWorkloadCell> = chaos_scenarios(n, &config)
+            .iter()
+            .flat_map(|scenario| {
+                [
+                    chaos_cell(n, config, scenario, None),
+                    chaos_cell(n, config, scenario, Some(HealthConfig::default())),
+                ]
+            })
+            .collect();
+        let single = run_net_workload_cells(&EvalEngine::with_threads(1), 13, &cells);
+        let parallel = run_net_workload_cells(&EvalEngine::with_threads(4), 13, &cells);
+        assert_eq!(single, parallel, "chaos rows diverged across threads");
     }
 
     #[test]

@@ -272,6 +272,7 @@ fn minority_partition_dips_and_heals() {
             net: "test".into(),
             network: net,
             policy: ProbePolicy::sequential(),
+            health: None,
         }]
     };
     let engine = EvalEngine::new();
