@@ -11,8 +11,9 @@
 //!
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
-//! `availability`, `zoned`, `churn`, `scenario-matrix`, `workload`,
-//! `network`, `live`, `chaos`, `scale`, `throughput`, `figures`, `all`.
+//! `availability`, `zoned`, `churn`, `churn-delta`, `scenario-matrix`,
+//! `workload`, `network`, `live`, `chaos`, `scale`, `throughput`, `figures`,
+//! `all`.
 //! Unknown names
 //! are rejected before anything runs, with a non-zero exit — CI cannot
 //! silently run nothing.
@@ -66,8 +67,8 @@ use std::io::BufWriter;
 use std::time::{Duration, Instant};
 
 use bench::{
-    availability_table, chaos, check_regression, churn, crumbling_walls, figures, hqs_exponent,
-    hqs_randomized, lemmas_table, live, lower_bounds, maj3, network, parse_artifact,
+    availability_table, chaos, check_regression, churn, churn_delta, crumbling_walls, figures,
+    hqs_exponent, hqs_randomized, lemmas_table, live, lower_bounds, maj3, network, parse_artifact,
     peak_rss_bytes, randomized, scale, scenario_matrix, table1, throughput, tree_exponent,
     workload, zoned, ArtifactStream, ReproConfig,
 };
@@ -89,6 +90,7 @@ const EXPERIMENTS: &[&str] = &[
     "availability",
     "zoned",
     "churn",
+    "churn-delta",
     "scenario-matrix",
     "workload",
     "network",
@@ -293,6 +295,27 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
             "Churn: time-averaged probe complexity along fail/repair timelines",
             plain(churn),
         ),
+        "churn-delta" => {
+            let started = Instant::now();
+            println!("== Churn delta engine: incremental re-evaluation vs from-scratch, all families ==\n");
+            let (equivalence_table, rate_table) = churn_delta(config);
+            // Same split as `live`/`scale`: the equivalence table (every
+            // step verified both ways, agree flag) is deterministic →
+            // stdout; delta-vs-scratch steps/second and the streaming-walk
+            // RSS row are wall-clock data → stderr and the artifact only.
+            println!("{equivalence_table}");
+            let wall = started.elapsed();
+            eprintln!("{rate_table}");
+            eprintln!(
+                "[churn-delta: {:.2?} wall, {} engine thread(s), REPRO_TRIALS={}, seed {}]",
+                wall,
+                config.engine().thread_count(),
+                config.trials,
+                config.seed,
+            );
+            artifact.record("churn-delta", wall, &equivalence_table);
+            artifact.record("churn-delta-throughput", wall, &rate_table);
+        }
         "scenario-matrix" => timed(
             config,
             artifact,
@@ -412,6 +435,7 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
                 "availability",
                 "zoned",
                 "churn",
+                "churn-delta",
                 "scenario-matrix",
                 "workload",
                 "network",

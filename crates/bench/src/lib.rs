@@ -1029,6 +1029,220 @@ pub fn churn(config: &ReproConfig) -> Table {
     table
 }
 
+/// The delta engine under churn: incremental re-evaluation via XOR
+/// word-mask deltas, validated against from-scratch evaluation and timed
+/// against it.
+///
+/// Returns two tables:
+///
+/// * the **equivalence table** (`family, n, regime, fail, repair, steps,
+///   flips, verdict_changes, outage_frac, agree`) — every step of a churn
+///   timeline evaluated both incrementally (the family's [`DeltaEvaluator`])
+///   and from scratch, on all six catalogue families under a slow and a fast
+///   regime. The `agree` flag is "1" iff every verdict matched; it is a pure
+///   function of the seed, goes to stdout and is **enforced** by the CI
+///   regression gate (a flip to "0" is a 100 % drop).
+/// * the **throughput table** (`family, n, path, steps, wall_ms,
+///   steps_per_s, speedup, peak_rss_mib`) — delta-vs-scratch steps/second
+///   over a pre-materialized window at steady-state low churn
+///   (fail 1/64, repair 1/8), plus a streaming 10⁶-step walk row whose
+///   `peak_rss_mib` cell records the process's high-water RSS (an eager
+///   10⁶-step trajectory at n ≈ 4096 would need ~500 MiB on its own).
+///   Wall-clock data: stderr and the artifact only, informational.
+pub fn churn_delta(config: &ReproConfig) -> (Table, Table) {
+    churn_delta_over(config, 1_000_000)
+}
+
+/// [`churn_delta`] with an explicit streaming-walk horizon (tests shrink it
+/// — a million debug-mode steps are too slow for unit tests).
+fn churn_delta_over(config: &ReproConfig, walk_steps: usize) -> (Table, Table) {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let base_seed = config.section_seed("churn-delta");
+    let families = catalogue();
+
+    // Equivalence: every step checked both ways, all families, two regimes.
+    let steps = config.trials.clamp(64, 2_048);
+    let regimes = [("slow", 1.0 / 64.0, 1.0 / 8.0), ("fast", 0.2, 0.6)];
+    let mut equivalence = Table::new([
+        "family",
+        "n",
+        "regime",
+        "fail",
+        "repair",
+        "steps",
+        "flips",
+        "verdict_changes",
+        "outage_frac",
+        "agree",
+    ]);
+    for (family_index, entry) in families.iter().enumerate() {
+        let system = (entry.build)(128);
+        let n = system.universe_size();
+        for (regime_index, &(regime, fail, repair)) in regimes.iter().enumerate() {
+            let seed = base_seed ^ ((family_index * regimes.len() + regime_index) as u64 + 1);
+            let trajectory = ChurnTrajectory::generate(n, fail, repair, steps, seed);
+            let mut evaluator = delta_evaluator_for(&system);
+            let mut walker = trajectory.walk();
+            let mut agree = true;
+            let mut flips = 0usize;
+            let mut verdict_changes = 0usize;
+            let mut outages = 0usize;
+            let mut previous: Option<bool> = None;
+            while let Some((coloring, delta)) = walker.step() {
+                let incremental = match previous {
+                    None => evaluator.reset(coloring),
+                    Some(_) => {
+                        flips += delta.flip_count();
+                        evaluator.update(coloring, delta)
+                    }
+                };
+                agree &= incremental == system.has_green_quorum(coloring);
+                if previous.is_some_and(|p| p != incremental) {
+                    verdict_changes += 1;
+                }
+                if !incremental {
+                    outages += 1;
+                }
+                previous = Some(incremental);
+            }
+            equivalence.add_row(vec![
+                entry.family.into(),
+                n.to_string(),
+                regime.into(),
+                fmt(fail),
+                fmt(repair),
+                steps.to_string(),
+                flips.to_string(),
+                verdict_changes.to_string(),
+                fmt(outages as f64 / steps as f64),
+                if agree { "1" } else { "0" }.into(),
+            ]);
+        }
+    }
+
+    // Throughput: steady-state low-rate churn — per-element rates chosen so
+    // a step flips O(1) elements (≈ 2n·fail·repair/(fail+repair) ≈ 2 at
+    // n ≈ 4096), the regime a delta engine exists for. The window is
+    // materialized outside the timed region so only evaluation is measured.
+    let (fail, repair) = (1.0 / 4_096.0, 1.0 / 64.0);
+    let window_steps = config.trials.clamp(64, 1_024);
+    let repeats = 64usize;
+    let mut rates = Table::new([
+        "family",
+        "n",
+        "path",
+        "steps",
+        "wall_ms",
+        "steps_per_s",
+        "speedup",
+        "peak_rss_mib",
+    ]);
+    for (family_index, entry) in families.iter().enumerate() {
+        let system = (entry.build)(4_096);
+        let n = system.universe_size();
+        let seed = base_seed ^ 0x5eed ^ (family_index as u64 + 1);
+        let trajectory = ChurnTrajectory::generate(n, fail, repair, window_steps, seed);
+        let mut window: Vec<(Coloring, ColoringDelta)> = Vec::with_capacity(window_steps);
+        let mut walker = trajectory.walk();
+        while let Some((coloring, delta)) = walker.step() {
+            window.push((coloring.clone(), delta.clone()));
+        }
+
+        let mut verdicts = 0usize;
+        let started = Instant::now();
+        for _ in 0..repeats {
+            for (coloring, _) in &window {
+                verdicts += usize::from(system.has_green_quorum(black_box(coloring)));
+            }
+        }
+        let scratch_wall = started.elapsed();
+
+        let mut evaluator = delta_evaluator_for(&system);
+        let started = Instant::now();
+        for _ in 0..repeats {
+            let mut primed = false;
+            for (coloring, delta) in &window {
+                let verdict = if primed {
+                    evaluator.update(black_box(coloring), delta)
+                } else {
+                    primed = true;
+                    evaluator.reset(black_box(coloring))
+                };
+                verdicts += usize::from(verdict);
+            }
+        }
+        let delta_wall = started.elapsed();
+        black_box(verdicts);
+
+        let timed_steps = repeats * window_steps;
+        let scratch_rate = timed_steps as f64 / scratch_wall.as_secs_f64();
+        let delta_rate = timed_steps as f64 / delta_wall.as_secs_f64();
+        for (path, wall, rate, speedup) in [
+            ("scratch", scratch_wall, scratch_rate, None),
+            (
+                "delta",
+                delta_wall,
+                delta_rate,
+                Some(delta_rate / scratch_rate),
+            ),
+        ] {
+            rates.add_row(vec![
+                entry.family.into(),
+                n.to_string(),
+                path.into(),
+                timed_steps.to_string(),
+                format!("{:.2}", wall.as_secs_f64() * 1_000.0),
+                format!("{:.0}", rate),
+                speedup.map_or_else(|| "-".into(), |s| format!("{s:.1}x")),
+                "-".into(),
+            ]);
+        }
+    }
+
+    // The streaming walk: a long horizon at constant memory, delta-evaluated
+    // end to end. The trajectory stores only its baseline + one cursor.
+    let grid = families
+        .iter()
+        .find(|entry| entry.family == "Grid")
+        .expect("Grid is in the catalogue");
+    let system = (grid.build)(4_096);
+    let n = system.universe_size();
+    let trajectory = ChurnTrajectory::generate(n, fail, repair, walk_steps, base_seed ^ 0xa1c);
+    let mut evaluator = delta_evaluator_for(&system);
+    let mut walker = trajectory.walk();
+    let mut verdicts = 0usize;
+    let mut primed = false;
+    let started = Instant::now();
+    while let Some((coloring, delta)) = walker.step() {
+        let verdict = if primed {
+            evaluator.update(coloring, delta)
+        } else {
+            primed = true;
+            evaluator.reset(coloring)
+        };
+        verdicts += usize::from(verdict);
+    }
+    let walk_wall = started.elapsed();
+    black_box(verdicts);
+    rates.add_row(vec![
+        grid.family.into(),
+        n.to_string(),
+        "stream-walk".into(),
+        walk_steps.to_string(),
+        format!("{:.2}", walk_wall.as_secs_f64() * 1_000.0),
+        format!("{:.0}", walk_steps as f64 / walk_wall.as_secs_f64()),
+        "-".into(),
+        peak_rss_bytes().map_or_else(
+            || "-".into(),
+            |rss| format!("{:.0}", rss as f64 / (1024.0 * 1024.0)),
+        ),
+    ]);
+
+    (equivalence, rates)
+}
+
 /// The full scenario matrix: every registry system × every compatible
 /// strategy × every standard failure scenario, one engine pass.
 ///
@@ -1299,11 +1513,17 @@ pub fn live(config: &ReproConfig) -> (Table, Table) {
                 format!("{:.0}", live.sessions_per_sec()),
                 format!(
                     "{:.3}",
-                    live.wall_latency_quantile(0.50).as_secs_f64() * 1_000.0
+                    live.wall_latency_quantile(0.50)
+                        .unwrap_or_default()
+                        .as_secs_f64()
+                        * 1_000.0
                 ),
                 format!(
                     "{:.3}",
-                    live.wall_latency_quantile(0.99).as_secs_f64() * 1_000.0
+                    live.wall_latency_quantile(0.99)
+                        .unwrap_or_default()
+                        .as_secs_f64()
+                        * 1_000.0
                 ),
             ]);
         }
@@ -1473,11 +1693,17 @@ pub fn chaos(config: &ReproConfig) -> (Table, Table) {
                     format!("{:.0}", live.sessions_per_sec()),
                     format!(
                         "{:.3}",
-                        live.wall_latency_quantile(0.50).as_secs_f64() * 1_000.0
+                        live.wall_latency_quantile(0.50)
+                            .unwrap_or_default()
+                            .as_secs_f64()
+                            * 1_000.0
                     ),
                     format!(
                         "{:.3}",
-                        live.wall_latency_quantile(0.99).as_secs_f64() * 1_000.0
+                        live.wall_latency_quantile(0.99)
+                            .unwrap_or_default()
+                            .as_secs_f64()
+                            * 1_000.0
                     ),
                 ]);
             }
@@ -1853,6 +2079,25 @@ mod tests {
         // Estimates are seeded: a repeat run reproduces the table verbatim.
         let (again, _) = scale_over(&tiny(), &systems);
         assert_eq!(avail.render(), again.render());
+    }
+
+    #[test]
+    fn churn_delta_agrees_on_every_family_and_reproduces_verbatim() {
+        // Short streaming walk: a million debug-mode steps are too slow for
+        // a unit test; the equivalence sweep is the real check.
+        let (equivalence, rates) = churn_delta_over(&tiny(), 400);
+        assert_eq!(equivalence.row_count(), 12, "6 families × 2 regimes");
+        for row in equivalence.rows() {
+            assert_eq!(row[9], "1", "delta/scratch divergence: {row:?}");
+        }
+        // 6 families × {scratch, delta} plus the streaming-walk row.
+        assert_eq!(rates.row_count(), 13);
+        let walk_row = rates.rows().last().unwrap();
+        assert_eq!(walk_row[2], "stream-walk");
+        assert_eq!(walk_row[3], "400");
+        // The equivalence table is a pure function of the seed.
+        let (again, _) = churn_delta_over(&tiny(), 400);
+        assert_eq!(equivalence.render(), again.render());
     }
 
     #[test]

@@ -381,6 +381,15 @@ const GATES: &[Gate] = &[
         enforced: true,
     },
     Gate {
+        // Delta-vs-scratch agreement, printed "1"/"0": any step of any
+        // churn timeline where the incremental evaluator disagreed with
+        // from-scratch evaluation flips the flag and fails the gate.
+        experiment: "churn-delta",
+        metric: "agree",
+        keys: &["family", "n", "regime"],
+        enforced: true,
+    },
+    Gate {
         // Sim-vs-live agreement, printed "1"/"0": a flip to "0" is a 100 %
         // drop, so any divergence of the live runtime fails the gate.
         experiment: "live",
@@ -419,6 +428,12 @@ const GATES: &[Gate] = &[
         experiment: "scale-throughput",
         metric: "lane_trials_per_s",
         keys: &["family", "n", "width"],
+        enforced: false,
+    },
+    Gate {
+        experiment: "churn-delta-throughput",
+        metric: "steps_per_s",
+        keys: &["family", "n", "path"],
         enforced: false,
     },
 ];
@@ -571,11 +586,17 @@ pub fn check_regression(
                 ));
                 continue;
             };
-            let delta = if *base_value == 0.0 {
-                0.0
-            } else {
-                (cur_value - base_value) / base_value
-            };
+            if *base_value == 0.0 {
+                // No baseline signal to compute a percentage against: a
+                // 0 → ε flip is a new signal, not a 0.0% no-op (and never
+                // Inf/NaN in the table). It cannot regress — only inform.
+                markdown.push_str(&format!(
+                    "| {} | {key} | 0.0 | {cur_value:.1} | new signal | info |\n",
+                    gate.experiment
+                ));
+                continue;
+            }
+            let delta = (cur_value - base_value) / base_value;
             let regressed = gate.enforced && delta < -tolerance;
             if regressed {
                 failures.push(format!(
@@ -632,7 +653,7 @@ mod tests {
     /// gate needs rows on both sides), and optional wall-clock `throughput`
     /// / `scale-throughput` / `live-throughput` / `chaos-throughput` rows.
     fn artifact_parts(thr: &[(&str, f64)], wall_rate: Option<f64>) -> String {
-        artifact_parts_full(thr, wall_rate, 0.875, "1", "1")
+        artifact_parts_full(thr, wall_rate, 0.875, "1", "1", "1")
     }
 
     fn artifact_parts_with_scale(
@@ -640,7 +661,7 @@ mod tests {
         wall_rate: Option<f64>,
         scale_avail: f64,
     ) -> String {
-        artifact_parts_full(thr, wall_rate, scale_avail, "1", "1")
+        artifact_parts_full(thr, wall_rate, scale_avail, "1", "1", "1")
     }
 
     fn artifact_parts_full(
@@ -649,6 +670,7 @@ mod tests {
         scale_avail: f64,
         live_agree: &str,
         chaos_agree: &str,
+        churn_delta_agree: &str,
     ) -> String {
         let mut table = Table::new([
             "system",
@@ -753,12 +775,37 @@ mod tests {
             "5/5".into(),
             "1840".into(),
         ]);
+        let mut churn_delta = Table::new([
+            "family",
+            "n",
+            "regime",
+            "fail",
+            "repair",
+            "steps",
+            "flips",
+            "verdict_changes",
+            "outage_frac",
+            "agree",
+        ]);
+        churn_delta.add_row(vec![
+            "Grid".into(),
+            "121".into(),
+            "slow".into(),
+            "0.016".into(),
+            "0.125".into(),
+            "500".into(),
+            "840".into(),
+            "6".into(),
+            "0.040".into(),
+            churn_delta_agree.into(),
+        ]);
         let mut artifact = BenchArtifact::new();
         artifact.record("workload", Duration::from_millis(5), table);
         artifact.record("network", Duration::from_millis(5), net);
         artifact.record("scale", Duration::from_millis(5), scale);
         artifact.record("live", Duration::from_millis(5), live);
         artifact.record("chaos", Duration::from_millis(5), chaos);
+        artifact.record("churn-delta", Duration::from_millis(5), churn_delta);
         if let Some(rate) = wall_rate {
             let mut wall = Table::new(["family", "n", "path", "trials_per_sec"]);
             wall.add_row(vec![
@@ -892,6 +939,22 @@ mod tests {
     }
 
     #[test]
+    fn a_zero_baseline_reports_a_new_signal_not_a_percentage() {
+        // Regression: a 0 → ε flip used to render as "+0.0% ok" (and a naive
+        // division would print Inf/NaN). It must show up as a clean
+        // informational "new signal" row and never fail the gate.
+        let baseline = parse_artifact(&artifact_with(&[("Maj", 0.0)])).unwrap();
+        let current = parse_artifact(&artifact_with(&[("Maj", 750.0)])).unwrap();
+        let report = check_regression(&current, &baseline, 0.25);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report
+            .markdown
+            .contains("| 0.0 | 750.0 | new signal | info |"));
+        assert!(!report.markdown.contains("inf%"));
+        assert!(!report.markdown.contains("NaN%"));
+    }
+
+    #[test]
     fn a_baseline_without_an_enforced_experiment_fails_loudly() {
         // A baseline regenerated from a partial experiment list must not
         // silently disable the gate.
@@ -966,6 +1029,7 @@ mod tests {
             0.875,
             "1",
             "1",
+            "1",
         ))
         .unwrap();
         let diverged = parse_artifact(&artifact_parts_full(
@@ -973,6 +1037,7 @@ mod tests {
             None,
             0.875,
             "0",
+            "1",
             "1",
         ))
         .unwrap();
@@ -1000,6 +1065,7 @@ mod tests {
             0.875,
             "1",
             "1",
+            "1",
         ))
         .unwrap();
         let diverged = parse_artifact(&artifact_parts_full(
@@ -1008,6 +1074,7 @@ mod tests {
             0.875,
             "1",
             "0",
+            "1",
         ))
         .unwrap();
         let report = check_regression(&diverged, &baseline, 0.25);
@@ -1028,6 +1095,48 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("'chaos' is missing from the baseline")));
+    }
+
+    #[test]
+    fn a_churn_delta_agreement_flip_fails_the_gate() {
+        // The delta engine's equivalence flag is enforced: any churn step
+        // where incremental evaluation disagreed with from-scratch
+        // evaluation flips agree to "0" — a 100 % drop — and fails CI.
+        let baseline = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "1",
+            "1",
+            "1",
+        ))
+        .unwrap();
+        let diverged = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "1",
+            "1",
+            "0",
+        ))
+        .unwrap();
+        let report = check_regression(&diverged, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("churn-delta:")),
+            "{:?}",
+            report.failures
+        );
+        assert!(report.markdown.contains("| churn-delta |"));
+        // A baseline regenerated without the experiment fails loudly.
+        let mut without = baseline.clone();
+        without.experiments.retain(|e| e.name != "churn-delta");
+        let report = check_regression(&baseline, &without, 0.25);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("'churn-delta' is missing from the baseline")));
     }
 
     #[test]

@@ -73,8 +73,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use quorum_cluster::{run_net_workload, run_workload};
     pub use quorum_core::{
-        Color, Coloring, Coterie, ElementId, ElementSet, QuorumError, QuorumSystem, Witness,
-        WitnessKind,
+        delta_evaluator_for, Color, Coloring, ColoringDelta, Coterie, DeltaEvaluator,
+        DynQuorumSystem, ElementId, ElementSet, QuorumError, QuorumSystem, RescanDeltaEvaluator,
+        Witness, WitnessKind,
     };
     pub use quorum_probe::{
         exact, run_strategy, strategies::*, yao, BreakerState, DecisionTree, GatedOutcome,

@@ -30,9 +30,10 @@ const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
 /// for v in 1..=1000u64 {
 ///     h.record(v);
 /// }
-/// let p50 = h.quantile(0.50);
+/// let p50 = h.quantile(0.50).unwrap();
 /// assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.05);
-/// assert!(h.quantile(0.99) >= p50);
+/// assert!(h.quantile(0.99).unwrap() >= p50);
+/// assert_eq!(LogHistogram::new().quantile(0.99), None);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
@@ -121,39 +122,41 @@ impl LogHistogram {
     /// at least `⌈q·count⌉` observations are `<= v`, within one bucket width
     /// (relative error at most `2^-5`), clamped to the observed `[min, max]`.
     ///
-    /// Returns 0 on an empty histogram.
+    /// Returns `None` on an empty histogram — there is no observation to
+    /// rank, and a silent 0 would be indistinguishable from a real recorded
+    /// zero latency.
     ///
     /// # Panics
     ///
     /// Panics if `q` is not in `(0, 1]`.
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (index, &bucket) in self.buckets.iter().enumerate() {
             seen += bucket;
             if seen >= rank {
-                return Self::bucket_upper(index).clamp(self.min, self.max);
+                return Some(Self::bucket_upper(index).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
-    /// Median shorthand.
-    pub fn p50(&self) -> u64 {
+    /// Median shorthand (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
         self.quantile(0.50)
     }
 
-    /// 95th-percentile shorthand.
-    pub fn p95(&self) -> u64 {
+    /// 95th-percentile shorthand (`None` when empty).
+    pub fn p95(&self) -> Option<u64> {
         self.quantile(0.95)
     }
 
-    /// 99th-percentile shorthand.
-    pub fn p99(&self) -> u64 {
+    /// 99th-percentile shorthand (`None` when empty).
+    pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }
 
@@ -217,7 +220,22 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert!(h.is_empty());
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        // Regression: an empty histogram used to answer `quantile(q) == 0`,
+        // indistinguishable from a real observed zero. It must refuse.
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        // One observation — even an actual zero — flips every quantile on.
+        let mut h = LogHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.p99(), Some(0));
     }
 
     #[test]
@@ -228,8 +246,8 @@ mod tests {
         }
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 31);
-        assert_eq!(h.quantile(1.0), 31);
-        assert_eq!(h.p50(), 2);
+        assert_eq!(h.quantile(1.0), Some(31));
+        assert_eq!(h.p50(), Some(2));
         assert_eq!(h.count(), 5);
     }
 
@@ -240,13 +258,13 @@ mod tests {
             h.record(v);
         }
         for (q, exact) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
-            let measured = h.quantile(q) as f64;
+            let measured = h.quantile(q).unwrap() as f64;
             let relative = (measured - exact).abs() / exact;
             assert!(relative < 0.04, "q={q}: {measured} vs {exact}");
         }
         assert!(h.p50() <= h.p95());
         assert!(h.p95() <= h.p99());
-        assert!(h.p99() <= h.max());
+        assert!(h.p99().unwrap() <= h.max());
     }
 
     #[test]
@@ -256,7 +274,7 @@ mod tests {
             h.record(5_000);
         }
         for q in [0.01, 0.5, 0.99, 1.0] {
-            let v = h.quantile(q) as f64;
+            let v = h.quantile(q).unwrap() as f64;
             assert!((v - 5_000.0).abs() / 5_000.0 < 0.04, "q={q}: {v}");
         }
         assert_eq!(h.mean(), 5_000.0);

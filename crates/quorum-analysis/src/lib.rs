@@ -28,6 +28,7 @@ pub mod bounds;
 pub mod fit;
 pub mod histogram;
 pub mod lemmas;
+pub mod noise;
 pub mod stats;
 
 pub use availability::{
@@ -36,4 +37,5 @@ pub use availability::{
 };
 pub use fit::{fit_power_law, PowerLawFit};
 pub use histogram::{load_imbalance, wasted_work_fraction, LogHistogram};
+pub use noise::{transcript_edit_distance, NoiseSensitivity};
 pub use stats::{RunningStats, Summary};

@@ -1,0 +1,211 @@
+//! Noise sensitivity of probe executions.
+//!
+//! Boolean noise sensitivity asks how a function's output reacts when each
+//! input coordinate is independently re-randomised with probability ε (the
+//! ε-resampled, ρ-correlated pair of the analysis-of-Boolean-functions
+//! literature; see e.g. arXiv:2101.07180 for the quantum-query treatment
+//! that motivated carrying the notion over to query *algorithms* rather
+//! than just functions). For probe strategies the natural refinement is
+//! **transcript** sensitivity: compare not only the final quorum verdict but
+//! the entire probe sequence the strategy issued on the base coloring versus
+//! the ε-resampled one. The edit distance between the two transcripts
+//! measures how much of the adaptive execution survives the perturbation —
+//! a strategy can be verdict-stable yet transcript-fragile, redoing almost
+//! all of its work under tiny churn.
+//!
+//! This module is dependency-clean: it scores transcript pairs handed to it.
+//! Constructing the ε-resampled coloring (a [`ColoringDelta`] against the
+//! base draw) lives in `quorum-sim::epsilon_resample_delta`, next to the RNG
+//! machinery.
+//!
+//! [`ColoringDelta`]: quorum_core::ColoringDelta
+
+/// Levenshtein edit distance between two probe transcripts (sequences of
+/// probed element ids): the minimum number of insertions, deletions and
+/// substitutions turning `a` into `b`.
+///
+/// Runs in O(|a|·|b|) time and O(min(|a|,|b|)) space — transcripts are probe
+/// sequences, so both lengths are bounded by the universe size.
+pub fn transcript_edit_distance(a: &[usize], b: &[usize]) -> usize {
+    // Keep the rolling row over the shorter sequence.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &x) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &y) in short.iter().enumerate() {
+            let substitution = prev_diag + usize::from(x != y);
+            prev_diag = row[j + 1];
+            row[j + 1] = substitution.min(row[j] + 1).min(prev_diag + 1);
+        }
+    }
+    row[short.len()]
+}
+
+/// Accumulates (base, perturbed) probe-run pairs into noise-sensitivity
+/// statistics: mean transcript edit distance, a length-normalised variant,
+/// and the verdict flip rate.
+///
+/// Feed it one pair per trial — the transcript and quorum verdict of a
+/// strategy on a base coloring, and the same on the ε-resampled coloring —
+/// then read the aggregates. All aggregates return `None` until at least one
+/// pair has been recorded, so an empty accumulation can never masquerade as
+/// "perfectly stable".
+#[derive(Debug, Clone, Default)]
+pub struct NoiseSensitivity {
+    pairs: usize,
+    total_edit: u64,
+    total_normalized: f64,
+    verdict_flips: usize,
+}
+
+impl NoiseSensitivity {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        NoiseSensitivity::default()
+    }
+
+    /// Records one (base, perturbed) pair: the probe transcripts and the
+    /// green-quorum verdicts of the two runs.
+    pub fn record(
+        &mut self,
+        base_transcript: &[usize],
+        base_verdict: bool,
+        perturbed_transcript: &[usize],
+        perturbed_verdict: bool,
+    ) {
+        let edit = transcript_edit_distance(base_transcript, perturbed_transcript);
+        let longest = base_transcript.len().max(perturbed_transcript.len());
+        self.pairs += 1;
+        self.total_edit += edit as u64;
+        if longest > 0 {
+            self.total_normalized += edit as f64 / longest as f64;
+        }
+        if base_verdict != perturbed_verdict {
+            self.verdict_flips += 1;
+        }
+    }
+
+    /// Number of pairs recorded.
+    pub fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// Mean transcript edit distance, or `None` if nothing was recorded.
+    pub fn mean_edit_distance(&self) -> Option<f64> {
+        (self.pairs > 0).then(|| self.total_edit as f64 / self.pairs as f64)
+    }
+
+    /// Mean of the per-pair `edit / max(len_base, len_perturbed)` ratio in
+    /// `0..=1` (pairs of empty transcripts contribute 0), or `None` if
+    /// nothing was recorded.
+    pub fn normalized_sensitivity(&self) -> Option<f64> {
+        (self.pairs > 0).then(|| self.total_normalized / self.pairs as f64)
+    }
+
+    /// Fraction of pairs whose quorum verdict flipped under the
+    /// perturbation — the classical Boolean noise sensitivity of the
+    /// characteristic function at the sampled inputs. `None` if nothing was
+    /// recorded.
+    pub fn verdict_flip_rate(&self) -> Option<f64> {
+        (self.pairs > 0).then(|| self.verdict_flips as f64 / self.pairs as f64)
+    }
+
+    /// Merges another accumulator into this one (for sharded evaluation).
+    pub fn merge(&mut self, other: &NoiseSensitivity) {
+        self.pairs += other.pairs;
+        self.total_edit += other.total_edit;
+        self.total_normalized += other.total_normalized;
+        self.verdict_flips += other.verdict_flips;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(transcript_edit_distance(&[], &[]), 0);
+        assert_eq!(transcript_edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(transcript_edit_distance(&[], &[1, 2, 3]), 3);
+        assert_eq!(transcript_edit_distance(&[1, 2, 3], &[]), 3);
+        // One substitution.
+        assert_eq!(transcript_edit_distance(&[1, 2, 3], &[1, 9, 3]), 1);
+        // One deletion.
+        assert_eq!(transcript_edit_distance(&[1, 2, 3], &[1, 3]), 1);
+        // One insertion.
+        assert_eq!(transcript_edit_distance(&[1, 3], &[1, 2, 3]), 1);
+        // Disjoint sequences: substitutions all the way.
+        assert_eq!(transcript_edit_distance(&[1, 2], &[3, 4]), 2);
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_respects_triangle_bound() {
+        let a = [5usize, 1, 4, 4, 2];
+        let b = [5usize, 4, 2, 2];
+        let c = [1usize, 1, 1];
+        assert_eq!(
+            transcript_edit_distance(&a, &b),
+            transcript_edit_distance(&b, &a)
+        );
+        let ab = transcript_edit_distance(&a, &b);
+        let bc = transcript_edit_distance(&b, &c);
+        let ac = transcript_edit_distance(&a, &c);
+        assert!(ac <= ab + bc, "triangle inequality must hold");
+    }
+
+    #[test]
+    fn edit_distance_classic_example() {
+        // kitten -> sitting, element-coded: 3 edits.
+        let kitten = [10usize, 8, 19, 19, 4, 13];
+        let sitting = [18usize, 8, 19, 19, 8, 13, 6];
+        assert_eq!(transcript_edit_distance(&kitten, &sitting), 3);
+    }
+
+    #[test]
+    fn aggregator_is_none_when_empty() {
+        let sens = NoiseSensitivity::new();
+        assert_eq!(sens.pairs(), 0);
+        assert_eq!(sens.mean_edit_distance(), None);
+        assert_eq!(sens.normalized_sensitivity(), None);
+        assert_eq!(sens.verdict_flip_rate(), None);
+    }
+
+    #[test]
+    fn aggregator_accumulates_means_and_flips() {
+        let mut sens = NoiseSensitivity::new();
+        // Identical pair: zero edit, no flip.
+        sens.record(&[1, 2, 3], true, &[1, 2, 3], true);
+        // Fully rewritten pair with a verdict flip: edit 3 of max-len 3.
+        sens.record(&[1, 2, 3], true, &[4, 5, 6], false);
+        assert_eq!(sens.pairs(), 2);
+        assert_eq!(sens.mean_edit_distance(), Some(1.5));
+        assert_eq!(sens.normalized_sensitivity(), Some(0.5));
+        assert_eq!(sens.verdict_flip_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn aggregator_handles_empty_transcripts() {
+        let mut sens = NoiseSensitivity::new();
+        sens.record(&[], true, &[], true);
+        assert_eq!(sens.mean_edit_distance(), Some(0.0));
+        assert_eq!(sens.normalized_sensitivity(), Some(0.0));
+        assert_eq!(sens.verdict_flip_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = NoiseSensitivity::new();
+        a.record(&[1, 2], true, &[1, 2], true);
+        let mut b = NoiseSensitivity::new();
+        b.record(&[1, 2], false, &[3, 4], true);
+        a.merge(&b);
+        assert_eq!(a.pairs(), 2);
+        assert_eq!(a.mean_edit_distance(), Some(1.0));
+        assert_eq!(a.verdict_flip_rate(), Some(0.5));
+    }
+}

@@ -375,4 +375,87 @@ mod tests {
         empty.heal_all(ms(5));
         assert!(empty.is_empty());
     }
+
+    mod heal_all_parity {
+        use super::*;
+        use crate::network::{LinkDirection, PartitionKind, PartitionSchedule, PartitionWindow};
+        use proptest::prelude::*;
+
+        /// The shape shared by both window kinds: `(from, until, nodes)` in
+        /// microseconds over a 6-node universe. `until` may precede `from`
+        /// (inert window) and node sets may be empty — `heal_all` must cope.
+        fn windows() -> impl Strategy<Value = Vec<(u64, u64, Vec<NodeId>)>> {
+            prop::collection::vec(
+                (
+                    0u64..2_000,
+                    0u64..2_000,
+                    prop::collection::vec(0usize..6, 0..4),
+                ),
+                0..8,
+            )
+        }
+
+        proptest! {
+            /// Pins the shared `heal_all` semantics: given the *same*
+            /// windows, both schedules clamp to the same instants, drop
+            /// exactly the same fully-clamped windows (zero-length windows
+            /// are removed, not kept inert), and are fully quiet from the
+            /// heal instant onward.
+            #[test]
+            fn chaos_and_partition_schedules_heal_identically(
+                shapes in windows(),
+                heal_us in 0u64..2_500,
+            ) {
+                let heal = SimTime::from_micros(heal_us);
+                let mut chaos = ChaosSchedule::from_windows(
+                    shapes
+                        .iter()
+                        .map(|(from, until, nodes)| ChaosWindow {
+                            from: SimTime::from_micros(*from),
+                            until: SimTime::from_micros(*until),
+                            nodes: nodes.clone(),
+                            kind: ChaosKind::Crash,
+                        })
+                        .collect(),
+                );
+                let mut partitions = PartitionSchedule::from_windows(
+                    shapes
+                        .iter()
+                        .map(|(from, until, nodes)| PartitionWindow {
+                            from: SimTime::from_micros(*from),
+                            until: SimTime::from_micros(*until),
+                            nodes: nodes.clone(),
+                            kind: PartitionKind::Isolate,
+                        })
+                        .collect(),
+                );
+                chaos.heal_all(heal);
+                partitions.heal_all(heal);
+
+                // Parity: both keep the same windows with the same clamps.
+                prop_assert_eq!(chaos.windows().len(), partitions.windows().len());
+                for (c, p) in chaos.windows().iter().zip(partitions.windows()) {
+                    prop_assert_eq!(c.from, p.from);
+                    prop_assert_eq!(c.until, p.until);
+                    prop_assert_eq!(&c.nodes, &p.nodes);
+                    // Fully-clamped (zero-length) windows are dropped, and
+                    // nothing survives past the heal instant.
+                    prop_assert!(c.from < c.until);
+                    prop_assert!(c.until <= heal);
+                }
+
+                // Behavioural half of the contract: quiet from `heal` on.
+                for probe_us in [heal_us, heal_us + 1, heal_us + 500] {
+                    let at = SimTime::from_micros(probe_us);
+                    prop_assert!(chaos.is_quiescent_at(at));
+                    prop_assert!(partitions.is_quiescent_at(at));
+                    for node in 0..6 {
+                        prop_assert_eq!(chaos.state_at(node, at), ChaosState::Up);
+                        prop_assert!(partitions.delivers(node, LinkDirection::Request, at));
+                        prop_assert!(partitions.delivers(node, LinkDirection::Response, at));
+                    }
+                }
+            }
+        }
+    }
 }

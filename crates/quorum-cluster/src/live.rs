@@ -270,15 +270,17 @@ impl LiveReport {
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) of admitted sessions' wall-clock
-    /// latency; zero when nothing ran.
-    pub fn wall_latency_quantile(&self, q: f64) -> Duration {
+    /// latency, or `None` when no session completed — a silent
+    /// `Duration::ZERO` would be indistinguishable from a genuinely instant
+    /// run.
+    pub fn wall_latency_quantile(&self, q: f64) -> Option<Duration> {
         if self.sessions.is_empty() {
-            return Duration::ZERO;
+            return None;
         }
         let mut walls: Vec<Duration> = self.sessions.iter().map(|s| s.wall).collect();
         walls.sort_unstable();
         let rank = ((walls.len() as f64 * q).ceil() as usize).clamp(1, walls.len());
-        walls[rank - 1]
+        Some(walls[rank - 1])
     }
 }
 
@@ -883,7 +885,14 @@ mod tests {
         assert_eq!(report.messages, 12 * expect.messages);
         assert!(report.wall > Duration::ZERO);
         assert!(report.sessions_per_sec() > 0.0);
-        assert!(report.wall_latency_quantile(0.5) <= report.wall_latency_quantile(0.99));
+        let p50 = report.wall_latency_quantile(0.5).expect("sessions ran");
+        let p99 = report.wall_latency_quantile(0.99).expect("sessions ran");
+        assert!(p50 <= p99);
+        // Regression: with no completed sessions there is no latency to
+        // rank — the quantile must refuse rather than report a zero.
+        let mut empty = report.clone();
+        empty.sessions.clear();
+        assert_eq!(empty.wall_latency_quantile(0.5), None);
     }
 
     #[test]

@@ -996,7 +996,7 @@ mod tests {
         assert!(report.duration > SimTime::ZERO);
         assert!(report.throughput_per_sec() > 0.0);
         assert_eq!(report.latency.count(), 200);
-        assert!(report.latency.p50() <= report.latency.p99());
+        assert!(report.latency.p50().unwrap() <= report.latency.p99().unwrap());
         // Sequential scans hammer the prefix: elements 0..=3 carry all load.
         assert_eq!(report.ledger.probes_received()[0], 200);
         assert_eq!(report.ledger.probes_received()[5], 0);
@@ -1072,11 +1072,11 @@ mod tests {
         );
         let calm = run_workload(n, &relaxed, 3, maj_sessions(n));
         let hot = run_workload(n, &slammed, 3, maj_sessions(n));
+        let hot_p99 = hot.latency.p99().unwrap();
+        let calm_p99 = calm.latency.p99().unwrap();
         assert!(
-            hot.latency.p99() > calm.latency.p99(),
-            "queueing must show up in the tail: hot {} vs calm {}",
-            hot.latency.p99(),
-            calm.latency.p99()
+            hot_p99 > calm_p99,
+            "queueing must show up in the tail: hot {hot_p99} vs calm {calm_p99}"
         );
         let busiest = (0..n).map(|e| hot.ledger.peak_backlog(e)).max().unwrap();
         assert!(busiest > 1, "dense arrivals must queue somewhere");
@@ -1318,11 +1318,11 @@ mod tests {
         assert_eq!(hedged.hedges, 50, "one hedge per session");
         assert_eq!(hedged.cancelled, 50, "one loser per race");
         assert!(hedged.cancelled <= hedged.hedges);
+        let hedged_p50 = hedged.latency.p50().unwrap();
+        let sequential_p50 = sequential.latency.p50().unwrap();
         assert!(
-            hedged.latency.p50() < sequential.latency.p50(),
-            "hedging must shrink the stall: {} vs {}",
-            hedged.latency.p50(),
-            sequential.latency.p50()
+            hedged_p50 < sequential_p50,
+            "hedging must shrink the stall: {hedged_p50} vs {sequential_p50}"
         );
     }
 

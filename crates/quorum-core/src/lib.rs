@@ -49,6 +49,7 @@
 pub mod boolean;
 pub mod coloring;
 pub mod coterie;
+pub mod delta;
 pub mod error;
 pub mod lanes;
 pub mod set;
@@ -59,6 +60,7 @@ pub mod witness;
 pub use boolean::CharacteristicFunction;
 pub use coloring::{Color, Coloring};
 pub use coterie::Coterie;
+pub use delta::{delta_evaluator_for, ColoringDelta, DeltaEvaluator, RescanDeltaEvaluator};
 pub use error::QuorumError;
 pub use set::{ElementSet, WORD_BITS};
 pub use system::{DynQuorumSystem, QuorumSystem};

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use crate::delta::DeltaEvaluator;
 use crate::{Coloring, Coterie, ElementSet, QuorumError};
 
 /// A quorum system over the universe `{0, …, n−1}`, exposed through its
@@ -110,6 +111,19 @@ pub trait QuorumSystem {
         true
     }
 
+    /// An incremental evaluator of the green-quorum predicate, when the
+    /// family has one: a stateful [`DeltaEvaluator`] that caches per-family
+    /// structure (green counters, row tallies, circuit gate values) so that
+    /// re-evaluation after a small [`crate::ColoringDelta`] costs time
+    /// proportional to the flips, not the universe.
+    ///
+    /// Returns `None` when the construction has no incremental evaluator;
+    /// [`crate::delta_evaluator_for`] then falls back to the generic
+    /// [`crate::RescanDeltaEvaluator`].
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        None
+    }
+
     /// Enumerates all minimal quorums (the minterms of the characteristic
     /// function).
     ///
@@ -184,6 +198,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for &T {
     fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
         (**self).green_quorum_lane_block(lanes, width, out)
     }
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        (**self).delta_evaluator()
+    }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()
     }
@@ -211,6 +228,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for Arc<T> {
     fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
         (**self).green_quorum_lane_block(lanes, width, out)
     }
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        (**self).delta_evaluator()
+    }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()
     }
@@ -237,6 +257,9 @@ impl<T: QuorumSystem + ?Sized> QuorumSystem for Box<T> {
     }
     fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
         (**self).green_quorum_lane_block(lanes, width, out)
+    }
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        (**self).delta_evaluator()
     }
     fn enumerate_quorums(&self) -> Result<Vec<ElementSet>, QuorumError> {
         (**self).enumerate_quorums()

@@ -8,15 +8,21 @@
 //! sweep from the paper's assumptions to correlated, heterogeneous and
 //! time-varying scenarios without changing any probing code.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use quorum_analysis::availability::{zone_of, zoned_params};
-use quorum_core::lanes::{bernoulli_lane_words, LANE_TRIALS};
-use quorum_core::{Color, Coloring, WORD_BITS};
+use quorum_core::lanes::{bernoulli_lane_words, bernoulli_lanes, LANE_TRIALS};
+use quorum_core::{Color, Coloring, ColoringDelta, WORD_BITS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A precomputed fail/repair Markov trajectory: one coloring per time step.
+/// How many replay cursors a [`ChurnTrajectory`] keeps warm for random
+/// access. Each cursor is one coloring plus one RNG state, so the cap bounds
+/// the trajectory's memory at a handful of cache lines regardless of how many
+/// threads stream it.
+const MAX_POOLED_CURSORS: usize = 32;
+
+/// A streaming fail/repair Markov trajectory over colorings.
 ///
 /// Each element is an independent two-state Markov chain: a green element
 /// turns red with probability `fail` per step, a red element turns green with
@@ -25,20 +31,76 @@ use rand::{Rng, SeedableRng};
 /// trajectory is in steady state from step 0 and its time averages estimate
 /// stationary expectations without burn-in.
 ///
-/// The whole trajectory is generated **eagerly and sequentially** from the
-/// seed at construction time, which is what makes churn experiments
-/// bit-identical across engine thread counts: parallel trials only ever read
-/// the shared, immutable timeline.
-#[derive(Debug, Clone, PartialEq)]
+/// Steps are **not stored**. The trajectory holds only the step-0 baseline
+/// coloring and the RNG state that follows it; every later step is
+/// re-derived on demand by word-packed transition sampling (one
+/// binary-expansion Bernoulli mask per 64 elements per rate, XORed into the
+/// current words). Memory is therefore constant at any horizon — a
+/// million-step timeline costs the same as a ten-step one.
+///
+/// The coloring at step `t` is a pure function of `(seed, t)`, which is what
+/// keeps churn experiments bit-identical across engine thread counts:
+/// parallel trials that ask for the same step always see the same coloring,
+/// however the replay cursors behind [`ChurnTrajectory::coloring_into`] are
+/// scheduled. Sequential consumers should prefer [`ChurnTrajectory::walk`],
+/// which additionally exposes each step's [`ColoringDelta`] for incremental
+/// re-evaluation.
+#[derive(Debug)]
 pub struct ChurnTrajectory {
+    n: usize,
     fail: f64,
     repair: f64,
     seed: u64,
-    colorings: Vec<Coloring>,
+    steps: usize,
+    /// The step-0 coloring (stationary draw).
+    baseline: Coloring,
+    /// The RNG state immediately after drawing the baseline; cloning it
+    /// replays the transition stream from step 0 deterministically.
+    rng_after_init: StdRng,
+    /// Warm replay cursors for random access, most recently used at the back.
+    cursors: Mutex<Vec<ChurnCursor>>,
+}
+
+/// One replay position: the coloring at `position` and the RNG state ready
+/// to advance it to `position + 1`.
+#[derive(Debug, Clone)]
+struct ChurnCursor {
+    position: usize,
+    coloring: Coloring,
+    rng: StdRng,
+}
+
+impl Clone for ChurnTrajectory {
+    fn clone(&self) -> Self {
+        ChurnTrajectory {
+            n: self.n,
+            fail: self.fail,
+            repair: self.repair,
+            seed: self.seed,
+            steps: self.steps,
+            baseline: self.baseline.clone(),
+            rng_after_init: self.rng_after_init.clone(),
+            cursors: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl PartialEq for ChurnTrajectory {
+    /// Two trajectories are equal iff their parameters are: the timeline is
+    /// a pure function of `(n, fail, repair, steps, seed)`, so parameter
+    /// equality is timeline equality (cursor pools are just caches).
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.fail == other.fail
+            && self.repair == other.repair
+            && self.seed == other.seed
+            && self.steps == other.steps
+    }
 }
 
 impl ChurnTrajectory {
-    /// Generates a trajectory of `steps` colorings for `n` elements.
+    /// Creates a trajectory of `steps` colorings for `n` elements. Only the
+    /// step-0 baseline is sampled here; later steps stream on demand.
     ///
     /// # Panics
     ///
@@ -61,53 +123,30 @@ impl ChurnTrajectory {
 
         let mut rng = StdRng::seed_from_u64(seed);
         let stationary_red = fail / (fail + repair);
-        let mut current = Coloring::from_fn(n, |_| {
-            if rng.gen_bool(stationary_red) {
-                Color::Red
-            } else {
-                Color::Green
-            }
-        });
-        let mut colorings = Vec::with_capacity(steps);
-        colorings.push(current.clone());
-        for _ in 1..steps {
-            for e in 0..n {
-                match current.color(e) {
-                    Color::Green => {
-                        if rng.gen_bool(fail) {
-                            current.set_color(e, Color::Red);
-                        }
-                    }
-                    Color::Red => {
-                        if rng.gen_bool(repair) {
-                            current.set_color(e, Color::Green);
-                        }
-                    }
-                }
-            }
-            colorings.push(current.clone());
-        }
+        let mut baseline = Coloring::all_green(n);
+        fill_word_bernoulli(stationary_red, &mut rng, &mut baseline);
         ChurnTrajectory {
+            n,
             fail,
             repair,
             seed,
-            colorings,
+            steps,
+            baseline,
+            rng_after_init: rng,
+            cursors: Mutex::new(Vec::new()),
         }
     }
 
     /// Universe size of every coloring in the trajectory.
     pub fn universe_size(&self) -> usize {
-        self.colorings[0].universe_size()
+        self.n
     }
 
-    /// Number of time steps.
+    /// Number of time steps. Never zero — construction requires at least one
+    /// step, which is why there is no `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.colorings.len()
-    }
-
-    /// Whether the trajectory is empty (never: construction requires a step).
-    pub fn is_empty(&self) -> bool {
-        self.colorings.is_empty()
+        self.steps
     }
 
     /// The per-step fail probability of a green element.
@@ -125,16 +164,268 @@ impl ChurnTrajectory {
         self.fail / (self.fail + self.repair)
     }
 
-    /// The coloring at time step `t`, wrapping around modulo the length, so
-    /// trial indices beyond the horizon replay the timeline.
-    pub fn coloring_at(&self, t: u64) -> &Coloring {
-        &self.colorings[(t % self.colorings.len() as u64) as usize]
+    /// The seed the timeline is derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
-    /// Iterates over the trajectory's colorings in time order.
-    pub fn iter(&self) -> impl Iterator<Item = &Coloring> + '_ {
-        self.colorings.iter()
+    /// Writes the coloring at time step `t` (wrapping around modulo the
+    /// length, so trial indices beyond the horizon replay the timeline) into
+    /// a caller-owned scratch coloring.
+    ///
+    /// Random access is served by a small pool of warm replay cursors: a
+    /// request at step `t` resumes the nearest cursor at or before `t` and
+    /// advances it, so the engine's per-shard sequential trial order costs
+    /// O(1) amortised steps per trial. The result is independent of cursor
+    /// scheduling — step `t` is a pure function of `(seed, t)`.
+    pub fn coloring_into(&self, t: u64, out: &mut Coloring) {
+        let target = (t % self.steps as u64) as usize;
+        let cursor = self.checkout(target);
+        out.copy_from(&cursor.coloring);
+        self.checkin(cursor);
     }
+
+    /// The coloring at time step `t` (wrapping modulo the length), as an
+    /// owned value. Hot paths should prefer [`ChurnTrajectory::coloring_into`]
+    /// or [`ChurnTrajectory::walk`].
+    pub fn coloring_at(&self, t: u64) -> Coloring {
+        let mut out = Coloring::all_green(0);
+        self.coloring_into(t, &mut out);
+        out
+    }
+
+    /// A sequential walker over the timeline that exposes, at every step,
+    /// the coloring **and** the [`ColoringDelta`] from the previous step —
+    /// the streaming input of incremental (delta) re-evaluation.
+    pub fn walk(&self) -> ChurnWalker<'_> {
+        ChurnWalker {
+            trajectory: self,
+            next_step: 0,
+            coloring: self.baseline.clone(),
+            delta: ColoringDelta::empty(self.n),
+            rng: self.rng_after_init.clone(),
+        }
+    }
+
+    /// Iterates over the trajectory's colorings in time order, yielding owned
+    /// snapshots. Memory stays constant; each item is a fresh clone of the
+    /// walker's current coloring.
+    pub fn iter(&self) -> impl Iterator<Item = Coloring> + '_ {
+        let mut walker = self.walk();
+        std::iter::from_fn(move || walker.step().map(|(coloring, _)| coloring.clone()))
+    }
+
+    /// Visits `count` consecutive absolute time steps starting at `start`,
+    /// wrapping modulo the horizon. The callback receives the offset from
+    /// `start`, the coloring, and the delta from the previous visited step
+    /// (empty on the first visit; a wrap back to step 0 reports the diff
+    /// against the final step). Used by the lane fill, which only needs the
+    /// flipped bits after its initial broadcast.
+    fn visit_range(
+        &self,
+        start: u64,
+        count: usize,
+        mut f: impl FnMut(usize, &Coloring, &ColoringDelta),
+    ) {
+        if count == 0 {
+            return;
+        }
+        let steps = self.steps as u64;
+        let mut cursor = self.checkout((start % steps) as usize);
+        let mut delta = ColoringDelta::empty(self.n);
+        f(0, &cursor.coloring, &delta);
+        for i in 1..count {
+            let at = (start + i as u64) % steps;
+            if at == 0 {
+                // Wrap: jump back to the baseline and report the jump as a
+                // plain diff — the replay is a cycle, not a Markov step.
+                cursor.coloring.diff_into(&self.baseline, &mut delta);
+                cursor.coloring.copy_from(&self.baseline);
+                cursor.rng = self.rng_after_init.clone();
+                cursor.position = 0;
+            } else {
+                delta.clear();
+                let sink = &mut delta;
+                step_words(
+                    self.fail,
+                    self.repair,
+                    &mut cursor.rng,
+                    &mut cursor.coloring,
+                    |w, flips| sink.push_word(w, flips),
+                );
+                cursor.position += 1;
+            }
+            f(i, &cursor.coloring, &delta);
+        }
+        self.checkin(cursor);
+    }
+
+    /// A fresh cursor parked at step 0.
+    fn fresh_cursor(&self) -> ChurnCursor {
+        ChurnCursor {
+            position: 0,
+            coloring: self.baseline.clone(),
+            rng: self.rng_after_init.clone(),
+        }
+    }
+
+    /// Takes the warm cursor closest at-or-before `target` (or a fresh one)
+    /// and advances it to `target`. The advance runs outside the pool lock.
+    fn checkout(&self, target: usize) -> ChurnCursor {
+        let mut cursor = {
+            let mut pool = self.cursors.lock().expect("cursor pool poisoned");
+            let best = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.position <= target)
+                .max_by_key(|&(_, c)| c.position)
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => pool.remove(i),
+                None => self.fresh_cursor(),
+            }
+        };
+        while cursor.position < target {
+            step_words(
+                self.fail,
+                self.repair,
+                &mut cursor.rng,
+                &mut cursor.coloring,
+                |_, _| {},
+            );
+            cursor.position += 1;
+        }
+        cursor
+    }
+
+    /// Returns a cursor to the pool, evicting the least recently used one if
+    /// the pool is full (the back of the vector is the warmest).
+    fn checkin(&self, cursor: ChurnCursor) {
+        let mut pool = self.cursors.lock().expect("cursor pool poisoned");
+        pool.push(cursor);
+        if pool.len() > MAX_POOLED_CURSORS {
+            pool.remove(0);
+        }
+    }
+}
+
+/// A sequential walker over a [`ChurnTrajectory`]: each [`ChurnWalker::step`]
+/// advances one time step and lends the coloring plus the delta from the
+/// previous step. The first step yields the baseline with an empty delta.
+///
+/// This is the streaming interface of the delta engine: an incremental
+/// evaluator consumes `(coloring, delta)` pairs without the trajectory ever
+/// materialising more than one step.
+#[derive(Debug)]
+pub struct ChurnWalker<'a> {
+    trajectory: &'a ChurnTrajectory,
+    next_step: usize,
+    coloring: Coloring,
+    delta: ColoringDelta,
+    rng: StdRng,
+}
+
+impl ChurnWalker<'_> {
+    /// Advances to the next time step and lends `(coloring, delta)`, or
+    /// `None` once the horizon is exhausted. The delta takes the previously
+    /// yielded coloring to the current one (empty on the first step).
+    #[allow(clippy::should_implement_trait)]
+    pub fn step(&mut self) -> Option<(&Coloring, &ColoringDelta)> {
+        if self.next_step >= self.trajectory.steps {
+            return None;
+        }
+        self.delta.clear();
+        if self.next_step > 0 {
+            let sink = &mut self.delta;
+            step_words(
+                self.trajectory.fail,
+                self.trajectory.repair,
+                &mut self.rng,
+                &mut self.coloring,
+                |w, flips| sink.push_word(w, flips),
+            );
+        }
+        self.next_step += 1;
+        Some((&self.coloring, &self.delta))
+    }
+
+    /// The step index of the most recently yielded coloring, if any.
+    pub fn position(&self) -> Option<usize> {
+        self.next_step.checked_sub(1)
+    }
+
+    /// How many steps remain.
+    pub fn remaining(&self) -> usize {
+        self.trajectory.steps - self.next_step
+    }
+}
+
+/// Overwrites `out` with an i.i.d. Bernoulli(`p_red`) coloring: one
+/// word-packed binary-expansion draw per 64 elements.
+fn fill_word_bernoulli<R: Rng + ?Sized>(p_red: f64, rng: &mut R, out: &mut Coloring) {
+    for w in 0..out.word_count() {
+        out.set_red_word(w, bernoulli_lanes(p_red, || rng.next_u64()));
+    }
+}
+
+/// Advances a coloring one Markov step with word-packed transition sampling:
+/// per 64-element word, one Bernoulli(`fail`) mask and one Bernoulli(`repair`)
+/// mask from the binary-expansion sampler, combined into the flip set
+/// `(red & repair) | (green & fail)` and XORed in. `on_flips` observes each
+/// word's raw flip mask (tail bits possibly set; sinks mask them).
+fn step_words<R: Rng + ?Sized>(
+    fail: f64,
+    repair: f64,
+    rng: &mut R,
+    coloring: &mut Coloring,
+    mut on_flips: impl FnMut(usize, u64),
+) {
+    for w in 0..coloring.word_count() {
+        let fail_mask = bernoulli_lanes(fail, || rng.next_u64());
+        let repair_mask = bernoulli_lanes(repair, || rng.next_u64());
+        let red = coloring.red_words()[w];
+        let flips = (red & repair_mask) | (!red & fail_mask);
+        if flips != 0 {
+            coloring.set_red_word(w, red ^ flips);
+            on_flips(w, flips);
+        }
+    }
+}
+
+/// Draws an ε-resampling delta against `coloring`: each element is selected
+/// independently with probability `epsilon`, and every selected element has
+/// its color redrawn as Bernoulli(`p_red`) red. The returned delta records
+/// only the bits that actually changed, so applying it yields the classical
+/// ε-correlated perturbation used in noise-sensitivity analysis.
+///
+/// Word-packed: two binary-expansion draws per 64 elements (selection mask
+/// and redraw mask), independent of how many elements actually flip.
+///
+/// # Panics
+///
+/// Panics if `epsilon` or `p_red` is not a probability.
+pub fn epsilon_resample_delta<R: Rng + ?Sized>(
+    coloring: &Coloring,
+    epsilon: f64,
+    p_red: f64,
+    rng: &mut R,
+) -> ColoringDelta {
+    assert!(
+        (0.0..=1.0).contains(&epsilon),
+        "epsilon must be a probability, got {epsilon}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_red),
+        "p_red must be a probability, got {p_red}"
+    );
+    let mut delta = ColoringDelta::empty(coloring.universe_size());
+    for w in 0..coloring.word_count() {
+        let selected = bernoulli_lanes(epsilon, || rng.next_u64());
+        let redraw_red = bernoulli_lanes(p_red, || rng.next_u64());
+        let red = coloring.red_words()[w];
+        delta.push_word(w, selected & (red ^ redraw_red));
+    }
+    delta
 }
 
 /// A generator of colorings (failure patterns) for a universe of `n` elements.
@@ -193,7 +484,7 @@ pub enum FailureModel {
     },
     /// A fail/repair Markov chain: trial `t` sees time step `t`.
     Churn {
-        /// The precomputed, seed-deterministic timeline.
+        /// The seed-deterministic streaming timeline.
         trajectory: Arc<ChurnTrajectory>,
     },
 }
@@ -413,7 +704,7 @@ impl FailureModel {
                     n,
                     "churn trajectory universe does not match the requested universe"
                 );
-                out.copy_from(trajectory.coloring_at(trial_index));
+                trajectory.coloring_into(trial_index, out);
             }
         }
     }
@@ -429,7 +720,10 @@ impl FailureModel {
     /// Purely RNG-driven models (i.i.d., heterogeneous, zoned) fill lanes
     /// straight from the exact binary-expansion sampler; per-trial structured
     /// models (exact red count, churn, fixed) transpose their colorings into
-    /// lanes.
+    /// lanes. The churn transpose is delta-driven: each trial word broadcasts
+    /// its first coloring, then XORs `!0 << t` into the lane of every element
+    /// that flips at offset `t` — work proportional to actual churn, not to
+    /// `width · 64 · n`.
     ///
     /// Stream `w` of `rngs` is consumed element-sequentially and independently
     /// of the other streams, so **the bits are invariant under regrouping**:
@@ -518,18 +812,25 @@ impl FailureModel {
                     n,
                     "churn trajectory universe does not match the requested universe"
                 );
-                out.fill(0);
-                for w in 0..width {
-                    for t in 0..LANE_TRIALS {
-                        let time = (first_trial_word + w as u64) * LANE_TRIALS as u64 + t as u64;
-                        let coloring = trajectory.coloring_at(time);
+                let start = first_trial_word * LANE_TRIALS as u64;
+                trajectory.visit_range(start, width * LANE_TRIALS, |i, coloring, delta| {
+                    let w = i / LANE_TRIALS;
+                    let t = i % LANE_TRIALS;
+                    if t == 0 {
+                        // Trial-word start: broadcast the current coloring
+                        // into bits 0..64 of every element's lane word.
                         for e in 0..n {
-                            if coloring.is_green(e) {
-                                out[e * width + w] |= 1u64 << t;
-                            }
+                            out[e * width + w] = if coloring.is_green(e) { u64::MAX } else { 0 };
+                        }
+                    } else {
+                        // A flip at offset t toggles bits t.. of the lane:
+                        // later offsets re-toggle, so bit k always carries
+                        // the parity of flips in 1..=k over the broadcast.
+                        for e in delta.flipped_elements() {
+                            out[e * width + w] ^= u64::MAX << t;
                         }
                     }
-                }
+                });
             }
             FailureModel::ExactRedCount { reds } => {
                 assert!(
@@ -633,6 +934,7 @@ fn sample_iid_into<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R, out: &mut Col
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -838,18 +1140,26 @@ mod tests {
         let a = ChurnTrajectory::generate(12, 0.1, 0.4, 64, 77);
         let b = ChurnTrajectory::generate(12, 0.1, 0.4, 64, 77);
         assert_eq!(a, b, "same parameters and seed must replay identically");
+        assert!(
+            a.iter().eq(b.iter()),
+            "materialised timelines must be bit-identical"
+        );
         let c = ChurnTrajectory::generate(12, 0.1, 0.4, 64, 78);
         assert_ne!(a, c, "a different seed must change the timeline");
+        assert!(
+            !a.iter().eq(c.iter()),
+            "a different seed must change the colorings themselves"
+        );
         assert_eq!(a.len(), 64);
         assert_eq!(a.universe_size(), 12);
-        assert!(!a.is_empty());
+        assert_eq!(a.seed(), 77);
         assert!((a.stationary_red_fraction() - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn churn_stationary_fraction_holds_along_the_timeline() {
         let trajectory = ChurnTrajectory::generate(50, 0.2, 0.3, 2_000, 5);
-        let reds: usize = trajectory.iter().map(Coloring::red_count).sum();
+        let reds: usize = trajectory.iter().map(|c| c.red_count()).sum();
         let rate = reds as f64 / (50 * 2_000) as f64;
         assert!(
             (rate - 0.4).abs() < 0.03,
@@ -867,7 +1177,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for trial in 0..40u64 {
             assert_eq!(
-                &model.sample_at(8, trial, &mut rng),
+                model.sample_at(8, trial, &mut rng),
                 trajectory.coloring_at(trial),
                 "trial {trial} must observe its time step (wrapping)"
             );
@@ -877,13 +1187,8 @@ mod tests {
     #[test]
     fn churn_steps_change_between_consecutive_colorings() {
         let trajectory = ChurnTrajectory::generate(100, 0.5, 0.5, 8, 3);
-        let mut changed = false;
-        let colorings: Vec<&Coloring> = trajectory.iter().collect();
-        for pair in colorings.windows(2) {
-            if pair[0] != pair[1] {
-                changed = true;
-            }
-        }
+        let colorings: Vec<Coloring> = trajectory.iter().collect();
+        let changed = colorings.windows(2).any(|pair| pair[0] != pair[1]);
         assert!(changed, "a rate-1/2 chain on 100 elements must move");
     }
 
@@ -891,6 +1196,210 @@ mod tests {
     #[should_panic(expected = "cannot both be zero")]
     fn churn_validates_rates() {
         let _ = ChurnTrajectory::generate(5, 0.0, 0.0, 10, 1);
+    }
+
+    #[test]
+    fn churn_walker_deltas_replay_the_timeline() {
+        // The delta stream must be exact: applying each step's delta to an
+        // independently maintained coloring reproduces the walker's coloring
+        // bit for bit, and the first delta is empty.
+        let trajectory = ChurnTrajectory::generate(130, 0.2, 0.3, 60, 99);
+        let mut walker = trajectory.walk();
+        let mut replayed: Option<Coloring> = None;
+        let mut steps_seen = 0usize;
+        while let Some((coloring, delta)) = walker.step() {
+            match replayed.as_mut() {
+                None => {
+                    assert!(delta.is_empty(), "first step must carry no delta");
+                    replayed = Some(coloring.clone());
+                }
+                Some(current) => {
+                    current.apply_delta(delta);
+                    assert_eq!(current, coloring, "delta replay diverged at a step");
+                }
+            }
+            steps_seen += 1;
+        }
+        assert_eq!(steps_seen, 60);
+        assert!(walker.step().is_none(), "walker must stay exhausted");
+    }
+
+    #[test]
+    fn churn_random_access_matches_sequential_walk() {
+        // coloring_at must be a pure function of (seed, t) no matter which
+        // warm cursor serves it: probe out of order, repeatedly, and beyond
+        // the horizon (wrapping), against an eagerly collected reference.
+        let trajectory = ChurnTrajectory::generate(70, 0.15, 0.35, 24, 7);
+        let eager: Vec<Coloring> = trajectory.iter().collect();
+        assert_eq!(eager.len(), 24);
+        let probes = [23u64, 0, 11, 11, 5, 47, 24, 13, 1, 22, 9, 30];
+        for &t in &probes {
+            assert_eq!(
+                trajectory.coloring_at(t),
+                eager[(t % 24) as usize],
+                "random access at t={t} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_clone_and_shared_access_agree() {
+        let trajectory = ChurnTrajectory::generate(40, 0.1, 0.2, 16, 3);
+        let clone = trajectory.clone();
+        assert_eq!(trajectory, clone);
+        for t in 0..32u64 {
+            assert_eq!(trajectory.coloring_at(t), clone.coloring_at(t));
+        }
+    }
+
+    #[test]
+    fn churn_walker_reports_position_and_remaining() {
+        let trajectory = ChurnTrajectory::generate(10, 0.2, 0.2, 4, 1);
+        let mut walker = trajectory.walk();
+        assert_eq!(walker.position(), None);
+        assert_eq!(walker.remaining(), 4);
+        walker.step();
+        assert_eq!(walker.position(), Some(0));
+        assert_eq!(walker.remaining(), 3);
+        while walker.step().is_some() {}
+        assert_eq!(walker.position(), Some(3));
+        assert_eq!(walker.remaining(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Delta-replayed churn timelines are bit-identical to the eager
+        /// generator for arbitrary parameters, and random access agrees
+        /// with both.
+        #[test]
+        fn prop_delta_replay_matches_eager_generation(
+            n in 1usize..140,
+            fail_num in 0u32..=8,
+            repair_num in 1u32..=8,
+            steps in 1usize..48,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let fail = f64::from(fail_num) / 8.0;
+            let repair = f64::from(repair_num) / 8.0;
+            let trajectory = ChurnTrajectory::generate(n, fail, repair, steps, seed);
+            let eager: Vec<Coloring> = trajectory.iter().collect();
+            prop_assert_eq!(eager.len(), steps);
+
+            let mut walker = trajectory.walk();
+            let mut replayed: Option<Coloring> = None;
+            let mut index = 0usize;
+            while let Some((coloring, delta)) = walker.step() {
+                match replayed.as_mut() {
+                    None => replayed = Some(coloring.clone()),
+                    Some(current) => current.apply_delta(delta),
+                }
+                prop_assert_eq!(replayed.as_ref().unwrap(), coloring);
+                prop_assert_eq!(coloring, &eager[index]);
+                index += 1;
+            }
+            prop_assert_eq!(index, steps);
+
+            // Random access through the cursor pool, shuffled-ish order.
+            for t in [steps as u64 - 1, 0, steps as u64 / 2, 2 * steps as u64 + 1] {
+                prop_assert_eq!(
+                    trajectory.coloring_at(t),
+                    eager[(t % steps as u64) as usize].clone()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_resample_extremes() {
+        let coloring =
+            Coloring::from_fn(100, |e| if e % 3 == 0 { Color::Red } else { Color::Green });
+        let mut rng = StdRng::seed_from_u64(5);
+        // ε = 0: nothing is selected, the delta is empty.
+        let delta = epsilon_resample_delta(&coloring, 0.0, 0.5, &mut rng);
+        assert!(delta.is_empty());
+        // ε = 1, p_red = 1: every element is redrawn red, so the delta
+        // flips exactly the green elements.
+        let delta = epsilon_resample_delta(&coloring, 1.0, 1.0, &mut rng);
+        let mut perturbed = coloring.clone();
+        perturbed.apply_delta(&delta);
+        assert_eq!(perturbed.red_count(), 100);
+        // ε = 1, p_red = 0: everything is redrawn green.
+        let delta = epsilon_resample_delta(&coloring, 1.0, 0.0, &mut rng);
+        let mut perturbed = coloring.clone();
+        perturbed.apply_delta(&delta);
+        assert_eq!(perturbed.green_count(), 100);
+    }
+
+    #[test]
+    fn epsilon_resample_flip_rate_matches_expectation() {
+        // A flip requires both selection (prob ε) and a redraw that lands on
+        // the opposite color, so on an all-green coloring the expected flip
+        // rate is ε·p_red.
+        let coloring = Coloring::all_green(200);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut flips = 0usize;
+        let rounds = 500;
+        for _ in 0..rounds {
+            flips += epsilon_resample_delta(&coloring, 0.25, 0.5, &mut rng).flip_count();
+        }
+        let rate = flips as f64 / (200 * rounds) as f64;
+        assert!(
+            (rate - 0.125).abs() < 0.01,
+            "flip rate {rate} should be near ε·p_red = 0.125"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be a probability")]
+    fn epsilon_resample_validates_epsilon() {
+        let coloring = Coloring::all_green(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = epsilon_resample_delta(&coloring, 1.5, 0.5, &mut rng);
+    }
+
+    #[test]
+    fn noise_sensitivity_of_probe_transcripts_under_resampling() {
+        // End-to-end wiring of the noise-sensitivity metric: run a strategy
+        // on a base coloring and on its ε-resampled perturbation, and feed
+        // the probe transcripts to the quorum-analysis aggregator. At ε = 0
+        // the perturbation is the identity, so a deterministic strategy must
+        // score exactly zero; at large ε the transcripts must actually move.
+        use quorum_analysis::NoiseSensitivity;
+        use quorum_probe::run_strategy;
+        use quorum_probe::strategies::SequentialScan;
+        use quorum_systems::Majority;
+
+        let maj = Majority::new(21).unwrap();
+        let model = FailureModel::iid(0.4);
+        let strategy = SequentialScan;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut zero = NoiseSensitivity::new();
+        let mut heavy = NoiseSensitivity::new();
+        for trial in 0..30u64 {
+            let base = model.sample_at(21, trial, &mut rng);
+            for (eps, sens) in [(0.0, &mut zero), (0.8, &mut heavy)] {
+                let delta = epsilon_resample_delta(&base, eps, 0.4, &mut rng);
+                let mut perturbed = base.clone();
+                perturbed.apply_delta(&delta);
+                let run_a = run_strategy(&maj, &strategy, &base, &mut rng);
+                let run_b = run_strategy(&maj, &strategy, &perturbed, &mut rng);
+                sens.record(
+                    &run_a.sequence,
+                    run_a.witness.is_green(),
+                    &run_b.sequence,
+                    run_b.witness.is_green(),
+                );
+            }
+        }
+        assert_eq!(zero.pairs(), 30);
+        assert_eq!(zero.mean_edit_distance(), Some(0.0));
+        assert_eq!(zero.verdict_flip_rate(), Some(0.0));
+        assert!(
+            heavy.mean_edit_distance().unwrap() > 0.5,
+            "heavy resampling must disturb the transcripts"
+        );
+        assert!(heavy.normalized_sensitivity().unwrap() <= 1.0);
     }
 
     #[test]

@@ -222,9 +222,9 @@ fn run_cell(base_seed: u64, cell_index: u64, cell: &WorkloadCell) -> WorkloadOut
         sessions: report.sessions,
         success_rate: report.success_rate(),
         throughput_per_sec: report.throughput_per_sec(),
-        p50_us: report.latency.p50(),
-        p95_us: report.latency.p95(),
-        p99_us: report.latency.p99(),
+        p50_us: report.latency.p50().unwrap_or(0),
+        p95_us: report.latency.p95().unwrap_or(0),
+        p99_us: report.latency.p99().unwrap_or(0),
         probes_per_session: report.probes_per_session(),
         imbalance: load_imbalance(report.ledger.probes_received()),
         peak_backlog,
@@ -673,9 +673,9 @@ fn net_outcome_from_report(
         sessions: report.sessions,
         success_rate: report.success_rate(),
         throughput_per_sec: report.throughput_per_sec(),
-        p50_us: report.latency.p50(),
-        p95_us: report.latency.p95(),
-        p99_us: report.latency.p99(),
+        p50_us: report.latency.p50().unwrap_or(0),
+        p95_us: report.latency.p95().unwrap_or(0),
+        p99_us: report.latency.p99().unwrap_or(0),
         probes_per_session: report.probes_per_session(),
         messages_per_session: report.messages_per_session(),
         wasted_fraction: report.wasted_fraction(),

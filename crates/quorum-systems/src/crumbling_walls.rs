@@ -1,9 +1,85 @@
 //! The Crumbling Walls family (Peleg & Wool), including Triang and Wheel.
 
 use quorum_core::lanes::Lanes;
-use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+use quorum_core::{
+    Coloring, ColoringDelta, DeltaEvaluator, ElementId, ElementSet, QuorumError, QuorumSystem,
+};
 
 use crate::dispatch_lane_block;
+
+/// Incremental crumbling-walls evaluation: a green tally per row, adjusted
+/// in O(1) per flip, with the bottom-up `2k − 1`-style verdict fold rerun
+/// over the `k` row tallies only (`k ≪ n` for every paper shape).
+#[derive(Debug, Clone)]
+struct CwDeltaEval {
+    widths: Vec<usize>,
+    offsets: Vec<usize>,
+    n: usize,
+    row_green: Vec<u32>,
+    verdict: bool,
+    primed: bool,
+}
+
+impl CwDeltaEval {
+    fn row_of(&self, e: ElementId) -> usize {
+        match self.offsets.binary_search(&e) {
+            Ok(row) => row,
+            Err(next) => next - 1,
+        }
+    }
+
+    fn refresh_verdict(&mut self) {
+        let mut verdict = false;
+        let mut reps_below_all = true;
+        for j in (0..self.widths.len()).rev() {
+            let green = self.row_green[j] as usize;
+            verdict = verdict || (green == self.widths[j] && reps_below_all);
+            reps_below_all = reps_below_all && green > 0;
+        }
+        self.verdict = verdict;
+    }
+}
+
+impl DeltaEvaluator for CwDeltaEval {
+    fn reset(&mut self, coloring: &Coloring) -> bool {
+        assert_eq!(coloring.universe_size(), self.n, "universe mismatch");
+        for (j, tally) in self.row_green.iter_mut().enumerate() {
+            *tally = self.widths[j] as u32;
+        }
+        for (w, word) in coloring.red_words().iter().enumerate() {
+            let mut mask = *word;
+            while mask != 0 {
+                let e = w * 64 + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let row = self.row_of(e);
+                self.row_green[row] -= 1;
+            }
+        }
+        self.refresh_verdict();
+        self.primed = true;
+        self.verdict
+    }
+
+    fn update(&mut self, post: &Coloring, delta: &ColoringDelta) -> bool {
+        assert!(self.primed, "update before reset");
+        assert_eq!(post.universe_size(), self.n, "universe mismatch");
+        for e in delta.flipped_elements() {
+            let row = self.row_of(e);
+            if post.is_green(e) {
+                self.row_green[row] += 1;
+            } else {
+                self.row_green[row] -= 1;
+            }
+        }
+        self.refresh_verdict();
+        self.verdict
+    }
+
+    fn verdict(&self) -> bool {
+        assert!(self.primed, "verdict before reset");
+        self.verdict
+    }
+}
 
 /// A crumbling-walls quorum system `(n_1, …, n_k)-CW`.
 ///
@@ -236,6 +312,17 @@ impl QuorumSystem for CrumblingWalls {
 
     fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
         dispatch_lane_block!(self, lanes, width, out)
+    }
+
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        Some(Box::new(CwDeltaEval {
+            widths: self.widths.clone(),
+            offsets: self.offsets.clone(),
+            n: self.n,
+            row_green: vec![0; self.widths.len()],
+            verdict: false,
+            primed: false,
+        }))
     }
 
     fn min_quorum_size(&self) -> usize {

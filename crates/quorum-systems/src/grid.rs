@@ -2,9 +2,96 @@
 //! main analysis).
 
 use quorum_core::lanes::Lanes;
-use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+use quorum_core::{
+    Coloring, ColoringDelta, DeltaEvaluator, ElementId, ElementSet, QuorumError, QuorumSystem,
+};
 
 use crate::dispatch_lane_block;
+
+/// Incremental grid evaluation: per-row and per-column red tallies plus
+/// clean-row/clean-column counters. Each flip adjusts two tallies, the
+/// verdict is the O(1) test `clean_rows > 0 && clean_cols > 0`.
+#[derive(Debug, Clone)]
+struct GridDeltaEval {
+    rows: usize,
+    cols: usize,
+    row_red: Vec<u32>,
+    col_red: Vec<u32>,
+    clean_rows: usize,
+    clean_cols: usize,
+    verdict: bool,
+    primed: bool,
+}
+
+impl GridDeltaEval {
+    fn recount(&mut self, coloring: &Coloring) {
+        self.row_red.iter_mut().for_each(|c| *c = 0);
+        self.col_red.iter_mut().for_each(|c| *c = 0);
+        for (w, word) in coloring.red_words().iter().enumerate() {
+            let mut mask = *word;
+            while mask != 0 {
+                let e = w * 64 + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.row_red[e / self.cols] += 1;
+                self.col_red[e % self.cols] += 1;
+            }
+        }
+        self.clean_rows = self.row_red.iter().filter(|&&c| c == 0).count();
+        self.clean_cols = self.col_red.iter().filter(|&&c| c == 0).count();
+    }
+}
+
+impl DeltaEvaluator for GridDeltaEval {
+    fn reset(&mut self, coloring: &Coloring) -> bool {
+        assert_eq!(
+            coloring.universe_size(),
+            self.rows * self.cols,
+            "universe mismatch"
+        );
+        self.recount(coloring);
+        self.verdict = self.clean_rows > 0 && self.clean_cols > 0;
+        self.primed = true;
+        self.verdict
+    }
+
+    fn update(&mut self, post: &Coloring, delta: &ColoringDelta) -> bool {
+        assert!(self.primed, "update before reset");
+        assert_eq!(
+            post.universe_size(),
+            self.rows * self.cols,
+            "universe mismatch"
+        );
+        for e in delta.flipped_elements() {
+            let (r, c) = (e / self.cols, e % self.cols);
+            if post.is_red(e) {
+                self.row_red[r] += 1;
+                if self.row_red[r] == 1 {
+                    self.clean_rows -= 1;
+                }
+                self.col_red[c] += 1;
+                if self.col_red[c] == 1 {
+                    self.clean_cols -= 1;
+                }
+            } else {
+                self.row_red[r] -= 1;
+                if self.row_red[r] == 0 {
+                    self.clean_rows += 1;
+                }
+                self.col_red[c] -= 1;
+                if self.col_red[c] == 0 {
+                    self.clean_cols += 1;
+                }
+            }
+        }
+        self.verdict = self.clean_rows > 0 && self.clean_cols > 0;
+        self.verdict
+    }
+
+    fn verdict(&self) -> bool {
+        assert!(self.primed, "verdict before reset");
+        self.verdict
+    }
+}
 
 /// A grid quorum system over `rows × cols` elements: a quorum is the union of
 /// one full row and one full column.
@@ -147,6 +234,19 @@ impl QuorumSystem for Grid {
 
     fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
         dispatch_lane_block!(self, lanes, width, out)
+    }
+
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        Some(Box::new(GridDeltaEval {
+            rows: self.rows,
+            cols: self.cols,
+            row_red: vec![0; self.rows],
+            col_red: vec![0; self.cols],
+            clean_rows: 0,
+            clean_cols: 0,
+            verdict: false,
+            primed: false,
+        }))
     }
 
     fn min_quorum_size(&self) -> usize {

@@ -251,6 +251,66 @@ mod tests {
         }
     }
 
+    /// Every family's incremental delta evaluator must agree with from-scratch
+    /// evaluation along random coloring walks, across word-boundary sizes.
+    #[test]
+    fn delta_evaluators_match_from_scratch_evaluation() {
+        use quorum_core::{delta_evaluator_for, Color, Coloring};
+
+        let mut state = 0x00d5_11fe_77aa_2901u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+
+        for entry in catalogue() {
+            for hint in [5usize, 16, 40, 70, 130] {
+                let system = (entry.build)(hint);
+                let n = system.universe_size();
+                assert!(
+                    system.delta_evaluator().is_some(),
+                    "{} has no family delta evaluator",
+                    entry.family
+                );
+                let mut eval = delta_evaluator_for(&system);
+                let mut current = Coloring::from_fn(n, |e| {
+                    if next().wrapping_add(e as u64) & 1 == 1 {
+                        Color::Red
+                    } else {
+                        Color::Green
+                    }
+                });
+                assert_eq!(
+                    eval.reset(&current),
+                    system.has_green_quorum(&current),
+                    "{} n={n}: reset diverged",
+                    entry.family
+                );
+                for step in 0..40 {
+                    // Flip a small random batch of elements (sometimes none).
+                    let mut post = current.clone();
+                    let flips = (next() % 4) as usize;
+                    for _ in 0..flips {
+                        let e = (next() % n as u64) as usize;
+                        post.set_color(e, post.color(e).opposite());
+                    }
+                    let delta = current.diff(&post);
+                    assert_eq!(
+                        eval.update(&post, &delta),
+                        system.has_green_quorum(&post),
+                        "{} n={n} step {step} diverged from scratch",
+                        entry.family
+                    );
+                    assert_eq!(eval.verdict(), system.has_green_quorum(&post));
+                    current = post;
+                }
+            }
+        }
+    }
+
     /// Every family's word-parallel lane evaluator must agree with the scalar
     /// characteristic function, trial by trial, across word-boundary sizes.
     #[test]

@@ -1,9 +1,52 @@
 //! The Majority quorum system (Thomas' voting scheme).
 
 use quorum_core::lanes::{count_at_least_lanes, Lanes};
-use quorum_core::{ElementSet, QuorumError, QuorumSystem};
+use quorum_core::{Coloring, ColoringDelta, DeltaEvaluator, ElementSet, QuorumError, QuorumSystem};
 
 use crate::dispatch_lane_block;
+
+/// Incremental majority evaluation: a cached green count, adjusted per delta
+/// by the popcounts of each dirty word split into red-ward and green-ward
+/// flips — O(dirty words) per update regardless of `n`.
+#[derive(Debug, Clone)]
+struct MajorityDeltaEval {
+    n: usize,
+    threshold: usize,
+    green: usize,
+    verdict: bool,
+    primed: bool,
+}
+
+impl DeltaEvaluator for MajorityDeltaEval {
+    fn reset(&mut self, coloring: &Coloring) -> bool {
+        assert_eq!(coloring.universe_size(), self.n, "universe mismatch");
+        self.green = coloring.green_count();
+        self.verdict = self.green >= self.threshold;
+        self.primed = true;
+        self.verdict
+    }
+
+    fn update(&mut self, post: &Coloring, delta: &ColoringDelta) -> bool {
+        assert!(self.primed, "update before reset");
+        assert_eq!(post.universe_size(), self.n, "universe mismatch");
+        let words = post.red_words();
+        for &(w, mask) in delta.entries() {
+            let red_after = words[w as usize];
+            // A flipped bit set in the post words turned red, a clear one
+            // turned green; both were the opposite color before the delta.
+            let lost = (mask & red_after).count_ones() as usize;
+            let gained = (mask & !red_after).count_ones() as usize;
+            self.green = self.green + gained - lost;
+        }
+        self.verdict = self.green >= self.threshold;
+        self.verdict
+    }
+
+    fn verdict(&self) -> bool {
+        assert!(self.primed, "verdict before reset");
+        self.verdict
+    }
+}
 
 /// The Majority coterie `Maj` over an odd universe of `n` elements: the
 /// quorums are all subsets of size `(n+1)/2`.
@@ -101,6 +144,16 @@ impl QuorumSystem for Majority {
 
     fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
         dispatch_lane_block!(self, lanes, width, out)
+    }
+
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        Some(Box::new(MajorityDeltaEval {
+            n: self.n,
+            threshold: self.quorum_size(),
+            green: 0,
+            verdict: false,
+            primed: false,
+        }))
     }
 
     fn min_quorum_size(&self) -> usize {

@@ -1,9 +1,61 @@
 //! The Wheel quorum system.
 
 use quorum_core::lanes::Lanes;
-use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+use quorum_core::{
+    Coloring, ColoringDelta, DeltaEvaluator, ElementId, ElementSet, QuorumError, QuorumSystem,
+};
 
 use crate::dispatch_lane_block;
+
+/// Incremental wheel evaluation: the cached hub state and a rim-green
+/// counter. Each flip is an O(1) adjustment; the verdict is "hub plus any
+/// rim element, or the whole rim".
+#[derive(Debug, Clone)]
+struct WheelDeltaEval {
+    n: usize,
+    hub_green: bool,
+    rim_green: usize,
+    verdict: bool,
+    primed: bool,
+}
+
+impl WheelDeltaEval {
+    fn refresh_verdict(&mut self) {
+        self.verdict = (self.hub_green && self.rim_green >= 1) || self.rim_green == self.n - 1;
+    }
+}
+
+impl DeltaEvaluator for WheelDeltaEval {
+    fn reset(&mut self, coloring: &Coloring) -> bool {
+        assert_eq!(coloring.universe_size(), self.n, "universe mismatch");
+        self.hub_green = coloring.is_green(0);
+        self.rim_green = coloring.green_count() - usize::from(self.hub_green);
+        self.refresh_verdict();
+        self.primed = true;
+        self.verdict
+    }
+
+    fn update(&mut self, post: &Coloring, delta: &ColoringDelta) -> bool {
+        assert!(self.primed, "update before reset");
+        assert_eq!(post.universe_size(), self.n, "universe mismatch");
+        for e in delta.flipped_elements() {
+            if e == 0 {
+                self.hub_green = post.is_green(0);
+            } else if post.is_green(e) {
+                self.rim_green += 1;
+            } else {
+                self.rim_green -= 1;
+            }
+        }
+        self.refresh_verdict();
+        self.verdict
+    }
+
+    fn verdict(&self) -> bool {
+        assert!(self.primed, "verdict before reset");
+        self.verdict
+    }
+}
 
 /// The Wheel coterie over `n ≥ 3` elements: element 0 is the *hub*, elements
 /// `1..n` form the *rim*.  The quorums are the spokes `{0, i}` for every rim
@@ -108,6 +160,16 @@ impl QuorumSystem for Wheel {
 
     fn green_quorum_lane_block(&self, lanes: &[u64], width: usize, out: &mut [u64]) -> bool {
         dispatch_lane_block!(self, lanes, width, out)
+    }
+
+    fn delta_evaluator(&self) -> Option<Box<dyn DeltaEvaluator + Send>> {
+        Some(Box::new(WheelDeltaEval {
+            n: self.n,
+            hub_green: false,
+            rim_green: 0,
+            verdict: false,
+            primed: false,
+        }))
     }
 
     fn min_quorum_size(&self) -> usize {

@@ -104,7 +104,7 @@ fn main() -> Result<(), QuorumError> {
         // from a crashed one to the probing clients.
         let trace_at = SimTime::from_millis(round as u64);
         let unreachable = partitions.unreachable_at(n, trace_at);
-        let effective = partitions.observed_coloring(coloring, trace_at);
+        let effective = partitions.observed_coloring(&coloring, trace_at);
         mutex.cluster_mut().apply_coloring(&effective);
         let in_partition = !unreachable.is_empty();
         let mut saw_no_quorum = false;
@@ -155,9 +155,9 @@ fn main() -> Result<(), QuorumError> {
     println!("{table}");
     println!(
         "acquisition latency (virtual): p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms over {} acquisitions",
-        acquire_latency.p50() as f64 / 1_000.0,
-        acquire_latency.p95() as f64 / 1_000.0,
-        acquire_latency.p99() as f64 / 1_000.0,
+        acquire_latency.p50().unwrap_or(0) as f64 / 1_000.0,
+        acquire_latency.p95().unwrap_or(0) as f64 / 1_000.0,
+        acquire_latency.p99().unwrap_or(0) as f64 / 1_000.0,
         acquire_latency.count()
     );
     println!("attempts rejected because no live quorum existed: {rejected_no_quorum}");

@@ -96,7 +96,7 @@ fn main() -> Result<(), QuorumError> {
         // accumulated probe load so the strategy sees it.
         let trace_at = SimTime::from_millis(round as u64);
         let unreachable = partitions.unreachable_at(n, trace_at);
-        let effective = partitions.observed_coloring(coloring, trace_at);
+        let effective = partitions.observed_coloring(&coloring, trace_at);
         let blocked_before = writes_blocked + reads_blocked;
         register.cluster_mut().apply_coloring(&effective);
         for e in 0..n {
@@ -149,9 +149,9 @@ fn main() -> Result<(), QuorumError> {
     println!("{table}");
     println!(
         "operation latency (virtual): p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms over {} operations",
-        latency.p50() as f64 / 1_000.0,
-        latency.p95() as f64 / 1_000.0,
-        latency.p99() as f64 / 1_000.0,
+        latency.p50().unwrap_or(0) as f64 / 1_000.0,
+        latency.p95().unwrap_or(0) as f64 / 1_000.0,
+        latency.p99().unwrap_or(0) as f64 / 1_000.0,
         latency.count()
     );
     println!(

@@ -171,16 +171,16 @@ fn cluster_replays_churn_trajectories() {
     let mut cluster = Cluster::new(n, NetworkConfig::lan(), 9);
 
     for coloring in trajectory.iter() {
-        cluster.apply_coloring(coloring);
+        cluster.apply_coloring(&coloring);
         assert_eq!(
-            &cluster.liveness_coloring(),
+            cluster.liveness_coloring(),
             coloring,
             "cluster state must mirror the trajectory step"
         );
         let acquisition = cluster.probe_for_quorum(&wall, &ProbeCw::new());
         acquisition
             .witness
-            .verify(&wall, coloring)
+            .verify(&wall, &coloring)
             .expect("witness must verify against the trajectory coloring");
     }
 }
@@ -199,7 +199,7 @@ fn mutual_exclusion_under_churn_trajectory() {
     let mut successes = 0usize;
     let mut outages = 0usize;
     for coloring in trajectory.iter() {
-        mutex.cluster_mut().apply_coloring(coloring);
+        mutex.cluster_mut().apply_coloring(&coloring);
         let client = rng.gen_range(1..=3u64);
         match mutex.try_acquire(client) {
             Ok(_) => {

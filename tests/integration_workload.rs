@@ -187,7 +187,7 @@ fn raw_engine_composes_with_typed_strategies_and_histograms() {
     assert_eq!(report.sessions, 120);
     assert!(report.successes > 0);
     assert_eq!(report.latency.count(), 120);
-    assert!(report.latency.p50() <= report.latency.p99());
+    assert!(report.latency.p50().unwrap() <= report.latency.p99().unwrap());
     assert!(report.duration > SimTime::ZERO);
     let probed: u64 = report.ledger.probes_received().iter().sum();
     assert_eq!(probed, report.probes);
