@@ -12,8 +12,8 @@
 //! Available experiments: `table1`, `maj3`, `crumbling-walls`, `tree-exponent`,
 //! `hqs-exponent`, `randomized`, `lower-bounds`, `hqs-randomized`, `lemmas`,
 //! `availability`, `zoned`, `churn`, `churn-delta`, `scenario-matrix`,
-//! `workload`, `network`, `live`, `chaos`, `scale`, `throughput`, `figures`,
-//! `all`.
+//! `compose`, `workload`, `network`, `live`, `chaos`, `scale`, `throughput`,
+//! `figures`, `all`.
 //! Unknown names
 //! are rejected before anything runs, with a non-zero exit — CI cannot
 //! silently run nothing.
@@ -67,10 +67,10 @@ use std::io::BufWriter;
 use std::time::{Duration, Instant};
 
 use bench::{
-    availability_table, chaos, check_regression, churn, churn_delta, crumbling_walls, figures,
-    hqs_exponent, hqs_randomized, lemmas_table, live, lower_bounds, maj3, network, parse_artifact,
-    peak_rss_bytes, randomized, scale, scenario_matrix, table1, throughput, tree_exponent,
-    workload, zoned, ArtifactStream, ReproConfig,
+    availability_table, chaos, check_regression, churn, churn_delta, compose, crumbling_walls,
+    figures, hqs_exponent, hqs_randomized, lemmas_table, live, lower_bounds, maj3, network,
+    parse_artifact, peak_rss_bytes, randomized, scale, scenario_matrix, table1, throughput,
+    tree_exponent, workload, zoned, ArtifactStream, ReproConfig,
 };
 use probequorum::prelude::Table;
 
@@ -92,6 +92,7 @@ const EXPERIMENTS: &[&str] = &[
     "churn",
     "churn-delta",
     "scenario-matrix",
+    "compose",
     "workload",
     "network",
     "live",
@@ -323,6 +324,13 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
             "Scenario matrix: every system × strategy × failure scenario",
             plain(scenario_matrix),
         ),
+        "compose" => timed(
+            config,
+            artifact,
+            "compose",
+            "Compose: recursive threshold compositions, certified and cross-checked",
+            plain(compose),
+        ),
         "workload" => timed(
             config,
             artifact,
@@ -437,6 +445,7 @@ fn run_experiment(name: &str, config: &ReproConfig, artifact: &mut Recorder) -> 
                 "churn",
                 "churn-delta",
                 "scenario-matrix",
+                "compose",
                 "workload",
                 "network",
                 "live",

@@ -25,8 +25,8 @@ use probequorum::analysis::availability::{
 };
 use probequorum::prelude::*;
 use probequorum::sim::eval::{
-    erase_system, fit_points, typed_strategy, CellReport, ColoringSource, DynSystem, EvalEngine,
-    EvalPlan,
+    erase_spec, erase_system, fit_points, typed_strategy, CellReport, ColoringSource, DynSystem,
+    EvalEngine, EvalPlan,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,6 +110,26 @@ fn fmt(value: f64) -> String {
     format!("{value:.3}")
 }
 
+/// The one construction path the experiments share: build a [`SystemSpec`]
+/// and erase it. The concrete type survives behind `as_any` (see
+/// [`erase_spec`]), so the typed paper strategies still apply to the result.
+///
+/// Sites that need the concrete value itself (hard-input distributions,
+/// row-count arithmetic) still call the family constructors directly — the
+/// spec layer proves those produce bit-identical systems.
+fn spec_system(spec: SystemSpec) -> DynSystem {
+    erase_spec(&spec).unwrap_or_else(|e| panic!("bench specs are valid by construction: {e}"))
+}
+
+/// [`spec_system`] for sized sweeps: picks the family's parameters from a
+/// size hint through [`SystemSpec::family_with_size_hint`], the same path
+/// the system registry uses.
+fn build_spec_family(family: &str, size_hint: usize) -> DynSystem {
+    let spec = SystemSpec::family_with_size_hint(family, size_hint)
+        .unwrap_or_else(|| panic!("{family} is not a spec family"));
+    spec_system(spec)
+}
+
 /// Fits a power law through the `(universe size, mean probes)` points of a
 /// consecutive slice of engine cells (a sweep).
 fn fit_cells(cells: &[CellReport]) -> PowerLawFit {
@@ -142,7 +162,7 @@ pub fn table1(config: &ReproConfig) -> Table {
     let mut plan = EvalPlan::new(config.section_seed("table1")).trials(trials);
 
     // ---- Plan every cell up front; one engine pass executes them all. ----
-    let maj = erase_system(Majority::new(101).unwrap());
+    let maj = spec_system(SystemSpec::Majority { n: 101 });
     let maj_reds = maj.universe_size().div_ceil(2); // the hard input: (n+1)/2 reds
     let probe_maj = typed_strategy::<Majority, _>(ProbeMaj::new());
     let r_probe_maj = typed_strategy::<Majority, _>(RProbeMaj::new());
@@ -171,7 +191,7 @@ pub fn table1(config: &ReproConfig) -> Table {
     let probe_tree = typed_strategy::<TreeQuorum, _>(ProbeTree::new());
     let tree_sweep_start = plan.cell_count();
     for height in 4..=9 {
-        let tree = erase_system(TreeQuorum::new(height).unwrap());
+        let tree = spec_system(SystemSpec::Tree { height });
         plan.probe_with_trials(
             &tree,
             &probe_tree,
@@ -194,7 +214,7 @@ pub fn table1(config: &ReproConfig) -> Table {
     let probe_hqs = typed_strategy::<Hqs, _>(ProbeHqs::new());
     let hqs_sweep_start = plan.cell_count();
     for height in 2..=6 {
-        let hqs = erase_system(Hqs::new(height).unwrap());
+        let hqs = spec_system(SystemSpec::Hqs { height });
         plan.probe_with_trials(
             &hqs,
             &probe_hqs,
@@ -376,7 +396,7 @@ fn run_hqs_randomized_cells(
     let r_probe = typed_strategy::<Hqs, _>(RProbeHqs::new());
     let ir_probe = typed_strategy::<Hqs, _>(IrProbeHqs::new());
     for height in heights {
-        let hqs = erase_system(Hqs::new(height).unwrap());
+        let hqs = spec_system(SystemSpec::Hqs { height });
         // Both strategies share the per-height pair seed, so every trial
         // compares them on the identical hard coloring (variance reduction
         // for the "IR saves" column).
@@ -488,7 +508,7 @@ pub fn tree_exponent(config: &ReproConfig) -> Table {
         EvalPlan::new(config.section_seed("tree-exponent")).trials(config.trials.min(3_000));
     for p in probabilities {
         for height in heights.clone() {
-            let tree = erase_system(TreeQuorum::new(height).unwrap());
+            let tree = spec_system(SystemSpec::Tree { height });
             plan.probe(&tree, &probe_tree, ColoringSource::iid(p));
         }
     }
@@ -519,7 +539,7 @@ pub fn hqs_exponent(config: &ReproConfig) -> Table {
         EvalPlan::new(config.section_seed("hqs-exponent")).trials(config.trials.min(3_000));
     for p in probabilities {
         for height in heights.clone() {
-            let hqs = erase_system(Hqs::new(height).unwrap());
+            let hqs = spec_system(SystemSpec::Hqs { height });
             plan.probe(&hqs, &probe_hqs, ColoringSource::iid(p));
         }
     }
@@ -880,19 +900,19 @@ pub fn zoned(config: &ReproConfig) -> Table {
     }
     let systems: Vec<ZonedSystem> = vec![
         ZonedSystem {
-            system: erase_system(Majority::new(15).unwrap()),
+            system: spec_system(SystemSpec::Majority { n: 15 }),
             strategy: typed_strategy::<Majority, _>(ProbeMaj::new()),
         },
         ZonedSystem {
-            system: erase_system(CrumblingWalls::triang(5).unwrap()),
+            system: spec_system(SystemSpec::Triang { rows: 5 }),
             strategy: typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
         },
         ZonedSystem {
-            system: erase_system(TreeQuorum::new(3).unwrap()),
+            system: spec_system(SystemSpec::Tree { height: 3 }),
             strategy: typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
         },
         ZonedSystem {
-            system: erase_system(Hqs::new(2).unwrap()),
+            system: spec_system(SystemSpec::Hqs { height: 2 }),
             strategy: typed_strategy::<Hqs, _>(ProbeHqs::new()),
         },
     ];
@@ -957,10 +977,10 @@ pub fn zoned(config: &ReproConfig) -> Table {
 /// measured directly on the same shared timeline.
 pub fn churn(config: &ReproConfig) -> Table {
     let systems: Vec<DynSystem> = vec![
-        erase_system(Majority::new(101).unwrap()),
-        erase_system(CrumblingWalls::triang(10).unwrap()),
-        erase_system(TreeQuorum::new(5).unwrap()),
-        erase_system(Hqs::new(4).unwrap()),
+        spec_system(SystemSpec::Majority { n: 101 }),
+        spec_system(SystemSpec::Triang { rows: 10 }),
+        spec_system(SystemSpec::Tree { height: 5 }),
+        spec_system(SystemSpec::Hqs { height: 4 }),
     ];
     let strategies: Vec<probequorum::sim::eval::DynProbeStrategy> = vec![
         typed_strategy::<Majority, _>(ProbeMaj::new()),
@@ -1272,6 +1292,275 @@ pub fn scenario_matrix(config: &ReproConfig) -> Table {
     config.engine().run(&plan).to_table()
 }
 
+/// Scalar Monte-Carlo availability of `system` under `model`, plus
+/// bit-agreement with `native` on the identical colorings.
+fn compose_mc_availability(
+    system: &DynQuorumSystem,
+    native: Option<&DynQuorumSystem>,
+    model: &FailureModel,
+    seed: u64,
+    trials: usize,
+) -> (f64, bool) {
+    let n = system.universe_size();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coloring = Coloring::all_green(n);
+    let mut green = 0usize;
+    let mut agree = true;
+    for trial in 0..trials {
+        model.sample_into(n, trial as u64, &mut rng, &mut coloring);
+        let verdict = system.has_green_quorum(&coloring);
+        green += usize::from(verdict);
+        if let Some(native) = native {
+            agree &= native.has_green_quorum(&coloring) == verdict;
+        }
+    }
+    (green as f64 / trials as f64, agree)
+}
+
+/// Checks the word-parallel lane circuit against scalar evaluation on
+/// model-sampled lane words: every one of the 64 packed trials per round
+/// must produce the same verdict both ways.
+fn compose_lane_agreement(
+    system: &DynQuorumSystem,
+    model: &FailureModel,
+    seed: u64,
+    rounds: usize,
+) -> bool {
+    let n = system.universe_size();
+    let mut lanes = vec![0u64; n];
+    let mut coloring = Coloring::all_green(n);
+    let mut agree = true;
+    for round in 0..rounds {
+        let mut rngs = [StdRng::seed_from_u64(seed ^ (round as u64 + 1))];
+        model.sample_green_lanes(n, round as u64, &mut rngs, &mut lanes);
+        let word = system
+            .green_quorum_lanes(&lanes)
+            .expect("compositions implement lane evaluation");
+        for lane in 0..64 {
+            for (element, bits) in lanes.iter().enumerate() {
+                let green = (bits >> lane) & 1 == 1;
+                coloring.set_color(element, if green { Color::Green } else { Color::Red });
+            }
+            agree &= ((word >> lane) & 1 == 1) == system.has_green_quorum(&coloring);
+        }
+    }
+    agree
+}
+
+/// Replays a churn trajectory through the composition's delta evaluator,
+/// checking every step against from-scratch evaluation.
+fn compose_delta_agreement(system: &DynQuorumSystem, seed: u64, steps: usize) -> bool {
+    let n = system.universe_size();
+    let trajectory = ChurnTrajectory::generate(n, 0.1, 0.3, steps, seed);
+    let mut evaluator = delta_evaluator_for(system);
+    let mut walker = trajectory.walk();
+    let mut agree = true;
+    let mut primed = false;
+    while let Some((coloring, delta)) = walker.step() {
+        let incremental = if primed {
+            evaluator.update(coloring, delta)
+        } else {
+            primed = true;
+            evaluator.reset(coloring)
+        };
+        agree &= incremental == system.has_green_quorum(coloring);
+    }
+    agree
+}
+
+/// The **compose** experiment: recursive threshold compositions behind the
+/// [`SystemSpec`] construction API, certified several independent ways.
+///
+/// The first rows build each shipped composition scenario — Tree, HQS and
+/// Grid re-expressed as `Compose` trees plus the 5×5 organization majority —
+/// and report, under i.i.d. failures at p = 0.3:
+///
+/// * exact minimal-quorum / minimal-blocking-set counts from the
+///   oracle-driven branch-and-bound of `quorum_analysis::minimal`, with
+///   `intersect = 1` certifying every pair of minimal quorums intersects
+///   (the composition really is a quorum system);
+/// * certified availability bounds `[avail_lo, avail_hi]` from the blocking
+///   sets, which must bracket the availability (exact for `n ≤ 24`,
+///   Monte-Carlo within noise beyond);
+/// * an `agree` flag that ANDs every cross-check the row runs: lane circuit
+///   vs scalar evaluation, delta evaluator vs from-scratch churn replay,
+///   bit-identical verdicts against the native Tree/HQS/Grid construction
+///   on shared colorings, and enumeration-vs-DP quorum sizes.
+///
+/// The organization-outage sweep rows re-measure the 5×5 organization
+/// majority under [`FailureModel::org_zoned_correlated`] at correlations
+/// 0, 0.5 and 1: the same per-element marginal, arranged from independent
+/// to wholesale-by-operator, with the lane sampler checked against scalar
+/// sampling in `agree`. The final row drives the composition through the
+/// live cluster runtime and records sim-vs-live agreement.
+///
+/// Every `agree` is printed `1`/`0` and enforced by the CI regression gate
+/// (a flip is a 100 % drop). The whole table is a pure function of
+/// `(seed, trials)`.
+pub fn compose(config: &ReproConfig) -> Table {
+    let base_seed = config.section_seed("compose");
+    let trials = config.trials.clamp(64, 2_048);
+    let p = 0.3;
+
+    let native_tree: DynQuorumSystem = Arc::new(TreeQuorum::new(3).unwrap());
+    let native_hqs: DynQuorumSystem = Arc::new(Hqs::new(2).unwrap());
+    let native_grid: DynQuorumSystem = Arc::new(Grid::new(4, 4).unwrap());
+    let scenarios: Vec<(&str, SystemSpec, Option<DynQuorumSystem>)> = vec![
+        (
+            "tree(h=3)",
+            SystemSpec::tree_as_compose(3),
+            Some(native_tree),
+        ),
+        ("hqs(h=2)", SystemSpec::hqs_as_compose(2), Some(native_hqs)),
+        (
+            "grid(4x4)",
+            SystemSpec::grid_as_compose(4, 4),
+            Some(native_grid),
+        ),
+        ("org-maj(5x5)", SystemSpec::org_majority(5, 5), None),
+    ];
+
+    let mut table = Table::new([
+        "spec",
+        "n",
+        "model",
+        "min_q",
+        "max_q",
+        "quorums",
+        "blocking",
+        "intersect",
+        "avail_lo",
+        "avail_hi",
+        "mc_avail",
+        "agree",
+    ]);
+
+    for (index, (name, spec, native)) in scenarios.iter().enumerate() {
+        let system = spec.build().expect("shipped composition specs are valid");
+        let n = system.universe_size();
+        let seed = base_seed ^ (index as u64 + 1);
+        let model = FailureModel::iid(p);
+
+        let quorums = minimal_quorums(system.as_ref()).expect("within the enumeration limit");
+        let blocking = minimal_blocking_sets(system.as_ref()).expect("within the limit");
+        let intersect = find_disjoint_pair(&quorums).is_none();
+        let bounds = availability_bounds(&blocking, p);
+
+        let (mc_avail, native_agree) =
+            compose_mc_availability(&system, native.as_ref(), &model, seed, trials);
+        let lane_agree = compose_lane_agreement(&system, &model, seed ^ 0x1a9e, trials / 64 + 1);
+        let delta_agree = compose_delta_agreement(&system, seed ^ 0xde17a, trials.min(512));
+
+        // Enumeration and the size DP must tell the same story.
+        let sizes_agree = quorums.iter().map(ElementSet::len).min()
+            == Some(system.min_quorum_size())
+            && quorums.iter().map(ElementSet::len).max() == Some(system.max_quorum_size());
+        // The certified bounds must bracket the availability: exactly when
+        // the 2^n sweep is affordable, within Monte-Carlo noise beyond.
+        let bounds_hold = if n <= 24 {
+            let avail = 1.0 - exact_fp(system.as_ref(), p).expect("n <= 24");
+            bounds.lower <= avail + 1e-12 && avail <= bounds.upper + 1e-12
+        } else {
+            let slack = 4.0 * (0.25 / trials as f64).sqrt();
+            bounds.lower - slack <= mc_avail && mc_avail <= bounds.upper + slack
+        };
+        let agree =
+            intersect && native_agree && lane_agree && delta_agree && sizes_agree && bounds_hold;
+
+        table.add_row(vec![
+            (*name).into(),
+            n.to_string(),
+            model.label(),
+            system.min_quorum_size().to_string(),
+            system.max_quorum_size().to_string(),
+            quorums.len().to_string(),
+            blocking.len().to_string(),
+            if intersect { "1" } else { "0" }.into(),
+            fmt(bounds.lower),
+            fmt(bounds.upper),
+            fmt(mc_avail),
+            if agree { "1" } else { "0" }.into(),
+        ]);
+    }
+
+    // Organization-outage sweep: same marginal, increasing correlation.
+    let org_spec = SystemSpec::org_majority(5, 5);
+    let org_system = org_spec.build().expect("valid");
+    let orgs = Arc::new(
+        org_spec
+            .organizations()
+            .expect("valid spec")
+            .expect("org-majority declares organizations"),
+    );
+    let n = org_system.universe_size();
+    for (sweep_index, correlation) in [0.0, 0.5, 1.0].into_iter().enumerate() {
+        let model = FailureModel::org_zoned_correlated(Arc::clone(&orgs), p, correlation);
+        let seed = base_seed ^ 0x0f6 ^ (sweep_index as u64 + 1);
+        let (mc_avail, _) = compose_mc_availability(&org_system, None, &model, seed, trials);
+        let lane_agree =
+            compose_lane_agreement(&org_system, &model, seed ^ 0x1a9e, trials / 64 + 1);
+        table.add_row(vec![
+            "org-maj(5x5)".into(),
+            n.to_string(),
+            model.label(),
+            org_system.min_quorum_size().to_string(),
+            org_system.max_quorum_size().to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            fmt(mc_avail),
+            if lane_agree { "1" } else { "0" }.into(),
+        ]);
+    }
+
+    // The live runtime probes the composition end to end: one
+    // open-Poisson cell on the first network scenario, sim-vs-live.
+    let sessions = config.trials.clamp(1, 100);
+    let options = LiveOptions::default().time_scale(0.005);
+    let workload_config = open_poisson_workload(sessions, SimTime::from_micros(250));
+    let scenario = network_scenarios(n, &workload_config)
+        .into_iter()
+        .next()
+        .expect("the scenario battery is non-empty");
+    let cell = NetWorkloadCell {
+        system: erase_spec(&org_spec).expect("valid spec"),
+        strategy: WorkloadStrategy::Paper(universal_strategy(SequentialScan::new())),
+        source: ColoringSource::iid(0.05),
+        workload: "open-poisson".into(),
+        config: workload_config,
+        net: scenario.name.to_string(),
+        network: scenario.network.clone(),
+        policy: scenario.policy,
+        health: None,
+    };
+    let outcome = run_live_cell(base_seed ^ 0x11fe, 0, &cell, &options);
+    if !outcome.agreement.agree {
+        eprintln!(
+            "[compose: live {} diverged:\n{}]",
+            scenario.name,
+            outcome.agreement.mismatches.join("\n")
+        );
+    }
+    table.add_row(vec![
+        "org-maj(5x5)".into(),
+        n.to_string(),
+        format!("live({})", scenario.name),
+        org_system.min_quorum_size().to_string(),
+        org_system.max_quorum_size().to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        if outcome.agreement.agree { "1" } else { "0" }.into(),
+    ]);
+
+    table
+}
+
 /// The heavy-traffic **workload** experiment: three system families under
 /// {paper strategy, least-loaded, power-of-two} × {open-loop Poisson,
 /// closed-loop think-time} arrivals × two failure scenarios, executed on the
@@ -1291,15 +1580,15 @@ pub fn workload(config: &ReproConfig) -> Table {
 
     let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
         (
-            erase_system(Majority::new(31).unwrap()),
+            spec_system(SystemSpec::Majority { n: 31 }),
             typed_strategy::<Majority, _>(ProbeMaj::new()),
         ),
         (
-            erase_system(CrumblingWalls::triang(8).unwrap()),
+            spec_system(SystemSpec::Triang { rows: 8 }),
             typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
         ),
         (
-            erase_system(TreeQuorum::new(4).unwrap()),
+            spec_system(SystemSpec::Tree { height: 4 }),
             typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
         ),
     ];
@@ -1360,15 +1649,15 @@ pub fn network(config: &ReproConfig) -> Table {
 
     let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
         (
-            erase_system(Majority::new(31).unwrap()),
+            spec_system(SystemSpec::Majority { n: 31 }),
             typed_strategy::<Majority, _>(ProbeMaj::new()),
         ),
         (
-            erase_system(CrumblingWalls::triang(8).unwrap()),
+            spec_system(SystemSpec::Triang { rows: 8 }),
             typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
         ),
         (
-            erase_system(TreeQuorum::new(4).unwrap()),
+            spec_system(SystemSpec::Tree { height: 4 }),
             typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
         ),
     ];
@@ -1435,11 +1724,11 @@ pub fn live(config: &ReproConfig) -> (Table, Table) {
 
     let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
         (
-            erase_system(Majority::new(15).unwrap()),
+            spec_system(SystemSpec::Majority { n: 15 }),
             typed_strategy::<Majority, _>(ProbeMaj::new()),
         ),
         (
-            erase_system(TreeQuorum::new(3).unwrap()),
+            spec_system(SystemSpec::Tree { height: 3 }),
             typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
         ),
     ];
@@ -1565,15 +1854,15 @@ pub fn chaos(config: &ReproConfig) -> (Table, Table) {
 
     let systems: Vec<(DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
         (
-            erase_system(Majority::new(15).unwrap()),
+            spec_system(SystemSpec::Majority { n: 15 }),
             typed_strategy::<Majority, _>(ProbeMaj::new()),
         ),
         (
-            erase_system(CrumblingWalls::triang(5).unwrap()),
+            spec_system(SystemSpec::Triang { rows: 5 }),
             typed_strategy::<CrumblingWalls, _>(ProbeCw::new()),
         ),
         (
-            erase_system(TreeQuorum::new(3).unwrap()),
+            spec_system(SystemSpec::Tree { height: 3 }),
             typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
         ),
     ];
@@ -1749,17 +2038,17 @@ pub fn throughput(config: &ReproConfig) -> Table {
         let entries: Vec<(&str, DynSystem, probequorum::sim::eval::DynProbeStrategy)> = vec![
             (
                 "Grid",
-                erase_system(Grid::with_size_hint(hint)),
+                build_spec_family("Grid", hint),
                 probequorum::sim::eval::universal_strategy(SequentialScan::new()),
             ),
             (
                 "Maj",
-                erase_system(Majority::with_size_hint(hint)),
+                build_spec_family("Maj", hint),
                 typed_strategy::<Majority, _>(ProbeMaj::new()),
             ),
             (
                 "Tree",
-                erase_system(TreeQuorum::with_size_hint(hint)),
+                build_spec_family("Tree", hint),
                 typed_strategy::<TreeQuorum, _>(ProbeTree::new()),
             ),
         ];
@@ -1847,16 +2136,13 @@ fn scale_systems() -> Vec<(&'static str, DynSystem)> {
     vec![
         (
             "Grid",
-            erase_system(Grid::new(1_000, 1_000).expect("1000×1000 grid is valid")),
+            spec_system(SystemSpec::Grid {
+                rows: 1_000,
+                cols: 1_000,
+            }),
         ),
-        (
-            "Tree",
-            erase_system(TreeQuorum::new(19).expect("height-19 tree is valid")),
-        ),
-        (
-            "Maj",
-            erase_system(Majority::new(1_000_001).expect("odd majority is valid")),
-        ),
+        ("Tree", spec_system(SystemSpec::Tree { height: 19 })),
+        ("Maj", spec_system(SystemSpec::Majority { n: 1_000_001 })),
     ]
 }
 
@@ -2062,9 +2348,9 @@ mod tests {
         // Small stand-ins for the million-element systems: the cross-width
         // bit-identity assertion inside scale_over is the real check.
         let systems: Vec<(&str, DynSystem)> = vec![
-            ("Grid", erase_system(Grid::new(4, 5).unwrap())),
-            ("Tree", erase_system(TreeQuorum::new(3).unwrap())),
-            ("Maj", erase_system(Majority::new(13).unwrap())),
+            ("Grid", spec_system(SystemSpec::Grid { rows: 4, cols: 5 })),
+            ("Tree", spec_system(SystemSpec::Tree { height: 3 })),
+            ("Maj", spec_system(SystemSpec::Majority { n: 13 })),
         ];
         let (avail, lanes) = scale_over(&tiny(), &systems);
         assert_eq!(avail.row_count(), 6, "3 families × 2 probabilities");
@@ -2086,12 +2372,12 @@ mod tests {
         // Short streaming walk: a million debug-mode steps are too slow for
         // a unit test; the equivalence sweep is the real check.
         let (equivalence, rates) = churn_delta_over(&tiny(), 400);
-        assert_eq!(equivalence.row_count(), 12, "6 families × 2 regimes");
+        assert_eq!(equivalence.row_count(), 14, "7 families × 2 regimes");
         for row in equivalence.rows() {
             assert_eq!(row[9], "1", "delta/scratch divergence: {row:?}");
         }
-        // 6 families × {scratch, delta} plus the streaming-walk row.
-        assert_eq!(rates.row_count(), 13);
+        // 7 families × {scratch, delta} plus the streaming-walk row.
+        assert_eq!(rates.row_count(), 15);
         let walk_row = rates.rows().last().unwrap();
         assert_eq!(walk_row[2], "stream-walk");
         assert_eq!(walk_row[3], "400");

@@ -4,10 +4,11 @@
 //!
 //! The gate enforces the **deterministic** metrics — the virtual-time
 //! sessions/second of the `workload` and `network` experiments, the
-//! million-element `scale` availabilities, and the sim-vs-live `agree` flag
-//! of the `live` and `chaos` experiments — all pure functions of the seed
-//! and trial count, so any drop is a genuine behavioural change, never
-//! runner noise. The wall-clock experiments (`throughput`,
+//! million-element `scale` availabilities, the sim-vs-live `agree` flag
+//! of the `live` and `chaos` experiments, and the certificate `agree` flags
+//! of the `churn-delta` and `compose` experiments — all pure functions of
+//! the seed and trial count, so any drop is a genuine behavioural change,
+//! never runner noise. The wall-clock experiments (`throughput`,
 //! `scale-throughput`, `live-throughput`, `chaos-throughput`) are reported
 //! in the same table for context but never fail the gate: CI runners are
 //! too noisy for hard wall-clock thresholds.
@@ -390,6 +391,17 @@ const GATES: &[Gate] = &[
         enforced: true,
     },
     Gate {
+        // Composition certificates, printed "1"/"0": the flag ANDs every
+        // cross-check a row runs (intersection, lane-vs-scalar,
+        // delta-vs-scratch, native bit-identity, availability-bound
+        // containment, sim-vs-live), so any broken certificate fails the
+        // gate as a 100 % drop.
+        experiment: "compose",
+        metric: "agree",
+        keys: &["spec", "n", "model"],
+        enforced: true,
+    },
+    Gate {
         // Sim-vs-live agreement, printed "1"/"0": a flip to "0" is a 100 %
         // drop, so any divergence of the live runtime fails the gate.
         experiment: "live",
@@ -649,11 +661,12 @@ mod tests {
     use std::time::Duration;
 
     /// A minimal but gate-complete artifact: `workload` rows as given,
-    /// constant `network`, `scale`, `live` and `chaos` rows (every enforced
-    /// gate needs rows on both sides), and optional wall-clock `throughput`
-    /// / `scale-throughput` / `live-throughput` / `chaos-throughput` rows.
+    /// constant `network`, `scale`, `live`, `chaos`, `churn-delta` and
+    /// `compose` rows (every enforced gate needs rows on both sides), and
+    /// optional wall-clock `throughput` / `scale-throughput` /
+    /// `live-throughput` / `chaos-throughput` rows.
     fn artifact_parts(thr: &[(&str, f64)], wall_rate: Option<f64>) -> String {
-        artifact_parts_full(thr, wall_rate, 0.875, "1", "1", "1")
+        artifact_parts_full(thr, wall_rate, 0.875, "1", "1", "1", "1")
     }
 
     fn artifact_parts_with_scale(
@@ -661,7 +674,7 @@ mod tests {
         wall_rate: Option<f64>,
         scale_avail: f64,
     ) -> String {
-        artifact_parts_full(thr, wall_rate, scale_avail, "1", "1", "1")
+        artifact_parts_full(thr, wall_rate, scale_avail, "1", "1", "1", "1")
     }
 
     fn artifact_parts_full(
@@ -671,6 +684,7 @@ mod tests {
         live_agree: &str,
         chaos_agree: &str,
         churn_delta_agree: &str,
+        compose_agree: &str,
     ) -> String {
         let mut table = Table::new([
             "system",
@@ -799,6 +813,34 @@ mod tests {
             "0.040".into(),
             churn_delta_agree.into(),
         ]);
+        let mut compose = Table::new([
+            "spec",
+            "n",
+            "model",
+            "min_q",
+            "max_q",
+            "quorums",
+            "blocking",
+            "intersect",
+            "avail_lo",
+            "avail_hi",
+            "mc_avail",
+            "agree",
+        ]);
+        compose.add_row(vec![
+            "org-maj(5x5)".into(),
+            "25".into(),
+            "iid(p=0.3)".into(),
+            "9".into(),
+            "9".into(),
+            "10000".into(),
+            "10000".into(),
+            "1".into(),
+            "0.803".into(),
+            "1.000".into(),
+            "0.954".into(),
+            compose_agree.into(),
+        ]);
         let mut artifact = BenchArtifact::new();
         artifact.record("workload", Duration::from_millis(5), table);
         artifact.record("network", Duration::from_millis(5), net);
@@ -806,6 +848,7 @@ mod tests {
         artifact.record("live", Duration::from_millis(5), live);
         artifact.record("chaos", Duration::from_millis(5), chaos);
         artifact.record("churn-delta", Duration::from_millis(5), churn_delta);
+        artifact.record("compose", Duration::from_millis(5), compose);
         if let Some(rate) = wall_rate {
             let mut wall = Table::new(["family", "n", "path", "trials_per_sec"]);
             wall.add_row(vec![
@@ -1030,6 +1073,7 @@ mod tests {
             "1",
             "1",
             "1",
+            "1",
         ))
         .unwrap();
         let diverged = parse_artifact(&artifact_parts_full(
@@ -1037,6 +1081,7 @@ mod tests {
             None,
             0.875,
             "0",
+            "1",
             "1",
             "1",
         ))
@@ -1066,6 +1111,7 @@ mod tests {
             "1",
             "1",
             "1",
+            "1",
         ))
         .unwrap();
         let diverged = parse_artifact(&artifact_parts_full(
@@ -1074,6 +1120,7 @@ mod tests {
             0.875,
             "1",
             "0",
+            "1",
             "1",
         ))
         .unwrap();
@@ -1109,6 +1156,7 @@ mod tests {
             "1",
             "1",
             "1",
+            "1",
         ))
         .unwrap();
         let diverged = parse_artifact(&artifact_parts_full(
@@ -1118,6 +1166,7 @@ mod tests {
             "1",
             "1",
             "0",
+            "1",
         ))
         .unwrap();
         let report = check_regression(&diverged, &baseline, 0.25);
@@ -1137,6 +1186,51 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("'churn-delta' is missing from the baseline")));
+    }
+
+    #[test]
+    fn a_compose_certificate_flip_fails_the_gate() {
+        // The compose experiment's agree flag ANDs every certificate a row
+        // runs (intersection, lane/delta/native agreement, availability
+        // bounds, sim-vs-live): a flip to "0" is a 100 % drop on an
+        // enforced metric and fails CI.
+        let baseline = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "1",
+            "1",
+            "1",
+            "1",
+        ))
+        .unwrap();
+        let broken = parse_artifact(&artifact_parts_full(
+            &[("Maj", 1000.0)],
+            None,
+            0.875,
+            "1",
+            "1",
+            "1",
+            "0",
+        ))
+        .unwrap();
+        let report = check_regression(&broken, &baseline, 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("compose:")),
+            "{:?}",
+            report.failures
+        );
+        assert!(report.markdown.contains("| compose |"));
+        // A baseline regenerated without the experiment fails loudly.
+        let mut without = baseline.clone();
+        without.experiments.retain(|e| e.name != "compose");
+        let report = check_regression(&baseline, &without, 0.25);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("'compose' is missing from the baseline")));
     }
 
     #[test]

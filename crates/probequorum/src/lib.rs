@@ -59,8 +59,9 @@ pub use quorum_systems as systems;
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use quorum_analysis::{
-        availability::exact_failure_probability, bounds, fit_power_law, lemmas, load_imbalance,
-        LogHistogram, PowerLawFit, RunningStats,
+        availability::exact_failure_probability, availability_bounds, bounds, find_disjoint_pair,
+        fit_power_law, lemmas, load_imbalance, minimal_blocking_sets, minimal_quorums,
+        AvailabilityBounds, LogHistogram, PowerLawFit, RunningStats,
     };
     pub use quorum_cluster::{
         cross_validate, plan_observables, AgreementReport, ArrivalProcess, Backend, ChaosKind,
@@ -74,8 +75,8 @@ pub mod prelude {
     pub use quorum_cluster::{run_net_workload, run_workload};
     pub use quorum_core::{
         delta_evaluator_for, Color, Coloring, ColoringDelta, Coterie, DeltaEvaluator,
-        DynQuorumSystem, ElementId, ElementSet, QuorumError, QuorumSystem, RescanDeltaEvaluator,
-        Witness, WitnessKind,
+        DynQuorumSystem, ElementId, ElementSet, Organizations, QuorumError, QuorumSystem,
+        RescanDeltaEvaluator, Witness, WitnessKind,
     };
     pub use quorum_probe::{
         exact, run_strategy, strategies::*, yao, BreakerState, DecisionTree, GatedOutcome,
@@ -85,9 +86,9 @@ pub mod prelude {
         MutexError, QuorumMutex, ReadResult, RegisterError, ReplicatedRegister,
     };
     pub use quorum_sim::eval::{
-        erase_system, typed_strategy, universal_strategy, ColoringSource, DynProbeStrategy,
-        DynStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport, RegistryBuilder,
-        ScenarioRegistry, StrategyRegistry, SystemRegistry, TrialRng,
+        erase_spec, erase_system, typed_strategy, universal_strategy, ColoringSource,
+        DynProbeStrategy, DynStrategy, DynSystem, EvalEngine, EvalPlan, EvalReport,
+        RegistryBuilder, ScenarioRegistry, StrategyRegistry, SystemRegistry, TrialRng,
     };
     pub use quorum_sim::{
         batched_availability, batched_failure_probability, chaos_recovery_micros, chaos_scenarios,
@@ -98,7 +99,10 @@ pub mod prelude {
         FailureModel, LiveCellOutcome, NetScenario, NetWorkloadCell, NetWorkloadOutcome, Table,
         WorkloadCell, WorkloadOutcome, WorkloadStrategy,
     };
-    pub use quorum_systems::{catalogue, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
+    pub use quorum_systems::{
+        catalogue, BuiltSystem, Composition, CompositionNode, CrumblingWalls, Grid, Hqs, Majority,
+        SpecError, SpecErrorKind, SystemSpec, TreeQuorum, Wheel,
+    };
 }
 
 #[cfg(test)]

@@ -3,8 +3,11 @@
 //! Analytic companions to the probing machinery: availability of quorum
 //! systems under iid failures, the paper's technical lemmas (urn expectations,
 //! grid random walks, product and recursion bounds), summary statistics for
-//! Monte-Carlo estimates, log–log exponent fitting, and the closed-form bound
-//! formulas quoted in Table 1 and Sections 3–4 of Hassin & Peleg.
+//! Monte-Carlo estimates, log–log exponent fitting, the closed-form bound
+//! formulas quoted in Table 1 and Sections 3–4 of Hassin & Peleg, and
+//! oracle-driven minimal-quorum / minimal-blocking-set enumeration
+//! ([`minimal`]) that certifies intersection and availability bounds for
+//! recursive compositions.
 //!
 //! ```
 //! use quorum_analysis::{availability, bounds, lemmas};
@@ -28,6 +31,7 @@ pub mod bounds;
 pub mod fit;
 pub mod histogram;
 pub mod lemmas;
+pub mod minimal;
 pub mod noise;
 pub mod stats;
 
@@ -37,5 +41,9 @@ pub use availability::{
 };
 pub use fit::{fit_power_law, PowerLawFit};
 pub use histogram::{load_imbalance, wasted_work_fraction, LogHistogram};
+pub use minimal::{
+    availability_bounds, find_disjoint_pair, minimal_blocking_sets, minimal_quorums,
+    AvailabilityBounds, MINIMAL_ENUM_LIMIT,
+};
 pub use noise::{transcript_edit_distance, NoiseSensitivity};
 pub use stats::{RunningStats, Summary};

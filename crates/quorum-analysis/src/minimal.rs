@@ -1,0 +1,273 @@
+//! Oracle-driven enumeration of minimal quorums and minimal blocking sets,
+//! with the certificates a composition deployment needs: pairwise
+//! intersection and availability bounds.
+//!
+//! Unlike the exhaustive `2^n` sweeps of `quorum_core` (which cap at 24
+//! elements), the search here is a branch-and-bound over the monotone
+//! characteristic function in the style of FBAS quorum analysers: elements
+//! are decided one at a time, and a branch is pruned as soon as the selected
+//! elements plus everything still undecided can no longer satisfy the
+//! predicate. The cost therefore scales with the number of minimal sets and
+//! the oracle's evaluation cost, not with `2^n` — the shipped composition
+//! scenarios (up to the 25-element organization majority) enumerate in
+//! milliseconds.
+//!
+//! The two enumerations are dual views of one search:
+//!
+//! * [`minimal_quorums`] runs it on `S ↦ contains_quorum(S)`;
+//! * [`minimal_blocking_sets`] runs it on the dual predicate
+//!   `S ↦ !contains_quorum(U \ S)` — a blocking set (transversal) is a set
+//!   whose failure kills every quorum.
+
+use quorum_core::{ElementId, ElementSet, QuorumError, QuorumSystem};
+
+/// Largest universe the minimal-set searches accept.
+///
+/// The bound guards against accidentally pointing the enumeration at a
+/// million-element lane benchmark; within the limit, the practical cost is
+/// governed by the number of minimal sets, not by `2^n`.
+pub const MINIMAL_ENUM_LIMIT: usize = 32;
+
+/// Enumerates the minimal quorums of `system`, sorted canonically by
+/// `(size, elements)`.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when the universe exceeds
+/// [`MINIMAL_ENUM_LIMIT`].
+pub fn minimal_quorums<S: QuorumSystem + ?Sized>(
+    system: &S,
+) -> Result<Vec<ElementSet>, QuorumError> {
+    let n = check_universe(system.universe_size())?;
+    Ok(minimal_true_sets(n, |s| system.contains_quorum(s)))
+}
+
+/// Enumerates the minimal blocking sets (minimal transversals) of `system`,
+/// sorted canonically by `(size, elements)`.
+///
+/// A blocking set intersects every quorum: once all of its elements fail, no
+/// live quorum remains. For a nondominated coterie the blocking sets are
+/// exactly the quorums (self-duality).
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when the universe exceeds
+/// [`MINIMAL_ENUM_LIMIT`].
+pub fn minimal_blocking_sets<S: QuorumSystem + ?Sized>(
+    system: &S,
+) -> Result<Vec<ElementSet>, QuorumError> {
+    let n = check_universe(system.universe_size())?;
+    Ok(minimal_true_sets(n, |s| {
+        !system.contains_quorum(&s.complement())
+    }))
+}
+
+/// Finds a disjoint pair among `sets`, if any — the counterexample format
+/// for intersection certification: `None` certifies that every pair of
+/// minimal quorums intersects, i.e. the composition really is a quorum
+/// system and not just a monotone set family.
+pub fn find_disjoint_pair(sets: &[ElementSet]) -> Option<(usize, usize)> {
+    for (i, a) in sets.iter().enumerate() {
+        for (j, b) in sets.iter().enumerate().skip(i + 1) {
+            if !a.intersects(b) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Availability bounds certified by a minimal-blocking-set enumeration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityBounds {
+    /// Union-bound floor: `1 − Σ_B p^|B|`, clamped to 0.
+    pub lower: f64,
+    /// Single-worst-set ceiling: `1 − max_B p^|B|`.
+    pub upper: f64,
+}
+
+/// Brackets the availability of a system from its minimal blocking sets
+/// under i.i.d. element failure probability `p`.
+///
+/// The system is unavailable exactly when some minimal blocking set fails
+/// entirely. The union bound over blocking sets gives
+/// `P(fail) ≤ Σ_B p^|B|`, and any single blocking set gives
+/// `P(fail) ≥ max_B p^|B|`, so availability lies in
+/// `[1 − Σ_B p^|B|, 1 − max_B p^|B|]`. An empty `blocking_sets` slice means
+/// the system can never fail, yielding `[1, 1]`.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability.
+pub fn availability_bounds(blocking_sets: &[ElementSet], p: f64) -> AvailabilityBounds {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut fail_union = 0.0f64;
+    let mut fail_max = 0.0f64;
+    for set in blocking_sets {
+        let fail = p.powi(set.len() as i32);
+        fail_union += fail;
+        fail_max = fail_max.max(fail);
+    }
+    AvailabilityBounds {
+        lower: (1.0 - fail_union).max(0.0),
+        upper: 1.0 - fail_max,
+    }
+}
+
+fn check_universe(n: usize) -> Result<usize, QuorumError> {
+    if n > MINIMAL_ENUM_LIMIT {
+        return Err(QuorumError::UniverseTooLarge {
+            actual: n,
+            limit: MINIMAL_ENUM_LIMIT,
+        });
+    }
+    Ok(n)
+}
+
+/// Enumerates the minimal satisfying sets of the monotone predicate `f` by
+/// include/exclude branch-and-bound over elements `0..n`.
+fn minimal_true_sets(n: usize, f: impl Fn(&ElementSet) -> bool) -> Vec<ElementSet> {
+    let mut out = Vec::new();
+    let mut selection = ElementSet::empty(n);
+    search(n, &f, 0, &mut selection, &mut out);
+    out.sort_by_key(|s| (s.len(), s.to_vec()));
+    out
+}
+
+fn search(
+    n: usize,
+    f: &impl Fn(&ElementSet) -> bool,
+    next: ElementId,
+    selection: &mut ElementSet,
+    out: &mut Vec<ElementSet>,
+) {
+    if f(selection) {
+        // A satisfying selection never expands further (supersets are
+        // dominated), so each set is visited at most once; it is recorded
+        // only if every member is critical.
+        let minimal = selection.iter().all(|e| !f(&selection.without(e)));
+        if minimal {
+            out.push(selection.clone());
+        }
+        return;
+    }
+    if next == n {
+        return;
+    }
+    // Prune: even selecting every undecided element cannot satisfy `f`.
+    let mut upper = selection.clone();
+    for e in next..n {
+        upper.insert(e);
+    }
+    if !f(&upper) {
+        return;
+    }
+    selection.insert(next);
+    search(n, f, next + 1, selection, out);
+    selection.remove(next);
+    search(n, f, next + 1, selection, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_core::minimal_transversals;
+    use quorum_systems::{Majority, SystemSpec};
+
+    fn sets(universe: usize, lists: &[&[ElementId]]) -> Vec<ElementSet> {
+        lists
+            .iter()
+            .map(|l| ElementSet::from_iter(universe, l.iter().copied()))
+            .collect()
+    }
+
+    #[test]
+    fn majority_minimal_quorums_are_the_pairs() {
+        let maj = Majority::new(3).unwrap();
+        let quorums = minimal_quorums(&maj).unwrap();
+        assert_eq!(quorums, sets(3, &[&[0, 1], &[0, 2], &[1, 2]]));
+        // Majority is self-dual: blocking sets coincide with quorums.
+        assert_eq!(minimal_blocking_sets(&maj).unwrap(), quorums);
+        assert_eq!(find_disjoint_pair(&quorums), None);
+    }
+
+    #[test]
+    fn blocking_sets_match_the_exhaustive_transversal_sweep() {
+        let maj = Majority::new(5).unwrap();
+        let mut exhaustive = minimal_transversals(&maj).unwrap();
+        exhaustive.sort_by_key(|s| (s.len(), s.to_vec()));
+        assert_eq!(minimal_blocking_sets(&maj).unwrap(), exhaustive);
+    }
+
+    #[test]
+    fn composition_quorums_match_the_circuit_enumeration() {
+        let spec = SystemSpec::parse("2(2(0,1,2),2(3,4,5),2(6,7,8))").unwrap();
+        let system = spec.build().unwrap();
+        let quorums = minimal_quorums(system.as_ref()).unwrap();
+        assert_eq!(quorums.len(), 27, "2-of-3 over 2-of-3 has 3·9 minterms");
+        assert!(quorums.iter().all(|q| q.len() == 4));
+        let mut circuit = system.enumerate_quorums().unwrap();
+        circuit.sort_by_key(|s| (s.len(), s.to_vec()));
+        assert_eq!(quorums, circuit);
+        assert_eq!(find_disjoint_pair(&quorums), None);
+    }
+
+    #[test]
+    fn disjoint_quorums_are_reported() {
+        // 1-of-2 is a monotone family but NOT a quorum system: {0} and {1}
+        // are disjoint.
+        let spec = SystemSpec::parse("1(0,1)").unwrap();
+        let system = spec.build().unwrap();
+        let quorums = minimal_quorums(system.as_ref()).unwrap();
+        assert_eq!(quorums, sets(2, &[&[0], &[1]]));
+        assert_eq!(find_disjoint_pair(&quorums), Some((0, 1)));
+    }
+
+    #[test]
+    fn availability_bounds_bracket_the_exact_probability() {
+        let maj = Majority::new(5).unwrap();
+        let blocking = minimal_blocking_sets(&maj).unwrap();
+        for p in [0.05, 0.1, 0.3, 0.5] {
+            let exact_fail = crate::availability::exact_failure_probability(&maj, p).unwrap();
+            let bounds = availability_bounds(&blocking, p);
+            assert!(
+                bounds.lower <= 1.0 - exact_fail + 1e-12,
+                "lower bound broken at p={p}"
+            );
+            assert!(
+                bounds.upper >= 1.0 - exact_fail - 1e-12,
+                "upper bound broken at p={p}"
+            );
+        }
+        // No blocking sets: the system never fails.
+        let trivial = availability_bounds(&[], 0.3);
+        assert_eq!((trivial.lower, trivial.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn org_majority_enumerates_past_the_exhaustive_limit() {
+        // 25 elements: out of reach for the 2^n sweeps, easy for the
+        // branch-and-bound.
+        let spec = SystemSpec::org_majority_with_size_hint(25);
+        let system = spec.build().unwrap();
+        assert_eq!(system.universe_size(), 25);
+        let quorums = minimal_quorums(system.as_ref()).unwrap();
+        // 3-of-5 organizations, each a 3-of-5 majority: C(5,3)·C(5,3)^3.
+        assert_eq!(quorums.len(), 10 * 10 * 10 * 10);
+        assert!(quorums.iter().all(|q| q.len() == 9));
+        assert_eq!(find_disjoint_pair(&quorums), None);
+    }
+
+    #[test]
+    fn oversized_universes_are_rejected() {
+        let maj = Majority::new(35).unwrap();
+        assert!(matches!(
+            minimal_quorums(&maj),
+            Err(QuorumError::UniverseTooLarge { actual: 35, .. })
+        ));
+        assert!(matches!(
+            minimal_blocking_sets(&maj),
+            Err(QuorumError::UniverseTooLarge { actual: 35, .. })
+        ));
+    }
+}

@@ -52,6 +52,7 @@ pub mod coterie;
 pub mod delta;
 pub mod error;
 pub mod lanes;
+pub mod orgs;
 pub mod set;
 pub mod system;
 pub mod transversal;
@@ -62,6 +63,7 @@ pub use coloring::{Color, Coloring};
 pub use coterie::Coterie;
 pub use delta::{delta_evaluator_for, ColoringDelta, DeltaEvaluator, RescanDeltaEvaluator};
 pub use error::QuorumError;
+pub use orgs::Organizations;
 pub use set::{ElementSet, WORD_BITS};
 pub use system::{DynQuorumSystem, QuorumSystem};
 pub use transversal::{is_transversal, minimal_transversals};

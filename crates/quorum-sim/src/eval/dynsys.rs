@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use quorum_core::{Coloring, QuorumSystem};
 use quorum_probe::{run_strategy, ProbeRun, ProbeStrategy};
+use quorum_systems::{BuiltSystem, SpecError, SystemSpec};
 use rand::RngCore;
 
 /// A quorum system that can be stored in heterogeneous collections *and*
@@ -50,6 +51,24 @@ pub type DynSystem = Arc<dyn EvalSystem>;
 /// Wraps a concrete system into a [`DynSystem`].
 pub fn erase_system<S: QuorumSystem + Send + Sync + 'static>(system: S) -> DynSystem {
     Arc::new(system)
+}
+
+/// Builds `spec` and erases the result into a [`DynSystem`].
+///
+/// Unlike [`SystemSpec::build`] (which produces a plain
+/// `DynQuorumSystem`), the erased system keeps its concrete type behind
+/// [`EvalSystem::as_any`], so typed strategies (`Probe_Maj`, `Probe_Tree`,
+/// …) can still downcast and run against spec-built systems.
+pub fn erase_spec(spec: &SystemSpec) -> Result<DynSystem, SpecError> {
+    Ok(match spec.build_concrete()? {
+        BuiltSystem::Majority(s) => erase_system(s),
+        BuiltSystem::Wheel(s) => erase_system(s),
+        BuiltSystem::Walls(s) => erase_system(s),
+        BuiltSystem::Tree(s) => erase_system(s),
+        BuiltSystem::Hqs(s) => erase_system(s),
+        BuiltSystem::Grid(s) => erase_system(s),
+        BuiltSystem::Composition(s) => erase_system(s),
+    })
 }
 
 /// An object-safe probe strategy: the engine-facing face of
@@ -226,6 +245,26 @@ mod tests {
         let coloring = Coloring::all_green(wall.universe_size());
         let mut rng = StdRng::seed_from_u64(3);
         let _ = probe_maj.run(wall.as_ref(), &coloring, &mut rng);
+    }
+
+    #[test]
+    fn erase_spec_preserves_concrete_types() {
+        let maj = erase_spec(&SystemSpec::parse("maj(5)").unwrap()).unwrap();
+        assert!(maj.as_ref().as_any().is::<Majority>());
+        let probe_maj = typed_strategy::<Majority, _>(ProbeMaj::new());
+        assert!(probe_maj.supports(maj.as_ref()));
+        let compose = erase_spec(&SystemSpec::parse("2(2(0,1,2),2(3,4,5),2(6,7,8))").unwrap())
+            .expect("valid composition spec");
+        assert!(compose
+            .as_ref()
+            .as_any()
+            .is::<quorum_systems::Composition>());
+        assert_eq!(compose.universe_size(), 9);
+        let err = match erase_spec(&SystemSpec::Majority { n: 4 }) {
+            Err(e) => e,
+            Ok(_) => panic!("maj(4) must not build"),
+        };
+        assert!(err.to_string().contains("odd universe"), "{err}");
     }
 
     #[test]

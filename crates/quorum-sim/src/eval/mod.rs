@@ -49,8 +49,8 @@ pub mod plan;
 pub mod registry;
 
 pub use dynsys::{
-    erase_system, typed_strategy, universal_strategy, DynProbeStrategy, DynStrategy, DynSystem,
-    EvalSystem, ForAny, ForSystem,
+    erase_spec, erase_system, typed_strategy, universal_strategy, DynProbeStrategy, DynStrategy,
+    DynSystem, EvalSystem, ForAny, ForSystem,
 };
 pub use engine::{
     derive_rng, fit_points, trial_values, CellReport, EvalEngine, EvalReport, Shard, TrialRng,

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use quorum_core::Coloring;
+use quorum_core::{Coloring, Organizations};
 
 use super::dynsys::{DynProbeStrategy, DynSystem};
 use super::engine::TrialRng;
@@ -18,7 +18,7 @@ pub enum ColoringSource {
     /// A named failure model ([`FailureModel::iid`],
     /// [`FailureModel::exact_red_count`], [`FailureModel::fixed`],
     /// [`FailureModel::heterogeneous`], [`FailureModel::zoned`],
-    /// [`FailureModel::churn`]).
+    /// [`FailureModel::org_zoned`], [`FailureModel::churn`]).
     Model(FailureModel),
     /// An arbitrary generator, e.g. one of the paper's hard input families.
     Generator {
@@ -67,6 +67,24 @@ impl ColoringSource {
     pub fn zoned_correlated(zone_count: usize, marginal: f64, correlation: f64) -> Self {
         ColoringSource::Model(FailureModel::zoned_correlated(
             zone_count,
+            marginal,
+            correlation,
+        ))
+    }
+
+    /// Organization-aligned failures: every group of `orgs` fails wholesale
+    /// with probability `q`, and surviving elements fail i.i.d. with `p`
+    /// (see [`FailureModel::org_zoned`]).
+    pub fn org_zoned(orgs: Arc<Organizations>, q: f64, p: f64) -> Self {
+        ColoringSource::Model(FailureModel::org_zoned(orgs, q, p))
+    }
+
+    /// Organization failures parameterised by a fixed per-element marginal
+    /// and a correlation strength in `0..=1` (see
+    /// [`FailureModel::org_zoned_correlated`]).
+    pub fn org_zoned_correlated(orgs: Arc<Organizations>, marginal: f64, correlation: f64) -> Self {
+        ColoringSource::Model(FailureModel::org_zoned_correlated(
+            orgs,
             marginal,
             correlation,
         ))

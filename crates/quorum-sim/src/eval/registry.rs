@@ -13,12 +13,23 @@ use quorum_probe::strategies::{
     IrProbeHqs, LeastLoadedScan, PowerOfTwoScan, ProbeCw, ProbeHqs, ProbeMaj, ProbeTree, RProbeCw,
     RProbeHqs, RProbeMaj, RProbeTree, RandomScan, SequentialScan,
 };
-use quorum_systems::{CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
+use std::sync::Arc;
 
-use super::dynsys::{
-    erase_system, typed_strategy, universal_strategy, DynProbeStrategy, DynSystem,
-};
+use quorum_core::Organizations;
+use quorum_systems::{CrumblingWalls, Hqs, Majority, SystemSpec, TreeQuorum};
+
+use super::dynsys::{erase_spec, typed_strategy, universal_strategy, DynProbeStrategy, DynSystem};
 use super::plan::ColoringSource;
+
+/// Builds a registry family through [`SystemSpec::family_with_size_hint`]
+/// and erases the concrete result, so every registry system comes from the
+/// same construction path as user-written specs while typed strategies keep
+/// downcasting.
+fn build_family(family: &str, size_hint: usize) -> DynSystem {
+    let spec = SystemSpec::family_with_size_hint(family, size_hint)
+        .unwrap_or_else(|| panic!("{family} is not a spec family"));
+    erase_spec(&spec).unwrap_or_else(|e| panic!("{family} spec invalid for hint {size_hint}: {e}"))
+}
 
 /// A named system family, buildable from an approximate universe size.
 #[derive(Clone)]
@@ -46,33 +57,43 @@ pub struct SystemRegistry {
 
 impl SystemRegistry {
     /// The families studied by the paper (Maj, Wheel, Triang, Tree, HQS)
-    /// plus the Grid baseline.
+    /// plus the Grid baseline and the recursive Compose family (an
+    /// organization-aligned majority-of-majorities).
+    ///
+    /// Every entry is built through [`SystemSpec::family_with_size_hint`] +
+    /// [`erase_spec`], so the registry exercises the same construction API
+    /// as user-written specs; the concrete constructors remain available as
+    /// thin wrappers for direct use.
     pub fn paper() -> Self {
         SystemRegistry {
             entries: vec![
                 SystemEntry {
                     family: "Maj",
-                    build: |hint| erase_system(Majority::with_size_hint(hint)),
+                    build: |hint| build_family("Maj", hint),
                 },
                 SystemEntry {
                     family: "Wheel",
-                    build: |hint| erase_system(Wheel::with_size_hint(hint)),
+                    build: |hint| build_family("Wheel", hint),
                 },
                 SystemEntry {
                     family: "Triang",
-                    build: |hint| erase_system(CrumblingWalls::triang_with_size_hint(hint)),
+                    build: |hint| build_family("Triang", hint),
                 },
                 SystemEntry {
                     family: "Tree",
-                    build: |hint| erase_system(TreeQuorum::with_size_hint(hint)),
+                    build: |hint| build_family("Tree", hint),
                 },
                 SystemEntry {
                     family: "HQS",
-                    build: |hint| erase_system(Hqs::with_size_hint(hint)),
+                    build: |hint| build_family("HQS", hint),
                 },
                 SystemEntry {
                     family: "Grid",
-                    build: |hint| erase_system(Grid::with_size_hint(hint)),
+                    build: |hint| build_family("Grid", hint),
+                },
+                SystemEntry {
+                    family: "Compose",
+                    build: |hint| build_family("Compose", hint),
                 },
             ],
         }
@@ -329,12 +350,13 @@ const CHURN_STEPS: usize = 512;
 
 impl ScenarioRegistry {
     /// The standard scenario battery: the paper's i.i.d. regime plus
-    /// correlated zones (weak → wholesale), heterogeneous per-element rates
+    /// correlated zones (weak → wholesale), an organization-outage regime
+    /// (whole operators fail together), heterogeneous per-element rates
     /// (gradient and hot spot), and fail/repair churn at two intensities.
     ///
-    /// All zoned scenarios share a per-element failure marginal of 0.3, so
-    /// rows differ only in *how* failures are arranged — exactly the
-    /// comparison the i.i.d. analysis cannot make.
+    /// All zoned and organization scenarios share a per-element failure
+    /// marginal of 0.3, so rows differ only in *how* failures are arranged —
+    /// exactly the comparison the i.i.d. analysis cannot make.
     pub fn standard() -> Self {
         ScenarioRegistry {
             entries: vec![
@@ -357,6 +379,14 @@ impl ScenarioRegistry {
                 ScenarioEntry {
                     name: "zoned-wholesale",
                     build: |n, _| ColoringSource::zoned_correlated(zone_count_for(n), 0.3, 1.0),
+                },
+                ScenarioEntry {
+                    name: "org-outage",
+                    build: |n, _| {
+                        let orgs = Organizations::contiguous(n, zone_count_for(n))
+                            .expect("zone_count_for stays within 1..=n");
+                        ColoringSource::org_zoned_correlated(Arc::new(orgs), 0.3, 0.75)
+                    },
                 },
                 ScenarioEntry {
                     name: "hetero-gradient",
@@ -449,13 +479,36 @@ mod tests {
     #[test]
     fn system_registry_builds_every_family() {
         let registry = SystemRegistry::paper();
-        assert_eq!(registry.entries().len(), 6);
+        assert_eq!(registry.entries().len(), 7);
         for entry in registry.entries() {
             let system = (entry.build)(20);
             assert!(system.universe_size() >= 3, "{} too small", entry.family);
         }
         assert!(registry.build("Maj", 10).is_some());
         assert!(registry.build("NoSuchFamily", 10).is_none());
+    }
+
+    /// The spec-built registry still hands typed strategies their concrete
+    /// systems: migration to `SystemSpec` must not break downcasting.
+    #[test]
+    fn registry_systems_stay_downcastable() {
+        let registry = SystemRegistry::paper();
+        let maj = registry.build("Maj", 9).expect("registered");
+        assert!(maj.as_ref().as_any().is::<Majority>());
+        assert!(registry
+            .build("Tree", 9)
+            .expect("registered")
+            .as_ref()
+            .as_any()
+            .is::<TreeQuorum>());
+        assert!(registry
+            .build("Compose", 25)
+            .expect("registered")
+            .as_ref()
+            .as_any()
+            .is::<quorum_systems::Composition>());
+        let probe_maj = StrategyRegistry::paper().build("Probe_Maj").unwrap();
+        assert!(probe_maj.supports(maj.as_ref()));
     }
 
     #[test]
@@ -533,7 +586,7 @@ mod tests {
     #[test]
     fn scenario_registry_builds_every_scenario() {
         let scenarios = ScenarioRegistry::standard();
-        assert_eq!(scenarios.entries().len(), 9);
+        assert_eq!(scenarios.entries().len(), 10);
         let mut rng = TrialRng::seed_from_u64(1);
         for entry in scenarios.entries() {
             for n in [9usize, 21, 64] {
@@ -577,11 +630,12 @@ mod tests {
         for (system, strategy) in &pairs {
             assert!(strategy.supports(system.as_ref()));
         }
-        // 6 families × 2 generic scans, plus the typed pairs: Maj 2,
-        // Triang (CrumblingWalls) 2, Tree 2, HQS 3.
+        // 7 families × 2 generic scans, plus the typed pairs: Maj 2,
+        // Triang (CrumblingWalls) 2, Tree 2, HQS 3. Compose only matches
+        // the generic scans — no typed strategy knows its shape.
         assert_eq!(
             pairs.len(),
-            6 * 2 + 2 + 2 + 2 + 3,
+            7 * 2 + 2 + 2 + 2 + 3,
             "pair count drifted: {}",
             pairs.len()
         );

@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use quorum_analysis::availability::{zone_of, zoned_params};
 use quorum_core::lanes::{bernoulli_lane_words, bernoulli_lanes, LANE_TRIALS};
-use quorum_core::{Color, Coloring, ColoringDelta, WORD_BITS};
+use quorum_core::{Color, Coloring, ColoringDelta, Organizations, WORD_BITS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -445,6 +445,9 @@ pub fn epsilon_resample_delta<R: Rng + ?Sized>(
 ///   zones; a zone fails wholesale with probability `q`, elements of
 ///   surviving zones fail i.i.d. with probability `p`. Sweeping `q` at a
 ///   fixed marginal spans independent to fully-correlated failures;
+/// * [`FailureModel::OrgZoned`] — the zoned model over explicit
+///   [`Organizations`]: whole operators fail together with probability `q`,
+///   then i.i.d. `p` among survivors and org-less elements;
 /// * [`FailureModel::Churn`] — a seeded fail/repair Markov trajectory; trial
 ///   `t` observes the coloring at time step `t`, so mean probe counts are
 ///   **time averages** along a realistic failure timeline.
@@ -480,6 +483,20 @@ pub enum FailureModel {
         /// Probability that a zone fails wholesale.
         q: f64,
         /// Failure probability of elements in surviving zones.
+        p: f64,
+    },
+    /// Correlated organization failures: whole operators fail together.
+    /// Each organization fails wholesale with probability `q`; elements of
+    /// surviving organizations — and elements owned by no organization —
+    /// fail i.i.d. with probability `p`. The org-structured counterpart of
+    /// [`FailureModel::Zoned`]: groups are explicit (and need not be
+    /// contiguous) instead of derived from element order.
+    OrgZoned {
+        /// The organization structure (pins the universe size).
+        orgs: Arc<Organizations>,
+        /// Probability that an organization fails wholesale.
+        q: f64,
+        /// Failure probability of elements in surviving organizations.
         p: f64,
     },
     /// A fail/repair Markov chain: trial `t` sees time step `t`.
@@ -558,6 +575,36 @@ impl FailureModel {
         FailureModel::zoned(zone_count, q, p)
     }
 
+    /// Organization failures: each org of `orgs` fails wholesale with
+    /// probability `q`; elements of surviving organizations (and
+    /// independent, org-less elements) fail i.i.d. with probability `p`.
+    ///
+    /// With `q = 0` the model is **exactly** [`FailureModel::iid`] at `p`
+    /// (same colorings for the same RNG stream — the org draws are skipped),
+    /// so correlation sweeps anchor bit-for-bit at the independent end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`/`p` are not probabilities.
+    pub fn org_zoned(orgs: Arc<Organizations>, q: f64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "q must be a probability, got {q}");
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        FailureModel::OrgZoned { orgs, q, p }
+    }
+
+    /// Organization failures parameterised by `(marginal, correlation)`: the
+    /// per-element failure probability stays at `marginal` while
+    /// `correlation` sweeps from 0 (i.i.d.) to 1 (organizations fail
+    /// wholesale). Mirrors [`FailureModel::zoned_correlated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not a probability.
+    pub fn org_zoned_correlated(orgs: Arc<Organizations>, marginal: f64, correlation: f64) -> Self {
+        let (q, p) = zoned_params(marginal, correlation);
+        FailureModel::org_zoned(orgs, q, p)
+    }
+
     /// A churn timeline generated from the given Markov parameters and seed
     /// (see [`ChurnTrajectory::generate`] for panics).
     pub fn churn(n: usize, fail: f64, repair: f64, steps: usize, seed: u64) -> Self {
@@ -602,8 +649,9 @@ impl FailureModel {
     ///
     /// Panics if the model is [`FailureModel::ExactRedCount`] with more reds
     /// than elements, [`FailureModel::Fixed`] / [`FailureModel::Heterogeneous`]
-    /// / [`FailureModel::Churn`] with a universe that does not match `n`, or
-    /// [`FailureModel::Zoned`] with more zones than elements.
+    /// / [`FailureModel::Churn`] / [`FailureModel::OrgZoned`] with a universe
+    /// that does not match `n`, or [`FailureModel::Zoned`] with more zones
+    /// than elements.
     pub fn sample_into<R: Rng + ?Sized>(
         &self,
         n: usize,
@@ -696,6 +744,42 @@ impl FailureModel {
                         }
                     }
                     e = zone_end;
+                }
+            }
+            FailureModel::OrgZoned { orgs, q, p } => {
+                assert_eq!(
+                    orgs.universe_size(),
+                    n,
+                    "organization structure universe does not match the requested universe"
+                );
+                out.reset(n, Color::Green);
+                if *q == 0.0 {
+                    // Exact specialization: no org draws, so the RNG stream —
+                    // and therefore every sampled coloring — matches Iid(p)
+                    // bit for bit. Correlation sweeps anchor here.
+                    sample_iid_into(n, *p, rng, out);
+                    return;
+                }
+                // Organizations in declaration order, then the independent
+                // elements in ascending order — a fixed draw order keeps the
+                // model seed-deterministic.
+                for g in 0..orgs.group_count() {
+                    if rng.gen_bool(*q) {
+                        for &member in orgs.members(g) {
+                            out.set_color(member, Color::Red);
+                        }
+                    } else {
+                        for &member in orgs.members(g) {
+                            if draw_red(rng, *p) {
+                                out.set_color(member, Color::Red);
+                            }
+                        }
+                    }
+                }
+                for e in 0..n {
+                    if orgs.group_of(e).is_none() && draw_red(rng, *p) {
+                        out.set_color(e, Color::Red);
+                    }
                 }
             }
             FailureModel::Churn { trajectory } => {
@@ -796,6 +880,39 @@ impl FailureModel {
                     e = zone_end;
                 }
             }
+            FailureModel::OrgZoned { orgs, q, p } => {
+                assert_eq!(
+                    orgs.universe_size(),
+                    n,
+                    "organization structure universe does not match the requested universe"
+                );
+                if *q == 0.0 {
+                    // Same specialization as `sample_into`: no org draws, the
+                    // stream consumption matches the i.i.d. fill exactly.
+                    fill_iid_green_lanes(*p, rngs, out);
+                    return;
+                }
+                // One wholesale-failure lane per org per trial word, ANDed
+                // out of every member's i.i.d. survival lane; then the
+                // independent elements, in ascending order.
+                let mut org_fail = vec![0u64; width];
+                for g in 0..orgs.group_count() {
+                    bernoulli_lane_words(*q, &mut org_fail, |i| rngs[i].next_u64());
+                    for &member in orgs.members(g) {
+                        let slot = &mut out[member * width..(member + 1) * width];
+                        bernoulli_lane_words(1.0 - *p, slot, |i| rngs[i].next_u64());
+                        for (lane, fail) in slot.iter_mut().zip(&org_fail) {
+                            *lane &= !*fail;
+                        }
+                    }
+                }
+                for e in 0..n {
+                    if orgs.group_of(e).is_none() {
+                        let slot = &mut out[e * width..(e + 1) * width];
+                        bernoulli_lane_words(1.0 - *p, slot, |i| rngs[i].next_u64());
+                    }
+                }
+            }
             FailureModel::Fixed { coloring } => {
                 assert_eq!(
                     coloring.universe_size(),
@@ -866,6 +983,9 @@ impl FailureModel {
             }
             FailureModel::Zoned { zone_count, q, p } => {
                 format!("zoned(z={zone_count},q={q:.3},p={p:.3})")
+            }
+            FailureModel::OrgZoned { orgs, q, p } => {
+                format!("org-zoned(g={},q={q:.3},p={p:.3})", orgs.group_count())
             }
             FailureModel::Churn { trajectory } => format!(
                 "churn(fail={:.3},repair={:.3},steps={})",
@@ -1133,6 +1253,107 @@ mod tests {
     fn zoned_validates_zone_count_at_sample() {
         let mut rng = StdRng::seed_from_u64(14);
         let _ = FailureModel::zoned(10, 0.5, 0.5).sample(5, &mut rng);
+    }
+
+    fn three_orgs() -> Arc<Organizations> {
+        // Non-contiguous groups plus an independent element (index 4).
+        Arc::new(Organizations::new(7, vec![vec![0, 5], vec![1, 6], vec![2, 3]]).unwrap())
+    }
+
+    #[test]
+    fn org_zoned_q_zero_matches_iid_bitwise() {
+        // The documented specialization: with q = 0 the org model consumes
+        // the RNG exactly like Iid(p), so same seed ⇒ same colorings.
+        let org = FailureModel::org_zoned(three_orgs(), 0.0, 0.35);
+        let iid = FailureModel::iid(0.35);
+        let mut rng_a = StdRng::seed_from_u64(10);
+        let mut rng_b = StdRng::seed_from_u64(10);
+        for trial in 0..40u64 {
+            assert_eq!(
+                org.sample_at(7, trial, &mut rng_a),
+                iid.sample_at(7, trial, &mut rng_b),
+                "trial={trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn org_zoned_failures_are_org_aligned_when_fully_correlated() {
+        // p = 0: reds can only arise from wholesale org failures, so every
+        // organization is monochromatic even when its members are scattered,
+        // and the independent element never fails.
+        let orgs = three_orgs();
+        let model = FailureModel::org_zoned(orgs.clone(), 0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut saw_fail = false;
+        let mut saw_survive = false;
+        for _ in 0..100 {
+            let coloring = model.sample(7, &mut rng);
+            assert!(coloring.is_green(4), "org-less element failed at p=0");
+            for g in 0..orgs.group_count() {
+                let members = orgs.members(g);
+                let first = coloring.color(members[0]);
+                for &member in members {
+                    assert_eq!(coloring.color(member), first, "org {g} split a color");
+                }
+                saw_fail |= first == Color::Red;
+                saw_survive |= first == Color::Green;
+            }
+        }
+        assert!(saw_fail && saw_survive, "q=0.5 must show both outcomes");
+    }
+
+    #[test]
+    fn org_zoned_correlated_preserves_marginal_rate() {
+        let orgs = Arc::new(Organizations::contiguous(20, 5).unwrap());
+        let marginal = 0.3;
+        for correlation in [0.0, 0.5, 1.0] {
+            let model = FailureModel::org_zoned_correlated(orgs.clone(), marginal, correlation);
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut reds = 0usize;
+            let trials = 4_000;
+            for _ in 0..trials {
+                reds += model.sample(20, &mut rng).red_count();
+            }
+            let rate = reds as f64 / (trials * 20) as f64;
+            assert!(
+                (rate - marginal).abs() < 0.02,
+                "correlation {correlation}: marginal drifted to {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn org_zoned_matches_zoned_on_contiguous_groups() {
+        // With the same contiguous layout the two models sample the same
+        // distribution; at p = 0 and a shared seed they agree bit-for-bit
+        // (identical draw order: one q-draw per group, no member draws).
+        let n = 12;
+        let zone_count = 4;
+        let orgs = Arc::new(Organizations::contiguous(n, zone_count).unwrap());
+        for g in 0..zone_count {
+            for &member in orgs.members(g) {
+                assert_eq!(zone_of(member, n, zone_count), g, "layouts must agree");
+            }
+        }
+        let org_model = FailureModel::org_zoned(orgs, 0.5, 0.0);
+        let zoned = FailureModel::zoned(zone_count, 0.5, 0.0);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        for trial in 0..60u64 {
+            assert_eq!(
+                org_model.sample_at(n, trial, &mut rng_a),
+                zoned.sample_at(n, trial, &mut rng_b),
+                "trial={trial}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn org_zoned_validates_universe_at_sample() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let _ = FailureModel::org_zoned(three_orgs(), 0.5, 0.5).sample(5, &mut rng);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   ternary tree whose internal nodes are 2-of-3 majority gates.
 //! * [`Grid`] — a Maekawa-style row+column grid system, included as an extra
 //!   (dominated) baseline for the benchmark sweeps.
+//! * [`Composition`] — recursive threshold gates over element leaves
+//!   (Stellar-style quorum sets), strictly generalising Tree, HQS and Grid.
+//!
+//! Construction is unified behind the [`SystemSpec`] AST: a serializable,
+//! text-round-trippable description of any family or composition, with
+//! path-qualified validation errors ([`SpecError`]) and
+//! [`SystemSpec::build`] producing a shared [`quorum_core::DynQuorumSystem`].
 //!
 //! All constructions implement [`quorum_core::QuorumSystem`] through their
 //! monotone characteristic function, so evaluation stays polynomial even when
@@ -35,17 +42,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod composition;
 pub mod crumbling_walls;
 pub mod grid;
 pub mod hqs;
 pub mod majority;
+pub mod spec;
 pub mod tree;
 pub mod wheel;
 
+pub use composition::{Composition, CompositionNode};
 pub use crumbling_walls::CrumblingWalls;
 pub use grid::Grid;
 pub use hqs::Hqs;
 pub use majority::Majority;
+pub use spec::{BuiltSystem, SpecError, SpecErrorKind, SystemSpec};
 pub use tree::TreeQuorum;
 pub use wheel::Wheel;
 
@@ -138,6 +149,10 @@ pub fn catalogue() -> Vec<FamilyEntry> {
             family: "Grid",
             build: build_grid,
         },
+        FamilyEntry {
+            family: "Compose",
+            build: build_compose,
+        },
     ]
 }
 
@@ -163,6 +178,12 @@ fn build_hqs(size_hint: usize) -> DynQuorumSystem {
 
 fn build_grid(size_hint: usize) -> DynQuorumSystem {
     Arc::new(Grid::with_size_hint(size_hint))
+}
+
+fn build_compose(size_hint: usize) -> DynQuorumSystem {
+    SystemSpec::org_majority_with_size_hint(size_hint)
+        .build()
+        .expect("the org-majority composition is always valid")
 }
 
 #[cfg(test)]

@@ -1,0 +1,963 @@
+//! The unified construction API: a serializable [`SystemSpec`] AST.
+//!
+//! Every family in the crate — and every recursive composition of threshold
+//! gates over them — can be described as a [`SystemSpec`] value, validated
+//! with tree-path-qualified errors ([`SpecError`]), round-tripped through a
+//! compact text form ([`SystemSpec::parse`] / `Display`), and built into a
+//! live system with [`SystemSpec::build`].  Registries, benches and
+//! examples construct through specs instead of per-family constructor
+//! plumbing, so experiment rows can name arbitrary compositions
+//! deterministically.
+//!
+//! The text form: leaves are bare element indices, threshold gates are
+//! `k(child,…)`, named families are `maj(n)`, `wheel(n)`, `triang(d)`,
+//! `tree(h)`, `hqs(h)`, `grid(r,c)`, and an organization wrapper is
+//! `orgs([members];[members];…;inner)`.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use quorum_core::{DynQuorumSystem, ElementId, Organizations, QuorumError, QuorumSystem};
+
+use crate::{Composition, CompositionNode, CrumblingWalls, Grid, Hqs, Majority, TreeQuorum, Wheel};
+
+/// A declarative description of a quorum system: the paper's named families,
+/// recursive threshold compositions (`Compose` over `Leaf`s), and an
+/// organization wrapper attaching operator structure to an inner system.
+///
+/// Specs are plain data: build one programmatically, parse it from the
+/// compact text form, validate it ([`SystemSpec::validate`]) and turn it
+/// into a live [`DynQuorumSystem`] with [`SystemSpec::build`].
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::{ElementSet, QuorumSystem};
+/// use quorum_systems::SystemSpec;
+///
+/// // 2-of-3 over three 2-of-3 groups, written in the compact text form.
+/// let spec = SystemSpec::parse("2(2(0,1,2),2(3,4,5),2(6,7,8))").unwrap();
+/// assert_eq!(spec.to_string(), "2(2(0,1,2),2(3,4,5),2(6,7,8))");
+///
+/// let system = spec.build().unwrap();
+/// assert_eq!(system.universe_size(), 9);
+/// assert!(system.contains_quorum(&ElementSet::from_iter(9, [0, 1, 3, 4])));
+/// assert!(!system.contains_quorum(&ElementSet::from_iter(9, [0, 3, 6])));
+///
+/// // Malformed specs are rejected with a path into the tree.
+/// let err = SystemSpec::parse("1(1(0),maj(3))").unwrap_err();
+/// assert_eq!(err.path, vec![1]); // maj(3) may not appear under a gate
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SystemSpec {
+    /// One universe element — only valid inside a [`SystemSpec::Compose`].
+    Leaf(ElementId),
+    /// The majority system over an odd universe of `n ≥ 3` elements.
+    Majority {
+        /// Universe size.
+        n: usize,
+    },
+    /// The wheel system over `n ≥ 3` elements.
+    Wheel {
+        /// Universe size.
+        n: usize,
+    },
+    /// The Triang crumbling wall with rows `1, 2, …, d` (`d ≥ 2`).
+    Triang {
+        /// Number of rows.
+        rows: usize,
+    },
+    /// The Agrawal–El Abbadi tree system of height `h ≥ 1`.
+    Tree {
+        /// Tree height.
+        height: usize,
+    },
+    /// Kumar's hierarchical quorum system of height `h ≥ 1` (`3^h` leaves).
+    Hqs {
+        /// Ternary tree height.
+        height: usize,
+    },
+    /// The Maekawa-style `rows × cols` grid.
+    Grid {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A threshold gate: satisfied when at least `threshold` children are.
+    /// Children must be [`SystemSpec::Leaf`] or nested
+    /// [`SystemSpec::Compose`] gates; the universe is inferred as the
+    /// largest leaf index plus one.
+    Compose {
+        /// How many children must be satisfied.
+        threshold: usize,
+        /// The child sub-specs.
+        children: Vec<SystemSpec>,
+    },
+    /// Attaches organization (operator) structure to an inner system:
+    /// `groups` lists the elements each organization owns. Building returns
+    /// the inner system unchanged; the groups drive org-level failure
+    /// models (see `SystemSpec::organizations`).
+    Orgs {
+        /// Disjoint member lists, one per organization.
+        groups: Vec<Vec<ElementId>>,
+        /// The quorum system the organizations operate.
+        inner: Box<SystemSpec>,
+    },
+}
+
+/// What went wrong inside a [`SystemSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecErrorKind {
+    /// A bare leaf appeared outside a `Compose` gate.
+    LeafOutsideCompose,
+    /// A named family appeared as the child of a `Compose` gate.
+    FamilyInsideCompose,
+    /// A `Compose` gate has no children.
+    EmptyChildren,
+    /// A `Compose` gate's threshold exceeds its child count.
+    ThresholdExceedsChildren {
+        /// The offending threshold.
+        threshold: usize,
+        /// How many children the gate has.
+        children: usize,
+    },
+    /// Family or organization parameters were rejected by the underlying
+    /// constructor; the message is the constructor's.
+    Invalid {
+        /// The constructor's error message.
+        reason: String,
+    },
+    /// The text form failed to parse.
+    Parse {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// What the parser expected.
+        reason: String,
+    },
+}
+
+/// A validation or parse error, qualified with the path of child indices
+/// leading to the offending subtree (empty for the root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Child indices from the root to the offending node (`Orgs` counts its
+    /// inner spec as child 0).
+    pub path: Vec<usize>,
+    /// What went wrong there.
+    pub kind: SpecErrorKind,
+}
+
+impl SpecError {
+    fn at(path: &[usize], kind: SpecErrorKind) -> Self {
+        SpecError {
+            path: path.to_vec(),
+            kind,
+        }
+    }
+
+    fn invalid(path: &[usize], err: QuorumError) -> Self {
+        Self::at(
+            path,
+            SpecErrorKind::Invalid {
+                reason: err.to_string(),
+            },
+        )
+    }
+
+    fn parse(offset: usize, reason: impl Into<String>) -> Self {
+        SpecError {
+            path: Vec::new(),
+            kind: SpecErrorKind::Parse {
+                offset,
+                reason: reason.into(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let SpecErrorKind::Parse { offset, reason } = &self.kind {
+            return write!(f, "parse error at byte {offset}: {reason}");
+        }
+        if self.path.is_empty() {
+            write!(f, "at root: ")?;
+        } else {
+            write!(f, "at child ")?;
+            for (i, step) in self.path.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ".")?;
+                }
+                write!(f, "{step}")?;
+            }
+            write!(f, ": ")?;
+        }
+        match &self.kind {
+            SpecErrorKind::LeafOutsideCompose => {
+                write!(f, "a bare leaf is only valid inside a compose gate")
+            }
+            SpecErrorKind::FamilyInsideCompose => {
+                write!(f, "compose children must be leaves or compose gates")
+            }
+            SpecErrorKind::EmptyChildren => write!(f, "compose gate has no children"),
+            SpecErrorKind::ThresholdExceedsChildren {
+                threshold,
+                children,
+            } => write!(
+                f,
+                "threshold {threshold} exceeds the gate's {children} children"
+            ),
+            SpecErrorKind::Invalid { reason } => write!(f, "{reason}"),
+            SpecErrorKind::Parse { .. } => unreachable!("handled above"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A concretely-typed system built from a [`SystemSpec`], before type
+/// erasure.
+///
+/// Callers that need the concrete family (e.g. to pair typed probe
+/// strategies via downcasting) match on this; everyone else goes through
+/// [`BuiltSystem::into_dyn`] or [`SystemSpec::build`] directly. The enum is
+/// deliberately exhaustive: adapters that re-erase each variant at its
+/// concrete type (preserving downcastability) must be forced to handle any
+/// family added later.
+#[derive(Debug, Clone)]
+pub enum BuiltSystem {
+    /// A [`Majority`] system.
+    Majority(Majority),
+    /// A [`Wheel`] system.
+    Wheel(Wheel),
+    /// A [`CrumblingWalls`] system (Triang).
+    Walls(CrumblingWalls),
+    /// A [`TreeQuorum`] system.
+    Tree(TreeQuorum),
+    /// An [`Hqs`] system.
+    Hqs(Hqs),
+    /// A [`Grid`] system.
+    Grid(Grid),
+    /// A recursive [`Composition`].
+    Composition(Composition),
+}
+
+impl BuiltSystem {
+    /// Erases the concrete family into a shared [`DynQuorumSystem`],
+    /// keeping the concrete type inside the `Arc` so downcasts still work.
+    pub fn into_dyn(self) -> DynQuorumSystem {
+        match self {
+            BuiltSystem::Majority(s) => Arc::new(s),
+            BuiltSystem::Wheel(s) => Arc::new(s),
+            BuiltSystem::Walls(s) => Arc::new(s),
+            BuiltSystem::Tree(s) => Arc::new(s),
+            BuiltSystem::Hqs(s) => Arc::new(s),
+            BuiltSystem::Grid(s) => Arc::new(s),
+            BuiltSystem::Composition(s) => Arc::new(s),
+        }
+    }
+
+    /// Universe size of the built system.
+    pub fn universe_size(&self) -> usize {
+        match self {
+            BuiltSystem::Majority(s) => s.universe_size(),
+            BuiltSystem::Wheel(s) => s.universe_size(),
+            BuiltSystem::Walls(s) => s.universe_size(),
+            BuiltSystem::Tree(s) => s.universe_size(),
+            BuiltSystem::Hqs(s) => s.universe_size(),
+            BuiltSystem::Grid(s) => s.universe_size(),
+            BuiltSystem::Composition(s) => s.universe_size(),
+        }
+    }
+}
+
+impl SystemSpec {
+    /// Parses the compact text form **and validates** the result, so a
+    /// returned spec always builds.
+    ///
+    /// Parse failures carry a byte offset; structural failures carry the
+    /// path of child indices to the offending subtree.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] with [`SpecErrorKind::Parse`] on malformed text, or
+    /// any validation error of [`SystemSpec::validate`].
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let spec: SystemSpec = text.parse()?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates the spec without building it (same checks as
+    /// [`SystemSpec::build`]).
+    ///
+    /// # Errors
+    ///
+    /// A path-qualified [`SpecError`] for the first offending subtree.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.build_concrete().map(drop)
+    }
+
+    /// Builds the spec into a shared, type-erased [`DynQuorumSystem`].
+    ///
+    /// # Errors
+    ///
+    /// A path-qualified [`SpecError`] when the spec is structurally invalid
+    /// or a family constructor rejects its parameters.
+    pub fn build(&self) -> Result<DynQuorumSystem, SpecError> {
+        self.build_concrete().map(BuiltSystem::into_dyn)
+    }
+
+    /// Builds the spec keeping the concrete family type (see
+    /// [`BuiltSystem`]).
+    ///
+    /// # Errors
+    ///
+    /// A path-qualified [`SpecError`], as for [`SystemSpec::build`].
+    pub fn build_concrete(&self) -> Result<BuiltSystem, SpecError> {
+        let mut path = Vec::new();
+        self.build_at(&mut path)
+    }
+
+    /// The organization structure attached at the top of the spec, if any,
+    /// validated against the inner system's universe.
+    ///
+    /// # Errors
+    ///
+    /// A path-qualified [`SpecError`] when the spec itself is invalid or
+    /// the groups overlap / fall outside the inner universe.
+    pub fn organizations(&self) -> Result<Option<Organizations>, SpecError> {
+        match self {
+            SystemSpec::Orgs { groups, inner } => {
+                let universe = {
+                    let mut path = vec![0];
+                    inner.build_at(&mut path)?.universe_size()
+                };
+                Organizations::new(universe, groups.clone())
+                    .map(Some)
+                    .map_err(|e| SpecError::invalid(&[], e))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// The organization member lists named by a top-level
+    /// [`SystemSpec::Orgs`] wrapper, unvalidated.
+    pub fn org_groups(&self) -> Option<&[Vec<ElementId>]> {
+        match self {
+            SystemSpec::Orgs { groups, .. } => Some(groups),
+            _ => None,
+        }
+    }
+
+    fn build_at(&self, path: &mut Vec<usize>) -> Result<BuiltSystem, SpecError> {
+        match self {
+            SystemSpec::Leaf(_) => Err(SpecError::at(path, SpecErrorKind::LeafOutsideCompose)),
+            SystemSpec::Majority { n } => Majority::new(*n)
+                .map(BuiltSystem::Majority)
+                .map_err(|e| SpecError::invalid(path, e)),
+            SystemSpec::Wheel { n } => Wheel::new(*n)
+                .map(BuiltSystem::Wheel)
+                .map_err(|e| SpecError::invalid(path, e)),
+            SystemSpec::Triang { rows } => CrumblingWalls::triang(*rows)
+                .map(BuiltSystem::Walls)
+                .map_err(|e| SpecError::invalid(path, e)),
+            SystemSpec::Tree { height } => TreeQuorum::new(*height)
+                .map(BuiltSystem::Tree)
+                .map_err(|e| SpecError::invalid(path, e)),
+            SystemSpec::Hqs { height } => Hqs::new(*height)
+                .map(BuiltSystem::Hqs)
+                .map_err(|e| SpecError::invalid(path, e)),
+            SystemSpec::Grid { rows, cols } => Grid::new(*rows, *cols)
+                .map(BuiltSystem::Grid)
+                .map_err(|e| SpecError::invalid(path, e)),
+            SystemSpec::Compose { .. } => {
+                let mut max_leaf = 0;
+                let node = self.compose_node(path, &mut max_leaf)?;
+                Composition::new(max_leaf + 1, node)
+                    .map(BuiltSystem::Composition)
+                    .map_err(|e| SpecError::invalid(path, e))
+            }
+            SystemSpec::Orgs { groups, inner } => {
+                path.push(0);
+                let built = inner.build_at(path)?;
+                path.pop();
+                Organizations::new(built.universe_size(), groups.clone())
+                    .map_err(|e| SpecError::invalid(path, e))?;
+                Ok(built)
+            }
+        }
+    }
+
+    /// Lowers a `Compose` subtree into a [`CompositionNode`], tracking the
+    /// largest leaf index.
+    fn compose_node(
+        &self,
+        path: &mut Vec<usize>,
+        max_leaf: &mut ElementId,
+    ) -> Result<CompositionNode, SpecError> {
+        match self {
+            SystemSpec::Leaf(e) => {
+                *max_leaf = (*max_leaf).max(*e);
+                Ok(CompositionNode::Leaf(*e))
+            }
+            SystemSpec::Compose {
+                threshold,
+                children,
+            } => {
+                if children.is_empty() {
+                    return Err(SpecError::at(path, SpecErrorKind::EmptyChildren));
+                }
+                if *threshold > children.len() {
+                    return Err(SpecError::at(
+                        path,
+                        SpecErrorKind::ThresholdExceedsChildren {
+                            threshold: *threshold,
+                            children: children.len(),
+                        },
+                    ));
+                }
+                let mut nodes = Vec::with_capacity(children.len());
+                for (i, child) in children.iter().enumerate() {
+                    path.push(i);
+                    nodes.push(child.compose_node(path, max_leaf)?);
+                    path.pop();
+                }
+                Ok(CompositionNode::gate(*threshold, nodes))
+            }
+            _ => Err(SpecError::at(path, SpecErrorKind::FamilyInsideCompose)),
+        }
+    }
+
+    /// The `Compose` spec equivalent to [`Majority`] over `n` elements: one
+    /// `⌈(n+1)/2⌉`-of-`n` gate.
+    pub fn majority_as_compose(n: usize) -> SystemSpec {
+        SystemSpec::Compose {
+            threshold: n.div_ceil(2),
+            children: (0..n).map(SystemSpec::Leaf).collect(),
+        }
+    }
+
+    /// The `Compose` spec equivalent to [`TreeQuorum`] of height `h`: each
+    /// internal node `v` becomes 2-of-3 over `{v, left quorum, right
+    /// quorum}` — the tree recursion `(v ∧ (L ∨ R)) ∨ (L ∧ R)` is exactly a
+    /// 2-of-3 majority of `{v, L, R}`.
+    pub fn tree_as_compose(height: usize) -> SystemSpec {
+        let n = (1usize << (height + 1)) - 1;
+        fn sub(v: usize, n: usize) -> SystemSpec {
+            if 2 * v + 1 >= n {
+                return SystemSpec::Leaf(v);
+            }
+            SystemSpec::Compose {
+                threshold: 2,
+                children: vec![SystemSpec::Leaf(v), sub(2 * v + 1, n), sub(2 * v + 2, n)],
+            }
+        }
+        sub(0, n)
+    }
+
+    /// The `Compose` spec equivalent to [`Hqs`] of height `h`: the complete
+    /// ternary tree of 2-of-3 gates over leaves `0 … 3^h − 1` in
+    /// left-to-right order.
+    pub fn hqs_as_compose(height: usize) -> SystemSpec {
+        fn sub(base: usize, span: usize) -> SystemSpec {
+            if span == 1 {
+                return SystemSpec::Leaf(base);
+            }
+            let third = span / 3;
+            SystemSpec::Compose {
+                threshold: 2,
+                children: (0..3).map(|i| sub(base + i * third, third)).collect(),
+            }
+        }
+        sub(0, 3usize.pow(height as u32))
+    }
+
+    /// The `Compose` spec equivalent to [`Grid`]: 2-of-2 over "some full
+    /// row" and "some full column" (each a 1-of-many over all-of-line
+    /// gates). Every element appears in two leaves — a genuinely
+    /// non-read-once composition.
+    pub fn grid_as_compose(rows: usize, cols: usize) -> SystemSpec {
+        let line = |elements: Vec<usize>| SystemSpec::Compose {
+            threshold: elements.len(),
+            children: elements.into_iter().map(SystemSpec::Leaf).collect(),
+        };
+        let row_side = SystemSpec::Compose {
+            threshold: 1,
+            children: (0..rows)
+                .map(|r| line((0..cols).map(|c| r * cols + c).collect()))
+                .collect(),
+        };
+        let col_side = SystemSpec::Compose {
+            threshold: 1,
+            children: (0..cols)
+                .map(|c| line((0..rows).map(|r| r * cols + c).collect()))
+                .collect(),
+        };
+        SystemSpec::Compose {
+            threshold: 2,
+            children: vec![row_side, col_side],
+        }
+    }
+
+    /// Majority-of-organization-majorities: `group_count` contiguous
+    /// organizations of `group_size` elements each, a majority gate within
+    /// every organization and a majority gate across them, wrapped in the
+    /// matching [`SystemSpec::Orgs`] structure. With odd parameters the
+    /// composition is self-dual (a nondominated coterie), the FBAS-flavored
+    /// member of the catalogue.
+    pub fn org_majority(group_count: usize, group_size: usize) -> SystemSpec {
+        let inner = SystemSpec::Compose {
+            threshold: group_count.div_ceil(2),
+            children: (0..group_count)
+                .map(|g| SystemSpec::Compose {
+                    threshold: group_size.div_ceil(2),
+                    children: (g * group_size..(g + 1) * group_size)
+                        .map(SystemSpec::Leaf)
+                        .collect(),
+                })
+                .collect(),
+        };
+        let groups = (0..group_count)
+            .map(|g| (g * group_size..(g + 1) * group_size).collect())
+            .collect();
+        SystemSpec::Orgs {
+            groups,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// The [`SystemSpec::org_majority`] sized from a hint: `g` the largest
+    /// odd number at most `√max(hint, 9)` (at least 3), `m` the smallest
+    /// odd number with `g·m ≥ hint` — universe `g·m`, close to the hint
+    /// from above.
+    pub fn org_majority_with_size_hint(size_hint: usize) -> SystemSpec {
+        let target = size_hint.max(9);
+        let mut g = (target as f64).sqrt().floor() as usize;
+        if g % 2 == 0 {
+            g -= 1;
+        }
+        let g = g.max(3);
+        let mut m = target.div_ceil(g);
+        if m % 2 == 0 {
+            m += 1;
+        }
+        SystemSpec::org_majority(g, m.max(3))
+    }
+
+    /// The spec the registries use for a named catalogue family at a size
+    /// hint, mirroring each family's `with_size_hint` rounding. Returns
+    /// `None` for unknown family names.
+    pub fn family_with_size_hint(family: &str, size_hint: usize) -> Option<SystemSpec> {
+        Some(match family {
+            "Maj" => SystemSpec::Majority {
+                n: Majority::with_size_hint(size_hint).universe_size(),
+            },
+            "Wheel" => SystemSpec::Wheel {
+                n: Wheel::with_size_hint(size_hint).universe_size(),
+            },
+            "Triang" => SystemSpec::Triang {
+                rows: CrumblingWalls::triang_with_size_hint(size_hint).row_count(),
+            },
+            "Tree" => SystemSpec::Tree {
+                height: TreeQuorum::with_size_hint(size_hint).height(),
+            },
+            "HQS" => SystemSpec::Hqs {
+                height: Hqs::with_size_hint(size_hint).height(),
+            },
+            "Grid" => {
+                let grid = Grid::with_size_hint(size_hint);
+                SystemSpec::Grid {
+                    rows: grid.rows(),
+                    cols: grid.cols(),
+                }
+            }
+            "Compose" => SystemSpec::org_majority_with_size_hint(size_hint),
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SystemSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemSpec::Leaf(e) => write!(f, "{e}"),
+            SystemSpec::Majority { n } => write!(f, "maj({n})"),
+            SystemSpec::Wheel { n } => write!(f, "wheel({n})"),
+            SystemSpec::Triang { rows } => write!(f, "triang({rows})"),
+            SystemSpec::Tree { height } => write!(f, "tree({height})"),
+            SystemSpec::Hqs { height } => write!(f, "hqs({height})"),
+            SystemSpec::Grid { rows, cols } => write!(f, "grid({rows},{cols})"),
+            SystemSpec::Compose {
+                threshold,
+                children,
+            } => {
+                write!(f, "{threshold}(")?;
+                for (i, child) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{child}")?;
+                }
+                write!(f, ")")
+            }
+            SystemSpec::Orgs { groups, inner } => {
+                write!(f, "orgs(")?;
+                for group in groups {
+                    write!(f, "[")?;
+                    for (i, e) in group.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, "];")?;
+                }
+                write!(f, "{inner})")
+            }
+        }
+    }
+}
+
+impl FromStr for SystemSpec {
+    type Err = SpecError;
+
+    /// Parses the compact text form without validating (use
+    /// [`SystemSpec::parse`] for parse + validate).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parser = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let spec = parser.spec()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(SpecError::parse(parser.pos, "trailing input"));
+        }
+        Ok(spec)
+    }
+}
+
+/// Hand-rolled recursive-descent parser for the compact text form.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), SpecError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SpecError::parse(
+                self.pos,
+                format!("expected '{}'", byte as char),
+            ))
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, SpecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(SpecError::parse(start, "expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| SpecError::parse(start, "number out of range"))
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_lowercase() {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn spec(&mut self) -> Result<SystemSpec, SpecError> {
+        match self.peek() {
+            Some(b) if b.is_ascii_digit() => {
+                let value = self.number()?;
+                if self.peek() == Some(b'(') {
+                    self.pos += 1;
+                    let mut children = vec![self.spec()?];
+                    while self.peek() == Some(b',') {
+                        self.pos += 1;
+                        children.push(self.spec()?);
+                    }
+                    self.expect(b')')?;
+                    Ok(SystemSpec::Compose {
+                        threshold: value,
+                        children,
+                    })
+                } else {
+                    Ok(SystemSpec::Leaf(value))
+                }
+            }
+            Some(b) if b.is_ascii_lowercase() => {
+                let start = self.pos;
+                let name = self.ident();
+                if name == "orgs" {
+                    return self.orgs();
+                }
+                self.expect(b'(')?;
+                let first = self.number()?;
+                let spec = match name.as_str() {
+                    "maj" => SystemSpec::Majority { n: first },
+                    "wheel" => SystemSpec::Wheel { n: first },
+                    "triang" => SystemSpec::Triang { rows: first },
+                    "tree" => SystemSpec::Tree { height: first },
+                    "hqs" => SystemSpec::Hqs { height: first },
+                    "grid" => {
+                        self.expect(b',')?;
+                        let cols = self.number()?;
+                        SystemSpec::Grid { rows: first, cols }
+                    }
+                    _ => return Err(SpecError::parse(start, format!("unknown family '{name}'"))),
+                };
+                self.expect(b')')?;
+                Ok(spec)
+            }
+            _ => Err(SpecError::parse(
+                self.pos,
+                "expected a leaf, gate, family or orgs(...)",
+            )),
+        }
+    }
+
+    fn orgs(&mut self) -> Result<SystemSpec, SpecError> {
+        self.expect(b'(')?;
+        let mut groups = Vec::new();
+        while self.peek() == Some(b'[') {
+            self.pos += 1;
+            let mut group = vec![self.number()?];
+            while self.peek() == Some(b',') {
+                self.pos += 1;
+                group.push(self.number()?);
+            }
+            self.expect(b']')?;
+            self.expect(b';')?;
+            groups.push(group);
+        }
+        if groups.is_empty() {
+            return Err(SpecError::parse(
+                self.pos,
+                "orgs needs at least one [group];",
+            ));
+        }
+        let inner = Box::new(self.spec()?);
+        self.expect(b')')?;
+        Ok(SystemSpec::Orgs { groups, inner })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_core::{Coloring, ElementSet};
+
+    fn round_trip(spec: &SystemSpec) {
+        let text = spec.to_string();
+        let back: SystemSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(&back, spec, "{text}");
+    }
+
+    #[test]
+    fn text_form_round_trips() {
+        round_trip(&SystemSpec::Majority { n: 7 });
+        round_trip(&SystemSpec::Wheel { n: 9 });
+        round_trip(&SystemSpec::Triang { rows: 4 });
+        round_trip(&SystemSpec::Tree { height: 3 });
+        round_trip(&SystemSpec::Hqs { height: 2 });
+        round_trip(&SystemSpec::Grid { rows: 3, cols: 5 });
+        round_trip(&SystemSpec::majority_as_compose(5));
+        round_trip(&SystemSpec::tree_as_compose(3));
+        round_trip(&SystemSpec::grid_as_compose(3, 4));
+        round_trip(&SystemSpec::org_majority(3, 5));
+        round_trip(&SystemSpec::org_majority_with_size_hint(40));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_rejects_junk() {
+        let spec = SystemSpec::parse(" 2( 0 , 1 , 2 ) ").unwrap();
+        assert_eq!(spec, SystemSpec::majority_as_compose(3));
+        for bad in [
+            "",
+            "2(",
+            "2(0,1",
+            "2(0,1))",
+            "maj(4,5)",
+            "frob(3)",
+            "orgs(1)",
+            "orgs([0,1];)",
+            "grid(3)",
+            "2(0,)",
+        ] {
+            let err = bad.parse::<SystemSpec>().unwrap_err();
+            assert!(
+                matches!(err.kind, SpecErrorKind::Parse { .. }),
+                "{bad:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors_carry_paths() {
+        // A named family nested under a gate.
+        let err = SystemSpec::parse("1(1(0),maj(3))").unwrap_err();
+        assert_eq!(err.path, vec![1]);
+        assert_eq!(err.kind, SpecErrorKind::FamilyInsideCompose);
+
+        // Threshold exceeding children, nested two levels down.
+        let err = SystemSpec::parse("1(1(0),1(3(1,2)))").unwrap_err();
+        assert_eq!(err.path, vec![1, 0]);
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::ThresholdExceedsChildren {
+                threshold: 3,
+                children: 2
+            }
+        );
+
+        // A bare leaf at the root.
+        let err = SystemSpec::Leaf(0).validate().unwrap_err();
+        assert_eq!(err.kind, SpecErrorKind::LeafOutsideCompose);
+        assert!(err.path.is_empty());
+
+        // Family constructor rejections surface with their message.
+        let err = SystemSpec::parse("maj(4)").unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::Invalid { .. }));
+
+        // Overlapping org groups are rejected at the orgs node.
+        let err = SystemSpec::Orgs {
+            groups: vec![vec![0, 1], vec![1, 2]],
+            inner: Box::new(SystemSpec::Majority { n: 3 }),
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::Invalid { .. }));
+
+        // An error inside the orgs inner spec points at child 0.
+        let err = SystemSpec::Orgs {
+            groups: vec![vec![0]],
+            inner: Box::new(SystemSpec::Leaf(0)),
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.path, vec![0]);
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let err = SystemSpec::parse("1(1(0),1(3(1,2)))").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("1.0"), "{text}");
+        let err = "2(".parse::<SystemSpec>().unwrap_err();
+        assert!(err.to_string().contains("byte 2"), "{err}");
+    }
+
+    fn assert_same_function(a: &DynQuorumSystem, b: &DynQuorumSystem) {
+        assert_eq!(a.universe_size(), b.universe_size());
+        let n = a.universe_size();
+        assert!(n <= 16, "exhaustive check only feasible for small n");
+        for mask in 0u64..(1 << n) {
+            let set = ElementSet::from_mask(n, mask);
+            assert_eq!(
+                a.contains_quorum(&set),
+                b.contains_quorum(&set),
+                "mask {mask:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn as_compose_specs_match_the_native_families() {
+        let native: DynQuorumSystem = Arc::new(Majority::new(5).unwrap());
+        assert_same_function(
+            &SystemSpec::majority_as_compose(5).build().unwrap(),
+            &native,
+        );
+
+        let native: DynQuorumSystem = Arc::new(TreeQuorum::new(2).unwrap());
+        assert_same_function(&SystemSpec::tree_as_compose(2).build().unwrap(), &native);
+
+        let native: DynQuorumSystem = Arc::new(Hqs::new(2).unwrap());
+        assert_same_function(&SystemSpec::hqs_as_compose(2).build().unwrap(), &native);
+
+        let native: DynQuorumSystem = Arc::new(Grid::new(3, 4).unwrap());
+        assert_same_function(&SystemSpec::grid_as_compose(3, 4).build().unwrap(), &native);
+    }
+
+    #[test]
+    fn family_specs_build_the_concrete_types() {
+        let spec = SystemSpec::family_with_size_hint("Tree", 30).unwrap();
+        assert!(matches!(
+            spec.build_concrete().unwrap(),
+            BuiltSystem::Tree(_)
+        ));
+        assert_eq!(
+            spec.build().unwrap().universe_size(),
+            TreeQuorum::with_size_hint(30).universe_size()
+        );
+        for family in ["Maj", "Wheel", "Triang", "Tree", "HQS", "Grid", "Compose"] {
+            for hint in [3, 10, 30, 100] {
+                let spec = SystemSpec::family_with_size_hint(family, hint).unwrap();
+                let system = spec.build().unwrap();
+                assert!(system.universe_size() >= 3, "{family} hint {hint}");
+                assert!(
+                    system.universe_size() <= 2 * hint + 3,
+                    "{family} hint {hint}: {}",
+                    system.universe_size()
+                );
+            }
+        }
+        assert!(SystemSpec::family_with_size_hint("Nope", 10).is_none());
+    }
+
+    #[test]
+    fn org_majority_carries_its_organizations() {
+        let spec = SystemSpec::org_majority(3, 5);
+        let orgs = spec.organizations().unwrap().unwrap();
+        assert_eq!(orgs.group_count(), 3);
+        assert_eq!(orgs.universe_size(), 15);
+        assert_eq!(orgs.members(1), &[5, 6, 7, 8, 9]);
+        assert_eq!(spec.org_groups().unwrap().len(), 3);
+
+        // Majority-of-majorities verdicts: a majority of groups each with a
+        // majority of members.
+        let system = spec.build().unwrap();
+        assert_eq!(system.universe_size(), 15);
+        // Groups 0 and 1 fully green, group 2 fully red.
+        let coloring = Coloring::from_green_set(&ElementSet::from_iter(15, 0..10));
+        assert!(system.has_green_quorum(&coloring));
+        // Only one group green.
+        let coloring = Coloring::from_green_set(&ElementSet::from_iter(15, 0..5));
+        assert!(!system.has_green_quorum(&coloring));
+        // Non-org specs expose no organizations.
+        assert!(SystemSpec::Majority { n: 5 }
+            .organizations()
+            .unwrap()
+            .is_none());
+    }
+}
